@@ -1,0 +1,96 @@
+//! M1: compiler-speed microbenchmarks (Criterion).
+//!
+//! Times the algebraic kernels (Hermite normal form, determinants,
+//! Fourier–Motzkin bound extraction), the full normalization pipeline on
+//! the paper's three programs, and the simulator itself.
+
+use an_codegen::{apply_transform, generate_spmd, SpmdOptions};
+use an_core::{normalize, NormalizeOptions};
+use an_linalg::hnf::column_hnf;
+use an_linalg::IMatrix;
+use an_numa::{simulate, MachineConfig};
+use an_poly::bounds::extract_bounds;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_linalg(c: &mut Criterion) {
+    let mats: Vec<IMatrix> = vec![
+        IMatrix::from_rows(&[&[2, 4], &[1, 5]]),
+        IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]]),
+        IMatrix::from_rows(&[
+            &[3, -2, 5, 1],
+            &[0, 4, -1, 2],
+            &[7, 0, 1, -3],
+            &[2, 2, 2, 1],
+        ]),
+    ];
+    c.bench_function("column_hnf_2to4", |b| {
+        b.iter(|| {
+            for m in &mats {
+                black_box(column_hnf(black_box(m)));
+            }
+        })
+    });
+    c.bench_function("determinant_4x4", |b| {
+        b.iter(|| black_box(mats[2].determinant()))
+    });
+    c.bench_function("adjugate_4x4", |b| {
+        b.iter(|| black_box(mats[2].adjugate().unwrap()))
+    });
+}
+
+fn bench_fm(c: &mut Criterion) {
+    let p = an_lang::parse(&an_bench::syr2k_source(64, 16)).unwrap();
+    let sys = p.nest.constraint_system();
+    c.bench_function("fourier_motzkin_syr2k_bounds", |b| {
+        b.iter(|| black_box(extract_bounds(black_box(&sys))))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    for (name, src) in [
+        ("fig1", an_bench::fig1_source(400, 100, 400)),
+        ("gemm", an_bench::gemm_source(400)),
+        ("syr2k", an_bench::syr2k_source(400, 100)),
+    ] {
+        let program = an_lang::parse(&src).unwrap();
+        c.bench_function(&format!("parse_{name}"), |b| {
+            b.iter(|| black_box(an_lang::parse(black_box(&src)).unwrap()))
+        });
+        c.bench_function(&format!("normalize_{name}"), |b| {
+            b.iter(|| {
+                black_box(normalize(black_box(&program), &NormalizeOptions::default()).unwrap())
+            })
+        });
+        let norm = normalize(&program, &NormalizeOptions::default()).unwrap();
+        c.bench_function(&format!("codegen_{name}"), |b| {
+            b.iter(|| {
+                let tp = apply_transform(black_box(&program), &norm.transform).unwrap();
+                black_box(generate_spmd(
+                    &tp,
+                    Some(&norm.dependences),
+                    &SpmdOptions::default(),
+                ))
+            })
+        });
+    }
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let src = an_bench::gemm_source(128);
+    let program = an_lang::parse(&src).unwrap();
+    let norm = normalize(&program, &NormalizeOptions::default()).unwrap();
+    let tp = apply_transform(&program, &norm.transform).unwrap();
+    let spmd = generate_spmd(&tp, Some(&norm.dependences), &SpmdOptions::default());
+    let machine = MachineConfig::butterfly_gp1000();
+    c.bench_function("simulate_gemm128_p8", |b| {
+        b.iter(|| black_box(simulate(&spmd, &machine, 8, &[128]).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_linalg, bench_fm, bench_pipeline, bench_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! A catalog of the classical loop transformations as matrices.
+//!
+//! Access normalization *subsumes* loop interchange, skewing, reversal
+//! and scaling (paper §1): each is an invertible matrix, and compound
+//! transformations are products. This module provides the named
+//! constructors — useful for writing tests, for comparing against what
+//! `an_core::normalize` derives, and for hand-built restructurings.
+
+use an_linalg::IMatrix;
+
+/// Identity (no restructuring) for a depth-`n` nest.
+pub fn identity(n: usize) -> IMatrix {
+    IMatrix::identity(n)
+}
+
+/// Loop interchange (permutation) of loops `a` and `b`.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is out of range.
+pub fn interchange(n: usize, a: usize, b: usize) -> IMatrix {
+    assert!(a < n && b < n, "interchange indices out of range");
+    let mut m = IMatrix::identity(n);
+    m.swap_rows(a, b);
+    m
+}
+
+/// An arbitrary loop permutation: new loop `k` is old loop `perm[k]`.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..n`.
+pub fn permutation(perm: &[usize]) -> IMatrix {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    let mut m = IMatrix::zero(n, n);
+    for (new, &old) in perm.iter().enumerate() {
+        assert!(old < n && !seen[old], "not a permutation: {perm:?}");
+        seen[old] = true;
+        m[(new, old)] = 1;
+    }
+    m
+}
+
+/// Loop reversal of loop `k` (`u_k = -i_k`).
+///
+/// # Panics
+///
+/// Panics if `k` is out of range.
+pub fn reversal(n: usize, k: usize) -> IMatrix {
+    assert!(k < n, "reversal index out of range");
+    let mut m = IMatrix::identity(n);
+    m[(k, k)] = -1;
+    m
+}
+
+/// Loop skewing: `u_target = i_target + factor · i_source`
+/// (the wavefront transformation when `target` is inner).
+///
+/// # Panics
+///
+/// Panics if the indices are out of range or equal.
+pub fn skew(n: usize, target: usize, source: usize, factor: i64) -> IMatrix {
+    assert!(
+        target < n && source < n && target != source,
+        "bad skew indices"
+    );
+    let mut m = IMatrix::identity(n);
+    m[(target, source)] = factor;
+    m
+}
+
+/// Loop scaling: `u_k = factor · i_k` (paper §3; requires the general
+/// invertible framework — determinant becomes `factor`).
+///
+/// # Panics
+///
+/// Panics if `k` is out of range or `factor == 0`.
+pub fn scaling(n: usize, k: usize, factor: i64) -> IMatrix {
+    assert!(k < n, "scaling index out of range");
+    assert!(factor != 0, "scaling factor must be non-zero");
+    let mut m = IMatrix::identity(n);
+    m[(k, k)] = factor;
+    m
+}
+
+/// Composes transformations: `compose(&[a, b, c])` applies `c` first,
+/// then `b`, then `a` (matrix product `a·b·c`).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or an empty list.
+pub fn compose(ts: &[IMatrix]) -> IMatrix {
+    let mut it = ts.iter();
+    let first = it
+        .next()
+        .expect("compose needs at least one matrix")
+        .clone();
+    it.fold(first, |acc, t| {
+        acc.mul(t).expect("compose dimension mismatch")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_are_invertible() {
+        assert!(interchange(3, 0, 2).is_unimodular());
+        assert!(reversal(3, 1).is_unimodular());
+        assert!(skew(3, 2, 0, -4).is_unimodular());
+        assert!(permutation(&[2, 0, 1]).is_unimodular());
+        let s = scaling(2, 0, 3);
+        assert!(s.is_invertible());
+        assert_eq!(s.determinant(), 3);
+    }
+
+    #[test]
+    fn interchange_is_an_involution() {
+        let t = interchange(4, 1, 3);
+        assert_eq!(t.mul(&t).unwrap(), identity(4));
+    }
+
+    #[test]
+    fn figure1_transform_is_a_composition() {
+        // The paper's Figure 1 matrix [[-1,1,0],[0,1,1],[1,0,0]] —
+        // u = j−i, v = j+k, w = i — decomposes into classical pieces:
+        // permute to (j, k, i), skew the middle loop by the (original)
+        // outer j, then skew the outer loop by −i. Access normalization
+        // derives the whole product at once.
+        let t = compose(&[
+            skew(3, 0, 2, -1),       // u = j − i       (applied last)
+            skew(3, 1, 0, 1),        // v = k + j
+            permutation(&[1, 2, 0]), // (j, k, i)       (applied first)
+        ]);
+        assert_eq!(
+            t,
+            IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]])
+        );
+    }
+
+    #[test]
+    fn skew_preserves_unimodularity_under_composition() {
+        let t = compose(&[
+            skew(3, 1, 0, 2),
+            reversal(3, 2),
+            interchange(3, 0, 1),
+            skew(3, 2, 1, -5),
+        ]);
+        assert!(t.is_unimodular());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_permutation_panics() {
+        let _ = permutation(&[0, 0, 1]);
+    }
+}

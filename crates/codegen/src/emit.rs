@@ -1,0 +1,188 @@
+//! Pseudo-C emission of SPMD programs, in the presentation style of the
+//! paper's Figures 1(d) and Section 8 listings.
+
+use crate::spmd::{OuterAssignment, SpmdProgram};
+use an_ir::pretty::render_stmt;
+use an_ir::Program;
+use std::fmt::Write as _;
+
+/// Renders the per-processor program. `p` and `P` appear symbolically:
+/// the same text runs on every processor, parameterized by its id — the
+/// paper's code generation model.
+pub fn emit_spmd(s: &SpmdProgram) -> String {
+    let program = &s.program;
+    let nest = &program.nest;
+    let mut out = String::new();
+    let _ = writeln!(out, "// SPMD node program: processor p of P");
+    if !s.hnf.is_zero() && s.hnf != an_linalg::IMatrix::identity(s.hnf.rows()) {
+        let _ = writeln!(
+            out,
+            "// non-unimodular transform: loops scan lattice coordinates t with u = H*t"
+        );
+        for r in 0..s.hnf.rows() {
+            let _ = writeln!(out, "//   H row {r}: {:?}", s.hnf.row(r));
+        }
+    }
+    if s.outer_carried {
+        let _ = writeln!(
+            out,
+            "// NOTE: outer loop carries a dependence; iterations are synchronized"
+        );
+    }
+    for (depth, lb) in nest.bounds.iter().enumerate() {
+        let indent = "  ".repeat(depth);
+        let var = nest.space.var_name(lb.var);
+        if depth == 0 {
+            match &s.outer {
+                OuterAssignment::ByHome {
+                    array,
+                    dim,
+                    coeff,
+                    offset,
+                } => {
+                    let decl = program.array(*array);
+                    match decl.distribution {
+                        // Paper §7(b): blocked mapping — each processor
+                        // takes a contiguous chunk of the outer loop.
+                        an_ir::Distribution::Blocked { .. } => {
+                            let _ = writeln!(
+                                out,
+                                "{indent}for {var} = max({lb_s}, p*S), min({ub_s}, (p+1)*S - 1)  \
+                                 // S = ceil(extent({name}, {dim})/P); owner of {name}",
+                                lb_s = lb.render_lower(),
+                                ub_s = lb.render_upper(),
+                                name = decl.name,
+                            );
+                        }
+                        // Paper §7(a): wrapped mapping — round-robin by
+                        // the owned subscript value.
+                        _ => {
+                            let _ = writeln!(
+                                out,
+                                "{indent}for {var} = first_owned({lb_s}, p), {ub_s}, step_owned(P)  \
+                                 // owner of {name}[.., {c}*{var} + {off}]",
+                                lb_s = lb.render_lower(),
+                                ub_s = lb.render_upper(),
+                                c = coeff,
+                                off = offset,
+                                name = decl.name,
+                            );
+                        }
+                    }
+                }
+                OuterAssignment::ByHome2D { array, .. } => {
+                    let decl = program.array(*array);
+                    let _ = writeln!(
+                        out,
+                        "{indent}for {var} = max({lb_s}, pr*Sr), min({ub_s}, (pr+1)*Sr - 1)  \
+                         // 2-D tiling: row blocks of {name} on a pr x pc grid",
+                        lb_s = lb.render_lower(),
+                        ub_s = lb.render_upper(),
+                        name = decl.name,
+                    );
+                }
+                OuterAssignment::RoundRobin => {
+                    let _ = writeln!(
+                        out,
+                        "{indent}for {var} = ceild({lb_s} - p, P)*P + p, {ub_s}, step P",
+                        lb_s = lb.render_lower(),
+                        ub_s = lb.render_upper(),
+                    );
+                }
+            }
+        } else if depth == 1 && matches!(&s.outer, OuterAssignment::ByHome2D { .. }) {
+            let _ = writeln!(
+                out,
+                "{indent}for {var} = max({lb_s}, pc*Sc), min({ub_s}, (pc+1)*Sc - 1)  \
+                 // 2-D tiling: column blocks",
+                lb_s = lb.render_lower(),
+                ub_s = lb.render_upper(),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{indent}for {var} = {}, {}",
+                lb.render_lower(),
+                lb.render_upper()
+            );
+        }
+        // Transfers hoisted to this level print just inside the loop.
+        for t in &s.transfers {
+            if t.level == depth {
+                let _ = writeln!(
+                    out,
+                    "{}{}",
+                    "  ".repeat(depth + 1),
+                    render_transfer(program, t)
+                );
+            }
+        }
+    }
+    let indent = "  ".repeat(nest.depth());
+    for stmt in &nest.body {
+        let _ = writeln!(out, "{indent}{}", render_stmt(program, stmt));
+    }
+    out
+}
+
+fn render_transfer(program: &Program, t: &crate::transfers::BlockTransfer) -> String {
+    let decl = program.array(t.array);
+    let subs: Vec<String> = (0..decl.rank())
+        .map(|d| {
+            if d == t.dim {
+                t.subscript.to_string()
+            } else {
+                "*".to_string()
+            }
+        })
+        .collect();
+    format!("read {}[{}];", decl.name, subs.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::spmd::{generate_spmd, SpmdOptions};
+    use crate::transform::apply_transform;
+    use an_core::{normalize, NormalizeOptions};
+
+    #[test]
+    fn figure1d_shape() {
+        let p = an_lang::parse(
+            "param N1 = 5; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        let tp = apply_transform(&p, &r.transform).unwrap();
+        let s = generate_spmd(&tp, Some(&r.dependences), &SpmdOptions::default());
+        let text = super::emit_spmd(&s);
+        // The elements of Figure 1(d): an owner-assigned outer u loop, a
+        // block transfer of an A column at the v level, and the local
+        // body.
+        assert!(text.contains("for u ="), "{text}");
+        assert!(text.contains("read A[*, v];"), "{text}");
+        assert!(text.contains("B[w, u] = B[w, u] + A[w, v];"), "{text}");
+        // The transfer is inside the v loop, before the w loop.
+        let pos_v = text.find("for v =").unwrap();
+        let pos_read = text.find("read A[*, v];").unwrap();
+        let pos_w = text.find("for w =").unwrap();
+        assert!(pos_v < pos_read && pos_read < pos_w, "{text}");
+    }
+
+    #[test]
+    fn round_robin_header() {
+        let p = an_lang::parse(
+            "param N = 4; array A[N, N];
+             for i = 0, N - 1 { for j = 0, N - 1 { A[i, j] = 1.0; } }",
+        )
+        .unwrap();
+        let tp = apply_transform(&p, &an_linalg::IMatrix::identity(2)).unwrap();
+        let s = generate_spmd(&tp, None, &SpmdOptions::default());
+        let text = super::emit_spmd(&s);
+        assert!(text.contains("step P"), "{text}");
+    }
+}

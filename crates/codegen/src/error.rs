@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors from code generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CodegenError {
+    /// The transformation matrix is not square/invertible or has the
+    /// wrong dimension for the nest.
+    BadTransform {
+        /// Why the matrix was rejected.
+        reason: String,
+    },
+    /// A transformed loop lost its bounds (the image polyhedron is
+    /// unbounded in some direction) — indicates unbounded input loops.
+    UnboundedResult {
+        /// Index of the unbounded new loop.
+        var: usize,
+    },
+    /// An algebra failure.
+    Linalg(an_linalg::LinalgError),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::BadTransform { reason } => {
+                write!(f, "bad transformation matrix: {reason}")
+            }
+            CodegenError::UnboundedResult { var } => {
+                write!(f, "transformed loop #{var} is unbounded")
+            }
+            CodegenError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodegenError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<an_linalg::LinalgError> for CodegenError {
+    fn from(e: an_linalg::LinalgError) -> Self {
+        CodegenError::Linalg(e)
+    }
+}

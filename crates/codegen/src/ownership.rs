@@ -1,0 +1,96 @@
+//! The ownership-rule baseline (paper Section 2.1).
+//!
+//! FORTRAN-D-style code generation without loop restructuring: *every*
+//! processor executes *every* iteration "looking for work to do",
+//! guarded by an ownership test — a processor runs an assignment iff it
+//! owns the left-hand-side element. The paper's critique (and the
+//! motivation for access normalization) is that the guards execute at
+//! runtime on all processors for all iterations, and the reference
+//! pattern cannot use block transfers; this module exists so the
+//! benchmarks can quantify that critique.
+
+use an_ir::{ArrayRef, Program, Stmt};
+
+/// An ownership-rule SPMD program: the unrestructured nest, scanned in
+/// full by all processors, with per-statement ownership guards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnershipProgram {
+    /// The original (unrestructured) program.
+    pub program: Program,
+    /// Per statement: the guarded (lhs) reference.
+    pub guards: Vec<ArrayRef>,
+}
+
+/// Generates the ownership-rule program: one guard per assignment (its
+/// left-hand side).
+pub fn generate_ownership(program: &Program) -> OwnershipProgram {
+    let guards = program
+        .nest
+        .body
+        .iter()
+        .map(|stmt| match stmt {
+            Stmt::Assign { lhs, .. } => lhs.clone(),
+            _ => unreachable!("assignments are the only statement kind"),
+        })
+        .collect();
+    OwnershipProgram {
+        program: program.clone(),
+        guards,
+    }
+}
+
+/// Renders the ownership-rule node program in the paper's style: the
+/// full loop nest with `if owns(...)` guards inside.
+pub fn emit_ownership(o: &OwnershipProgram) -> String {
+    use std::fmt::Write as _;
+    let program = &o.program;
+    let nest = &program.nest;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// ownership-rule node program: all processors scan all iterations"
+    );
+    for (depth, lb) in nest.bounds.iter().enumerate() {
+        let indent = "  ".repeat(depth);
+        let _ = writeln!(
+            out,
+            "{indent}for {} = {}, {}",
+            nest.space.var_name(lb.var),
+            lb.render_lower(),
+            lb.render_upper()
+        );
+    }
+    let indent = "  ".repeat(nest.depth());
+    for (stmt, guard) in nest.body.iter().zip(&o.guards) {
+        let _ = writeln!(
+            out,
+            "{indent}if owns({}) {}",
+            an_ir::pretty::render_ref(program, guard),
+            an_ir::pretty::render_stmt(program, stmt)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_are_the_lhs_references() {
+        let p = an_lang::parse(
+            "param N = 4;
+             array A[N] distribute wrapped(0);
+             array B[N] distribute wrapped(0);
+             for i = 0, N - 1 { A[i] = B[i] + 1.0; }",
+        )
+        .unwrap();
+        let o = generate_ownership(&p);
+        assert_eq!(o.guards.len(), 1);
+        let (aid, _) = p.array_by_name("A").unwrap();
+        assert_eq!(o.guards[0].array, aid);
+        let text = emit_ownership(&o);
+        assert!(text.contains("if owns(A[i]) A[i] = B[i] + 1;"), "{text}");
+        assert!(text.contains("all processors scan all iterations"));
+    }
+}

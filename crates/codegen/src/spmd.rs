@@ -1,0 +1,396 @@
+//! SPMD code generation (paper Section 7).
+//!
+//! After restructuring, the outermost loop is distributed across `P`
+//! processors. Following the paper's case analysis on the first row of
+//! the transformation matrix:
+//!
+//! - **case (i)** — the row is a subscript in a distribution dimension:
+//!   iterations are assigned *by data location* (the processor owning the
+//!   element executes the iteration), making those accesses local;
+//! - **cases (ii)/(iii)** — otherwise iterations are assigned round-robin
+//!   (locality is not exploited but block transfers still are).
+
+use crate::transfers::{detect_transfers, BlockTransfer};
+use crate::transform::TransformedProgram;
+use an_deps::DependenceInfo;
+use an_ir::{ArrayId, Distribution, Program, Stmt};
+use an_linalg::{lex_positive, IMatrix};
+use an_poly::Affine;
+
+/// How outer-loop iterations are assigned to processors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OuterAssignment {
+    /// Paper case (i): processor `p` executes the outer iterations whose
+    /// normalized distribution-dimension subscript maps to `p` under the
+    /// array's distribution function. The subscript is
+    /// `coeff · t₀ + offset` in lattice coordinates.
+    ByHome {
+        /// The array whose distribution drives the assignment.
+        array: ArrayId,
+        /// Its distribution dimension.
+        dim: usize,
+        /// Coefficient of the outer lattice coordinate in the subscript.
+        coeff: i64,
+        /// Variable-free remainder of the subscript (parameters +
+        /// constant).
+        offset: Affine,
+    },
+    /// 2-D tiling over a processor grid (the general "tiling" scheme §7
+    /// alludes to, for `block2d` arrays): processor `(pr, pc)` of the
+    /// grid executes the `(t₀, t₁)` iterations whose element lands in
+    /// its block.
+    ByHome2D {
+        /// The array whose 2-D block distribution drives the assignment.
+        array: ArrayId,
+        /// Its row distribution dimension.
+        row_dim: usize,
+        /// Its column distribution dimension.
+        col_dim: usize,
+        /// Row subscript `row_coeff · t₀ + row_offset`.
+        row_coeff: i64,
+        /// Variable-free part of the row subscript.
+        row_offset: Affine,
+        /// Column subscript `col_coeff · t₁ + col_offset`.
+        col_coeff: i64,
+        /// Variable-free part of the column subscript.
+        col_offset: Affine,
+    },
+    /// Paper cases (ii)/(iii): outer iterations dealt round-robin
+    /// (`t₀ ≡ p (mod P)`).
+    RoundRobin,
+}
+
+/// Options for SPMD generation.
+#[derive(Debug, Clone)]
+pub struct SpmdOptions {
+    /// Insert block transfers for inner-invariant remote references
+    /// (disable to model the paper's `…T` curves).
+    pub block_transfers: bool,
+}
+
+impl Default for SpmdOptions {
+    fn default() -> Self {
+        SpmdOptions {
+            block_transfers: true,
+        }
+    }
+}
+
+/// A per-processor program: the transformed nest plus the distribution
+/// of its outermost loop and hoisted block transfers. The
+/// `an-numa` simulator executes this directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmdProgram {
+    /// The (transformed) program in lattice coordinates.
+    pub program: Program,
+    /// Lattice basis `H` (identity for unimodular transforms).
+    pub hnf: IMatrix,
+    /// Outer-loop assignment policy.
+    pub outer: OuterAssignment,
+    /// Hoisted block transfers.
+    pub transfers: Vec<BlockTransfer>,
+    /// `true` if a dependence is carried by the distributed outer loop —
+    /// the simulator then serializes outer iterations (the paper inserts
+    /// synchronization here, which costs the same parallelism).
+    pub outer_carried: bool,
+}
+
+impl SpmdProgram {
+    /// The subscript made local by the outer assignment, if any (the
+    /// row subscript for 2-D tiling; [`SpmdProgram::local_subscripts`]
+    /// returns both).
+    pub fn local_subscript(&self) -> Option<(ArrayId, Affine)> {
+        self.local_subscripts().into_iter().next()
+    }
+
+    /// All (array, subscript) pairs made local by the outer assignment.
+    pub fn local_subscripts(&self) -> Vec<(ArrayId, Affine)> {
+        let space = &self.program.nest.space;
+        match &self.outer {
+            OuterAssignment::ByHome {
+                array,
+                coeff,
+                offset,
+                ..
+            } => vec![(*array, Affine::var(space, 0, *coeff).add(&offset.clone()))],
+            OuterAssignment::ByHome2D {
+                array,
+                row_coeff,
+                row_offset,
+                col_coeff,
+                col_offset,
+                ..
+            } => vec![
+                (
+                    *array,
+                    Affine::var(space, 0, *row_coeff).add(&row_offset.clone()),
+                ),
+                (
+                    *array,
+                    Affine::var(space, 1, *col_coeff).add(&col_offset.clone()),
+                ),
+            ],
+            OuterAssignment::RoundRobin => vec![],
+        }
+    }
+}
+
+/// Generates the SPMD program for a transformed nest.
+///
+/// `deps` (the dependence info of the *original* nest) is used to decide
+/// whether the distributed outer loop carries a dependence; pass the
+/// info from `an_core::normalize` when available.
+pub fn generate_spmd(
+    tp: &TransformedProgram,
+    deps: Option<&DependenceInfo>,
+    opts: &SpmdOptions,
+) -> SpmdProgram {
+    let program = &tp.program;
+    let outer = choose_assignment(program);
+    // Build a throwaway program wrapper to reuse local_subscripts.
+    let probe = SpmdProgram {
+        program: program.clone(),
+        hnf: tp.hnf.clone(),
+        outer: outer.clone(),
+        transfers: Vec::new(),
+        outer_carried: false,
+    };
+    let locals = probe.local_subscripts();
+    let transfers = if opts.block_transfers {
+        detect_transfers_multi(program, &locals)
+    } else {
+        Vec::new()
+    };
+    let outer_carried = deps.is_some_and(|info| {
+        let distance_carried = info.matrix.cols() > 0 && {
+            let td = tp
+                .transform
+                .mul(&info.matrix)
+                .expect("dependence matrix dimension");
+            (0..td.cols()).any(|c| {
+                let col = td.col(c);
+                lex_positive(&col) && col[0] != 0
+            })
+        };
+        // Direction summaries (non-uniform pairs): conservatively treat
+        // the outer loop as carrying when its row may yield a positive
+        // product with an admissible distance.
+        let direction_carried = info
+            .directions
+            .iter()
+            .any(|dv| an_deps::direction::may_carry(tp.transform.row(0), dv, &info.ranges));
+        distance_carried || direction_carried
+    });
+    SpmdProgram {
+        program: program.clone(),
+        hnf: tp.hnf.clone(),
+        outer,
+        transfers,
+        outer_carried,
+    }
+}
+
+/// Block-transfer detection that excludes every owner-localized
+/// subscript (one for 1-D assignments, two for 2-D tiling).
+fn detect_transfers_multi(program: &Program, locals: &[(ArrayId, Affine)]) -> Vec<BlockTransfer> {
+    // detect_transfers accepts one exclusion; run it with none and
+    // filter the localized ones afterwards.
+    detect_transfers(program, None)
+        .into_iter()
+        .filter(|t| {
+            !locals
+                .iter()
+                .any(|(a, s)| *a == t.array && *s == t.subscript)
+        })
+        .collect()
+}
+
+/// Picks the outer assignment: 2-D tiling when a `block2d` array has its
+/// row subscript on the outermost loop and its column subscript on the
+/// second loop; else the most frequently accessed distribution-dimension
+/// subscript that depends on the outer loop *only* (paper case (i));
+/// otherwise round-robin.
+fn choose_assignment(program: &Program) -> OuterAssignment {
+    let n = program.nest.depth();
+    // 2-D tiling opportunity first.
+    if n >= 2 {
+        if let Some(a) = find_2d_tiling(program) {
+            return a;
+        }
+    }
+    let mut best: Option<(usize, OuterAssignment)> = None; // (count, assignment)
+    let mut consider = |array: ArrayId, dim: usize, s: &Affine, count: usize| {
+        let depends_outer_only = s.var_coeff(0) != 0 && (1..n).all(|k| s.var_coeff(k) == 0);
+        if !depends_outer_only {
+            return;
+        }
+        let coeff = s.var_coeff(0);
+        let offset = s.sub(&Affine::var(s.space(), 0, coeff));
+        let cand = OuterAssignment::ByHome {
+            array,
+            dim,
+            coeff,
+            offset,
+        };
+        match &best {
+            Some((c, _)) if *c >= count => {}
+            _ => best = Some((count, cand)),
+        }
+    };
+    // Count occurrences of each (array, dim, subscript).
+    let mut seen: Vec<(ArrayId, usize, Affine, usize)> = Vec::new();
+    for stmt in &program.nest.body {
+        let Stmt::Assign { lhs, rhs } = stmt else {
+            continue;
+        };
+        let mut refs = vec![lhs];
+        refs.extend(rhs.reads());
+        for r in refs {
+            let decl = program.array(r.array);
+            for dim in decl.distribution.dims() {
+                let s = &r.subscripts[dim];
+                match seen
+                    .iter_mut()
+                    .find(|(a, d, e, _)| *a == r.array && *d == dim && e == s)
+                {
+                    Some(entry) => entry.3 += 1,
+                    None => seen.push((r.array, dim, s.clone(), 1)),
+                }
+            }
+        }
+    }
+    // Writes weigh double: making the written array local avoids remote
+    // read-modify-write traffic.
+    for (array, dim, s, count) in &seen {
+        let decl = program.array(*array);
+        let write_bias = match program.nest.body.first() {
+            Some(Stmt::Assign { lhs, .. }) if lhs.array == *array && &lhs.subscripts[*dim] == s => {
+                *count + 2
+            }
+            _ => *count,
+        };
+        if matches!(
+            decl.distribution,
+            Distribution::Wrapped { .. } | Distribution::Blocked { .. }
+        ) {
+            consider(*array, *dim, s, write_bias);
+        }
+    }
+    best.map(|(_, a)| a).unwrap_or(OuterAssignment::RoundRobin)
+}
+
+/// Looks for a `block2d` array whose row-dimension subscript depends
+/// only on loop 0 and column-dimension subscript only on loop 1.
+fn find_2d_tiling(program: &Program) -> Option<OuterAssignment> {
+    let n = program.nest.depth();
+    for stmt in &program.nest.body {
+        let Stmt::Assign { lhs, rhs } = stmt else {
+            continue;
+        };
+        let mut refs = vec![lhs];
+        refs.extend(rhs.reads());
+        for r in refs {
+            let decl = program.array(r.array);
+            let Distribution::Block2D { row_dim, col_dim } = decl.distribution else {
+                continue;
+            };
+            let rs = &r.subscripts[row_dim];
+            let cs = &r.subscripts[col_dim];
+            let row_only = rs.var_coeff(0) != 0 && (1..n).all(|k| rs.var_coeff(k) == 0);
+            let col_only =
+                cs.var_coeff(1) != 0 && (0..n).filter(|&k| k != 1).all(|k| cs.var_coeff(k) == 0);
+            if row_only && col_only {
+                let row_coeff = rs.var_coeff(0);
+                let col_coeff = cs.var_coeff(1);
+                return Some(OuterAssignment::ByHome2D {
+                    array: r.array,
+                    row_dim,
+                    col_dim,
+                    row_coeff,
+                    row_offset: rs.sub(&Affine::var(rs.space(), 0, row_coeff)),
+                    col_coeff,
+                    col_offset: cs.sub(&Affine::var(cs.space(), 1, col_coeff)),
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::apply_transform;
+    use an_core::{normalize, NormalizeOptions};
+
+    fn figure1_spmd(block_transfers: bool) -> SpmdProgram {
+        let p = an_lang::parse(
+            "param N1 = 5; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        let tp = apply_transform(&p, &r.transform).unwrap();
+        generate_spmd(&tp, Some(&r.dependences), &SpmdOptions { block_transfers })
+    }
+
+    #[test]
+    fn figure1_assignment_is_by_home_on_b() {
+        let s = figure1_spmd(true);
+        let (bid, _) = s.program.array_by_name("B").unwrap();
+        match &s.outer {
+            OuterAssignment::ByHome {
+                array, dim, coeff, ..
+            } => {
+                assert_eq!(*array, bid);
+                assert_eq!(*dim, 1);
+                assert_eq!(*coeff, 1);
+            }
+            other => panic!("expected ByHome, got {other:?}"),
+        }
+        // One transfer for A at level 1; dependence carried by the new
+        // *second* loop, so the outer loop is freely parallel.
+        assert_eq!(s.transfers.len(), 1);
+        assert!(!s.outer_carried);
+    }
+
+    #[test]
+    fn transfers_can_be_disabled() {
+        let s = figure1_spmd(false);
+        assert!(s.transfers.is_empty());
+    }
+
+    #[test]
+    fn round_robin_without_distribution() {
+        let p = an_lang::parse(
+            "param N = 4;
+             array A[N, N];
+             for i = 0, N - 1 { for j = 0, N - 1 { A[i, j] = 1.0; } }",
+        )
+        .unwrap();
+        let tp = apply_transform(&p, &IMatrix::identity(2)).unwrap();
+        let s = generate_spmd(&tp, None, &SpmdOptions::default());
+        assert_eq!(s.outer, OuterAssignment::RoundRobin);
+        assert!(s.local_subscript().is_none());
+    }
+
+    #[test]
+    fn outer_carried_detection() {
+        // A[i+1] = A[i]: distance 1 on the only loop; distributing it
+        // serializes.
+        let p = an_lang::parse(
+            "param N = 8;
+             array A[N + 1] distribute blocked(0);
+             for i = 0, N - 1 { A[i + 1] = A[i] + 1.0; }",
+        )
+        .unwrap();
+        let info = an_deps::analyze(&p, &an_deps::DepOptions::default()).unwrap();
+        let tp = apply_transform(&p, &IMatrix::identity(1)).unwrap();
+        let s = generate_spmd(&tp, Some(&info), &SpmdOptions::default());
+        assert!(s.outer_carried);
+    }
+}

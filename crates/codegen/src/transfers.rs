@@ -1,0 +1,186 @@
+//! Block-transfer detection (paper Sections 2 and 7).
+//!
+//! After access normalization, a remote reference can use a block
+//! transfer when the subscript in the array's distribution dimension is
+//! *invariant* in the inner loops: all elements referenced by the inner
+//! loops live on one processor, so a single message (`read A[*, v]`)
+//! replaces many element-sized ones. The transfer is hoisted to the
+//! deepest loop level whose index still appears in the subscript.
+
+use an_ir::{ArrayId, Distribution, Program, Stmt};
+use an_poly::Affine;
+
+/// One hoisted block transfer: `read A[*, s]` executed once per
+/// iteration of loops `0..=level`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockTransfer {
+    /// The array being fetched.
+    pub array: ArrayId,
+    /// The array's distribution dimension.
+    pub dim: usize,
+    /// The distribution-dimension subscript (invariant in loops deeper
+    /// than `level`).
+    pub subscript: Affine,
+    /// The loop level the transfer is hoisted to (the read happens just
+    /// inside loop `level`, before loop `level + 1`).
+    pub level: usize,
+}
+
+impl BlockTransfer {
+    /// Number of elements moved per transfer: the product of the
+    /// extents of every non-distribution dimension (the `*` dimensions
+    /// of `read A[*, v]`).
+    pub fn elements(&self, program: &Program, param_values: &[i64]) -> i64 {
+        let decl = program.array(self.array);
+        decl.extents(param_values)
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != self.dim)
+            .map(|(_, &e)| e)
+            .product()
+    }
+}
+
+/// Detects block transfers in a (transformed) program.
+///
+/// `local_subscript` is the distribution-dimension subscript made local
+/// by the outer-loop assignment (if any): references matching it are
+/// local and need no transfer. Only *read* references are considered;
+/// after normalization the written array is the local one in all the
+/// paper's codes, and remote writes are priced per element by the
+/// simulator.
+///
+/// A reference qualifies when its distribution-dimension subscript does
+/// not involve the innermost loop (there is something to amortize); the
+/// transfer is hoisted to the deepest level still appearing in the
+/// subscript.
+pub fn detect_transfers(
+    program: &Program,
+    local_subscript: Option<(ArrayId, &Affine)>,
+) -> Vec<BlockTransfer> {
+    let n = program.nest.depth();
+    let mut out: Vec<BlockTransfer> = Vec::new();
+    for stmt in &program.nest.body {
+        let Stmt::Assign { rhs, .. } = stmt else {
+            continue;
+        };
+        for r in rhs.reads() {
+            let decl = program.array(r.array);
+            let dims = match decl.distribution {
+                Distribution::Replicated => continue,
+                Distribution::Wrapped { dim } | Distribution::Blocked { dim } => vec![dim],
+                // A 2-D block lives on one processor only when *both*
+                // subscripts match; fetching it would need a 2-D tile
+                // message, which this library does not model — those
+                // references are priced per element instead.
+                Distribution::Block2D { .. } => continue,
+            };
+            for dim in dims {
+                let s = &r.subscripts[dim];
+                if let Some((larr, lsub)) = local_subscript {
+                    if larr == r.array && s == lsub {
+                        continue; // already local by the outer assignment
+                    }
+                }
+                // Deepest loop whose index appears in the subscript.
+                let deepest = (0..n).rev().find(|&k| s.var_coeff(k) != 0);
+                let level = match deepest {
+                    None => 0,                 // fully invariant: hoist to top
+                    Some(k) if k + 1 < n => k, // invariant in loops k+1..n
+                    Some(_) => continue,       // varies innermost: no transfer
+                };
+                let bt = BlockTransfer {
+                    array: r.array,
+                    dim,
+                    subscript: s.clone(),
+                    level,
+                };
+                if !out.contains(&bt) {
+                    out.push(bt);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an_core::{normalize, NormalizeOptions};
+
+    #[test]
+    fn figure1_transfer_detected() {
+        // After the Figure 1 transformation, A's distribution subscript
+        // is `v` — invariant in the innermost loop w, hoisted to level 1.
+        let p = an_lang::parse(
+            "param N1 = 5; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        let tp = crate::transform::apply_transform(&p, &r.transform).unwrap();
+        let (aid, _) = tp.program.array_by_name("A").unwrap();
+        let (bid, _) = tp.program.array_by_name("B").unwrap();
+        // B[w, u]'s subscript u is local via the outer loop.
+        let local = an_poly::Affine::var(&tp.program.nest.space, 0, 1);
+        let ts = detect_transfers(&tp.program, Some((bid, &local)));
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].array, aid);
+        assert_eq!(ts[0].level, 1);
+        // `read A[*, v]` moves one column: N1 elements.
+        assert_eq!(ts[0].elements(&tp.program, &[5, 3, 4]), 5);
+    }
+
+    #[test]
+    fn innermost_varying_subscript_has_no_transfer() {
+        let p = an_lang::parse(
+            "param N = 4;
+             array A[N, N] distribute wrapped(1);
+             array B[N, N] distribute wrapped(1);
+             for i = 0, N - 1 { for j = 0, N - 1 {
+                 A[j, i] = A[j, i] + B[i, j];
+             } }",
+        )
+        .unwrap();
+        // A[j,i]'s dist subscript `i` is invariant in j: transfer at
+        // level 0. B[i,j]'s dist subscript `j` varies innermost: none.
+        let ts = detect_transfers(&p, None);
+        assert_eq!(ts.len(), 1);
+        let (aid, _) = p.array_by_name("A").unwrap();
+        assert_eq!(ts[0].array, aid);
+        assert_eq!(ts[0].level, 0);
+    }
+
+    #[test]
+    fn replicated_arrays_never_transfer() {
+        let p = an_lang::parse(
+            "param N = 4;
+             array A[N, N];
+             for i = 0, N - 1 { for j = 0, N - 1 { A[i, j] = A[0, 0] + 1.0; } }",
+        )
+        .unwrap();
+        assert!(detect_transfers(&p, None).is_empty());
+    }
+
+    #[test]
+    fn duplicate_references_collapse() {
+        let p = an_lang::parse(
+            "param N = 4;
+             array A[N, N] distribute wrapped(1);
+             array B[N, N];
+             for i = 0, N - 1 { for j = 0, N - 1 {
+                 B[i, j] = A[j, i] + A[j, i] + A[i, i];
+             } }",
+        )
+        .unwrap();
+        // A[j,i] twice and A[i,i] once share the dist subscript `i` —
+        // dedup leaves a single transfer.
+        let ts = detect_transfers(&p, None);
+        assert_eq!(ts.len(), 1);
+    }
+}

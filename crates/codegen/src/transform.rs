@@ -1,0 +1,305 @@
+//! Restructuring a loop nest by an invertible integer matrix.
+
+use crate::CodegenError;
+use an_ir::{LoopNest, Program};
+use an_linalg::lattice::Lattice;
+use an_linalg::{IMatrix, IVec};
+use an_poly::bounds::extract_bounds_with_assumptions;
+
+/// A restructured program together with the coordinate bookkeeping
+/// needed to relate it back to the original.
+///
+/// The executable [`program`](TransformedProgram::program) scans the
+/// *lattice coordinates* `t` with unit steps. The displayed loop
+/// variables of the paper are `u = H·t`, and original iteration vectors
+/// are `old = U·t` where `H = T·U` is the column Hermite normal form of
+/// the transform. For a unimodular `T`, `H` is the identity and `t = u`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformedProgram {
+    /// The transformed, directly executable program (unit-step loops over
+    /// lattice coordinates; subscripts rewritten).
+    pub program: Program,
+    /// The transformation matrix `T`.
+    pub transform: IMatrix,
+    /// Lower-triangular lattice basis `H` (column HNF of `T`).
+    pub hnf: IMatrix,
+    /// Unimodular `U` with `H = T·U` (and `old = U·t`).
+    pub unimodular: IMatrix,
+}
+
+impl TransformedProgram {
+    /// `true` if the transform was unimodular (`t = u`; steps are all 1).
+    pub fn is_unimodular_case(&self) -> bool {
+        self.hnf == IMatrix::identity(self.hnf.rows())
+    }
+
+    /// The paper's loop variable values `u = H·t` for a lattice point.
+    pub fn u_of_t(&self, t: &[i64]) -> IVec {
+        self.hnf.mul_vec(t).expect("lattice coordinate arity")
+    }
+
+    /// The original iteration vector `old = U·t` for a lattice point.
+    pub fn old_of_t(&self, t: &[i64]) -> IVec {
+        self.unimodular
+            .mul_vec(t)
+            .expect("lattice coordinate arity")
+    }
+
+    /// The step of displayed loop `k` (diagonal of `H`).
+    pub fn step(&self, k: usize) -> i64 {
+        self.hnf[(k, k)]
+    }
+}
+
+/// Names for transformed loop variables, following the paper: `u, v, w,
+/// z`, then `u4, u5, …`.
+pub fn new_var_names(n: usize) -> Vec<String> {
+    const BASE: [&str; 4] = ["u", "v", "w", "z"];
+    (0..n)
+        .map(|k| {
+            if k < BASE.len() {
+                BASE[k].to_string()
+            } else {
+                format!("u{k}")
+            }
+        })
+        .collect()
+}
+
+/// Restructures `program` by the invertible matrix `t_mat` (new iteration
+/// vector `u = T · old`).
+///
+/// # Errors
+///
+/// - [`CodegenError::BadTransform`] if `T` is not square of the nest
+///   depth or not invertible.
+/// - [`CodegenError::UnboundedResult`] if a transformed loop has no
+///   finite bounds (possible only for malformed input nests).
+pub fn apply_transform(
+    program: &Program,
+    t_mat: &IMatrix,
+) -> Result<TransformedProgram, CodegenError> {
+    let n = program.nest.depth();
+    if !t_mat.is_square() || t_mat.rows() != n {
+        return Err(CodegenError::BadTransform {
+            reason: format!(
+                "expected {n}x{n} matrix for a depth-{n} nest, got {}x{}",
+                t_mat.rows(),
+                t_mat.cols()
+            ),
+        });
+    }
+    let lattice = Lattice::from_transform(t_mat).map_err(|_| CodegenError::BadTransform {
+        reason: "matrix is singular".to_string(),
+    })?;
+    let h = lattice.basis().clone();
+    let u = lattice.unimodular().clone();
+
+    // New space: lattice coordinates (displayed as u/v/w/z when H = I,
+    // which covers the unimodular case directly).
+    let names = new_var_names(n);
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let t_space = program.nest.space.with_vars(&name_refs);
+
+    // old = U · t: rewrite the iteration polyhedron and the body.
+    let sys_t = program
+        .nest
+        .constraint_system()
+        .substitute_vars(&u, &t_space);
+    let assumptions: Vec<an_poly::Affine> = program
+        .assumptions
+        .iter()
+        .map(|a| a.widen_to(&t_space))
+        .collect();
+    let bounds = extract_bounds_with_assumptions(&sys_t, &assumptions);
+    for lb in &bounds {
+        if lb.lowers.is_empty() || lb.uppers.is_empty() {
+            return Err(CodegenError::UnboundedResult { var: lb.var });
+        }
+    }
+    let body = program
+        .nest
+        .body
+        .iter()
+        .map(|s| s.substitute_vars(&u, &t_space))
+        .collect();
+
+    Ok(TransformedProgram {
+        program: Program {
+            params: program.params.clone(),
+            coefs: program.coefs.clone(),
+            arrays: program.arrays.clone(),
+            assumptions: assumptions.clone(),
+            nest: LoopNest {
+                space: t_space,
+                bounds,
+                body,
+            },
+        },
+        transform: t_mat.clone(),
+        hnf: h,
+        unimodular: u,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn iteration_set(p: &Program, params: &[i64]) -> BTreeSet<Vec<i64>> {
+        let mut out = BTreeSet::new();
+        p.nest
+            .for_each_iteration(params, |pt| {
+                out.insert(pt.to_vec());
+            })
+            .unwrap();
+        out
+    }
+
+    /// The transformed nest must scan exactly the image of the original
+    /// iteration space under T (bijectivity), and compute the same
+    /// function.
+    fn check_transform(src: &str, t_rows: &[&[i64]], params: &[i64]) {
+        let p = an_lang::parse(src).unwrap();
+        let t_mat = IMatrix::from_rows(t_rows);
+        let tp = apply_transform(&p, &t_mat).unwrap();
+        // Iteration sets: {T·old} == {H·t}.
+        let original = iteration_set(&p, params);
+        let image: BTreeSet<Vec<i64>> =
+            original.iter().map(|i| t_mat.mul_vec(i).unwrap()).collect();
+        assert_eq!(image.len(), original.len(), "T not injective on the nest");
+        let scanned: BTreeSet<Vec<i64>> = iteration_set(&tp.program, params)
+            .iter()
+            .map(|t| tp.u_of_t(t))
+            .collect();
+        assert_eq!(scanned, image, "scanned image differs");
+        // Semantics.
+        let before = an_ir::interp::run_seeded(&p, params, 11).unwrap();
+        let after = an_ir::interp::run_seeded(&tp.program, params, 11).unwrap();
+        assert_eq!(before.max_abs_diff(&after), 0.0);
+    }
+
+    #[test]
+    fn figure1_unimodular_transform() {
+        check_transform(
+            "param N1 = 5; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+            &[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]],
+            &[5, 3, 4],
+        );
+    }
+
+    #[test]
+    fn figure1_transformed_bounds_match_paper() {
+        // Figure 1(c): for u = 0, b-1; for v = u, u + N1 + N2 - 2;
+        // for w = 0, N1 - 1 (our FM may tighten with extra min/max terms,
+        // but evaluated bounds must agree on the paper's box).
+        let p = an_lang::parse(
+            "param N1 = 5; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+        )
+        .unwrap();
+        let t_mat = IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]]);
+        let tp = apply_transform(&p, &t_mat).unwrap();
+        let params = [5i64, 3, 4];
+        let (lo, hi) = tp.program.nest.bounds[0].eval(&[0, 0, 0], &params).unwrap();
+        assert_eq!((lo, hi), (0, 2)); // u = 0 .. b-1
+                                      // The new body accesses B[w, u] and A[w, v].
+        let text = an_ir::pretty::print_nest(&tp.program);
+        assert!(text.contains("B[w, u] = B[w, u] + A[w, v];"), "{text}");
+    }
+
+    #[test]
+    fn scaling_example_from_section3() {
+        // T = [[2,4],[1,5]], det 6: non-unimodular lattice case.
+        check_transform(
+            "array A[19, 19];
+             for i = 1, 3 { for j = 1, 3 {
+                 A[2 * i + 4 * j, i + 5 * j] = 1.0;
+             } }",
+            &[&[2, 4], &[1, 5]],
+            &[],
+        );
+    }
+
+    #[test]
+    fn scaling_example_steps() {
+        let p = an_lang::parse(
+            "array A[19, 19];
+             for i = 1, 3 { for j = 1, 3 { A[2 * i + 4 * j, i + 5 * j] = 1.0; } }",
+        )
+        .unwrap();
+        let t_mat = IMatrix::from_rows(&[&[2, 4], &[1, 5]]);
+        let tp = apply_transform(&p, &t_mat).unwrap();
+        assert!(!tp.is_unimodular_case());
+        // Paper §3: u steps by 2, v steps by 3.
+        assert_eq!(tp.step(0), 2);
+        assert_eq!(tp.step(1), 3);
+        // u ranges over 6..=18 on the lattice.
+        let mut us = BTreeSet::new();
+        tp.program
+            .nest
+            .for_each_iteration(&[], |t| {
+                us.insert(tp.u_of_t(t)[0]);
+            })
+            .unwrap();
+        assert_eq!(us, BTreeSet::from([6, 8, 10, 12, 14, 16, 18]));
+    }
+
+    #[test]
+    fn loop_reversal_and_skewing() {
+        check_transform(
+            "param N = 6;
+             array A[N, 2 * N];
+             for i = 0, N - 1 { for j = 0, N - 1 {
+                 A[i, i + j] = A[i, i + j] + 2.0;
+             } }",
+            &[&[1, 1], &[-1, 0]], // skew then reversal
+            &[6],
+        );
+    }
+
+    #[test]
+    fn interchange_three_deep() {
+        check_transform(
+            "param N = 4;
+             array C[N, N];
+             for i = 0, N - 1 { for j = 0, N - 1 { for k = 0, N - 1 {
+                 C[i, j] = C[i, j] + 1.0;
+             } } }",
+            &[&[0, 1, 0], &[0, 0, 1], &[1, 0, 0]],
+            &[4],
+        );
+    }
+
+    #[test]
+    fn rejects_bad_matrices() {
+        let p = an_lang::parse("array A[4]; for i = 0, 3 { A[i] = 1.0; }").unwrap();
+        let singular = IMatrix::from_rows(&[&[0]]);
+        assert!(matches!(
+            apply_transform(&p, &singular),
+            Err(CodegenError::BadTransform { .. })
+        ));
+        let wrong_size = IMatrix::identity(2);
+        assert!(matches!(
+            apply_transform(&p, &wrong_size),
+            Err(CodegenError::BadTransform { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_transform_is_lossless() {
+        let src = "param N = 5; array A[N, N];
+             for i = 0, N - 1 { for j = i, N - 1 { A[i, j] = 3.0; } }";
+        check_transform(src, &[&[1, 0], &[0, 1]], &[5]);
+    }
+}

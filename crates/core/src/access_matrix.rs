@@ -1,0 +1,223 @@
+//! The data access matrix (paper Section 2.2).
+//!
+//! One row per *distinct* subscript linear form appearing in the loop
+//! body, ordered by an importance heuristic: subscripts occurring in
+//! distribution dimensions first (they determine locality), then by
+//! occurrence count, then by program order. Constants and parameter
+//! terms are omitted — only the loop-variable coefficients matter for
+//! choosing the transformation.
+
+use an_ir::{collect_accesses, ArrayId, Program};
+use an_linalg::{IMatrix, IVec};
+
+/// How to order the rows of the data access matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderingHeuristic {
+    /// The paper's heuristic: distribution-dimension subscripts first,
+    /// then by occurrence count, then program order.
+    #[default]
+    DistributionFirst,
+    /// Plain program order (for the ablation benchmark).
+    ProgramOrder,
+    /// Vectorization ordering (paper §9): subscripts of the
+    /// fastest-varying (last) array dimension sort *last*, so they
+    /// normalize to the innermost loop and accesses stream with unit
+    /// stride.
+    InnermostContiguity,
+}
+
+/// Metadata about one row of the data access matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriptRow {
+    /// Loop-variable coefficients of the subscript.
+    pub coeffs: IVec,
+    /// `true` if this subscript occurs in a distribution dimension of
+    /// some array.
+    pub in_distribution_dim: bool,
+    /// Total number of occurrences in the body.
+    pub weight: usize,
+    /// Occurrences in distribution dimensions only (the paper's count:
+    /// "j−i occurs twice, but j−k occurs only once").
+    pub dist_weight: usize,
+    /// Occurrences in the fastest-varying (last) dimension of an array —
+    /// the contiguity count used by the vectorization ordering (§9).
+    pub contig_weight: usize,
+    /// Arrays (with dimension index) in which the subscript occurs.
+    pub occurrences: Vec<(ArrayId, usize)>,
+}
+
+/// The data access matrix with row provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataAccessMatrix {
+    /// The matrix: `rows()` subscripts over `cols()` loop variables.
+    pub matrix: IMatrix,
+    /// Metadata for each row, in matrix order.
+    pub rows: Vec<SubscriptRow>,
+}
+
+impl DataAccessMatrix {
+    /// Number of loop variables (matrix columns).
+    pub fn num_vars(&self) -> usize {
+        self.matrix.cols()
+    }
+}
+
+/// Builds the data access matrix of a program.
+///
+/// Subscripts whose loop-variable part is identically zero (pure
+/// constants or parameter expressions) carry no information for the
+/// transformation and are omitted, as the paper prescribes for "overly
+/// complex" subscripts.
+pub fn build_access_matrix(program: &Program, ordering: OrderingHeuristic) -> DataAccessMatrix {
+    let accesses = collect_accesses(program);
+    let nvars = program.nest.depth();
+    let mut rows: Vec<SubscriptRow> = Vec::new();
+    for acc in &accesses {
+        let decl = program.array(acc.reference.array);
+        for (dim, sub) in acc.reference.subscripts.iter().enumerate() {
+            let coeffs: IVec = sub.var_coeffs().to_vec();
+            if coeffs.iter().all(|&c| c == 0) {
+                continue;
+            }
+            let in_dist = decl.distribution.distributes(dim);
+            let in_contig = dim + 1 == decl.rank();
+            match rows.iter_mut().find(|r| r.coeffs == coeffs) {
+                Some(r) => {
+                    r.weight += 1;
+                    r.dist_weight += in_dist as usize;
+                    r.contig_weight += in_contig as usize;
+                    r.in_distribution_dim |= in_dist;
+                    if !r.occurrences.contains(&(acc.reference.array, dim)) {
+                        r.occurrences.push((acc.reference.array, dim));
+                    }
+                }
+                None => rows.push(SubscriptRow {
+                    coeffs,
+                    in_distribution_dim: in_dist,
+                    weight: 1,
+                    dist_weight: in_dist as usize,
+                    contig_weight: in_contig as usize,
+                    occurrences: vec![(acc.reference.array, dim)],
+                }),
+            }
+        }
+    }
+
+    match ordering {
+        OrderingHeuristic::DistributionFirst => {
+            // Stable sort keeps program order among ties.
+            rows.sort_by_key(|r| {
+                (
+                    std::cmp::Reverse(r.in_distribution_dim),
+                    std::cmp::Reverse(r.dist_weight),
+                    std::cmp::Reverse(r.weight),
+                )
+            });
+        }
+        OrderingHeuristic::InnermostContiguity => {
+            // Contiguity subscripts last (they normalize innermost),
+            // heavier ones closer to the innermost position.
+            rows.sort_by_key(|r| (r.contig_weight, std::cmp::Reverse(r.weight)));
+        }
+        OrderingHeuristic::ProgramOrder => {}
+    }
+
+    let mut matrix = IMatrix::zero(rows.len(), nvars);
+    for (i, r) in rows.iter().enumerate() {
+        for (j, &c) in r.coeffs.iter().enumerate() {
+            matrix[(i, j)] = c;
+        }
+    }
+    DataAccessMatrix { matrix, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> Program {
+        an_lang::parse(
+            "param N1 = 4; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_access_matrix() {
+        // Paper §2.2: the matrix is [[-1,1,0],[0,1,1],[1,0,0]].
+        let dam = build_access_matrix(&figure1(), OrderingHeuristic::DistributionFirst);
+        assert_eq!(
+            dam.matrix,
+            IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]])
+        );
+        assert!(dam.rows[0].in_distribution_dim); // j - i (twice)
+        assert_eq!(dam.rows[0].weight, 2);
+        assert!(dam.rows[1].in_distribution_dim); // j + k (once)
+        assert_eq!(dam.rows[1].weight, 1);
+        assert!(!dam.rows[2].in_distribution_dim); // i (three times)
+        assert_eq!(dam.rows[2].weight, 3);
+    }
+
+    #[test]
+    fn program_order_ablation() {
+        let dam = build_access_matrix(&figure1(), OrderingHeuristic::ProgramOrder);
+        // Program order: i (dim 0 of B), j-i, j+k.
+        assert_eq!(dam.matrix.row(0), &[1, 0, 0]);
+        assert_eq!(dam.matrix.row(1), &[-1, 1, 0]);
+        assert_eq!(dam.matrix.row(2), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn gemm_access_matrix() {
+        // Paper §8.1: [[0,1,0],[0,0,1],[1,0,0]] — j, k, i.
+        let p = an_lang::parse(
+            "param N = 4;
+             array C[N, N] distribute wrapped(1);
+             array A[N, N] distribute wrapped(1);
+             array B[N, N] distribute wrapped(1);
+             for i = 1, N { for j = 1, N { for k = 1, N {
+                 C[i - 1, j - 1] = C[i - 1, j - 1] + A[i - 1, k - 1] * B[k - 1, j - 1];
+             } } }",
+        )
+        .unwrap();
+        let dam = build_access_matrix(&p, OrderingHeuristic::DistributionFirst);
+        assert_eq!(
+            dam.matrix,
+            IMatrix::from_rows(&[&[0, 1, 0], &[0, 0, 1], &[1, 0, 0]])
+        );
+    }
+
+    #[test]
+    fn constant_subscripts_are_omitted() {
+        let p = an_lang::parse(
+            "param N = 4;
+             array A[N, N];
+             for i = 0, N - 1 { A[0, i] = 1.0; }",
+        )
+        .unwrap();
+        let dam = build_access_matrix(&p, OrderingHeuristic::DistributionFirst);
+        assert_eq!(dam.matrix.rows(), 1);
+        assert_eq!(dam.matrix.row(0), &[1]);
+    }
+
+    #[test]
+    fn occurrence_merging_tracks_arrays() {
+        let p = an_lang::parse(
+            "param N = 4;
+             array A[N] distribute wrapped(0);
+             array B[N];
+             for i = 0, N - 1 { A[i] = B[i] + 1.0; }",
+        )
+        .unwrap();
+        let dam = build_access_matrix(&p, OrderingHeuristic::DistributionFirst);
+        assert_eq!(dam.rows.len(), 1);
+        assert_eq!(dam.rows[0].weight, 2);
+        assert!(dam.rows[0].in_distribution_dim);
+        assert_eq!(dam.rows[0].occurrences.len(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors from the access-normalization pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Dependence analysis failed (non-uniform references or algebra).
+    Deps(an_deps::DepError),
+    /// The constructed matrix is not invertible — an internal invariant
+    /// violation that indicates a bug in padding.
+    NotInvertible,
+    /// The constructed matrix violates a dependence — an internal
+    /// invariant violation that indicates a bug in legalization.
+    IllegalTransform,
+    /// The program has no loops to transform.
+    EmptyNest,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Deps(e) => write!(f, "dependence analysis failed: {e}"),
+            CoreError::NotInvertible => {
+                write!(f, "internal error: constructed transform is singular")
+            }
+            CoreError::IllegalTransform => {
+                write!(
+                    f,
+                    "internal error: constructed transform violates dependences"
+                )
+            }
+            CoreError::EmptyNest => write!(f, "program has no loops"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Deps(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<an_deps::DepError> for CoreError {
+    fn from(e: an_deps::DepError) -> Self {
+        CoreError::Deps(e)
+    }
+}

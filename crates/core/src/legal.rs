@@ -1,0 +1,256 @@
+//! Algorithms LegalBasis (paper Figure 2) and LegalInvt (paper Figure 3):
+//! building a dependence-respecting invertible transformation from a
+//! basis matrix.
+
+use crate::padding::complete;
+use an_linalg::projection::{first_non_orthogonal_axis, project_onto_column_space};
+use an_linalg::{basis::first_row_basis, vector::dot, IMatrix};
+
+/// Result of [`legal_basis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegalBasisResult {
+    /// The legal basis: rows of the input, possibly negated, with
+    /// conflicted rows removed.
+    pub basis: IMatrix,
+    /// Per input row: what happened to it.
+    pub row_fates: Vec<RowFate>,
+}
+
+/// What LegalBasis did with one basis row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowFate {
+    /// Kept as-is.
+    Kept,
+    /// Kept with its sign flipped (loop reversal).
+    Negated,
+    /// Removed: it would have carried some dependence backwards while
+    /// carrying another forwards.
+    Dropped,
+}
+
+/// Algorithm LegalBasis (Figure 2).
+///
+/// Scans the basis rows in order against the dependence matrix `d`
+/// (columns are lexicographically positive distance vectors):
+///
+/// - if `row · d_j ≥ 0` for all remaining columns, the row is kept and
+///   the columns it carries (`> 0`) are dropped from consideration;
+/// - if `row · d_j ≤ 0` for all, the row is negated (loop reversal) and
+///   the columns it then carries are dropped;
+/// - otherwise the row is removed.
+///
+/// # Panics
+///
+/// Panics if `d.rows() != b.cols()`.
+pub fn legal_basis(b: &IMatrix, d: &IMatrix) -> LegalBasisResult {
+    assert_eq!(
+        d.rows(),
+        b.cols(),
+        "dependence matrix must have one row per loop variable"
+    );
+    let mut remaining: Vec<usize> = (0..d.cols()).collect();
+    let mut basis = IMatrix::zero(0, b.cols());
+    let mut row_fates = Vec::with_capacity(b.rows());
+    for i in 0..b.rows() {
+        let row = b.row(i);
+        let f: Vec<i64> = remaining.iter().map(|&j| dot(row, &d.col(j))).collect();
+        if f.iter().all(|&v| v >= 0) {
+            basis.push_row(row);
+            remaining = remaining
+                .iter()
+                .zip(&f)
+                .filter(|(_, &v)| v == 0)
+                .map(|(&j, _)| j)
+                .collect();
+            row_fates.push(RowFate::Kept);
+        } else if f.iter().all(|&v| v <= 0) {
+            let neg: Vec<i64> = row.iter().map(|&v| -v).collect();
+            basis.push_row(&neg);
+            remaining = remaining
+                .iter()
+                .zip(&f)
+                .filter(|(_, &v)| v == 0)
+                .map(|(&j, _)| j)
+                .collect();
+            row_fates.push(RowFate::Negated);
+        } else {
+            row_fates.push(RowFate::Dropped);
+        }
+    }
+    LegalBasisResult { basis, row_fates }
+}
+
+/// Algorithm LegalInvt (Figure 3).
+///
+/// Takes a *legal* basis `b` and the dependence matrix `d`, and returns
+/// an invertible `n x n` matrix whose transformation respects every
+/// dependence:
+///
+/// 1. replay the basis rows, dropping the dependences they carry;
+/// 2. while dependences remain, add the integer-scaled projection
+///    `x = c·Z(ZᵀZ)⁻¹Zᵀ·e_k` of the first non-orthogonal axis onto the
+///    column space `Z` of the remaining dependences — its inner product
+///    with every remaining column is non-negative and positive for at
+///    least one, which it then carries;
+/// 3. complete with Algorithm Padding.
+///
+/// # Panics
+///
+/// Panics if `d.rows() != b.cols()` or if `b` is not legal with respect
+/// to `d` (some `row · d_j < 0`).
+pub fn legal_invt(b: &IMatrix, d: &IMatrix) -> IMatrix {
+    assert_eq!(
+        d.rows(),
+        b.cols(),
+        "dependence matrix must have one row per loop variable"
+    );
+    let mut basis = b.clone();
+    // Step 1: drop dependences carried by the existing rows.
+    let mut remaining: Vec<usize> = (0..d.cols()).collect();
+    for i in 0..b.rows() {
+        let row = b.row(i);
+        remaining.retain(|&j| {
+            let v = dot(row, &d.col(j));
+            assert!(v >= 0, "legal_invt requires a legal basis");
+            v == 0
+        });
+    }
+    // Step 2: carry the remaining dependences with projection rows.
+    while !remaining.is_empty() {
+        let dd = d.select_cols(&remaining);
+        // Column basis Z of the remaining dependence matrix.
+        let col_sel = first_row_basis(&dd.transpose());
+        let z = dd.select_cols(&col_sel.kept);
+        let k =
+            first_non_orthogonal_axis(&dd).expect("non-empty dependence matrix has a non-zero row");
+        let x = project_onto_column_space(&z, k)
+            .expect("first non-orthogonal axis has non-zero projection");
+        remaining.retain(|&j| {
+            let v = dot(&x, &d.col(j));
+            debug_assert!(v >= 0, "projection row must not reverse dependences");
+            v == 0
+        });
+        basis.push_row(&x);
+    }
+    // Step 3: complete to invertible.
+    complete(&basis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an_linalg::lex_positive;
+
+    fn check_legal(t: &IMatrix, d: &IMatrix) {
+        let td = t.mul(d).unwrap();
+        for c in 0..td.cols() {
+            assert!(
+                lex_positive(&td.col(c)),
+                "column {c} of T*D not lex-positive:\nT=\n{t}\nD=\n{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_section_6_1_example() {
+        // A = [[-1,1,0],[0,1,-1]], D = [0,0,1]^T: LegalBasis negates the
+        // second row.
+        let a = IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, -1]]);
+        let d = IMatrix::col_vector(&[0, 0, 1]);
+        let r = legal_basis(&a, &d);
+        assert_eq!(r.basis, IMatrix::from_rows(&[&[-1, 1, 0], &[0, -1, 1]]));
+        assert_eq!(r.row_fates, vec![RowFate::Kept, RowFate::Negated]);
+    }
+
+    #[test]
+    fn conflicted_row_is_dropped() {
+        // Row (1, -1) against dependences (1,0) and (0,1): products 1 and
+        // -1 — mixed signs, dropped.
+        let a = IMatrix::from_rows(&[&[1, -1]]);
+        let d = IMatrix::from_rows(&[&[1, 0], &[0, 1]]);
+        let r = legal_basis(&a, &d);
+        assert_eq!(r.basis.rows(), 0);
+        assert_eq!(r.row_fates, vec![RowFate::Dropped]);
+    }
+
+    #[test]
+    fn carried_dependences_release_inner_rows() {
+        // First row carries the dependence, so the second row is free to
+        // have a negative product.
+        let a = IMatrix::from_rows(&[&[1, 0], &[0, -1]]);
+        let d = IMatrix::col_vector(&[1, 1]);
+        let r = legal_basis(&a, &d);
+        assert_eq!(r.row_fates, vec![RowFate::Kept, RowFate::Kept]);
+        assert_eq!(r.basis, a);
+    }
+
+    #[test]
+    fn paper_section_6_2_example() {
+        // B = [-1, 1, 0] legal w.r.t. D = [[0,0],[1,0],[0,1]]; the first
+        // dependence is carried (product 1), the second needs a
+        // projection row: x = e3. Final matrix matches the paper's
+        // T = [[-1,1,0],[0,0,1],[0,1,0]].
+        let b = IMatrix::from_rows(&[&[-1, 1, 0]]);
+        let d = IMatrix::from_rows(&[&[0, 0], &[1, 0], &[0, 1]]);
+        let t = legal_invt(&b, &d);
+        assert_eq!(
+            t,
+            IMatrix::from_rows(&[&[-1, 1, 0], &[0, 0, 1], &[0, 1, 0]])
+        );
+        assert!(t.is_invertible());
+        check_legal(&t, &d);
+    }
+
+    #[test]
+    fn empty_basis_all_dependences() {
+        // No usable subscripts: LegalInvt must still carry everything.
+        let b = IMatrix::zero(0, 3);
+        let d = IMatrix::from_rows(&[&[1, 0], &[0, 1], &[-2, 3]]);
+        let t = legal_invt(&b, &d);
+        assert!(t.is_invertible());
+        check_legal(&t, &d);
+    }
+
+    #[test]
+    fn no_dependences_is_padding_only() {
+        let b = IMatrix::from_rows(&[&[0, 1, 1]]);
+        let d = IMatrix::zero(3, 0);
+        let t = legal_invt(&b, &d);
+        assert!(t.is_invertible());
+        assert_eq!(t.row(0), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn full_pipeline_legality_on_random_cases() {
+        // Deterministic pseudo-random smoke: basis rows from a fixed set,
+        // dependences lex-positive.
+        type RowsCols = (Vec<Vec<i64>>, Vec<Vec<i64>>);
+        let cases: Vec<RowsCols> = vec![
+            (vec![vec![1, 1, 0]], vec![vec![0, 1, 0], vec![0, 0, 1]]),
+            (
+                vec![vec![0, 1, -1], vec![1, 0, 0]],
+                vec![vec![1, -1, 2], vec![0, 2, -1]],
+            ),
+            (vec![], vec![vec![0, 0, 1]]),
+            (vec![vec![2, 0, 1]], vec![vec![1, 0, 0]]),
+        ];
+        for (brows, dcols) in cases {
+            let b = if brows.is_empty() {
+                IMatrix::zero(0, 3)
+            } else {
+                let refs: Vec<&[i64]> = brows.iter().map(|r| r.as_slice()).collect();
+                IMatrix::from_rows(&refs)
+            };
+            let mut d = IMatrix::zero(3, dcols.len());
+            for (c, col) in dcols.iter().enumerate() {
+                for r in 0..3 {
+                    d[(r, c)] = col[r];
+                }
+            }
+            let lb = legal_basis(&b, &d);
+            let t = legal_invt(&lb.basis, &d);
+            assert!(t.is_invertible());
+            check_legal(&t, &d);
+        }
+    }
+}

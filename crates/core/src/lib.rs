@@ -1,0 +1,62 @@
+//! Access normalization — the primary contribution of *Li & Pingali,
+//! "Access Normalization: Loop Restructuring for NUMA Compilers"*
+//! (ASPLOS 1992).
+//!
+//! Given an affine loop nest with user-specified data distributions, the
+//! goal is an **invertible integer matrix** `T` that restructures the
+//! nest so that as many important array subscripts as possible become
+//! *normal* — equal to a loop index of the new nest — with the most
+//! important subscript normalized to the outermost loop. Distributing
+//! the outermost loop then makes those accesses local, and subscripts
+//! normalized to the second loop become block-transferable.
+//!
+//! The pipeline (paper Sections 2–6):
+//!
+//! 1. [`access_matrix`] — build the **data access matrix** from the
+//!    program's subscripts, ordered by the importance heuristic
+//!    (distribution-dimension subscripts first, weighted by occurrence).
+//! 2. [`an_linalg::basis::first_row_basis`] — **Algorithm BasisMatrix**:
+//!    keep a maximal independent set of rows, earlier rows winning.
+//! 3. [`legal::legal_basis`] — **Algorithm LegalBasis** (Figure 2):
+//!    negate or drop basis rows so no dependence is reversed.
+//! 4. [`legal::legal_invt`] — **Algorithm LegalInvt** (Figure 3): pad
+//!    with projection-derived rows until every dependence is carried.
+//! 5. [`padding::padding`] — **Algorithm Padding** (Section 5.2):
+//!    complete to an invertible matrix with identity rows.
+//!
+//! The [`normalize()`] driver runs the whole pipeline:
+//!
+//! ```
+//! use an_core::{normalize, NormalizeOptions};
+//!
+//! // Figure 1(a) of the paper.
+//! let p = an_lang::parse("
+//!     param N1 = 4; param b = 3; param N2 = 4;
+//!     array A[N1, N1 + N2 + b] distribute wrapped(1);
+//!     array B[N1, b] distribute wrapped(1);
+//!     for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+//!         B[i, j - i] = B[i, j - i] + A[i, j + k];
+//!     } } }
+//! ").unwrap();
+//! let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+//! // The paper's transformation matrix (its Figure 1(c)).
+//! assert_eq!(r.transform.row(0), &[-1, 1, 0]);
+//! assert_eq!(r.transform.row(1), &[0, 1, 1]);
+//! assert_eq!(r.transform.row(2), &[1, 0, 0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access_matrix;
+pub mod legal;
+pub mod normalize;
+pub mod padding;
+pub mod report;
+
+mod error;
+
+pub use access_matrix::{build_access_matrix, DataAccessMatrix, OrderingHeuristic, SubscriptRow};
+pub use error::CoreError;
+pub use normalize::{normalize, NormalizeOptions, NormalizeResult, NormalizedSubscript};
+pub use report::explain;

@@ -1,0 +1,283 @@
+//! The access-normalization driver: from program to legal invertible
+//! transformation.
+
+use crate::access_matrix::{build_access_matrix, DataAccessMatrix, OrderingHeuristic};
+use crate::legal::{legal_basis, legal_invt};
+use crate::CoreError;
+use an_deps::{analyze, is_legal, DepOptions, DependenceInfo};
+use an_ir::Program;
+use an_linalg::basis::first_row_basis;
+use an_linalg::IMatrix;
+
+/// Options for [`normalize`].
+#[derive(Debug, Clone, Default)]
+pub struct NormalizeOptions {
+    /// Row-ordering heuristic for the data access matrix.
+    pub ordering: OrderingHeuristic,
+    /// Dependence analysis options.
+    pub deps: DepOptions,
+}
+
+/// Where an access-matrix subscript ended up after normalization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizedSubscript {
+    /// Index of the row in the data access matrix.
+    pub row: usize,
+    /// The loop (in the *new* nest) this subscript is normal with
+    /// respect to, or `None` if it was not normalized.
+    pub normal_wrt: Option<usize>,
+    /// `true` if the subscript occurs in a distribution dimension.
+    pub in_distribution_dim: bool,
+}
+
+/// The result of access normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizeResult {
+    /// The legal, invertible transformation matrix `T` (new iteration
+    /// vector = `T ·` old iteration vector).
+    pub transform: IMatrix,
+    /// The data access matrix the transformation was derived from.
+    pub access_matrix: DataAccessMatrix,
+    /// The dependence information used for legality.
+    pub dependences: DependenceInfo,
+    /// Per access-matrix row: whether (and where) it was normalized.
+    pub subscripts: Vec<NormalizedSubscript>,
+    /// Row indices (into the access matrix) kept by `BasisMatrix`.
+    pub basis_rows: Vec<usize>,
+    /// What `LegalBasis` did with each basis row, in basis order.
+    pub row_fates: Vec<crate::legal::RowFate>,
+    /// `true` if the candidate was replaced by the identity because a
+    /// direction-vector summary could not be proven legal.
+    pub fell_back_to_identity: bool,
+}
+
+impl NormalizeResult {
+    /// Number of subscripts that became normal (equal to a loop index of
+    /// the transformed nest).
+    pub fn normalized_count(&self) -> usize {
+        self.subscripts
+            .iter()
+            .filter(|s| s.normal_wrt.is_some())
+            .count()
+    }
+
+    /// Returns `true` if the most important subscript was normalized to
+    /// the outermost loop (the precondition for locality on the
+    /// distribution dimension).
+    pub fn outermost_normalized(&self) -> bool {
+        self.subscripts
+            .first()
+            .is_some_and(|s| s.normal_wrt == Some(0))
+    }
+}
+
+/// Runs the full access-normalization pipeline (paper Sections 2–6):
+/// data access matrix → `BasisMatrix` → `LegalBasis` → `LegalInvt` →
+/// `Padding`.
+///
+/// The returned transformation is always invertible and respects every
+/// analyzed dependence; in the worst case (every subscript conflicted)
+/// it degenerates to a permutation of the identity.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyNest`] for a zero-depth program and
+/// [`CoreError::Deps`] if dependence analysis fails. The internal
+/// invariant errors ([`CoreError::NotInvertible`],
+/// [`CoreError::IllegalTransform`]) are checked defensively and indicate
+/// bugs rather than user mistakes.
+pub fn normalize(program: &Program, opts: &NormalizeOptions) -> Result<NormalizeResult, CoreError> {
+    let n = program.nest.depth();
+    if n == 0 {
+        return Err(CoreError::EmptyNest);
+    }
+    let access_matrix = build_access_matrix(program, opts.ordering);
+    let dependences = analyze(program, &opts.deps)?;
+
+    // BasisMatrix: maximal independent row set, earlier rows first.
+    let selection = first_row_basis(&access_matrix.matrix);
+    let basis = selection.basis_matrix(&access_matrix.matrix);
+
+    // LegalBasis + LegalInvt + Padding.
+    let lb = legal_basis(&basis, &dependences.matrix);
+    let mut transform = legal_invt(&lb.basis, &dependences.matrix);
+    let mut fell_back_to_identity = false;
+
+    // Defensive invariant check: the construction must be invertible.
+    if !transform.is_invertible() {
+        return Err(CoreError::NotInvertible);
+    }
+    // LegalBasis/LegalInvt guarantee legality against the *distance*
+    // matrix; direction vectors (non-uniform pairs) are checked after
+    // the fact, falling back to the identity when the candidate cannot
+    // be proven safe — the identity is always legal for canonical
+    // summaries.
+    if !is_legal(&transform, &dependences) {
+        transform = IMatrix::identity(n);
+        fell_back_to_identity = true;
+        if !is_legal(&transform, &dependences) {
+            return Err(CoreError::IllegalTransform);
+        }
+    }
+
+    // Report which subscripts are normal in the new nest: the subscript
+    // row r (old coordinates) reads as r·T⁻¹ in new coordinates, which
+    // equals a new loop index l iff r equals row l of T.
+    let subscripts = access_matrix
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(row, info)| {
+            let normal_wrt = (0..n).find(|&l| transform.row(l) == info.coeffs.as_slice());
+            NormalizedSubscript {
+                row,
+                normal_wrt,
+                in_distribution_dim: info.in_distribution_dim,
+            }
+        })
+        .collect();
+
+    Ok(NormalizeResult {
+        transform,
+        access_matrix,
+        dependences,
+        subscripts,
+        basis_rows: selection.kept,
+        row_fates: lb.row_fates,
+        fell_back_to_identity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> Program {
+        an_lang::parse(
+            "param N1 = 4; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_transform_matches_paper() {
+        let r = normalize(&figure1(), &NormalizeOptions::default()).unwrap();
+        assert_eq!(
+            r.transform,
+            IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]])
+        );
+        assert_eq!(r.normalized_count(), 3);
+        assert!(r.outermost_normalized());
+    }
+
+    #[test]
+    fn gemm_transform_matches_paper() {
+        // §8.1: T = [[0,1,0],[0,0,1],[1,0,0]].
+        let p = an_lang::parse(
+            "param N = 4;
+             array C[N, N] distribute wrapped(1);
+             array A[N, N] distribute wrapped(1);
+             array B[N, N] distribute wrapped(1);
+             for i = 0, N - 1 { for j = 0, N - 1 { for k = 0, N - 1 {
+                 C[i, j] = C[i, j] + A[i, k] * B[k, j];
+             } } }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        assert_eq!(
+            r.transform,
+            IMatrix::from_rows(&[&[0, 1, 0], &[0, 0, 1], &[1, 0, 0]])
+        );
+        assert!(r.outermost_normalized());
+    }
+
+    #[test]
+    fn syr2k_basis_is_legalized() {
+        // §8.2: the first basis needs its second row negated; the result
+        // must be invertible, legal, and normalize the Cb subscript
+        // (j − i) to the outermost loop.
+        let p = an_lang::parse(
+            "param N = 10; param b = 3;
+             array Ab[N + 1, 2 * b + 1] distribute wrapped(1);
+             array Bb[N + 1, 2 * b + 1] distribute wrapped(1);
+             array Cb[N + 1, 2 * b + 1] distribute wrapped(1);
+             for i = 1, N {
+               for j = i, min(i + 2 * b - 2, N) {
+                 for k = max(i - b + 1, j - b + 1, 1), min(i + b - 1, j + b - 1, N) {
+                   Cb[i, j - i + 1] = Cb[i, j - i + 1]
+                     + Ab[k, i - k + b] * Bb[k, j - k + b]
+                     + Ab[k, j - k + b] * Bb[k, i - k + b];
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        assert!(r.transform.is_invertible());
+        assert!(an_deps::is_legal(&r.transform, &r.dependences));
+        // Outer row is j - i.
+        assert_eq!(r.transform.row(0), &[-1, 1, 0]);
+        assert!(r.outermost_normalized());
+        // At least the three independent subscripts should normalize.
+        assert!(r.normalized_count() >= 2, "normalized {:?}", r.subscripts);
+    }
+
+    #[test]
+    fn identity_when_no_information() {
+        // No array accesses with loop-variant subscripts: transform is
+        // the identity (padding only).
+        let p = an_lang::parse(
+            "param N = 4; array A[1, N];
+             for i = 0, N - 1 { for j = 0, N - 1 { A[0, 0] = 1.0; } }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        assert_eq!(r.transform, IMatrix::identity(2));
+        assert_eq!(r.normalized_count(), 0);
+    }
+
+    #[test]
+    fn recurrence_forces_legal_fallback() {
+        // A[i+1, j] = A[i, j]: distance (1, 0). The access matrix wants
+        // j outermost (wrapped column), which is fine; but i+1 and i rows
+        // give basis rows that must respect (1,0).
+        let p = an_lang::parse(
+            "param N = 6;
+             array A[N + 1, N] distribute wrapped(1);
+             for i = 0, N - 1 { for j = 0, N - 1 {
+                 A[i + 1, j] = A[i, j] + 1.0;
+             } }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        assert!(r.transform.is_invertible());
+        assert!(an_deps::is_legal(&r.transform, &r.dependences));
+        // j normalized outermost: wrapped-column locality preserved.
+        assert_eq!(r.transform.row(0), &[0, 1]);
+    }
+
+    #[test]
+    fn empty_nest_is_an_error() {
+        use an_ir::{LoopNest, Program};
+        let p = Program {
+            params: vec![],
+            coefs: vec![],
+            arrays: vec![],
+            assumptions: vec![],
+            nest: LoopNest {
+                space: an_poly::Space::new(&[], &[]),
+                bounds: vec![],
+                body: vec![],
+            },
+        };
+        assert_eq!(
+            normalize(&p, &NormalizeOptions::default()),
+            Err(CoreError::EmptyNest)
+        );
+    }
+}

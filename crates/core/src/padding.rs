@@ -1,0 +1,100 @@
+//! Algorithm Padding (paper Section 5.2): completing a full-row-rank
+//! matrix to an invertible one with identity rows.
+
+use an_linalg::basis::independent_columns;
+use an_linalg::IMatrix;
+
+/// Computes the padding rows for a full-row-rank `m x n` matrix `b`:
+/// one identity row `e_j` for every column `j` outside a maximal
+/// independent column set of `b`. Stacking `b` on top of the result is
+/// invertible.
+///
+/// For the degenerate case `m == 0`, the padding is the full identity.
+///
+/// ```
+/// use an_core::padding::padding;
+/// use an_linalg::IMatrix;
+/// // Paper §5.2: B = [[1,1,-1,0],[0,0,1,-1]]; columns 0 and 2 are
+/// // independent, so the padding supplies e1 and e3.
+/// let b = IMatrix::from_rows(&[&[1, 1, -1, 0], &[0, 0, 1, -1]]);
+/// let h = padding(&b);
+/// assert_eq!(h, IMatrix::from_rows(&[&[0, 1, 0, 0], &[0, 0, 0, 1]]));
+/// assert!(b.vstack(&h).unwrap().is_invertible());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `b` does not have full row rank (callers pass a basis).
+pub fn padding(b: &IMatrix) -> IMatrix {
+    let n = b.cols();
+    let indep = independent_columns(b);
+    assert_eq!(
+        indep.len(),
+        b.rows(),
+        "padding requires a full-row-rank matrix"
+    );
+    let mut h = IMatrix::zero(n - b.rows(), n);
+    let mut row = 0;
+    for j in 0..n {
+        if !indep.contains(&j) {
+            h[(row, j)] = 1;
+            row += 1;
+        }
+    }
+    h
+}
+
+/// Stacks `b` with its padding, yielding an invertible `n x n` matrix.
+///
+/// # Panics
+///
+/// Panics if `b` does not have full row rank.
+pub fn complete(b: &IMatrix) -> IMatrix {
+    let h = padding(b);
+    b.vstack(&h).expect("padding has matching width")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_basis_pads_to_identity() {
+        let b = IMatrix::zero(0, 3);
+        assert_eq!(padding(&b), IMatrix::identity(3));
+        assert_eq!(complete(&b), IMatrix::identity(3));
+    }
+
+    #[test]
+    fn full_basis_needs_no_padding() {
+        let b = IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]]);
+        assert_eq!(padding(&b).rows(), 0);
+        assert_eq!(complete(&b), b);
+    }
+
+    #[test]
+    fn completion_is_always_invertible() {
+        for rows in [
+            vec![vec![1i64, 1, -1, 0]],
+            vec![vec![1, 1, -1, 0], vec![0, 0, 1, -1]],
+            vec![vec![2, 4, 0], vec![1, 5, 0]],
+            vec![vec![0, 0, 1]],
+        ] {
+            let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let b = IMatrix::from_rows(&refs);
+            let t = complete(&b);
+            assert!(t.is_invertible(), "completion of\n{b}\nis singular:\n{t}");
+            // The basis rows are preserved verbatim on top.
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(t.row(i), r.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "full-row-rank")]
+    fn rank_deficient_input_panics() {
+        let b = IMatrix::from_rows(&[&[1, 2], &[2, 4]]);
+        let _ = padding(&b);
+    }
+}

@@ -1,0 +1,202 @@
+//! Human-readable narration of the normalization pipeline — what the
+//! compiler saw, what it chose, and why. Backs the `anc --explain` flag.
+
+use crate::legal::RowFate;
+use crate::NormalizeResult;
+use an_ir::Program;
+use std::fmt::Write as _;
+
+/// Renders a step-by-step explanation of a normalization result.
+pub fn explain(program: &Program, r: &NormalizeResult) -> String {
+    let mut out = String::new();
+    let space = &program.nest.space;
+
+    let _ = writeln!(out, "== data access matrix (§2.2) ==");
+    for (i, row) in r.access_matrix.rows.iter().enumerate() {
+        let arrays: Vec<String> = row
+            .occurrences
+            .iter()
+            .map(|(a, d)| format!("{}[dim {d}]", program.array(*a).name))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  row {i}: {:?}  {}  x{}  in {}",
+            row.coeffs,
+            if row.in_distribution_dim {
+                "DISTRIBUTED"
+            } else {
+                "plain      "
+            },
+            row.weight,
+            arrays.join(", ")
+        );
+    }
+
+    let _ = writeln!(out, "\n== BasisMatrix (§5.1) ==");
+    let _ = writeln!(
+        out,
+        "  kept rows {:?} (rank {} of {})",
+        r.basis_rows,
+        r.basis_rows.len(),
+        r.access_matrix.rows.len()
+    );
+
+    let _ = writeln!(out, "\n== dependences (§6) ==");
+    if r.dependences.matrix.cols() == 0 && r.dependences.directions.is_empty() {
+        let _ = writeln!(out, "  none carried by any loop: fully parallel");
+    }
+    for c in 0..r.dependences.matrix.cols() {
+        let _ = writeln!(out, "  distance {:?}", r.dependences.matrix.col(c));
+    }
+    for dv in &r.dependences.directions {
+        let _ = writeln!(out, "  direction {dv} (non-uniform pair)");
+    }
+
+    let _ = writeln!(out, "\n== LegalBasis (§6.1) ==");
+    for (i, fate) in r.row_fates.iter().enumerate() {
+        let verb = match fate {
+            RowFate::Kept => "kept",
+            RowFate::Negated => "negated (loop reversal)",
+            RowFate::Dropped => "dropped (would reverse a dependence)",
+        };
+        let _ = writeln!(out, "  basis row {i}: {verb}");
+    }
+
+    let _ = writeln!(out, "\n== final transformation ==");
+    let _ = writeln!(out, "{}", indent(&r.transform.to_string(), "  "));
+    if r.fell_back_to_identity {
+        let _ = writeln!(
+            out,
+            "  (candidate was not provably legal against direction vectors; \
+             fell back to the identity)"
+        );
+    }
+    let det = r.transform.determinant();
+    let _ = writeln!(
+        out,
+        "  det = {det} ({})",
+        if det.abs() == 1 {
+            "unimodular"
+        } else {
+            "non-unimodular: lattice code generation engaged"
+        }
+    );
+
+    let _ = writeln!(out, "\n== normalized subscripts ==");
+    for sub in &r.subscripts {
+        let row = &r.access_matrix.rows[sub.row];
+        match sub.normal_wrt {
+            Some(l) => {
+                let _ = writeln!(
+                    out,
+                    "  {:?} -> normal w.r.t. new loop {} ({})",
+                    row.coeffs,
+                    l,
+                    new_loop_name(space, l)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  {:?} -> not normalized", row.coeffs);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n{} of {} subscripts normalized; outermost normalized: {}",
+        r.normalized_count(),
+        r.subscripts.len(),
+        r.outermost_normalized()
+    );
+    out
+}
+
+fn new_loop_name(space: &an_poly::Space, l: usize) -> String {
+    // Transformed programs use u/v/w/z names; reuse the convention.
+    const BASE: [&str; 4] = ["u", "v", "w", "z"];
+    if l < BASE.len() {
+        BASE[l].to_string()
+    } else {
+        format!("u{l}")
+    }
+    .to_string()
+        + if l < space.num_vars() { "" } else { "?" }
+}
+
+fn indent(s: &str, pad: &str) -> String {
+    s.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{normalize, NormalizeOptions};
+
+    #[test]
+    fn explains_figure1() {
+        let p = an_lang::parse(
+            "param N1 = 4; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        let text = explain(&p, &r);
+        assert!(
+            text.contains("row 0: [-1, 1, 0]  DISTRIBUTED  x2"),
+            "{text}"
+        );
+        assert!(text.contains("kept rows [0, 1, 2]"), "{text}");
+        assert!(text.contains("distance [0, 0, 1]"), "{text}");
+        assert!(text.contains("basis row 0: kept"), "{text}");
+        assert!(text.contains("det = 1 (unimodular)"), "{text}");
+        assert!(text.contains("normal w.r.t. new loop 0 (u)"), "{text}");
+        assert!(text.contains("3 of 3 subscripts normalized"), "{text}");
+    }
+
+    #[test]
+    fn explains_syr2k_negation_and_drop() {
+        let p = an_lang::parse(
+            "param N = 10; param b = 3;
+             array Ab[N + 1, 2 * b + 1] distribute wrapped(1);
+             array Bb[N + 1, 2 * b + 1] distribute wrapped(1);
+             array Cb[N + 1, 2 * b + 1] distribute wrapped(1);
+             for i = 1, N {
+               for j = i, min(i + 2 * b - 2, N) {
+                 for k = max(i - b + 1, j - b + 1, 1), min(i + b - 1, j + b - 1, N) {
+                   Cb[i, j - i + 1] = Cb[i, j - i + 1]
+                     + Ab[k, i - k + b] * Bb[k, j - k + b]
+                     + Ab[k, j - k + b] * Bb[k, i - k + b];
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        let text = explain(&p, &r);
+        assert!(text.contains("negated (loop reversal)"), "{text}");
+    }
+
+    #[test]
+    fn explains_identity_fallback() {
+        let p = an_lang::parse(
+            "param N = 8;
+             array A[N, N] distribute wrapped(1);
+             for i = 1, N - 1 { for j = 1, N - 1 {
+                 A[i, j] = A[j, i] + 1.0;
+             } }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        let text = explain(&p, &r);
+        if r.fell_back_to_identity {
+            assert!(text.contains("fell back to the identity"), "{text}");
+        }
+        assert!(text.contains("direction"), "{text}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the paper's algorithms on randomized inputs:
+//! LegalBasis/LegalInvt always produce legal invertible matrices, and
+//! padding always completes a basis.
+
+use an_core::legal::{legal_basis, legal_invt, RowFate};
+use an_core::padding::complete;
+use an_linalg::basis::first_row_basis;
+use an_linalg::{lex_negative, lex_positive, IMatrix};
+use proptest::prelude::*;
+
+/// Random access-matrix-like input: up to 5 rows over n variables.
+fn access_rows(n: usize) -> impl Strategy<Value = IMatrix> {
+    proptest::collection::vec(proptest::collection::vec(-3i64..=3, n), 0..=5).prop_map(
+        move |rows| {
+            let mut m = IMatrix::zero(0, n);
+            for r in rows {
+                m.push_row(&r);
+            }
+            m
+        },
+    )
+}
+
+/// Random dependence matrix: 0..4 canonical (lex-positive) columns.
+fn dependence_matrix(n: usize) -> impl Strategy<Value = IMatrix> {
+    proptest::collection::vec(proptest::collection::vec(-3i64..=3, n), 0..=4).prop_map(
+        move |cols| {
+            let mut keep: Vec<Vec<i64>> = Vec::new();
+            for c in cols {
+                let canon: Vec<i64> = if lex_negative(&c) {
+                    c.iter().map(|v| -v).collect()
+                } else {
+                    c
+                };
+                if lex_positive(&canon) && !keep.contains(&canon) {
+                    keep.push(canon);
+                }
+            }
+            let mut d = IMatrix::zero(n, keep.len());
+            for (j, col) in keep.iter().enumerate() {
+                for (i, &v) in col.iter().enumerate() {
+                    d[(i, j)] = v;
+                }
+            }
+            d
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pipeline_always_yields_legal_invertible(
+        a in access_rows(3),
+        d in dependence_matrix(3),
+    ) {
+        let sel = first_row_basis(&a);
+        let basis = sel.basis_matrix(&a);
+        let lb = legal_basis(&basis, &d);
+        // Fates align with input rows.
+        prop_assert_eq!(lb.row_fates.len(), basis.rows());
+        let kept = lb
+            .row_fates
+            .iter()
+            .filter(|f| **f != RowFate::Dropped)
+            .count();
+        prop_assert_eq!(lb.basis.rows(), kept);
+
+        let t = legal_invt(&lb.basis, &d);
+        prop_assert!(t.is_invertible(), "T singular:\n{}", t);
+        // Legality: every column of T·D is lex-positive.
+        let td = t.mul(&d).unwrap();
+        for c in 0..td.cols() {
+            prop_assert!(
+                lex_positive(&td.col(c)),
+                "T·D column {} not lex-positive\nT =\n{}\nD =\n{}",
+                c,
+                t,
+                d
+            );
+        }
+        // Kept (non-dropped) basis rows appear verbatim as leading rows.
+        for r in 0..lb.basis.rows() {
+            prop_assert_eq!(t.row(r), lb.basis.row(r));
+        }
+    }
+
+    #[test]
+    fn completion_preserves_basis_and_invertibility(a in access_rows(4)) {
+        let sel = first_row_basis(&a);
+        let basis = sel.basis_matrix(&a);
+        let t = complete(&basis);
+        prop_assert!(t.is_invertible());
+        for r in 0..basis.rows() {
+            prop_assert_eq!(t.row(r), basis.row(r));
+        }
+        // Determinant magnitude is bounded below by nothing but above by
+        // the Hadamard-ish growth; just sanity-check it's non-zero.
+        prop_assert!(t.determinant() != 0);
+    }
+
+    #[test]
+    fn legal_basis_never_flips_carried_order(
+        a in access_rows(3),
+        d in dependence_matrix(3),
+    ) {
+        let sel = first_row_basis(&a);
+        let basis = sel.basis_matrix(&a);
+        let lb = legal_basis(&basis, &d);
+        // Invariant (paper Fig 2): scanning the produced rows in order
+        // and dropping carried columns, no product is ever negative.
+        let mut remaining: Vec<usize> = (0..d.cols()).collect();
+        for r in 0..lb.basis.rows() {
+            let row = lb.basis.row(r);
+            let products: Vec<i64> = remaining
+                .iter()
+                .map(|&j| {
+                    (0..d.rows()).map(|i| row[i] * d[(i, j)]).sum::<i64>()
+                })
+                .collect();
+            for &p in &products {
+                prop_assert!(p >= 0);
+            }
+            remaining = remaining
+                .iter()
+                .zip(&products)
+                .filter(|(_, &p)| p == 0)
+                .map(|(&j, _)| j)
+                .collect();
+        }
+    }
+}

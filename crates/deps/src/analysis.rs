@@ -1,0 +1,393 @@
+//! Whole-program dependence analysis.
+
+use crate::direction::{enumerate_directions, DirectionVector};
+use crate::distance::{pair_distances, representatives, PairDistances};
+use crate::tests::{banerjee_test, gcd_test_refs};
+use crate::DepError;
+use an_ir::{collect_accesses, AccessInfo, ArrayId, Program};
+use an_linalg::{IMatrix, IVec};
+
+/// What kind of dependence a pair of accesses forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DependenceKind {
+    /// Write then read (true dependence).
+    Flow,
+    /// Read then write.
+    Anti,
+    /// Write then write.
+    Output,
+}
+
+/// One dependence edge with its representative distance vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dependence {
+    /// The array through which the dependence flows.
+    pub array: ArrayId,
+    /// Kind (by the roles of the two accesses).
+    pub kind: DependenceKind,
+    /// Statement index of the first access.
+    pub src_stmt: usize,
+    /// Statement index of the second access.
+    pub dst_stmt: usize,
+    /// Lexicographically positive representative distance vectors
+    /// (empty for direction-only edges).
+    pub distances: Vec<IVec>,
+    /// Canonical direction vectors (non-empty only for non-uniform
+    /// pairs, which have no constant distances).
+    pub directions: Vec<DirectionVector>,
+    /// `true` if `distances` provably captures every distance for
+    /// legality purposes (see [`representatives`]).
+    pub exact: bool,
+}
+
+/// Options controlling the analysis.
+#[derive(Debug, Clone)]
+pub struct DepOptions {
+    /// Multiplier window for sampling non-degenerate lattice cosets.
+    pub reach: i64,
+    /// Apply the Banerjee range test (using default parameter values)
+    /// to prune dependences whose distances cannot occur within bounds.
+    pub banerjee: bool,
+    /// Summarize non-uniform reference pairs with direction vectors
+    /// (paper §6's deferred extension) instead of failing the analysis.
+    pub directions: bool,
+}
+
+impl Default for DepOptions {
+    fn default() -> Self {
+        DepOptions {
+            reach: 3,
+            banerjee: true,
+            directions: true,
+        }
+    }
+}
+
+/// The analysis result: edges plus the assembled dependence matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependenceInfo {
+    /// All dependence edges found.
+    pub deps: Vec<Dependence>,
+    /// The dependence matrix `D`: one column per distinct distance
+    /// vector, `n` (= nesting depth) rows.
+    pub matrix: IMatrix,
+    /// All distinct direction vectors from non-uniform pairs.
+    pub directions: Vec<DirectionVector>,
+    /// Per-level iteration ranges (used for direction legality).
+    pub ranges: Vec<(i64, i64)>,
+    /// `true` if every edge is exact (legality checks against `matrix`
+    /// are then sound, not heuristic).
+    pub exact: bool,
+}
+
+impl DependenceInfo {
+    /// Returns `true` if the program has no loop-carried dependences.
+    pub fn is_fully_parallel(&self) -> bool {
+        self.matrix.cols() == 0 && self.directions.is_empty()
+    }
+}
+
+/// Analyzes a program and assembles its dependence matrix.
+///
+/// Considers every pair of accesses to the same array with at least one
+/// write (flow, anti and output dependences). Pairs proved independent by
+/// the GCD or Banerjee tests contribute nothing; uniform pairs contribute
+/// their representative distance vectors.
+///
+/// # Errors
+///
+/// [`DepError::NonUniform`] if a pair with a possible dependence is not
+/// uniformly generated (no constant-distance summary exists), or an
+/// algebra error.
+pub fn analyze(program: &Program, opts: &DepOptions) -> Result<DependenceInfo, DepError> {
+    let accesses = collect_accesses(program);
+    let n = program.nest.depth();
+    let params = program.default_param_values();
+    let ranges = iteration_ranges(program, &params);
+
+    let mut deps = Vec::new();
+    let mut columns: Vec<IVec> = Vec::new();
+    let mut directions: Vec<DirectionVector> = Vec::new();
+    let mut all_exact = true;
+
+    for (i, a1) in accesses.iter().enumerate() {
+        for a2 in &accesses[i..] {
+            if a1.reference.array != a2.reference.array {
+                continue;
+            }
+            if !a1.is_write && !a2.is_write {
+                continue; // input dependences do not constrain order
+            }
+            // Cheap disproofs first.
+            if !gcd_test_refs(&a1.reference, &a2.reference) {
+                continue;
+            }
+            if opts.banerjee {
+                let excluded = a1
+                    .reference
+                    .subscripts
+                    .iter()
+                    .zip(&a2.reference.subscripts)
+                    .any(|(s1, s2)| {
+                        !banerjee_test(&s1.bind_params(&params), &s2.bind_params(&params), &ranges)
+                    });
+                if excluded {
+                    continue;
+                }
+            }
+            match pair_distances(&a1.reference, &a2.reference)? {
+                PairDistances::Independent => {}
+                PairDistances::NonUniform => {
+                    if !opts.directions {
+                        return Err(DepError::NonUniform {
+                            array: program.array(a1.reference.array).name.clone(),
+                        });
+                    }
+                    let dvs = enumerate_directions(&a1.reference, &a2.reference, &ranges);
+                    if dvs.is_empty() {
+                        continue;
+                    }
+                    all_exact = false;
+                    for d in &dvs {
+                        if !directions.contains(d) {
+                            directions.push(d.clone());
+                        }
+                    }
+                    deps.push(Dependence {
+                        array: a1.reference.array,
+                        kind: kind_of(a1, a2),
+                        src_stmt: a1.stmt_index,
+                        dst_stmt: a2.stmt_index,
+                        distances: Vec::new(),
+                        directions: dvs,
+                        exact: false,
+                    });
+                }
+                PairDistances::Uniform(set) => {
+                    let (distances, exact) = representatives(&set, opts.reach);
+                    if distances.is_empty() {
+                        continue;
+                    }
+                    all_exact &= exact;
+                    for d in &distances {
+                        if !columns.contains(d) {
+                            columns.push(d.clone());
+                        }
+                    }
+                    deps.push(Dependence {
+                        array: a1.reference.array,
+                        kind: kind_of(a1, a2),
+                        src_stmt: a1.stmt_index,
+                        dst_stmt: a2.stmt_index,
+                        distances,
+                        directions: Vec::new(),
+                        exact,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut matrix = IMatrix::zero(n, columns.len());
+    for (c, col) in columns.iter().enumerate() {
+        for r in 0..n {
+            matrix[(r, c)] = col[r];
+        }
+    }
+    Ok(DependenceInfo {
+        deps,
+        matrix,
+        directions,
+        ranges,
+        exact: all_exact,
+    })
+}
+
+fn kind_of(a1: &AccessInfo, a2: &AccessInfo) -> DependenceKind {
+    match (a1.is_write, a2.is_write) {
+        (true, true) => DependenceKind::Output,
+        (true, false) => DependenceKind::Flow,
+        (false, true) => DependenceKind::Anti,
+        (false, false) => unreachable!("input pairs are filtered out"),
+    }
+}
+
+/// Conservative per-variable iteration ranges for the Banerjee test,
+/// from the loop bounds at the given parameter values: scan outer loops
+/// and track min/max of each variable.
+fn iteration_ranges(program: &Program, params: &[i64]) -> Vec<(i64, i64)> {
+    let n = program.nest.depth();
+    let mut ranges = vec![(i64::MAX, i64::MIN); n];
+    // Walk the iteration space only if it is small; otherwise fall back
+    // to evaluating bounds at extreme outer values (cheap and safe).
+    const WALK_LIMIT: u64 = 200_000;
+    if matches!(
+        program.nest.iteration_count_capped(params, WALK_LIMIT),
+        Ok(Some(_))
+    ) {
+        let _ = program.nest.for_each_iteration(params, |pt| {
+            for (k, &v) in pt.iter().enumerate() {
+                ranges[k].0 = ranges[k].0.min(v);
+                ranges[k].1 = ranges[k].1.max(v);
+            }
+        });
+        for r in &mut ranges {
+            if r.0 > r.1 {
+                *r = (0, 0);
+            }
+        }
+        return ranges;
+    }
+    // Fallback: propagate interval bounds level by level.
+    let mut lo = vec![0i64; n];
+    let mut hi = vec![0i64; n];
+    for k in 0..n {
+        // Evaluate bound expressions at the corners of the outer
+        // hyper-box (2^k of them, but k is small in practice).
+        let mut best_lo = i64::MAX;
+        let mut best_hi = i64::MIN;
+        let corners = 1usize << k.min(12);
+        for mask in 0..corners {
+            let mut pt = vec![0i64; n];
+            for (bit, slot) in pt.iter_mut().enumerate().take(k) {
+                *slot = if mask >> bit & 1 == 1 {
+                    hi[bit]
+                } else {
+                    lo[bit]
+                };
+            }
+            if let Some((l, h)) = program.nest.bounds[k].eval(&pt, params) {
+                best_lo = best_lo.min(l);
+                best_hi = best_hi.max(h);
+            }
+        }
+        lo[k] = best_lo;
+        hi[k] = best_hi;
+        if lo[k] > hi[k] {
+            lo[k] = 0;
+            hi[k] = 0;
+        }
+        ranges[k] = (lo[k], hi[k]);
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use an_ir::build::NestBuilder;
+    use an_ir::{Distribution, Expr};
+
+    /// GEMM: C[i,j] += A[i,k] * B[k,j].
+    fn gemm() -> Program {
+        let mut b = NestBuilder::new(&["i", "j", "k"], &[("N", 6)]);
+        let n = b.par(0);
+        let c = b.array(
+            "C",
+            &[n.clone(), n.clone()],
+            Distribution::Wrapped { dim: 1 },
+        );
+        let a = b.array(
+            "A",
+            &[n.clone(), n.clone()],
+            Distribution::Wrapped { dim: 1 },
+        );
+        let bb = b.array(
+            "B",
+            &[n.clone(), n.clone()],
+            Distribution::Wrapped { dim: 1 },
+        );
+        let n1 = n.sub(&b.cst(1));
+        b.bounds(0, b.cst(0), n1.clone());
+        b.bounds(1, b.cst(0), n1.clone());
+        b.bounds(2, b.cst(0), n1);
+        let cij = b.access(c, &[b.var(0), b.var(1)]);
+        let rhs = Expr::add(
+            Expr::access(cij.clone()),
+            Expr::mul(
+                Expr::access(b.access(a, &[b.var(0), b.var(2)])),
+                Expr::access(b.access(bb, &[b.var(2), b.var(1)])),
+            ),
+        );
+        b.assign(cij, rhs);
+        b.finish()
+    }
+
+    #[test]
+    fn gemm_dependence_matrix() {
+        let info = analyze(&gemm(), &DepOptions::default()).unwrap();
+        assert!(info.exact);
+        assert_eq!(info.matrix.rows(), 3);
+        assert_eq!(info.matrix.cols(), 1);
+        assert_eq!(info.matrix.col(0), vec![0, 0, 1]);
+        // Flow, anti and output edges on C all collapse to the same
+        // distance column.
+        assert!(info
+            .deps
+            .iter()
+            .any(|d| d.kind == DependenceKind::Flow || d.kind == DependenceKind::Output));
+        assert!(!info.is_fully_parallel());
+    }
+
+    #[test]
+    fn fully_parallel_loop() {
+        // A[i] = B[i] + 1: no loop-carried dependences.
+        let mut b = NestBuilder::new(&["i"], &[("N", 8)]);
+        let a = b.array("A", &[b.par(0)], Distribution::Wrapped { dim: 0 });
+        let bb = b.array("B", &[b.par(0)], Distribution::Wrapped { dim: 0 });
+        b.bounds(0, b.cst(0), b.par(0).sub(&b.cst(1)));
+        let lhs = b.access(a, &[b.var(0)]);
+        let rhs = Expr::add(Expr::access(b.access(bb, &[b.var(0)])), Expr::lit(1.0));
+        b.assign(lhs, rhs);
+        let info = analyze(&b.finish(), &DepOptions::default()).unwrap();
+        assert!(info.is_fully_parallel());
+        assert!(info.exact);
+    }
+
+    #[test]
+    fn shifted_recurrence() {
+        // A[i] = A[i-1]: distance 1 on the only loop.
+        let mut b = NestBuilder::new(&["i"], &[("N", 8)]);
+        let a = b.array("A", &[b.par(0)], Distribution::Blocked { dim: 0 });
+        b.bounds(0, b.cst(1), b.par(0).sub(&b.cst(1)));
+        let lhs = b.access(a, &[b.var(0)]);
+        let rhs = Expr::access(b.access(a, &[b.var(0).sub(&b.cst(1))]));
+        b.assign(lhs, rhs);
+        let info = analyze(&b.finish(), &DepOptions::default()).unwrap();
+        assert_eq!(info.matrix.cols(), 1);
+        assert_eq!(info.matrix.col(0), vec![1]);
+        let flow = info
+            .deps
+            .iter()
+            .find(|d| d.kind == DependenceKind::Flow)
+            .unwrap();
+        assert_eq!(flow.distances, vec![vec![1]]);
+    }
+
+    #[test]
+    fn banerjee_prunes_far_offsets() {
+        // A[i] = A[i + 100] with i in 0..7: the offset can never be
+        // realized inside the bounds.
+        let mut b = NestBuilder::new(&["i"], &[("N", 8)]);
+        let a = b.array(
+            "A",
+            &[b.par(0).add(&b.cst(100))],
+            Distribution::Blocked { dim: 0 },
+        );
+        b.bounds(0, b.cst(0), b.par(0).sub(&b.cst(1)));
+        let lhs = b.access(a, &[b.var(0)]);
+        let rhs = Expr::access(b.access(a, &[b.var(0).add(&b.cst(100))]));
+        b.assign(lhs, rhs);
+        let with = analyze(&b.clone().finish(), &DepOptions::default()).unwrap();
+        assert!(with.is_fully_parallel());
+        let without = analyze(
+            &b.finish(),
+            &DepOptions {
+                banerjee: false,
+                ..DepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(without.matrix.cols(), 1); // kept without range info
+    }
+}

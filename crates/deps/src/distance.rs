@@ -1,0 +1,273 @@
+//! Exact distance-vector extraction for uniformly generated references.
+//!
+//! Two references are *uniformly generated* when their subscript
+//! functions have the same linear part in the loop variables; their
+//! element equation `A·x + c1 = A·y + c2` then fixes the iteration
+//! difference set `{d = y − x : A·d = c1 − c2}` — a coset of the integer
+//! null-space lattice of `A`, independent of the particular iteration.
+//! This covers every reference pair the paper transforms (and most of
+//! practice); non-uniform pairs are reported as such.
+
+use crate::DepError;
+use an_ir::ArrayRef;
+use an_linalg::solve::{solve_integer, IntegerSolution};
+use an_linalg::{lex_negative, IMatrix, IVec, LinalgError};
+
+/// The full distance set of a uniformly generated pair: every distance
+/// is `particular + Σ λᵢ·kernel[i]`, `λᵢ ∈ Z`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceSet {
+    /// One solution of `A·d = c1 − c2`.
+    pub particular: IVec,
+    /// Basis of the integer null space of the subscript matrix.
+    pub kernel: Vec<IVec>,
+}
+
+/// Result of analyzing one reference pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairDistances {
+    /// No iteration pair touches the same element.
+    Independent,
+    /// The distance set (uniform pair with integer solutions).
+    Uniform(DistanceSet),
+    /// The pair is not uniformly generated (distances not constant).
+    NonUniform,
+}
+
+/// Computes the distance set for a reference pair to the same array.
+///
+/// # Errors
+///
+/// Propagates internal algebra failures ([`DepError::Linalg`]); the
+/// interesting outcomes (`Independent`, `NonUniform`) are values, not
+/// errors.
+///
+/// # Panics
+///
+/// Panics if the references address different arrays or have mismatched
+/// ranks (callers pair references per array).
+pub fn pair_distances(r1: &ArrayRef, r2: &ArrayRef) -> Result<PairDistances, DepError> {
+    assert_eq!(r1.array, r2.array, "references to different arrays");
+    assert_eq!(
+        r1.subscripts.len(),
+        r2.subscripts.len(),
+        "rank mismatch between references"
+    );
+    let dims = r1.subscripts.len();
+    if dims == 0 {
+        return Ok(PairDistances::Uniform(DistanceSet {
+            particular: vec![],
+            kernel: vec![],
+        }));
+    }
+    let nvars = r1.subscripts[0].space().num_vars();
+    // Uniformity: equal linear parts and equal parameter parts.
+    for (s1, s2) in r1.subscripts.iter().zip(&r2.subscripts) {
+        if s1.var_coeffs() != s2.var_coeffs() || s1.param_coeffs() != s2.param_coeffs() {
+            return Ok(PairDistances::NonUniform);
+        }
+    }
+    // A·d = c1 − c2.
+    let mut a = IMatrix::zero(dims, nvars);
+    let mut rhs = vec![0i64; dims];
+    for (row, (s1, s2)) in r1.subscripts.iter().zip(&r2.subscripts).enumerate() {
+        for k in 0..nvars {
+            a[(row, k)] = s1.var_coeff(k);
+        }
+        rhs[row] = s1.constant_term() - s2.constant_term();
+    }
+    match solve_integer(&a, &rhs) {
+        Ok(IntegerSolution { particular, kernel }) => {
+            Ok(PairDistances::Uniform(DistanceSet { particular, kernel }))
+        }
+        Err(LinalgError::NoIntegerSolution) => Ok(PairDistances::Independent),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Converts a distance set into representative lexicographically positive
+/// distance vectors for the dependence matrix.
+///
+/// Every non-zero distance `d` in the set appears either as itself (if
+/// lex-positive) or as `−d` (the dependence runs the other way); the
+/// representative set is the canonicalized collection with multipliers
+/// `λᵢ ∈ [−reach, reach]`, deduplicated and reduced to lattice
+/// generators where possible. The boolean result reports whether the
+/// representatives are *provably complete* for legality checking:
+/// `true` when the kernel has rank ≤ 1 and the particular solution is in
+/// the kernel's span (so any `T` preserving the representatives preserves
+/// every distance).
+pub fn representatives(set: &DistanceSet, reach: i64) -> (Vec<IVec>, bool) {
+    let n = set.particular.len();
+    let mut out: Vec<IVec> = Vec::new();
+    let mut push = |d: IVec| {
+        if d.iter().all(|&v| v == 0) {
+            return; // loop-independent: no iteration-order constraint
+        }
+        let canon = if lex_negative(&d) {
+            d.iter().map(|&v| -v).collect()
+        } else {
+            d
+        };
+        if !out.contains(&canon) {
+            out.push(canon);
+        }
+    };
+
+    match set.kernel.len() {
+        0 => {
+            push(set.particular.clone());
+            (out, true)
+        }
+        1 => {
+            let k = &set.kernel[0];
+            let p_in_span = is_multiple(&set.particular, k);
+            if p_in_span {
+                // All distances are multiples of k: the primitive
+                // generator is a complete representative (λk lex-positive
+                // for all λ>0 iff k lex-positive after canonicalization,
+                // and T·(λk) lex-positive iff T·k lex-positive).
+                push(an_linalg::vector::primitive(k));
+                (out, true)
+            } else {
+                for lambda in -reach..=reach {
+                    let d: IVec = (0..n).map(|i| set.particular[i] + lambda * k[i]).collect();
+                    push(d);
+                }
+                (out, false)
+            }
+        }
+        _ => {
+            // Enumerate small multiplier combinations.
+            let mut lambdas = vec![-reach; set.kernel.len()];
+            loop {
+                let mut d = set.particular.clone();
+                for (ki, l) in set.kernel.iter().zip(&lambdas) {
+                    for i in 0..n {
+                        d[i] += l * ki[i];
+                    }
+                }
+                push(d);
+                // Advance the odometer.
+                let mut pos = 0;
+                loop {
+                    if pos == lambdas.len() {
+                        return (out, false);
+                    }
+                    if lambdas[pos] < reach {
+                        lambdas[pos] += 1;
+                        break;
+                    }
+                    lambdas[pos] = -reach;
+                    pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn is_multiple(p: &[i64], k: &[i64]) -> bool {
+    // p = λ·k for some integer λ (p = 0 counts).
+    if p.iter().all(|&v| v == 0) {
+        return true;
+    }
+    let Some(idx) = k.iter().position(|&v| v != 0) else {
+        return false;
+    };
+    if p[idx] % k[idx] != 0 {
+        return false;
+    }
+    let lambda = p[idx] / k[idx];
+    p.iter().zip(k).all(|(&pv, &kv)| pv == lambda * kv)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use an_ir::ArrayId;
+    use an_poly::{Affine, Space};
+
+    fn space3() -> Space {
+        Space::new(&["i", "j", "k"], &[])
+    }
+
+    fn r(subs: Vec<Affine>) -> ArrayRef {
+        ArrayRef::new(ArrayId(0), subs)
+    }
+
+    #[test]
+    fn figure1_b_self_dependence() {
+        // B[i, j-i] written and read: kernel = span{e_k}.
+        let s = space3();
+        let subs = vec![
+            Affine::var(&s, 0, 1),
+            Affine::var(&s, 1, 1).sub(&Affine::var(&s, 0, 1)),
+        ];
+        let d = pair_distances(&r(subs.clone()), &r(subs)).unwrap();
+        let PairDistances::Uniform(set) = d else {
+            panic!("expected uniform")
+        };
+        assert_eq!(set.particular, vec![0, 0, 0]);
+        assert_eq!(set.kernel.len(), 1);
+        let (reps, complete) = representatives(&set, 3);
+        assert_eq!(reps, vec![vec![0, 0, 1]]);
+        assert!(complete);
+    }
+
+    #[test]
+    fn constant_offset_pair() {
+        // A[i] and A[i - 2]: unique distance (2,·) — flows two iterations
+        // later.
+        let s = Space::new(&["i"], &[]);
+        let w = r(vec![Affine::var(&s, 0, 1)]);
+        let rd = r(vec![Affine::var(&s, 0, 1).sub(&Affine::constant(&s, 2))]);
+        // Element equation: i_w = i_r − 2 → d = i_r − i_w = 2.
+        let PairDistances::Uniform(set) = pair_distances(&w, &rd).unwrap() else {
+            panic!()
+        };
+        let (reps, complete) = representatives(&set, 3);
+        assert_eq!(reps, vec![vec![2]]);
+        assert!(complete);
+    }
+
+    #[test]
+    fn independent_by_parity() {
+        let s = Space::new(&["i"], &[]);
+        let a = r(vec![Affine::var(&s, 0, 2)]);
+        let b = r(vec![Affine::var(&s, 0, 2).add(&Affine::constant(&s, 1))]);
+        assert_eq!(pair_distances(&a, &b).unwrap(), PairDistances::Independent);
+    }
+
+    #[test]
+    fn non_uniform_detected() {
+        let s = Space::new(&["i", "j"], &[]);
+        let a = r(vec![Affine::var(&s, 0, 1)]);
+        let b = r(vec![Affine::var(&s, 1, 1)]);
+        assert_eq!(pair_distances(&a, &b).unwrap(), PairDistances::NonUniform);
+    }
+
+    #[test]
+    fn canonicalization_flips_sign() {
+        // A[i+1] write, A[i] read: d = -1 canonicalizes to 1.
+        let s = Space::new(&["i"], &[]);
+        let w = r(vec![Affine::var(&s, 0, 1).add(&Affine::constant(&s, 1))]);
+        let rd = r(vec![Affine::var(&s, 0, 1)]);
+        let PairDistances::Uniform(set) = pair_distances(&w, &rd).unwrap() else {
+            panic!()
+        };
+        let (reps, _) = representatives(&set, 3);
+        assert_eq!(reps, vec![vec![1]]);
+    }
+
+    #[test]
+    fn zero_distance_excluded() {
+        let s = Space::new(&["i"], &[]);
+        let a = r(vec![Affine::var(&s, 0, 1)]);
+        let PairDistances::Uniform(set) = pair_distances(&a, &a.clone()).unwrap() else {
+            panic!()
+        };
+        let (reps, complete) = representatives(&set, 3);
+        assert!(reps.is_empty());
+        assert!(complete);
+    }
+}

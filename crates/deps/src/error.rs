@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Errors from dependence analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DepError {
+    /// A reference pair could not be summarized as distance vectors, so
+    /// no exact dependence matrix exists (the paper's framework would
+    /// fall back to direction vectors here).
+    NonUniform {
+        /// Name of the array involved.
+        array: String,
+    },
+    /// A numeric problem from the algebra layer.
+    Linalg(an_linalg::LinalgError),
+}
+
+impl fmt::Display for DepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepError::NonUniform { array } => write!(
+                f,
+                "references to `{array}` are not uniformly generated; distances are not constant"
+            ),
+            DepError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DepError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<an_linalg::LinalgError> for DepError {
+    fn from(e: an_linalg::LinalgError) -> Self {
+        DepError::Linalg(e)
+    }
+}

@@ -1,0 +1,160 @@
+//! Transformation legality: lexicographic positivity of `T·D`.
+
+use crate::DependenceInfo;
+use an_linalg::{lex_positive, IMatrix};
+
+/// The dependence matrix of the restructured nest: `T·D`.
+///
+/// # Panics
+///
+/// Panics if `t.cols() != info.matrix.rows()`.
+pub fn transformed_dependences(t: &IMatrix, info: &DependenceInfo) -> IMatrix {
+    t.mul(&info.matrix)
+        .expect("transform and dependence matrix shapes must agree")
+}
+
+/// Returns `true` if the transformation `t` preserves every dependence:
+/// each column of `T·D` is lexicographically positive, and every
+/// direction vector passes the conservative interval check
+/// ([`crate::direction::legal_for_direction`]).
+///
+/// An empty dependence summary (fully parallel nest) makes every
+/// invertible transformation legal.
+///
+/// # Panics
+///
+/// Panics if `t.cols() != info.matrix.rows()`.
+pub fn is_legal(t: &IMatrix, info: &DependenceInfo) -> bool {
+    let td = transformed_dependences(t, info);
+    (0..td.cols()).all(|c| lex_positive(&td.col(c)))
+        && info
+            .directions
+            .iter()
+            .all(|dv| crate::direction::legal_for_direction(t, dv, &info.ranges))
+}
+
+/// The loop level that carries a distance vector (index of its leading
+/// positive entry), or `None` for the zero vector.
+pub fn carried_level(d: &[i64]) -> Option<usize> {
+    d.iter().position(|&v| v != 0)
+}
+
+/// For each distance column of the *transformed* dependence matrix
+/// `T·D`, the level of the new nest that carries it. Distributing the
+/// outermost loop is communication-free exactly when no dependence is
+/// carried at level 0.
+///
+/// # Panics
+///
+/// Panics if `t.cols() != info.matrix.rows()`.
+pub fn carried_levels(t: &IMatrix, info: &DependenceInfo) -> Vec<Option<usize>> {
+    let td = transformed_dependences(t, info);
+    (0..td.cols()).map(|c| carried_level(&td.col(c))).collect()
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::{DepOptions, Dependence, DependenceKind};
+    use an_ir::ArrayId;
+
+    fn info_with(columns: &[&[i64]]) -> DependenceInfo {
+        let n = columns.first().map_or(0, |c| c.len());
+        let mut m = IMatrix::zero(n, columns.len());
+        for (c, col) in columns.iter().enumerate() {
+            for r in 0..n {
+                m[(r, c)] = col[r];
+            }
+        }
+        DependenceInfo {
+            deps: columns
+                .iter()
+                .map(|c| Dependence {
+                    array: ArrayId(0),
+                    kind: DependenceKind::Flow,
+                    src_stmt: 0,
+                    dst_stmt: 0,
+                    distances: vec![c.to_vec()],
+                    directions: Vec::new(),
+                    exact: true,
+                })
+                .collect(),
+            matrix: m,
+            directions: Vec::new(),
+            ranges: vec![(0, 9); n],
+            exact: true,
+        }
+    }
+
+    #[test]
+    fn carried_level_classification() {
+        assert_eq!(carried_level(&[0, 0, 1]), Some(2));
+        assert_eq!(carried_level(&[1, -5, 0]), Some(0));
+        assert_eq!(carried_level(&[0, 0, 0]), None);
+        // Figure 1: the k-carried dependence moves to the new *second*
+        // loop under the paper's transform, freeing the outer loop.
+        let info = info_with(&[&[0, 0, 1]]);
+        let t = IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]]);
+        assert_eq!(carried_levels(&t, &info), vec![Some(1)]);
+        assert_eq!(carried_levels(&IMatrix::identity(3), &info), vec![Some(2)]);
+    }
+
+    #[test]
+    fn identity_is_always_legal() {
+        let info = info_with(&[&[0, 0, 1], &[1, -5, 2]]);
+        assert!(is_legal(&IMatrix::identity(3), &info));
+    }
+
+    #[test]
+    fn interchange_violating_example() {
+        // Distance (1, -1): legal originally, illegal after interchange.
+        let info = info_with(&[&[1, -1]]);
+        let swap = IMatrix::from_rows(&[&[0, 1], &[1, 0]]);
+        assert!(!is_legal(&swap, &info));
+        assert!(is_legal(&IMatrix::identity(2), &info));
+    }
+
+    #[test]
+    fn paper_section6_example() {
+        // A = [[-1,1,0],[0,1,-1]] with D = (0,0,1)^T: A·D = (0,-1) —
+        // cannot be padded legally (paper §6). After negating the second
+        // row: A1·D = (0, 1) — now the second loop carries it correctly.
+        let info = info_with(&[&[0, 0, 1]]);
+        let bad = IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, -1], &[1, 0, 0]]);
+        assert!(!is_legal(&bad, &info));
+        let good = IMatrix::from_rows(&[&[-1, 1, 0], &[0, -1, 1], &[1, 0, 0]]);
+        assert!(is_legal(&good, &info));
+    }
+
+    #[test]
+    fn empty_dependences_accept_anything() {
+        let info = info_with(&[]);
+        // 0-row matrix: give it explicit shape.
+        let mut info = info;
+        info.matrix = IMatrix::zero(2, 0);
+        let reverse = IMatrix::from_rows(&[&[-1, 0], &[0, -1]]);
+        assert!(is_legal(&reverse, &info));
+    }
+
+    #[test]
+    fn analysis_to_legality_round_trip() {
+        // for i { for j { A[i] = A[i-1] } }: distance (1, *) sampled as
+        // lattice; interchange moves the carried loop inward — illegal
+        // only if the j-component can be negative.
+        let p = an_lang::parse(
+            "param N = 6;
+             array A[N, N];
+             for i = 1, N - 1 { for j = 0, N - 1 {
+               A[i, j] = A[i - 1, j] + 1.0;
+             } }",
+        )
+        .unwrap();
+        let info = crate::analyze(&p, &DepOptions::default()).unwrap();
+        assert_eq!(info.matrix.col(0), vec![1, 0]);
+        let swap = IMatrix::from_rows(&[&[0, 1], &[1, 0]]);
+        // (1,0) interchanged becomes (0,1): still legal.
+        assert!(is_legal(&swap, &info));
+        let reverse_outer = IMatrix::from_rows(&[&[-1, 0], &[0, 1]]);
+        assert!(!is_legal(&reverse_outer, &info));
+    }
+}

@@ -1,0 +1,56 @@
+//! Dependence analysis for affine loop nests.
+//!
+//! The legality side of access normalization (paper Section 6) consumes a
+//! *dependence matrix* `D` whose columns are distance vectors: iteration
+//! differences `d = sink - source` between iterations that touch the same
+//! array element, with at least one of the touches a write. A loop
+//! transformation `T` is legal iff every column of `T·D` is
+//! lexicographically positive.
+//!
+//! This crate computes `D` for the IR of `an-ir`:
+//!
+//! - [`tests`] — classic independence provers (GCD test, Banerjee
+//!   inequalities) that rule dependence *out*;
+//! - [`distance`] — exact distance extraction for uniformly generated
+//!   reference pairs via integer lattice solving
+//!   ([`an_linalg::solve::solve_integer`]);
+//! - [`analysis`] — whole-program analysis assembling the dependence
+//!   matrix, with a brute-force oracle used by the test suite;
+//! - [`legality`] — the `T·D` lexicographic-positivity check.
+//!
+//! # Example
+//!
+//! ```
+//! use an_lang::parse;
+//! use an_deps::{analyze, DepOptions};
+//!
+//! // Figure 1(a) of the paper: the k loop carries a dependence on B.
+//! let p = parse("
+//!     param N1 = 4; param b = 3; param N2 = 4;
+//!     array A[N1, N1 + N2 + b] distribute wrapped(1);
+//!     array B[N1, b] distribute wrapped(1);
+//!     for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+//!         B[i, j - i] = B[i, j - i] + A[i, j + k];
+//!     } } }
+//! ").unwrap();
+//! let info = analyze(&p, &DepOptions::default()).unwrap();
+//! assert_eq!(info.matrix.cols(), 1);
+//! assert_eq!(info.matrix.col(0), vec![0, 0, 1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod direction;
+pub mod distance;
+pub mod graph;
+pub mod legality;
+pub mod tests;
+
+mod error;
+
+pub use analysis::{analyze, DepOptions, Dependence, DependenceInfo, DependenceKind};
+pub use direction::{Dir, DirectionVector};
+pub use error::DepError;
+pub use legality::{carried_level, carried_levels, is_legal, transformed_dependences};

@@ -1,0 +1,141 @@
+//! Independence provers: the GCD test and Banerjee's inequalities.
+//!
+//! Both tests answer "can these two references ever touch the same
+//! element?" — a `false` proves independence; a `true` is inconclusive
+//! (the exact machinery in [`crate::distance`] then takes over).
+
+use an_ir::ArrayRef;
+use an_linalg::gcd;
+use an_poly::Affine;
+
+/// GCD test for one pair of subscripts (same array dimension).
+///
+/// The element equation `s1(x) = s2(y)` in 2n unknowns has an integer
+/// solution only if `gcd` of all variable coefficients divides the
+/// constant difference. Returns `false` if independence is *proved*.
+///
+/// Parameters are treated conservatively: if any parameter coefficient
+/// differs between the two subscripts, the constant difference is unknown
+/// and the test returns `true` (inconclusive).
+pub fn gcd_test(s1: &Affine, s2: &Affine) -> bool {
+    if s1.param_coeffs() != s2.param_coeffs() {
+        return true;
+    }
+    let mut g = 0i64;
+    for &c in s1.var_coeffs().iter().chain(s2.var_coeffs()) {
+        g = gcd(g, c);
+    }
+    let diff = s2.constant_term() - s1.constant_term();
+    if g == 0 {
+        return diff == 0;
+    }
+    diff % g == 0
+}
+
+/// GCD test over every dimension of a reference pair: `false` proves the
+/// references never overlap.
+pub fn gcd_test_refs(r1: &ArrayRef, r2: &ArrayRef) -> bool {
+    debug_assert_eq!(r1.subscripts.len(), r2.subscripts.len());
+    r1.subscripts
+        .iter()
+        .zip(&r2.subscripts)
+        .all(|(a, b)| gcd_test(a, b))
+}
+
+/// Banerjee's inequalities for one subscript pair given per-variable
+/// iteration ranges `ranges[k] = (lo_k, hi_k)` (inclusive, from concrete
+/// loop bounds).
+///
+/// Tests whether `s1(x) - s2(y) = 0` is achievable when each `x_k, y_k`
+/// independently ranges over `ranges[k]`; returns `false` if the value
+/// range of the difference excludes zero (independence proved).
+///
+/// Parameters must have equal coefficients on both sides to conclude
+/// anything; otherwise the test is inconclusive (`true`).
+pub fn banerjee_test(s1: &Affine, s2: &Affine, ranges: &[(i64, i64)]) -> bool {
+    if s1.param_coeffs() != s2.param_coeffs() {
+        return true;
+    }
+    debug_assert_eq!(s1.var_coeffs().len(), ranges.len());
+    // diff = s1(x) - s2(y) + (c1 - c2); independent vars x and y.
+    let mut min = (s1.constant_term() - s2.constant_term()) as i128;
+    let mut max = min;
+    for (k, &(lo, hi)) in ranges.iter().enumerate() {
+        let a = s1.var_coeff(k) as i128;
+        let (alo, ahi) = if a >= 0 {
+            (a * lo as i128, a * hi as i128)
+        } else {
+            (a * hi as i128, a * lo as i128)
+        };
+        // minus s2 coefficient on the independent copy of the variable.
+        let b = -(s2.var_coeff(k) as i128);
+        let (blo, bhi) = if b >= 0 {
+            (b * lo as i128, b * hi as i128)
+        } else {
+            (b * hi as i128, b * lo as i128)
+        };
+        min += alo + blo;
+        max += ahi + bhi;
+    }
+    min <= 0 && 0 <= max
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use an_poly::Space;
+
+    fn space() -> Space {
+        Space::new(&["i", "j"], &["N"])
+    }
+
+    #[test]
+    fn gcd_proves_independence() {
+        let s = space();
+        // 2i and 2j + 1 can never be equal: gcd(2,2) = 2 does not divide 1.
+        let a = Affine::var(&s, 0, 2);
+        let b = Affine::var(&s, 1, 2).add(&Affine::constant(&s, 1));
+        assert!(!gcd_test(&a, &b));
+        // 2i and 2j + 4 can meet.
+        let c = Affine::var(&s, 1, 2).add(&Affine::constant(&s, 4));
+        assert!(gcd_test(&a, &c));
+    }
+
+    #[test]
+    fn gcd_constant_subscripts() {
+        let s = space();
+        let five = Affine::constant(&s, 5);
+        let six = Affine::constant(&s, 6);
+        assert!(gcd_test(&five, &five.clone()));
+        assert!(!gcd_test(&five, &six));
+    }
+
+    #[test]
+    fn gcd_parameter_mismatch_is_inconclusive() {
+        let s = space();
+        let a = Affine::param(&s, 0, 1);
+        let b = Affine::constant(&s, 3);
+        assert!(gcd_test(&a, &b));
+    }
+
+    #[test]
+    fn banerjee_range_exclusion() {
+        let s = space();
+        // s1 = i, s2 = j + 10, i and j both in [0, 5]: i - j - 10 in
+        // [-15, -5], never 0 -> independent.
+        let a = Affine::var(&s, 0, 1);
+        let b = Affine::var(&s, 1, 1).add(&Affine::constant(&s, 10));
+        assert!(!banerjee_test(&a, &b, &[(0, 5), (0, 5)]));
+        // Widen the range: now they can meet.
+        assert!(banerjee_test(&a, &b, &[(0, 20), (0, 20)]));
+    }
+
+    #[test]
+    fn banerjee_handles_negative_coefficients() {
+        let s = space();
+        // s1 = -i (range [-5, 0]), s2 = j + 3 (j in [0,5] -> s2 in [3, 8]).
+        let a = Affine::var(&s, 0, -1);
+        let b = Affine::var(&s, 1, 1).add(&Affine::constant(&s, 3));
+        assert!(!banerjee_test(&a, &b, &[(0, 5), (0, 5)]));
+    }
+}

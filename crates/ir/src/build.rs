@@ -1,0 +1,251 @@
+//! A fluent builder for IR programs.
+
+use crate::{
+    ArrayDecl, ArrayId, ArrayRef, Distribution, Expr, IrError, LoopNest, ParamDecl, Program, Stmt,
+};
+use an_poly::{Affine, BoundExpr, LoopBounds, Space};
+
+/// Builds a [`Program`] piece by piece.
+///
+/// ```
+/// use an_ir::build::NestBuilder;
+/// use an_ir::{Distribution, Expr};
+///
+/// // for i = 0, N-1 { A[i] = 2.0 }
+/// let mut b = NestBuilder::new(&["i"], &[("N", 16)]);
+/// let a = b.array("A", &[b.par(0)], Distribution::Wrapped { dim: 0 });
+/// b.bounds(0, b.cst(0), b.par(0).sub(&b.cst(1)));
+/// let lhs = b.access(a, &[b.var(0)]);
+/// b.assign(lhs, Expr::lit(2.0));
+/// let program = b.finish();
+/// assert_eq!(program.nest.iteration_count(&[16]).unwrap(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NestBuilder {
+    space: Space,
+    params: Vec<ParamDecl>,
+    coefs: Vec<crate::program::CoefDecl>,
+    arrays: Vec<ArrayDecl>,
+    assumptions: Vec<Affine>,
+    bounds: Vec<LoopBounds>,
+    body: Vec<Stmt>,
+}
+
+impl NestBuilder {
+    /// Starts a builder with loop variable names and `(parameter name,
+    /// default value)` pairs.
+    pub fn new(vars: &[&str], params: &[(&str, i64)]) -> NestBuilder {
+        let names: Vec<&str> = params.iter().map(|(n, _)| *n).collect();
+        let space = Space::new(vars, &names);
+        let bounds = (0..vars.len())
+            .map(|var| LoopBounds {
+                var,
+                lowers: Vec::new(),
+                uppers: Vec::new(),
+                guards: Vec::new(),
+            })
+            .collect();
+        NestBuilder {
+            space,
+            params: params
+                .iter()
+                .map(|(n, d)| ParamDecl {
+                    name: n.to_string(),
+                    default: *d,
+                })
+                .collect(),
+            coefs: Vec::new(),
+            arrays: Vec::new(),
+            assumptions: Vec::new(),
+            bounds,
+            body: Vec::new(),
+        }
+    }
+
+    /// The space being built against.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// The constant form `c`.
+    pub fn cst(&self, c: i64) -> Affine {
+        Affine::constant(&self.space, c)
+    }
+
+    /// The form `varᵢ`.
+    pub fn var(&self, i: usize) -> Affine {
+        Affine::var(&self.space, i, 1)
+    }
+
+    /// The form `paramⱼ`.
+    pub fn par(&self, j: usize) -> Affine {
+        Affine::param(&self.space, j, 1)
+    }
+
+    /// Declares an array and returns its id. Extents must be
+    /// variable-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an extent involves a loop variable.
+    pub fn array(&mut self, name: &str, dims: &[Affine], distribution: Distribution) -> ArrayId {
+        for d in dims {
+            assert!(
+                d.is_var_free(),
+                "array extent must not involve loop variables"
+            );
+        }
+        self.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            dims: dims.to_vec(),
+            distribution,
+        });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Sets simple bounds `lo ≤ var_k ≤ hi` for loop `k` (replacing any
+    /// previous bounds).
+    pub fn bounds(&mut self, k: usize, lo: Affine, hi: Affine) {
+        self.bounds[k] = LoopBounds {
+            var: k,
+            lowers: vec![BoundExpr {
+                expr: lo,
+                divisor: 1,
+            }],
+            uppers: vec![BoundExpr {
+                expr: hi,
+                divisor: 1,
+            }],
+            guards: Vec::new(),
+        };
+    }
+
+    /// Sets compound bounds `max(lowers) ≤ var_k ≤ min(uppers)` for loop
+    /// `k` (the SYR2K style of bounds).
+    pub fn bounds_multi(&mut self, k: usize, lowers: &[Affine], uppers: &[Affine]) {
+        self.bounds[k] = LoopBounds {
+            var: k,
+            lowers: lowers
+                .iter()
+                .map(|e| BoundExpr {
+                    expr: e.clone(),
+                    divisor: 1,
+                })
+                .collect(),
+            uppers: uppers
+                .iter()
+                .map(|e| BoundExpr {
+                    expr: e.clone(),
+                    divisor: 1,
+                })
+                .collect(),
+            guards: Vec::new(),
+        };
+    }
+
+    /// Declares a parameter precondition `e ≥ 0` (must be variable-free).
+    pub fn assume(&mut self, e: Affine) {
+        self.assumptions.push(e);
+    }
+
+    /// Declares a named scalar coefficient and returns an [`Expr`] that
+    /// reads it.
+    pub fn coef(&mut self, name: &str, value: f64) -> Expr {
+        if let Some(i) = self.coefs.iter().position(|c| c.name == name) {
+            return Expr::coef(i);
+        }
+        self.coefs.push(crate::program::CoefDecl {
+            name: name.to_string(),
+            value,
+        });
+        Expr::coef(self.coefs.len() - 1)
+    }
+
+    /// Builds an array reference.
+    pub fn access(&self, array: ArrayId, subscripts: &[Affine]) -> ArrayRef {
+        ArrayRef::new(array, subscripts.to_vec())
+    }
+
+    /// Appends an assignment to the loop body.
+    pub fn assign(&mut self, lhs: ArrayRef, rhs: Expr) {
+        self.body.push(Stmt::assign(lhs, rhs));
+    }
+
+    /// Finishes and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Any [`IrError`] from [`Program::validate`].
+    pub fn try_finish(self) -> Result<Program, IrError> {
+        let program = Program {
+            params: self.params,
+            coefs: self.coefs,
+            arrays: self.arrays,
+            assumptions: self.assumptions,
+            nest: LoopNest {
+                space: self.space,
+                bounds: self.bounds,
+                body: self.body,
+            },
+        };
+        program.validate()?;
+        Ok(program)
+    }
+
+    /// Finishes and validates the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the validation error message if the program is
+    /// malformed; use [`NestBuilder::try_finish`] to handle errors.
+    pub fn finish(self) -> Program {
+        match self.try_finish() {
+            Ok(p) => p,
+            Err(e) => panic!("invalid program: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compound_bounds() {
+        // for i = 0..9 { for k = max(i-2, 0) .. min(i+2, 9) }
+        let mut b = NestBuilder::new(&["i", "k"], &[]);
+        let a = b.array("A", &[b.cst(10)], Distribution::Replicated);
+        b.bounds(0, b.cst(0), b.cst(9));
+        b.bounds_multi(
+            1,
+            &[b.var(0).sub(&b.cst(2)), b.cst(0)],
+            &[b.var(0).add(&b.cst(2)), b.cst(9)],
+        );
+        let lhs = b.access(a, &[b.var(1)]);
+        b.assign(lhs, Expr::lit(1.0));
+        let p = b.finish();
+        let mut count = 0;
+        p.nest.for_each_iteration(&[], |_| count += 1).unwrap();
+        // i=0: k in 0..=2 (3); i=1: 0..=3 (4); i=2..=7: 5 each (30);
+        // i=8: 6..=9 (4); i=9: 7..=9 (3).
+        assert_eq!(count, 3 + 4 + 30 + 4 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid program")]
+    fn finish_panics_on_missing_bounds() {
+        let mut b = NestBuilder::new(&["i"], &[]);
+        let a = b.array("A", &[b.cst(4)], Distribution::Replicated);
+        let lhs = b.access(a, &[b.var(0)]);
+        b.assign(lhs, Expr::lit(1.0));
+        let _ = b.finish(); // bounds for loop 0 never set
+    }
+
+    #[test]
+    #[should_panic(expected = "extent must not involve loop variables")]
+    fn array_extent_with_variable_panics() {
+        let mut b = NestBuilder::new(&["i"], &[]);
+        let v = b.var(0);
+        b.array("A", &[v], Distribution::Replicated);
+    }
+}

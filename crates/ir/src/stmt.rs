@@ -1,0 +1,118 @@
+//! Statements and array references.
+
+use crate::{ArrayId, Expr};
+use an_poly::Affine;
+use std::fmt;
+
+/// An array reference `A[e₁, …, e_d]` with affine subscripts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayRef {
+    /// The referenced array.
+    pub array: ArrayId,
+    /// One affine subscript per array dimension.
+    pub subscripts: Vec<Affine>,
+}
+
+impl ArrayRef {
+    /// Creates a reference.
+    pub fn new(array: ArrayId, subscripts: Vec<Affine>) -> ArrayRef {
+        ArrayRef { array, subscripts }
+    }
+
+    /// Evaluates the subscripts at a concrete iteration point.
+    pub fn eval_subscripts(&self, var_values: &[i64], param_values: &[i64]) -> Vec<i64> {
+        self.subscripts
+            .iter()
+            .map(|s| s.eval(var_values, param_values))
+            .collect()
+    }
+
+    /// Rewrites the subscripts into a new variable space via
+    /// `old_vars = M · new_vars`.
+    pub fn substitute_vars(&self, m: &an_linalg::IMatrix, new_space: &an_poly::Space) -> ArrayRef {
+        ArrayRef {
+            array: self.array,
+            subscripts: self
+                .subscripts
+                .iter()
+                .map(|s| s.substitute_vars(m, new_space))
+                .collect(),
+        }
+    }
+}
+
+/// A statement in the loop body.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Stmt {
+    /// `lhs = rhs`.
+    Assign {
+        /// The written reference.
+        lhs: ArrayRef,
+        /// The value expression.
+        rhs: Expr,
+    },
+}
+
+impl Stmt {
+    /// Creates an assignment.
+    pub fn assign(lhs: ArrayRef, rhs: Expr) -> Stmt {
+        Stmt::Assign { lhs, rhs }
+    }
+
+    /// Rewrites all references into a new variable space via
+    /// `old_vars = M · new_vars`.
+    pub fn substitute_vars(&self, m: &an_linalg::IMatrix, new_space: &an_poly::Space) -> Stmt {
+        match self {
+            Stmt::Assign { lhs, rhs } => Stmt::Assign {
+                lhs: lhs.substitute_vars(m, new_space),
+                rhs: rhs.substitute_vars(m, new_space),
+            },
+        }
+    }
+}
+
+impl fmt::Display for ArrayRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}[", self.array.0)?;
+        for (i, s) in self.subscripts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an_poly::Space;
+
+    #[test]
+    fn subscript_evaluation() {
+        let s = Space::new(&["i", "j"], &["N"]);
+        let r = ArrayRef::new(
+            ArrayId(0),
+            vec![
+                Affine::var(&s, 0, 1),
+                Affine::var(&s, 1, 1).sub(&Affine::var(&s, 0, 1)),
+            ],
+        );
+        assert_eq!(r.eval_subscripts(&[2, 5], &[0]), vec![2, 3]);
+    }
+
+    #[test]
+    fn substitution_maps_subscripts() {
+        let s = Space::new(&["i", "j"], &[]);
+        let new = s.with_vars(&["u", "v"]);
+        // (i, j) = M (u, v), M = [[0,1],[1,0]]  (swap).
+        let m = an_linalg::IMatrix::from_rows(&[&[0, 1], &[1, 0]]);
+        let r = ArrayRef::new(ArrayId(3), vec![Affine::var(&s, 0, 1)]);
+        let t = r.substitute_vars(&m, &new);
+        // i becomes v.
+        assert_eq!(t.subscripts[0].var_coeffs(), &[0, 1]);
+        assert_eq!(t.array, ArrayId(3));
+    }
+}

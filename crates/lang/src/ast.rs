@@ -1,0 +1,172 @@
+//! The abstract syntax tree produced by the parser.
+
+use crate::token::Pos;
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstProgram {
+    /// `param N = 16;` declarations.
+    pub params: Vec<AstParam>,
+    /// `coef alpha = 1.5;` declarations.
+    pub coefs: Vec<AstCoef>,
+    /// `assume N >= 1;` declarations.
+    pub assumes: Vec<AstAssume>,
+    /// `array A[...] distribute ...;` declarations.
+    pub arrays: Vec<AstArray>,
+    /// The outermost loop.
+    pub nest: AstLoop,
+}
+
+/// A parameter precondition `lhs >= rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstAssume {
+    /// Left side.
+    pub lhs: AstAffine,
+    /// Right side.
+    pub rhs: AstAffine,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A scalar coefficient declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstCoef {
+    /// Coefficient name.
+    pub name: String,
+    /// Value.
+    pub value: f64,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A parameter declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstParam {
+    /// Parameter name.
+    pub name: String,
+    /// Default value.
+    pub default: i64,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// An array declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstArray {
+    /// Array name.
+    pub name: String,
+    /// Extent expressions (must lower to variable-free affine forms).
+    pub dims: Vec<AstAffine>,
+    /// Distribution clause (defaults to replicated when omitted).
+    pub distribution: AstDistribution,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A distribution clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstDistribution {
+    /// `replicated` (or omitted clause).
+    Replicated,
+    /// `wrapped(d)`.
+    Wrapped(usize),
+    /// `blocked(d)`.
+    Blocked(usize),
+    /// `block2d(d1, d2)`.
+    Block2D(usize, usize),
+}
+
+/// One `for` loop with its bounds and body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstLoop {
+    /// Loop variable name.
+    pub var: String,
+    /// Lower bound terms (singleton unless written `max(...)`).
+    pub lowers: Vec<AstAffine>,
+    /// Upper bound terms (singleton unless written `min(...)`).
+    pub uppers: Vec<AstAffine>,
+    /// Either a nested loop or statements.
+    pub body: AstBody,
+    /// Source position of the `for`.
+    pub pos: Pos,
+}
+
+/// A loop body: exactly one nested loop (perfect nesting) or a list of
+/// statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstBody {
+    /// A single nested loop.
+    Nested(Box<AstLoop>),
+    /// Innermost statements.
+    Stmts(Vec<AstStmt>),
+}
+
+/// An assignment statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstStmt {
+    /// Target array name.
+    pub array: String,
+    /// Target subscripts.
+    pub subscripts: Vec<AstAffine>,
+    /// Right-hand side value expression.
+    pub rhs: AstExpr,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Integer/affine expression AST (loop bounds, subscripts, extents).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstAffine {
+    /// Integer literal.
+    Num(i64, Pos),
+    /// Variable or parameter name.
+    Ident(String, Pos),
+    /// `-e`.
+    Neg(Box<AstAffine>, Pos),
+    /// `a + b`.
+    Add(Box<AstAffine>, Box<AstAffine>, Pos),
+    /// `a - b`.
+    Sub(Box<AstAffine>, Box<AstAffine>, Pos),
+    /// `a * b` (one side must lower to a constant).
+    Mul(Box<AstAffine>, Box<AstAffine>, Pos),
+}
+
+impl AstAffine {
+    /// The source position of the expression root.
+    pub fn pos(&self) -> Pos {
+        match self {
+            AstAffine::Num(_, p)
+            | AstAffine::Ident(_, p)
+            | AstAffine::Neg(_, p)
+            | AstAffine::Add(.., p)
+            | AstAffine::Sub(.., p)
+            | AstAffine::Mul(.., p) => *p,
+        }
+    }
+}
+
+/// Value (floating) expression AST for statement right-hand sides.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Numeric literal (integer literals are promoted).
+    Num(f64, Pos),
+    /// An array read `A[...]`, or a scalar coefficient name.
+    Ref(String, Vec<AstAffine>, Pos),
+    /// `-e`.
+    Neg(Box<AstExpr>, Pos),
+    /// Binary arithmetic.
+    Bin(AstBinOp, Box<AstExpr>, Box<AstExpr>, Pos),
+}
+
+/// Binary operators in value expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}

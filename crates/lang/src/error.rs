@@ -1,0 +1,58 @@
+use crate::token::Pos;
+use std::fmt;
+
+/// Errors from lexing, parsing or lowering source programs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LangError {
+    /// An unexpected character in the input.
+    Lex {
+        /// Position of the offending character.
+        pos: Pos,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// Position of the offending token.
+        pos: Pos,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A semantic error during lowering (unknown names, non-affine
+    /// subscripts, duplicate declarations, …).
+    Lower {
+        /// Position of the offending construct.
+        pos: Pos,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The lowered program failed IR validation.
+    Invalid(an_ir::IrError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            LangError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            LangError::Lower { pos, message } => write!(f, "semantic error at {pos}: {message}"),
+            LangError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LangError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<an_ir::IrError> for LangError {
+    fn from(e: an_ir::IrError) -> Self {
+        LangError::Invalid(e)
+    }
+}

@@ -1,0 +1,246 @@
+//! Hand-written lexer.
+
+use crate::token::{Pos, Token, TokenKind};
+use crate::LangError;
+
+/// Lexes a source text into tokens (ending with an `Eof` token).
+///
+/// Comments run from `//` to end of line.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] on unexpected characters or malformed
+/// numbers.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(ch) = c {
+                if ch == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    loop {
+        let pos = Pos { line, col };
+        let Some(&c) = chars.peek() else {
+            tokens.push(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+            return Ok(tokens);
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    // Line comment.
+                    while let Some(&ch) = chars.peek() {
+                        if ch == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Slash,
+                        pos,
+                    });
+                }
+            }
+            '>' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        pos,
+                    });
+                } else {
+                    return Err(LangError::Lex {
+                        pos,
+                        message: "expected `>=`".to_string(),
+                    });
+                }
+            }
+            '(' | ')' | '[' | ']' | '{' | '}' | ',' | ';' | '=' | '+' | '-' | '*' => {
+                bump!();
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    ',' => TokenKind::Comma,
+                    ';' => TokenKind::Semi,
+                    '=' => TokenKind::Eq,
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    _ => TokenKind::Star,
+                };
+                tokens.push(Token { kind, pos });
+            }
+            '0'..='9' => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_ascii_digit() {
+                        text.push(ch);
+                        bump!();
+                    } else if ch == '.' && !is_float {
+                        is_float = true;
+                        text.push(ch);
+                        bump!();
+                    } else if (ch == 'e' || ch == 'E') && !text.is_empty() {
+                        // Exponent: e[+/-]digits.
+                        let mut clone = chars.clone();
+                        clone.next();
+                        match clone.peek() {
+                            Some(&d) if d.is_ascii_digit() || d == '+' || d == '-' => {
+                                is_float = true;
+                                text.push(ch);
+                                bump!();
+                                if let Some(&sign) = chars.peek() {
+                                    if sign == '+' || sign == '-' {
+                                        text.push(sign);
+                                        bump!();
+                                    }
+                                }
+                            }
+                            _ => break,
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LangError::Lex {
+                        pos,
+                        message: format!("malformed number `{text}`"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LangError::Lex {
+                        pos,
+                        message: format!("integer literal `{text}` out of range"),
+                    })?)
+                };
+                tokens.push(Token { kind, pos });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        text.push(ch);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    pos,
+                });
+            }
+            other => {
+                return Err(LangError::Lex {
+                    pos,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("for i = 0, N-1 {"),
+            vec![
+                TokenKind::Ident("for".into()),
+                TokenKind::Ident("i".into()),
+                TokenKind::Eq,
+                TokenKind::Int(0),
+                TokenKind::Comma,
+                TokenKind::Ident("N".into()),
+                TokenKind::Minus,
+                TokenKind::Int(1),
+                TokenKind::LBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("2 2.5 1e3 7"),
+            vec![
+                TokenKind::Int(2),
+                TokenKind::Float(2.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Int(7),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment ; { \n b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_character() {
+        assert!(matches!(lex("a ? b"), Err(LangError::Lex { .. })));
+    }
+
+    #[test]
+    fn division_is_not_comment() {
+        assert_eq!(
+            kinds("a / b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

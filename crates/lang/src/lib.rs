@@ -1,0 +1,73 @@
+//! A small FORTRAN-D-like surface language for affine loop nests with
+//! data distribution declarations.
+//!
+//! The paper's compiler consumes FORTRAN-77 extended with distribution
+//! declarations; this crate provides the equivalent front end for the
+//! Rust pipeline. The grammar (see [`parser`]) covers exactly what the
+//! algorithms need: parameter declarations, distributed array
+//! declarations, one perfectly nested affine loop nest, and assignment
+//! statements whose subscripts are affine in the loop indices.
+//!
+//! ```
+//! let src = r#"
+//!     param N = 16;
+//!     array A[N, N] distribute wrapped(1);
+//!     for i = 0, N - 1 {
+//!       for j = i, N - 1 {
+//!         A[i, j] = A[i, j] + 1.0;
+//!       }
+//!     }
+//! "#;
+//! let program = an_lang::parse(src)?;
+//! assert_eq!(program.nest.depth(), 2);
+//! assert_eq!(program.arrays.len(), 1);
+//! # Ok::<(), an_lang::LangError>(())
+//! ```
+//!
+//! # Grammar
+//!
+//! ```text
+//! program   := decl* loop
+//! decl      := "param" IDENT "=" INT ";"
+//!            | "coef" IDENT "=" NUMBER ";"
+//!            | "assume" affine ">=" affine ";"
+//!            | "array" IDENT "[" affine ("," affine)* "]"
+//!              ("distribute" dist)? ";"
+//! dist      := "wrapped" "(" INT ")" | "blocked" "(" INT ")"
+//!            | "block2d" "(" INT "," INT ")" | "replicated"
+//! loop      := "for" IDENT "=" bound "," bound "{" (loop | stmt*) "}"
+//! bound     := "max" "(" affine ("," affine)* ")"
+//!            | "min" "(" affine ("," affine)* ")"
+//!            | affine
+//! stmt      := IDENT "[" affine ("," affine)* "]" "=" expr ";"
+//! expr      := term (("+" | "-") term)*
+//! term      := factor (("*" | "/") factor)*
+//! factor    := "-" factor | "(" expr ")" | NUMBER
+//!            | IDENT "[" affine ("," affine)* "]"
+//! affine    := linear arithmetic over INT, loop variables, parameters
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+mod error;
+
+pub use error::LangError;
+
+/// Parses and lowers a source text into an IR [`Program`](an_ir::Program).
+///
+/// # Errors
+///
+/// Returns a [`LangError`] with line/column information for lexical,
+/// syntactic and semantic (lowering) failures.
+pub fn parse(src: &str) -> Result<an_ir::Program, LangError> {
+    let tokens = lexer::lex(src)?;
+    let ast = parser::parse_tokens(&tokens)?;
+    lower::lower(&ast)
+}

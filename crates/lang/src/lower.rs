@@ -1,0 +1,454 @@
+//! Lowering from AST to the affine IR.
+
+use crate::ast::*;
+use crate::token::Pos;
+use crate::LangError;
+use an_ir::{
+    ArrayDecl, ArrayId, ArrayRef, CoefDecl, Distribution, Expr, LoopNest, ParamDecl, Program, Stmt,
+};
+use an_poly::{Affine, BoundExpr, LoopBounds, Space};
+
+/// Lowers a parsed program to a validated IR [`Program`].
+///
+/// # Errors
+///
+/// [`LangError::Lower`] for semantic problems (unknown names, non-affine
+/// subscripts, duplicate declarations, inner-variable bounds) and
+/// [`LangError::Invalid`] if the result fails IR validation.
+pub fn lower(ast: &AstProgram) -> Result<Program, LangError> {
+    // Collect loop variables outermost-in.
+    let mut vars = Vec::new();
+    let mut cursor = Some(&ast.nest);
+    while let Some(l) = cursor {
+        if vars.contains(&l.var) {
+            return err(l.pos, format!("duplicate loop variable `{}`", l.var));
+        }
+        vars.push(l.var.clone());
+        cursor = match &l.body {
+            AstBody::Nested(inner) => Some(inner),
+            AstBody::Stmts(_) => None,
+        };
+    }
+    let params: Vec<String> = ast.params.iter().map(|p| p.name.clone()).collect();
+    for p in &ast.params {
+        if vars.contains(&p.name) {
+            return err(
+                p.pos,
+                format!("`{}` is both a parameter and a loop variable", p.name),
+            );
+        }
+        if params.iter().filter(|n| **n == p.name).count() > 1 {
+            return err(p.pos, format!("duplicate parameter `{}`", p.name));
+        }
+    }
+    let space = Space::from_names(vars, params);
+
+    let mut ctx = Ctx {
+        space: &space,
+        ast,
+        coefs: ast
+            .coefs
+            .iter()
+            .map(|c| CoefDecl {
+                name: c.name.clone(),
+                value: c.value,
+            })
+            .collect(),
+        array_names: ast.arrays.iter().map(|a| a.name.clone()).collect(),
+    };
+    for c in &ast.coefs {
+        if ctx.array_names.contains(&c.name)
+            || space.var_index(&c.name).is_some()
+            || space.param_index(&c.name).is_some()
+        {
+            return err(
+                c.pos,
+                format!("`{}` declared with conflicting roles", c.name),
+            );
+        }
+    }
+
+    // Assumptions.
+    let mut assumptions = Vec::new();
+    for a in &ast.assumes {
+        let lhs = ctx.affine(&a.lhs)?;
+        let rhs = ctx.affine(&a.rhs)?;
+        let e = lhs.sub(&rhs);
+        if !e.is_var_free() {
+            return err(a.pos, "assume must not involve loop variables");
+        }
+        assumptions.push(e);
+    }
+
+    // Arrays.
+    let mut arrays = Vec::new();
+    for a in &ast.arrays {
+        if ctx.array_names.iter().filter(|n| **n == a.name).count() > 1 {
+            return err(a.pos, format!("duplicate array `{}`", a.name));
+        }
+        let mut dims = Vec::new();
+        for d in &a.dims {
+            let aff = ctx.affine(d)?;
+            if !aff.is_var_free() {
+                return err(d.pos(), "array extent must not involve loop variables");
+            }
+            dims.push(aff);
+        }
+        let distribution = match a.distribution {
+            AstDistribution::Replicated => Distribution::Replicated,
+            AstDistribution::Wrapped(d) => Distribution::Wrapped { dim: d },
+            AstDistribution::Blocked(d) => Distribution::Blocked { dim: d },
+            AstDistribution::Block2D(d1, d2) => Distribution::Block2D {
+                row_dim: d1,
+                col_dim: d2,
+            },
+        };
+        arrays.push(ArrayDecl {
+            name: a.name.clone(),
+            dims,
+            distribution,
+        });
+    }
+
+    // Loops and body.
+    let mut bounds = Vec::new();
+    let mut body = Vec::new();
+    let mut cursor = Some(&ast.nest);
+    let mut depth = 0usize;
+    while let Some(l) = cursor {
+        let mut lowers = Vec::new();
+        for e in &l.lowers {
+            let aff = ctx.affine(e)?;
+            check_outer_only(&aff, depth, e.pos())?;
+            lowers.push(BoundExpr {
+                expr: aff,
+                divisor: 1,
+            });
+        }
+        let mut uppers = Vec::new();
+        for e in &l.uppers {
+            let aff = ctx.affine(e)?;
+            check_outer_only(&aff, depth, e.pos())?;
+            uppers.push(BoundExpr {
+                expr: aff,
+                divisor: 1,
+            });
+        }
+        bounds.push(LoopBounds {
+            var: depth,
+            lowers,
+            uppers,
+            guards: Vec::new(),
+        });
+        match &l.body {
+            AstBody::Nested(inner) => cursor = Some(inner),
+            AstBody::Stmts(stmts) => {
+                for s in stmts {
+                    body.push(ctx.stmt(s)?);
+                }
+                cursor = None;
+            }
+        }
+        depth += 1;
+    }
+
+    let program = Program {
+        params: ast
+            .params
+            .iter()
+            .map(|p| ParamDecl {
+                name: p.name.clone(),
+                default: p.default,
+            })
+            .collect(),
+        coefs: ctx.coefs,
+        arrays,
+        assumptions,
+        nest: LoopNest {
+            space,
+            bounds,
+            body,
+        },
+    };
+    program.validate()?;
+    Ok(program)
+}
+
+fn err<T>(pos: Pos, message: impl Into<String>) -> Result<T, LangError> {
+    Err(LangError::Lower {
+        pos,
+        message: message.into(),
+    })
+}
+
+fn check_outer_only(aff: &Affine, depth: usize, pos: Pos) -> Result<(), LangError> {
+    for k in depth..aff.space().num_vars() {
+        if aff.var_coeff(k) != 0 {
+            return err(
+                pos,
+                format!(
+                    "loop bound may only reference outer loop variables, but uses `{}`",
+                    aff.space().var_name(k)
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+struct Ctx<'a> {
+    space: &'a Space,
+    ast: &'a AstProgram,
+    coefs: Vec<CoefDecl>,
+    array_names: Vec<String>,
+}
+
+impl Ctx<'_> {
+    fn affine(&self, e: &AstAffine) -> Result<Affine, LangError> {
+        match e {
+            AstAffine::Num(v, _) => Ok(Affine::constant(self.space, *v)),
+            AstAffine::Ident(name, pos) => {
+                if let Some(i) = self.space.var_index(name) {
+                    Ok(Affine::var(self.space, i, 1))
+                } else if let Some(j) = self.space.param_index(name) {
+                    Ok(Affine::param(self.space, j, 1))
+                } else {
+                    err(*pos, format!("unknown name `{name}` in affine expression"))
+                }
+            }
+            AstAffine::Neg(a, _) => Ok(self.affine(a)?.neg()),
+            AstAffine::Add(a, b, _) => Ok(self.affine(a)?.add(&self.affine(b)?)),
+            AstAffine::Sub(a, b, _) => Ok(self.affine(a)?.sub(&self.affine(b)?)),
+            AstAffine::Mul(a, b, pos) => {
+                let la = self.affine(a)?;
+                let lb = self.affine(b)?;
+                let const_of = |x: &Affine| -> Option<i64> {
+                    (x.is_var_free() && x.param_coeffs().iter().all(|&c| c == 0))
+                        .then(|| x.constant_term())
+                };
+                if let Some(c) = const_of(&la) {
+                    Ok(lb.scale(c))
+                } else if let Some(c) = const_of(&lb) {
+                    Ok(la.scale(c))
+                } else {
+                    err(
+                        *pos,
+                        "non-affine product: one factor must be an integer constant",
+                    )
+                }
+            }
+        }
+    }
+
+    fn array_id(&self, name: &str, pos: Pos) -> Result<ArrayId, LangError> {
+        self.array_names
+            .iter()
+            .position(|n| n == name)
+            .map(ArrayId)
+            .ok_or_else(|| LangError::Lower {
+                pos,
+                message: format!("unknown array `{name}`"),
+            })
+    }
+
+    fn stmt(&mut self, s: &AstStmt) -> Result<Stmt, LangError> {
+        let array = self.array_id(&s.array, s.pos)?;
+        let subscripts = s
+            .subscripts
+            .iter()
+            .map(|e| self.affine(e))
+            .collect::<Result<Vec<_>, _>>()?;
+        let rhs = self.expr(&s.rhs)?;
+        Ok(Stmt::assign(ArrayRef::new(array, subscripts), rhs))
+    }
+
+    fn expr(&mut self, e: &AstExpr) -> Result<Expr, LangError> {
+        match e {
+            AstExpr::Num(v, _) => Ok(Expr::lit(*v)),
+            AstExpr::Neg(a, _) => Ok(Expr::neg(self.expr(a)?)),
+            AstExpr::Bin(op, a, b, _) => {
+                let la = self.expr(a)?;
+                let lb = self.expr(b)?;
+                Ok(match op {
+                    AstBinOp::Add => Expr::add(la, lb),
+                    AstBinOp::Sub => Expr::sub(la, lb),
+                    AstBinOp::Mul => Expr::mul(la, lb),
+                    AstBinOp::Div => Expr::div(la, lb),
+                })
+            }
+            AstExpr::Ref(name, subs, pos) => {
+                if subs.is_empty() {
+                    // Bare identifier: a declared coefficient, or an
+                    // implicitly declared one with value 1.0.
+                    if self.array_names.contains(name) {
+                        return err(*pos, format!("array `{name}` used without subscripts"));
+                    }
+                    if self.space.var_index(name).is_some()
+                        || self.space.param_index(name).is_some()
+                    {
+                        return err(
+                            *pos,
+                            format!("`{name}` is not a scalar value in expressions"),
+                        );
+                    }
+                    let idx = match self.coefs.iter().position(|c| c.name == *name) {
+                        Some(i) => i,
+                        None => {
+                            self.coefs.push(CoefDecl {
+                                name: name.clone(),
+                                value: 1.0,
+                            });
+                            self.coefs.len() - 1
+                        }
+                    };
+                    Ok(Expr::coef(idx))
+                } else {
+                    let array = self.array_id(name, *pos)?;
+                    let decl = &self.ast.arrays[array.0];
+                    if subs.len() != decl.dims.len() {
+                        return err(
+                            *pos,
+                            format!(
+                                "array `{name}` has rank {} but reference has {} subscripts",
+                                decl.dims.len(),
+                                subs.len()
+                            ),
+                        );
+                    }
+                    let subscripts = subs
+                        .iter()
+                        .map(|e| self.affine(e))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(Expr::access(ArrayRef::new(array, subscripts)))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+    use crate::LangError;
+
+    #[test]
+    fn lowers_figure_1a() {
+        let p = parse(
+            "param N1 = 8; param b = 4; param N2 = 8;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 {
+               for j = i, i + b - 1 {
+                 for k = 0, N2 - 1 {
+                   B[i, j - i] = B[i, j - i] + A[i, j + k];
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.nest.depth(), 3);
+        assert_eq!(p.arrays.len(), 2);
+        // Subscript B[., j - i] has coefficients (-1, 1, 0).
+        let an_ir::Stmt::Assign { lhs, .. } = &p.nest.body[0] else {
+            panic!("expected assignment")
+        };
+        assert_eq!(lhs.subscripts[1].var_coeffs(), &[-1, 1, 0]);
+        // Executes: 8 * 4 * 8 iterations.
+        assert_eq!(p.nest.iteration_count(&[8, 4, 8]).unwrap(), 256);
+    }
+
+    #[test]
+    fn scaling_of_subscripts() {
+        let p = parse(
+            "param N = 4; array A[3 * N, 20];
+             for i = 1, 3 { for j = 1, 3 { A[2*i + 4*j, i + 5*j] = 1.0; } }",
+        )
+        .unwrap();
+        let an_ir::Stmt::Assign { lhs, .. } = &p.nest.body[0] else {
+            panic!("expected assignment")
+        };
+        assert_eq!(lhs.subscripts[0].var_coeffs(), &[2, 4]);
+        assert_eq!(lhs.subscripts[1].var_coeffs(), &[1, 5]);
+    }
+
+    #[test]
+    fn rejects_nonlinear_subscript() {
+        let e = parse("array A[10, 10]; for i = 0, 3 { for j = 0, 3 { A[i * j, 0] = 1.0; } }")
+            .unwrap_err();
+        assert!(matches!(e, LangError::Lower { .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        assert!(matches!(
+            parse("array A[10]; for i = 0, zz { A[i] = 1.0; }"),
+            Err(LangError::Lower { .. })
+        ));
+        assert!(matches!(
+            parse("array A[10]; for i = 0, 3 { Z[i] = 1.0; }"),
+            Err(LangError::Lower { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_inner_variable_in_outer_bound() {
+        let e =
+            parse("array A[10, 10]; for i = 0, j { for j = 0, 3 { A[i, j] = 1.0; } }").unwrap_err();
+        assert!(matches!(e, LangError::Lower { .. }), "{e}");
+    }
+
+    #[test]
+    fn coefficients_explicit_and_implicit() {
+        let p = parse(
+            "coef alpha = 2.5;
+             array A[4];
+             for i = 0, 3 { A[i] = alpha * A[i] + beta; }",
+        )
+        .unwrap();
+        assert_eq!(p.coefs.len(), 2);
+        assert_eq!(p.coefs[0].name, "alpha");
+        assert_eq!(p.coefs[0].value, 2.5);
+        assert_eq!(p.coefs[1].name, "beta");
+        assert_eq!(p.coefs[1].value, 1.0);
+    }
+
+    #[test]
+    fn rejects_duplicate_declarations() {
+        assert!(
+            parse("param N = 1; param N = 2; array A[4]; for i = 0, 3 { A[i] = 1.0; }").is_err()
+        );
+        assert!(parse("array A[4]; array A[4]; for i = 0, 3 { A[i] = 1.0; }").is_err());
+        assert!(parse("array A[4]; for i = 0, 3 { for i = 0, 2 { A[i] = 1.0; } }").is_err());
+    }
+
+    #[test]
+    fn rejects_bare_array_and_subscripted_variable() {
+        assert!(parse("array A[4]; array B[4]; for i = 0, 3 { A[i] = B; }").is_err());
+        assert!(parse("param N = 4; array A[4]; for i = 0, 3 { A[i] = A[N] + i; }").is_err());
+    }
+
+    #[test]
+    fn syr2k_banded_parses() {
+        // The paper's §8.2 SYR2K source (packed band storage).
+        let p = parse(
+            "param N = 12; param b = 3;
+             coef alpha = 1.0; coef beta = 1.0;
+             array Ab[N, 2 * b - 1] distribute wrapped(1);
+             array Bb[N, 2 * b - 1] distribute wrapped(1);
+             array Cb[N, 2 * b - 1] distribute wrapped(1);
+             for i = 1, N {
+               for j = i, min(i + 2 * b - 2, N) {
+                 for k = max(i - b + 1, j - b + 1, 1), min(i + b - 1, j + b - 1, N) {
+                   Cb[i, j - i + 1] = Cb[i, j - i + 1]
+                     + alpha * Ab[k, i - k + b] * Bb[k, j - k + b]
+                     + beta * Ab[k, j - k + b] * Bb[k, i - k + b];
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.nest.depth(), 3);
+        assert_eq!(p.nest.bounds[2].lowers.len(), 3);
+        assert_eq!(p.nest.bounds[2].uppers.len(), 3);
+    }
+}

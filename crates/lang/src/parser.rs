@@ -1,0 +1,526 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::token::{Pos, Token, TokenKind};
+use crate::LangError;
+
+/// Parses a token stream into an AST.
+///
+/// # Errors
+///
+/// Returns [`LangError::Parse`] with the offending position.
+pub fn parse_tokens(tokens: &[Token]) -> Result<AstProgram, LangError> {
+    let mut p = Parser { tokens, idx: 0 };
+    let program = p.program()?;
+    p.expect_eof()?;
+    Ok(program)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    idx: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.idx.min(self.tokens.len() - 1)]
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.idx < self.tokens.len() - 1 {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, LangError> {
+        Err(LangError::Parse {
+            pos: self.pos(),
+            message: message.into(),
+        })
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, LangError> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), LangError> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            self.error(format!(
+                "expected end of input, found {}",
+                self.peek().kind.describe()
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Pos), LangError> {
+        let pos = self.pos();
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, pos))
+            }
+            other => self.error(format!("expected identifier, found {}", other.describe())),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, LangError> {
+        let neg = self.eat(&TokenKind::Minus);
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            other => self.error(format!("expected integer, found {}", other.describe())),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn program(&mut self) -> Result<AstProgram, LangError> {
+        let mut params = Vec::new();
+        let mut coefs = Vec::new();
+        let mut assumes = Vec::new();
+        let mut arrays = Vec::new();
+        loop {
+            if self.at_keyword("param") {
+                params.push(self.param_decl()?);
+            } else if self.at_keyword("coef") {
+                coefs.push(self.coef_decl()?);
+            } else if self.at_keyword("assume") {
+                assumes.push(self.assume_decl()?);
+            } else if self.at_keyword("array") {
+                arrays.push(self.array_decl()?);
+            } else {
+                break;
+            }
+        }
+        if !self.at_keyword("for") {
+            return self.error("expected `for` loop after declarations");
+        }
+        let nest = self.for_loop()?;
+        Ok(AstProgram {
+            params,
+            coefs,
+            assumes,
+            arrays,
+            nest,
+        })
+    }
+
+    fn assume_decl(&mut self) -> Result<AstAssume, LangError> {
+        let pos = self.pos();
+        self.bump(); // `assume`
+        let lhs = self.affine()?;
+        self.expect(TokenKind::Ge)?;
+        let rhs = self.affine()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(AstAssume { lhs, rhs, pos })
+    }
+
+    fn coef_decl(&mut self) -> Result<AstCoef, LangError> {
+        let pos = self.pos();
+        self.bump(); // `coef`
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::Eq)?;
+        let neg = self.eat(&TokenKind::Minus);
+        let value = match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                v as f64
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                v
+            }
+            other => return self.error(format!("expected number, found {}", other.describe())),
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(AstCoef {
+            name,
+            value: if neg { -value } else { value },
+            pos,
+        })
+    }
+
+    fn param_decl(&mut self) -> Result<AstParam, LangError> {
+        let pos = self.pos();
+        self.bump(); // `param`
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::Eq)?;
+        let default = self.int()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(AstParam { name, default, pos })
+    }
+
+    fn array_decl(&mut self) -> Result<AstArray, LangError> {
+        let pos = self.pos();
+        self.bump(); // `array`
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LBracket)?;
+        let mut dims = vec![self.affine()?];
+        while self.eat(&TokenKind::Comma) {
+            dims.push(self.affine()?);
+        }
+        self.expect(TokenKind::RBracket)?;
+        let distribution = if self.at_keyword("distribute") {
+            self.bump();
+            self.distribution()?
+        } else {
+            AstDistribution::Replicated
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(AstArray {
+            name,
+            dims,
+            distribution,
+            pos,
+        })
+    }
+
+    fn distribution(&mut self) -> Result<AstDistribution, LangError> {
+        let (kind, _) = self.ident()?;
+        match kind.as_str() {
+            "replicated" => Ok(AstDistribution::Replicated),
+            "wrapped" | "blocked" => {
+                self.expect(TokenKind::LParen)?;
+                let d = self.int()?;
+                self.expect(TokenKind::RParen)?;
+                if d < 0 {
+                    return self.error("distribution dimension must be non-negative");
+                }
+                Ok(if kind == "wrapped" {
+                    AstDistribution::Wrapped(d as usize)
+                } else {
+                    AstDistribution::Blocked(d as usize)
+                })
+            }
+            "block2d" => {
+                self.expect(TokenKind::LParen)?;
+                let d1 = self.int()?;
+                self.expect(TokenKind::Comma)?;
+                let d2 = self.int()?;
+                self.expect(TokenKind::RParen)?;
+                if d1 < 0 || d2 < 0 {
+                    return self.error("distribution dimensions must be non-negative");
+                }
+                Ok(AstDistribution::Block2D(d1 as usize, d2 as usize))
+            }
+            other => self.error(format!(
+                "unknown distribution `{other}` (expected wrapped, blocked, block2d or replicated)"
+            )),
+        }
+    }
+
+    fn for_loop(&mut self) -> Result<AstLoop, LangError> {
+        let pos = self.pos();
+        self.bump(); // `for`
+        let (var, _) = self.ident()?;
+        self.expect(TokenKind::Eq)?;
+        let lowers = self.bound_list("max")?;
+        self.expect(TokenKind::Comma)?;
+        let uppers = self.bound_list("min")?;
+        self.expect(TokenKind::LBrace)?;
+        let body = if self.at_keyword("for") {
+            AstBody::Nested(Box::new(self.for_loop()?))
+        } else {
+            let mut stmts = Vec::new();
+            while !self.eat(&TokenKind::RBrace) {
+                if self.peek().kind == TokenKind::Eof {
+                    return self.error("unexpected end of input inside loop body");
+                }
+                stmts.push(self.stmt()?);
+            }
+            return Ok(AstLoop {
+                var,
+                lowers,
+                uppers,
+                body: AstBody::Stmts(stmts),
+                pos,
+            });
+        };
+        self.expect(TokenKind::RBrace)?;
+        Ok(AstLoop {
+            var,
+            lowers,
+            uppers,
+            body,
+            pos,
+        })
+    }
+
+    /// A bound: `max(...)`/`min(...)` (whichever `combiner` says) or a
+    /// single affine expression.
+    fn bound_list(&mut self, combiner: &str) -> Result<Vec<AstAffine>, LangError> {
+        if self.at_keyword(combiner) {
+            // Lookahead: `max (` — treat as combiner call.
+            self.bump();
+            self.expect(TokenKind::LParen)?;
+            let mut out = vec![self.affine()?];
+            while self.eat(&TokenKind::Comma) {
+                out.push(self.affine()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            Ok(out)
+        } else {
+            Ok(vec![self.affine()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<AstStmt, LangError> {
+        let pos = self.pos();
+        let (array, _) = self.ident()?;
+        self.expect(TokenKind::LBracket)?;
+        let mut subscripts = vec![self.affine()?];
+        while self.eat(&TokenKind::Comma) {
+            subscripts.push(self.affine()?);
+        }
+        self.expect(TokenKind::RBracket)?;
+        self.expect(TokenKind::Eq)?;
+        let rhs = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(AstStmt {
+            array,
+            subscripts,
+            rhs,
+            pos,
+        })
+    }
+
+    // ----- affine expressions -----
+
+    fn affine(&mut self) -> Result<AstAffine, LangError> {
+        let mut lhs = self.affine_term()?;
+        loop {
+            let pos = self.pos();
+            if self.eat(&TokenKind::Plus) {
+                let rhs = self.affine_term()?;
+                lhs = AstAffine::Add(Box::new(lhs), Box::new(rhs), pos);
+            } else if self.eat(&TokenKind::Minus) {
+                let rhs = self.affine_term()?;
+                lhs = AstAffine::Sub(Box::new(lhs), Box::new(rhs), pos);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn affine_term(&mut self) -> Result<AstAffine, LangError> {
+        let mut lhs = self.affine_factor()?;
+        loop {
+            let pos = self.pos();
+            if self.eat(&TokenKind::Star) {
+                let rhs = self.affine_factor()?;
+                lhs = AstAffine::Mul(Box::new(lhs), Box::new(rhs), pos);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn affine_factor(&mut self) -> Result<AstAffine, LangError> {
+        let pos = self.pos();
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.affine_factor()?;
+            return Ok(AstAffine::Neg(Box::new(inner), pos));
+        }
+        if self.eat(&TokenKind::LParen) {
+            let inner = self.affine()?;
+            self.expect(TokenKind::RParen)?;
+            return Ok(inner);
+        }
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(AstAffine::Num(v, pos))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(AstAffine::Ident(name, pos))
+            }
+            other => self.error(format!(
+                "expected affine expression, found {}",
+                other.describe()
+            )),
+        }
+    }
+
+    // ----- value expressions -----
+
+    fn expr(&mut self) -> Result<AstExpr, LangError> {
+        let mut lhs = self.term()?;
+        loop {
+            let pos = self.pos();
+            if self.eat(&TokenKind::Plus) {
+                let rhs = self.term()?;
+                lhs = AstExpr::Bin(AstBinOp::Add, Box::new(lhs), Box::new(rhs), pos);
+            } else if self.eat(&TokenKind::Minus) {
+                let rhs = self.term()?;
+                lhs = AstExpr::Bin(AstBinOp::Sub, Box::new(lhs), Box::new(rhs), pos);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<AstExpr, LangError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let pos = self.pos();
+            if self.eat(&TokenKind::Star) {
+                let rhs = self.factor()?;
+                lhs = AstExpr::Bin(AstBinOp::Mul, Box::new(lhs), Box::new(rhs), pos);
+            } else if self.eat(&TokenKind::Slash) {
+                let rhs = self.factor()?;
+                lhs = AstExpr::Bin(AstBinOp::Div, Box::new(lhs), Box::new(rhs), pos);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<AstExpr, LangError> {
+        let pos = self.pos();
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.factor()?;
+            return Ok(AstExpr::Neg(Box::new(inner), pos));
+        }
+        if self.eat(&TokenKind::LParen) {
+            let inner = self.expr()?;
+            self.expect(TokenKind::RParen)?;
+            return Ok(inner);
+        }
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(AstExpr::Num(v as f64, pos))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(AstExpr::Num(v, pos))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LBracket) {
+                    let mut subs = vec![self.affine()?];
+                    while self.eat(&TokenKind::Comma) {
+                        subs.push(self.affine()?);
+                    }
+                    self.expect(TokenKind::RBracket)?;
+                    Ok(AstExpr::Ref(name, subs, pos))
+                } else {
+                    // Bare identifier: a scalar coefficient (alpha, beta).
+                    Ok(AstExpr::Ref(name, Vec::new(), pos))
+                }
+            }
+            other => self.error(format!("expected expression, found {}", other.describe())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Result<AstProgram, LangError> {
+        parse_tokens(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn minimal_program() {
+        let p = parse(
+            "param N = 4; array A[N] distribute wrapped(0); for i = 0, N - 1 { A[i] = 1.0; }",
+        )
+        .unwrap();
+        assert_eq!(p.params.len(), 1);
+        assert_eq!(p.arrays.len(), 1);
+        assert_eq!(p.arrays[0].distribution, AstDistribution::Wrapped(0));
+        assert_eq!(p.nest.var, "i");
+        match &p.nest.body {
+            AstBody::Stmts(s) => assert_eq!(s.len(), 1),
+            _ => panic!("expected statements"),
+        }
+    }
+
+    #[test]
+    fn nested_loops_and_minmax_bounds() {
+        let p = parse(
+            "param N = 4; param b = 2;
+             array C[N, N];
+             for i = 1, N {
+               for k = max(i - b + 1, 1), min(i + b - 1, N) {
+                 C[i, k] = C[i, k] + 2.0;
+               }
+             }",
+        )
+        .unwrap();
+        match &p.nest.body {
+            AstBody::Nested(inner) => {
+                assert_eq!(inner.var, "k");
+                assert_eq!(inner.lowers.len(), 2);
+                assert_eq!(inner.uppers.len(), 2);
+            }
+            _ => panic!("expected nested loop"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse("param N = ;").unwrap_err();
+        match err {
+            LangError::Parse { pos, .. } => assert_eq!(pos.line, 1),
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(parse("for i = 0, 4 { A[i] = 1.0 }").is_err()); // missing `;`
+        assert!(parse("array A[4]; for i = 0, 3 { A[i] = 1.0; } junk").is_err());
+    }
+
+    #[test]
+    fn unknown_distribution_rejected() {
+        assert!(parse("array A[4] distribute diagonal(0); for i = 0, 3 { A[i] = 1.0; }").is_err());
+    }
+
+    #[test]
+    fn scalar_coefficients() {
+        let p =
+            parse("param N = 4; array A[N]; for i = 0, N - 1 { A[i] = alpha * A[i]; }").unwrap();
+        match &p.nest.body {
+            AstBody::Stmts(s) => match &s[0].rhs {
+                AstExpr::Bin(AstBinOp::Mul, l, _, _) => {
+                    assert!(
+                        matches!(&**l, AstExpr::Ref(n, subs, _) if n == "alpha" && subs.is_empty())
+                    );
+                }
+                other => panic!("unexpected rhs {other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+}

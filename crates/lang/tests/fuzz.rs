@@ -1,0 +1,80 @@
+//! Robustness: the front end must never panic — every input, however
+//! mangled, yields `Ok` or a structured `LangError`.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (printable-ish) never panics the pipeline.
+    #[test]
+    fn arbitrary_text_never_panics(s in "[ -~\\n\\t]{0,200}") {
+        let _ = an_lang::parse(&s);
+    }
+
+    /// Structured-ish fragments assembled from grammar atoms never panic
+    /// and produce positioned errors when they fail.
+    #[test]
+    fn grammar_fragments_never_panic(
+        pieces in proptest::collection::vec(
+            prop_oneof![
+                Just("param N = 4;"),
+                Just("array A[N]"),
+                Just("distribute wrapped(1);"),
+                Just("for i = 0, N - 1 {"),
+                Just("}"),
+                Just("A[i] = A[i] + 1.0;"),
+                Just("min(" ), Just("max("), Just(")"),
+                Just("coef alpha = 2.0;"),
+                Just("* /"), Just("= ="), Just("[ ]"),
+                Just("0, 3"), Just("- 7"),
+            ],
+            0..12,
+        )
+    ) {
+        let src = pieces.join(" ");
+        match an_lang::parse(&src) {
+            Ok(p) => {
+                // Anything that parses must validate.
+                prop_assert!(p.validate().is_ok());
+            }
+            Err(e) => {
+                // Errors must carry a message.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Deeply nested parentheses in expressions are handled (no stack
+    /// blowup at sane depths, graceful errors otherwise).
+    #[test]
+    fn nested_parentheses(depth in 0usize..80) {
+        let open = "(".repeat(depth);
+        let close = ")".repeat(depth);
+        let src = format!(
+            "array A[4]; for i = 0, 3 {{ A[i] = {open}1.0{close}; }}"
+        );
+        let _ = an_lang::parse(&src);
+    }
+}
+
+#[test]
+fn pathological_inputs() {
+    for src in [
+        "",
+        ";",
+        "for",
+        "for i",
+        "for i = ",
+        "for i = 0, 3 {",
+        "array A[99999999999999999999];", // integer overflow in literal
+        "param N = -;",
+        "array A[4]; for i = 0, 3 { A[i] = 1e; }",
+        "array A[4]; for i = 0, 3 { A[i] = --1.0; }",
+        "array \u{1}[4];",
+        "// only a comment",
+        "array A[4]; for i = 0, 3 { A[i] = 1.0; } extra",
+    ] {
+        let _ = an_lang::parse(src); // must not panic
+    }
+}

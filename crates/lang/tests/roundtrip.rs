@@ -1,0 +1,91 @@
+//! Round-trip: parse → pretty-print → re-parse must reach a fixed point
+//! and preserve program semantics.
+
+use an_ir::interp::run_seeded;
+use an_ir::pretty::print_source as print_program;
+
+fn roundtrip(src: &str) {
+    let p1 = an_lang::parse(src).unwrap_or_else(|e| panic!("first parse failed: {e}\n{src}"));
+    let printed1 = print_program(&p1);
+    let p2 = an_lang::parse(&printed1)
+        .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed1}"));
+    let printed2 = print_program(&p2);
+    assert_eq!(printed1, printed2, "pretty-print not a fixed point");
+    // Same structure (names, counts, bounds).
+    assert_eq!(p1.params, p2.params);
+    assert_eq!(p1.arrays, p2.arrays);
+    assert_eq!(p1.nest.depth(), p2.nest.depth());
+    // Same semantics.
+    let params = p1.default_param_values();
+    let a = run_seeded(&p1, &params, 99).unwrap();
+    let b = run_seeded(&p2, &params, 99).unwrap();
+    assert_eq!(a.max_abs_diff(&b), 0.0);
+}
+
+#[test]
+fn figure1() {
+    roundtrip(
+        "param N1 = 6; param b = 3; param N2 = 6;
+         array A[N1, N1 + N2 + b] distribute wrapped(1);
+         array B[N1, b] distribute wrapped(1);
+         for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+             B[i, j - i] = B[i, j - i] + A[i, j + k];
+         } } }",
+    );
+}
+
+#[test]
+fn syr2k_with_coefs_and_minmax() {
+    roundtrip(
+        "param N = 10; param b = 3;
+         coef alpha = 2.5; coef beta = 1;
+         array Ab[N + 1, 2 * b + 1] distribute wrapped(1);
+         array Bb[N + 1, 2 * b + 1] distribute wrapped(1);
+         array Cb[N + 1, 2 * b + 1] distribute wrapped(1);
+         for i = 1, N {
+           for j = i, min(i + 2 * b - 2, N) {
+             for k = max(i - b + 1, j - b + 1, 1), min(i + b - 1, j + b - 1, N) {
+               Cb[i, j - i + 1] = Cb[i, j - i + 1]
+                 + alpha * Ab[k, i - k + b] * Bb[k, j - k + b]
+                 + beta * Ab[k, j - k + b] * Bb[k, i - k + b];
+             }
+           }
+         }",
+    );
+}
+
+#[test]
+fn all_distribution_kinds() {
+    roundtrip(
+        "param N = 6;
+         array A[N, N] distribute wrapped(0);
+         array B[N, N] distribute blocked(1);
+         array C[N, N] distribute block2d(0, 1);
+         array D[N, N] distribute replicated;
+         for i = 0, N - 1 { for j = 0, N - 1 {
+             A[i, j] = B[i, j] + C[i, j] * D[j, i];
+         } }",
+    );
+}
+
+#[test]
+fn negative_constants_and_scaling() {
+    roundtrip(
+        "array A[40, 40];
+         for i = 1, 3 { for j = 1, 3 {
+             A[2 * i + 4 * j, i + 5 * j] = -1.5;
+         } }",
+    );
+}
+
+#[test]
+fn division_and_nested_parens() {
+    roundtrip(
+        "param N = 5;
+         array A[N];
+         array B[N];
+         for i = 0, N - 1 {
+             A[i] = (B[i] + 2.0) / (B[i] - 3.0) - -1.0;
+         }",
+    );
+}

@@ -1,0 +1,181 @@
+//! First-row-basis extraction — paper Algorithm `BasisMatrix` (§5.1).
+//!
+//! Given a data access matrix, select the maximal set of linearly
+//! independent rows *scanning top-down*, so that more important subscripts
+//! (earlier rows) win over less important ones. The paper phrases this as
+//! a permutation matrix plus a rank; we return the equivalent and more
+//! convenient list of kept row indices (in order) from which both can be
+//! recovered.
+
+use crate::{IMatrix, Rational};
+
+/// The result of [`first_row_basis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasisSelection {
+    /// Indices (ascending) of the rows of the input that form the first
+    /// row basis.
+    pub kept: Vec<usize>,
+    /// Indices (ascending) of the rows discarded as linearly dependent.
+    pub discarded: Vec<usize>,
+}
+
+impl BasisSelection {
+    /// The rank of the input matrix.
+    pub fn rank(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// The permutation matrix `P` of the paper: its first `rank` rows
+    /// select the basis rows of the input, the remaining rows select the
+    /// discarded ones.
+    pub fn permutation(&self) -> IMatrix {
+        let n = self.kept.len() + self.discarded.len();
+        let mut p = IMatrix::zero(n, n);
+        for (i, &r) in self.kept.iter().chain(&self.discarded).enumerate() {
+            p[(i, r)] = 1;
+        }
+        p
+    }
+
+    /// Extracts the basis matrix (the kept rows, in order) from the
+    /// original matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` does not have the same number of rows as the matrix
+    /// the selection was computed from.
+    pub fn basis_matrix(&self, m: &IMatrix) -> IMatrix {
+        assert_eq!(
+            m.rows(),
+            self.kept.len() + self.discarded.len(),
+            "selection does not match matrix"
+        );
+        m.select_rows(&self.kept)
+    }
+}
+
+/// Selects the first row basis of `m`: scans rows top-down, keeping each
+/// row that is linearly independent of the rows kept so far.
+///
+/// This is the paper's Algorithm `BasisMatrix`, implemented with an
+/// incremental exact Gaussian elimination (the "variation of computing
+/// the Hermite normal form" the paper alludes to).
+///
+/// ```
+/// use an_linalg::{IMatrix, basis::first_row_basis};
+/// // Paper §5.1 example: row 1 is twice row 0.
+/// let x = IMatrix::from_rows(&[
+///     &[1, 1, -1, 0],
+///     &[2, 2, -2, 0],
+///     &[0, 0, 1, -1],
+/// ]);
+/// let sel = first_row_basis(&x);
+/// assert_eq!(sel.kept, vec![0, 2]);
+/// assert_eq!(sel.rank(), 2);
+/// ```
+pub fn first_row_basis(m: &IMatrix) -> BasisSelection {
+    let cols = m.cols();
+    // Echelon rows reduced so far, each with its pivot column.
+    let mut echelon: Vec<(usize, Vec<Rational>)> = Vec::new();
+    let mut kept = Vec::new();
+    let mut discarded = Vec::new();
+    for r in 0..m.rows() {
+        let mut row: Vec<Rational> = m.row(r).iter().map(|&v| Rational::from(v)).collect();
+        for (pivot_col, e) in &echelon {
+            if !row[*pivot_col].is_zero() {
+                let factor = row[*pivot_col] / e[*pivot_col];
+                for c in 0..cols {
+                    row[c] -= factor * e[c];
+                }
+            }
+        }
+        match row.iter().position(|v| !v.is_zero()) {
+            Some(pivot) => {
+                echelon.push((pivot, row));
+                kept.push(r);
+            }
+            None => discarded.push(r),
+        }
+    }
+    BasisSelection { kept, discarded }
+}
+
+/// Rank of an integer matrix over the rationals.
+pub fn rank(m: &IMatrix) -> usize {
+    first_row_basis(m).rank()
+}
+
+/// Finds `rank` linearly independent *column* indices of a full-row-rank
+/// matrix, scanning left-to-right (used by the padding construction,
+/// paper §5.2).
+pub fn independent_columns(m: &IMatrix) -> Vec<usize> {
+    let sel = first_row_basis(&m.transpose());
+    sel.kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_earlier_rows() {
+        // Both orderings of a dependent pair: earlier row always wins.
+        let a = IMatrix::from_rows(&[&[1, 0], &[2, 0], &[0, 1]]);
+        assert_eq!(first_row_basis(&a).kept, vec![0, 2]);
+        let b = IMatrix::from_rows(&[&[2, 0], &[1, 0], &[0, 1]]);
+        assert_eq!(first_row_basis(&b).kept, vec![0, 2]);
+    }
+
+    #[test]
+    fn zero_rows_are_discarded() {
+        let a = IMatrix::from_rows(&[&[0, 0], &[1, 1]]);
+        let sel = first_row_basis(&a);
+        assert_eq!(sel.kept, vec![1]);
+        assert_eq!(sel.discarded, vec![0]);
+    }
+
+    #[test]
+    fn rank_of_full_and_deficient() {
+        assert_eq!(rank(&IMatrix::identity(3)), 3);
+        let d = IMatrix::from_rows(&[&[1, 2, 3], &[2, 4, 6], &[1, 0, 0]]);
+        assert_eq!(rank(&d), 2);
+        assert_eq!(rank(&IMatrix::zero(3, 4)), 0);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let x = IMatrix::from_rows(&[&[1, 1, -1, 0], &[2, 2, -2, 0], &[0, 0, 1, -1]]);
+        let sel = first_row_basis(&x);
+        let p = sel.permutation();
+        assert!(p.is_unimodular());
+        // First `rank` rows of P*X are the basis rows.
+        let px = p.mul(&x).unwrap();
+        let basis = sel.basis_matrix(&x);
+        for r in 0..sel.rank() {
+            assert_eq!(px.row(r), basis.row(r));
+        }
+    }
+
+    #[test]
+    fn paper_example_permutation() {
+        // §5.1: P = [[1,0,0],[0,0,1],[0,1,0]], rank 2.
+        let x = IMatrix::from_rows(&[&[1, 1, -1, 0], &[2, 2, -2, 0], &[0, 0, 1, -1]]);
+        let sel = first_row_basis(&x);
+        assert_eq!(
+            sel.permutation(),
+            IMatrix::from_rows(&[&[1, 0, 0], &[0, 0, 1], &[0, 1, 0]])
+        );
+        assert_eq!(
+            sel.basis_matrix(&x),
+            IMatrix::from_rows(&[&[1, 1, -1, 0], &[0, 0, 1, -1]])
+        );
+    }
+
+    #[test]
+    fn independent_columns_of_paper_basis() {
+        // §5.2: for B = [[1,1,-1,0],[0,0,1,-1]] the first and third
+        // columns are linearly independent.
+        let b = IMatrix::from_rows(&[&[1, 1, -1, 0], &[0, 0, 1, -1]]);
+        assert_eq!(independent_columns(&b), vec![0, 2]);
+    }
+}

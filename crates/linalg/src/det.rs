@@ -1,0 +1,227 @@
+//! Determinants, adjugates and inverses of exact matrices.
+
+use crate::{IMatrix, LinalgError, QMatrix, Rational};
+
+/// Determinant of an integer matrix by fraction-free Bareiss elimination.
+///
+/// Exact: all intermediates are integers (held in `i128`).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for non-square input and
+/// [`LinalgError::Overflow`] if an intermediate exceeds `i128`
+/// (practically impossible for loop-transformation sizes).
+pub fn determinant(m: &IMatrix) -> Result<i64, LinalgError> {
+    if !m.is_square() {
+        return Err(LinalgError::NotSquare {
+            shape: (m.rows(), m.cols()),
+        });
+    }
+    let n = m.rows();
+    if n == 0 {
+        return Ok(1);
+    }
+    let mut a: Vec<Vec<i128>> = (0..n)
+        .map(|r| m.row(r).iter().map(|&v| v as i128).collect())
+        .collect();
+    let mut sign = 1i64;
+    let mut prev = 1i128;
+    for k in 0..n - 1 {
+        if a[k][k] == 0 {
+            // Pivot: find a non-zero below.
+            let Some(p) = (k + 1..n).find(|&r| a[r][k] != 0) else {
+                return Ok(0);
+            };
+            a.swap(k, p);
+            sign = -sign;
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                let num = a[k][k]
+                    .checked_mul(a[i][j])
+                    .and_then(|x| a[i][k].checked_mul(a[k][j]).map(|y| x - y))
+                    .ok_or(LinalgError::Overflow)?;
+                a[i][j] = num / prev; // exact division (Bareiss invariant)
+            }
+            a[i][k] = 0;
+        }
+        prev = a[k][k];
+    }
+    let d = a[n - 1][n - 1] * sign as i128;
+    i64::try_from(d).map_err(|_| LinalgError::Overflow)
+}
+
+/// The adjugate matrix: `m * adjugate(m) == determinant(m) * I`.
+///
+/// Computed from cofactors; exact and valid even for singular matrices.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for non-square input.
+pub fn adjugate(m: &IMatrix) -> Result<IMatrix, LinalgError> {
+    if !m.is_square() {
+        return Err(LinalgError::NotSquare {
+            shape: (m.rows(), m.cols()),
+        });
+    }
+    let n = m.rows();
+    let mut adj = IMatrix::zero(n, n);
+    if n == 0 {
+        return Ok(adj);
+    }
+    for r in 0..n {
+        for c in 0..n {
+            let minor = minor_matrix(m, r, c);
+            let cof = determinant(&minor)?;
+            let sign = if (r + c) % 2 == 0 { 1 } else { -1 };
+            // Adjugate is the *transpose* of the cofactor matrix.
+            adj[(c, r)] = sign * cof;
+        }
+    }
+    Ok(adj)
+}
+
+fn minor_matrix(m: &IMatrix, skip_r: usize, skip_c: usize) -> IMatrix {
+    let n = m.rows();
+    let mut out = IMatrix::zero(n - 1, n - 1);
+    let mut rr = 0;
+    for r in 0..n {
+        if r == skip_r {
+            continue;
+        }
+        let mut cc = 0;
+        for c in 0..n {
+            if c == skip_c {
+                continue;
+            }
+            out[(rr, cc)] = m[(r, c)];
+            cc += 1;
+        }
+        rr += 1;
+    }
+    out
+}
+
+/// Exact rational inverse of an integer matrix.
+///
+/// # Errors
+///
+/// [`LinalgError::NotSquare`] or [`LinalgError::Singular`].
+pub fn inverse(m: &IMatrix) -> Result<QMatrix, LinalgError> {
+    let d = determinant(m)?;
+    if d == 0 {
+        return Err(LinalgError::Singular);
+    }
+    let adj = adjugate(m)?;
+    let mut out = QMatrix::zero(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            out[(r, c)] = Rational::new(adj[(r, c)], d);
+        }
+    }
+    Ok(out)
+}
+
+/// Exact inverse of a rational matrix by Gauss–Jordan elimination.
+///
+/// # Errors
+///
+/// [`LinalgError::NotSquare`] or [`LinalgError::Singular`].
+pub fn inverse_rational(m: &QMatrix) -> Result<QMatrix, LinalgError> {
+    if !m.is_square() {
+        return Err(LinalgError::NotSquare {
+            shape: (m.rows(), m.cols()),
+        });
+    }
+    let n = m.rows();
+    let mut a = m.clone();
+    let mut inv = QMatrix::identity(n);
+    for col in 0..n {
+        let Some(p) = (col..n).find(|&r| !a[(r, col)].is_zero()) else {
+            return Err(LinalgError::Singular);
+        };
+        a.swap_rows(col, p);
+        inv.swap_rows(col, p);
+        let pivot = a[(col, col)];
+        for c in 0..n {
+            a[(col, c)] /= pivot;
+            inv[(col, c)] /= pivot;
+        }
+        for r in 0..n {
+            if r == col || a[(r, col)].is_zero() {
+                continue;
+            }
+            let factor = a[(r, col)];
+            for c in 0..n {
+                let ac = a[(col, c)];
+                let ic = inv[(col, c)];
+                a[(r, c)] -= factor * ac;
+                inv[(r, c)] -= factor * ic;
+            }
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn determinant_known_values() {
+        assert_eq!(determinant(&IMatrix::identity(4)).unwrap(), 1);
+        let m = IMatrix::from_rows(&[&[2, 4], &[1, 5]]);
+        assert_eq!(determinant(&m).unwrap(), 6);
+        let s = IMatrix::from_rows(&[&[1, 2], &[2, 4]]);
+        assert_eq!(determinant(&s).unwrap(), 0);
+        // Paper Figure 1 transformation matrix (unimodular).
+        let x = IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]]);
+        assert_eq!(determinant(&x).unwrap(), 1);
+    }
+
+    #[test]
+    fn determinant_empty_and_single() {
+        assert_eq!(determinant(&IMatrix::zero(0, 0)).unwrap(), 1);
+        let one = IMatrix::from_rows(&[&[-7]]);
+        assert_eq!(determinant(&one).unwrap(), -7);
+    }
+
+    #[test]
+    fn determinant_rejects_non_square() {
+        assert!(matches!(
+            determinant(&IMatrix::zero(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn adjugate_identity_property() {
+        let m = IMatrix::from_rows(&[&[2, 4, 1], &[1, 5, 0], &[0, 3, 2]]);
+        let d = determinant(&m).unwrap();
+        let adj = adjugate(&m).unwrap();
+        let prod = m.mul(&adj).unwrap();
+        assert_eq!(prod, IMatrix::identity(3).scale(d));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let m = IMatrix::from_rows(&[&[2, 4], &[1, 5]]);
+        let inv = inverse(&m).unwrap();
+        let prod = m.to_rational().mul(&inv).unwrap();
+        assert_eq!(prod, Matrix::identity(2));
+    }
+
+    #[test]
+    fn inverse_of_singular_fails() {
+        let s = IMatrix::from_rows(&[&[1, 2], &[2, 4]]);
+        assert_eq!(inverse(&s), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn rational_inverse_round_trip() {
+        let m = IMatrix::from_rows(&[&[3, 1, 0], &[0, 2, 1], &[1, 0, 1]]).to_rational();
+        let inv = inverse_rational(&m).unwrap();
+        assert_eq!(m.mul(&inv).unwrap(), Matrix::identity(3));
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors produced by exact linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (e.g. `2x3 * 2x3`).
+    DimensionMismatch {
+        /// Human-readable description of the operation attempted.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A square, invertible matrix was required but the argument is
+    /// singular.
+    Singular,
+    /// A square matrix was required.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// An integer (Diophantine) system has no integer solution.
+    NoIntegerSolution,
+    /// Exact arithmetic overflowed the fixed-width representation.
+    Overflow,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix is not square: {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NoIntegerSolution => {
+                write!(f, "linear system has no integer solution")
+            }
+            LinalgError::Overflow => write!(f, "exact arithmetic overflow"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

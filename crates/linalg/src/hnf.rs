@@ -1,0 +1,232 @@
+//! Hermite normal forms.
+//!
+//! The column-style HNF is the key tool for restructuring loops by
+//! *non-unimodular* invertible matrices (paper Section 3): the image
+//! `T·Zⁿ` of the iteration space is an integer lattice, and the column
+//! HNF `H = T·U` (with `U` unimodular and `H` lower triangular) is a
+//! triangular basis of that lattice from which loop steps and congruence
+//! offsets are read off directly.
+
+use crate::{div_floor, IMatrix};
+
+/// Result of a column-style Hermite normal form: `h == a * u`, `u`
+/// unimodular, and `h` in column echelon form (lower triangular for
+/// square invertible input) with positive pivots and entries to the left
+/// of each pivot reduced to `[0, pivot)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnHnf {
+    /// The Hermite normal form.
+    pub h: IMatrix,
+    /// The unimodular column-operation matrix with `h == a * u`.
+    pub u: IMatrix,
+    /// For each pivot (in order): `(row, col)` position in `h`.
+    pub pivots: Vec<(usize, usize)>,
+}
+
+impl ColumnHnf {
+    /// Rank of the input matrix (number of pivots).
+    pub fn rank(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Indices of the columns of `u` spanning the integer null space of
+    /// the input (the columns of `h` that are zero).
+    pub fn kernel_columns(&self) -> Vec<usize> {
+        (self.rank()..self.h.cols()).collect()
+    }
+}
+
+/// Computes the column-style Hermite normal form `h = a * u`.
+///
+/// Works for any shape and rank; for a square invertible `a`, `h` is
+/// lower triangular with positive diagonal.
+///
+/// ```
+/// use an_linalg::{IMatrix, hnf::column_hnf};
+/// let t = IMatrix::from_rows(&[&[2, 4], &[1, 5]]);
+/// let r = column_hnf(&t);
+/// assert_eq!(&t.mul(&r.u).unwrap(), &r.h);
+/// assert!(r.u.is_unimodular());
+/// // diag(H) multiplies to |det T| = 6
+/// assert_eq!(r.h.get(0, 0) * r.h.get(1, 1), 6);
+/// ```
+pub fn column_hnf(a: &IMatrix) -> ColumnHnf {
+    let (m, n) = (a.rows(), a.cols());
+    let mut h = a.clone();
+    let mut u = IMatrix::identity(n);
+    let mut pivots = Vec::new();
+    let mut c = 0; // next pivot column
+    for r in 0..m {
+        if c >= n {
+            break;
+        }
+        // Reduce row r over columns c..n to a single non-zero at column c
+        // using the Euclidean algorithm on columns.
+        loop {
+            // Pick the column in c..n with the smallest non-zero |h[r][j]|.
+            let best = (c..n)
+                .filter(|&j| h[(r, j)] != 0)
+                .min_by_key(|&j| h[(r, j)].abs());
+            let Some(j) = best else { break };
+            h.swap_cols(c, j);
+            u.swap_cols(c, j);
+            let pivot = h[(r, c)];
+            let mut all_zero = true;
+            for k in c + 1..n {
+                if h[(r, k)] != 0 {
+                    let q = div_floor(h[(r, k)], pivot);
+                    col_axpy(&mut h, k, c, -q);
+                    col_axpy(&mut u, k, c, -q);
+                    if h[(r, k)] != 0 {
+                        all_zero = false;
+                    }
+                }
+            }
+            if all_zero {
+                break;
+            }
+        }
+        if h[(r, c)] == 0 {
+            continue; // no pivot in this row
+        }
+        if h[(r, c)] < 0 {
+            col_negate(&mut h, c);
+            col_negate(&mut u, c);
+        }
+        // Canonicalize: reduce entries left of the pivot into [0, pivot).
+        let pivot = h[(r, c)];
+        for j in 0..c {
+            let q = div_floor(h[(r, j)], pivot);
+            if q != 0 {
+                col_axpy(&mut h, j, c, -q);
+                col_axpy(&mut u, j, c, -q);
+            }
+        }
+        pivots.push((r, c));
+        c += 1;
+    }
+    ColumnHnf { h, u, pivots }
+}
+
+/// Result of a row-style Hermite normal form: `h == u * a` with `u`
+/// unimodular and `h` in row echelon form with positive pivots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowHnf {
+    /// The Hermite normal form.
+    pub h: IMatrix,
+    /// The unimodular row-operation matrix with `h == u * a`.
+    pub u: IMatrix,
+    /// For each pivot (in order): `(row, col)` position in `h`.
+    pub pivots: Vec<(usize, usize)>,
+}
+
+/// Computes the row-style Hermite normal form `h = u * a`.
+///
+/// ```
+/// use an_linalg::{IMatrix, hnf::row_hnf};
+/// let a = IMatrix::from_rows(&[&[2, 4, 4], &[-6, 6, 12], &[10, 4, 16]]);
+/// let r = row_hnf(&a);
+/// assert_eq!(&r.u.mul(&a).unwrap(), &r.h);
+/// assert!(r.u.is_unimodular());
+/// ```
+pub fn row_hnf(a: &IMatrix) -> RowHnf {
+    let t = column_hnf(&a.transpose());
+    let pivots = t.pivots.iter().map(|&(r, c)| (c, r)).collect();
+    RowHnf {
+        h: t.h.transpose(),
+        u: t.u.transpose(),
+        pivots,
+    }
+}
+
+fn col_axpy(m: &mut IMatrix, target: usize, source: usize, factor: i64) {
+    for r in 0..m.rows() {
+        let v = m[(r, source)]
+            .checked_mul(factor)
+            .and_then(|x| m[(r, target)].checked_add(x))
+            .expect("HNF column operation overflow");
+        m[(r, target)] = v;
+    }
+}
+
+fn col_negate(m: &mut IMatrix, col: usize) {
+    for r in 0..m.rows() {
+        m[(r, col)] = -m[(r, col)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_column_hnf(a: &IMatrix) {
+        let r = column_hnf(a);
+        assert_eq!(a.mul(&r.u).unwrap(), r.h, "H = A*U violated for\n{a}");
+        assert!(r.u.is_unimodular(), "U not unimodular for\n{a}");
+        // Echelon structure: pivot rows strictly increase with column.
+        let mut last_row = None;
+        for &(row, col) in &r.pivots {
+            assert!(r.h[(row, col)] > 0);
+            if let Some(lr) = last_row {
+                assert!(row > lr);
+            }
+            last_row = Some(row);
+            // Entries above the pivot in its column are zero.
+            for rr in 0..row {
+                assert_eq!(r.h[(rr, col)], 0);
+            }
+            // Entries to the left in the pivot row are reduced.
+            for j in 0..col {
+                assert!(r.h[(row, j)] >= 0 && r.h[(row, j)] < r.h[(row, col)]);
+            }
+        }
+        // Columns past the rank are zero.
+        for c in r.rank()..a.cols() {
+            assert!(r.h.col(c).iter().all(|&v| v == 0));
+        }
+    }
+
+    #[test]
+    fn square_invertible() {
+        check_column_hnf(&IMatrix::from_rows(&[&[2, 4], &[1, 5]]));
+        check_column_hnf(&IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]]));
+        check_column_hnf(&IMatrix::identity(4));
+    }
+
+    #[test]
+    fn scaling_example_diagonal() {
+        // T = [[2,4],[1,5]] from paper §3. The new outer loop steps by
+        // H[0][0] = 2 (the paper's "for u = 6, 18 step 2").
+        let r = column_hnf(&IMatrix::from_rows(&[&[2, 4], &[1, 5]]));
+        assert_eq!(r.h[(0, 0)], 2);
+        assert_eq!(r.h[(0, 1)], 0);
+    }
+
+    #[test]
+    fn rank_deficient_and_rectangular() {
+        check_column_hnf(&IMatrix::from_rows(&[&[1, 2], &[2, 4]]));
+        check_column_hnf(&IMatrix::from_rows(&[&[1, 1, -1, 0], &[0, 0, 1, -1]]));
+        check_column_hnf(&IMatrix::zero(3, 2));
+        let r = column_hnf(&IMatrix::from_rows(&[&[1, 2], &[2, 4]]));
+        assert_eq!(r.rank(), 1);
+        assert_eq!(r.kernel_columns(), vec![1]);
+        // Kernel column of U really is in the null space.
+        let a = IMatrix::from_rows(&[&[1, 2], &[2, 4]]);
+        let k = r.u.col(1);
+        assert_eq!(a.mul_vec(&k).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn negative_entries() {
+        check_column_hnf(&IMatrix::from_rows(&[&[-3, 7], &[2, -5]]));
+        check_column_hnf(&IMatrix::from_rows(&[&[0, -2, 1], &[-1, 0, 3]]));
+    }
+
+    #[test]
+    fn row_hnf_identity() {
+        let a = IMatrix::from_rows(&[&[4, 0], &[0, 6]]);
+        let r = row_hnf(&a);
+        assert_eq!(r.u.mul(&a).unwrap(), r.h);
+        assert!(r.u.is_unimodular());
+    }
+}

@@ -1,0 +1,200 @@
+//! Exact integer and rational linear algebra for loop transformations.
+//!
+//! This crate is the algebraic substrate of the access-normalization
+//! pipeline (Li & Pingali, ASPLOS 1992). Loop transformations are modeled
+//! as invertible integer matrices acting on iteration spaces, and the
+//! iteration spaces themselves are integer lattices, so everything here is
+//! *exact*: integer arithmetic with `i128` intermediates and a normalized
+//! [`Rational`] type — no floating point anywhere.
+//!
+//! # Contents
+//!
+//! - [`Rational`] — arbitrary-sign exact rationals over `i64`.
+//! - [`Matrix`] — dense matrices generic over a [`Scalar`] ring, with the
+//!   aliases [`IMatrix`] (integer) and [`QMatrix`] (rational).
+//! - [`hnf`] — row and column Hermite normal forms; the column HNF drives
+//!   lattice-aware code generation for non-unimodular transforms.
+//! - [`det`] — fraction-free (Bareiss) determinants and adjugates.
+//! - [`solve`] — rational linear solving, integer (Diophantine) solving,
+//!   and null-space bases.
+//! - [`lattice`] — the integer lattice `T·Zⁿ` of a transform.
+//! - [`projection`] — the integer-scaled orthogonal projection used by
+//!   Algorithm `LegalInvt` (paper Figure 3).
+//! - [`basis`] — first-row-basis extraction (paper Algorithm
+//!   `BasisMatrix`, Section 5.1).
+//!
+//! # Example
+//!
+//! ```
+//! use an_linalg::{IMatrix, hnf::column_hnf};
+//!
+//! // The loop-scaling example of the paper, Section 3.
+//! let t = IMatrix::from_rows(&[&[2, 4], &[1, 5]]);
+//! assert_eq!(t.determinant(), 6);
+//! let h = column_hnf(&t);
+//! // H = T * U with U unimodular; H is lower triangular.
+//! assert_eq!(h.h.get(0, 1), 0);
+//! assert_eq!(h.u.determinant().abs(), 1);
+//! assert_eq!(&t.mul(&h.u).unwrap(), &h.h);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod basis;
+pub mod det;
+pub mod hnf;
+pub mod lattice;
+pub mod matrix;
+pub mod projection;
+pub mod rational;
+pub mod snf;
+pub mod solve;
+pub mod vector;
+
+mod error;
+
+pub use error::LinalgError;
+pub use matrix::{IMatrix, Matrix, QMatrix, Scalar};
+pub use rational::Rational;
+pub use vector::{lex_cmp, lex_negative, lex_positive, IVec};
+
+/// Greatest common divisor of two integers; always non-negative, and
+/// `gcd(0, 0) == 0`.
+///
+/// ```
+/// assert_eq!(an_linalg::gcd(12, -18), 6);
+/// assert_eq!(an_linalg::gcd(0, 5), 5);
+/// ```
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    i64::try_from(a).expect("gcd overflow: |i64::MIN|")
+}
+
+/// Least common multiple; `lcm(0, x) == 0`.
+///
+/// # Panics
+///
+/// Panics on overflow of the exact result.
+///
+/// ```
+/// assert_eq!(an_linalg::lcm(4, 6), 12);
+/// ```
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    (a / g).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// Extended Euclidean algorithm: returns `(g, x, y)` with
+/// `a*x + b*y == g == gcd(a, b)` and `g >= 0`.
+///
+/// ```
+/// let (g, x, y) = an_linalg::extended_gcd(240, 46);
+/// assert_eq!(g, 2);
+/// assert_eq!(240 * x + 46 * y, 2);
+/// ```
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    let (mut old_r, mut r) = (a as i128, b as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    let (mut old_t, mut t) = (0i128, 1i128);
+    while r != 0 {
+        let q = old_r.div_euclid(r);
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+        (old_t, t) = (t, old_t - q * t);
+    }
+    if old_r < 0 {
+        old_r = -old_r;
+        old_s = -old_s;
+        old_t = -old_t;
+    }
+    (
+        i64::try_from(old_r).expect("extended_gcd overflow"),
+        i64::try_from(old_s).expect("extended_gcd overflow"),
+        i64::try_from(old_t).expect("extended_gcd overflow"),
+    )
+}
+
+/// Floor division `a / b` for `b != 0` (rounds toward negative infinity).
+///
+/// ```
+/// assert_eq!(an_linalg::div_floor(7, 2), 3);
+/// assert_eq!(an_linalg::div_floor(-7, 2), -4);
+/// assert_eq!(an_linalg::div_floor(7, -2), -4);
+/// ```
+pub fn div_floor(a: i64, b: i64) -> i64 {
+    debug_assert!(b != 0);
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division `a / b` for `b != 0` (rounds toward positive infinity).
+///
+/// ```
+/// assert_eq!(an_linalg::div_ceil(7, 2), 4);
+/// assert_eq!(an_linalg::div_ceil(-7, 2), -3);
+/// ```
+pub fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b != 0);
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Mathematical modulus: result is in `[0, |b|)`.
+///
+/// ```
+/// assert_eq!(an_linalg::mod_floor(-3, 5), 2);
+/// ```
+pub fn mod_floor(a: i64, b: i64) -> i64 {
+    debug_assert!(b != 0);
+    a.rem_euclid(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(-4, -6), 2);
+        assert_eq!(gcd(i64::MAX, 1), 1);
+    }
+
+    #[test]
+    fn extended_gcd_identity() {
+        for (a, b) in [(0, 0), (5, 0), (0, 7), (-12, 18), (35, -21)] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert_eq!(g, gcd(a, b));
+            assert_eq!(a * x + b * y, g);
+        }
+    }
+
+    #[test]
+    fn floor_ceil_div_agree_with_euclid() {
+        for a in -20..=20 {
+            for b in [-7, -2, -1, 1, 2, 7] {
+                assert_eq!(div_floor(a, b), (a as f64 / b as f64).floor() as i64);
+                assert_eq!(div_ceil(a, b), (a as f64 / b as f64).ceil() as i64);
+                let m = mod_floor(a, b);
+                assert!(m >= 0 && m < b.abs());
+            }
+        }
+    }
+}

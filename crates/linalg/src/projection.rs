@@ -1,0 +1,114 @@
+//! Integer-scaled orthogonal projection — the padding-row construction of
+//! Algorithm `LegalInvt` (paper Figure 3).
+//!
+//! Given the remaining dependence matrix `D`, the algorithm needs a new
+//! row `x` whose inner product with every remaining dependence column is
+//! non-negative, with at least one strictly positive, and which is
+//! linearly independent of the rows chosen so far. The paper constructs
+//! `x = c·Z(ZᵀZ)⁻¹Zᵀ·e_k` where `Z` is a column basis of `D`, `e_k` is
+//! the first standard basis vector not orthogonal to `D`, and `c > 0`
+//! scales the rational projection to an integer vector.
+
+use crate::solve::solve_rational;
+use crate::vector::primitive;
+use crate::{IMatrix, IVec, Rational};
+
+/// Orthogonal projection of the standard basis vector `e_k` onto the
+/// column space of `z`, scaled by the smallest positive integer that
+/// makes it integral.
+///
+/// Returns `None` if the projection is the zero vector (i.e. `e_k` is
+/// orthogonal to the column space).
+///
+/// # Panics
+///
+/// Panics if `k >= z.rows()` or if `z` does not have full column rank.
+///
+/// ```
+/// use an_linalg::{IMatrix, projection::project_onto_column_space};
+/// // Z = e3 (third axis): projecting e3 gives e3 back.
+/// let z = IMatrix::from_rows(&[&[0], &[0], &[1]]);
+/// assert_eq!(project_onto_column_space(&z, 2), Some(vec![0, 0, 1]));
+/// ```
+pub fn project_onto_column_space(z: &IMatrix, k: usize) -> Option<IVec> {
+    assert!(k < z.rows(), "basis vector index out of range");
+    // w solves (ZᵀZ)·w = Zᵀ·e_k ; x = Z·w.
+    let zt = z.transpose();
+    let m = zt.mul(z).expect("ZᵀZ").to_rational();
+    let rhs: Vec<Rational> = (0..z.cols()).map(|c| Rational::from(z[(k, c)])).collect();
+    let w = solve_rational(&m, &rhs).expect("ZᵀZ must be invertible for full-column-rank Z");
+    let x: Vec<Rational> = (0..z.rows())
+        .map(|r| {
+            (0..z.cols()).fold(Rational::ZERO, |acc, c| {
+                acc + Rational::from(z[(r, c)]) * w[c]
+            })
+        })
+        .collect();
+    if x.iter().all(|v| v.is_zero()) {
+        return None;
+    }
+    // Scale by the lcm of denominators, then make primitive.
+    let scale = x.iter().fold(1i64, |acc, v| crate::lcm(acc, v.denom()));
+    let ints: IVec = x.iter().map(|v| v.numer() * (scale / v.denom())).collect();
+    Some(primitive(&ints))
+}
+
+/// Finds the first standard basis vector `e_k` not orthogonal to the
+/// columns of `d` (i.e. some row `k` of `d` is non-zero), as used in
+/// Algorithm `LegalInvt`.
+pub fn first_non_orthogonal_axis(d: &IMatrix) -> Option<usize> {
+    (0..d.rows()).find(|&r| d.row(r).iter().any(|&v| v != 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dot;
+
+    #[test]
+    fn projection_onto_axis() {
+        // Paper §6.2 example: remaining dependence e3; Z = [e3];
+        // x = e3.
+        let z = IMatrix::from_rows(&[&[0], &[0], &[1]]);
+        assert_eq!(first_non_orthogonal_axis(&z), Some(2));
+        assert_eq!(project_onto_column_space(&z, 2), Some(vec![0, 0, 1]));
+    }
+
+    #[test]
+    fn projection_has_nonnegative_products_with_columns() {
+        // The projection of e_k onto colspace(Z) satisfies
+        // xᵀ·z_j = (proj e_k)ᵀ z_j = e_kᵀ z_j  (after scaling, same sign).
+        let z = IMatrix::from_rows(&[&[1, 0], &[1, 1], &[0, 2]]);
+        let k = first_non_orthogonal_axis(&z).unwrap();
+        let x = project_onto_column_space(&z, k).unwrap();
+        for c in 0..z.cols() {
+            let col = z.col(c);
+            let expected_sign = z[(k, c)].signum();
+            let got = dot(&x, &col).signum();
+            if expected_sign != 0 {
+                assert_eq!(got, expected_sign);
+            }
+        }
+    }
+
+    #[test]
+    fn orthogonal_axis_returns_none() {
+        // Z spans the (e2, e3) plane; projecting e1 gives zero.
+        let z = IMatrix::from_rows(&[&[0, 0], &[1, 0], &[0, 1]]);
+        assert_eq!(project_onto_column_space(&z, 0), None);
+    }
+
+    #[test]
+    fn projection_is_in_column_space() {
+        let z = IMatrix::from_rows(&[&[2, 1], &[0, 3], &[1, 1]]);
+        let x = project_onto_column_space(&z, 0).unwrap();
+        // x must be a rational combination of the columns: rank doesn't grow.
+        let mut aug = z.clone();
+        aug = aug
+            .transpose()
+            .vstack(&IMatrix::row_vector(&x))
+            .unwrap()
+            .transpose();
+        assert_eq!(aug.rank(), z.rank());
+    }
+}

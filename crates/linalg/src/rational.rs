@@ -1,0 +1,283 @@
+//! Exact rational numbers over `i64` with `i128` intermediates.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number.
+///
+/// Invariants: the denominator is strictly positive and
+/// `gcd(|num|, den) == 1` (zero is represented as `0/1`).
+///
+/// All arithmetic is exact; intermediate products use `i128` and the
+/// result is reduced before narrowing back to `i64`, panicking only if the
+/// *reduced* value overflows — which does not happen for the small
+/// matrices used in loop transformation.
+///
+/// ```
+/// use an_linalg::Rational;
+/// let a = Rational::new(2, 4);
+/// assert_eq!(a, Rational::new(1, 2));
+/// assert_eq!((a + Rational::from(1)).to_string(), "3/2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a reduced rational from a numerator and denominator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Rational {
+        assert!(den != 0, "rational with zero denominator");
+        Self::reduce(num as i128, den as i128)
+    }
+
+    fn reduce(num: i128, den: i128) -> Rational {
+        debug_assert!(den != 0);
+        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd_i128(num.unsigned_abs(), den.unsigned_abs()) as i128;
+        let (num, den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        Rational {
+            num: i64::try_from(num).expect("rational numerator overflow"),
+            den: i64::try_from(den).expect("rational denominator overflow"),
+        }
+    }
+
+    /// The (reduced) numerator; carries the sign.
+    pub fn numer(self) -> i64 {
+        self.num
+    }
+
+    /// The (reduced) denominator; always positive.
+    pub fn denom(self) -> i64 {
+        self.den
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// The sign of the value: `-1`, `0` or `1`.
+    pub fn signum(self) -> i64 {
+        self.num.signum()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Self::reduce(self.den as i128, self.num as i128)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(self) -> i64 {
+        crate::div_floor(self.num, self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(self) -> i64 {
+        crate::div_ceil(self.num, self.den)
+    }
+
+    /// Converts to an integer if the value is integral.
+    pub fn to_integer(self) -> Option<i64> {
+        self.is_integer().then_some(self.num)
+    }
+}
+
+fn gcd_i128(a: u128, b: u128) -> u128 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational { num: v, den: 1 }
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational::from(v as i64)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::reduce(
+            self.num as i128 * rhs.den as i128 + rhs.num as i128 * self.den as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::reduce(
+            self.num as i128 * rhs.num as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "division by zero rational");
+        Rational::reduce(
+            self.num as i128 * rhs.den as i128,
+            self.den as i128 * rhs.num as i128,
+        )
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = self.num as i128 * other.den as i128;
+        let rhs = other.num as i128 * self.den as i128;
+        lhs.cmp(&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(4, -8), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -5), Rational::ZERO);
+        assert_eq!(Rational::new(-6, -4), Rational::new(3, 2));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 6);
+        assert_eq!(a + b, Rational::new(1, 2));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 18));
+        assert_eq!(a / b, Rational::from(2));
+        assert_eq!(-a, Rational::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 7) == Rational::ONE);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::from(5).floor(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Smith normal form.
+//!
+//! The paper's lattice arguments (Section 3, via Schrijver) rest on the
+//! structure theory of integer matrices; the Smith normal form
+//! `D = U·A·V` (with `U`, `V` unimodular and `D` diagonal with each
+//! entry dividing the next) is its canonical statement. The column
+//! Hermite form is what code generation consumes, but the SNF is the
+//! right tool for structural questions — lattice quotient shapes,
+//! solvability of `A·x = b` over ℤ, and the invariant factors of a
+//! transform.
+
+use crate::{div_floor, IMatrix};
+
+/// The Smith normal form decomposition `d == u * a * v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snf {
+    /// Diagonal matrix with non-negative invariant factors,
+    /// `d[i] | d[i+1]`.
+    pub d: IMatrix,
+    /// Unimodular row-operation matrix.
+    pub u: IMatrix,
+    /// Unimodular column-operation matrix.
+    pub v: IMatrix,
+}
+
+impl Snf {
+    /// The invariant factors (diagonal entries up to the rank).
+    pub fn invariant_factors(&self) -> Vec<i64> {
+        (0..self.d.rows().min(self.d.cols()))
+            .map(|i| self.d[(i, i)])
+            .filter(|&x| x != 0)
+            .collect()
+    }
+
+    /// Rank of the input matrix.
+    pub fn rank(&self) -> usize {
+        self.invariant_factors().len()
+    }
+
+    /// The index `[Zⁿ : A·Zⁿ]` for a square invertible input
+    /// (`∏ invariant factors == |det A|`).
+    pub fn lattice_index(&self) -> i64 {
+        self.invariant_factors().iter().product()
+    }
+}
+
+/// Computes the Smith normal form of `a`.
+///
+/// Textbook elimination: reduce the leading entry with row and column
+/// gcd steps, clear its row and column, recurse on the trailing block,
+/// then fix the divisibility chain. Exact `i64` arithmetic with checked
+/// operations (panics on overflow — unreachable for loop-transformation
+/// sizes).
+pub fn smith_normal_form(a: &IMatrix) -> Snf {
+    let (m, n) = (a.rows(), a.cols());
+    let mut d = a.clone();
+    let mut u = IMatrix::identity(m);
+    let mut v = IMatrix::identity(n);
+
+    let r = m.min(n);
+    for t in 0..r {
+        // Move a non-zero pivot (smallest magnitude in the trailing
+        // block) to (t, t).
+        // (clippy suggests while-let, but the `else` break documents
+        // the zero-trailing-block case explicitly.)
+        while let Some((pr, pc)) = smallest_nonzero(&d, t) {
+            d.swap_rows(t, pr);
+            u.swap_rows(t, pr);
+            d.swap_cols(t, pc);
+            v.swap_cols(t, pc);
+            // Reduce column t below the pivot and row t right of it.
+            let mut dirty = false;
+            for i in t + 1..m {
+                let q = div_floor(d[(i, t)], d[(t, t)]);
+                if q != 0 {
+                    row_axpy(&mut d, i, t, -q);
+                    row_axpy(&mut u, i, t, -q);
+                }
+                if d[(i, t)] != 0 {
+                    dirty = true;
+                }
+            }
+            for j in t + 1..n {
+                let q = div_floor(d[(t, j)], d[(t, t)]);
+                if q != 0 {
+                    col_axpy(&mut d, j, t, -q);
+                    col_axpy(&mut v, j, t, -q);
+                }
+                if d[(t, j)] != 0 {
+                    dirty = true;
+                }
+            }
+            if !dirty {
+                break;
+            }
+        }
+        if d[(t, t)] < 0 {
+            for j in 0..n {
+                d[(t, j)] = -d[(t, j)];
+            }
+            for j in 0..m {
+                u[(t, j)] = -u[(t, j)];
+            }
+        }
+    }
+
+    // Enforce the divisibility chain d[i] | d[i+1].
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for t in 0..r.saturating_sub(1) {
+            let (x, y) = (d[(t, t)], d[(t + 1, t + 1)]);
+            if x != 0 && y % x != 0 {
+                // Add column t+1 to column t, then re-reduce the 2x2
+                // corner — classic SNF repair step.
+                col_axpy(&mut d, t, t + 1, 1);
+                col_axpy(&mut v, t, t + 1, 1);
+                // Now d[(t+1, t)] == y; reduce with gcd steps.
+                reduce_corner(&mut d, &mut u, &mut v, t);
+                changed = true;
+            }
+        }
+    }
+
+    // Canonical signs: non-negative diagonal.
+    for t in 0..r {
+        if d[(t, t)] < 0 {
+            for j in 0..n {
+                d[(t, j)] = -d[(t, j)];
+            }
+            for j in 0..m {
+                u[(t, j)] = -u[(t, j)];
+            }
+        }
+    }
+
+    Snf { d, u, v }
+}
+
+fn reduce_corner(d: &mut IMatrix, u: &mut IMatrix, v: &mut IMatrix, t: usize) {
+    let (m, n) = (d.rows(), d.cols());
+    loop {
+        // Clear column t below pivot.
+        let mut dirty = false;
+        if d[(t, t)] == 0 {
+            // Pull a non-zero up.
+            if let Some(i) = (t..m).find(|&i| d[(i, t)] != 0) {
+                d.swap_rows(t, i);
+                u.swap_rows(t, i);
+            } else {
+                return;
+            }
+        }
+        for i in t + 1..m {
+            let q = div_floor(d[(i, t)], d[(t, t)]);
+            if q != 0 {
+                row_axpy(d, i, t, -q);
+                row_axpy(u, i, t, -q);
+            }
+            if d[(i, t)] != 0 {
+                d.swap_rows(t, i);
+                u.swap_rows(t, i);
+                dirty = true;
+            }
+        }
+        for j in t + 1..n {
+            let q = div_floor(d[(t, j)], d[(t, t)]);
+            if q != 0 {
+                col_axpy(d, j, t, -q);
+                col_axpy(v, j, t, -q);
+            }
+            if d[(t, j)] != 0 {
+                d.swap_cols(t, j);
+                v.swap_cols(t, j);
+                dirty = true;
+            }
+        }
+        if !dirty {
+            break;
+        }
+    }
+    if d[(t, t)] < 0 {
+        for j in 0..n {
+            d[(t, j)] = -d[(t, j)];
+        }
+        for j in 0..d.rows() {
+            u[(t, j)] = -u[(t, j)];
+        }
+    }
+}
+
+fn smallest_nonzero(d: &IMatrix, t: usize) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize)> = None;
+    for i in t..d.rows() {
+        for j in t..d.cols() {
+            if d[(i, j)] != 0 && best.is_none_or(|(bi, bj)| d[(i, j)].abs() < d[(bi, bj)].abs()) {
+                best = Some((i, j));
+            }
+        }
+    }
+    best
+}
+
+fn row_axpy(m: &mut IMatrix, target: usize, source: usize, factor: i64) {
+    for c in 0..m.cols() {
+        let v = m[(source, c)]
+            .checked_mul(factor)
+            .and_then(|x| m[(target, c)].checked_add(x))
+            .expect("SNF row operation overflow");
+        m[(target, c)] = v;
+    }
+}
+
+fn col_axpy(m: &mut IMatrix, target: usize, source: usize, factor: i64) {
+    for r in 0..m.rows() {
+        let v = m[(r, source)]
+            .checked_mul(factor)
+            .and_then(|x| m[(r, target)].checked_add(x))
+            .expect("SNF column operation overflow");
+        m[(r, target)] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: &IMatrix) -> Snf {
+        let s = smith_normal_form(a);
+        // D = U·A·V.
+        let uav = s.u.mul(a).unwrap().mul(&s.v).unwrap();
+        assert_eq!(uav, s.d, "D != U*A*V for\n{a}");
+        assert!(s.u.is_unimodular(), "U not unimodular for\n{a}");
+        assert!(s.v.is_unimodular(), "V not unimodular for\n{a}");
+        // Diagonal, non-negative, divisibility chain.
+        for i in 0..s.d.rows() {
+            for j in 0..s.d.cols() {
+                if i != j {
+                    assert_eq!(s.d[(i, j)], 0, "off-diagonal entry for\n{a}");
+                }
+            }
+        }
+        let f = s.invariant_factors();
+        assert!(f.iter().all(|&x| x > 0), "negative factor {f:?} for\n{a}");
+        for w in f.windows(2) {
+            assert!(w[1] % w[0] == 0, "chain {f:?} for\n{a}");
+        }
+        s
+    }
+
+    #[test]
+    fn known_forms() {
+        // det = 624; d1 = gcd(entries) = 2, d1·d2 = gcd(2x2 minors) = 4,
+        // so the invariant factors are (2, 2, 156).
+        let a = IMatrix::from_rows(&[&[2, 4, 4], &[-6, 6, 12], &[10, 4, 16]]);
+        let s = check(&a);
+        assert_eq!(s.invariant_factors(), vec![2, 2, 156]);
+        assert_eq!(s.lattice_index(), a.determinant().abs());
+    }
+
+    #[test]
+    fn scaling_example() {
+        // T = [[2,4],[1,5]]: det 6 -> invariant factors (1, 6).
+        let t = IMatrix::from_rows(&[&[2, 4], &[1, 5]]);
+        let s = check(&t);
+        assert_eq!(s.invariant_factors(), vec![1, 6]);
+    }
+
+    #[test]
+    fn unimodular_input_is_all_ones() {
+        let t = IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]]);
+        let s = check(&t);
+        assert_eq!(s.invariant_factors(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn rank_deficient_and_rectangular() {
+        let a = IMatrix::from_rows(&[&[1, 2], &[2, 4]]);
+        let s = check(&a);
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.invariant_factors(), vec![1]);
+        check(&IMatrix::from_rows(&[&[6, 10, 15]]));
+        check(&IMatrix::zero(2, 3));
+        check(&IMatrix::from_rows(&[&[4], &[6]]));
+    }
+
+    #[test]
+    fn gcd_appears_as_first_factor() {
+        // All entries share gcd 3: the first invariant factor is 3.
+        let a = IMatrix::from_rows(&[&[3, 6], &[9, 12]]);
+        let s = check(&a);
+        assert_eq!(s.invariant_factors()[0], 3);
+    }
+}

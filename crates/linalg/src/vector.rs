@@ -1,0 +1,97 @@
+//! Integer vector helpers: dot products and lexicographic order.
+//!
+//! Dependence distance vectors (paper Section 6) are compared
+//! lexicographically: a legal distance vector has a positive leading
+//! non-zero.
+
+use std::cmp::Ordering;
+
+/// An integer vector (a dependence distance or a matrix row).
+pub type IVec = Vec<i64>;
+
+/// Dot product with `i128` accumulation.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or the exact result overflows `i64`.
+pub fn dot(a: &[i64], b: &[i64]) -> i64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    let acc: i128 = a.iter().zip(b).map(|(&x, &y)| x as i128 * y as i128).sum();
+    i64::try_from(acc).expect("dot product overflow")
+}
+
+/// Lexicographic comparison treating the vector as a sequence.
+///
+/// ```
+/// use std::cmp::Ordering;
+/// assert_eq!(an_linalg::lex_cmp(&[0, 1, -5], &[0, 0, 9]), Ordering::Greater);
+/// ```
+pub fn lex_cmp(a: &[i64], b: &[i64]) -> Ordering {
+    for (x, y) in a.iter().zip(b) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Returns `true` if the leading non-zero element is positive
+/// (the all-zero vector is *not* lexicographically positive).
+///
+/// ```
+/// assert!(an_linalg::lex_positive(&[0, 2, -1]));
+/// assert!(!an_linalg::lex_positive(&[0, 0, 0]));
+/// assert!(!an_linalg::lex_positive(&[0, -1, 5]));
+/// ```
+pub fn lex_positive(v: &[i64]) -> bool {
+    v.iter().find(|&&x| x != 0).is_some_and(|&x| x > 0)
+}
+
+/// Returns `true` if the leading non-zero element is negative.
+pub fn lex_negative(v: &[i64]) -> bool {
+    v.iter().find(|&&x| x != 0).is_some_and(|&x| x < 0)
+}
+
+/// Divides every element by the GCD of the vector, preserving sign.
+/// The zero vector is returned unchanged.
+///
+/// ```
+/// assert_eq!(an_linalg::vector::primitive(&[2, -4, 6]), vec![1, -2, 3]);
+/// ```
+pub fn primitive(v: &[i64]) -> IVec {
+    let g = v.iter().fold(0, |acc, &x| crate::gcd(acc, x));
+    if g <= 1 {
+        v.to_vec()
+    } else {
+        v.iter().map(|&x| x / g).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1, 2, 3], &[4, 5, 6]), 32);
+        assert_eq!(dot(&[], &[]), 0);
+    }
+
+    #[test]
+    fn lexicographic() {
+        assert_eq!(lex_cmp(&[1, 0], &[1, 0]), Ordering::Equal);
+        assert_eq!(lex_cmp(&[1, 0], &[1, 1]), Ordering::Less);
+        assert!(lex_positive(&[1]));
+        assert!(lex_negative(&[0, 0, -3]));
+        assert!(!lex_negative(&[]));
+    }
+
+    #[test]
+    fn primitive_vectors() {
+        assert_eq!(primitive(&[0, 0]), vec![0, 0]);
+        assert_eq!(primitive(&[-3, -6]), vec![-1, -2]);
+        assert_eq!(primitive(&[5]), vec![1]);
+        assert_eq!(primitive(&[-7]), vec![-1]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Home-processor computation for distributed arrays, and modular
+//! counting helpers used by the closed-form inner-loop costing.
+
+use an_ir::{ArrayDecl, Distribution};
+use an_linalg::{div_ceil, div_floor, gcd, mod_floor};
+
+/// Where an element lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Home {
+    /// The element is local on every processor (replicated arrays).
+    Everywhere,
+    /// The element lives on one processor.
+    Proc(usize),
+}
+
+impl Home {
+    /// Is the element local to processor `p`?
+    pub fn is_local_to(self, p: usize) -> bool {
+        match self {
+            Home::Everywhere => true,
+            Home::Proc(q) => q == p,
+        }
+    }
+}
+
+/// The block size of a blocked distribution: `ceil(extent / P)`.
+pub fn block_size(extent: i64, procs: usize) -> i64 {
+    div_ceil(extent.max(1), procs as i64).max(1)
+}
+
+/// A near-square factorization `pr × pc = P` for 2-D block grids.
+pub fn grid_shape(procs: usize) -> (usize, usize) {
+    let mut pr = (procs as f64).sqrt() as usize;
+    while pr > 1 && !procs.is_multiple_of(pr) {
+        pr -= 1;
+    }
+    (pr.max(1), procs / pr.max(1))
+}
+
+/// Computes the home of an element given its full index vector.
+///
+/// Out-of-range indices are clamped into the processor range (the
+/// simulator traps genuine out-of-bounds earlier via the interpreter
+/// path in tests; cost simulation stays total).
+pub fn home_of(decl: &ArrayDecl, extents: &[i64], index: &[i64], procs: usize) -> Home {
+    let p = procs as i64;
+    match decl.distribution {
+        Distribution::Replicated => Home::Everywhere,
+        Distribution::Wrapped { dim } => Home::Proc(mod_floor(index[dim], p) as usize),
+        Distribution::Blocked { dim } => {
+            let s = block_size(extents[dim], procs);
+            let h = div_floor(index[dim], s).clamp(0, p - 1);
+            Home::Proc(h as usize)
+        }
+        Distribution::Block2D { row_dim, col_dim } => {
+            let (pr, pc) = grid_shape(procs);
+            let sr = block_size(extents[row_dim], pr);
+            let sc = block_size(extents[col_dim], pc);
+            let hr = div_floor(index[row_dim], sr).clamp(0, pr as i64 - 1);
+            let hc = div_floor(index[col_dim], sc).clamp(0, pc as i64 - 1);
+            Home::Proc((hr * pc as i64 + hc) as usize)
+        }
+    }
+}
+
+/// Counts `w ∈ [lo, hi]` with `(a·w + c) mod P == p` — the number of
+/// inner-loop iterations whose wrapped home is processor `p`.
+pub fn count_wrapped_hits(lo: i64, hi: i64, a: i64, c: i64, procs: usize, p: usize) -> i64 {
+    if lo > hi {
+        return 0;
+    }
+    let pp = procs as i64;
+    let target = p as i64;
+    if a == 0 {
+        return if mod_floor(c, pp) == target {
+            hi - lo + 1
+        } else {
+            0
+        };
+    }
+    // a·w ≡ target − c (mod P): solvable iff g = gcd(a, P) divides rhs.
+    let g = gcd(a, pp);
+    let rhs = mod_floor(target - c, pp);
+    if rhs % g != 0 {
+        return 0;
+    }
+    // Solutions form w ≡ w0 (mod P/g). Find w0 by scanning one period
+    // (P ≤ a few hundred, so this is cheap and robust).
+    let period = pp / g;
+    let mut w0 = None;
+    for w in 0..period {
+        if mod_floor(a * w + c, pp) == target {
+            w0 = Some(w);
+            break;
+        }
+    }
+    let Some(w0) = w0 else { return 0 };
+    // Count w in [lo, hi] with w ≡ w0 (mod period).
+    let first = lo + mod_floor(w0 - lo, period);
+    if first > hi {
+        0
+    } else {
+        (hi - first) / period + 1
+    }
+}
+
+/// Counts `w ∈ [lo, hi]` with `a·w + c ∈ [blo, bhi]` — the number of
+/// inner-loop iterations whose blocked home is a given block.
+pub fn count_interval_hits(lo: i64, hi: i64, a: i64, c: i64, blo: i64, bhi: i64) -> i64 {
+    if lo > hi || blo > bhi {
+        return 0;
+    }
+    if a == 0 {
+        return if c >= blo && c <= bhi { hi - lo + 1 } else { 0 };
+    }
+    // blo ≤ a·w + c ≤ bhi.
+    let (wlo, whi) = if a > 0 {
+        (div_ceil(blo - c, a), div_floor(bhi - c, a))
+    } else {
+        (div_ceil(bhi - c, a), div_floor(blo - c, a))
+    };
+    let s = wlo.max(lo);
+    let e = whi.min(hi);
+    (e - s + 1).max(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an_poly::{Affine, Space};
+
+    fn decl(dist: Distribution) -> ArrayDecl {
+        let s = Space::new(&[], &[]);
+        ArrayDecl {
+            name: "A".into(),
+            dims: vec![Affine::constant(&s, 12), Affine::constant(&s, 12)],
+            distribution: dist,
+        }
+    }
+
+    #[test]
+    fn wrapped_home() {
+        let d = decl(Distribution::Wrapped { dim: 1 });
+        let e = [12, 12];
+        assert_eq!(home_of(&d, &e, &[3, 0], 4), Home::Proc(0));
+        assert_eq!(home_of(&d, &e, &[3, 5], 4), Home::Proc(1));
+        assert_eq!(home_of(&d, &e, &[3, -1], 4), Home::Proc(3));
+    }
+
+    #[test]
+    fn blocked_home() {
+        let d = decl(Distribution::Blocked { dim: 0 });
+        let e = [12, 12];
+        // Block size = 3 at P = 4.
+        assert_eq!(home_of(&d, &e, &[0, 0], 4), Home::Proc(0));
+        assert_eq!(home_of(&d, &e, &[3, 0], 4), Home::Proc(1));
+        assert_eq!(home_of(&d, &e, &[11, 0], 4), Home::Proc(3));
+    }
+
+    #[test]
+    fn block2d_home() {
+        let d = decl(Distribution::Block2D {
+            row_dim: 0,
+            col_dim: 1,
+        });
+        let e = [12, 12];
+        // P = 4 -> 2x2 grid, 6x6 blocks.
+        assert_eq!(home_of(&d, &e, &[0, 0], 4), Home::Proc(0));
+        assert_eq!(home_of(&d, &e, &[0, 6], 4), Home::Proc(1));
+        assert_eq!(home_of(&d, &e, &[6, 0], 4), Home::Proc(2));
+        assert_eq!(home_of(&d, &e, &[7, 9], 4), Home::Proc(3));
+    }
+
+    #[test]
+    fn replicated_is_everywhere() {
+        let d = decl(Distribution::Replicated);
+        assert!(home_of(&d, &[12, 12], &[5, 5], 4).is_local_to(3));
+    }
+
+    #[test]
+    fn wrapped_hit_counting_matches_enumeration() {
+        for a in [-3i64, -1, 0, 1, 2, 4, 6] {
+            for c in [-5i64, 0, 3] {
+                for procs in [1usize, 2, 3, 4, 7] {
+                    for p in 0..procs {
+                        let fast = count_wrapped_hits(-4, 17, a, c, procs, p);
+                        let slow = (-4..=17)
+                            .filter(|&w| mod_floor(a * w + c, procs as i64) == p as i64)
+                            .count() as i64;
+                        assert_eq!(fast, slow, "a={a} c={c} P={procs} p={p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_hit_counting_matches_enumeration() {
+        for a in [-3i64, -1, 0, 2, 5] {
+            for c in [-2i64, 0, 7] {
+                let fast = count_interval_hits(-3, 14, a, c, 4, 20);
+                let slow = (-3..=14)
+                    .filter(|&w| {
+                        let v = a * w + c;
+                        (4..=20).contains(&v)
+                    })
+                    .count() as i64;
+                assert_eq!(fast, slow, "a={a} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_shapes() {
+        assert_eq!(grid_shape(1), (1, 1));
+        assert_eq!(grid_shape(4), (2, 2));
+        assert_eq!(grid_shape(6), (2, 3));
+        assert_eq!(grid_shape(7), (1, 7));
+        assert_eq!(grid_shape(16), (4, 4));
+    }
+}

@@ -1,0 +1,35 @@
+use std::fmt;
+
+/// Errors from simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A loop of the SPMD program has no finite bounds.
+    UnboundedLoop {
+        /// Loop level.
+        var: usize,
+    },
+    /// The processor count must be at least 1.
+    NoProcessors,
+    /// Parameter vector has the wrong arity for the program.
+    BadParameters {
+        /// Expected number of parameters.
+        expected: usize,
+        /// Provided number.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnboundedLoop { var } => write!(f, "loop #{var} has no finite bounds"),
+            SimError::NoProcessors => write!(f, "processor count must be at least 1"),
+            SimError::BadParameters { expected, got } => {
+                write!(f, "expected {expected} parameter values, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

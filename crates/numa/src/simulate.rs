@@ -1,0 +1,697 @@
+//! The SPMD cost-model execution engine.
+//!
+//! Each processor's loop nest is walked explicitly down to the
+//! second-innermost level; the innermost loop is priced in closed form
+//! by counting, with modular arithmetic, how many of its iterations hit
+//! local vs. remote homes. That makes paper-sized problems (400×400
+//! GEMM on 28 processors) simulate in milliseconds while charging
+//! *exactly* the same per-access costs as an element-by-element walk —
+//! a property the test suite checks against a reference implementation.
+
+use crate::distribution::{
+    block_size, count_interval_hits, count_wrapped_hits, grid_shape, home_of,
+};
+use crate::machine::MachineConfig;
+use crate::stats::{ProcStats, SimStats};
+use crate::SimError;
+use an_codegen::spmd::{OuterAssignment, SpmdProgram};
+use an_codegen::transfers::BlockTransfer;
+use an_ir::{ArrayId, Distribution, Expr, Program, Stmt};
+use an_linalg::mod_floor;
+use an_poly::Affine;
+
+/// Simulates the SPMD program on `procs` processors.
+///
+/// # Errors
+///
+/// [`SimError::NoProcessors`] for `procs == 0`,
+/// [`SimError::BadParameters`] for an arity mismatch, and
+/// [`SimError::UnboundedLoop`] if a loop bound cannot be evaluated.
+pub fn simulate(
+    spmd: &SpmdProgram,
+    machine: &MachineConfig,
+    procs: usize,
+    params: &[i64],
+) -> Result<SimStats, SimError> {
+    if procs == 0 {
+        return Err(SimError::NoProcessors);
+    }
+    let program = &spmd.program;
+    if params.len() != program.params.len() {
+        return Err(SimError::BadParameters {
+            expected: program.params.len(),
+            got: params.len(),
+        });
+    }
+    let plan = Plan::build(spmd, machine, procs, params);
+    let mut per_proc = Vec::with_capacity(procs);
+    for p in 0..procs {
+        per_proc.push(plan.run_processor(p)?);
+    }
+    let time_us = if spmd.outer_carried {
+        per_proc.iter().map(|s| s.busy_us).sum()
+    } else {
+        per_proc.iter().map(|s| s.busy_us).fold(0.0, f64::max)
+    };
+    Ok(SimStats {
+        procs,
+        time_us,
+        per_proc,
+    })
+}
+
+/// One array access with pre-resolved costing info.
+struct AccessPlan {
+    array: ArrayId,
+    subscripts: Vec<Affine>,
+    /// `Some(dim)` for 1-D wrapped/blocked distributions.
+    dist: DistPlan,
+    /// `true` if a hoisted block transfer supplies this element locally.
+    covered: bool,
+}
+
+enum DistPlan {
+    Local,
+    Wrapped { dim: usize },
+    Blocked { dim: usize, size: i64 },
+    Block2D,
+}
+
+struct Plan<'a> {
+    spmd: &'a SpmdProgram,
+    machine: &'a MachineConfig,
+    procs: usize,
+    params: &'a [i64],
+    extents: Vec<Vec<i64>>,
+    /// Per statement: (operation count, access plans).
+    stmts: Vec<(u64, Vec<AccessPlan>)>,
+    /// Transfers grouped by hoist level.
+    transfers_at: Vec<Vec<&'a BlockTransfer>>,
+    remote_us: f64,
+}
+
+impl<'a> Plan<'a> {
+    fn build(
+        spmd: &'a SpmdProgram,
+        machine: &'a MachineConfig,
+        procs: usize,
+        params: &'a [i64],
+    ) -> Plan<'a> {
+        let program = &spmd.program;
+        let extents: Vec<Vec<i64>> = program.arrays.iter().map(|a| a.extents(params)).collect();
+        let n = program.nest.depth();
+        let mut transfers_at = vec![Vec::new(); n];
+        for t in &spmd.transfers {
+            transfers_at[t.level].push(t);
+        }
+        let stmts = program
+            .nest
+            .body
+            .iter()
+            .map(|stmt| {
+                let Stmt::Assign { lhs, rhs } = stmt else {
+                    return (0, Vec::new());
+                };
+                let mut accesses = Vec::new();
+                accesses.push(Self::plan_access(program, procs, &extents, spmd, lhs, true));
+                for r in rhs.reads() {
+                    accesses.push(Self::plan_access(program, procs, &extents, spmd, r, false));
+                }
+                (count_ops(rhs), accesses)
+            })
+            .collect();
+        Plan {
+            spmd,
+            machine,
+            procs,
+            params,
+            extents,
+            stmts,
+            transfers_at,
+            remote_us: machine.remote_effective(procs),
+        }
+    }
+
+    fn plan_access(
+        program: &Program,
+        procs: usize,
+        extents: &[Vec<i64>],
+        spmd: &SpmdProgram,
+        r: &an_ir::ArrayRef,
+        is_write: bool,
+    ) -> AccessPlan {
+        let decl = program.array(r.array);
+        let dist = match decl.distribution {
+            Distribution::Replicated => DistPlan::Local,
+            _ if procs == 1 => DistPlan::Local,
+            Distribution::Wrapped { dim } => DistPlan::Wrapped { dim },
+            Distribution::Blocked { dim } => DistPlan::Blocked {
+                dim,
+                size: block_size(extents[r.array.0][dim], procs),
+            },
+            Distribution::Block2D { .. } => DistPlan::Block2D,
+        };
+        // A read is covered when every distribution dimension has a
+        // matching hoisted transfer.
+        let covered = !is_write
+            && !decl.distribution.dims().is_empty()
+            && decl.distribution.dims().iter().all(|&dim| {
+                spmd.transfers
+                    .iter()
+                    .any(|t| t.array == r.array && t.dim == dim && t.subscript == r.subscripts[dim])
+            });
+        AccessPlan {
+            array: r.array,
+            subscripts: r.subscripts.clone(),
+            dist,
+            covered,
+        }
+    }
+
+    fn run_processor(&self, p: usize) -> Result<ProcStats, SimError> {
+        let mut stats = ProcStats::default();
+        let n = self.spmd.program.nest.depth();
+        let mut point = vec![0i64; n];
+        self.walk(0, p, &mut point, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Walks one loop level; returns `true` if any full-depth iteration
+    /// executed below this level. Hoisted transfers (and outer-iteration
+    /// counting) fire only for prefixes with real work, matching an
+    /// element-by-element execution.
+    fn walk(
+        &self,
+        level: usize,
+        p: usize,
+        point: &mut Vec<i64>,
+        stats: &mut ProcStats,
+    ) -> Result<bool, SimError> {
+        let n = self.spmd.program.nest.depth();
+        let bounds = &self.spmd.program.nest.bounds[level];
+        let (lo, hi) = bounds
+            .eval(point, self.params)
+            .ok_or(SimError::UnboundedLoop { var: level })?;
+        // Innermost level (of a nest deeper than 1): closed form. When
+        // 2-D tiling distributes this level (depth-2 nests), restrict the
+        // range to the processor's column block first.
+        if level == n - 1 && level > 0 {
+            let (lo, hi) = if level == 1 {
+                self.restrict_to_grid_column(p, lo, hi)
+            } else {
+                (lo, hi)
+            };
+            self.cost_innermost(lo, hi, p, point, stats);
+            return Ok(lo <= hi);
+        }
+        let mut any = false;
+        for v in lo..=hi {
+            point[level] = v;
+            if level <= 1 && !self.executes_level(level, p, v) {
+                continue;
+            }
+            let worked = if level == n - 1 {
+                // Depth-1 nest: price this single iteration.
+                self.cost_innermost(v, v, p, point, stats);
+                point[level] = v; // cost_innermost resets the slot
+                true
+            } else {
+                self.walk(level + 1, p, point, stats)?
+            };
+            if worked {
+                any = true;
+                if level == 0 {
+                    stats.outer_iterations += 1;
+                }
+                for t in &self.transfers_at[level] {
+                    self.cost_transfer(t, p, point, stats);
+                }
+            }
+        }
+        point[level] = 0;
+        Ok(any)
+    }
+
+    /// Intersects `[lo, hi]` with the second-loop values processor `p`
+    /// owns under 2-D tiling (the whole range for other assignments).
+    fn restrict_to_grid_column(&self, p: usize, lo: i64, hi: i64) -> (i64, i64) {
+        let OuterAssignment::ByHome2D {
+            array,
+            col_dim,
+            col_coeff,
+            col_offset,
+            ..
+        } = &self.spmd.outer
+        else {
+            return (lo, hi);
+        };
+        if self.procs == 1 {
+            return (lo, hi);
+        }
+        let (_, gc) = grid_shape(self.procs);
+        let pc = (p % gc) as i64;
+        let nvars = self.spmd.program.nest.space.num_vars();
+        let zeros = vec![0i64; nvars];
+        let off = col_offset.eval(&zeros, self.params);
+        let sc = block_size(self.extents[array.0][*col_dim], gc);
+        let blo = if pc == 0 { i64::MIN / 4 } else { pc * sc };
+        let bhi = if pc == gc as i64 - 1 {
+            i64::MAX / 4
+        } else {
+            (pc + 1) * sc - 1
+        };
+        // blo <= c·v + off <= bhi.
+        let c = *col_coeff;
+        let (vlo, vhi) = if c > 0 {
+            (
+                an_linalg::div_ceil(blo - off, c),
+                an_linalg::div_floor(bhi - off, c),
+            )
+        } else {
+            (
+                an_linalg::div_ceil(bhi - off, c),
+                an_linalg::div_floor(blo - off, c),
+            )
+        };
+        (lo.max(vlo), hi.min(vhi))
+    }
+
+    /// Whether processor `p` executes iterations with `value` at `level`
+    /// (level 0 for every assignment; level 1 additionally for 2-D
+    /// tiling).
+    fn executes_level(&self, level: usize, p: usize, value: i64) -> bool {
+        if self.procs == 1 {
+            return true;
+        }
+        match &self.spmd.outer {
+            OuterAssignment::RoundRobin => {
+                level != 0 || mod_floor(value, self.procs as i64) == p as i64
+            }
+            OuterAssignment::ByHome {
+                array,
+                dim: _,
+                coeff,
+                offset,
+            } => {
+                if level != 0 {
+                    return true;
+                }
+                let nvars = self.spmd.program.nest.space.num_vars();
+                let zeros = vec![0i64; nvars];
+                let s_val = coeff * value + offset.eval(&zeros, self.params);
+                let decl = self.spmd.program.array(*array);
+                // Home along the (single) distribution dimension.
+                let dims = decl.distribution.dims();
+                let d = dims[0];
+                let mut idx = vec![0i64; decl.rank()];
+                idx[d] = s_val;
+                home_of(decl, &self.extents[array.0], &idx, self.procs).is_local_to(p)
+            }
+            OuterAssignment::ByHome2D {
+                array,
+                row_dim,
+                col_dim,
+                row_coeff,
+                row_offset,
+                col_coeff,
+                col_offset,
+            } => {
+                let (gr, gc) = grid_shape(self.procs);
+                let nvars = self.spmd.program.nest.space.num_vars();
+                let zeros = vec![0i64; nvars];
+                let extents = &self.extents[array.0];
+                match level {
+                    0 => {
+                        let s_val = row_coeff * value + row_offset.eval(&zeros, self.params);
+                        let sr = block_size(extents[*row_dim], gr);
+                        let hr = an_linalg::div_floor(s_val, sr).clamp(0, gr as i64 - 1);
+                        hr as usize == p / gc
+                    }
+                    1 => {
+                        let s_val = col_coeff * value + col_offset.eval(&zeros, self.params);
+                        let sc = block_size(extents[*col_dim], gc);
+                        let hc = an_linalg::div_floor(s_val, sc).clamp(0, gc as i64 - 1);
+                        hc as usize == p % gc
+                    }
+                    _ => true,
+                }
+            }
+        }
+    }
+
+    fn cost_transfer(&self, t: &BlockTransfer, p: usize, point: &[i64], stats: &mut ProcStats) {
+        if self.procs == 1 {
+            return;
+        }
+        let decl = self.spmd.program.array(t.array);
+        if decl.distribution == Distribution::Replicated {
+            return;
+        }
+        let s_val = t.subscript.eval(point, self.params);
+        let mut idx = vec![0i64; decl.rank()];
+        idx[t.dim] = s_val;
+        let home = home_of(decl, &self.extents[t.array.0], &idx, self.procs);
+        if home.is_local_to(p) {
+            return; // the slice is already local
+        }
+        let elements = t.elements(&self.spmd.program, self.params);
+        stats.messages += 1;
+        stats.transfer_bytes += (elements.max(0) as u64) * self.machine.element_bytes as u64;
+        stats.busy_us += self.machine.transfer_cost(elements, self.procs);
+    }
+
+    /// Prices the innermost loop `w ∈ [lo, hi]` in closed form.
+    fn cost_innermost(&self, lo: i64, hi: i64, p: usize, point: &mut [i64], stats: &mut ProcStats) {
+        if lo > hi {
+            return;
+        }
+        let trips = (hi - lo + 1) as u64;
+        let inner = self.spmd.program.nest.depth() - 1;
+        for (ops, accesses) in &self.stmts {
+            stats.busy_us += trips as f64 * *ops as f64 * self.machine.compute_per_op;
+            for acc in accesses {
+                let (local, remote) = match &acc.dist {
+                    _ if acc.covered && self.procs > 1 => (trips as i64, 0),
+                    DistPlan::Local => (trips as i64, 0),
+                    DistPlan::Wrapped { dim } => {
+                        let s = &acc.subscripts[*dim];
+                        let a = s.var_coeff(inner);
+                        point[inner] = 0;
+                        let c = s.eval(point, self.params);
+                        let l = count_wrapped_hits(lo, hi, a, c, self.procs, p);
+                        (l, trips as i64 - l)
+                    }
+                    DistPlan::Blocked { dim, size } => {
+                        let s = &acc.subscripts[*dim];
+                        let a = s.var_coeff(inner);
+                        point[inner] = 0;
+                        let c = s.eval(point, self.params);
+                        let pp = p as i64;
+                        let blo = if p == 0 { i64::MIN / 4 } else { pp * size };
+                        let bhi = if p + 1 == self.procs {
+                            i64::MAX / 4
+                        } else {
+                            (pp + 1) * size - 1
+                        };
+                        let l = count_interval_hits(lo, hi, a, c, blo, bhi);
+                        (l, trips as i64 - l)
+                    }
+                    DistPlan::Block2D => {
+                        // Slow path: per-element homes.
+                        let decl = self.spmd.program.array(acc.array);
+                        let mut l = 0i64;
+                        for w in lo..=hi {
+                            point[inner] = w;
+                            let idx: Vec<i64> = acc
+                                .subscripts
+                                .iter()
+                                .map(|s| s.eval(point, self.params))
+                                .collect();
+                            if home_of(decl, &self.extents[acc.array.0], &idx, self.procs)
+                                .is_local_to(p)
+                            {
+                                l += 1;
+                            }
+                        }
+                        point[inner] = 0;
+                        (l, trips as i64 - l)
+                    }
+                };
+                stats.local_accesses += local as u64;
+                stats.remote_accesses += remote as u64;
+                stats.busy_us +=
+                    local as f64 * self.machine.local_access + remote as f64 * self.remote_us;
+            }
+        }
+        point[inner] = 0;
+    }
+}
+
+fn count_ops(e: &Expr) -> u64 {
+    match e {
+        Expr::Access(_) | Expr::Lit(_) | Expr::Coef(_) => 0,
+        Expr::Neg(a) => 1 + count_ops(a),
+        Expr::Bin(_, a, b) => 1 + count_ops(a) + count_ops(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an_codegen::spmd::{generate_spmd, SpmdOptions};
+    use an_codegen::transform::apply_transform;
+    use an_core::{normalize, NormalizeOptions};
+    use an_linalg::IMatrix;
+
+    /// Element-by-element reference simulator: walks every iteration and
+    /// prices each access individually; transfers are replayed at their
+    /// hoist level. Must agree exactly with the closed-form engine.
+    fn reference(
+        spmd: &SpmdProgram,
+        machine: &MachineConfig,
+        procs: usize,
+        params: &[i64],
+    ) -> SimStats {
+        let program = &spmd.program;
+        let extents: Vec<Vec<i64>> = program.arrays.iter().map(|a| a.extents(params)).collect();
+        let mut per_proc = Vec::new();
+        for p in 0..procs {
+            let mut st = ProcStats::default();
+            let mut last_prefix: Vec<Option<Vec<i64>>> = vec![None; program.nest.depth()];
+            program
+                .nest
+                .for_each_iteration(params, |pt| {
+                    // Outer filter.
+                    let plan = Plan::build(spmd, machine, procs, params);
+                    if !plan.executes_level(0, p, pt[0])
+                        || (pt.len() > 1 && !plan.executes_level(1, p, pt[1]))
+                    {
+                        return;
+                    }
+                    // Replay transfers when a prefix changes.
+                    for (lvl, slot) in last_prefix.iter_mut().enumerate() {
+                        let prefix: Vec<i64> = pt[..=lvl].to_vec();
+                        if slot.as_ref() != Some(&prefix) {
+                            *slot = Some(prefix);
+                            if lvl == 0 {
+                                st.outer_iterations += 1;
+                            }
+                            for t in &spmd.transfers {
+                                if t.level == lvl {
+                                    let plan2 = Plan::build(spmd, machine, procs, params);
+                                    plan2.cost_transfer(t, p, pt, &mut st);
+                                }
+                            }
+                        }
+                    }
+                    // Price each access.
+                    for stmt in &program.nest.body {
+                        let Stmt::Assign { lhs, rhs } = stmt else {
+                            continue;
+                        };
+                        st.busy_us += count_ops(rhs) as f64 * machine.compute_per_op;
+                        let mut refs = vec![(lhs, true)];
+                        for r in rhs.reads() {
+                            refs.push((r, false));
+                        }
+                        for (r, is_write) in refs {
+                            let decl = program.array(r.array);
+                            let covered = !is_write
+                                && procs > 1
+                                && !decl.distribution.dims().is_empty()
+                                && decl.distribution.dims().iter().all(|&dim| {
+                                    spmd.transfers.iter().any(|t| {
+                                        t.array == r.array
+                                            && t.dim == dim
+                                            && t.subscript == r.subscripts[dim]
+                                    })
+                                });
+                            let idx: Vec<i64> =
+                                r.subscripts.iter().map(|s| s.eval(pt, params)).collect();
+                            let local = procs == 1
+                                || covered
+                                || home_of(decl, &extents[r.array.0], &idx, procs).is_local_to(p);
+                            if local {
+                                st.local_accesses += 1;
+                                st.busy_us += machine.local_access;
+                            } else {
+                                st.remote_accesses += 1;
+                                st.busy_us += machine.remote_effective(procs);
+                            }
+                        }
+                    }
+                })
+                .unwrap();
+            per_proc.push(st);
+        }
+        let time_us = if spmd.outer_carried {
+            per_proc.iter().map(|s| s.busy_us).sum()
+        } else {
+            per_proc.iter().map(|s| s.busy_us).fold(0.0, f64::max)
+        };
+        SimStats {
+            procs,
+            time_us,
+            per_proc,
+        }
+    }
+
+    fn check_against_reference(src: &str, params: &[i64], transform: Option<IMatrix>) {
+        let p = an_lang::parse(src).unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        let t_mat = transform.unwrap_or(r.transform.clone());
+        let tp = apply_transform(&p, &t_mat).unwrap();
+        for &block in &[true, false] {
+            let spmd = generate_spmd(
+                &tp,
+                Some(&r.dependences),
+                &SpmdOptions {
+                    block_transfers: block,
+                },
+            );
+            let machine = MachineConfig::butterfly_gp1000();
+            for procs in [1usize, 2, 3, 5] {
+                let fast = simulate(&spmd, &machine, procs, params).unwrap();
+                let slow = reference(&spmd, &machine, procs, params);
+                for (a, b) in fast.per_proc.iter().zip(&slow.per_proc) {
+                    assert_eq!(
+                        a.local_accesses, b.local_accesses,
+                        "P={procs} block={block}"
+                    );
+                    assert_eq!(
+                        a.remote_accesses, b.remote_accesses,
+                        "P={procs} block={block}"
+                    );
+                    assert_eq!(a.messages, b.messages, "P={procs} block={block}");
+                    assert!(
+                        (a.busy_us - b.busy_us).abs() < 1e-6,
+                        "P={procs} block={block}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_reference_figure1() {
+        check_against_reference(
+            "param N1 = 5; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+            &[5, 3, 4],
+            None,
+        );
+    }
+
+    #[test]
+    fn closed_form_matches_reference_gemm_naive() {
+        check_against_reference(
+            "param N = 6;
+             array C[N, N] distribute wrapped(1);
+             array A[N, N] distribute wrapped(1);
+             array B[N, N] distribute wrapped(1);
+             for i = 0, N - 1 { for j = 0, N - 1 { for k = 0, N - 1 {
+                 C[i, j] = C[i, j] + A[i, k] * B[k, j];
+             } } }",
+            &[6],
+            Some(IMatrix::identity(3)),
+        );
+    }
+
+    #[test]
+    fn closed_form_matches_reference_blocked() {
+        check_against_reference(
+            "param N = 8;
+             array A[N, N] distribute blocked(0);
+             array B[N, N] distribute blocked(1);
+             for i = 0, N - 1 { for j = 0, N - 1 {
+                 A[j, i] = A[j, i] + B[i, j];
+             } }",
+            &[8],
+            Some(IMatrix::identity(2)),
+        );
+    }
+
+    #[test]
+    fn single_processor_is_all_local() {
+        let p = an_lang::parse(
+            "param N = 4;
+             array C[N, N] distribute wrapped(1);
+             for i = 0, N - 1 { for j = 0, N - 1 { C[i, j] = C[i, j] + 1.0; } }",
+        )
+        .unwrap();
+        let tp = apply_transform(&p, &IMatrix::identity(2)).unwrap();
+        let spmd = generate_spmd(&tp, None, &SpmdOptions::default());
+        let s = simulate(&spmd, &MachineConfig::butterfly_gp1000(), 1, &[4]).unwrap();
+        assert_eq!(s.total_remote(), 0);
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.total_local(), 2 * 16);
+    }
+
+    #[test]
+    fn normalization_reduces_remote_traffic() {
+        // The headline claim, in miniature: after normalization the
+        // remote fraction collapses.
+        let src = "param N = 12;
+             array C[N, N] distribute wrapped(1);
+             array A[N, N] distribute wrapped(1);
+             array B[N, N] distribute wrapped(1);
+             for i = 0, N - 1 { for j = 0, N - 1 { for k = 0, N - 1 {
+                 C[i, j] = C[i, j] + A[i, k] * B[k, j];
+             } } }";
+        let p = an_lang::parse(src).unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        let machine = MachineConfig::butterfly_gp1000();
+        let naive = {
+            let tp = apply_transform(&p, &IMatrix::identity(3)).unwrap();
+            let spmd = generate_spmd(
+                &tp,
+                Some(&r.dependences),
+                &SpmdOptions {
+                    block_transfers: false,
+                },
+            );
+            simulate(&spmd, &machine, 4, &[12]).unwrap()
+        };
+        let normalized = {
+            let tp = apply_transform(&p, &r.transform).unwrap();
+            let spmd = generate_spmd(
+                &tp,
+                Some(&r.dependences),
+                &SpmdOptions {
+                    block_transfers: false,
+                },
+            );
+            simulate(&spmd, &machine, 4, &[12]).unwrap()
+        };
+        assert!(
+            normalized.remote_fraction() < naive.remote_fraction() / 2.0,
+            "normalized {} vs naive {}",
+            normalized.remote_fraction(),
+            naive.remote_fraction()
+        );
+        assert!(normalized.time_us < naive.time_us);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let p = an_lang::parse("array A[4]; for i = 0, 3 { A[i] = 1.0; }").unwrap();
+        let tp = apply_transform(&p, &IMatrix::identity(1)).unwrap();
+        let spmd = generate_spmd(&tp, None, &SpmdOptions::default());
+        let machine = MachineConfig::butterfly_gp1000();
+        assert_eq!(
+            simulate(&spmd, &machine, 0, &[]),
+            Err(SimError::NoProcessors)
+        );
+        assert_eq!(
+            simulate(&spmd, &machine, 2, &[1]),
+            Err(SimError::BadParameters {
+                expected: 0,
+                got: 1
+            })
+        );
+    }
+}

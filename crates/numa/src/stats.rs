@@ -1,0 +1,129 @@
+//! Simulation statistics.
+
+/// Per-processor counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProcStats {
+    /// Element accesses satisfied locally.
+    pub local_accesses: u64,
+    /// Element accesses that went over the network individually.
+    pub remote_accesses: u64,
+    /// Block-transfer messages issued.
+    pub messages: u64,
+    /// Bytes moved by block transfers.
+    pub transfer_bytes: u64,
+    /// Iterations of the (distributed) outer loop executed.
+    pub outer_iterations: u64,
+    /// Busy time in microseconds (compute + memory + transfers).
+    pub busy_us: f64,
+}
+
+/// Whole-machine simulation result.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimStats {
+    /// Number of processors simulated.
+    pub procs: usize,
+    /// Completion time in microseconds: the maximum processor busy time
+    /// (barrier at the end), or the sum when the outer loop carries a
+    /// dependence and iterations serialize.
+    pub time_us: f64,
+    /// Per-processor counters.
+    pub per_proc: Vec<ProcStats>,
+}
+
+impl SimStats {
+    /// Total local accesses across processors.
+    pub fn total_local(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.local_accesses).sum()
+    }
+
+    /// Total remote accesses across processors.
+    pub fn total_remote(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.remote_accesses).sum()
+    }
+
+    /// Total block-transfer messages across processors.
+    pub fn total_messages(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.messages).sum()
+    }
+
+    /// Total bytes moved by block transfers.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.transfer_bytes).sum()
+    }
+
+    /// Fraction of element accesses that were remote.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.total_local() + self.total_remote();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_remote() as f64 / total as f64
+        }
+    }
+
+    /// Load imbalance: max busy time over mean busy time (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let max = self
+            .per_proc
+            .iter()
+            .map(|p| p.busy_us)
+            .fold(0.0f64, f64::max);
+        let mean: f64 = self.per_proc.iter().map(|p| p.busy_us).sum::<f64>()
+            / self.per_proc.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let s = SimStats {
+            procs: 2,
+            time_us: 10.0,
+            per_proc: vec![
+                ProcStats {
+                    local_accesses: 8,
+                    remote_accesses: 2,
+                    messages: 1,
+                    transfer_bytes: 64,
+                    outer_iterations: 3,
+                    busy_us: 10.0,
+                },
+                ProcStats {
+                    local_accesses: 6,
+                    remote_accesses: 4,
+                    messages: 0,
+                    transfer_bytes: 0,
+                    outer_iterations: 3,
+                    busy_us: 5.0,
+                },
+            ],
+        };
+        assert_eq!(s.total_local(), 14);
+        assert_eq!(s.total_remote(), 6);
+        assert_eq!(s.total_messages(), 1);
+        assert_eq!(s.total_transfer_bytes(), 64);
+        assert!((s.remote_fraction() - 0.3).abs() < 1e-12);
+        assert!((s.imbalance() - 10.0 / 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = SimStats {
+            procs: 0,
+            time_us: 0.0,
+            per_proc: vec![],
+        };
+        assert_eq!(s.remote_fraction(), 0.0);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Property test: the closed-form simulator prices exactly like an
+//! independent element-by-element reference on randomly generated
+//! programs, distributions and transforms.
+
+use an_codegen::spmd::{generate_spmd, OuterAssignment, SpmdOptions, SpmdProgram};
+use an_codegen::transform::apply_transform;
+use an_core::{normalize, NormalizeOptions};
+use an_ir::build::NestBuilder;
+use an_ir::{Distribution, Expr, Program, Stmt};
+use an_linalg::mod_floor;
+use an_numa::distribution::{block_size, grid_shape, home_of};
+use an_numa::{simulate, MachineConfig, ProcStats};
+use proptest::prelude::*;
+
+fn random_program() -> impl Strategy<Value = Program> {
+    let dist = prop_oneof![
+        Just(Distribution::Replicated),
+        Just(Distribution::Wrapped { dim: 0 }),
+        Just(Distribution::Wrapped { dim: 1 }),
+        Just(Distribution::Blocked { dim: 0 }),
+        Just(Distribution::Blocked { dim: 1 }),
+        Just(Distribution::Block2D {
+            row_dim: 0,
+            col_dim: 1
+        }),
+    ];
+    (
+        2usize..=3,
+        proptest::collection::vec(-2i64..=2, 12),
+        dist.clone(),
+        dist,
+        any::<bool>(),
+    )
+        .prop_map(|(depth, coeffs, d1, d2, triangular)| build(depth, &coeffs, d1, d2, triangular))
+        .prop_filter("valid", |p| p.validate().is_ok())
+}
+
+fn build(
+    depth: usize,
+    coeffs: &[i64],
+    d1: Distribution,
+    d2: Distribution,
+    triangular: bool,
+) -> Program {
+    let names: Vec<&str> = ["i", "j", "k"][..depth].to_vec();
+    let mut b = NestBuilder::new(&names, &[("N", 5)]);
+    let ext = b.cst(64);
+    let a1 = b.array("A", &[ext.clone(), ext.clone()], d1);
+    let a2 = b.array("B", &[ext.clone(), ext], d2);
+    for k in 0..depth {
+        if triangular && k > 0 {
+            b.bounds(k, b.var(k - 1), b.par(0).sub(&b.cst(1)));
+        } else {
+            b.bounds(k, b.cst(0), b.par(0).sub(&b.cst(1)));
+        }
+    }
+    let sub = |b: &NestBuilder, cs: &[i64], off: i64| {
+        let mut e = b.cst(26 + off);
+        for (v, &c) in cs.iter().take(depth).enumerate() {
+            e = e.add(&b.var(v).scale(c));
+        }
+        e
+    };
+    let lhs = b.access(a1, &[sub(&b, &coeffs[0..3], 0), sub(&b, &coeffs[3..6], 1)]);
+    let read = b.access(a2, &[sub(&b, &coeffs[6..9], 2), sub(&b, &coeffs[9..12], 0)]);
+    b.assign(lhs, Expr::add(Expr::access(read), Expr::lit(1.0)));
+    b.finish()
+}
+
+/// Independent reference pricing: walk every iteration, price every
+/// access, replay transfers per changed prefix.
+fn reference(
+    spmd: &SpmdProgram,
+    machine: &MachineConfig,
+    procs: usize,
+    params: &[i64],
+) -> Vec<ProcStats> {
+    let program = &spmd.program;
+    let extents: Vec<Vec<i64>> = program.arrays.iter().map(|a| a.extents(params)).collect();
+    let nvars = program.nest.space.num_vars();
+    let executes = |p: usize, pt: &[i64]| -> bool {
+        if procs == 1 {
+            return true;
+        }
+        match &spmd.outer {
+            OuterAssignment::RoundRobin => mod_floor(pt[0], procs as i64) == p as i64,
+            OuterAssignment::ByHome {
+                array,
+                coeff,
+                offset,
+                ..
+            } => {
+                let zeros = vec![0i64; nvars];
+                let s_val = coeff * pt[0] + offset.eval(&zeros, params);
+                let decl = program.array(*array);
+                let d = decl.distribution.dims()[0];
+                let mut idx = vec![0i64; decl.rank()];
+                idx[d] = s_val;
+                home_of(decl, &extents[array.0], &idx, procs).is_local_to(p)
+            }
+            OuterAssignment::ByHome2D {
+                array,
+                row_dim,
+                col_dim,
+                row_coeff,
+                row_offset,
+                col_coeff,
+                col_offset,
+            } => {
+                let (gr, gc) = grid_shape(procs);
+                let zeros = vec![0i64; nvars];
+                let ext = &extents[array.0];
+                let rv = row_coeff * pt[0] + row_offset.eval(&zeros, params);
+                let cv = col_coeff * pt[1] + col_offset.eval(&zeros, params);
+                let sr = block_size(ext[*row_dim], gr);
+                let sc = block_size(ext[*col_dim], gc);
+                let hr = an_linalg::div_floor(rv, sr).clamp(0, gr as i64 - 1);
+                let hc = an_linalg::div_floor(cv, sc).clamp(0, gc as i64 - 1);
+                hr as usize == p / gc && hc as usize == p % gc
+            }
+        }
+    };
+    let mut out = Vec::new();
+    for p in 0..procs {
+        let mut st = ProcStats::default();
+        let mut last_prefix: Vec<Option<Vec<i64>>> = vec![None; program.nest.depth()];
+        program
+            .nest
+            .for_each_iteration(params, |pt| {
+                if !executes(p, pt) {
+                    return;
+                }
+                for (lvl, slot) in last_prefix.iter_mut().enumerate() {
+                    let prefix: Vec<i64> = pt[..=lvl].to_vec();
+                    if slot.as_ref() != Some(&prefix) {
+                        *slot = Some(prefix);
+                        if lvl == 0 {
+                            st.outer_iterations += 1;
+                        }
+                        for t in &spmd.transfers {
+                            if t.level != lvl || procs == 1 {
+                                continue;
+                            }
+                            let decl = program.array(t.array);
+                            if decl.distribution == Distribution::Replicated {
+                                continue;
+                            }
+                            let s_val = t.subscript.eval(pt, params);
+                            let mut idx = vec![0i64; decl.rank()];
+                            idx[t.dim] = s_val;
+                            if home_of(decl, &extents[t.array.0], &idx, procs).is_local_to(p) {
+                                continue;
+                            }
+                            let elements = t.elements(program, params);
+                            st.messages += 1;
+                            st.transfer_bytes += elements.max(0) as u64 * 8;
+                            st.busy_us += machine.transfer_cost(elements, procs);
+                        }
+                    }
+                }
+                for stmt in &program.nest.body {
+                    let Stmt::Assign { lhs, rhs } = stmt else {
+                        continue;
+                    };
+                    st.busy_us += ops(rhs) as f64 * machine.compute_per_op;
+                    let mut refs = vec![(lhs, true)];
+                    for r in rhs.reads() {
+                        refs.push((r, false));
+                    }
+                    for (r, is_write) in refs {
+                        let decl = program.array(r.array);
+                        let covered = !is_write
+                            && procs > 1
+                            && !decl.distribution.dims().is_empty()
+                            && decl.distribution.dims().iter().all(|&dim| {
+                                spmd.transfers.iter().any(|t| {
+                                    t.array == r.array
+                                        && t.dim == dim
+                                        && t.subscript == r.subscripts[dim]
+                                })
+                            });
+                        let idx: Vec<i64> =
+                            r.subscripts.iter().map(|s| s.eval(pt, params)).collect();
+                        let local = procs == 1
+                            || covered
+                            || home_of(decl, &extents[r.array.0], &idx, procs).is_local_to(p);
+                        if local {
+                            st.local_accesses += 1;
+                            st.busy_us += machine.local_access;
+                        } else {
+                            st.remote_accesses += 1;
+                            st.busy_us += machine.remote_effective(procs);
+                        }
+                    }
+                }
+            })
+            .unwrap();
+        out.push(st);
+    }
+    out
+}
+
+fn ops(e: &Expr) -> u64 {
+    match e {
+        Expr::Access(_) | Expr::Lit(_) | Expr::Coef(_) => 0,
+        Expr::Neg(a) => 1 + ops(a),
+        Expr::Bin(_, a, b) => 1 + ops(a) + ops(b),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn closed_form_equals_reference(p in random_program(), transform in any::<bool>(), block in any::<bool>()) {
+        let norm = match normalize(&p, &NormalizeOptions::default()) {
+            Ok(n) => n,
+            Err(_) => return Ok(()),
+        };
+        let t = if transform {
+            norm.transform.clone()
+        } else {
+            an_linalg::IMatrix::identity(p.nest.depth())
+        };
+        let tp = match apply_transform(&p, &t) {
+            Ok(tp) => tp,
+            Err(_) => return Ok(()),
+        };
+        let spmd = generate_spmd(&tp, Some(&norm.dependences), &SpmdOptions { block_transfers: block });
+        let machine = MachineConfig::butterfly_gp1000();
+        for procs in [1usize, 2, 3] {
+            let fast = simulate(&spmd, &machine, procs, &[5]).unwrap();
+            let slow = reference(&spmd, &machine, procs, &[5]);
+            for (pi, (a, b)) in fast.per_proc.iter().zip(&slow).enumerate() {
+                prop_assert_eq!(a.local_accesses, b.local_accesses, "local p{} P{}", pi, procs);
+                prop_assert_eq!(a.remote_accesses, b.remote_accesses, "remote p{} P{}", pi, procs);
+                prop_assert_eq!(a.messages, b.messages, "messages p{} P{}", pi, procs);
+                prop_assert_eq!(a.outer_iterations, b.outer_iterations, "outer p{} P{}", pi, procs);
+                prop_assert!((a.busy_us - b.busy_us).abs() < 1e-6, "busy p{pi} P{procs}: {} vs {}", a.busy_us, b.busy_us);
+            }
+        }
+    }
+}

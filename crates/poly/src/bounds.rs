@@ -1,0 +1,330 @@
+//! Loop-bound extraction from constraint systems.
+//!
+//! A loop nest needs bounds in *triangular* form: the bounds of variable
+//! `k` may mention only outer variables `0..k` and parameters. This
+//! module projects a constraint system level by level (innermost first)
+//! and converts the surviving inequalities into `max`-of-ceiling-division
+//! lower bounds and `min`-of-floor-division upper bounds — exactly the
+//! `max(...)`, `min(...)`, `ceil`/`floor` forms that appear in the
+//! restructured programs of the paper (Section 3).
+
+use crate::{Affine, ConstraintSystem};
+use an_linalg::{div_ceil, div_floor};
+use std::fmt;
+
+/// One bound term: the affine `expr` divided by the positive integer
+/// `divisor`, rounded up (for lower bounds) or down (for upper bounds).
+#[derive(Clone, PartialEq, Eq)]
+pub struct BoundExpr {
+    /// Affine numerator; involves only outer variables and parameters.
+    pub expr: Affine,
+    /// Positive divisor (1 for most bounds; > 1 after skewing/scaling).
+    pub divisor: i64,
+}
+
+impl BoundExpr {
+    /// Evaluates as a lower bound: `ceil(expr / divisor)`.
+    pub fn eval_lower(&self, var_values: &[i64], param_values: &[i64]) -> i64 {
+        div_ceil(self.expr.eval(var_values, param_values), self.divisor)
+    }
+
+    /// Evaluates as an upper bound: `floor(expr / divisor)`.
+    pub fn eval_upper(&self, var_values: &[i64], param_values: &[i64]) -> i64 {
+        div_floor(self.expr.eval(var_values, param_values), self.divisor)
+    }
+
+    /// Renders the bound as source text, with `ceil`/`floor` division
+    /// when the divisor is not 1.
+    pub fn render(&self, lower: bool) -> String {
+        if self.divisor == 1 {
+            format!("{}", self.expr)
+        } else if lower {
+            format!("ceild({}, {})", self.expr, self.divisor)
+        } else {
+            format!("floord({}, {})", self.expr, self.divisor)
+        }
+    }
+}
+
+impl fmt::Debug for BoundExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})/{}", self.expr, self.divisor)
+    }
+}
+
+/// The bounds of one loop variable: the loop runs from the max of the
+/// lower bounds to the min of the upper bounds, provided every guard is
+/// satisfied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopBounds {
+    /// Index of the variable these bounds describe.
+    pub var: usize,
+    /// Lower bound terms (take the maximum).
+    pub lowers: Vec<BoundExpr>,
+    /// Upper bound terms (take the minimum).
+    pub uppers: Vec<BoundExpr>,
+    /// Guard conditions `g ≥ 0` not involving this or deeper variables
+    /// (parameter preconditions surfaced by Fourier–Motzkin); when any
+    /// guard is violated the loop runs zero iterations.
+    pub guards: Vec<Affine>,
+}
+
+impl LoopBounds {
+    /// Evaluates the concrete `(lb, ub)` for given outer variable values
+    /// (entries at indices `>= self.var` are ignored) and parameters.
+    ///
+    /// Returns `None` if the variable is unbounded on either side (which
+    /// indicates a malformed loop nest).
+    pub fn eval(&self, var_values: &[i64], param_values: &[i64]) -> Option<(i64, i64)> {
+        if self
+            .guards
+            .iter()
+            .any(|g| g.eval(var_values, param_values) < 0)
+        {
+            return Some((0, -1)); // statically empty
+        }
+        let lb = self
+            .lowers
+            .iter()
+            .map(|b| b.eval_lower(var_values, param_values))
+            .max()?;
+        let ub = self
+            .uppers
+            .iter()
+            .map(|b| b.eval_upper(var_values, param_values))
+            .min()?;
+        Some((lb, ub))
+    }
+
+    /// Renders the lower bound as source text (`max(...)` if several).
+    pub fn render_lower(&self) -> String {
+        render_combined(&self.lowers, true)
+    }
+
+    /// Renders the upper bound as source text (`min(...)` if several).
+    pub fn render_upper(&self) -> String {
+        render_combined(&self.uppers, false)
+    }
+}
+
+fn render_combined(bounds: &[BoundExpr], lower: bool) -> String {
+    match bounds.len() {
+        0 => (if lower { "-inf" } else { "+inf" }).to_string(),
+        1 => bounds[0].render(lower),
+        _ => {
+            let parts: Vec<String> = bounds.iter().map(|b| b.render(lower)).collect();
+            format!(
+                "{}({})",
+                if lower { "max" } else { "min" },
+                parts.join(", ")
+            )
+        }
+    }
+}
+
+/// Extracts triangular loop bounds for every variable of the system.
+///
+/// Variable `k`'s bounds come from the system with variables `k+1..n`
+/// eliminated by Fourier–Motzkin, so they involve only `vars[0..k]` and
+/// parameters.
+///
+/// The result always has one entry per variable, in variable order. A
+/// variable with no lower or upper constraint yields empty `lowers` /
+/// `uppers` (the caller decides whether that is an error).
+pub fn extract_bounds(sys: &ConstraintSystem) -> Vec<LoopBounds> {
+    extract_bounds_with_assumptions(sys, &[])
+}
+
+/// [`extract_bounds`] with variable-free parameter preconditions (e.g.
+/// `N ≥ 1`): before reading off each level's bounds, inequalities that
+/// are implied by the rest of the system plus the assumptions are
+/// dropped, which removes the redundant `max`/`min` terms the paper's
+/// hand-written bounds omit.
+pub fn extract_bounds_with_assumptions(
+    sys: &ConstraintSystem,
+    assumptions: &[Affine],
+) -> Vec<LoopBounds> {
+    let n = sys.space().num_vars();
+    let mut out: Vec<LoopBounds> = Vec::with_capacity(n);
+    let mut cur = sys.clone();
+    for k in (0..n).rev() {
+        if !assumptions.is_empty() {
+            cur = cur.remove_redundant(assumptions);
+        }
+        let (lowers, uppers) = cur.bounds_on(k);
+        let to_bound = |e: &&Affine, _lower: bool| -> BoundExpr {
+            let a = e.var_coeff(k);
+            debug_assert!(a != 0);
+            // a·x + rest >= 0.  For a > 0: x >= ceil(-rest / a).
+            // For a < 0: x <= floor(rest / (-a)).
+            let mut rest = (*e).clone();
+            rest = rest.sub(&Affine::var(e.space(), k, a));
+            if a > 0 {
+                BoundExpr {
+                    expr: rest.neg(),
+                    divisor: a,
+                }
+            } else {
+                BoundExpr {
+                    expr: rest,
+                    divisor: -a,
+                }
+            }
+        };
+        let mut lb: Vec<BoundExpr> = lowers.iter().map(|e| to_bound(e, true)).collect();
+        let mut ub: Vec<BoundExpr> = uppers.iter().map(|e| to_bound(e, false)).collect();
+        dedup_bounds(&mut lb, true);
+        dedup_bounds(&mut ub, false);
+        out.push(LoopBounds {
+            var: k,
+            lowers: lb,
+            uppers: ub,
+            guards: Vec::new(),
+        });
+        cur = cur.eliminate(k);
+    }
+    out.reverse();
+    // Whatever survives full elimination is variable-free: parameter
+    // preconditions (or a contradiction) that guard the whole nest.
+    if let Some(outer) = out.first_mut() {
+        for e in cur.inequalities() {
+            if !e.is_zero() {
+                outer.guards.push(e.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Removes duplicate bound terms and terms with identical linear parts
+/// that are strictly dominated (constant comparison only — parameter
+/// signs are unknown, so terms differing in parameter coefficients are
+/// both kept).
+fn dedup_bounds(bounds: &mut Vec<BoundExpr>, lower: bool) {
+    let mut kept: Vec<BoundExpr> = Vec::new();
+    'outer: for b in bounds.drain(..) {
+        for k in &mut kept {
+            if same_linear_part(k, &b) {
+                // Same divisor and same non-constant part: keep the tighter.
+                let kb = k.expr.constant_term();
+                let bb = b.expr.constant_term();
+                let replace = if lower { bb > kb } else { bb < kb };
+                if replace {
+                    *k = b;
+                }
+                continue 'outer;
+            }
+        }
+        kept.push(b);
+    }
+    *bounds = kept;
+}
+
+fn same_linear_part(a: &BoundExpr, b: &BoundExpr) -> bool {
+    a.divisor == b.divisor
+        && a.expr.var_coeffs() == b.expr.var_coeffs()
+        && a.expr.param_coeffs() == b.expr.param_coeffs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Space;
+
+    fn triangle_sys() -> ConstraintSystem {
+        let s = Space::new(&["i", "j"], &["N"]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        let n1 = Affine::param(&s, 0, 1).add(&Affine::constant(&s, -1));
+        sys.add_lower(0, &Affine::constant(&s, 0));
+        sys.add_upper(0, &n1);
+        sys.add_lower(1, &Affine::var(&s, 0, 1));
+        sys.add_upper(1, &n1);
+        sys
+    }
+
+    #[test]
+    fn triangular_extraction() {
+        let b = extract_bounds(&triangle_sys());
+        assert_eq!(b.len(), 2);
+        // Outer: 0 <= i <= N-1.
+        assert_eq!(b[0].eval(&[0, 0], &[10]), Some((0, 9)));
+        // Inner at i = 3: 3 <= j <= 9.
+        assert_eq!(b[1].eval(&[3, 0], &[10]), Some((3, 9)));
+        // Bounds of the outer loop must not mention j.
+        for e in b[0].lowers.iter().chain(&b[0].uppers) {
+            assert_eq!(e.expr.var_coeff(1), 0);
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_membership() {
+        let sys = triangle_sys();
+        let b = extract_bounds(&sys);
+        let n = 7;
+        let mut from_bounds = Vec::new();
+        let (ilo, ihi) = b[0].eval(&[0, 0], &[n]).unwrap();
+        for i in ilo..=ihi {
+            let (jlo, jhi) = b[1].eval(&[i, 0], &[n]).unwrap();
+            for j in jlo..=jhi {
+                from_bounds.push((i, j));
+            }
+        }
+        let mut from_membership = Vec::new();
+        for i in -2..10 {
+            for j in -2..10 {
+                if sys.contains(&[i, j], &[n]) {
+                    from_membership.push((i, j));
+                }
+            }
+        }
+        assert_eq!(from_bounds, from_membership);
+    }
+
+    #[test]
+    fn divisor_bounds() {
+        // 2 <= 3j <= 10  =>  j in [ceil(2/3), floor(10/3)] = [1, 3].
+        let s = Space::new(&["j"], &[]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        sys.add(&Affine::from_coeffs(&s, &[3], &[], -2));
+        sys.add(&Affine::from_coeffs(&s, &[-3], &[], 10));
+        let b = extract_bounds(&sys);
+        assert_eq!(b[0].eval(&[0], &[]), Some((1, 3)));
+    }
+
+    #[test]
+    fn rendering() {
+        let b = extract_bounds(&triangle_sys());
+        assert_eq!(b[1].render_lower(), "i");
+        assert_eq!(b[1].render_upper(), "N - 1");
+        // max() rendering with two lower bounds.
+        let s = Space::new(&["i"], &["N"]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        sys.add_lower(0, &Affine::constant(&s, 0));
+        sys.add_lower(0, &Affine::param(&s, 0, 1).add(&Affine::constant(&s, -5)));
+        sys.add_upper(0, &Affine::param(&s, 0, 1));
+        let b = extract_bounds(&sys);
+        assert_eq!(b[0].render_lower(), "max(0, N - 5)");
+    }
+
+    #[test]
+    fn dominated_bounds_are_dropped() {
+        let s = Space::new(&["i"], &[]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        sys.add_lower(0, &Affine::constant(&s, 0));
+        sys.add_lower(0, &Affine::constant(&s, 5)); // dominates i >= 0
+        sys.add_upper(0, &Affine::constant(&s, 9));
+        let b = extract_bounds(&sys);
+        assert_eq!(b[0].lowers.len(), 1);
+        assert_eq!(b[0].eval(&[0], &[]), Some((5, 9)));
+    }
+
+    #[test]
+    fn unbounded_variable_reports_empty() {
+        let s = Space::new(&["i"], &[]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        sys.add_lower(0, &Affine::constant(&s, 0));
+        let b = extract_bounds(&sys);
+        assert!(b[0].uppers.is_empty());
+        assert_eq!(b[0].eval(&[0], &[]), None);
+    }
+}

@@ -1,0 +1,445 @@
+//! Inequality systems and Fourier–Motzkin elimination.
+
+use crate::{Affine, Space};
+use an_linalg::gcd;
+use std::fmt;
+
+/// A conjunction of affine inequalities `e ≥ 0` over a [`Space`].
+///
+/// Parameter coefficients are symbolic and ride along through the
+/// elimination; variable coefficients are numeric, which is what makes
+/// Fourier–Motzkin exact here.
+///
+/// ```
+/// use an_poly::{Affine, ConstraintSystem, Space};
+/// let s = Space::new(&["i", "j"], &[]);
+/// let mut sys = ConstraintSystem::new(s.clone());
+/// sys.add_lower(0, &Affine::constant(&s, 0));  // i >= 0
+/// sys.add_upper(0, &Affine::constant(&s, 9));  // i <= 9
+/// sys.add_lower(1, &Affine::var(&s, 0, 1));    // j >= i
+/// sys.add_upper(1, &Affine::constant(&s, 9));  // j <= 9
+/// assert!(sys.contains(&[3, 5], &[]));
+/// assert!(!sys.contains(&[5, 3], &[]));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct ConstraintSystem {
+    space: Space,
+    ineqs: Vec<Affine>,
+}
+
+impl ConstraintSystem {
+    /// Creates an empty (i.e. universally true) system.
+    pub fn new(space: Space) -> ConstraintSystem {
+        ConstraintSystem {
+            space,
+            ineqs: Vec::new(),
+        }
+    }
+
+    /// The space of the system.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// The inequalities (`e ≥ 0` each).
+    pub fn inequalities(&self) -> &[Affine] {
+        &self.ineqs
+    }
+
+    /// Adds the inequality `e ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` belongs to a space of different shape.
+    pub fn add(&mut self, e: &Affine) {
+        assert!(
+            e.space().same_shape(&self.space),
+            "constraint from a different space"
+        );
+        let n = normalize(e);
+        if !self.ineqs.contains(&n) {
+            self.ineqs.push(n);
+        }
+    }
+
+    /// Adds `varᵢ ≥ e` (a lower bound for variable `i`).
+    pub fn add_lower(&mut self, i: usize, e: &Affine) {
+        self.add(&Affine::var(e.space(), i, 1).sub(e));
+    }
+
+    /// Adds `varᵢ ≤ e` (an upper bound for variable `i`).
+    pub fn add_upper(&mut self, i: usize, e: &Affine) {
+        self.add(&e.sub(&Affine::var(e.space(), i, 1)));
+    }
+
+    /// Returns `true` if the point satisfies every inequality.
+    pub fn contains(&self, var_values: &[i64], param_values: &[i64]) -> bool {
+        self.ineqs
+            .iter()
+            .all(|e| e.eval(var_values, param_values) >= 0)
+    }
+
+    /// Returns `true` if the system is syntactically infeasible: it
+    /// contains a constraint with no variables, no parameters, and a
+    /// negative constant. (With symbolic parameters full infeasibility
+    /// is undecidable without parameter ranges; this catches what the
+    /// elimination itself can prove.)
+    pub fn is_trivially_infeasible(&self) -> bool {
+        self.ineqs.iter().any(|e| {
+            e.is_var_free() && e.param_coeffs().iter().all(|&c| c == 0) && e.constant_term() < 0
+        })
+    }
+
+    /// Fourier–Motzkin elimination of variable `i`: returns the system
+    /// describing the projection of the solution set onto the remaining
+    /// variables (the *real shadow*; exact for the loop-bound use case
+    /// because emptiness of inner loops is handled by `lb > ub`).
+    pub fn eliminate(&self, i: usize) -> ConstraintSystem {
+        let mut lowers = Vec::new(); // coeff > 0 on var i
+        let mut uppers = Vec::new(); // coeff < 0 on var i
+        let mut rest = Vec::new();
+        for e in &self.ineqs {
+            match e.var_coeff(i).signum() {
+                1 => lowers.push(e),
+                -1 => uppers.push(e),
+                _ => rest.push(e.clone()),
+            }
+        }
+        let mut out = ConstraintSystem::new(self.space.clone());
+        for e in rest {
+            out.add(&e);
+        }
+        for l in &lowers {
+            for u in &uppers {
+                let a = l.var_coeff(i); // > 0
+                let b = -u.var_coeff(i); // > 0
+                                         // b·l + a·u eliminates var i exactly.
+                let combined = l.scale(b).add(&u.scale(a));
+                debug_assert_eq!(combined.var_coeff(i), 0);
+                out.add(&combined);
+            }
+        }
+        out
+    }
+
+    /// Eliminates all variables with index `>= first`, yielding the
+    /// projection onto the prefix `vars[0..first]`.
+    pub fn project_to_prefix(&self, first: usize) -> ConstraintSystem {
+        let mut sys = self.clone();
+        for i in (first..self.space.num_vars()).rev() {
+            sys = sys.eliminate(i);
+        }
+        sys
+    }
+
+    /// The inequalities that involve variable `i`, split into
+    /// `(lower, upper)` groups: `lower` entries have positive coefficient
+    /// on `i` (they bound it from below), `upper` negative.
+    pub fn bounds_on(&self, i: usize) -> (Vec<&Affine>, Vec<&Affine>) {
+        let mut lowers = Vec::new();
+        let mut uppers = Vec::new();
+        for e in &self.ineqs {
+            match e.var_coeff(i).signum() {
+                1 => lowers.push(e),
+                -1 => uppers.push(e),
+                _ => {}
+            }
+        }
+        (lowers, uppers)
+    }
+
+    /// Intersection with another system over the same space shape.
+    pub fn intersect(&self, other: &ConstraintSystem) -> ConstraintSystem {
+        let mut out = self.clone();
+        for e in &other.ineqs {
+            out.add(e);
+        }
+        out
+    }
+
+    /// Rewrites the system into a new variable space via
+    /// `old_vars = M · new_vars` (see [`Affine::substitute_vars`]).
+    pub fn substitute_vars(&self, m: &an_linalg::IMatrix, new_space: &Space) -> ConstraintSystem {
+        let mut out = ConstraintSystem::new(new_space.clone());
+        for e in &self.ineqs {
+            out.add(&e.substitute_vars(m, new_space));
+        }
+        out
+    }
+
+    /// Rational infeasibility test treating variables *and* parameters
+    /// as unknowns: eliminates everything with Fourier–Motzkin and
+    /// checks for a contradictory constant. `true` means the system
+    /// provably has no rational solution; `false` is inconclusive only
+    /// for integer-but-not-rational gaps, which is the safe direction
+    /// for the uses below.
+    pub fn is_infeasible(&self) -> bool {
+        // Re-home params as extra variables so FM can eliminate them.
+        let total = self.space.num_vars() + self.space.num_params();
+        let names: Vec<String> = (0..total).map(|i| format!("z{i}")).collect();
+        let scratch = Space::from_names(names, Vec::new());
+        let mut sys = ConstraintSystem::new(scratch.clone());
+        for e in &self.ineqs {
+            let mut vars: Vec<i64> = e.var_coeffs().to_vec();
+            vars.extend_from_slice(e.param_coeffs());
+            sys.add(&Affine::from_coeffs(
+                &scratch,
+                &vars,
+                &[],
+                e.constant_term(),
+            ));
+        }
+        for k in (0..total).rev() {
+            sys = sys.eliminate(k);
+            if sys.is_trivially_infeasible() {
+                return true;
+            }
+        }
+        sys.is_trivially_infeasible()
+    }
+
+    /// Returns `true` if `e ≥ 0` holds in every rational point of the
+    /// system (checked as infeasibility of `self ∧ e ≤ -1`; exact for
+    /// the integer-coefficient constraints used here).
+    pub fn implies(&self, e: &Affine) -> bool {
+        let mut probe = self.clone();
+        // e <= -1  ⇔  -e - 1 >= 0.
+        probe.add(&e.neg().sub(&Affine::constant(e.space(), 1)));
+        probe.is_infeasible()
+    }
+
+    /// Removes inequalities that are implied by the others together with
+    /// the given variable-free `assumptions` (parameter preconditions
+    /// such as `N ≥ 1`). Keeps the system's meaning on all points
+    /// satisfying the assumptions.
+    pub fn remove_redundant(&self, assumptions: &[Affine]) -> ConstraintSystem {
+        let mut kept: Vec<Affine> = self.ineqs.clone();
+        let mut i = 0;
+        while i < kept.len() {
+            let candidate = kept[i].clone();
+            let mut rest = ConstraintSystem::new(self.space.clone());
+            for (j, e) in kept.iter().enumerate() {
+                if j != i {
+                    rest.add(e);
+                }
+            }
+            for a in assumptions {
+                rest.add(&a.widen_to(&self.space));
+            }
+            if rest.implies(&candidate) {
+                kept.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let mut out = ConstraintSystem::new(self.space.clone());
+        for e in kept {
+            out.add(&e);
+        }
+        out
+    }
+}
+
+/// Integer normalization of `e ≥ 0`: divide by the gcd `g` of the
+/// variable and parameter coefficients and replace the constant with
+/// `floor(c/g)` — valid (and tightening) for integer solutions.
+fn normalize(e: &Affine) -> Affine {
+    let mut g = 0i64;
+    for &c in e.var_coeffs().iter().chain(e.param_coeffs()) {
+        g = gcd(g, c);
+    }
+    if g <= 1 {
+        return e.clone();
+    }
+    let vars: Vec<i64> = e.var_coeffs().iter().map(|&c| c / g).collect();
+    let params: Vec<i64> = e.param_coeffs().iter().map(|&c| c / g).collect();
+    Affine::from_coeffs(
+        e.space(),
+        &vars,
+        &params,
+        an_linalg::div_floor(e.constant_term(), g),
+    )
+}
+
+impl fmt::Debug for ConstraintSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ConstraintSystem {{")?;
+        for e in &self.ineqs {
+            writeln!(f, "  {e} >= 0")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for ConstraintSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.ineqs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " && ")?;
+            }
+            write!(f, "{e} >= 0")?;
+        }
+        if self.ineqs.is_empty() {
+            write!(f, "true")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A triangle 0 <= i <= 9, i <= j <= 9.
+    fn triangle() -> (Space, ConstraintSystem) {
+        let s = Space::new(&["i", "j"], &[]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        sys.add_lower(0, &Affine::constant(&s, 0));
+        sys.add_upper(0, &Affine::constant(&s, 9));
+        sys.add_lower(1, &Affine::var(&s, 0, 1));
+        sys.add_upper(1, &Affine::constant(&s, 9));
+        (s, sys)
+    }
+
+    #[test]
+    fn membership() {
+        let (_, sys) = triangle();
+        assert!(sys.contains(&[0, 0], &[]));
+        assert!(sys.contains(&[9, 9], &[]));
+        assert!(!sys.contains(&[1, 0], &[]));
+        assert!(!sys.contains(&[10, 10], &[]));
+    }
+
+    #[test]
+    fn elimination_preserves_projection() {
+        let (_, sys) = triangle();
+        let proj = sys.eliminate(1);
+        // Projection of the triangle onto i is [0, 9].
+        for i in -3..13 {
+            let inside = (0..=9).contains(&i);
+            assert_eq!(proj.contains(&[i, 0], &[]), inside, "i = {i}");
+        }
+    }
+
+    #[test]
+    fn elimination_exactness_brute_force() {
+        // A less trivial polytope: 2i + 3j <= 17, i >= 1, j >= i - 2.
+        let s = Space::new(&["i", "j"], &[]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        sys.add(&Affine::from_coeffs(&s, &[-2, -3], &[], 17));
+        sys.add_lower(0, &Affine::constant(&s, 1));
+        sys.add_lower(1, &Affine::var(&s, 0, 1).add(&Affine::constant(&s, -2)));
+        let proj = sys.eliminate(1);
+        for i in -5..15 {
+            let has_j = (-20..30).any(|j| sys.contains(&[i, j], &[]));
+            assert_eq!(proj.contains(&[i, 0], &[]), has_j, "i = {i}");
+        }
+    }
+
+    #[test]
+    fn symbolic_parameters_ride_along() {
+        // 0 <= i <= N-1 projected after eliminating j with i <= j <= N-1:
+        // should keep i <= N-1 reachable.
+        let s = Space::new(&["i", "j"], &["N"]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        let n_minus_1 = Affine::param(&s, 0, 1).add(&Affine::constant(&s, -1));
+        sys.add_lower(0, &Affine::constant(&s, 0));
+        sys.add_upper(0, &n_minus_1);
+        sys.add_lower(1, &Affine::var(&s, 0, 1));
+        sys.add_upper(1, &n_minus_1);
+        let proj = sys.eliminate(1);
+        for n in [1, 5, 20] {
+            for i in 0..n {
+                assert!(proj.contains(&[i, 0], &[n]));
+            }
+            assert!(!proj.contains(&[n, 0], &[n]));
+            assert!(!proj.contains(&[-1, 0], &[n]));
+        }
+    }
+
+    #[test]
+    fn normalization_tightens() {
+        // 2i - 1 >= 0 over integers means i >= 1 (floor(-1/2) = -1).
+        let s = Space::new(&["i"], &[]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        sys.add(&Affine::from_coeffs(&s, &[2], &[], -1));
+        assert!(!sys.contains(&[0], &[]));
+        assert!(sys.contains(&[1], &[]));
+        let e = &sys.inequalities()[0];
+        assert_eq!(e.var_coeff(0), 1);
+        assert_eq!(e.constant_term(), -1);
+    }
+
+    #[test]
+    fn trivially_infeasible_detection() {
+        let s = Space::new(&["i"], &[]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        sys.add_lower(0, &Affine::constant(&s, 5));
+        sys.add_upper(0, &Affine::constant(&s, 3));
+        assert!(!sys.is_trivially_infeasible());
+        let proj = sys.eliminate(0);
+        assert!(proj.is_trivially_infeasible());
+    }
+
+    #[test]
+    fn duplicate_constraints_are_merged() {
+        let s = Space::new(&["i"], &[]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        sys.add_lower(0, &Affine::constant(&s, 0));
+        sys.add_lower(0, &Affine::constant(&s, 0));
+        sys.add(&Affine::from_coeffs(&s, &[3], &[], 0)); // normalizes to i >= 0
+        assert_eq!(sys.inequalities().len(), 1);
+    }
+
+    #[test]
+    fn implication_and_infeasibility() {
+        let s = Space::new(&["i"], &["N"]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        sys.add_lower(0, &Affine::constant(&s, 0));
+        sys.add_upper(0, &Affine::param(&s, 0, 1).add(&Affine::constant(&s, -1)));
+        // 0 <= i <= N-1 implies i >= -5 and i <= N + 3.
+        assert!(sys.implies(&Affine::var(&s, 0, 1).add(&Affine::constant(&s, 5))));
+        assert!(sys.implies(
+            &Affine::param(&s, 0, 1)
+                .add(&Affine::constant(&s, 3))
+                .sub(&Affine::var(&s, 0, 1))
+        ));
+        // It does not imply i >= 1 (i = 0 allowed).
+        assert!(!sys.implies(&Affine::var(&s, 0, 1).sub(&Affine::constant(&s, 1))));
+        // Infeasibility: adding i <= -1 contradicts i >= 0.
+        let mut bad = sys.clone();
+        bad.add_upper(0, &Affine::constant(&s, -1));
+        assert!(bad.is_infeasible());
+        assert!(!sys.is_infeasible());
+    }
+
+    #[test]
+    fn redundant_constraints_are_removed_under_assumptions() {
+        let s = Space::new(&["i"], &["N"]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        sys.add_lower(0, &Affine::constant(&s, 0));
+        // i >= 1 - N is redundant when N >= 1.
+        sys.add_lower(0, &Affine::constant(&s, 1).sub(&Affine::param(&s, 0, 1)));
+        sys.add_upper(0, &Affine::param(&s, 0, 1));
+        let n_ge_1 = Affine::param(&s, 0, 1).add(&Affine::constant(&s, -1));
+        let pruned = sys.remove_redundant(&[n_ge_1]);
+        assert_eq!(pruned.inequalities().len(), 2, "{pruned:?}");
+        // Without the assumption both lower bounds must stay.
+        let unpruned = sys.remove_redundant(&[]);
+        assert_eq!(unpruned.inequalities().len(), 3, "{unpruned:?}");
+    }
+
+    #[test]
+    fn substitution_consistency() {
+        let (s, sys) = triangle();
+        // Substitute (i, j) = M (u, v) with M = [[0,1],[1,0]] (swap).
+        let new = s.with_vars(&["u", "v"]);
+        let m = an_linalg::IMatrix::from_rows(&[&[0, 1], &[1, 0]]);
+        let swapped = sys.substitute_vars(&m, &new);
+        for i in -2..12 {
+            for j in -2..12 {
+                assert_eq!(sys.contains(&[i, j], &[]), swapped.contains(&[j, i], &[]));
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Symbolic affine expressions and polyhedral machinery for loop
+//! restructuring.
+//!
+//! Loop bounds in the access-normalization pipeline are affine functions
+//! of *loop variables* (eliminable) and *symbolic parameters* (never
+//! eliminated — problem sizes like `N`, band widths like `b`, the
+//! processor count `P`). This crate provides:
+//!
+//! - [`Space`] — the naming context: how many loop variables and
+//!   parameters exist, and what they are called.
+//! - [`Affine`] — an affine form `Σ aᵢ·varᵢ + Σ bⱼ·paramⱼ + c` with exact
+//!   integer coefficients.
+//! - [`ConstraintSystem`] — a conjunction of inequalities `e ≥ 0`, with
+//!   **Fourier–Motzkin elimination** that works in the presence of
+//!   symbolic parameters (variable coefficients are numeric, so the
+//!   elimination is exact; parameter coefficients ride along linearly).
+//! - [`bounds`] — extraction of per-variable loop bounds
+//!   (`max` of ceiling-divisions below, `min` of floor-divisions above)
+//!   from a constraint system, in the triangular form a loop nest needs.
+//!
+//! # Example
+//!
+//! ```
+//! use an_poly::{Space, Affine, ConstraintSystem};
+//!
+//! // for i = 0..N-1, for j = i..i+4:  (one parameter N)
+//! let space = Space::new(&["i", "j"], &["N"]);
+//! let mut sys = ConstraintSystem::new(space.clone());
+//! sys.add_lower(0, &Affine::constant(&space, 0));           // i >= 0
+//! sys.add_upper(0, &Affine::param(&space, 0, 1).add(&Affine::constant(&space, -1))); // i <= N-1
+//! sys.add_lower(1, &Affine::var(&space, 0, 1));             // j >= i
+//! sys.add_upper(1, &Affine::var(&space, 0, 1).add(&Affine::constant(&space, 4))); // j <= i+4
+//! let bounds = an_poly::bounds::extract_bounds(&sys);
+//! // The outer loop's bounds only involve parameters.
+//! assert_eq!(bounds[0].lowers.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod bounds;
+pub mod constraint;
+pub mod space;
+
+pub use affine::Affine;
+pub use bounds::{BoundExpr, LoopBounds};
+pub use constraint::ConstraintSystem;
+pub use space::Space;

@@ -1,0 +1,162 @@
+//! The naming context for affine expressions.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A space declares how many loop variables and symbolic parameters an
+/// affine expression ranges over, and what they are called.
+///
+/// Spaces are cheap to clone (the name tables are shared).
+///
+/// ```
+/// use an_poly::Space;
+/// let s = Space::new(&["i", "j", "k"], &["N", "b"]);
+/// assert_eq!(s.num_vars(), 3);
+/// assert_eq!(s.param_name(1), "b");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Space {
+    vars: Arc<Vec<String>>,
+    params: Arc<Vec<String>>,
+}
+
+impl Space {
+    /// Creates a space with the given variable and parameter names.
+    pub fn new(vars: &[&str], params: &[&str]) -> Space {
+        Space {
+            vars: Arc::new(vars.iter().map(|s| s.to_string()).collect()),
+            params: Arc::new(params.iter().map(|s| s.to_string()).collect()),
+        }
+    }
+
+    /// Creates a space from owned name vectors.
+    pub fn from_names(vars: Vec<String>, params: Vec<String>) -> Space {
+        Space {
+            vars: Arc::new(vars),
+            params: Arc::new(params),
+        }
+    }
+
+    /// Number of loop variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of symbolic parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Name of loop variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn var_name(&self, i: usize) -> &str {
+        &self.vars[i]
+    }
+
+    /// Name of parameter `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn param_name(&self, j: usize) -> &str {
+        &self.params[j]
+    }
+
+    /// All variable names.
+    pub fn var_names(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// All parameter names.
+    pub fn param_names(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Index of the variable with the given name.
+    pub fn var_index(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+
+    /// Index of the parameter with the given name.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|v| v == name)
+    }
+
+    /// A space with the same parameters but different variables
+    /// (used when transforming to a new iteration space).
+    pub fn with_vars(&self, vars: &[&str]) -> Space {
+        Space {
+            vars: Arc::new(vars.iter().map(|s| s.to_string()).collect()),
+            params: Arc::clone(&self.params),
+        }
+    }
+
+    /// A space with one extra parameter appended (e.g. the processor id
+    /// `p` during SPMD code generation). Returns the new space and the
+    /// index of the new parameter.
+    pub fn with_extra_param(&self, name: &str) -> (Space, usize) {
+        let mut params = (*self.params).clone();
+        params.push(name.to_string());
+        let idx = params.len() - 1;
+        (
+            Space {
+                vars: Arc::clone(&self.vars),
+                params: Arc::new(params),
+            },
+            idx,
+        )
+    }
+
+    /// Returns `true` if `other` has identical shape (variable and
+    /// parameter counts), ignoring names.
+    pub fn same_shape(&self, other: &Space) -> bool {
+        self.num_vars() == other.num_vars() && self.num_params() == other.num_params()
+    }
+}
+
+impl fmt::Debug for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Space[{}; {}]",
+            self.vars.join(", "),
+            self.params.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_names() {
+        let s = Space::new(&["i", "j"], &["N"]);
+        assert_eq!(s.var_index("j"), Some(1));
+        assert_eq!(s.var_index("z"), None);
+        assert_eq!(s.param_index("N"), Some(0));
+        assert_eq!(s.var_names(), &["i".to_string(), "j".to_string()]);
+    }
+
+    #[test]
+    fn derived_spaces() {
+        let s = Space::new(&["i", "j"], &["N"]);
+        let t = s.with_vars(&["u", "v", "w"]);
+        assert_eq!(t.num_vars(), 3);
+        assert_eq!(t.num_params(), 1);
+        let (p, idx) = s.with_extra_param("P");
+        assert_eq!(idx, 1);
+        assert_eq!(p.param_name(1), "P");
+        assert!(!p.same_shape(&s));
+        assert!(s.same_shape(&Space::new(&["a", "b"], &["M"])));
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let s = Space::new(&["i"], &[]);
+        assert!(!format!("{s:?}").is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Distribution explorer: how the chosen data distribution changes the
+//! transformation and the traffic.
+//!
+//! The same 2-D stencil-ish kernel is compiled under wrapped-column,
+//! wrapped-row, blocked-column and 2-D block distributions, and the
+//! resulting transform, remote fraction and message counts are compared
+//! against the ownership-style naive code.
+//!
+//! Run with: `cargo run --release --example explore`
+
+use access_normalization::codegen::SpmdOptions;
+use access_normalization::numa::{simulate, MachineConfig};
+use access_normalization::{compile, CompileOptions, Error};
+
+fn source(dist: &str) -> String {
+    format!(
+        "param N = 96;
+         array A[N, N] distribute {dist};
+         array B[N, N] distribute {dist};
+         for i = 1, N - 1 {{
+           for j = 0, N - 1 {{
+             A[i, j] = A[i, j] + B[i - 1, j];
+           }}
+         }}"
+    )
+}
+
+fn main() -> Result<(), Error> {
+    let machine = MachineConfig::butterfly_gp1000();
+    let procs = 16;
+    println!(
+        "kernel: A[i,j] += B[i-1,j]   (N = 96, P = {procs}, {})\n",
+        machine.name
+    );
+    println!(
+        "{:<16} {:>14} {:>10} {:>10} {:>9} {:>9}",
+        "distribution", "T (rows)", "naive rem%", "norm rem%", "messages", "speedup"
+    );
+    for dist in ["wrapped(1)", "wrapped(0)", "blocked(1)", "block2d(0, 1)"] {
+        let src = source(dist);
+        let naive = compile(
+            &src,
+            &CompileOptions {
+                skip_transform: true,
+                spmd: SpmdOptions {
+                    block_transfers: false,
+                },
+                ..CompileOptions::default()
+            },
+        )?;
+        let normd = compile(&src, &CompileOptions::default())?;
+        let params = [96];
+        let s_naive = simulate(&naive.spmd, &machine, procs, &params)?;
+        let s_norm = simulate(&normd.spmd, &machine, procs, &params)?;
+        let t1 = simulate(&normd.spmd, &machine, 1, &params)?;
+        let t_desc: Vec<String> = (0..normd.normalized.transform.rows())
+            .map(|r| format!("{:?}", normd.normalized.transform.row(r)))
+            .collect();
+        println!(
+            "{:<16} {:>14} {:>9.1}% {:>9.1}% {:>9} {:>9.2}",
+            dist,
+            t_desc.join(" "),
+            100.0 * s_naive.remote_fraction(),
+            100.0 * s_norm.remote_fraction(),
+            s_norm.total_messages(),
+            t1.time_us / s_norm.time_us,
+        );
+    }
+    println!(
+        "\nReading: a row distribution (wrapped(0)) makes the *i* subscript the\n\
+         important one, so normalization picks a different outer loop than the\n\
+         column distributions — the transform follows the data, as in the paper.\n\
+         block2d engages 2-D tiling over the processor grid; only the block\n\
+         boundary rows of the stencil stay remote."
+    );
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the paper's running example (Figure 1) end to end.
+//!
+//! Parses the Figure 1(a) loop nest, runs access normalization, prints
+//! the transformation matrix, the restructured nest (Figure 1(c)) and
+//! the generated SPMD node program (Figure 1(d)), then simulates it on
+//! the BBN Butterfly GP-1000 model.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use access_normalization::numa::{simulate, MachineConfig};
+use access_normalization::{compile, CompileOptions, Error};
+
+fn main() -> Result<(), Error> {
+    let src = r#"
+        param N1 = 64; param b = 16; param N2 = 64;
+        array A[N1, N1 + N2 + b] distribute wrapped(1);
+        array B[N1, b] distribute wrapped(1);
+        for i = 0, N1 - 1 {
+          for j = i, i + b - 1 {
+            for k = 0, N2 - 1 {
+              B[i, j - i] = B[i, j - i] + A[i, j + k];
+            }
+          }
+        }
+    "#;
+
+    let compiled = compile(src, &CompileOptions::default())?;
+
+    println!("== original program (paper Figure 1(a)) ==");
+    println!(
+        "{}",
+        access_normalization::ir::pretty::print_program(&compiled.program)
+    );
+
+    println!("== data access matrix (paper Section 2.2) ==");
+    println!("{}", compiled.normalized.access_matrix.matrix);
+    println!();
+
+    println!("== transformation matrix T ==");
+    println!("{}", compiled.normalized.transform);
+    println!(
+        "\n{} of {} subscripts normalized; outermost normalized: {}\n",
+        compiled.normalized.normalized_count(),
+        compiled.normalized.subscripts.len(),
+        compiled.normalized.outermost_normalized()
+    );
+
+    println!("== restructured nest (paper Figure 1(c)) ==");
+    println!(
+        "{}",
+        access_normalization::ir::pretty::print_nest(&compiled.transformed.program)
+    );
+
+    println!("== SPMD node program (paper Figure 1(d)) ==");
+    println!(
+        "{}",
+        access_normalization::codegen::emit::emit_spmd(&compiled.spmd)
+    );
+
+    println!("== simulation on the BBN Butterfly GP-1000 model ==");
+    let machine = MachineConfig::butterfly_gp1000();
+    let params = [64, 16, 64];
+    let t1 = simulate(&compiled.spmd, &machine, 1, &params)?;
+    println!(
+        "{:>5} {:>12} {:>10} {:>10} {:>9} {:>8}",
+        "P", "time (µs)", "speedup", "remote%", "messages", "imbal"
+    );
+    for procs in [1usize, 2, 4, 8, 16, 28] {
+        let s = simulate(&compiled.spmd, &machine, procs, &params)?;
+        println!(
+            "{:>5} {:>12.0} {:>10.2} {:>9.2}% {:>9} {:>8.2}",
+            procs,
+            s.time_us,
+            t1.time_us / s.time_us,
+            100.0 * s.remote_fraction(),
+            s.total_messages(),
+            s.imbalance()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,330 @@
+//! `anc` — the access-normalization compiler driver.
+//!
+//! ```text
+//! anc [OPTIONS] <file.an>      (or `-` for stdin)
+//!
+//!   --emit WHAT        ir | matrix | transform | transformed | spmd |
+//!                      ownership | c | deps | all (default: all)
+//!   --naive            skip restructuring (identity transform)
+//!   --no-transfers     disable block-transfer insertion
+//!   --ordering H       distribution (default) | program | contiguity
+//!   --simulate LIST    comma-separated processor counts to simulate
+//!   --machine M        gp1000 (default) | ipsc
+//!   --param NAME=V     override a parameter's default (repeatable)
+//!   --strides          print innermost-loop stride report
+//!   --autodist P       search per-array distributions for P processors
+//!   --explain          narrate every pipeline decision
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! anc --simulate 1,4,16 --emit spmd examples/kernels/gemm.an
+//! ```
+
+use access_normalization::codegen::emit::emit_spmd;
+use access_normalization::codegen::emit_c::emit_c;
+use access_normalization::codegen::ownership::{emit_ownership, generate_ownership};
+use access_normalization::codegen::stride::{innermost_strides, summarize};
+use access_normalization::codegen::SpmdOptions;
+use access_normalization::core::OrderingHeuristic;
+use access_normalization::numa::{simulate, MachineConfig};
+use access_normalization::{compile_program, CompileOptions};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+struct Args {
+    input: Option<String>,
+    emit: String,
+    naive: bool,
+    transfers: bool,
+    ordering: OrderingHeuristic,
+    simulate: Vec<usize>,
+    machine: MachineConfig,
+    params: Vec<(String, i64)>,
+    strides: bool,
+    autodist: Option<usize>,
+    explain: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: anc [--emit WHAT] [--naive] [--no-transfers] [--ordering H]\n\
+         \x20          [--simulate P1,P2,..] [--machine gp1000|ipsc]\n\
+         \x20          [--param NAME=V]... [--strides] <file.an | ->"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        input: None,
+        emit: "all".to_string(),
+        naive: false,
+        transfers: true,
+        ordering: OrderingHeuristic::DistributionFirst,
+        simulate: Vec::new(),
+        machine: MachineConfig::butterfly_gp1000(),
+        params: Vec::new(),
+        strides: false,
+        autodist: None,
+        explain: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--emit" => args.emit = it.next().unwrap_or_else(|| usage()),
+            "--naive" => args.naive = true,
+            "--no-transfers" => args.transfers = false,
+            "--ordering" => {
+                args.ordering = match it.next().as_deref() {
+                    Some("distribution") => OrderingHeuristic::DistributionFirst,
+                    Some("program") => OrderingHeuristic::ProgramOrder,
+                    Some("contiguity") => OrderingHeuristic::InnermostContiguity,
+                    _ => usage(),
+                }
+            }
+            "--simulate" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                args.simulate = list
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--machine" => {
+                args.machine = match it.next().as_deref() {
+                    Some("gp1000") => MachineConfig::butterfly_gp1000(),
+                    Some("ipsc") => MachineConfig::ipsc_i860(),
+                    _ => usage(),
+                }
+            }
+            "--param" => {
+                let kv = it.next().unwrap_or_else(|| usage());
+                let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                let v: i64 = v.parse().unwrap_or_else(|_| usage());
+                args.params.push((k.to_string(), v));
+            }
+            "--strides" => args.strides = true,
+            "--explain" => args.explain = true,
+            "--autodist" => {
+                let p = it.next().unwrap_or_else(|| usage());
+                args.autodist = Some(p.parse().unwrap_or_else(|_| usage()));
+            }
+            "--help" | "-h" => usage(),
+            _ if args.input.is_none() => args.input = Some(a),
+            _ => usage(),
+        }
+    }
+    if args.input.is_none() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let src = match args.input.as_deref() {
+        Some("-") => {
+            let mut s = String::new();
+            if std::io::stdin().read_to_string(&mut s).is_err() {
+                eprintln!("anc: cannot read stdin");
+                return ExitCode::FAILURE;
+            }
+            s
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("anc: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => unreachable!(),
+    };
+
+    let program = match access_normalization::lang::parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = CompileOptions {
+        normalize: access_normalization::core::NormalizeOptions {
+            ordering: args.ordering,
+            ..Default::default()
+        },
+        spmd: SpmdOptions {
+            block_transfers: args.transfers,
+        },
+        skip_transform: args.naive,
+    };
+    let compiled = match compile_program(&program, &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let emit_all = args.emit == "all";
+    if emit_all || args.emit == "ir" {
+        println!("== input program ==");
+        println!(
+            "{}",
+            access_normalization::ir::pretty::print_program(&compiled.program)
+        );
+    }
+    if emit_all || args.emit == "matrix" {
+        println!("== data access matrix ==");
+        println!("{}\n", compiled.normalized.access_matrix.matrix);
+        println!("== dependence matrix ==");
+        println!("{}\n", compiled.normalized.dependences.matrix);
+        for dv in &compiled.normalized.dependences.directions {
+            println!("direction: {dv}");
+        }
+    }
+    if emit_all || args.emit == "transform" {
+        println!("== transformation matrix ==");
+        println!("{}", compiled.normalized.transform);
+        println!(
+            "normalized {} of {} subscripts\n",
+            compiled.normalized.normalized_count(),
+            compiled.normalized.subscripts.len()
+        );
+    }
+    if emit_all || args.emit == "transformed" {
+        println!("== transformed nest ==");
+        println!(
+            "{}",
+            access_normalization::ir::pretty::print_nest(&compiled.transformed.program)
+        );
+    }
+    if emit_all || args.emit == "spmd" {
+        println!("== SPMD node program ==");
+        println!("{}", emit_spmd(&compiled.spmd));
+    }
+    if args.explain {
+        println!(
+            "{}",
+            access_normalization::core::explain(&compiled.program, &compiled.normalized)
+        );
+    }
+    if args.emit == "deps" {
+        println!(
+            "{}",
+            access_normalization::deps::graph::to_dot(
+                &compiled.program,
+                &compiled.normalized.dependences
+            )
+        );
+    }
+    if args.emit == "c" {
+        let defaults = compiled.program.default_param_values();
+        println!("{}", emit_c(&compiled.transformed.program, &defaults, 42));
+    }
+    if args.emit == "ownership" {
+        println!("== ownership-rule node program ==");
+        println!("{}", emit_ownership(&generate_ownership(&compiled.program)));
+    }
+
+    let bindings: Vec<(&str, i64)> = args.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let param_values = match compiled.program.bind_params(&bindings) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.strides {
+        println!("== innermost-loop strides (transformed) ==");
+        let strides = innermost_strides(&compiled.transformed.program, &param_values);
+        for s in &strides {
+            println!(
+                "  {:<28} {:<6} stride {:>6}",
+                access_normalization::ir::pretty::render_ref(
+                    &compiled.transformed.program,
+                    &s.reference
+                ),
+                if s.is_write { "store" } else { "load" },
+                s.stride
+            );
+        }
+        let sum = summarize(&strides);
+        println!(
+            "  unit {}  invariant {}  strided {}\n",
+            sum.unit, sum.invariant, sum.strided
+        );
+    }
+
+    if let Some(procs) = args.autodist {
+        use access_normalization::autodist::{search_distributions, AutoDistOptions};
+        let opts = AutoDistOptions {
+            procs,
+            allow_replication: false,
+            compile: CompileOptions::default(),
+        };
+        match search_distributions(&compiled.program, &args.machine, &opts) {
+            Ok(candidates) => {
+                println!("== distribution search (P = {procs}, model-scored) ==");
+                println!(
+                    "{:<40} {:>14} {:>9}",
+                    "assignment", "predicted µs", "remote%"
+                );
+                for c in candidates.iter().take(5) {
+                    let names: Vec<String> = compiled
+                        .program
+                        .arrays
+                        .iter()
+                        .zip(&c.assignment)
+                        .map(|(a, d)| format!("{}:{}", a.name, d))
+                        .collect();
+                    println!(
+                        "{:<40} {:>14.0} {:>8.1}%",
+                        names.join(" "),
+                        c.predicted_time_us,
+                        100.0 * c.predicted_remote
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("anc: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if !args.simulate.is_empty() {
+        println!("== simulation on {} ==", args.machine.name);
+        println!(
+            "{:>5} {:>14} {:>9} {:>10} {:>10} {:>8}",
+            "P", "time (µs)", "speedup", "remote%", "messages", "imbal"
+        );
+        let base = match simulate(&compiled.spmd, &args.machine, 1, &param_values) {
+            Ok(s) => s.time_us,
+            Err(e) => {
+                eprintln!("anc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for &p in &args.simulate {
+            match simulate(&compiled.spmd, &args.machine, p, &param_values) {
+                Ok(s) => println!(
+                    "{:>5} {:>14.0} {:>9.2} {:>9.1}% {:>10} {:>8.2}",
+                    p,
+                    s.time_us,
+                    base / s.time_us,
+                    100.0 * s.remote_fraction(),
+                    s.total_messages(),
+                    s.imbalance()
+                ),
+                Err(e) => {
+                    eprintln!("anc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

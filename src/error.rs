@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Any error from the access-normalization pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Front-end (lex/parse/lower) error.
+    Lang(an_lang::LangError),
+    /// IR validation or interpretation error.
+    Ir(an_ir::IrError),
+    /// Dependence analysis error.
+    Deps(an_deps::DepError),
+    /// Normalization error.
+    Core(an_core::CoreError),
+    /// Code generation error.
+    Codegen(an_codegen::CodegenError),
+    /// Simulation error.
+    Sim(an_numa::SimError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lang(e) => write!(f, "{e}"),
+            Error::Ir(e) => write!(f, "{e}"),
+            Error::Deps(e) => write!(f, "{e}"),
+            Error::Core(e) => write!(f, "{e}"),
+            Error::Codegen(e) => write!(f, "{e}"),
+            Error::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Lang(e) => Some(e),
+            Error::Ir(e) => Some(e),
+            Error::Deps(e) => Some(e),
+            Error::Core(e) => Some(e),
+            Error::Codegen(e) => Some(e),
+            Error::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<an_lang::LangError> for Error {
+    fn from(e: an_lang::LangError) -> Self {
+        Error::Lang(e)
+    }
+}
+impl From<an_ir::IrError> for Error {
+    fn from(e: an_ir::IrError) -> Self {
+        Error::Ir(e)
+    }
+}
+impl From<an_deps::DepError> for Error {
+    fn from(e: an_deps::DepError) -> Self {
+        Error::Deps(e)
+    }
+}
+impl From<an_core::CoreError> for Error {
+    fn from(e: an_core::CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+impl From<an_codegen::CodegenError> for Error {
+    fn from(e: an_codegen::CodegenError) -> Self {
+        Error::Codegen(e)
+    }
+}
+impl From<an_numa::SimError> for Error {
+    fn from(e: an_numa::SimError) -> Self {
+        Error::Sim(e)
+    }
+}

@@ -1,0 +1,130 @@
+//! # Access Normalization
+//!
+//! A reproduction of *Li & Pingali, "Access Normalization: Loop
+//! Restructuring for NUMA Compilers"* (ASPLOS 1992) as a family of Rust
+//! crates. This facade crate re-exports the whole pipeline and offers a
+//! one-call [`compile`] driver:
+//!
+//! - [`linalg`] — exact integer/rational linear algebra (Hermite normal
+//!   form, determinants, lattices, projections).
+//! - [`poly`] — symbolic affine expressions, constraint systems and
+//!   Fourier–Motzkin elimination.
+//! - [`ir`] — the affine loop-nest intermediate representation with data
+//!   distribution declarations, plus a reference interpreter.
+//! - [`lang`] — a small FORTRAN-D-like surface language.
+//! - [`deps`] — dependence analysis (distance vectors, legality).
+//! - [`core`] — the paper's contribution: data access matrices and the
+//!   algorithms `BasisMatrix`, `Padding`, `LegalBasis`, `LegalInvt`.
+//! - [`codegen`] — loop restructuring by invertible matrices and SPMD
+//!   code generation with block transfers.
+//! - [`numa`] — a NUMA machine cost-model simulator (BBN Butterfly
+//!   GP-1000 and Intel iPSC/i860 profiles).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use access_normalization::{compile, CompileOptions};
+//! use access_normalization::numa::{simulate, MachineConfig};
+//!
+//! // The running example of the paper (Figure 1(a)).
+//! let src = r#"
+//!     param N1 = 8; param b = 4; param N2 = 8;
+//!     array A[N1, N1 + N2 + b] distribute wrapped(1);
+//!     array B[N1, b] distribute wrapped(1);
+//!     for i = 0, N1 - 1 {
+//!       for j = i, i + b - 1 {
+//!         for k = 0, N2 - 1 {
+//!           B[i, j - i] = B[i, j - i] + A[i, j + k];
+//!         }
+//!       }
+//!     }
+//! "#;
+//! let compiled = compile(src, &CompileOptions::default())?;
+//! assert!(compiled.normalized.transform.is_invertible());
+//!
+//! // Simulate the generated SPMD program on the paper's machine.
+//! let machine = MachineConfig::butterfly_gp1000();
+//! let t1 = simulate(&compiled.spmd, &machine, 1, &[8, 4, 8])?;
+//! let t4 = simulate(&compiled.spmd, &machine, 4, &[8, 4, 8])?;
+//! assert!(t1.time_us > t4.time_us);
+//! # Ok::<(), access_normalization::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use an_codegen as codegen;
+pub use an_core as core;
+pub use an_deps as deps;
+pub use an_ir as ir;
+pub use an_lang as lang;
+pub use an_linalg as linalg;
+pub use an_numa as numa;
+pub use an_poly as poly;
+
+pub mod autodist;
+
+mod error;
+pub use error::Error;
+
+use an_codegen::{apply_transform, generate_spmd, SpmdOptions, SpmdProgram, TransformedProgram};
+use an_core::{normalize, NormalizeOptions, NormalizeResult};
+use an_ir::Program;
+
+/// Options for the end-to-end [`compile`] driver.
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    /// Access-normalization options.
+    pub normalize: NormalizeOptions,
+    /// SPMD generation options.
+    pub spmd: SpmdOptions,
+    /// Skip restructuring (identity transform): the paper's naive
+    /// baseline that distributes the original outer loop.
+    pub skip_transform: bool,
+}
+
+/// Everything the compiler produced for one program.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The parsed (or given) input program.
+    pub program: Program,
+    /// Access-normalization result (transform, access matrix,
+    /// dependences).
+    pub normalized: NormalizeResult,
+    /// The restructured nest.
+    pub transformed: TransformedProgram,
+    /// The per-processor SPMD program (input to the simulator).
+    pub spmd: SpmdProgram,
+}
+
+/// Parses, normalizes, restructures and SPMD-generates a source program.
+///
+/// # Errors
+///
+/// Any stage's error, wrapped in [`Error`].
+pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Error> {
+    let program = an_lang::parse(src)?;
+    compile_program(&program, opts)
+}
+
+/// [`compile`] for an already-built IR program.
+///
+/// # Errors
+///
+/// Any stage's error, wrapped in [`Error`].
+pub fn compile_program(program: &Program, opts: &CompileOptions) -> Result<Compiled, Error> {
+    let normalized = normalize(program, &opts.normalize)?;
+    let t = if opts.skip_transform {
+        an_linalg::IMatrix::identity(program.nest.depth())
+    } else {
+        normalized.transform.clone()
+    };
+    let transformed = apply_transform(program, &t)?;
+    let spmd = generate_spmd(&transformed, Some(&normalized.dependences), &opts.spmd);
+    Ok(Compiled {
+        program: program.clone(),
+        normalized,
+        transformed,
+        spmd,
+    })
+}

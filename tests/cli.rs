@@ -1,0 +1,185 @@
+//! Smoke tests of the `anc` CLI binary.
+
+use std::process::Command;
+
+fn anc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_anc"))
+}
+
+fn kernel_path(name: &str) -> String {
+    format!("{}/examples/kernels/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn emits_transform_for_gemm() {
+    let out = anc()
+        .args(["--emit", "transform", &kernel_path("gemm.an")])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("transformation matrix"), "{stdout}");
+    assert!(stdout.contains("normalized 3 of 3 subscripts"), "{stdout}");
+}
+
+#[test]
+fn simulates_with_processor_list() {
+    let out = anc()
+        .args([
+            "--emit",
+            "transform",
+            "--simulate",
+            "1,4",
+            "--param",
+            "N=32",
+            &kernel_path("gemm.an"),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("simulation on BBN Butterfly GP-1000"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("speedup"), "{stdout}");
+}
+
+#[test]
+fn reads_stdin_and_reports_errors() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    // Valid program via stdin.
+    let mut child = anc()
+        .args(["--emit", "ir", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"array A[4]; for i = 0, 3 { A[i] = 1.0; }")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+
+    // Parse error: non-zero exit with a diagnostic on stderr.
+    let mut child = anc()
+        .args(["-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"for i = { garbage")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("anc:"), "{stderr}");
+}
+
+#[test]
+fn emit_c_produces_compilable_source() {
+    let out = anc()
+        .args(["--emit", "c", &kernel_path("fig1.an")])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("#include <stdio.h>"), "{stdout}");
+    assert!(stdout.contains("int main(void)"), "{stdout}");
+}
+
+#[test]
+fn strides_and_ordering_flags() {
+    let out = anc()
+        .args([
+            "--emit",
+            "transform",
+            "--ordering",
+            "contiguity",
+            "--strides",
+            &kernel_path("gemm.an"),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("innermost-loop strides"), "{stdout}");
+}
+
+#[test]
+fn explain_narrates_pipeline() {
+    let out = anc()
+        .args(["--explain", "--emit", "transform", &kernel_path("syr2k.an")])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("== BasisMatrix (§5.1) =="), "{stdout}");
+    assert!(stdout.contains("negated (loop reversal)"), "{stdout}");
+    assert!(stdout.contains("normalized subscripts"), "{stdout}");
+}
+
+#[test]
+fn deps_dot_output() {
+    let out = anc()
+        .args(["--emit", "deps", &kernel_path("fig1.an")])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("digraph dependences"), "{stdout}");
+    assert!(stdout.contains("[0, 0, 1]"), "{stdout}");
+}
+
+#[test]
+fn autodist_reports_candidates() {
+    let out = anc()
+        .args([
+            "--emit",
+            "transform",
+            "--autodist",
+            "4",
+            "--param",
+            "N=24",
+            &kernel_path("gemm.an"),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("distribution search"), "{stdout}");
+    assert!(stdout.contains("C:"), "{stdout}");
+}
+
+#[test]
+fn naive_and_no_transfer_flags() {
+    let out = anc()
+        .args([
+            "--naive",
+            "--no-transfers",
+            "--emit",
+            "spmd",
+            "--simulate",
+            "4",
+            "--param",
+            "N=24",
+            &kernel_path("gemm.an"),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Naive: round-robin outer loop, no read statements.
+    assert!(stdout.contains("step P"), "{stdout}");
+    assert!(!stdout.contains("read "), "{stdout}");
+}

@@ -1,0 +1,157 @@
+//! End-to-end direction-vector handling (the §6 extension): programs
+//! with non-uniform reference pairs are analyzable, the summaries are
+//! honored by legality, and normalization degrades gracefully.
+
+use access_normalization::deps::{analyze, is_legal, DepOptions, Dir, DirectionVector};
+use access_normalization::linalg::IMatrix;
+use access_normalization::{compile, CompileOptions};
+
+#[test]
+fn transpose_update_is_summarized_with_directions() {
+    // A[i, j] = A[j, i] + 1: non-uniform pair (transposed linear parts).
+    let p = an_lang::parse(
+        "param N = 8;
+         array A[N, N];
+         for i = 0, N - 1 { for j = 0, N - 1 {
+             A[i, j] = A[j, i] + 1.0;
+         } }",
+    )
+    .unwrap();
+    let info = analyze(&p, &DepOptions::default()).unwrap();
+    assert!(!info.exact);
+    assert!(!info.directions.is_empty());
+    assert!(!info.is_fully_parallel());
+    // The classic transpose dependence: (>, <).
+    assert!(
+        info.directions
+            .contains(&DirectionVector(vec![Dir::Gt, Dir::Lt])),
+        "{:?}",
+        info.directions
+    );
+    // Identity is legal; interchange is not provably legal.
+    assert!(is_legal(&IMatrix::identity(2), &info));
+    let swap = IMatrix::from_rows(&[&[0, 1], &[1, 0]]);
+    assert!(!is_legal(&swap, &info));
+}
+
+#[test]
+fn directions_can_be_disabled_for_strictness() {
+    let p = an_lang::parse(
+        "param N = 8;
+         array A[N, N];
+         for i = 0, N - 1 { for j = 0, N - 1 {
+             A[i, j] = A[j, i] + 1.0;
+         } }",
+    )
+    .unwrap();
+    let err = analyze(
+        &p,
+        &DepOptions {
+            directions: false,
+            ..DepOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, an_deps::DepError::NonUniform { .. }));
+}
+
+#[test]
+fn normalize_falls_back_when_directions_block_the_transform() {
+    // The wrapped(0) distribution asks for `j` outermost (subscript of
+    // the read's dim 0), i.e. an interchange — but the transpose
+    // dependence (>,<) forbids it. Normalization must return a legal
+    // transform (possibly the identity) and preserve semantics.
+    let src = "param N = 8;
+         array A[N, N] distribute wrapped(1);
+         for i = 1, N - 1 { for j = 1, N - 1 {
+             A[i, j] = A[j, i] + 1.0;
+         } }";
+    let c = compile(src, &CompileOptions::default()).unwrap();
+    assert!(is_legal(&c.normalized.transform, &c.normalized.dependences));
+    let before = an_ir::interp::run_seeded(&c.program, &[8], 17).unwrap();
+    let after = an_ir::interp::run_seeded(&c.transformed.program, &[8], 17).unwrap();
+    assert_eq!(before.max_abs_diff(&after), 0.0);
+}
+
+#[test]
+fn brute_force_direction_soundness() {
+    // For a battery of small non-uniform kernels, every actually
+    // occurring (canonicalized) dependence distance must be consistent
+    // with at least one reported direction vector.
+    let sources = [
+        "param N = 6; array A[N, N];
+         for i = 0, N - 1 { for j = 0, N - 1 { A[i, j] = A[j, i] + 1.0; } }",
+        "param N = 6; array A[2 * N, N];
+         for i = 0, N - 1 { for j = 0, N - 1 { A[i + j, j] = A[2 * i, j] + 1.0; } }",
+        "param N = 6; array A[N, N];
+         for i = 1, N - 1 { for j = 0, N - 1 { A[i, j] = A[i - 1, i] + 1.0; } }",
+    ];
+    for src in sources {
+        let p = an_lang::parse(src).unwrap();
+        let info = analyze(&p, &DepOptions::default()).unwrap();
+        let params = p.default_param_values();
+        // Enumerate actual dependences.
+        let accesses = an_ir::collect_accesses(&p);
+        let mut points = Vec::new();
+        p.nest
+            .for_each_iteration(&params, |pt| points.push(pt.to_vec()))
+            .unwrap();
+        for a1 in &accesses {
+            for a2 in &accesses {
+                if a1.reference.array != a2.reference.array || (!a1.is_write && !a2.is_write) {
+                    continue;
+                }
+                for x in &points {
+                    for y in &points {
+                        if x == y
+                            || a1.reference.eval_subscripts(x, &params)
+                                != a2.reference.eval_subscripts(y, &params)
+                        {
+                            continue;
+                        }
+                        let d: Vec<i64> = y.iter().zip(x).map(|(a, b)| a - b).collect();
+                        let canon: Vec<i64> = if an_linalg::lex_negative(&d) {
+                            d.iter().map(|v| -v).collect()
+                        } else {
+                            d
+                        };
+                        let covered = covered_by_distances(&canon, &info)
+                            || info
+                                .directions
+                                .iter()
+                                .any(|dv| matches_direction(&canon, dv));
+                        assert!(
+                            covered,
+                            "distance {canon:?} not covered by {:?} / {:?} in\n{src}",
+                            info.matrix, info.directions
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn covered_by_distances(d: &[i64], info: &access_normalization::deps::DependenceInfo) -> bool {
+    (0..info.matrix.cols()).any(|c| {
+        let g = info.matrix.col(c);
+        // Equal or positive multiple.
+        let Some(idx) = g.iter().position(|&v| v != 0) else {
+            return false;
+        };
+        if d[idx] % g[idx] != 0 {
+            return false;
+        }
+        let lambda = d[idx] / g[idx];
+        lambda > 0 && d.iter().zip(&g).all(|(&dv, &gv)| dv == lambda * gv)
+    })
+}
+
+fn matches_direction(d: &[i64], dv: &DirectionVector) -> bool {
+    d.iter().zip(&dv.0).all(|(&v, dir)| match dir {
+        Dir::Gt => v > 0,
+        Dir::Eq => v == 0,
+        Dir::Lt => v < 0,
+        Dir::Star => true,
+    })
+}

@@ -1,0 +1,76 @@
+//! Golden output tests: the transformed-nest and SPMD pretty-printers
+//! are part of the user-visible contract (they are how one reads the
+//! compiler's decisions), so their exact output is pinned here.
+
+use access_normalization::codegen::emit::emit_spmd;
+use access_normalization::ir::pretty::print_nest;
+use access_normalization::{compile, CompileOptions};
+
+fn assert_golden(actual: &str, expected: &str, what: &str) {
+    let a = actual.trim_end();
+    let e = expected.trim_end();
+    assert_eq!(
+        a, e,
+        "\n--- golden mismatch for {what} ---\n=== actual ===\n{a}\n=== expected ===\n{e}\n"
+    );
+}
+
+#[test]
+fn figure1_transformed_nest_golden() {
+    let c = compile(
+        "param N1 = 8; param b = 4; param N2 = 8;
+         array A[N1, N1 + N2 + b] distribute wrapped(1);
+         array B[N1, b] distribute wrapped(1);
+         for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+             B[i, j - i] = B[i, j - i] + A[i, j + k];
+         } } }",
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    assert_golden(
+        &print_nest(&c.transformed.program),
+        "for u = 0, b - 1\n\
+         \x20 for v = u, u + N1 + N2 - 2\n\
+         \x20   for w = max(0, -u + v - N2 + 1), min(N1 - 1, -u + v)\n\
+         \x20     B[w, u] = B[w, u] + A[w, v];",
+        "figure 1(c) nest",
+    );
+    assert_golden(
+        &emit_spmd(&c.spmd),
+        "// SPMD node program: processor p of P\n\
+         for u = first_owned(0, p), b - 1, step_owned(P)  // owner of B[.., 1*u + 0]\n\
+         \x20 for v = u, u + N1 + N2 - 2\n\
+         \x20   read A[*, v];\n\
+         \x20   for w = max(0, -u + v - N2 + 1), min(N1 - 1, -u + v)\n\
+         \x20     B[w, u] = B[w, u] + A[w, v];",
+        "figure 1(d) SPMD",
+    );
+}
+
+#[test]
+fn gemm_spmd_golden() {
+    let c = compile(
+        "param N = 16;
+         array C[N, N] distribute wrapped(1);
+         array A[N, N] distribute wrapped(1);
+         array B[N, N] distribute wrapped(1);
+         for i = 0, N - 1 { for j = 0, N - 1 { for k = 0, N - 1 {
+             C[i, j] = C[i, j] + A[i, k] * B[k, j];
+         } } }",
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    // This is the paper's §8.1 parallel code: u owns C's column, B's
+    // column comes once per u, A's columns stream per v.
+    assert_golden(
+        &emit_spmd(&c.spmd),
+        "// SPMD node program: processor p of P\n\
+         for u = first_owned(0, p), N - 1, step_owned(P)  // owner of C[.., 1*u + 0]\n\
+         \x20 read B[*, u];\n\
+         \x20 for v = 0, N - 1\n\
+         \x20   read A[*, v];\n\
+         \x20   for w = 0, N - 1\n\
+         \x20     C[w, u] = C[w, u] + (A[w, v] * B[v, u]);",
+        "gemm SPMD",
+    );
+}
