@@ -1,0 +1,130 @@
+//! Wall-clock benchmark of the parallel distribution search.
+//!
+//! Runs the exhaustive GEMM distribution search serially (`jobs = 1`)
+//! and with 8 workers, checks the rankings are bit-for-bit identical
+//! (the engine's determinism contract), and reports the wall-clock
+//! speedup plus the pipeline-cache hit rate. Results are written
+//! machine-readably to `target/an-bench-results/BENCH_autodist.json`.
+//!
+//! The ≥4× speedup assertion only fires on hardware with at least 8
+//! cores — 8 worker threads cannot beat 4× on fewer — so the benchmark
+//! stays meaningful (and honest) in small CI containers.
+
+use access_normalization::autodist::{search_report, AutoDistOptions, SearchReport};
+use access_normalization::numa::MachineConfig;
+use an_ir::Program;
+use std::time::Instant;
+
+const REPEATS: usize = 3;
+const PAR_JOBS: usize = 8;
+
+/// A fused double matmul: five arrays (one written, four read-only, so
+/// replication candidates apply) giving a 4·5⁴ = 2500-assignment search
+/// space — enough work that the fan-out, not thread startup, dominates.
+fn fused_gemm_source(n: i64) -> String {
+    format!(
+        "param N = {n};
+         array E[N, N] distribute wrapped(1);
+         array A[N, N] distribute wrapped(1);
+         array B[N, N] distribute wrapped(1);
+         array C[N, N] distribute wrapped(1);
+         array D[N, N] distribute wrapped(1);
+         for i = 0, N - 1 {{ for j = 0, N - 1 {{ for k = 0, N - 1 {{
+             E[i, j] = E[i, j] + A[i, k] * B[k, j] + C[i, k] * D[k, j];
+         }} }} }}"
+    )
+}
+
+fn timed_search(program: &Program, machine: &MachineConfig, jobs: usize) -> (f64, SearchReport) {
+    let opts = AutoDistOptions {
+        procs: 8,
+        allow_replication: true,
+        jobs,
+        top_k: 5,
+        ..AutoDistOptions::default()
+    };
+    let mut best_secs = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let r = search_report(program, machine, &opts).expect("search");
+        best_secs = best_secs.min(start.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    (best_secs, report.expect("at least one repeat"))
+}
+
+fn main() {
+    let program = an_lang::parse(&fused_gemm_source(64)).expect("fused gemm parses");
+    let machine = MachineConfig::butterfly_gp1000();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let (serial_secs, serial) = timed_search(&program, &machine, 1);
+    let (par_secs, par) = timed_search(&program, &machine, PAR_JOBS);
+    let speedup = serial_secs / par_secs;
+
+    // Determinism contract: the ranking (order and every predicted
+    // number) must be bit-for-bit identical.
+    assert_eq!(serial.ranking.len(), par.ranking.len());
+    for (a, b) in serial.ranking.iter().zip(&par.ranking) {
+        assert_eq!(a.assignment, b.assignment, "ranking order differs");
+        assert_eq!(
+            a.predicted_time_us.to_bits(),
+            b.predicted_time_us.to_bits(),
+            "predicted time differs between serial and parallel"
+        );
+    }
+
+    println!(
+        "=== autodist search: fused GEMM N=64, {} candidates ===",
+        serial.ranking.len() + serial.skipped
+    );
+    println!("cores available     {cores}");
+    println!("serial (jobs=1)     {:>8.1} ms", serial_secs * 1e3);
+    println!(
+        "parallel (jobs={PAR_JOBS})   {:>8.1} ms  ({speedup:.2}x)",
+        par_secs * 1e3
+    );
+    println!("rankings            identical (bitwise)");
+    println!("cache (serial run)  {}", serial.cache);
+
+    let json = format!(
+        "{{\n  \"kernel\": \"fused-gemm\",\n  \"n\": 64,\n  \"candidates\": {},\n  \
+         \"skipped\": {},\n  \"cores\": {cores},\n  \"serial_ms\": {:.3},\n  \
+         \"parallel_jobs\": {PAR_JOBS},\n  \"parallel_ms\": {:.3},\n  \
+         \"speedup\": {:.3},\n  \"rankings_identical\": true,\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_hit_rate\": {:.4}\n}}\n",
+        serial.ranking.len(),
+        serial.skipped,
+        serial_secs * 1e3,
+        par_secs * 1e3,
+        speedup,
+        serial.cache.hits,
+        serial.cache.misses,
+        serial.cache.hit_rate()
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("an-bench-results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("BENCH_autodist.json");
+        if std::fs::write(&path, &json).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+
+    if cores >= 8 {
+        assert!(
+            speedup >= 4.0,
+            "expected >= 4x wall-clock speedup at {PAR_JOBS} threads on \
+             {cores} cores, measured {speedup:.2}x"
+        );
+    } else {
+        println!(
+            "note: {cores} core(s) < 8 — skipping the 4x speedup assertion \
+             (8 workers cannot reach 4x here)"
+        );
+    }
+}

@@ -58,5 +58,8 @@ mod error;
 
 pub use access_matrix::{build_access_matrix, DataAccessMatrix, OrderingHeuristic, SubscriptRow};
 pub use error::CoreError;
-pub use normalize::{normalize, NormalizeOptions, NormalizeResult, NormalizedSubscript};
+pub use normalize::{
+    normalize, normalize_with, NormCache, NormContext, NormalizeOptions, NormalizeResult,
+    NormalizedSubscript,
+};
 pub use report::explain;

@@ -2,11 +2,12 @@
 //! transformation.
 
 use crate::access_matrix::{build_access_matrix, DataAccessMatrix, OrderingHeuristic};
-use crate::legal::{legal_basis, legal_invt};
+use crate::legal::{legal_basis, legal_invt, RowFate};
 use crate::CoreError;
 use an_deps::{analyze, is_legal, DepOptions, DependenceInfo};
 use an_ir::Program;
-use an_linalg::basis::first_row_basis;
+use an_linalg::basis::{first_row_basis, BasisSelection};
+use an_linalg::cache::{CacheStats, MemoCache};
 use an_linalg::IMatrix;
 
 /// Options for [`normalize`].
@@ -16,6 +17,59 @@ pub struct NormalizeOptions {
     pub ordering: OrderingHeuristic,
     /// Dependence analysis options.
     pub deps: DepOptions,
+}
+
+/// Memoized results of the expensive integer-linear-algebra steps of
+/// the pipeline, shared across [`normalize_with`] calls.
+///
+/// Distribution search evaluates many programs that differ only in
+/// their distribution annotations, so the basis extraction over the
+/// access matrix and the `LegalBasis`/`LegalInvt` legalization — the
+/// exact-arithmetic heavy steps — recur on identical inputs. Both are
+/// pure functions of matrix contents, so they are cached by content:
+/// basis extraction keyed by the access matrix, legalization keyed by
+/// the `(basis, dependence matrix)` pair.
+///
+/// The cache is thread-safe; share one `&NormCache` across a parallel
+/// search and every worker reuses every other worker's results.
+#[derive(Debug, Default)]
+pub struct NormCache {
+    basis: MemoCache<IMatrix, BasisSelection>,
+    legalize: MemoCache<(IMatrix, IMatrix), Legalized>,
+}
+
+/// Cached output of `legal_basis` + `legal_invt` for one
+/// `(basis, dependence matrix)` input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Legalized {
+    transform: IMatrix,
+    row_fates: Vec<RowFate>,
+}
+
+impl NormCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Combined hit/miss counters over both memo tables.
+    pub fn stats(&self) -> CacheStats {
+        self.basis.stats() + self.legalize.stats()
+    }
+}
+
+/// Shared, reusable context for [`normalize_with`]: an optional memo
+/// cache and optionally precomputed dependence information.
+///
+/// Dependences are a property of the loop nest and its subscripts, not
+/// of the distribution annotations, so a search over distributions can
+/// analyze once and pass the result to every candidate.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NormContext<'a> {
+    /// Memoization tables for basis extraction and legalization.
+    pub cache: Option<&'a NormCache>,
+    /// Precomputed dependence analysis (skips `analyze`).
+    pub deps: Option<&'a DependenceInfo>,
 }
 
 /// Where an access-matrix subscript ended up after normalization.
@@ -87,20 +141,64 @@ impl NormalizeResult {
 /// [`CoreError::IllegalTransform`]) are checked defensively and indicate
 /// bugs rather than user mistakes.
 pub fn normalize(program: &Program, opts: &NormalizeOptions) -> Result<NormalizeResult, CoreError> {
+    normalize_with(program, opts, NormContext::default())
+}
+
+/// [`normalize`] with a reusable [`NormContext`]: memoizes the
+/// integer-linear-algebra steps in `ctx.cache` and accepts precomputed
+/// dependence information in `ctx.deps`.
+///
+/// With a default context this is exactly `normalize`; the result never
+/// depends on cache state (the cached steps are pure functions of their
+/// matrix inputs).
+///
+/// # Errors
+///
+/// As [`normalize`].
+pub fn normalize_with(
+    program: &Program,
+    opts: &NormalizeOptions,
+    ctx: NormContext<'_>,
+) -> Result<NormalizeResult, CoreError> {
     let n = program.nest.depth();
     if n == 0 {
         return Err(CoreError::EmptyNest);
     }
     let access_matrix = build_access_matrix(program, opts.ordering);
-    let dependences = analyze(program, &opts.deps)?;
+    let dependences = match ctx.deps {
+        Some(d) => d.clone(),
+        None => analyze(program, &opts.deps)?,
+    };
 
     // BasisMatrix: maximal independent row set, earlier rows first.
-    let selection = first_row_basis(&access_matrix.matrix);
+    let selection = match ctx.cache {
+        Some(c) => c
+            .basis
+            .get_or_insert_with(access_matrix.matrix.clone(), || {
+                first_row_basis(&access_matrix.matrix)
+            }),
+        None => first_row_basis(&access_matrix.matrix),
+    };
     let basis = selection.basis_matrix(&access_matrix.matrix);
 
     // LegalBasis + LegalInvt + Padding.
-    let lb = legal_basis(&basis, &dependences.matrix);
-    let mut transform = legal_invt(&lb.basis, &dependences.matrix);
+    let legalize = || {
+        let lb = legal_basis(&basis, &dependences.matrix);
+        Legalized {
+            transform: legal_invt(&lb.basis, &dependences.matrix),
+            row_fates: lb.row_fates,
+        }
+    };
+    let legalized = match ctx.cache {
+        Some(c) => c
+            .legalize
+            .get_or_insert_with((basis.clone(), dependences.matrix.clone()), legalize),
+        None => legalize(),
+    };
+    let Legalized {
+        mut transform,
+        row_fates,
+    } = legalized;
     let mut fell_back_to_identity = false;
 
     // Defensive invariant check: the construction must be invertible.
@@ -143,7 +241,7 @@ pub fn normalize(program: &Program, opts: &NormalizeOptions) -> Result<Normalize
         dependences,
         subscripts,
         basis_rows: selection.kept,
-        row_fates: lb.row_fates,
+        row_fates,
         fell_back_to_identity,
     })
 }
@@ -259,6 +357,27 @@ mod tests {
         assert!(an_deps::is_legal(&r.transform, &r.dependences));
         // j normalized outermost: wrapped-column locality preserved.
         assert_eq!(r.transform.row(0), &[0, 1]);
+    }
+
+    #[test]
+    fn cached_normalize_is_identical_and_hits() {
+        let p = figure1();
+        let opts = NormalizeOptions::default();
+        let plain = normalize(&p, &opts).unwrap();
+
+        let cache = NormCache::new();
+        let deps = an_deps::analyze(&p, &opts.deps).unwrap();
+        let ctx = NormContext {
+            cache: Some(&cache),
+            deps: Some(&deps),
+        };
+        let first = normalize_with(&p, &opts, ctx).unwrap();
+        let second = normalize_with(&p, &opts, ctx).unwrap();
+        assert_eq!(first, plain);
+        assert_eq!(second, plain);
+        let stats = cache.stats();
+        // Two tables, each: one miss on the first run, one hit on the second.
+        assert_eq!((stats.hits, stats.misses), (2, 2));
     }
 
     #[test]

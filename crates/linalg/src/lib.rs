@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod basis;
+pub mod cache;
 pub mod det;
 pub mod hnf;
 pub mod lattice;
@@ -54,6 +55,7 @@ pub mod vector;
 
 mod error;
 
+pub use cache::{CacheStats, FxHashMap, MemoCache};
 pub use error::LinalgError;
 pub use matrix::{IMatrix, Matrix, QMatrix, Scalar};
 pub use rational::Rational;

@@ -51,6 +51,7 @@ pub mod model;
 pub mod ownership;
 pub mod simulate;
 pub mod stats;
+pub mod sweep;
 
 mod error;
 
@@ -58,5 +59,6 @@ pub use error::SimError;
 pub use machine::{ContentionModel, MachineConfig};
 pub use model::{predict, ModelPrediction};
 pub use ownership::simulate_ownership;
-pub use simulate::simulate;
+pub use simulate::{simulate, simulate_with_jobs};
 pub use stats::{ProcStats, SimStats};
+pub use sweep::{sweep, SweepConfig, SweepPoint, SweepReport};

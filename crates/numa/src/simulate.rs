@@ -22,6 +22,13 @@ use an_poly::Affine;
 
 /// Simulates the SPMD program on `procs` processors.
 ///
+/// Simulated processors are independent — each prices its own slice of
+/// the iteration space against the fixed distribution, and nothing a
+/// processor computes feeds another — so the per-processor loop runs on
+/// a thread pool when `procs` is large enough to amortize spawning.
+/// Results are **bitwise identical** to a serial run: see
+/// [`simulate_with_jobs`] for the determinism contract.
+///
 /// # Errors
 ///
 /// [`SimError::NoProcessors`] for `procs == 0`,
@@ -32,6 +39,32 @@ pub fn simulate(
     machine: &MachineConfig,
     procs: usize,
     params: &[i64],
+) -> Result<SimStats, SimError> {
+    // Below ~8 simulated processors the per-processor work rarely covers
+    // thread-spawn cost; stay serial (the result is identical either way).
+    let jobs = if procs >= 8 { 0 } else { 1 };
+    simulate_with_jobs(spmd, machine, procs, params, jobs)
+}
+
+/// [`simulate`] with an explicit worker-thread count (`jobs == 0` means
+/// all available parallelism, `jobs == 1` forces serial execution).
+///
+/// # Determinism
+///
+/// The returned [`SimStats`] is bitwise identical for every `jobs`
+/// value: per-processor results are collected in processor order and the
+/// total-time fold runs over that ordered vector exactly as the serial
+/// loop would, so not even floating-point summation order differs.
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_with_jobs(
+    spmd: &SpmdProgram,
+    machine: &MachineConfig,
+    procs: usize,
+    params: &[i64],
+    jobs: usize,
 ) -> Result<SimStats, SimError> {
     if procs == 0 {
         return Err(SimError::NoProcessors);
@@ -44,9 +77,10 @@ pub fn simulate(
         });
     }
     let plan = Plan::build(spmd, machine, procs, params);
+    let results = an_par::par_map_indexed(procs, jobs, |p| plan.run_processor(p));
     let mut per_proc = Vec::with_capacity(procs);
-    for p in 0..procs {
-        per_proc.push(plan.run_processor(p)?);
+    for r in results {
+        per_proc.push(r?);
     }
     let time_us = if spmd.outer_carried {
         per_proc.iter().map(|s| s.busy_us).sum()
@@ -674,6 +708,40 @@ mod tests {
             naive.remote_fraction()
         );
         assert!(normalized.time_us < naive.time_us);
+    }
+
+    #[test]
+    fn identical_results_for_every_job_count() {
+        let p = an_lang::parse(
+            "param N = 10;
+             array C[N, N] distribute wrapped(1);
+             array A[N, N] distribute wrapped(1);
+             array B[N, N] distribute wrapped(1);
+             for i = 0, N - 1 { for j = 0, N - 1 { for k = 0, N - 1 {
+                 C[i, j] = C[i, j] + A[i, k] * B[k, j];
+             } } }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        let tp = apply_transform(&p, &r.transform).unwrap();
+        let spmd = generate_spmd(&tp, Some(&r.dependences), &SpmdOptions::default());
+        let machine = MachineConfig::butterfly_gp1000();
+        for procs in [1usize, 7, 16] {
+            let serial = simulate_with_jobs(&spmd, &machine, procs, &[10], 1).unwrap();
+            for jobs in [0usize, 2, 3, 8] {
+                let par = simulate_with_jobs(&spmd, &machine, procs, &[10], jobs).unwrap();
+                // Bitwise equality, including every f64 field.
+                assert_eq!(par.time_us.to_bits(), serial.time_us.to_bits());
+                assert_eq!(par.per_proc.len(), serial.per_proc.len());
+                for (a, b) in par.per_proc.iter().zip(&serial.per_proc) {
+                    assert_eq!(a.busy_us.to_bits(), b.busy_us.to_bits());
+                    assert_eq!(a, b);
+                }
+            }
+            // The default entry point agrees too.
+            let default = simulate(&spmd, &machine, procs, &[10]).unwrap();
+            assert_eq!(default, serial);
+        }
     }
 
     #[test]

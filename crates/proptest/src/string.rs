@@ -1,0 +1,97 @@
+//! String strategies from (a small subset of) regex syntax.
+//!
+//! Real proptest accepts any regex as a `String` strategy. The test
+//! suite only uses the shape `[class]{lo,hi}` — a character class with a
+//! repetition count — so that is what this parser supports. Classes may
+//! contain literal characters, `a-b` ranges, and the escapes `\n`, `\t`,
+//! `\r`, `\\`, `\-`, `\]`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_repeat(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}` into (alphabet, lo, hi).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let mut chars = rest.chars().peekable();
+    let mut class: Vec<char> = Vec::new();
+    loop {
+        let c = chars.next()?;
+        match c {
+            ']' => break,
+            '\\' => class.push(unescape(chars.next()?)),
+            _ => {
+                // `a-b` range (a already read)?
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next(); // consume '-'
+                    match ahead.peek() {
+                        Some(&']') | None => class.push(c), // trailing '-' is literal
+                        Some(_) => {
+                            chars.next();
+                            let mut end = chars.next()?;
+                            if end == '\\' {
+                                end = unescape(chars.next()?);
+                            }
+                            for v in c as u32..=end as u32 {
+                                class.push(char::from_u32(v)?);
+                            }
+                        }
+                    }
+                } else {
+                    class.push(c);
+                }
+            }
+        }
+    }
+    let quant: String = chars.collect();
+    let inner = quant.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = inner.split_once(',')?;
+    if class.is_empty() {
+        return None;
+    }
+    Some((class, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn printable_class_parses() {
+        let (alphabet, lo, hi) = parse_class_repeat("[ -~\n\t]{0,200}").unwrap();
+        assert_eq!((lo, hi), (0, 200));
+        assert!(alphabet.contains(&'a') && alphabet.contains(&'~') && alphabet.contains(&'\n'));
+    }
+
+    #[test]
+    fn generates_within_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..50 {
+            let s = "[a-c]{1,4}".gen(&mut rng);
+            assert!((1..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+}

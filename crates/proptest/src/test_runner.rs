@@ -1,0 +1,129 @@
+//! The case runner: deterministic RNG, configuration, and the
+//! pass/fail/reject protocol property bodies speak.
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is false for this input: fail the test.
+    Fail(String),
+    /// The input does not satisfy an assumption: retry, uncounted.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// A small deterministic RNG (SplitMix64) — reproducible and portable.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// A generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// Seed for a named test: the name hash, perturbed by `PROPTEST_SEED`
+/// when set, so every property still gets a distinct stream.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(extra) = s.trim().parse::<u64>() {
+            h = h.rotate_left(17) ^ extra;
+        }
+    }
+    h
+}
+
+/// Runs one property to completion, panicking on the first failing case.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when rejections (failed assumptions)
+/// vastly outnumber accepted cases.
+pub fn run_property<S, F>(config: &ProptestConfig, name: &str, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::new(seed_for(name));
+    let mut accepted: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = config.cases as u64 * 64 + 1024;
+    while accepted < config.cases {
+        let case = strategy.gen(&mut rng);
+        // Render the input up front: failure messages need it, and the
+        // body consumes the (not necessarily Clone) value.
+        let rendered = format!("{case:#?}");
+        match body(case) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "property '{name}': {rejected} rejections for {accepted} accepted cases — \
+                         assumptions too strict"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property '{name}' failed after {accepted} passing case(s)\n\
+                     input: {rendered}\n{msg}"
+                );
+            }
+        }
+    }
+}

@@ -9,9 +9,25 @@
 //! microseconds-fast, so the exhaustive product over candidate
 //! distributions is practical for real kernels. The paper's noted
 //! difficulty, load balance, is part of the model's imbalance factor.
+//!
+//! # Search engine
+//!
+//! Candidates are independent, so [`search_report`] fans the assignment
+//! space out over a thread pool ([`AutoDistOptions::jobs`]) and shares a
+//! [`PipelineCtx`] so the expensive integer-linear-algebra and
+//! bound-derivation stages are computed once per distinct input rather
+//! than once per candidate. Scoring keeps only a lightweight
+//! [`CandidateScore`] per candidate; the full [`Compiled`] artifacts are
+//! materialized for the top-k winners only (recompiled through the warm
+//! cache — a handful of hash lookups).
+//!
+//! Results are **deterministic**: scores are collected in assignment
+//! order and ranked with a stable sort, so the ranking (including every
+//! `predicted_time_us`) is identical for any `jobs` value.
 
-use crate::{compile_program, CompileOptions, Compiled, Error};
+use crate::{compile_program_with, CompileOptions, Compiled, Error, PipelineCtx};
 use an_ir::{Distribution, Program, Stmt};
+use an_linalg::CacheStats;
 use an_numa::{predict, MachineConfig};
 
 /// One evaluated distribution assignment.
@@ -28,6 +44,18 @@ pub struct DistributionCandidate {
     pub compiled: Compiled,
 }
 
+/// A scored assignment without its compiled artifacts (the whole
+/// ranking keeps these; only winners carry a [`Compiled`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateScore {
+    /// Per-array distribution, in array-table order.
+    pub assignment: Vec<Distribution>,
+    /// Model-predicted completion time (µs).
+    pub predicted_time_us: f64,
+    /// Predicted remote access fraction.
+    pub predicted_remote: f64,
+}
+
 /// Options for the search.
 #[derive(Debug, Clone)]
 pub struct AutoDistOptions {
@@ -37,6 +65,18 @@ pub struct AutoDistOptions {
     pub allow_replication: bool,
     /// Compile options for each candidate.
     pub compile: CompileOptions,
+    /// Worker threads (`0` = all available parallelism, `1` = serial).
+    /// The ranking is identical for every value.
+    pub jobs: usize,
+    /// How many winners to materialize as full [`DistributionCandidate`]s
+    /// (the ranking always covers every candidate).
+    pub top_k: usize,
+    /// Early pruning: `Some(f)` scores every candidate with a cheap
+    /// transfer-free compile first and fully evaluates only those within
+    /// factor `f` of the cheap best. Deterministic but heuristic — a
+    /// candidate whose standing improves with block transfers can be
+    /// pruned — so it is off by default.
+    pub prune: Option<f64>,
 }
 
 impl Default for AutoDistOptions {
@@ -45,12 +85,60 @@ impl Default for AutoDistOptions {
             procs: 16,
             allow_replication: true,
             compile: CompileOptions::default(),
+            jobs: 0,
+            top_k: 8,
+            prune: None,
         }
     }
 }
 
+/// The full result of a distribution search.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// The top-k candidates with compiled artifacts, best first.
+    pub candidates: Vec<DistributionCandidate>,
+    /// Every successfully evaluated assignment, best first (stable
+    /// order: ties keep assignment-enumeration order).
+    pub ranking: Vec<CandidateScore>,
+    /// Assignments that compiled and were scored.
+    pub evaluated: usize,
+    /// Assignments whose pipeline failed (silently dropped before; now
+    /// counted and surfaced here).
+    pub skipped: usize,
+    /// Assignments eliminated by the cheap pre-pass
+    /// ([`AutoDistOptions::prune`]).
+    pub pruned: usize,
+    /// Hit/miss counters of the shared compilation caches.
+    pub cache: CacheStats,
+    /// Resolved worker-thread count the search ran with.
+    pub jobs: usize,
+}
+
+impl SearchReport {
+    /// The winning candidate, if any assignment compiled.
+    pub fn best(&self) -> Option<&DistributionCandidate> {
+        self.candidates.first()
+    }
+}
+
+/// Outcome of evaluating one assignment in the parallel phase.
+enum Eval {
+    Scored {
+        time_us: f64,
+        remote: f64,
+        /// Present when the search keeps every compile (small spaces).
+        compiled: Option<Box<Compiled>>,
+    },
+    Failed,
+    Pruned,
+}
+
 /// Searches per-array distributions for a program, returning candidates
 /// sorted by predicted time (best first).
+///
+/// Equivalent to [`search_report`] with an unbounded top-k and no
+/// pruning, returning just the candidate list (every candidate carries
+/// its [`Compiled`] artifacts, as this function always did).
 ///
 /// # Errors
 ///
@@ -62,55 +150,185 @@ pub fn search_distributions(
     machine: &MachineConfig,
     opts: &AutoDistOptions,
 ) -> Result<Vec<DistributionCandidate>, Error> {
+    let opts = AutoDistOptions {
+        top_k: usize::MAX,
+        prune: None,
+        ..opts.clone()
+    };
+    Ok(search_report(program, machine, &opts)?.candidates)
+}
+
+/// Searches per-array distributions in parallel, returning the ranked
+/// scores, the compiled top-k, and search accounting (skipped/pruned
+/// counts, cache statistics).
+///
+/// # Determinism
+///
+/// The report (ranking order *and* every predicted number) is identical
+/// for every [`AutoDistOptions::jobs`] value: candidates are scored
+/// independently, collected in assignment order, and ranked with a
+/// stable sort keyed on `(predicted_time_us, assignment index)`.
+///
+/// # Errors
+///
+/// Propagates pipeline errors from winner materialization; candidates
+/// whose pipeline fails during scoring are counted in
+/// [`SearchReport::skipped`].
+pub fn search_report(
+    program: &Program,
+    machine: &MachineConfig,
+    opts: &AutoDistOptions,
+) -> Result<SearchReport, Error> {
     let per_array: Vec<Vec<Distribution>> = program
         .arrays
         .iter()
         .enumerate()
         .map(|(idx, a)| candidate_distributions(program, idx, a.rank(), opts.allow_replication))
         .collect();
+    let total: usize = per_array.iter().map(Vec::len).product();
 
-    let mut out = Vec::new();
-    let mut assignment: Vec<usize> = vec![0; per_array.len()];
-    loop {
-        // Build the candidate program.
-        let mut p = program.clone();
-        let dists: Vec<Distribution> = assignment
+    // Assignment `i` in mixed radix, array 0 the fastest-varying digit
+    // (the enumeration order of the original serial odometer).
+    let decode = |mut i: usize| -> Vec<Distribution> {
+        per_array
             .iter()
-            .enumerate()
-            .map(|(a, &i)| per_array[a][i])
-            .collect();
-        for (arr, d) in p.arrays.iter_mut().zip(&dists) {
+            .map(|options| {
+                let d = options[i % options.len()];
+                i /= options.len();
+                d
+            })
+            .collect()
+    };
+    let with_dists = |dists: &[Distribution]| -> Program {
+        let mut p = program.clone();
+        for (arr, d) in p.arrays.iter_mut().zip(dists) {
             arr.distribution = *d;
         }
-        if let Ok(compiled) = compile_program(&p, &opts.compile) {
-            let m = predict(
-                &compiled.spmd,
-                machine,
-                opts.procs,
-                &p.default_param_values(),
-            );
-            out.push(DistributionCandidate {
-                assignment: dists,
-                predicted_time_us: m.time_us,
-                predicted_remote: m.remote_fraction,
-                compiled,
+        p
+    };
+
+    let ctx = PipelineCtx::new();
+    // Analyze dependences once up front (they are distribution
+    // independent); otherwise every early worker would race its own
+    // analysis before the shared slot fills.
+    ctx.precompute_deps(program, &opts.compile.normalize.deps)?;
+    let params = program.default_param_values();
+
+    // Optional cheap pre-pass: transfer-free compiles, keep only
+    // assignments within `factor` of the cheap best.
+    let survives: Option<Vec<bool>> = match opts.prune {
+        None => None,
+        Some(factor) => {
+            let mut cheap_opts = opts.compile.clone();
+            cheap_opts.spmd.block_transfers = false;
+            let cheap: Vec<Option<f64>> = an_par::par_map_indexed(total, opts.jobs, |i| {
+                let p = with_dists(&decode(i));
+                compile_program_with(&p, &cheap_opts, &ctx)
+                    .ok()
+                    .map(|c| predict(&c.spmd, machine, opts.procs, &params).time_us)
             });
+            let best = cheap.iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
+            Some(
+                cheap
+                    .iter()
+                    // Failures stay in: the full pass counts them as skipped.
+                    .map(|t| t.is_none_or(|t| t <= best * factor))
+                    .collect(),
+            )
         }
-        // Odometer.
-        let mut pos = 0;
-        loop {
-            if pos == assignment.len() {
-                out.sort_by(|a, b| a.predicted_time_us.total_cmp(&b.predicted_time_us));
-                return Ok(out);
+    };
+
+    // Main scoring fan-out. Full `Compiled` artifacts are only retained
+    // when the top-k covers the whole space (then a recompile pass would
+    // just redo everything); otherwise each worker drops them and the
+    // winners are recompiled through the warm cache at the end.
+    let keep_all = total <= opts.top_k;
+    let evals: Vec<Eval> = an_par::par_map_indexed(total, opts.jobs, |i| {
+        if let Some(s) = &survives {
+            if !s[i] {
+                return Eval::Pruned;
             }
-            assignment[pos] += 1;
-            if assignment[pos] < per_array[pos].len() {
-                break;
+        }
+        let p = with_dists(&decode(i));
+        match compile_program_with(&p, &opts.compile, &ctx) {
+            Ok(compiled) => {
+                let m = predict(&compiled.spmd, machine, opts.procs, &params);
+                Eval::Scored {
+                    time_us: m.time_us,
+                    remote: m.remote_fraction,
+                    compiled: keep_all.then(|| Box::new(compiled)),
+                }
             }
-            assignment[pos] = 0;
-            pos += 1;
+            Err(_) => Eval::Failed,
+        }
+    });
+
+    let skipped = evals.iter().filter(|e| matches!(e, Eval::Failed)).count();
+    let pruned = evals.iter().filter(|e| matches!(e, Eval::Pruned)).count();
+
+    // Rank: stable sort over assignment order, so equal times keep
+    // enumeration order and the result is independent of `jobs`.
+    let mut order: Vec<(usize, f64, f64)> = evals
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e {
+            Eval::Scored {
+                time_us, remote, ..
+            } => Some((i, *time_us, *remote)),
+            _ => None,
+        })
+        .collect();
+    order.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let ranking: Vec<CandidateScore> = order
+        .iter()
+        .map(|&(i, time_us, remote)| CandidateScore {
+            assignment: decode(i),
+            predicted_time_us: time_us,
+            predicted_remote: remote,
+        })
+        .collect();
+
+    // Materialize the winners.
+    let mut compiled_by_index: Vec<(usize, Box<Compiled>)> = Vec::new();
+    if keep_all {
+        for (i, e) in evals.into_iter().enumerate() {
+            if let Eval::Scored {
+                compiled: Some(c), ..
+            } = e
+            {
+                compiled_by_index.push((i, c));
+            }
         }
     }
+    let mut candidates = Vec::new();
+    for &(i, time_us, remote) in order.iter().take(opts.top_k.min(order.len())) {
+        let compiled = match compiled_by_index
+            .iter()
+            .position(|(idx, _)| *idx == i)
+            .map(|pos| compiled_by_index.swap_remove(pos).1)
+        {
+            Some(c) => *c,
+            // Warm-cache recompile: deterministic, so it succeeds
+            // exactly when the scoring compile did.
+            None => compile_program_with(&with_dists(&decode(i)), &opts.compile, &ctx)?,
+        };
+        candidates.push(DistributionCandidate {
+            assignment: decode(i),
+            predicted_time_us: time_us,
+            predicted_remote: remote,
+            compiled,
+        });
+    }
+
+    Ok(SearchReport {
+        candidates,
+        ranking,
+        evaluated: order.len(),
+        skipped,
+        pruned,
+        cache: ctx.stats(),
+        jobs: an_par::resolve_jobs(opts.jobs),
+    })
 }
 
 /// Candidate distributions for one array: wrapped and blocked on every
@@ -209,5 +427,89 @@ mod tests {
         let candidates = search_distributions(&gemm(), &machine, &opts).unwrap();
         let best = &candidates[0];
         assert!(best.predicted_remote < 0.01);
+    }
+
+    #[test]
+    fn report_accounts_for_every_assignment() {
+        let machine = MachineConfig::butterfly_gp1000();
+        let opts = AutoDistOptions {
+            procs: 8,
+            allow_replication: true,
+            top_k: 3,
+            ..AutoDistOptions::default()
+        };
+        let report = search_report(&gemm(), &machine, &opts).unwrap();
+        // 4 options for C, 5 (incl. replication) for A and B.
+        assert_eq!(report.evaluated + report.skipped + report.pruned, 100);
+        assert_eq!(report.ranking.len(), report.evaluated);
+        assert_eq!(report.candidates.len(), 3);
+        // Top-k candidates mirror the head of the ranking.
+        for (c, s) in report.candidates.iter().zip(&report.ranking) {
+            assert_eq!(c.assignment, s.assignment);
+            assert_eq!(c.predicted_time_us, s.predicted_time_us);
+        }
+        // The shared cache must actually be hit: far fewer distinct
+        // matrix inputs than candidates.
+        assert!(
+            report.cache.hit_rate() > 0.5,
+            "cache ineffective: {}",
+            report.cache
+        );
+    }
+
+    #[test]
+    fn ranking_is_identical_for_any_job_count() {
+        let machine = MachineConfig::butterfly_gp1000();
+        let mk = |jobs| AutoDistOptions {
+            procs: 8,
+            allow_replication: true,
+            jobs,
+            top_k: 5,
+            ..AutoDistOptions::default()
+        };
+        let p = gemm();
+        let serial = search_report(&p, &machine, &mk(1)).unwrap();
+        for jobs in [0, 2, 3] {
+            let par = search_report(&p, &machine, &mk(jobs)).unwrap();
+            assert_eq!(par.ranking, serial.ranking);
+            assert_eq!(par.skipped, serial.skipped);
+            for (a, b) in par.candidates.iter().zip(&serial.candidates) {
+                assert_eq!(a.assignment, b.assignment);
+                assert_eq!(a.predicted_time_us.to_bits(), b.predicted_time_us.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_search_still_finds_the_winner() {
+        let machine = MachineConfig::butterfly_gp1000();
+        let exhaustive = search_report(
+            &gemm(),
+            &machine,
+            &AutoDistOptions {
+                procs: 8,
+                allow_replication: true,
+                top_k: 1,
+                ..AutoDistOptions::default()
+            },
+        )
+        .unwrap();
+        let pruned = search_report(
+            &gemm(),
+            &machine,
+            &AutoDistOptions {
+                procs: 8,
+                allow_replication: true,
+                top_k: 1,
+                prune: Some(2.0),
+                ..AutoDistOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(pruned.pruned > 0, "prune factor 2 should eliminate some");
+        assert_eq!(
+            pruned.best().unwrap().assignment,
+            exhaustive.best().unwrap().assignment
+        );
     }
 }

@@ -13,13 +13,27 @@
 //!   --param NAME=V     override a parameter's default (repeatable)
 //!   --strides          print innermost-loop stride report
 //!   --autodist P       search per-array distributions for P processors
+//!   --jobs N           worker threads for search/simulation
+//!                      (default: all cores; 1 = serial)
 //!   --explain          narrate every pipeline decision
+//!
+//! anc sweep [OPTIONS] <file.an>    batched simulation grid
+//!
+//!   --procs LIST       processor counts (default: 1,2,4,8,16,28)
+//!   --machines LIST    gp1000,ipsc (default: gp1000)
+//!   --params LIST      one full parameter vector; repeatable, one grid
+//!                      axis entry each (default: program defaults)
+//!   --jobs N           worker threads across grid points
+//!   --naive            sweep the unrestructured program
+//!   --no-transfers     disable block-transfer insertion
+//!   --json FILE        also write the report as JSON
 //! ```
 //!
-//! Example:
+//! Examples:
 //!
 //! ```text
 //! anc --simulate 1,4,16 --emit spmd examples/kernels/gemm.an
+//! anc sweep --procs 1,8,28 --params 200 --params 400 examples/kernels/gemm.an
 //! ```
 
 use access_normalization::codegen::emit::emit_spmd;
@@ -44,6 +58,7 @@ struct Args {
     params: Vec<(String, i64)>,
     strides: bool,
     autodist: Option<usize>,
+    jobs: usize,
     explain: bool,
 }
 
@@ -51,7 +66,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: anc [--emit WHAT] [--naive] [--no-transfers] [--ordering H]\n\
          \x20          [--simulate P1,P2,..] [--machine gp1000|ipsc]\n\
-         \x20          [--param NAME=V]... [--strides] <file.an | ->"
+         \x20          [--param NAME=V]... [--strides] [--jobs N] <file.an | ->\n\
+         \x20      anc sweep [--procs LIST] [--machines LIST] [--params LIST]...\n\
+         \x20          [--jobs N] [--naive] [--no-transfers] [--json FILE] <file.an | ->"
     );
     std::process::exit(2);
 }
@@ -68,6 +85,7 @@ fn parse_args() -> Args {
         params: Vec::new(),
         strides: false,
         autodist: None,
+        jobs: 0,
         explain: false,
     };
     let mut it = std::env::args().skip(1);
@@ -110,6 +128,10 @@ fn parse_args() -> Args {
                 let p = it.next().unwrap_or_else(|| usage());
                 args.autodist = Some(p.parse().unwrap_or_else(|_| usage()));
             }
+            "--jobs" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                args.jobs = n.parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             _ if args.input.is_none() => args.input = Some(a),
             _ => usage(),
@@ -121,25 +143,185 @@ fn parse_args() -> Args {
     args
 }
 
-fn main() -> ExitCode {
-    let args = parse_args();
-    let src = match args.input.as_deref() {
-        Some("-") => {
-            let mut s = String::new();
-            if std::io::stdin().read_to_string(&mut s).is_err() {
-                eprintln!("anc: cannot read stdin");
-                return ExitCode::FAILURE;
+/// Reads the program source from a path or stdin (`-`).
+fn read_source(input: &str) -> Result<String, String> {
+    if input == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|_| "anc: cannot read stdin".to_string())?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(input).map_err(|e| format!("anc: cannot read {input}: {e}"))
+    }
+}
+
+fn run_sweep(argv: &[String]) -> ExitCode {
+    use access_normalization::numa::{sweep, SweepConfig};
+    use access_normalization::PipelineCtx;
+
+    let mut procs: Vec<usize> = vec![1, 2, 4, 8, 16, 28];
+    let mut machines = vec![MachineConfig::butterfly_gp1000()];
+    let mut param_sets: Vec<Vec<i64>> = Vec::new();
+    let mut jobs = 0usize;
+    let mut naive = false;
+    let mut transfers = true;
+    let mut json: Option<String> = None;
+    let mut input: Option<String> = None;
+
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--procs" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                procs = list
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
             }
-            s
+            "--machines" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                machines = list
+                    .split(',')
+                    .map(|m| match m.trim() {
+                        "gp1000" => MachineConfig::butterfly_gp1000(),
+                        "ipsc" => MachineConfig::ipsc_i860(),
+                        _ => usage(),
+                    })
+                    .collect();
+            }
+            "--params" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                param_sets.push(
+                    list.split(',')
+                        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--naive" => naive = true,
+            "--no-transfers" => transfers = false,
+            "--json" => json = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--help" | "-h" => usage(),
+            _ if input.is_none() => input = Some(a.clone()),
+            _ => usage(),
         }
-        Some(path) => match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("anc: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+    }
+    let Some(input) = input else { usage() };
+    let src = match read_source(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match access_normalization::lang::parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if param_sets.is_empty() {
+        param_sets.push(program.default_param_values());
+    }
+    let ctx = PipelineCtx::new();
+    let opts = CompileOptions {
+        spmd: SpmdOptions {
+            block_transfers: transfers,
         },
-        None => unreachable!(),
+        skip_transform: naive,
+        ..CompileOptions::default()
+    };
+    let compiled = match access_normalization::compile_program_with(&program, &opts, &ctx) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = SweepConfig {
+        procs,
+        param_sets,
+        jobs,
+    };
+    let mut report = match sweep(&compiled.spmd, &machines, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    report.norm_cache = Some(ctx.stats());
+
+    println!(
+        "== sweep: {} points, {} workers, {} µs wall ==",
+        report.points.len(),
+        report.jobs,
+        report.wall_us
+    );
+    println!(
+        "{:<10} {:>5} {:<16} {:>14} {:>9} {:>10} {:>8}",
+        "machine", "P", "params", "time (µs)", "remote%", "messages", "imbal"
+    );
+    for pt in &report.points {
+        let params = pt
+            .params
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{:<10} {:>5} {:<16} {:>14.0} {:>8.1}% {:>10} {:>8.2}",
+            pt.machine,
+            pt.procs,
+            params,
+            pt.stats.time_us,
+            100.0 * pt.stats.remote_fraction(),
+            pt.stats.total_messages(),
+            pt.stats.imbalance()
+        );
+    }
+    if let Some(best) = report.best() {
+        println!(
+            "best: {} P={} params=[{}] at {:.0} µs",
+            best.machine,
+            best.procs,
+            best.params
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            best.stats.time_us
+        );
+    }
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("anc: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("sweep") {
+        return run_sweep(&argv[1..]);
+    }
+    let args = parse_args();
+    let src = match read_source(args.input.as_deref().unwrap_or_else(|| usage())) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
 
     let program = match access_normalization::lang::parse(&src) {
@@ -259,20 +441,26 @@ fn main() -> ExitCode {
     }
 
     if let Some(procs) = args.autodist {
-        use access_normalization::autodist::{search_distributions, AutoDistOptions};
+        use access_normalization::autodist::{search_report, AutoDistOptions};
         let opts = AutoDistOptions {
             procs,
             allow_replication: false,
             compile: CompileOptions::default(),
+            jobs: args.jobs,
+            top_k: 5,
+            ..AutoDistOptions::default()
         };
-        match search_distributions(&compiled.program, &args.machine, &opts) {
-            Ok(candidates) => {
-                println!("== distribution search (P = {procs}, model-scored) ==");
+        match search_report(&compiled.program, &args.machine, &opts) {
+            Ok(report) => {
+                println!(
+                    "== distribution search (P = {procs}, model-scored, {} workers) ==",
+                    report.jobs
+                );
                 println!(
                     "{:<40} {:>14} {:>9}",
                     "assignment", "predicted µs", "remote%"
                 );
-                for c in candidates.iter().take(5) {
+                for c in &report.candidates {
                     let names: Vec<String> = compiled
                         .program
                         .arrays
@@ -287,6 +475,10 @@ fn main() -> ExitCode {
                         100.0 * c.predicted_remote
                     );
                 }
+                println!(
+                    "evaluated {} candidates ({} skipped), pipeline cache {}",
+                    report.evaluated, report.skipped, report.cache
+                );
             }
             Err(e) => {
                 eprintln!("anc: {e}");

@@ -67,9 +67,15 @@ pub mod autodist;
 mod error;
 pub use error::Error;
 
-use an_codegen::{apply_transform, generate_spmd, SpmdOptions, SpmdProgram, TransformedProgram};
-use an_core::{normalize, NormalizeOptions, NormalizeResult};
+use an_codegen::{
+    apply_transform, generate_spmd, CodegenError, SpmdOptions, SpmdProgram, TransformedProgram,
+};
+use an_core::{normalize_with, NormCache, NormContext, NormalizeOptions, NormalizeResult};
+use an_deps::DependenceInfo;
 use an_ir::Program;
+use an_linalg::cache::{CacheStats, MemoCache};
+use an_linalg::IMatrix;
+use std::sync::OnceLock;
 
 /// Options for the end-to-end [`compile`] driver.
 #[derive(Debug, Clone, Default)]
@@ -113,13 +119,111 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Error> {
 ///
 /// Any stage's error, wrapped in [`Error`].
 pub fn compile_program(program: &Program, opts: &CompileOptions) -> Result<Compiled, Error> {
-    let normalized = normalize(program, &opts.normalize)?;
+    compile_program_with(program, opts, &PipelineCtx::default())
+}
+
+/// Shared memoization for compiling many variants of one base program.
+///
+/// Distribution search compiles the same loop nest over and over with
+/// different distribution annotations; the expensive stages recur on
+/// identical inputs and are cached here:
+///
+/// - dependence analysis (computed once — distributions do not affect
+///   dependences),
+/// - basis extraction and `LegalBasis`/`LegalInvt` legalization (keyed
+///   by matrix contents, in [`NormCache`]),
+/// - loop restructuring with its Fourier–Motzkin bound derivation
+///   (keyed by the transform matrix; distributions are patched onto the
+///   cached nest afterwards, which is sound because `apply_transform`
+///   never reads them).
+///
+/// **Invariant:** a `PipelineCtx` is tied to one base program. Every
+/// program compiled through it must share the same loop nest,
+/// parameters, and array shapes, differing only in distribution
+/// annotations. The context is thread-safe: share `&PipelineCtx` across
+/// a parallel search.
+#[derive(Debug, Default)]
+pub struct PipelineCtx {
+    /// Normalization memo tables.
+    pub norm: NormCache,
+    transforms: MemoCache<IMatrix, Result<TransformedProgram, CodegenError>>,
+    deps: OnceLock<DependenceInfo>,
+}
+
+impl PipelineCtx {
+    /// An empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs dependence analysis for `program` once and pins the result,
+    /// so a parallel search does not race several redundant analyses at
+    /// startup. No-op if dependences are already pinned.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Deps`] if analysis fails.
+    pub fn precompute_deps(
+        &self,
+        program: &Program,
+        opts: &an_deps::DepOptions,
+    ) -> Result<(), Error> {
+        if self.deps.get().is_none() {
+            let d = an_deps::analyze(program, opts)?;
+            let _ = self.deps.set(d);
+        }
+        Ok(())
+    }
+
+    /// Combined hit/miss counters over every memo table.
+    pub fn stats(&self) -> CacheStats {
+        self.norm.stats() + self.transforms.stats()
+    }
+}
+
+/// [`compile_program`] through a shared [`PipelineCtx`].
+///
+/// The result is identical to an uncached compile — every cached stage
+/// is a pure function of its inputs — but repeated calls skip the
+/// integer-linear-algebra and bound-derivation work.
+///
+/// # Errors
+///
+/// Any stage's error, wrapped in [`Error`].
+pub fn compile_program_with(
+    program: &Program,
+    opts: &CompileOptions,
+    ctx: &PipelineCtx,
+) -> Result<Compiled, Error> {
+    let deps = match ctx.deps.get() {
+        Some(d) => d.clone(),
+        None => {
+            let d = an_deps::analyze(program, &opts.normalize.deps)?;
+            let _ = ctx.deps.set(d.clone());
+            d
+        }
+    };
+    let normalized = normalize_with(
+        program,
+        &opts.normalize,
+        NormContext {
+            cache: Some(&ctx.norm),
+            deps: Some(&deps),
+        },
+    )?;
     let t = if opts.skip_transform {
-        an_linalg::IMatrix::identity(program.nest.depth())
+        IMatrix::identity(program.nest.depth())
     } else {
         normalized.transform.clone()
     };
-    let transformed = apply_transform(program, &t)?;
+    let mut transformed = ctx
+        .transforms
+        .get_or_insert_with(t.clone(), || apply_transform(program, &t))?;
+    // The cached nest carries the distributions of whichever candidate
+    // computed it; restore this candidate's (a no-op on a cache miss).
+    for (cached, live) in transformed.program.arrays.iter_mut().zip(&program.arrays) {
+        cached.distribution = live.distribution;
+    }
     let spmd = generate_spmd(&transformed, Some(&normalized.dependences), &opts.spmd);
     Ok(Compiled {
         program: program.clone(),

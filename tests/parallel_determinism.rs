@@ -1,0 +1,98 @@
+//! Determinism contracts of the parallel engines: thread count must
+//! never change a result — not the ranking of a distribution search,
+//! not a single bit of a simulation.
+
+use access_normalization::autodist::{search_report, AutoDistOptions};
+use access_normalization::numa::{simulate_with_jobs, sweep, MachineConfig, SweepConfig};
+use access_normalization::{compile, CompileOptions};
+
+const GEMM: &str = "param N = 40;
+    array C[N, N] distribute wrapped(0);
+    array A[N, N] distribute wrapped(0);
+    array B[N, N] distribute wrapped(0);
+    for i = 0, N - 1 { for j = 0, N - 1 { for k = 0, N - 1 {
+        C[i, j] = C[i, j] + A[i, k] * B[k, j];
+    } } }";
+
+const FIG1: &str = "param N1 = 16; param b = 5; param N2 = 12;
+    array A[N1, N1 + N2 + b] distribute wrapped(1);
+    array B[N1, b] distribute wrapped(1);
+    for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+        B[i, j - i] = B[i, j - i] + A[i, j + k];
+    } } }";
+
+#[test]
+fn search_ranking_is_independent_of_jobs() {
+    let program = access_normalization::lang::parse(GEMM).unwrap();
+    let machine = MachineConfig::butterfly_gp1000();
+    let mk = |jobs| AutoDistOptions {
+        procs: 8,
+        allow_replication: true,
+        jobs,
+        top_k: 4,
+        ..AutoDistOptions::default()
+    };
+    let serial = search_report(&program, &machine, &mk(1)).unwrap();
+    assert!(!serial.ranking.is_empty());
+    for jobs in [0usize, 2, 4, 7] {
+        let par = search_report(&program, &machine, &mk(jobs)).unwrap();
+        assert_eq!(par.ranking.len(), serial.ranking.len(), "jobs={jobs}");
+        for (a, b) in par.ranking.iter().zip(&serial.ranking) {
+            assert_eq!(a.assignment, b.assignment, "jobs={jobs}");
+            assert_eq!(
+                a.predicted_time_us.to_bits(),
+                b.predicted_time_us.to_bits(),
+                "jobs={jobs}: {} vs {}",
+                a.predicted_time_us,
+                b.predicted_time_us
+            );
+        }
+        assert_eq!(par.skipped, serial.skipped);
+        assert_eq!(par.evaluated, serial.evaluated);
+        for (a, b) in par.candidates.iter().zip(&serial.candidates) {
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(a.compiled.spmd, b.compiled.spmd, "jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn simulation_totals_are_bitwise_identical_across_jobs() {
+    for (src, params) in [(GEMM, vec![40i64]), (FIG1, vec![16, 5, 12])] {
+        let compiled = compile(src, &CompileOptions::default()).unwrap();
+        let machine = MachineConfig::butterfly_gp1000();
+        for procs in [1usize, 5, 12, 28] {
+            let serial = simulate_with_jobs(&compiled.spmd, &machine, procs, &params, 1).unwrap();
+            for jobs in [0usize, 2, 3, 8, 64] {
+                let par =
+                    simulate_with_jobs(&compiled.spmd, &machine, procs, &params, jobs).unwrap();
+                assert_eq!(
+                    par.time_us.to_bits(),
+                    serial.time_us.to_bits(),
+                    "procs={procs} jobs={jobs}"
+                );
+                assert_eq!(par.per_proc, serial.per_proc, "procs={procs} jobs={jobs}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_reports_are_independent_of_jobs() {
+    let compiled = compile(GEMM, &CompileOptions::default()).unwrap();
+    let machines = [
+        MachineConfig::butterfly_gp1000(),
+        MachineConfig::ipsc_i860(),
+    ];
+    let mk = |jobs| SweepConfig {
+        procs: vec![1, 4, 9, 16],
+        param_sets: vec![vec![40], vec![24]],
+        jobs,
+    };
+    let serial = sweep(&compiled.spmd, &machines, &mk(1)).unwrap();
+    assert_eq!(serial.points.len(), 2 * 4 * 2);
+    for jobs in [0usize, 3, 5] {
+        let par = sweep(&compiled.spmd, &machines, &mk(jobs)).unwrap();
+        assert_eq!(par.points, serial.points, "jobs={jobs}");
+    }
+}
