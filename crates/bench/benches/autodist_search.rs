@@ -3,7 +3,9 @@
 //! Runs the exhaustive GEMM distribution search serially (`jobs = 1`)
 //! and with 8 workers, checks the rankings are bit-for-bit identical
 //! (the engine's determinism contract), and reports the wall-clock
-//! speedup plus the pipeline-cache hit rate. Results are written
+//! speedup plus the pipeline-cache hit rate. Also measures the
+//! independent verifier's overhead: one compile alone vs compile plus
+//! `an-verify` over the same program. Results are written
 //! machine-readably to `target/an-bench-results/BENCH_autodist.json`.
 //!
 //! The ≥4× speedup assertion only fires on hardware with at least 8
@@ -12,6 +14,7 @@
 
 use access_normalization::autodist::{search_report, AutoDistOptions, SearchReport};
 use access_normalization::numa::MachineConfig;
+use access_normalization::{compile_program, verify_with, CompileOptions};
 use an_ir::Program;
 use std::time::Instant;
 
@@ -54,6 +57,29 @@ fn timed_search(program: &Program, machine: &MachineConfig, jobs: usize) -> (f64
     (best_secs, report.expect("at least one repeat"))
 }
 
+/// Best-of-`REPEATS` wall clock of one compile, and of the independent
+/// verifier run on the compiled artifacts.
+fn timed_verify(program: &Program) -> (f64, f64) {
+    let opts = CompileOptions::default();
+    let vopts = access_normalization::verify_options_for(&opts);
+    let mut compile_secs = f64::INFINITY;
+    let mut verify_secs = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let compiled = compile_program(program, &opts).expect("compile");
+        compile_secs = compile_secs.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let report = verify_with(&compiled, &vopts);
+        verify_secs = verify_secs.min(start.elapsed().as_secs_f64());
+        assert!(
+            !report.has_errors(),
+            "verifier rejected the benchmark kernel:\n{}",
+            report.render_human()
+        );
+    }
+    (compile_secs, verify_secs)
+}
+
 fn main() {
     let program = an_lang::parse(&fused_gemm_source(64)).expect("fused gemm parses");
     let machine = MachineConfig::butterfly_gp1000();
@@ -88,12 +114,22 @@ fn main() {
     println!("rankings            identical (bitwise)");
     println!("cache (serial run)  {}", serial.cache);
 
+    let (compile_secs, verify_secs) = timed_verify(&program);
+    let verify_overhead = verify_secs / compile_secs;
+    println!("compile alone       {:>8.1} ms", compile_secs * 1e3);
+    println!(
+        "verify (an-verify)  {:>8.1} ms  ({verify_overhead:.2}x of compile)",
+        verify_secs * 1e3
+    );
+
     let json = format!(
         "{{\n  \"kernel\": \"fused-gemm\",\n  \"n\": 64,\n  \"candidates\": {},\n  \
          \"skipped\": {},\n  \"cores\": {cores},\n  \"serial_ms\": {:.3},\n  \
          \"parallel_jobs\": {PAR_JOBS},\n  \"parallel_ms\": {:.3},\n  \
          \"speedup\": {:.3},\n  \"rankings_identical\": true,\n  \
-         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_hit_rate\": {:.4}\n}}\n",
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \
+         \"compile_ms\": {:.3},\n  \"verify_ms\": {:.3},\n  \
+         \"verify_overhead\": {:.3}\n}}\n",
         serial.ranking.len(),
         serial.skipped,
         serial_secs * 1e3,
@@ -101,7 +137,10 @@ fn main() {
         speedup,
         serial.cache.hits,
         serial.cache.misses,
-        serial.cache.hit_rate()
+        serial.cache.hit_rate(),
+        compile_secs * 1e3,
+        verify_secs * 1e3,
+        verify_overhead
     );
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("..")

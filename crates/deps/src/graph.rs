@@ -15,9 +15,7 @@ pub fn to_dot(program: &Program, info: &DependenceInfo) -> String {
     let _ = writeln!(out, "  rankdir=LR;");
     let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
     for (i, stmt) in program.nest.body.iter().enumerate() {
-        let label = an_ir::pretty::render_stmt(program, stmt)
-            .replace('\\', "\\\\")
-            .replace('"', "\\\"");
+        let label = escape_label(&an_ir::pretty::render_stmt(program, stmt));
         let _ = writeln!(out, "  s{i} [label=\"S{i}: {label}\"];");
     }
     for dep in &info.deps {
@@ -26,7 +24,7 @@ pub fn to_dot(program: &Program, info: &DependenceInfo) -> String {
             "  s{} -> s{} [label=\"{}\", style={}];",
             dep.src_stmt,
             dep.dst_stmt,
-            edge_label(program, dep),
+            escape_label(&edge_label(program, dep)),
             match dep.kind {
                 DependenceKind::Flow => "solid",
                 DependenceKind::Anti => "dashed",
@@ -36,6 +34,15 @@ pub fn to_dot(program: &Program, info: &DependenceInfo) -> String {
     }
     let _ = writeln!(out, "}}");
     out
+}
+
+/// Escapes text for a double-quoted DOT label: backslashes, quotes and
+/// newlines (statement renderings and array names may contain any of
+/// them — array names are unrestricted when the IR is built directly).
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 fn edge_label(program: &Program, dep: &Dependence) -> String {

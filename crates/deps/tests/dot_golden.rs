@@ -1,0 +1,61 @@
+//! Golden test for the DOT dependence-graph renderer, including label
+//! escaping. Array names are unrestricted when the IR is built through
+//! [`NestBuilder`] (the surface parser forbids quotes, the IR does
+//! not), so quotes must be escaped in node *and* edge labels or the
+//! emitted graph is syntactically invalid DOT.
+
+use an_deps::{analyze, graph::to_dot, DepOptions};
+use an_ir::build::NestBuilder;
+use an_ir::{Distribution, Expr, Program};
+
+/// `A"q[i + 1] = A"q[i] + 1` — a flow dependence of distance 1 on an
+/// array whose name contains a double quote.
+fn quoted_program() -> Program {
+    let mut b = NestBuilder::new(&["i"], &[("N", 6)]);
+    let extent = b.cst(8);
+    let a = b.array("A\"q", &[extent], Distribution::Wrapped { dim: 0 });
+    b.bounds(0, b.cst(0), b.par(0).sub(&b.cst(1)));
+    let lhs = b.access(a, &[b.var(0).add(&b.cst(1))]);
+    let read = b.access(a, &[b.var(0)]);
+    b.assign(lhs, Expr::add(Expr::access(read), Expr::lit(1.0)));
+    b.finish()
+}
+
+#[test]
+fn dot_output_matches_golden_with_escaped_quotes() {
+    let p = quoted_program();
+    let info = analyze(&p, &DepOptions::default()).unwrap();
+    let dot = to_dot(&p, &info);
+    let expected = "\
+digraph dependences {
+  rankdir=LR;
+  node [shape=box, fontname=\"monospace\"];
+  s0 [label=\"S0: A\\\"q[i + 1] = A\\\"q[i] + 1;\"];
+  s0 -> s0 [label=\"A\\\"q flow [1]\", style=solid];
+}
+";
+    assert_eq!(dot, expected);
+}
+
+#[test]
+fn every_quote_in_labels_is_escaped() {
+    let p = quoted_program();
+    let info = analyze(&p, &DepOptions::default()).unwrap();
+    let dot = to_dot(&p, &info);
+    // Strip the attribute-delimiting quotes of each `label="..."`; any
+    // quote inside the label text must be preceded by a backslash.
+    for line in dot.lines() {
+        let Some(start) = line.find("label=\"") else {
+            continue;
+        };
+        let body = &line[start + 7..];
+        let end = body.rfind('"').unwrap();
+        let label = &body[..end];
+        let bytes = label.as_bytes();
+        for (i, &c) in bytes.iter().enumerate() {
+            if c == b'"' {
+                assert!(i > 0 && bytes[i - 1] == b'\\', "unescaped quote in {line}");
+            }
+        }
+    }
+}

@@ -54,11 +54,13 @@ pub mod ast;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod spans;
 pub mod token;
 
 mod error;
 
 pub use error::LangError;
+pub use spans::SpanMap;
 
 /// Parses and lowers a source text into an IR [`Program`](an_ir::Program).
 ///
@@ -70,4 +72,17 @@ pub fn parse(src: &str) -> Result<an_ir::Program, LangError> {
     let tokens = lexer::lex(src)?;
     let ast = parser::parse_tokens(&tokens)?;
     lower::lower(&ast)
+}
+
+/// Like [`parse`], but also returns a [`SpanMap`] tying the lowered
+/// program's arrays, loops and statements back to source positions.
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_with_spans(src: &str) -> Result<(an_ir::Program, SpanMap), LangError> {
+    let tokens = lexer::lex(src)?;
+    let ast = parser::parse_tokens(&tokens)?;
+    let program = lower::lower(&ast)?;
+    Ok((program, SpanMap::from_ast(&ast)))
 }

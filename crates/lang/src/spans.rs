@@ -1,0 +1,104 @@
+//! Source-position maps for lowered programs.
+//!
+//! Lowering flattens the AST into an [`an_ir::Program`] whose arrays,
+//! statements and loop levels are addressed by index. Downstream tools
+//! (notably the `an-verify` diagnostics layer) want to point back at
+//! the source text; a [`SpanMap`] records the [`Pos`] of every indexed
+//! entity, in the same order the lowerer emits them.
+
+use crate::ast::{AstBody, AstProgram};
+use crate::token::Pos;
+
+/// Source positions for the indexed entities of a lowered program.
+///
+/// Index `k` of each vector corresponds to index `k` in the lowered
+/// [`an_ir::Program`]: `lower` walks parameters, arrays, loops
+/// (outermost first) and statements in declaration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanMap {
+    /// Position of each `param` declaration.
+    pub params: Vec<Pos>,
+    /// Position of each `array` declaration.
+    pub arrays: Vec<Pos>,
+    /// Position of each loop header, outermost first.
+    pub loops: Vec<Pos>,
+    /// Position of each innermost assignment statement.
+    pub stmts: Vec<Pos>,
+}
+
+impl SpanMap {
+    /// Collects source positions from a parsed program.
+    pub fn from_ast(ast: &AstProgram) -> SpanMap {
+        let mut map = SpanMap {
+            params: ast.params.iter().map(|p| p.pos).collect(),
+            arrays: ast.arrays.iter().map(|a| a.pos).collect(),
+            loops: Vec::new(),
+            stmts: Vec::new(),
+        };
+        let mut level = &ast.nest;
+        loop {
+            map.loops.push(level.pos);
+            match &level.body {
+                AstBody::Nested(inner) => level = inner,
+                AstBody::Stmts(stmts) => {
+                    map.stmts.extend(stmts.iter().map(|s| s.pos));
+                    break;
+                }
+            }
+        }
+        map
+    }
+
+    /// Position of statement `idx`, if it exists.
+    pub fn stmt(&self, idx: usize) -> Option<Pos> {
+        self.stmts.get(idx).copied()
+    }
+
+    /// Position of array declaration `idx`, if it exists.
+    pub fn array(&self, idx: usize) -> Option<Pos> {
+        self.arrays.get(idx).copied()
+    }
+
+    /// Position of loop level `idx` (0 = outermost), if it exists.
+    pub fn loop_level(&self, idx: usize) -> Option<Pos> {
+        self.loops.get(idx).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_positions_in_lowering_order() {
+        let src = "param N = 4;\n\
+                   array A[N] distribute wrapped(0);\n\
+                   array B[N];\n\
+                   for i = 0, N - 1 {\n\
+                     A[i] = 1.0;\n\
+                     B[i] = A[i];\n\
+                   }\n";
+        let tokens = crate::lexer::lex(src).unwrap();
+        let ast = crate::parser::parse_tokens(&tokens).unwrap();
+        let map = SpanMap::from_ast(&ast);
+        assert_eq!(map.params.len(), 1);
+        assert_eq!(map.arrays.len(), 2);
+        assert_eq!(map.loops.len(), 1);
+        assert_eq!(map.stmts.len(), 2);
+        assert_eq!(map.array(0).unwrap().line, 2);
+        assert_eq!(map.array(1).unwrap().line, 3);
+        assert_eq!(map.loop_level(0).unwrap().line, 4);
+        assert_eq!(map.stmt(0).unwrap().line, 5);
+        assert_eq!(map.stmt(1).unwrap().line, 6);
+        assert_eq!(map.stmt(2), None);
+    }
+
+    #[test]
+    fn follows_nested_loops_outermost_first() {
+        let src = "param N = 4;\narray A[N, N];\n\
+                   for i = 0, N - 1 { for j = 0, N - 1 { A[i, j] = 0.0; } }\n";
+        let (_, map) = crate::parse_with_spans(src).unwrap();
+        assert_eq!(map.loops.len(), 2);
+        assert_eq!(map.stmts.len(), 1);
+    }
+}

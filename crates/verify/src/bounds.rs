@@ -1,0 +1,223 @@
+//! Invariant family 2 — bounds soundness.
+//!
+//! The transformed nest must scan *exactly* the image of the original
+//! iteration space: `{U·t : t scanned} = {original iterations}`, with
+//! `H = T·U`. Three independent angles:
+//!
+//! - bookkeeping: the factorization `H = T·U` itself (exact integer
+//!   matrix arithmetic);
+//! - symbolic: mutual inclusion of the two constraint systems via
+//!   Fourier–Motzkin implication in `an-poly`;
+//! - concrete: per-point set comparison on a small parameter
+//!   instantiation, cross-checked by a differential interpreter run.
+
+use crate::diag::{Anchor, Code, Diagnostic};
+use crate::oracle::{ConcreteContext, SEED};
+use an_codegen::TransformedProgram;
+use an_ir::interp::run_seeded;
+use an_ir::Program;
+use std::collections::BTreeSet;
+
+/// Runs the bounds checks, appending findings to `diags`. Returns
+/// `false` when the lattice bookkeeping is broken (dependent checks
+/// should then be skipped).
+pub fn check_bounds(
+    program: &Program,
+    transformed: &TransformedProgram,
+    ctx: Option<&ConcreteContext>,
+    diags: &mut Vec<Diagnostic>,
+    notes: &mut Vec<String>,
+) -> bool {
+    // Bookkeeping: H = T·U with U unimodular and T invertible. Everything
+    // else interprets points through these matrices, so a mismatch here
+    // invalidates the rest.
+    let t = &transformed.transform;
+    let u = &transformed.unimodular;
+    let h = &transformed.hnf;
+    let consistent =
+        t.is_invertible() && u.is_unimodular() && t.mul(u).map(|tu| &tu == h).unwrap_or(false);
+    if !consistent {
+        diags.push(Diagnostic::new(
+            Code::BoundsBookkeeping,
+            Anchor::Program,
+            "lattice bookkeeping inconsistent: H != T*U, or T singular, or U \
+             not unimodular"
+                .to_string(),
+        ));
+        return false;
+    }
+
+    // Symbolic inclusion: S_img (original constraints pulled back through
+    // old = U·t) versus S_t (the emitted bounds), both under the
+    // program's assumptions.
+    let t_space = &transformed.program.nest.space;
+    let mut sys_img = program.nest.constraint_system().substitute_vars(u, t_space);
+    let mut sys_t = transformed.program.nest.constraint_system();
+    for a in &transformed.program.assumptions {
+        sys_img.add(a);
+        sys_t.add(a);
+    }
+    let img_implies_t =
+        sys_t.inequalities().is_empty() || sys_t.inequalities().iter().all(|e| sys_img.implies(e));
+    let t_implies_img = sys_img.inequalities().is_empty()
+        || sys_img.inequalities().iter().all(|e| sys_t.implies(e));
+    if img_implies_t && t_implies_img {
+        notes.push("transformed bounds proven equivalent symbolically".to_string());
+    } else if ctx.is_none() {
+        diags.push(Diagnostic::new(
+            Code::BoundsUnproven,
+            Anchor::Program,
+            format!(
+                "symbolic bound inclusion inconclusive ({}) and the iteration \
+                 space is too large for a concrete cross-check",
+                if img_implies_t {
+                    "emitted bounds may be too tight"
+                } else {
+                    "emitted bounds may be too loose"
+                }
+            ),
+        ));
+    } else {
+        notes.push(
+            "symbolic bound inclusion inconclusive; relying on the concrete \
+             cross-check"
+                .to_string(),
+        );
+    }
+
+    // Concrete set comparison and differential oracle.
+    let Some(ctx) = ctx else { return true };
+    let original: BTreeSet<&[i64]> = ctx.original_points.iter().map(Vec::as_slice).collect();
+    let mut covered: BTreeSet<Vec<i64>> = BTreeSet::new();
+    let mut extra = Vec::new();
+    for tp in &ctx.transformed_points {
+        let old = u.mul_vec(tp).expect("lattice coordinate arity");
+        if original.contains(old.as_slice()) {
+            covered.insert(old);
+        } else {
+            extra.push(old);
+        }
+    }
+    let dropped: Vec<&[i64]> = original
+        .iter()
+        .filter(|p| !covered.contains(**p))
+        .copied()
+        .collect();
+    let had_set_errors = !extra.is_empty() || !dropped.is_empty();
+    if !extra.is_empty() {
+        diags.push(Diagnostic::new(
+            Code::BoundsExtra,
+            Anchor::Program,
+            format!(
+                "transformed nest scans {} point(s) outside the original space \
+                 at params {:?}, e.g. original-coordinate {:?}",
+                extra.len(),
+                ctx.params,
+                extra[0]
+            ),
+        ));
+    }
+    if !dropped.is_empty() {
+        diags.push(Diagnostic::new(
+            Code::BoundsDropped,
+            Anchor::Program,
+            format!(
+                "transformed nest drops {} original iteration(s) at params {:?}, \
+                 e.g. {:?}",
+                dropped.len(),
+                ctx.params,
+                dropped[0]
+            ),
+        ));
+    }
+
+    // Differential oracle: only meaningful when the iteration sets agree
+    // (extra points would fault or double-write, masking the comparison).
+    if !had_set_errors {
+        let before = run_seeded(program, &ctx.params, SEED);
+        let after = run_seeded(&transformed.program, &ctx.params, SEED);
+        match (before, after) {
+            (Ok(b), Ok(a)) => {
+                let diff = b.max_abs_diff(&a);
+                if diff > 1e-12 {
+                    diags.push(Diagnostic::new(
+                        Code::DifferentialMismatch,
+                        Anchor::Program,
+                        format!(
+                            "interpreter results differ between original and \
+                             transformed programs (max |delta| = {diff:e}) at \
+                             params {:?}",
+                            ctx.params
+                        ),
+                    ));
+                }
+            }
+            (_, Err(e)) => diags.push(Diagnostic::new(
+                Code::DifferentialMismatch,
+                Anchor::Program,
+                format!("transformed program fails to interpret: {e}"),
+            )),
+            (Err(_), Ok(_)) => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an_codegen::apply_transform;
+    use an_linalg::IMatrix;
+
+    fn fig1() -> (Program, TransformedProgram) {
+        let p = an_lang::parse(
+            "param N1 = 5; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+        )
+        .unwrap();
+        let t = IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]]);
+        let tp = apply_transform(&p, &t).unwrap();
+        (p, tp)
+    }
+
+    #[test]
+    fn correct_transform_passes_all_angles() {
+        let (p, tp) = fig1();
+        let ctx = ConcreteContext::build(&p, &tp.program, 4096).unwrap();
+        let mut diags = Vec::new();
+        let mut notes = Vec::new();
+        let ok = check_bounds(&p, &tp, Some(&ctx), &mut diags, &mut notes);
+        assert!(ok);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn narrowed_bound_drops_iterations() {
+        let (p, mut tp) = fig1();
+        let last = tp.program.nest.bounds.len() - 1;
+        let one = an_poly::Affine::constant(&tp.program.nest.space, 1);
+        tp.program.nest.bounds[last].uppers[0].expr =
+            tp.program.nest.bounds[last].uppers[0].expr.sub(&one);
+        let ctx = ConcreteContext::build(&p, &tp.program, 4096).unwrap();
+        let mut diags = Vec::new();
+        check_bounds(&p, &tp, Some(&ctx), &mut diags, &mut Vec::new());
+        assert!(
+            diags.iter().any(|d| d.code == Code::BoundsDropped),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn broken_bookkeeping_is_flagged_first() {
+        let (p, mut tp) = fig1();
+        tp.hnf = IMatrix::identity(3).scale(2);
+        let mut diags = Vec::new();
+        let ok = check_bounds(&p, &tp, None, &mut diags, &mut Vec::new());
+        assert!(!ok);
+        assert_eq!(diags[0].code, Code::BoundsBookkeeping);
+    }
+}

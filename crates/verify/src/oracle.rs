@@ -1,0 +1,246 @@
+//! Brute-force concrete machinery shared by the invariant checkers.
+//!
+//! The verifier's concrete checks enumerate iteration spaces outright,
+//! so they only run when some parameter instantiation keeps the space
+//! small. [`ConcreteContext::build`] shrinks the program's default
+//! parameters until the nest fits under a point budget (or gives up),
+//! and caches the enumerated original and transformed iteration sets.
+
+use an_ir::interp::run_seeded;
+use an_ir::{collect_accesses, AccessInfo, Program};
+use an_linalg::lex_negative;
+use std::collections::BTreeSet;
+
+/// Seed for differential interpreter runs (arbitrary but fixed, so
+/// verification is deterministic).
+pub(crate) const SEED: u64 = 11;
+
+/// Enumerated iteration sets for one parameter instantiation.
+#[derive(Debug, Clone)]
+pub struct ConcreteContext {
+    /// The parameter values used.
+    pub params: Vec<i64>,
+    /// Original iteration vectors in lexicographic order.
+    pub original_points: Vec<Vec<i64>>,
+    /// Transformed (lattice-coordinate) iteration vectors in
+    /// lexicographic order.
+    pub transformed_points: Vec<Vec<i64>>,
+    /// Per-level `(min, max)` of the original iteration vectors.
+    pub ranges: Vec<(i64, i64)>,
+}
+
+impl ConcreteContext {
+    /// Tries to find parameter values small enough to enumerate both
+    /// nests under `max_points` points each, preferring values close to
+    /// the program defaults. Returns `None` when every candidate is too
+    /// large, empty, or not interpretable (e.g. an extent that shrinks
+    /// below a constant subscript).
+    pub fn build(
+        program: &Program,
+        transformed_program: &Program,
+        max_points: u64,
+    ) -> Option<ConcreteContext> {
+        let defaults = program.default_param_values();
+        let mut candidates: Vec<Vec<i64>> = vec![defaults.clone()];
+        for cap in [8i64, 6, 4, 3, 2] {
+            let shrunk: Vec<i64> = defaults.iter().map(|&v| v.min(cap)).collect();
+            if !candidates.contains(&shrunk) {
+                candidates.push(shrunk);
+            }
+        }
+        for params in candidates {
+            let Ok(Some(count)) = program.nest.iteration_count_capped(&params, max_points) else {
+                continue;
+            };
+            if count == 0 {
+                continue;
+            }
+            // The transformed nest need not have the same count (that is
+            // exactly what the bounds check decides), but it must stay
+            // enumerable.
+            let Ok(Some(_)) = transformed_program
+                .nest
+                .iteration_count_capped(&params, 4 * max_points)
+            else {
+                continue;
+            };
+            // Every array must be non-empty and the original program
+            // interpretable at these values (guards subscripts that
+            // escape a shrunken extent).
+            if program
+                .arrays
+                .iter()
+                .any(|a| a.extents(&params).iter().any(|&e| e < 1))
+            {
+                continue;
+            }
+            if run_seeded(program, &params, SEED).is_err() {
+                continue;
+            }
+            let mut original_points = Vec::new();
+            if program
+                .nest
+                .for_each_iteration(&params, |pt| original_points.push(pt.to_vec()))
+                .is_err()
+            {
+                continue;
+            }
+            let mut transformed_points = Vec::new();
+            if transformed_program
+                .nest
+                .for_each_iteration(&params, |pt| transformed_points.push(pt.to_vec()))
+                .is_err()
+            {
+                continue;
+            }
+            if transformed_points.len() as u64 > 4 * max_points {
+                continue;
+            }
+            let ranges = point_ranges(&original_points, program.nest.depth());
+            return Some(ConcreteContext {
+                params,
+                original_points,
+                transformed_points,
+                ranges,
+            });
+        }
+        None
+    }
+}
+
+/// Per-level `(min, max)` over a point set (`(0, 0)` for empty sets).
+fn point_ranges(points: &[Vec<i64>], depth: usize) -> Vec<(i64, i64)> {
+    (0..depth)
+        .map(|k| {
+            let lo = points.iter().map(|p| p[k]).min().unwrap_or(0);
+            let hi = points.iter().map(|p| p[k]).max().unwrap_or(0);
+            (lo, hi)
+        })
+        .collect()
+}
+
+/// All access pairs `(a, b)` on the same array with at least one write
+/// (including an access paired with itself for self-dependences).
+pub fn conflicting_pairs(accesses: &[AccessInfo]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..accesses.len() {
+        for j in i..accesses.len() {
+            let (a, b) = (&accesses[i], &accesses[j]);
+            if a.reference.array == b.reference.array && (a.is_write || b.is_write) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// `true` when the pair is uniformly generated: equal loop-variable
+/// coefficients in every subscript dimension, so every dependence
+/// between them has a constant distance.
+pub fn is_uniform_pair(a: &AccessInfo, b: &AccessInfo) -> bool {
+    a.reference
+        .subscripts
+        .iter()
+        .zip(&b.reference.subscripts)
+        .all(|(s1, s2)| s1.var_coeffs() == s2.var_coeffs())
+}
+
+/// Enumerates every dependence distance actually realized at the given
+/// parameters: all (source, sink) iteration pairs touching the same
+/// element with at least one write, canonicalized to lexicographically
+/// positive form. The zero vector (same iteration) is excluded.
+pub fn oracle_distances(
+    program: &Program,
+    points: &[Vec<i64>],
+    params: &[i64],
+) -> BTreeSet<Vec<i64>> {
+    let accesses = collect_accesses(program);
+    let mut out = BTreeSet::new();
+    for (i, j) in conflicting_pairs(&accesses) {
+        let (a, b) = (&accesses[i], &accesses[j]);
+        for x in points {
+            for y in points {
+                if x == y && i == j {
+                    continue;
+                }
+                if a.reference.eval_subscripts(x, params) == b.reference.eval_subscripts(y, params)
+                {
+                    let d: Vec<i64> = y.iter().zip(x).map(|(yv, xv)| yv - xv).collect();
+                    if d.iter().all(|&v| v == 0) {
+                        continue;
+                    }
+                    let canon = if lex_negative(&d) {
+                        d.iter().map(|v| -v).collect()
+                    } else {
+                        d
+                    };
+                    out.insert(canon);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> Program {
+        an_lang::parse(
+            "param N1 = 5; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn context_uses_defaults_when_small() {
+        let p = fig1();
+        let ctx = ConcreteContext::build(&p, &p, 4096).unwrap();
+        assert_eq!(ctx.params, vec![5, 3, 4]);
+        assert_eq!(ctx.original_points.len(), 5 * 3 * 4);
+        assert_eq!(ctx.ranges[0], (0, 4));
+    }
+
+    #[test]
+    fn context_shrinks_large_defaults() {
+        let p = an_lang::parse(
+            "param N = 100000;
+             array A[N] distribute wrapped(0);
+             for i = 0, N - 1 { A[i] = 1.0; }",
+        )
+        .unwrap();
+        let ctx = ConcreteContext::build(&p, &p, 4096).unwrap();
+        assert_eq!(ctx.params, vec![8]);
+    }
+
+    #[test]
+    fn fig1_distances_carried_by_middle_loop() {
+        let p = fig1();
+        let ctx = ConcreteContext::build(&p, &p, 4096).unwrap();
+        let ds = oracle_distances(&p, &ctx.original_points, &ctx.params);
+        // B[i, j-i] self-dependence: same element for equal i and j,
+        // different k — distance (0, 0, dk).
+        assert!(ds.contains(&vec![0, 0, 1]), "{ds:?}");
+        // No distance moves across i for B writes.
+        assert!(ds.iter().all(|d| d[0] == 0), "{ds:?}");
+    }
+
+    #[test]
+    fn uniformity_classification() {
+        let p = an_lang::parse(
+            "param N = 4;
+             array A[N, N];
+             for i = 0, N - 1 { for j = 0, N - 1 { A[i, j] = A[j, i] + 1.0; } }",
+        )
+        .unwrap();
+        let acc = collect_accesses(&p);
+        assert!(!is_uniform_pair(&acc[0], &acc[1]));
+        assert!(is_uniform_pair(&acc[0], &acc[0]));
+    }
+}

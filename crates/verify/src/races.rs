@@ -1,0 +1,297 @@
+//! Invariant family 3 — SPMD race freedom (owner-computes soundness).
+//!
+//! The simulator runs the outer loop in parallel whenever
+//! `outer_carried` is false; this module independently re-derives each
+//! iteration's executing processor from the [`OuterAssignment`] fields
+//! and checks that no array element is then touched by two processors
+//! with at least one write. It also checks the *static* ownership
+//! claim: the subscript the assignment declares local must actually
+//! appear in the loop body (a skewed split shifts executor and claim
+//! consistently, so only the body anchors the truth).
+
+use crate::diag::{Anchor, Code, Diagnostic};
+use crate::oracle::ConcreteContext;
+use an_codegen::{OuterAssignment, SpmdProgram};
+use an_ir::{collect_accesses, Distribution, Stmt};
+use an_linalg::{div_floor, mod_floor};
+use an_numa::distribution::{block_size, grid_shape, home_of, Home};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Runs the race checks, appending findings to `diags`.
+pub fn check_races(
+    spmd: &SpmdProgram,
+    ctx: Option<&ConcreteContext>,
+    procs: &[usize],
+    diags: &mut Vec<Diagnostic>,
+    notes: &mut Vec<String>,
+) {
+    check_ownership_claim(spmd, diags);
+    if spmd.outer_carried {
+        notes.push(
+            "outer loop marked dependence-carried: iterations serialize, race \
+             freedom holds trivially"
+                .to_string(),
+        );
+        return;
+    }
+    let Some(ctx) = ctx else {
+        notes
+            .push("iteration space too large to enumerate: dynamic race check skipped".to_string());
+        return;
+    };
+    let accesses = collect_accesses(&spmd.program);
+    for &p in procs {
+        if p < 2 {
+            continue;
+        }
+        // element -> (executors seen, executors that wrote)
+        let mut touched: BTreeMap<(usize, Vec<i64>), Touch> = BTreeMap::new();
+        for point in &ctx.transformed_points {
+            let exec = executor_of(spmd, point, &ctx.params, p);
+            for a in &accesses {
+                if spmd.program.array(a.reference.array).distribution == Distribution::Replicated {
+                    continue; // per-processor copies: no shared element
+                }
+                let idx = a.reference.eval_subscripts(point, &ctx.params);
+                let entry = touched.entry((a.reference.array.0, idx)).or_default();
+                let execs: Vec<usize> = match exec {
+                    Executor::One(q) => vec![q],
+                    Executor::All => (0..p).collect(),
+                };
+                for q in execs {
+                    entry.all.insert(q);
+                    if a.is_write {
+                        entry.writers.insert(q);
+                    }
+                }
+            }
+        }
+        let mut flagged = 0usize;
+        for ((array, idx), Touch { all, writers }) in &touched {
+            if !writers.is_empty() && all.len() >= 2 {
+                flagged += 1;
+                if flagged <= 3 {
+                    diags.push(Diagnostic::new(
+                        Code::RaceParallelOuter,
+                        Anchor::Array(*array),
+                        format!(
+                            "element {:?} of array '{}' is touched by processors \
+                             {:?} (written by {:?}) at P = {p} while the outer \
+                             loop runs in parallel",
+                            idx,
+                            spmd.program.arrays[*array].name,
+                            all.iter().collect::<Vec<_>>(),
+                            writers.iter().collect::<Vec<_>>()
+                        ),
+                    ));
+                }
+            }
+        }
+        if flagged > 3 {
+            notes.push(format!("{} further raced elements suppressed", flagged - 3));
+        }
+        if flagged > 0 {
+            break; // one processor count suffices as a witness
+        }
+    }
+}
+
+/// Per-element record of which processors touched (and wrote) it.
+#[derive(Default)]
+struct Touch {
+    all: BTreeSet<usize>,
+    writers: BTreeSet<usize>,
+}
+
+/// Who executes an iteration.
+enum Executor {
+    /// Exactly one processor.
+    One(usize),
+    /// Every processor (a replicated driving array — should not occur
+    /// from codegen, and duplicates every write).
+    All,
+}
+
+/// Re-derives the executing processor of a lattice point from the outer
+/// assignment, mirroring the simulator's documented semantics without
+/// calling into it.
+fn executor_of(spmd: &SpmdProgram, point: &[i64], params: &[i64], procs: usize) -> Executor {
+    let zeros = vec![0i64; spmd.program.nest.space.num_vars()];
+    match &spmd.outer {
+        OuterAssignment::RoundRobin => Executor::One(mod_floor(point[0], procs as i64) as usize),
+        OuterAssignment::ByHome {
+            array,
+            dim,
+            coeff,
+            offset,
+        } => {
+            let decl = spmd.program.array(*array);
+            let extents = decl.extents(params);
+            let mut idx = vec![0i64; decl.rank()];
+            idx[*dim] = coeff * point[0] + offset.eval(&zeros, params);
+            match home_of(decl, &extents, &idx, procs) {
+                Home::Proc(q) => Executor::One(q),
+                Home::Everywhere => Executor::All,
+            }
+        }
+        OuterAssignment::ByHome2D {
+            array,
+            row_dim,
+            col_dim,
+            row_coeff,
+            row_offset,
+            col_coeff,
+            col_offset,
+        } => {
+            let decl = spmd.program.array(*array);
+            let extents = decl.extents(params);
+            let (pr, pc) = grid_shape(procs);
+            let s_row = row_coeff * point[0] + row_offset.eval(&zeros, params);
+            let s_col = col_coeff * point[1] + col_offset.eval(&zeros, params);
+            let hr = div_floor(s_row, block_size(extents[*row_dim], pr)).clamp(0, pr as i64 - 1);
+            let hc = div_floor(s_col, block_size(extents[*col_dim], pc)).clamp(0, pc as i64 - 1);
+            Executor::One((hr * pc as i64 + hc) as usize)
+        }
+    }
+}
+
+/// The static ownership claim: the subscript declared local by the
+/// assignment must be one the body actually uses on the driving array's
+/// distribution dimension.
+fn check_ownership_claim(spmd: &SpmdProgram, diags: &mut Vec<Diagnostic>) {
+    let space = &spmd.program.nest.space;
+    let claims: Vec<(an_ir::ArrayId, usize, an_poly::Affine)> = match &spmd.outer {
+        OuterAssignment::RoundRobin => Vec::new(),
+        OuterAssignment::ByHome {
+            array,
+            dim,
+            coeff,
+            offset,
+        } => vec![(
+            *array,
+            *dim,
+            an_poly::Affine::var(space, 0, *coeff).add(offset),
+        )],
+        OuterAssignment::ByHome2D {
+            array,
+            row_dim,
+            col_dim,
+            row_coeff,
+            row_offset,
+            col_coeff,
+            col_offset,
+        } => vec![
+            (
+                *array,
+                *row_dim,
+                an_poly::Affine::var(space, 0, *row_coeff).add(row_offset),
+            ),
+            (
+                *array,
+                *col_dim,
+                an_poly::Affine::var(space, 1, *col_coeff).add(col_offset),
+            ),
+        ],
+    };
+    for (array, dim, claimed) in claims {
+        let mut used = false;
+        for stmt in &spmd.program.nest.body {
+            let Stmt::Assign { lhs, rhs } = stmt else {
+                continue;
+            };
+            let mut refs = vec![lhs];
+            refs.extend(rhs.reads());
+            for r in refs {
+                if r.array == array && r.subscripts.get(dim) == Some(&claimed) {
+                    used = true;
+                }
+            }
+        }
+        if !used {
+            diags.push(Diagnostic::new(
+                Code::RaceOwnershipClaim,
+                Anchor::Array(array.0),
+                format!(
+                    "outer assignment claims subscript '{claimed}' of array '{}' \
+                     (dimension {dim}) is local, but no body reference uses it — \
+                     the ownership split is skewed against the data",
+                    spmd.program.array(array).name
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an_codegen::{apply_transform, generate_spmd, SpmdOptions};
+    use an_core::{normalize, NormalizeOptions};
+    use an_ir::Program;
+
+    fn fig1_compiled() -> (Program, SpmdProgram) {
+        let p = an_lang::parse(
+            "param N1 = 5; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        let tp = apply_transform(&p, &r.transform).unwrap();
+        let spmd = generate_spmd(&tp, Some(&r.dependences), &SpmdOptions::default());
+        (p, spmd)
+    }
+
+    #[test]
+    fn fig1_is_race_free() {
+        let (p, spmd) = fig1_compiled();
+        let ctx = ConcreteContext::build(&p, &spmd.program, 4096).unwrap();
+        let mut diags = Vec::new();
+        check_races(&spmd, Some(&ctx), &[2, 3], &mut diags, &mut Vec::new());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn skewed_ownership_is_flagged() {
+        let (p, mut spmd) = fig1_compiled();
+        if let OuterAssignment::ByHome { offset, .. } = &mut spmd.outer {
+            let one = an_poly::Affine::constant(&spmd.program.nest.space, 1);
+            *offset = offset.add(&one);
+        } else {
+            panic!("expected ByHome for figure 1");
+        }
+        let ctx = ConcreteContext::build(&p, &spmd.program, 4096).unwrap();
+        let mut diags = Vec::new();
+        check_races(&spmd, Some(&ctx), &[2, 3], &mut diags, &mut Vec::new());
+        assert!(
+            diags.iter().any(|d| d.code == Code::RaceOwnershipClaim),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn forced_parallel_outer_with_carried_writes_races() {
+        // A[i+1] = A[i] distributed round-robin with outer_carried
+        // forced false: processors 0 and 1 write/read the same cells.
+        let p = an_lang::parse(
+            "param N = 8;
+             array A[N + 1] distribute blocked(0);
+             for i = 0, N - 1 { A[i + 1] = A[i] + 1.0; }",
+        )
+        .unwrap();
+        let tp = apply_transform(&p, &an_linalg::IMatrix::identity(1)).unwrap();
+        let mut spmd = generate_spmd(&tp, None, &SpmdOptions::default());
+        spmd.outer_carried = false;
+        let ctx = ConcreteContext::build(&p, &spmd.program, 4096).unwrap();
+        let mut diags = Vec::new();
+        check_races(&spmd, Some(&ctx), &[2], &mut diags, &mut Vec::new());
+        assert!(
+            diags.iter().any(|d| d.code == Code::RaceParallelOuter),
+            "{diags:?}"
+        );
+    }
+}

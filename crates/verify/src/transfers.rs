@@ -1,0 +1,203 @@
+//! Invariant family 4 — block-transfer coverage.
+//!
+//! Every read whose distribution-dimension subscript is invariant in
+//! the innermost loop (and not localized by the outer assignment) must
+//! be covered by an emitted `read A[*, s]` transfer, or the simulator
+//! prices it per element and — worse — a real machine would fetch
+//! remote data element-wise. Conversely every emitted transfer must
+//! correspond to a real read and be hoisted no higher than the deepest
+//! loop its subscript varies in (a transfer that is not refreshed while
+//! its subscript changes serves stale data).
+
+use crate::diag::{Anchor, Code, Diagnostic};
+use an_codegen::{OuterAssignment, SpmdProgram};
+use an_ir::{ArrayId, Distribution, Stmt};
+use an_poly::Affine;
+
+/// Runs the transfer checks, appending findings to `diags`.
+/// `expect_transfers` mirrors `SpmdOptions::block_transfers`: when the
+/// pipeline was asked not to emit transfers, only the emitted-transfer
+/// validity checks run (and an empty list is trivially valid).
+pub fn check_transfers(spmd: &SpmdProgram, expect_transfers: bool, diags: &mut Vec<Diagnostic>) {
+    let program = &spmd.program;
+    let n = program.nest.depth();
+    let locals = local_claims(spmd);
+
+    // Expected transfers, re-derived from the reads.
+    let mut expected: Vec<(ArrayId, usize, Affine, usize, usize)> = Vec::new(); // + stmt index
+    for (stmt_idx, stmt) in program.nest.body.iter().enumerate() {
+        let Stmt::Assign { rhs, .. } = stmt else {
+            continue;
+        };
+        for r in rhs.reads() {
+            let decl = program.array(r.array);
+            let dim = match decl.distribution {
+                Distribution::Wrapped { dim } | Distribution::Blocked { dim } => dim,
+                Distribution::Replicated | Distribution::Block2D { .. } => continue,
+            };
+            let s = &r.subscripts[dim];
+            if locals.iter().any(|(a, ls)| *a == r.array && ls == s) {
+                continue; // local by the outer assignment
+            }
+            let deepest = (0..n).rev().find(|&k| s.var_coeff(k) != 0);
+            let level = match deepest {
+                None => 0,
+                Some(k) if k + 1 < n => k,
+                Some(_) => continue, // varies innermost: not amortizable
+            };
+            if !expected
+                .iter()
+                .any(|(a, d, e, _, _)| *a == r.array && *d == dim && e == s)
+            {
+                expected.push((r.array, dim, s.clone(), level, stmt_idx));
+            }
+        }
+    }
+
+    if expect_transfers {
+        for (array, dim, s, _level, stmt_idx) in &expected {
+            let covered = spmd
+                .transfers
+                .iter()
+                .any(|t| t.array == *array && t.dim == *dim && t.subscript == *s);
+            if !covered {
+                diags.push(Diagnostic::new(
+                    Code::TransferMissing,
+                    Anchor::Stmt(*stmt_idx),
+                    format!(
+                        "read of array '{}' with inner-invariant distribution \
+                         subscript '{s}' (dimension {dim}) has no covering block \
+                         transfer",
+                        program.array(*array).name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Emitted transfers must be justified and correctly hoisted.
+    for t in &spmd.transfers {
+        let matches_read = expected
+            .iter()
+            .any(|(a, d, s, _, _)| *a == t.array && *d == t.dim && s == &t.subscript);
+        if !matches_read {
+            diags.push(Diagnostic::new(
+                Code::TransferBogus,
+                Anchor::Array(t.array.0),
+                format!(
+                    "block transfer for array '{}' subscript '{}' (dimension {}) \
+                     matches no remote inner-invariant read",
+                    program.array(t.array).name,
+                    t.subscript,
+                    t.dim
+                ),
+            ));
+            continue;
+        }
+        if let Some(k) = (0..n).rev().find(|&k| t.subscript.var_coeff(k) != 0) {
+            if k > t.level {
+                diags.push(Diagnostic::new(
+                    Code::TransferBogus,
+                    Anchor::Array(t.array.0),
+                    format!(
+                        "block transfer for array '{}' is hoisted to level {} but \
+                         its subscript '{}' varies in loop {k} — the cached block \
+                         goes stale",
+                        program.array(t.array).name,
+                        t.level,
+                        t.subscript
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The (array, subscript) pairs the outer assignment localizes,
+/// re-derived from the assignment fields.
+fn local_claims(spmd: &SpmdProgram) -> Vec<(ArrayId, Affine)> {
+    let space = &spmd.program.nest.space;
+    match &spmd.outer {
+        OuterAssignment::RoundRobin => Vec::new(),
+        OuterAssignment::ByHome {
+            array,
+            coeff,
+            offset,
+            ..
+        } => vec![(*array, Affine::var(space, 0, *coeff).add(offset))],
+        OuterAssignment::ByHome2D {
+            array,
+            row_coeff,
+            row_offset,
+            col_coeff,
+            col_offset,
+            ..
+        } => vec![
+            (*array, Affine::var(space, 0, *row_coeff).add(row_offset)),
+            (*array, Affine::var(space, 1, *col_coeff).add(col_offset)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an_codegen::{apply_transform, generate_spmd, SpmdOptions};
+    use an_core::{normalize, NormalizeOptions};
+
+    fn fig1_spmd(block_transfers: bool) -> SpmdProgram {
+        let p = an_lang::parse(
+            "param N1 = 5; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+        )
+        .unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        let tp = apply_transform(&p, &r.transform).unwrap();
+        generate_spmd(&tp, Some(&r.dependences), &SpmdOptions { block_transfers })
+    }
+
+    #[test]
+    fn generated_transfers_verify_clean() {
+        let spmd = fig1_spmd(true);
+        let mut diags = Vec::new();
+        check_transfers(&spmd, true, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dropped_transfer_is_flagged() {
+        let mut spmd = fig1_spmd(true);
+        assert!(!spmd.transfers.is_empty());
+        spmd.transfers.clear();
+        let mut diags = Vec::new();
+        check_transfers(&spmd, true, &mut diags);
+        assert!(
+            diags.iter().any(|d| d.code == Code::TransferMissing),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_transfers_are_not_demanded() {
+        let spmd = fig1_spmd(false);
+        let mut diags = Vec::new();
+        check_transfers(&spmd, false, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn stale_hoist_level_is_flagged() {
+        let mut spmd = fig1_spmd(true);
+        spmd.transfers[0].level = 0; // subscript varies in loop 1
+        let mut diags = Vec::new();
+        check_transfers(&spmd, true, &mut diags);
+        assert!(
+            diags.iter().any(|d| d.code == Code::TransferBogus),
+            "{diags:?}"
+        );
+    }
+}

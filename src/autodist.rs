@@ -77,6 +77,12 @@ pub struct AutoDistOptions {
     /// candidate whose standing improves with block transfers can be
     /// pruned — so it is off by default.
     pub prune: Option<f64>,
+    /// Run the independent soundness verifier (`an-verify`) on every
+    /// compiled candidate and reject those with error-severity findings
+    /// (counted in [`SearchReport::rejected`]). Off by default — the
+    /// verifier re-enumerates iteration spaces, which multiplies search
+    /// cost.
+    pub verify: bool,
 }
 
 impl Default for AutoDistOptions {
@@ -88,6 +94,7 @@ impl Default for AutoDistOptions {
             jobs: 0,
             top_k: 8,
             prune: None,
+            verify: false,
         }
     }
 }
@@ -108,6 +115,9 @@ pub struct SearchReport {
     /// Assignments eliminated by the cheap pre-pass
     /// ([`AutoDistOptions::prune`]).
     pub pruned: usize,
+    /// Assignments that compiled but failed independent verification
+    /// ([`AutoDistOptions::verify`]).
+    pub rejected: usize,
     /// Hit/miss counters of the shared compilation caches.
     pub cache: CacheStats,
     /// Resolved worker-thread count the search ran with.
@@ -131,6 +141,8 @@ enum Eval {
     },
     Failed,
     Pruned,
+    /// Compiled, but the independent verifier found an error.
+    Rejected,
 }
 
 /// Searches per-array distributions for a program, returning candidates
@@ -252,6 +264,13 @@ pub fn search_report(
         let p = with_dists(&decode(i));
         match compile_program_with(&p, &opts.compile, &ctx) {
             Ok(compiled) => {
+                if opts.verify {
+                    let report =
+                        crate::verify_with(&compiled, &crate::verify_options_for(&opts.compile));
+                    if report.has_errors() {
+                        return Eval::Rejected;
+                    }
+                }
                 let m = predict(&compiled.spmd, machine, opts.procs, &params);
                 Eval::Scored {
                     time_us: m.time_us,
@@ -265,6 +284,7 @@ pub fn search_report(
 
     let skipped = evals.iter().filter(|e| matches!(e, Eval::Failed)).count();
     let pruned = evals.iter().filter(|e| matches!(e, Eval::Pruned)).count();
+    let rejected = evals.iter().filter(|e| matches!(e, Eval::Rejected)).count();
 
     // Rank: stable sort over assignment order, so equal times keep
     // enumeration order and the result is independent of `jobs`.
@@ -326,6 +346,7 @@ pub fn search_report(
         evaluated: order.len(),
         skipped,
         pruned,
+        rejected,
         cache: ctx.stats(),
         jobs: an_par::resolve_jobs(opts.jobs),
     })
@@ -440,7 +461,11 @@ mod tests {
         };
         let report = search_report(&gemm(), &machine, &opts).unwrap();
         // 4 options for C, 5 (incl. replication) for A and B.
-        assert_eq!(report.evaluated + report.skipped + report.pruned, 100);
+        assert_eq!(
+            report.evaluated + report.skipped + report.pruned + report.rejected,
+            100
+        );
+        assert_eq!(report.rejected, 0, "verification is off by default");
         assert_eq!(report.ranking.len(), report.evaluated);
         assert_eq!(report.candidates.len(), 3);
         // Top-k candidates mirror the head of the ranking.
@@ -478,6 +503,35 @@ mod tests {
                 assert_eq!(a.predicted_time_us.to_bits(), b.predicted_time_us.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn verified_search_rejects_nothing_on_a_sound_pipeline() {
+        // A small space (one array, four candidates) so the verifier's
+        // per-candidate enumeration stays cheap. Every candidate should
+        // pass — the accounting must still close.
+        let p = an_lang::parse(
+            "param N = 8;
+             array A[N, N] distribute wrapped(0);
+             for i = 0, N - 1 { for j = 0, N - 1 {
+                 A[i, j] = A[i, j] + 1.0;
+             } }",
+        )
+        .unwrap();
+        let machine = MachineConfig::butterfly_gp1000();
+        let opts = AutoDistOptions {
+            procs: 4,
+            allow_replication: false,
+            verify: true,
+            ..AutoDistOptions::default()
+        };
+        let report = search_report(&p, &machine, &opts).unwrap();
+        assert_eq!(
+            report.evaluated + report.skipped + report.pruned + report.rejected,
+            4
+        );
+        assert_eq!(report.rejected, 0, "sound candidates must not be rejected");
+        assert!(report.best().is_some());
     }
 
     #[test]

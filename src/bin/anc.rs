@@ -15,6 +15,8 @@
 //!   --autodist P       search per-array distributions for P processors
 //!   --jobs N           worker threads for search/simulation
 //!                      (default: all cores; 1 = serial)
+//!   --verify           run the independent soundness verifier; fail the
+//!                      compile (and reject search candidates) on errors
 //!   --explain          narrate every pipeline decision
 //!
 //! anc sweep [OPTIONS] <file.an>    batched simulation grid
@@ -26,7 +28,19 @@
 //!   --jobs N           worker threads across grid points
 //!   --naive            sweep the unrestructured program
 //!   --no-transfers     disable block-transfer insertion
+//!   --verify           reject the compile on verifier errors
 //!   --json FILE        also write the report as JSON
+//!
+//! anc check [OPTIONS] <file.an>...    independent soundness verification
+//!
+//!   --deny-warnings    exit non-zero on warnings too
+//!   --json             print machine-readable reports
+//!   --naive            check the unrestructured program
+//!   --no-transfers     compile (and check) without block transfers
+//!   --param NAME=V     override a parameter's default (repeatable)
+//!   --mutate KIND      corrupt the artifacts first (self-test):
+//!                      flip-transform-sign | widen-bound | narrow-bound |
+//!                      drop-transfer | skew-ownership
 //! ```
 //!
 //! Examples:
@@ -34,6 +48,8 @@
 //! ```text
 //! anc --simulate 1,4,16 --emit spmd examples/kernels/gemm.an
 //! anc sweep --procs 1,8,28 --params 200 --params 400 examples/kernels/gemm.an
+//! anc check --deny-warnings examples/kernels/*.an
+//! anc check --mutate flip-transform-sign examples/kernels/gemm.an  # must fail
 //! ```
 
 use access_normalization::codegen::emit::emit_spmd;
@@ -59,6 +75,7 @@ struct Args {
     strides: bool,
     autodist: Option<usize>,
     jobs: usize,
+    verify: bool,
     explain: bool,
 }
 
@@ -66,9 +83,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: anc [--emit WHAT] [--naive] [--no-transfers] [--ordering H]\n\
          \x20          [--simulate P1,P2,..] [--machine gp1000|ipsc]\n\
-         \x20          [--param NAME=V]... [--strides] [--jobs N] <file.an | ->\n\
+         \x20          [--param NAME=V]... [--strides] [--jobs N] [--verify] <file.an | ->\n\
          \x20      anc sweep [--procs LIST] [--machines LIST] [--params LIST]...\n\
-         \x20          [--jobs N] [--naive] [--no-transfers] [--json FILE] <file.an | ->"
+         \x20          [--jobs N] [--naive] [--no-transfers] [--verify] [--json FILE]\n\
+         \x20          <file.an | ->\n\
+         \x20      anc check [--deny-warnings] [--json] [--naive] [--no-transfers]\n\
+         \x20          [--param NAME=V]... [--mutate KIND] <file.an>..."
     );
     std::process::exit(2);
 }
@@ -86,6 +106,7 @@ fn parse_args() -> Args {
         strides: false,
         autodist: None,
         jobs: 0,
+        verify: false,
         explain: false,
     };
     let mut it = std::env::args().skip(1);
@@ -123,6 +144,7 @@ fn parse_args() -> Args {
                 args.params.push((k.to_string(), v));
             }
             "--strides" => args.strides = true,
+            "--verify" => args.verify = true,
             "--explain" => args.explain = true,
             "--autodist" => {
                 let p = it.next().unwrap_or_else(|| usage());
@@ -166,6 +188,7 @@ fn run_sweep(argv: &[String]) -> ExitCode {
     let mut jobs = 0usize;
     let mut naive = false;
     let mut transfers = true;
+    let mut verify = false;
     let mut json: Option<String> = None;
     let mut input: Option<String> = None;
 
@@ -206,6 +229,7 @@ fn run_sweep(argv: &[String]) -> ExitCode {
             }
             "--naive" => naive = true,
             "--no-transfers" => transfers = false,
+            "--verify" => verify = true,
             "--json" => json = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--help" | "-h" => usage(),
             _ if input.is_none() => input = Some(a.clone()),
@@ -236,6 +260,7 @@ fn run_sweep(argv: &[String]) -> ExitCode {
             block_transfers: transfers,
         },
         skip_transform: naive,
+        verify,
         ..CompileOptions::default()
     };
     let compiled = match access_normalization::compile_program_with(&program, &opts, &ctx) {
@@ -310,10 +335,141 @@ fn run_sweep(argv: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `anc check` — compile each file and run the independent soundness
+/// verifier over the artifacts, printing structured diagnostics.
+fn run_check(argv: &[String]) -> ExitCode {
+    use access_normalization::verify_mod::{apply_mutation, Mutation, VerifyReport};
+    use access_normalization::{verify_options_for, verify_with};
+
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut naive = false;
+    let mut transfers = true;
+    let mut params: Vec<(String, i64)> = Vec::new();
+    let mut mutate: Option<Mutation> = None;
+    let mut inputs: Vec<String> = Vec::new();
+
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--json" => json = true,
+            "--naive" => naive = true,
+            "--no-transfers" => transfers = false,
+            "--param" => {
+                let kv = it.next().unwrap_or_else(|| usage());
+                let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                let v: i64 = v.parse().unwrap_or_else(|_| usage());
+                params.push((k.to_string(), v));
+            }
+            "--mutate" => {
+                let kind = it.next().unwrap_or_else(|| usage());
+                mutate = Some(Mutation::parse(kind).unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            _ => inputs.push(a.clone()),
+        }
+    }
+    if inputs.is_empty() {
+        usage();
+    }
+
+    let opts = CompileOptions {
+        spmd: SpmdOptions {
+            block_transfers: transfers,
+        },
+        skip_transform: naive,
+        ..CompileOptions::default()
+    };
+    let verify_opts = verify_options_for(&opts);
+    let many = inputs.len() > 1;
+    let mut failed = false;
+    for input in &inputs {
+        let src = match read_source(input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+                continue;
+            }
+        };
+        let (mut program, spans) = match access_normalization::lang::parse_with_spans(&src) {
+            Ok(ps) => ps,
+            Err(e) => {
+                eprintln!("anc: {input}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        for (name, v) in &params {
+            match program.params.iter_mut().find(|p| p.name == *name) {
+                Some(p) => p.default = *v,
+                None => {
+                    eprintln!("anc: {input}: unknown parameter '{name}'");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let compiled = match compile_program(&program, &opts) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("anc: {input}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let mut report: VerifyReport = match mutate {
+            None => verify_with(&compiled, &verify_opts),
+            Some(m) => {
+                let (mtp, mspmd) = match apply_mutation(
+                    &compiled.program,
+                    &compiled.transformed,
+                    &compiled.spmd,
+                    m,
+                    verify_opts.max_points,
+                ) {
+                    Ok(artifacts) => artifacts,
+                    Err(e) => {
+                        eprintln!("anc: {input}: cannot apply mutation {}: {e}", m.name());
+                        failed = true;
+                        continue;
+                    }
+                };
+                access_normalization::verify_mod::verify_artifacts(
+                    &compiled.program,
+                    &mtp,
+                    &mspmd,
+                    &verify_opts,
+                )
+            }
+        };
+        report.attach_spans(&spans);
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            if many {
+                println!("== {input} ==");
+            }
+            println!("{}", report.render_human());
+        }
+        if report.has_errors() || (deny_warnings && report.warning_count() > 0) {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("sweep") {
         return run_sweep(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("check") {
+        return run_check(&argv[1..]);
     }
     let args = parse_args();
     let src = match read_source(args.input.as_deref().unwrap_or_else(|| usage())) {
@@ -340,6 +496,7 @@ fn main() -> ExitCode {
             block_transfers: args.transfers,
         },
         skip_transform: args.naive,
+        verify: args.verify,
     };
     let compiled = match compile_program(&program, &opts) {
         Ok(c) => c,
@@ -448,6 +605,7 @@ fn main() -> ExitCode {
             compile: CompileOptions::default(),
             jobs: args.jobs,
             top_k: 5,
+            verify: args.verify,
             ..AutoDistOptions::default()
         };
         match search_report(&compiled.program, &args.machine, &opts) {
@@ -476,8 +634,9 @@ fn main() -> ExitCode {
                     );
                 }
                 println!(
-                    "evaluated {} candidates ({} skipped), pipeline cache {}",
-                    report.evaluated, report.skipped, report.cache
+                    "evaluated {} candidates ({} skipped, {} rejected by verifier), \
+                     pipeline cache {}",
+                    report.evaluated, report.skipped, report.rejected, report.cache
                 );
             }
             Err(e) => {

@@ -16,6 +16,9 @@ pub enum Error {
     Codegen(an_codegen::CodegenError),
     /// Simulation error.
     Sim(an_numa::SimError),
+    /// The independent verifier rejected the compiled artifacts (only
+    /// raised when compiling with `CompileOptions::verify`).
+    Verify(an_verify::VerifyReport),
 }
 
 impl fmt::Display for Error {
@@ -27,6 +30,7 @@ impl fmt::Display for Error {
             Error::Core(e) => write!(f, "{e}"),
             Error::Codegen(e) => write!(f, "{e}"),
             Error::Sim(e) => write!(f, "{e}"),
+            Error::Verify(report) => write!(f, "{report}"),
         }
     }
 }
@@ -40,6 +44,7 @@ impl std::error::Error for Error {
             Error::Core(e) => Some(e),
             Error::Codegen(e) => Some(e),
             Error::Sim(e) => Some(e),
+            Error::Verify(_) => None,
         }
     }
 }
@@ -72,5 +77,10 @@ impl From<an_codegen::CodegenError> for Error {
 impl From<an_numa::SimError> for Error {
     fn from(e: an_numa::SimError) -> Self {
         Error::Sim(e)
+    }
+}
+impl From<an_verify::VerifyReport> for Error {
+    fn from(report: an_verify::VerifyReport) -> Self {
+        Error::Verify(report)
     }
 }

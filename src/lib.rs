@@ -19,6 +19,10 @@
 //!   code generation with block transfers.
 //! - [`numa`] — a NUMA machine cost-model simulator (BBN Butterfly
 //!   GP-1000 and Intel iPSC/i860 profiles).
+//! - [`verify_mod`] — an independent soundness verifier that re-derives
+//!   legality, bounds, race-freedom and transfer-coverage evidence from
+//!   scratch and reports structured `AN0xxx` diagnostics (see
+//!   [`verify`] and `CompileOptions::verify`).
 //!
 //! ## Quickstart
 //!
@@ -61,6 +65,7 @@ pub use an_lang as lang;
 pub use an_linalg as linalg;
 pub use an_numa as numa;
 pub use an_poly as poly;
+pub use an_verify as verify_mod;
 
 pub mod autodist;
 
@@ -87,6 +92,10 @@ pub struct CompileOptions {
     /// Skip restructuring (identity transform): the paper's naive
     /// baseline that distributes the original outer loop.
     pub skip_transform: bool,
+    /// Run the independent soundness verifier (`an-verify`) on the
+    /// compiled artifacts and fail with [`Error::Verify`] if it finds
+    /// an error-severity violation.
+    pub verify: bool,
 }
 
 /// Everything the compiler produced for one program.
@@ -225,10 +234,46 @@ pub fn compile_program_with(
         cached.distribution = live.distribution;
     }
     let spmd = generate_spmd(&transformed, Some(&normalized.dependences), &opts.spmd);
-    Ok(Compiled {
+    let compiled = Compiled {
         program: program.clone(),
         normalized,
         transformed,
         spmd,
-    })
+    };
+    if opts.verify {
+        let report = verify_with(&compiled, &verify_options_for(opts));
+        if report.has_errors() {
+            return Err(Error::Verify(report));
+        }
+    }
+    Ok(compiled)
+}
+
+/// The [`an_verify::VerifyOptions`] matching a [`CompileOptions`]: the
+/// verifier must not demand block transfers the pipeline was told not
+/// to emit.
+pub fn verify_options_for(opts: &CompileOptions) -> an_verify::VerifyOptions {
+    an_verify::VerifyOptions {
+        expect_transfers: opts.spmd.block_transfers,
+        ..an_verify::VerifyOptions::default()
+    }
+}
+
+/// Runs the independent soundness verifier over a compilation result
+/// with default options. See [`an_verify::verify_artifacts`].
+pub fn verify(compiled: &Compiled) -> an_verify::VerifyReport {
+    verify_with(compiled, &an_verify::VerifyOptions::default())
+}
+
+/// [`verify`] with explicit options.
+pub fn verify_with(
+    compiled: &Compiled,
+    opts: &an_verify::VerifyOptions,
+) -> an_verify::VerifyReport {
+    an_verify::verify_artifacts(
+        &compiled.program,
+        &compiled.transformed,
+        &compiled.spmd,
+        opts,
+    )
 }
