@@ -13,7 +13,7 @@
 //! stays meaningful (and honest) in small CI containers.
 
 use access_normalization::autodist::{search_report, AutoDistOptions, SearchReport};
-use access_normalization::numa::MachineConfig;
+use access_normalization::numa::{simulate_chaos, simulate_with_jobs, MachineConfig, Scenario};
 use access_normalization::{compile_program, verify_with, CompileOptions};
 use an_ir::Program;
 use std::time::Instant;
@@ -78,6 +78,54 @@ fn timed_verify(program: &Program) -> (f64, f64) {
         );
     }
     (compile_secs, verify_secs)
+}
+
+/// Times the fault-free simulator and every chaos scenario × seed at
+/// `procs` processors, returning the JSON body for `BENCH_chaos.json`.
+/// The fault-free wall clock is reported so regressions from the chaos
+/// hooks (a single `Option` check on the hot path) stay visible.
+fn chaos_section(program: &Program, machine: &MachineConfig, procs: usize) -> String {
+    let compiled = compile_program(program, &CompileOptions::default()).expect("compile");
+    let params = program.default_param_values();
+
+    let mut fault_free_secs = f64::INFINITY;
+    let mut fault_free_us = 0.0;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let stats = simulate_with_jobs(&compiled.spmd, machine, procs, &params, 1).expect("sim");
+        fault_free_secs = fault_free_secs.min(start.elapsed().as_secs_f64());
+        fault_free_us = stats.time_us;
+    }
+
+    let mut rows = Vec::new();
+    for &scenario in Scenario::all() {
+        for seed in [1u64, 2, 3] {
+            let start = Instant::now();
+            let r = simulate_chaos(&compiled.spmd, machine, procs, &params, scenario, seed, 1)
+                .expect("chaos sim");
+            let wall = start.elapsed().as_secs_f64();
+            let f = &r.stats.faults;
+            rows.push(format!(
+                "    {{\"scenario\": \"{}\", \"seed\": {seed}, \"overhead\": {:.4}, \
+                 \"retries\": {}, \"timeouts\": {}, \"replayed_iterations\": {}, \
+                 \"redistributed_bytes\": {}, \"wall_ms\": {:.3}}}",
+                scenario,
+                r.overhead(),
+                f.retries,
+                f.timeouts,
+                f.replayed_iterations,
+                f.redistributed_bytes,
+                wall * 1e3
+            ));
+        }
+    }
+    format!(
+        "{{\n  \"kernel\": \"fused-gemm\",\n  \"procs\": {procs},\n  \
+         \"fault_free_sim_ms\": {:.3},\n  \"fault_free_us\": {:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        fault_free_secs * 1e3,
+        fault_free_us,
+        rows.join(",\n")
+    )
 }
 
 fn main() {
@@ -150,6 +198,16 @@ fn main() {
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join("BENCH_autodist.json");
         if std::fs::write(&path, &json).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+
+    let chaos_json = chaos_section(&program, &machine, 8);
+    println!("=== chaos: fused GEMM N=64, P=8, all scenarios x seeds 1..3 ===");
+    print!("{chaos_json}");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("BENCH_chaos.json");
+        if std::fs::write(&path, &chaos_json).is_ok() {
             println!("wrote {}", path.display());
         }
     }

@@ -124,6 +124,32 @@ fn hash_to_unit(h: u64) -> f64 {
     (mix(h, 0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// Executes every statement of the nest body at one iteration `point`,
+/// mutating `store`. This is the single-iteration building block that
+/// [`run`] loops over; it is public so alternative schedulers (e.g. a
+/// degraded-mode runtime that replays a dead processor's iterations)
+/// can reuse the exact same statement semantics.
+///
+/// # Errors
+///
+/// [`IrError::OutOfBounds`] for bad accesses, [`IrError::DivisionByZero`]
+/// on division by zero.
+pub fn execute_point(
+    program: &Program,
+    point: &[i64],
+    param_values: &[i64],
+    store: &mut ArrayStore,
+) -> Result<(), IrError> {
+    for stmt in &program.nest.body {
+        let Stmt::Assign { lhs, rhs } = stmt;
+        let v = eval_expr(program, rhs, point, param_values, store)?;
+        let idx = lhs.eval_subscripts(point, param_values);
+        let name = &program.array(lhs.array).name;
+        store.write(lhs.array, &idx, name, v)?;
+    }
+    Ok(())
+}
+
 /// Runs the program sequentially, mutating `store`.
 ///
 /// # Errors
@@ -136,22 +162,8 @@ pub fn run(program: &Program, param_values: &[i64], store: &mut ArrayStore) -> R
         if status.is_err() {
             return;
         }
-        for stmt in &program.nest.body {
-            let Stmt::Assign { lhs, rhs } = stmt;
-            match eval_expr(program, rhs, point, param_values, store) {
-                Ok(v) => {
-                    let idx = lhs.eval_subscripts(point, param_values);
-                    let name = &program.array(lhs.array).name;
-                    if let Err(e) = store.write(lhs.array, &idx, name, v) {
-                        status = Err(e);
-                        return;
-                    }
-                }
-                Err(e) => {
-                    status = Err(e);
-                    return;
-                }
-            }
+        if let Err(e) = execute_point(program, point, param_values, store) {
+            status = Err(e);
         }
     })?;
     status

@@ -1,7 +1,8 @@
 //! Home-processor computation for distributed arrays, and modular
 //! counting helpers used by the closed-form inner-loop costing.
 
-use an_ir::{ArrayDecl, Distribution};
+use crate::error::SimError;
+use an_ir::{ArrayDecl, Distribution, Program};
 use an_linalg::{div_ceil, div_floor, gcd, mod_floor};
 
 /// Where an element lives.
@@ -61,6 +62,86 @@ pub fn home_of(decl: &ArrayDecl, extents: &[i64], index: &[i64], procs: usize) -
             Home::Proc((hr * pc as i64 + hc) as usize)
         }
     }
+}
+
+/// Checked variant of [`block_size`]: rejects an empty machine and
+/// negative extents instead of clamping them away.
+///
+/// # Errors
+///
+/// [`SimError::NoProcessors`] when `procs == 0`, [`SimError::BadExtent`]
+/// (with an empty array name) when `extent < 0`.
+pub fn try_block_size(extent: i64, procs: usize) -> Result<i64, SimError> {
+    if procs == 0 {
+        return Err(SimError::NoProcessors);
+    }
+    if extent < 0 {
+        return Err(SimError::BadExtent {
+            array: String::new(),
+            dim: 0,
+            extent,
+        });
+    }
+    Ok(block_size(extent, procs))
+}
+
+/// Checked variant of [`grid_shape`].
+///
+/// # Errors
+///
+/// [`SimError::NoProcessors`] when `procs == 0`.
+pub fn try_grid_shape(procs: usize) -> Result<(usize, usize), SimError> {
+    if procs == 0 {
+        return Err(SimError::NoProcessors);
+    }
+    Ok(grid_shape(procs))
+}
+
+/// Checked variant of [`home_of`]: surfaces an empty machine or a
+/// negative extent as an error before computing the home.
+///
+/// # Errors
+///
+/// [`SimError::NoProcessors`] when `procs == 0`, [`SimError::BadExtent`]
+/// when any extent is negative.
+pub fn try_home_of(
+    decl: &ArrayDecl,
+    extents: &[i64],
+    index: &[i64],
+    procs: usize,
+) -> Result<Home, SimError> {
+    if procs == 0 {
+        return Err(SimError::NoProcessors);
+    }
+    if let Some((dim, &extent)) = extents.iter().enumerate().find(|&(_, &e)| e < 0) {
+        return Err(SimError::BadExtent {
+            array: decl.name.clone(),
+            dim,
+            extent,
+        });
+    }
+    Ok(home_of(decl, extents, index, procs))
+}
+
+/// Evaluates every array extent of `program` at `params` and rejects any
+/// negative size. Simulation entry points call this once up front so the
+/// unchecked [`home_of`]/[`block_size`] fast paths stay total afterwards.
+///
+/// # Errors
+///
+/// [`SimError::BadExtent`] naming the first offending array dimension.
+pub fn validate_extents(program: &Program, params: &[i64]) -> Result<Vec<Vec<i64>>, SimError> {
+    let extents: Vec<Vec<i64>> = program.arrays.iter().map(|a| a.extents(params)).collect();
+    for (decl, exts) in program.arrays.iter().zip(&extents) {
+        if let Some((dim, &extent)) = exts.iter().enumerate().find(|&(_, &e)| e < 0) {
+            return Err(SimError::BadExtent {
+                array: decl.name.clone(),
+                dim,
+                extent,
+            });
+        }
+    }
+    Ok(extents)
 }
 
 /// Counts `w ∈ [lo, hi]` with `(a·w + c) mod P == p` — the number of
@@ -217,5 +298,72 @@ mod tests {
         assert_eq!(grid_shape(6), (2, 3));
         assert_eq!(grid_shape(7), (1, 7));
         assert_eq!(grid_shape(16), (4, 4));
+    }
+
+    #[test]
+    fn checked_variants_reject_zero_procs() {
+        assert_eq!(try_block_size(12, 0), Err(SimError::NoProcessors));
+        assert_eq!(try_grid_shape(0), Err(SimError::NoProcessors));
+        let d = decl(Distribution::Wrapped { dim: 0 });
+        assert_eq!(
+            try_home_of(&d, &[12, 12], &[0, 0], 0),
+            Err(SimError::NoProcessors)
+        );
+    }
+
+    #[test]
+    fn checked_variants_reject_negative_extents() {
+        assert_eq!(
+            try_block_size(-3, 4),
+            Err(SimError::BadExtent {
+                array: String::new(),
+                dim: 0,
+                extent: -3,
+            })
+        );
+        let d = decl(Distribution::Blocked { dim: 1 });
+        assert_eq!(
+            try_home_of(&d, &[12, -7], &[0, 0], 4),
+            Err(SimError::BadExtent {
+                array: "A".into(),
+                dim: 1,
+                extent: -7,
+            })
+        );
+    }
+
+    #[test]
+    fn checked_variants_agree_with_unchecked_on_valid_input() {
+        assert_eq!(try_block_size(12, 4).unwrap(), block_size(12, 4));
+        assert_eq!(try_grid_shape(6).unwrap(), grid_shape(6));
+        let d = decl(Distribution::Block2D {
+            row_dim: 0,
+            col_dim: 1,
+        });
+        assert_eq!(
+            try_home_of(&d, &[12, 12], &[7, 9], 4).unwrap(),
+            home_of(&d, &[12, 12], &[7, 9], 4)
+        );
+    }
+
+    #[test]
+    fn validate_extents_names_the_offending_array() {
+        use an_ir::build::NestBuilder;
+        // A[N] with N = -2 at the bound parameters.
+        let mut b = NestBuilder::new(&["i"], &[("N", -2)]);
+        let a = b.array("A", &[b.par(0)], Distribution::Wrapped { dim: 0 });
+        b.bounds(0, b.cst(0), b.cst(0));
+        let lhs = b.access(a, &[b.var(0)]);
+        b.assign(lhs, an_ir::Expr::lit(1.0));
+        let p = b.finish();
+        assert_eq!(
+            validate_extents(&p, &[-2]),
+            Err(SimError::BadExtent {
+                array: "A".into(),
+                dim: 0,
+                extent: -2,
+            })
+        );
+        assert_eq!(validate_extents(&p, &[3]).unwrap(), vec![vec![3]]);
     }
 }

@@ -18,6 +18,16 @@ pub enum SimError {
         /// Provided number.
         got: usize,
     },
+    /// An array extent evaluates to a negative size at the given
+    /// parameters.
+    BadExtent {
+        /// Array name (empty when the extent has no array context).
+        array: String,
+        /// Dimension index.
+        dim: usize,
+        /// The offending evaluated extent.
+        extent: i64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +37,15 @@ impl fmt::Display for SimError {
             SimError::NoProcessors => write!(f, "processor count must be at least 1"),
             SimError::BadParameters { expected, got } => {
                 write!(f, "expected {expected} parameter values, got {got}")
+            }
+            SimError::BadExtent { array, dim, extent } if array.is_empty() => {
+                write!(f, "negative extent {extent} in dimension {dim}")
+            }
+            SimError::BadExtent { array, dim, extent } => {
+                write!(
+                    f,
+                    "array {array} dimension {dim} has negative extent {extent} at these parameters"
+                )
             }
         }
     }

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod distribution;
+pub mod faults;
 pub mod machine;
 pub mod model;
 pub mod ownership;
@@ -56,9 +57,13 @@ pub mod sweep;
 mod error;
 
 pub use error::SimError;
+pub use faults::{
+    run_chaos, run_chaos_with_policy, simulate_chaos, ChaosError, ChaosExecution, ChaosReport,
+    FailStop, FaultPlan, ReplayPolicy, RetryPolicy, Scenario, SpikeWindow,
+};
 pub use machine::{ContentionModel, MachineConfig};
 pub use model::{predict, ModelPrediction};
 pub use ownership::simulate_ownership;
 pub use simulate::{simulate, simulate_with_jobs};
-pub use stats::{ProcStats, SimStats};
-pub use sweep::{sweep, SweepConfig, SweepPoint, SweepReport};
+pub use stats::{FaultStats, ProcStats, SimStats};
+pub use sweep::{sweep, ChaosSweep, SweepConfig, SweepPoint, SweepReport};

@@ -19,6 +19,7 @@
 //! to *rank* code versions, which is all a compiler needs.
 
 use crate::machine::MachineConfig;
+use crate::SimError;
 use an_codegen::spmd::{OuterAssignment, SpmdProgram};
 use an_ir::{Distribution, Expr, Stmt};
 
@@ -38,18 +39,28 @@ pub struct ModelPrediction {
 /// Predicts the completion time of an SPMD program on `procs`
 /// processors.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if loop bounds cannot be evaluated (malformed program) or the
-/// parameter arity is wrong — the model is a research tool over already
-/// validated programs.
+/// [`SimError::NoProcessors`] for `procs == 0`,
+/// [`SimError::BadParameters`] for an arity mismatch, and
+/// [`SimError::UnboundedLoop`] if a loop bound cannot be evaluated at
+/// the sampled midpoints (malformed program).
 pub fn predict(
     spmd: &SpmdProgram,
     machine: &MachineConfig,
     procs: usize,
     params: &[i64],
-) -> ModelPrediction {
+) -> Result<ModelPrediction, SimError> {
     let program = &spmd.program;
+    if procs == 0 {
+        return Err(SimError::NoProcessors);
+    }
+    if params.len() != program.params.len() {
+        return Err(SimError::BadParameters {
+            expected: program.params.len(),
+            got: params.len(),
+        });
+    }
     let n = program.nest.depth();
     let p = procs as f64;
     let remote_prob = if procs <= 1 { 0.0 } else { (p - 1.0) / p };
@@ -61,7 +72,7 @@ pub fn predict(
     for k in 0..n {
         let (lo, hi) = program.nest.bounds[k]
             .eval(&mid, params)
-            .expect("model requires bounded loops");
+            .ok_or(SimError::UnboundedLoop { var: k })?;
         trips[k] = (hi - lo + 1).max(0) as f64;
         mid[k] = lo + (hi - lo) / 2;
     }
@@ -148,7 +159,7 @@ pub fn predict(
     let ideal = (total_iters * per_iter + transfer_time) / p;
     let time_us = ideal * imbalance;
     let total_acc = local_accesses + remote_accesses;
-    ModelPrediction {
+    Ok(ModelPrediction {
         time_us,
         remote_fraction: if total_acc == 0.0 {
             0.0
@@ -157,7 +168,7 @@ pub fn predict(
         },
         messages,
         imbalance,
-    }
+    })
 }
 
 fn count_ops(e: &Expr) -> u64 {
@@ -197,7 +208,7 @@ mod tests {
         let spmd = spmd_for(src, transform, block);
         let machine = MachineConfig::butterfly_gp1000();
         for procs in [1usize, 4, 16] {
-            let model = predict(&spmd, &machine, procs, params);
+            let model = predict(&spmd, &machine, procs, params).unwrap();
             let sim = simulate(&spmd, &machine, procs, params).unwrap();
             let ratio = model.time_us / sim.time_us;
             assert!(
@@ -233,7 +244,7 @@ mod tests {
         let naive = spmd_for(&gemm(), false, false);
         let norm = spmd_for(&gemm(), true, false);
         let block = spmd_for(&gemm(), true, true);
-        let t = |s: &SpmdProgram| predict(s, &machine, 16, &[48]).time_us;
+        let t = |s: &SpmdProgram| predict(s, &machine, 16, &[48]).unwrap().time_us;
         assert!(t(&block) < t(&norm));
         assert!(t(&norm) < t(&naive));
     }
@@ -242,7 +253,7 @@ mod tests {
     fn remote_fraction_prediction() {
         let machine = MachineConfig::butterfly_gp1000();
         let naive = spmd_for(&gemm(), false, false);
-        let m = predict(&naive, &machine, 16, &[48]);
+        let m = predict(&naive, &machine, 16, &[48]).unwrap();
         // All four references vary over processors: remote fraction ~
         // (P-1)/P = 0.9375.
         assert!(
@@ -258,9 +269,26 @@ mod tests {
     fn single_processor_has_no_remote_traffic() {
         let machine = MachineConfig::butterfly_gp1000();
         let block = spmd_for(&gemm(), true, true);
-        let m = predict(&block, &machine, 1, &[48]);
+        let m = predict(&block, &machine, 1, &[48]).unwrap();
         assert_eq!(m.remote_fraction, 0.0);
         assert_eq!(m.messages, 0.0);
         assert_eq!(m.imbalance, 1.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_errors_not_panics() {
+        let machine = MachineConfig::butterfly_gp1000();
+        let spmd = spmd_for(&gemm(), true, true);
+        assert_eq!(
+            predict(&spmd, &machine, 0, &[48]),
+            Err(SimError::NoProcessors)
+        );
+        assert_eq!(
+            predict(&spmd, &machine, 4, &[48, 1]),
+            Err(SimError::BadParameters {
+                expected: 1,
+                got: 2
+            })
+        );
     }
 }

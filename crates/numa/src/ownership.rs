@@ -8,9 +8,9 @@
 //! the benchmarks use it to show what access normalization buys over the
 //! FORTRAN-D "looking for work to do" scheme.
 
-use crate::distribution::home_of;
+use crate::distribution::{home_of, validate_extents};
 use crate::machine::MachineConfig;
-use crate::stats::{ProcStats, SimStats};
+use crate::stats::{FaultStats, ProcStats, SimStats};
 use crate::SimError;
 use an_codegen::ownership::OwnershipProgram;
 use an_ir::Stmt;
@@ -37,7 +37,7 @@ pub fn simulate_ownership(
             got: params.len(),
         });
     }
-    let extents: Vec<Vec<i64>> = program.arrays.iter().map(|a| a.extents(params)).collect();
+    let extents = validate_extents(program, params)?;
     let remote = machine.remote_effective(procs);
     let mut per_proc = vec![ProcStats::default(); procs];
 
@@ -94,6 +94,7 @@ pub fn simulate_ownership(
         procs,
         time_us,
         per_proc,
+        faults: FaultStats::default(),
     })
 }
 

@@ -9,10 +9,11 @@
 //! a property the test suite checks against a reference implementation.
 
 use crate::distribution::{
-    block_size, count_interval_hits, count_wrapped_hits, grid_shape, home_of,
+    block_size, count_interval_hits, count_wrapped_hits, grid_shape, home_of, validate_extents,
 };
+use crate::faults::ChaosCtx;
 use crate::machine::MachineConfig;
-use crate::stats::{ProcStats, SimStats};
+use crate::stats::{FaultStats, ProcStats, SimStats};
 use crate::SimError;
 use an_codegen::spmd::{OuterAssignment, SpmdProgram};
 use an_codegen::transfers::BlockTransfer;
@@ -76,7 +77,8 @@ pub fn simulate_with_jobs(
             got: params.len(),
         });
     }
-    let plan = Plan::build(spmd, machine, procs, params);
+    validate_extents(program, params)?;
+    let plan = Plan::build(spmd, machine, procs, params, None);
     let results = an_par::par_map_indexed(procs, jobs, |p| plan.run_processor(p));
     let mut per_proc = Vec::with_capacity(procs);
     for r in results {
@@ -91,6 +93,7 @@ pub fn simulate_with_jobs(
         procs,
         time_us,
         per_proc,
+        faults: FaultStats::default(),
     })
 }
 
@@ -111,7 +114,7 @@ enum DistPlan {
     Block2D,
 }
 
-struct Plan<'a> {
+pub(crate) struct Plan<'a> {
     spmd: &'a SpmdProgram,
     machine: &'a MachineConfig,
     procs: usize,
@@ -122,14 +125,18 @@ struct Plan<'a> {
     /// Transfers grouped by hoist level.
     transfers_at: Vec<Vec<&'a BlockTransfer>>,
     remote_us: f64,
+    /// Armed fault-injection context; `None` keeps every chaos hook a
+    /// single-branch no-op on the fault-free path.
+    chaos: Option<ChaosCtx<'a>>,
 }
 
 impl<'a> Plan<'a> {
-    fn build(
+    pub(crate) fn build(
         spmd: &'a SpmdProgram,
         machine: &'a MachineConfig,
         procs: usize,
         params: &'a [i64],
+        chaos: Option<ChaosCtx<'a>>,
     ) -> Plan<'a> {
         let program = &spmd.program;
         let extents: Vec<Vec<i64>> = program.arrays.iter().map(|a| a.extents(params)).collect();
@@ -163,6 +170,7 @@ impl<'a> Plan<'a> {
             stmts,
             transfers_at,
             remote_us: machine.remote_effective(procs),
+            chaos,
         }
     }
 
@@ -202,7 +210,7 @@ impl<'a> Plan<'a> {
         }
     }
 
-    fn run_processor(&self, p: usize) -> Result<ProcStats, SimError> {
+    pub(crate) fn run_processor(&self, p: usize) -> Result<ProcStats, SimError> {
         let mut stats = ProcStats::default();
         let n = self.spmd.program.nest.depth();
         let mut point = vec![0i64; n];
@@ -313,7 +321,7 @@ impl<'a> Plan<'a> {
     /// Whether processor `p` executes iterations with `value` at `level`
     /// (level 0 for every assignment; level 1 additionally for 2-D
     /// tiling).
-    fn executes_level(&self, level: usize, p: usize, value: i64) -> bool {
+    pub(crate) fn executes_level(&self, level: usize, p: usize, value: i64) -> bool {
         if self.procs == 1 {
             return true;
         }
@@ -389,9 +397,59 @@ impl<'a> Plan<'a> {
             return; // the slice is already local
         }
         let elements = t.elements(&self.spmd.program, self.params);
-        stats.messages += 1;
-        stats.transfer_bytes += (elements.max(0) as u64) * self.machine.element_bytes as u64;
-        stats.busy_us += self.machine.transfer_cost(elements, self.procs);
+        let bytes = (elements.max(0) as u64) * self.machine.element_bytes as u64;
+        let Some(ctx) = &self.chaos else {
+            stats.messages += 1;
+            stats.transfer_bytes += bytes;
+            stats.busy_us += self.machine.transfer_cost(elements, self.procs);
+            return;
+        };
+        // Resilient protocol: each attempt can be dropped (timeout, then
+        // exponential backoff with seed-derived jitter and a retry) or
+        // delayed; a contention spike multiplies the switch latency. All
+        // rolls hash stable identities so the outcome is independent of
+        // worker-thread scheduling.
+        let spike = ctx.plan.spike_factor(point[0]);
+        let mseed = ctx
+            .plan
+            .message_seed(ctx.proc_ids[p], t.array.0, t.dim, point);
+        let mut attempt: u32 = 0;
+        loop {
+            stats.messages += 1;
+            stats.transfer_bytes += bytes;
+            if !ctx.plan.roll_drop(mseed, attempt) {
+                let mut cost = self.machine.transfer_cost(elements, self.procs) * spike;
+                if ctx.plan.roll_delay(mseed, attempt) {
+                    cost += ctx.plan.delay_us;
+                }
+                stats.busy_us += cost;
+                return;
+            }
+            // Lost in the switch: wait out the timeout.
+            stats.timeouts += 1;
+            stats.busy_us += ctx.plan.retry.timeout_us;
+            if attempt >= ctx.plan.retry.max_retries {
+                // Retries exhausted against a live home: the slow-switch
+                // path falls back to element-wise remote fetches. The data
+                // still arrives, so semantics are unaffected — only time.
+                stats.busy_us += elements.max(0) as f64 * self.remote_us * spike;
+                return;
+            }
+            attempt += 1;
+            stats.retries += 1;
+            stats.busy_us += ctx.plan.retry.backoff_us(mseed, attempt);
+        }
+    }
+
+    /// Effective per-element remote latency at outer iteration `outer` —
+    /// the base cost, times the contention-spike factor when a chaos
+    /// scenario arms one.
+    #[inline]
+    fn remote_at(&self, outer: i64) -> f64 {
+        match &self.chaos {
+            None => self.remote_us,
+            Some(ctx) => self.remote_us * ctx.plan.spike_factor(outer),
+        }
     }
 
     /// Prices the innermost loop `w ∈ [lo, hi]` in closed form.
@@ -401,6 +459,7 @@ impl<'a> Plan<'a> {
         }
         let trips = (hi - lo + 1) as u64;
         let inner = self.spmd.program.nest.depth() - 1;
+        let remote_us = self.remote_at(point[0]);
         for (ops, accesses) in &self.stmts {
             stats.busy_us += trips as f64 * *ops as f64 * self.machine.compute_per_op;
             for acc in accesses {
@@ -454,7 +513,7 @@ impl<'a> Plan<'a> {
                 stats.local_accesses += local as u64;
                 stats.remote_accesses += remote as u64;
                 stats.busy_us +=
-                    local as f64 * self.machine.local_access + remote as f64 * self.remote_us;
+                    local as f64 * self.machine.local_access + remote as f64 * remote_us;
             }
         }
         point[inner] = 0;
@@ -496,7 +555,7 @@ mod tests {
                 .nest
                 .for_each_iteration(params, |pt| {
                     // Outer filter.
-                    let plan = Plan::build(spmd, machine, procs, params);
+                    let plan = Plan::build(spmd, machine, procs, params, None);
                     if !plan.executes_level(0, p, pt[0])
                         || (pt.len() > 1 && !plan.executes_level(1, p, pt[1]))
                     {
@@ -512,7 +571,7 @@ mod tests {
                             }
                             for t in &spmd.transfers {
                                 if t.level == lvl {
-                                    let plan2 = Plan::build(spmd, machine, procs, params);
+                                    let plan2 = Plan::build(spmd, machine, procs, params, None);
                                     plan2.cost_transfer(t, p, pt, &mut st);
                                 }
                             }
@@ -567,6 +626,7 @@ mod tests {
             procs,
             time_us,
             per_proc,
+            faults: FaultStats::default(),
         }
     }
 

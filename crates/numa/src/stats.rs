@@ -14,8 +14,52 @@ pub struct ProcStats {
     pub transfer_bytes: u64,
     /// Iterations of the (distributed) outer loop executed.
     pub outer_iterations: u64,
+    /// Transfer attempts repeated after a drop or timeout (always zero
+    /// outside fault-injected runs).
+    pub retries: u64,
+    /// Transfer attempts that timed out waiting on the interconnect
+    /// (always zero outside fault-injected runs).
+    pub timeouts: u64,
     /// Busy time in microseconds (compute + memory + transfers).
     pub busy_us: f64,
+}
+
+impl ProcStats {
+    /// Adds every counter of `other` into `self` (used when merging the
+    /// per-segment results of a degraded run back onto the original
+    /// processor ids).
+    pub fn absorb(&mut self, other: &ProcStats) {
+        self.local_accesses += other.local_accesses;
+        self.remote_accesses += other.remote_accesses;
+        self.messages += other.messages;
+        self.transfer_bytes += other.transfer_bytes;
+        self.outer_iterations += other.outer_iterations;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.busy_us += other.busy_us;
+    }
+}
+
+/// Recovery accounting for a fault-injected run. All fields are zero or
+/// empty for a fault-free simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultStats {
+    /// Transfer retries summed across processors (drops, delays and
+    /// failure detection all contribute).
+    pub retries: u64,
+    /// Timed-out transfer attempts summed across processors.
+    pub timeouts: u64,
+    /// Outer-loop iterations replayed because their owner died before
+    /// finishing them.
+    pub replayed_iterations: u64,
+    /// Bytes moved re-homing distributed arrays onto the survivors.
+    pub redistributed_bytes: u64,
+    /// Degraded wall-time: simulated microseconds the run spent over a
+    /// fault-free execution (detection, redistribution, replay, backoff).
+    pub degraded_us: f64,
+    /// Processors lost to fail-stop faults (original ids, ascending).
+    pub failed_procs: Vec<usize>,
 }
 
 /// Whole-machine simulation result.
@@ -30,6 +74,8 @@ pub struct SimStats {
     pub time_us: f64,
     /// Per-processor counters.
     pub per_proc: Vec<ProcStats>,
+    /// Recovery accounting (all zero for fault-free runs).
+    pub faults: FaultStats,
 }
 
 impl SimStats {
@@ -96,6 +142,8 @@ mod tests {
                     messages: 1,
                     transfer_bytes: 64,
                     outer_iterations: 3,
+                    retries: 0,
+                    timeouts: 0,
                     busy_us: 10.0,
                 },
                 ProcStats {
@@ -104,9 +152,12 @@ mod tests {
                     messages: 0,
                     transfer_bytes: 0,
                     outer_iterations: 3,
+                    retries: 0,
+                    timeouts: 0,
                     busy_us: 5.0,
                 },
             ],
+            faults: FaultStats::default(),
         };
         assert_eq!(s.total_local(), 14);
         assert_eq!(s.total_remote(), 6);
@@ -122,8 +173,32 @@ mod tests {
             procs: 0,
             time_us: 0.0,
             per_proc: vec![],
+            faults: FaultStats::default(),
         };
         assert_eq!(s.remote_fraction(), 0.0);
         assert_eq!(s.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn absorb_sums_every_counter() {
+        let mut a = ProcStats {
+            local_accesses: 1,
+            remote_accesses: 2,
+            messages: 3,
+            transfer_bytes: 4,
+            outer_iterations: 5,
+            retries: 6,
+            timeouts: 7,
+            busy_us: 8.0,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.local_accesses, 2);
+        assert_eq!(a.remote_accesses, 4);
+        assert_eq!(a.messages, 6);
+        assert_eq!(a.transfer_bytes, 8);
+        assert_eq!(a.outer_iterations, 10);
+        assert_eq!(a.retries, 12);
+        assert_eq!(a.timeouts, 14);
+        assert_eq!(a.busy_us, 16.0);
     }
 }

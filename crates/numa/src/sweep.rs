@@ -10,6 +10,7 @@
 //! results are collected in grid order regardless of which worker
 //! finished first.
 
+use crate::faults::{simulate_chaos, Scenario};
 use crate::machine::MachineConfig;
 use crate::simulate::simulate_with_jobs;
 use crate::stats::SimStats;
@@ -17,6 +18,25 @@ use crate::SimError;
 use an_codegen::spmd::SpmdProgram;
 use an_linalg::cache::CacheStats;
 use std::time::Instant;
+
+/// Fault-injection axis of a sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSweep {
+    /// Scenario seed shared by every chaos point.
+    pub seed: u64,
+    /// Scenarios to add to the grid (the fault-free baseline is always
+    /// evaluated too, as the `scenario: None` point).
+    pub scenarios: Vec<Scenario>,
+}
+
+impl Default for ChaosSweep {
+    fn default() -> Self {
+        ChaosSweep {
+            seed: 1,
+            scenarios: Scenario::all().to_vec(),
+        }
+    }
+}
 
 /// The grid of a [`sweep`]: which processor counts and parameter sets to
 /// evaluate (machine profiles are a separate argument), and how many
@@ -29,6 +49,10 @@ pub struct SweepConfig {
     pub param_sets: Vec<Vec<i64>>,
     /// Worker threads (`0` = all available parallelism, `1` = serial).
     pub jobs: usize,
+    /// When set, every (machine, procs, params) point is additionally
+    /// simulated under each fault scenario with
+    /// [`simulate_chaos`](crate::faults::simulate_chaos).
+    pub chaos: Option<ChaosSweep>,
 }
 
 impl Default for SweepConfig {
@@ -37,6 +61,7 @@ impl Default for SweepConfig {
             procs: vec![1],
             param_sets: Vec::new(),
             jobs: 0,
+            chaos: None,
         }
     }
 }
@@ -50,6 +75,9 @@ pub struct SweepPoint {
     pub procs: usize,
     /// Parameter values.
     pub params: Vec<i64>,
+    /// Fault scenario this point was simulated under (`None` for the
+    /// fault-free baseline).
+    pub scenario: Option<Scenario>,
     /// Full simulation statistics.
     pub stats: SimStats,
 }
@@ -101,11 +129,25 @@ impl SweepReport {
                 .map(|v| v.to_string())
                 .collect::<Vec<_>>()
                 .join(", ");
+            let chaos_part = match pt.scenario {
+                None => String::new(),
+                Some(sc) => format!(
+                    ", \"scenario\": \"{}\", \"retries\": {}, \"timeouts\": {}, \
+                     \"replayed_iterations\": {}, \"redistributed_bytes\": {}, \
+                     \"degraded_us\": {:.3}",
+                    sc.name(),
+                    pt.stats.faults.retries,
+                    pt.stats.faults.timeouts,
+                    pt.stats.faults.replayed_iterations,
+                    pt.stats.faults.redistributed_bytes,
+                    pt.stats.faults.degraded_us,
+                ),
+            };
             out.push_str(&format!(
                 "    {{\"machine\": \"{}\", \"procs\": {}, \"params\": [{}], \
                  \"time_us\": {:.3}, \"remote_fraction\": {:.6}, \"local\": {}, \
                  \"remote\": {}, \"messages\": {}, \"transfer_bytes\": {}, \
-                 \"imbalance\": {:.4}}}{}\n",
+                 \"imbalance\": {:.4}{}}}{}\n",
                 json_escape(&pt.machine),
                 pt.procs,
                 params,
@@ -116,6 +158,7 @@ impl SweepReport {
                 pt.stats.total_messages(),
                 pt.stats.total_transfer_bytes(),
                 pt.stats.imbalance(),
+                chaos_part,
                 if i + 1 == self.points.len() { "" } else { "," }
             ));
         }
@@ -148,24 +191,49 @@ pub fn sweep(
     machines: &[MachineConfig],
     cfg: &SweepConfig,
 ) -> Result<SweepReport, SimError> {
-    let grid: Vec<(usize, usize, usize)> = machines
+    // Scenario axis: the fault-free baseline (None) always runs; a chaos
+    // config appends one point per scenario, innermost in the grid.
+    let scenarios: Vec<Option<Scenario>> = match &cfg.chaos {
+        None => vec![None],
+        Some(c) => std::iter::once(None)
+            .chain(c.scenarios.iter().copied().map(Some))
+            .collect(),
+    };
+    let grid: Vec<(usize, usize, usize, Option<Scenario>)> = machines
         .iter()
         .enumerate()
         .flat_map(|(mi, _)| {
-            cfg.procs
-                .iter()
-                .flat_map(move |&procs| (0..cfg.param_sets.len()).map(move |pi| (mi, procs, pi)))
+            let scenarios = &scenarios;
+            cfg.procs.iter().flat_map(move |&procs| {
+                (0..cfg.param_sets.len())
+                    .flat_map(move |pi| scenarios.iter().map(move |&sc| (mi, procs, pi, sc)))
+            })
         })
         .collect();
     let start = Instant::now();
-    let results = an_par::par_map(&grid, cfg.jobs, |&(mi, procs, pi)| {
-        simulate_with_jobs(spmd, &machines[mi], procs, &cfg.param_sets[pi], 1).map(|stats| {
-            SweepPoint {
-                machine: machines[mi].name.clone(),
-                procs,
-                params: cfg.param_sets[pi].clone(),
-                stats,
+    let results = an_par::par_map(&grid, cfg.jobs, |&(mi, procs, pi, sc)| {
+        let stats = match sc {
+            None => simulate_with_jobs(spmd, &machines[mi], procs, &cfg.param_sets[pi], 1),
+            Some(scenario) => {
+                let seed = cfg.chaos.as_ref().map_or(1, |c| c.seed);
+                simulate_chaos(
+                    spmd,
+                    &machines[mi],
+                    procs,
+                    &cfg.param_sets[pi],
+                    scenario,
+                    seed,
+                    1,
+                )
+                .map(|r| r.stats)
             }
+        };
+        stats.map(|stats| SweepPoint {
+            machine: machines[mi].name.clone(),
+            procs,
+            params: cfg.param_sets[pi].clone(),
+            scenario: sc,
+            stats,
         })
     });
     let mut points = Vec::with_capacity(results.len());
@@ -215,6 +283,7 @@ mod tests {
             procs: vec![1, 2, 4],
             param_sets: vec![vec![8], vec![6]],
             jobs: 0,
+            chaos: None,
         };
         let report = sweep(&spmd, &machines, &cfg).unwrap();
         assert_eq!(report.points.len(), 2 * 3 * 2);
@@ -239,6 +308,7 @@ mod tests {
             procs: vec![1, 2, 3, 4, 5, 6],
             param_sets: vec![vec![8]],
             jobs,
+            chaos: None,
         };
         let serial = sweep(&spmd, &machines, &mk(1)).unwrap();
         let par = sweep(&spmd, &machines, &mk(0)).unwrap();
@@ -253,6 +323,7 @@ mod tests {
             procs: vec![1, 4],
             param_sets: vec![vec![8]],
             jobs: 1,
+            chaos: None,
         };
         let mut report = sweep(&spmd, &machines, &cfg).unwrap();
         report.norm_cache = Some(CacheStats { hits: 3, misses: 1 });
@@ -263,6 +334,31 @@ mod tests {
         assert!(json.contains("\"procs\": 4"));
         assert!(json.contains("\"hits\": 3"));
         assert!(json.contains("\"hit_rate\": 0.7500"));
+    }
+
+    #[test]
+    fn chaos_axis_adds_scenarios_deterministically() {
+        let spmd = gemm_spmd();
+        let machines = [MachineConfig::butterfly_gp1000()];
+        let mk = |jobs| SweepConfig {
+            procs: vec![3, 4],
+            param_sets: vec![vec![8]],
+            jobs,
+            chaos: Some(ChaosSweep {
+                seed: 7,
+                scenarios: Scenario::all().to_vec(),
+            }),
+        };
+        let serial = sweep(&spmd, &machines, &mk(1)).unwrap();
+        let par = sweep(&spmd, &machines, &mk(0)).unwrap();
+        assert_eq!(serial.points, par.points);
+        // One fault-free point plus one per scenario, per procs value.
+        assert_eq!(serial.points.len(), 2 * (1 + Scenario::all().len()));
+        assert!(serial.points[0].scenario.is_none());
+        assert_eq!(serial.points[1].scenario, Some(Scenario::FailStop));
+        let json = serial.to_json();
+        assert!(json.contains("\"scenario\": \"failstop\""));
+        assert!(json.contains("\"replayed_iterations\""));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! tests (and CI) can assert on exactly *which* invariant was violated,
 //! not just that something failed. The hundreds digit groups codes by
 //! invariant family: `AN01xx` legality, `AN02xx` bounds, `AN03xx` SPMD
-//! ownership/races, `AN04xx` block transfers.
+//! ownership/races, `AN04xx` block transfers, `AN05xx` fault recovery.
 
 use an_lang::token::Pos;
 use an_lang::SpanMap;
@@ -42,6 +42,16 @@ pub enum Code {
     /// An emitted block transfer matches no read, or its subscript
     /// varies below its hoist level.
     TransferBogus,
+    /// A degraded (fault-injected) execution finishes with array state
+    /// different from the fault-free interpreter's.
+    RecoveryStateMismatch,
+    /// A degraded execution never executes some iteration point.
+    RecoveryLostIteration,
+    /// A degraded execution executes some iteration point twice.
+    RecoveryDuplicateIteration,
+    /// Recovery soundness could not be exercised (e.g. the program is
+    /// too large for the bounded interpreter).
+    RecoveryUnchecked,
 }
 
 impl Code {
@@ -59,13 +69,17 @@ impl Code {
             Code::RaceOwnershipClaim => "AN0302",
             Code::TransferMissing => "AN0401",
             Code::TransferBogus => "AN0402",
+            Code::RecoveryStateMismatch => "AN0501",
+            Code::RecoveryLostIteration => "AN0502",
+            Code::RecoveryDuplicateIteration => "AN0503",
+            Code::RecoveryUnchecked => "AN0504",
         }
     }
 
     /// The default severity of this code.
     pub fn default_severity(self) -> Severity {
         match self {
-            Code::BoundsUnproven => Severity::Warning,
+            Code::BoundsUnproven | Code::RecoveryUnchecked => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -88,6 +102,14 @@ impl Code {
             Code::RaceOwnershipClaim => "outer assignment claims locality for an unused subscript",
             Code::TransferMissing => "remote inner-invariant read lacks a block transfer",
             Code::TransferBogus => "block transfer matches no read or varies below its level",
+            Code::RecoveryStateMismatch => {
+                "degraded execution ends with wrong array state after a fault"
+            }
+            Code::RecoveryLostIteration => "degraded execution loses an iteration after a fault",
+            Code::RecoveryDuplicateIteration => {
+                "degraded execution repeats an iteration after a fault"
+            }
+            Code::RecoveryUnchecked => "recovery soundness not exercised for this program",
         }
     }
 }

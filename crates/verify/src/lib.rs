@@ -19,6 +19,10 @@
 //! 4. **Transfer coverage** — every remote inner-invariant read needs a
 //!    covering block transfer, and every emitted transfer must be
 //!    justified and correctly hoisted ([`transfers`]).
+//! 5. **Fault recovery** (opt-in via [`VerifyOptions::chaos`]) — every
+//!    deterministic fault scenario must leave the degraded runtime with
+//!    array state bitwise identical to the fault-free interpreter's
+//!    ([`recovery`]).
 //!
 //! Findings carry stable `AN0xxx` codes (see [`diag::Code`]) and can be
 //! rendered for humans or as JSON. The [`mutate`] module provides
@@ -54,11 +58,13 @@ pub mod legality;
 pub mod mutate;
 pub mod oracle;
 pub mod races;
+pub mod recovery;
 pub mod transfers;
 
 pub use diag::{Anchor, Code, Diagnostic, Severity, VerifyReport};
 pub use mutate::{apply_mutation, Mutation};
 pub use oracle::ConcreteContext;
+pub use recovery::ChaosOptions;
 
 use an_codegen::{SpmdProgram, TransformedProgram};
 use an_ir::Program;
@@ -76,6 +82,10 @@ pub struct VerifyOptions {
     /// `SpmdOptions::block_transfers` (when the pipeline was told not to
     /// emit transfers, their absence is not a bug).
     pub expect_transfers: bool,
+    /// When set, the recovery-soundness check (`AN05xx`) runs every
+    /// configured fault scenario through the degraded runtime and
+    /// compares final array state against the fault-free interpreter.
+    pub chaos: Option<ChaosOptions>,
 }
 
 impl Default for VerifyOptions {
@@ -84,6 +94,7 @@ impl Default for VerifyOptions {
             max_points: 4096,
             procs: vec![2, 3],
             expect_transfers: true,
+            chaos: None,
         }
     }
 }
@@ -147,6 +158,15 @@ pub fn verify_artifacts(
         &mut report.notes,
     );
     transfers::check_transfers(spmd, opts.expect_transfers, &mut report.diagnostics);
+    if let Some(chaos) = &opts.chaos {
+        recovery::check_recovery(
+            spmd,
+            ctx.as_ref(),
+            chaos,
+            &mut report.diagnostics,
+            &mut report.notes,
+        );
+    }
     report
 }
 
@@ -177,6 +197,28 @@ mod tests {
         let report = verify_artifacts(&p, &tp, &spmd, &VerifyOptions::default());
         assert!(report.is_clean(), "{}", report.render_human());
         assert_eq!(report.checked_params, Some(vec![5, 3, 4]));
+    }
+
+    #[test]
+    fn figure1_recovers_from_every_fault_scenario() {
+        let (p, tp, spmd) = compile(
+            "param N1 = 5; param b = 3; param N2 = 4;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+        );
+        let opts = VerifyOptions {
+            chaos: Some(ChaosOptions::default()),
+            ..VerifyOptions::default()
+        };
+        let report = verify_artifacts(&p, &tp, &spmd, &opts);
+        assert!(report.is_clean(), "{}", report.render_human());
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("fault recovery checked")));
     }
 
     #[test]

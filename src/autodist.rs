@@ -237,7 +237,8 @@ pub fn search_report(
                 let p = with_dists(&decode(i));
                 compile_program_with(&p, &cheap_opts, &ctx)
                     .ok()
-                    .map(|c| predict(&c.spmd, machine, opts.procs, &params).time_us)
+                    .and_then(|c| predict(&c.spmd, machine, opts.procs, &params).ok())
+                    .map(|m| m.time_us)
             });
             let best = cheap.iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b));
             Some(
@@ -271,11 +272,13 @@ pub fn search_report(
                         return Eval::Rejected;
                     }
                 }
-                let m = predict(&compiled.spmd, machine, opts.procs, &params);
-                Eval::Scored {
-                    time_us: m.time_us,
-                    remote: m.remote_fraction,
-                    compiled: keep_all.then(|| Box::new(compiled)),
+                match predict(&compiled.spmd, machine, opts.procs, &params) {
+                    Ok(m) => Eval::Scored {
+                        time_us: m.time_us,
+                        remote: m.remote_fraction,
+                        compiled: keep_all.then(|| Box::new(compiled)),
+                    },
+                    Err(_) => Eval::Failed,
                 }
             }
             Err(_) => Eval::Failed,

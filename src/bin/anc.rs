@@ -41,6 +41,25 @@
 //!   --mutate KIND      corrupt the artifacts first (self-test):
 //!                      flip-transform-sign | widen-bound | narrow-bound |
 //!                      drop-transfer | skew-ownership
+//!
+//! anc chaos [OPTIONS] <file.an>    deterministic fault injection
+//!
+//!   --seed N           scenario seed (default: 1)
+//!   --scenario S       failstop | double-failstop | drop | delay |
+//!                      spike | mixed | all (default: all)
+//!   --procs LIST       processor counts (default: 3,4)
+//!   --machine M        gp1000 (default) | ipsc
+//!   --param NAME=V     override a parameter's default (repeatable)
+//!   --jobs N           worker threads (never changes the numbers)
+//!   --naive            inject into the unrestructured program
+//!   --json             machine-readable report (byte-identical for any
+//!                      --jobs value; no wall-clock fields)
+//!
+//! Each run first proves recovery soundness (AN05xx): every scenario's
+//! degraded execution must end with array state bitwise identical to
+//! the fault-free interpreter's. Then it prices each scenario —
+//! retries, timeouts, replayed iterations, redistributed bytes and the
+//! recovery overhead over the fault-free run.
 //! ```
 //!
 //! Examples:
@@ -48,8 +67,10 @@
 //! ```text
 //! anc --simulate 1,4,16 --emit spmd examples/kernels/gemm.an
 //! anc sweep --procs 1,8,28 --params 200 --params 400 examples/kernels/gemm.an
+//! anc sweep --chaos --seed 3 --procs 4,8 examples/kernels/gemm.an
 //! anc check --deny-warnings examples/kernels/*.an
 //! anc check --mutate flip-transform-sign examples/kernels/gemm.an  # must fail
+//! anc chaos --seed 2 --scenario failstop --param N=24 examples/kernels/gemm.an
 //! ```
 
 use access_normalization::codegen::emit::emit_spmd;
@@ -86,11 +107,44 @@ fn usage() -> ! {
          \x20          [--param NAME=V]... [--strides] [--jobs N] [--verify] <file.an | ->\n\
          \x20      anc sweep [--procs LIST] [--machines LIST] [--params LIST]...\n\
          \x20          [--jobs N] [--naive] [--no-transfers] [--verify] [--json FILE]\n\
-         \x20          <file.an | ->\n\
+         \x20          [--chaos] [--seed N] <file.an | ->\n\
          \x20      anc check [--deny-warnings] [--json] [--naive] [--no-transfers]\n\
-         \x20          [--param NAME=V]... [--mutate KIND] <file.an>..."
+         \x20          [--param NAME=V]... [--mutate KIND] <file.an>...\n\
+         \x20      anc chaos [--seed N] [--scenario S|all] [--procs LIST]\n\
+         \x20          [--machine gp1000|ipsc] [--param NAME=V]... [--jobs N]\n\
+         \x20          [--naive] [--json] <file.an | ->"
     );
     std::process::exit(2);
+}
+
+/// Exits with status 2 and a one-line message (input/usage errors, as
+/// opposed to compile or verification failures which exit 1).
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Parses a `--param NAME=V` operand, exiting 2 on malformed input.
+fn parse_param_kv(kv: &str) -> (String, i64) {
+    if let Some((k, v)) = kv.split_once('=') {
+        if !k.trim().is_empty() {
+            if let Ok(v) = v.trim().parse::<i64>() {
+                return (k.trim().to_string(), v);
+            }
+        }
+    }
+    fail_usage(&format!(
+        "anc: malformed --param '{kv}' (expected NAME=INT)"
+    ));
+}
+
+/// Reads the program source, exiting 2 with a one-line message when the
+/// path does not exist or is unreadable.
+fn read_source_or_exit(input: &str) -> String {
+    match read_source(input) {
+        Ok(s) => s,
+        Err(e) => fail_usage(&e),
+    }
 }
 
 fn parse_args() -> Args {
@@ -139,9 +193,7 @@ fn parse_args() -> Args {
             }
             "--param" => {
                 let kv = it.next().unwrap_or_else(|| usage());
-                let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
-                let v: i64 = v.parse().unwrap_or_else(|_| usage());
-                args.params.push((k.to_string(), v));
+                args.params.push(parse_param_kv(&kv));
             }
             "--strides" => args.strides = true,
             "--verify" => args.verify = true,
@@ -179,7 +231,7 @@ fn read_source(input: &str) -> Result<String, String> {
 }
 
 fn run_sweep(argv: &[String]) -> ExitCode {
-    use access_normalization::numa::{sweep, SweepConfig};
+    use access_normalization::numa::{sweep, ChaosSweep, SweepConfig};
     use access_normalization::PipelineCtx;
 
     let mut procs: Vec<usize> = vec![1, 2, 4, 8, 16, 28];
@@ -189,6 +241,8 @@ fn run_sweep(argv: &[String]) -> ExitCode {
     let mut naive = false;
     let mut transfers = true;
     let mut verify = false;
+    let mut chaos = false;
+    let mut seed = 1u64;
     let mut json: Option<String> = None;
     let mut input: Option<String> = None;
 
@@ -230,6 +284,13 @@ fn run_sweep(argv: &[String]) -> ExitCode {
             "--naive" => naive = true,
             "--no-transfers" => transfers = false,
             "--verify" => verify = true,
+            "--chaos" => chaos = true,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--json" => json = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--help" | "-h" => usage(),
             _ if input.is_none() => input = Some(a.clone()),
@@ -237,13 +298,7 @@ fn run_sweep(argv: &[String]) -> ExitCode {
         }
     }
     let Some(input) = input else { usage() };
-    let src = match read_source(&input) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let src = read_source_or_exit(&input);
     let program = match access_normalization::lang::parse(&src) {
         Ok(p) => p,
         Err(e) => {
@@ -274,6 +329,10 @@ fn run_sweep(argv: &[String]) -> ExitCode {
         procs,
         param_sets,
         jobs,
+        chaos: chaos.then(|| ChaosSweep {
+            seed,
+            ..ChaosSweep::default()
+        }),
     };
     let mut report = match sweep(&compiled.spmd, &machines, &cfg) {
         Ok(r) => r,
@@ -290,10 +349,17 @@ fn run_sweep(argv: &[String]) -> ExitCode {
         report.jobs,
         report.wall_us
     );
-    println!(
-        "{:<10} {:>5} {:<16} {:>14} {:>9} {:>10} {:>8}",
-        "machine", "P", "params", "time (µs)", "remote%", "messages", "imbal"
-    );
+    if chaos {
+        println!(
+            "{:<10} {:>5} {:<16} {:<16} {:>14} {:>9} {:>10} {:>8}",
+            "machine", "P", "params", "scenario", "time (µs)", "remote%", "messages", "imbal"
+        );
+    } else {
+        println!(
+            "{:<10} {:>5} {:<16} {:>14} {:>9} {:>10} {:>8}",
+            "machine", "P", "params", "time (µs)", "remote%", "messages", "imbal"
+        );
+    }
     for pt in &report.points {
         let params = pt
             .params
@@ -301,16 +367,30 @@ fn run_sweep(argv: &[String]) -> ExitCode {
             .map(|v| v.to_string())
             .collect::<Vec<_>>()
             .join(",");
-        println!(
-            "{:<10} {:>5} {:<16} {:>14.0} {:>8.1}% {:>10} {:>8.2}",
-            pt.machine,
-            pt.procs,
-            params,
-            pt.stats.time_us,
-            100.0 * pt.stats.remote_fraction(),
-            pt.stats.total_messages(),
-            pt.stats.imbalance()
-        );
+        if chaos {
+            println!(
+                "{:<10} {:>5} {:<16} {:<16} {:>14.0} {:>8.1}% {:>10} {:>8.2}",
+                pt.machine,
+                pt.procs,
+                params,
+                pt.scenario.map_or("fault-free", |s| s.name()),
+                pt.stats.time_us,
+                100.0 * pt.stats.remote_fraction(),
+                pt.stats.total_messages(),
+                pt.stats.imbalance()
+            );
+        } else {
+            println!(
+                "{:<10} {:>5} {:<16} {:>14.0} {:>8.1}% {:>10} {:>8.2}",
+                pt.machine,
+                pt.procs,
+                params,
+                pt.stats.time_us,
+                100.0 * pt.stats.remote_fraction(),
+                pt.stats.total_messages(),
+                pt.stats.imbalance()
+            );
+        }
     }
     if let Some(best) = report.best() {
         println!(
@@ -358,9 +438,7 @@ fn run_check(argv: &[String]) -> ExitCode {
             "--no-transfers" => transfers = false,
             "--param" => {
                 let kv = it.next().unwrap_or_else(|| usage());
-                let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
-                let v: i64 = v.parse().unwrap_or_else(|_| usage());
-                params.push((k.to_string(), v));
+                params.push(parse_param_kv(kv));
             }
             "--mutate" => {
                 let kind = it.next().unwrap_or_else(|| usage());
@@ -385,14 +463,7 @@ fn run_check(argv: &[String]) -> ExitCode {
     let many = inputs.len() > 1;
     let mut failed = false;
     for input in &inputs {
-        let src = match read_source(input) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("{e}");
-                failed = true;
-                continue;
-            }
-        };
+        let src = read_source_or_exit(input);
         let (mut program, spans) = match access_normalization::lang::parse_with_spans(&src) {
             Ok(ps) => ps,
             Err(e) => {
@@ -463,6 +534,223 @@ fn run_check(argv: &[String]) -> ExitCode {
     }
 }
 
+/// `anc chaos` — verify recovery soundness under every fault scenario,
+/// then price each scenario's degraded run.
+fn run_chaos(argv: &[String]) -> ExitCode {
+    use access_normalization::numa::{simulate_chaos, Scenario};
+    use access_normalization::verify_mod::ChaosOptions;
+    use access_normalization::{verify_options_for, verify_with};
+
+    let mut seed = 1u64;
+    let mut scenarios: Vec<Scenario> = Scenario::all().to_vec();
+    let mut procs: Vec<usize> = vec![3, 4];
+    let mut machine = MachineConfig::butterfly_gp1000();
+    let mut params: Vec<(String, i64)> = Vec::new();
+    let mut jobs = 0usize;
+    let mut naive = false;
+    let mut json = false;
+    let mut input: Option<String> = None;
+
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--scenario" => match it.next().map(String::as_str) {
+                Some("all") => scenarios = Scenario::all().to_vec(),
+                Some(s) => match Scenario::parse(s) {
+                    Some(sc) => scenarios = vec![sc],
+                    None => fail_usage(&format!(
+                        "anc: unknown scenario '{s}' (try failstop, double-failstop, drop, \
+                         delay, spike, mixed or all)"
+                    )),
+                },
+                None => usage(),
+            },
+            "--procs" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                procs = list
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--machine" => {
+                machine = match it.next().map(String::as_str) {
+                    Some("gp1000") => MachineConfig::butterfly_gp1000(),
+                    Some("ipsc") => MachineConfig::ipsc_i860(),
+                    _ => usage(),
+                }
+            }
+            "--param" => {
+                let kv = it.next().unwrap_or_else(|| usage());
+                params.push(parse_param_kv(kv));
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--naive" => naive = true,
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            _ if input.is_none() => input = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    let src = read_source_or_exit(&input);
+    let mut program = match access_normalization::lang::parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, v) in &params {
+        match program.params.iter_mut().find(|p| p.name == *name) {
+            Some(p) => p.default = *v,
+            None => fail_usage(&format!("anc: {input}: unknown parameter '{name}'")),
+        }
+    }
+    let opts = CompileOptions {
+        skip_transform: naive,
+        ..CompileOptions::default()
+    };
+    let compiled = match access_normalization::compile_program(&program, &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Soundness first: every scenario must recover bitwise-identical
+    // state before its cost numbers mean anything.
+    let verify_opts = access_normalization::verify_mod::VerifyOptions {
+        chaos: Some(ChaosOptions {
+            seed,
+            scenarios: scenarios.clone(),
+            procs: procs.clone(),
+        }),
+        ..verify_options_for(&opts)
+    };
+    let report = verify_with(&compiled, &verify_opts);
+    if report.has_errors() {
+        eprint!("{}", report.render_human());
+        return ExitCode::FAILURE;
+    }
+
+    let param_values = compiled.program.default_param_values();
+    let mut runs = Vec::new();
+    for &p in &procs {
+        for &sc in &scenarios {
+            match simulate_chaos(&compiled.spmd, &machine, p, &param_values, sc, seed, jobs) {
+                Ok(r) => runs.push((p, r)),
+                Err(e) => {
+                    eprintln!("anc: scenario {sc} at P={p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if json {
+        // Deterministic by construction: no wall-clock or host fields,
+        // and every number comes from the seeded simulation.
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"seed\": {seed},\n  \"machine\": \"{}\",\n  \"params\": [{}],\n",
+            machine.name,
+            param_values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("  \"runs\": [");
+        for (i, (p, r)) in runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let f = &r.stats.faults;
+            out.push_str(&format!(
+                "\n    {{\"scenario\": \"{}\", \"procs\": {p}, \"time_us\": {:.3}, \
+                 \"fault_free_us\": {:.3}, \"overhead\": {:.4}, \"retries\": {}, \
+                 \"timeouts\": {}, \"replayed_iterations\": {}, \"redistributed_bytes\": {}, \
+                 \"degraded_us\": {:.3}, \"failed_procs\": [{}]}}",
+                r.scenario,
+                r.stats.time_us,
+                r.fault_free_us,
+                r.overhead(),
+                f.retries,
+                f.timeouts,
+                f.replayed_iterations,
+                f.redistributed_bytes,
+                f.degraded_us,
+                f.failed_procs
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        out.push_str("\n  ],\n");
+        out.push_str(&format!(
+            "  \"recovery_verified\": true,\n  \"verify_warnings\": {}\n}}",
+            report.warning_count()
+        ));
+        println!("{out}");
+    } else {
+        println!(
+            "== chaos: seed {seed} on {}, params [{}] ==",
+            machine.name,
+            param_values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        println!(
+            "{:>5} {:<16} {:>14} {:>9} {:>8} {:>9} {:>9} {:>10} {:<8}",
+            "P",
+            "scenario",
+            "time (µs)",
+            "overhead",
+            "retries",
+            "timeouts",
+            "replayed",
+            "redist(B)",
+            "dead"
+        );
+        for (p, r) in &runs {
+            let f = &r.stats.faults;
+            println!(
+                "{:>5} {:<16} {:>14.0} {:>8.1}% {:>8} {:>9} {:>9} {:>10} {:<8}",
+                p,
+                r.scenario.name(),
+                r.stats.time_us,
+                100.0 * r.overhead(),
+                f.retries,
+                f.timeouts,
+                f.replayed_iterations,
+                f.redistributed_bytes,
+                format!("{:?}", f.failed_procs)
+            );
+        }
+        println!(
+            "recovery verified: every scenario ends bitwise-identical to the \
+             fault-free run ({} warning(s))",
+            report.warning_count()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("sweep") {
@@ -471,14 +759,11 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("check") {
         return run_check(&argv[1..]);
     }
+    if argv.first().map(String::as_str) == Some("chaos") {
+        return run_chaos(&argv[1..]);
+    }
     let args = parse_args();
-    let src = match read_source(args.input.as_deref().unwrap_or_else(|| usage())) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let src = read_source_or_exit(args.input.as_deref().unwrap_or_else(|| usage()));
 
     let program = match access_normalization::lang::parse(&src) {
         Ok(p) => p,

@@ -1,0 +1,153 @@
+//! Property test of the fault-tolerant SPMD runtime: for random affine
+//! programs, every deterministic fault scenario must leave the degraded
+//! execution with array state **bitwise identical** to the fault-free
+//! interpreter's — survivors replay exactly the dead processor's
+//! unfinished iterations, nothing is lost, nothing runs twice. The
+//! quiet scenario must replay nothing, and the cost-side simulation
+//! must be independent of the worker-thread count.
+
+use access_normalization::{compile_program, CompileOptions};
+use an_ir::build::NestBuilder;
+use an_ir::{Distribution, Expr, Program};
+use an_numa::{run_chaos, simulate_chaos, MachineConfig, Scenario};
+use proptest::prelude::*;
+
+/// Strategy: a random 2-deep or 3-deep affine program with 1–2 arrays,
+/// random (small) subscript coefficients and a random distribution —
+/// the same shape family as `verify_property.rs`.
+fn random_program() -> impl Strategy<Value = Program> {
+    let dist = prop_oneof![
+        Just(Distribution::Replicated),
+        Just(Distribution::Wrapped { dim: 0 }),
+        Just(Distribution::Wrapped { dim: 1 }),
+        Just(Distribution::Blocked { dim: 1 }),
+    ];
+    (
+        2usize..=3,                               // depth
+        proptest::collection::vec(-2i64..=2, 12), // subscript coeffs
+        proptest::collection::vec(0i64..=2, 4),   // offsets
+        dist,
+        any::<bool>(), // self-referencing rhs?
+    )
+        .prop_map(|(depth, coeffs, offsets, dist, self_ref)| {
+            build_program(depth, &coeffs, &offsets, dist, self_ref)
+        })
+        .prop_filter("program must validate and have iterations", |p| {
+            p.validate().is_ok()
+                && matches!(p.nest.iteration_count(&p.default_param_values()), Ok(1..))
+        })
+}
+
+/// Builds `A[s0, s1] = A[s0', s1'] + 1` (or `= B[...] + 1`) with
+/// subscripts `s = c0·i0 + c1·i1 (+ c2·i2) + offset`, shifted so that
+/// every access stays within a generously sized array.
+fn build_program(
+    depth: usize,
+    coeffs: &[i64],
+    offsets: &[i64],
+    dist: Distribution,
+    self_ref: bool,
+) -> Program {
+    let names: Vec<&str> = ["i", "j", "k"][..depth].to_vec();
+    let mut b = NestBuilder::new(&names, &[("N", 5)]);
+    let extent = b.cst(64);
+    let arr_a = b.array("A", &[extent.clone(), extent.clone()], dist);
+    let arr_b = b.array("B", &[extent.clone(), extent], dist);
+    for k in 0..depth {
+        b.bounds(k, b.cst(0), b.par(0).sub(&b.cst(1)));
+    }
+    let sub = |b: &NestBuilder, cs: &[i64], off: i64| {
+        let mut e = b.cst(26 + off);
+        for (v, &c) in cs.iter().take(depth).enumerate() {
+            e = e.add(&b.var(v).scale(c));
+        }
+        e
+    };
+    let lhs = b.access(
+        arr_a,
+        &[
+            sub(&b, &coeffs[0..3], offsets[0]),
+            sub(&b, &coeffs[3..6], offsets[1]),
+        ],
+    );
+    let read_arr = if self_ref { arr_a } else { arr_b };
+    let read = b.access(
+        read_arr,
+        &[
+            sub(&b, &coeffs[6..9], offsets[2]),
+            sub(&b, &coeffs[9..12], offsets[3]),
+        ],
+    );
+    let rhs = Expr::add(Expr::access(read), Expr::lit(1.0));
+    b.assign(lhs, rhs);
+    b.try_finish().unwrap_or_else(|_| {
+        let mut b = NestBuilder::new(&["i"], &[("N", 0)]);
+        let a = b.array("Z", &[b.cst(1)], Distribution::Replicated);
+        b.bounds(0, b.cst(1), b.cst(0));
+        let lhs = b.access(a, &[b.cst(0)]);
+        b.assign(lhs, Expr::lit(0.0));
+        b.finish()
+    })
+}
+
+const STORE_SEED: u64 = 11;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn degraded_runs_recover_exact_state(
+        p in random_program(),
+        seed in 1u64..=4,
+        procs in 2usize..=5,
+    ) {
+        let c = match compile_program(&p, &CompileOptions::default()) {
+            Ok(c) => c,
+            // Non-uniform reference pairs are a legitimate refusal.
+            Err(access_normalization::Error::Core(an_core::CoreError::Deps(
+                an_deps::DepError::NonUniform { .. },
+            ))) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("compile failed: {e}"))),
+        };
+        let params = p.default_param_values();
+        let baseline = an_ir::interp::run_seeded(&c.spmd.program, &params, STORE_SEED).unwrap();
+
+        // Every scenario, including the quiet one, must end bitwise
+        // identical to the fault-free interpreter.
+        for &scenario in Scenario::all() {
+            let exec = run_chaos(&c.spmd, procs, &params, scenario, seed, STORE_SEED)
+                .map_err(|e| TestCaseError::fail(format!("{scenario}: {e}")))?;
+            prop_assert!(
+                exec.lost_points.is_empty(),
+                "{scenario} P={procs} seed={seed} lost {:?}",
+                exec.lost_points
+            );
+            prop_assert!(
+                exec.duplicate_points.is_empty(),
+                "{scenario} P={procs} seed={seed} duplicated {:?}",
+                exec.duplicate_points
+            );
+            prop_assert!(
+                exec.store == baseline,
+                "{scenario} P={procs} seed={seed}: degraded state differs \
+                 (max |diff| = {})",
+                exec.store.max_abs_diff(&baseline)
+            );
+        }
+
+        // No fault: nothing may be replayed, and chaos costing must
+        // collapse to the fault-free simulation.
+        let quiet = run_chaos(&c.spmd, procs, &params, Scenario::None, seed, STORE_SEED).unwrap();
+        prop_assert_eq!(quiet.replayed_iterations, 0);
+        prop_assert!(quiet.store == baseline);
+
+        // The cost side is deterministic for any worker count.
+        let machine = MachineConfig::butterfly_gp1000();
+        let serial =
+            simulate_chaos(&c.spmd, &machine, procs, &params, Scenario::Mixed, seed, 1).unwrap();
+        let par =
+            simulate_chaos(&c.spmd, &machine, procs, &params, Scenario::Mixed, seed, 0).unwrap();
+        prop_assert_eq!(&par, &serial);
+        prop_assert_eq!(par.stats.time_us.to_bits(), serial.stats.time_us.to_bits());
+    }
+}

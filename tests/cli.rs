@@ -162,6 +162,136 @@ fn autodist_reports_candidates() {
 }
 
 #[test]
+fn unknown_input_path_exits_2_with_one_line() {
+    let out = anc().args(["/no/such/kernel.an"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(stderr.trim().lines().count(), 1, "{stderr}");
+    assert!(
+        stderr.contains("cannot read /no/such/kernel.an"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn malformed_param_exits_2_with_one_line() {
+    for bad in ["N", "N=", "N=abc", "=3"] {
+        let out = anc()
+            .args(["--param", bad, &kernel_path("gemm.an")])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "--param {bad}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert_eq!(stderr.trim().lines().count(), 1, "{stderr}");
+        assert!(stderr.contains("malformed --param"), "{stderr}");
+    }
+}
+
+#[test]
+fn chaos_reports_recovery_for_every_scenario() {
+    let out = anc()
+        .args([
+            "chaos",
+            "--seed",
+            "1",
+            "--param",
+            "N=12",
+            &kernel_path("gemm.an"),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for scenario in [
+        "failstop",
+        "double-failstop",
+        "drop",
+        "delay",
+        "spike",
+        "mixed",
+    ] {
+        assert!(stdout.contains(scenario), "missing {scenario}: {stdout}");
+    }
+    assert!(stdout.contains("recovery verified"), "{stdout}");
+}
+
+#[test]
+fn chaos_json_is_byte_identical_for_any_jobs() {
+    let run = |jobs: &str| {
+        let out = anc()
+            .args([
+                "chaos",
+                "--seed",
+                "5",
+                "--json",
+                "--jobs",
+                jobs,
+                "--param",
+                "N=12",
+                &kernel_path("gemm.an"),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let serial = run("1");
+    assert_eq!(run("1"), serial, "same invocation must be reproducible");
+    for jobs in ["0", "2", "5"] {
+        assert_eq!(run(jobs), serial, "jobs={jobs}");
+    }
+    let text = String::from_utf8(serial).unwrap();
+    assert!(text.contains("\"recovery_verified\": true"), "{text}");
+    assert!(text.contains("\"replayed_iterations\""), "{text}");
+}
+
+#[test]
+fn chaos_rejects_unknown_scenario() {
+    let out = anc()
+        .args(["chaos", "--scenario", "meteor", &kernel_path("gemm.an")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown scenario 'meteor'"), "{stderr}");
+}
+
+#[test]
+fn sweep_chaos_adds_scenario_axis() {
+    let out = anc()
+        .args([
+            "sweep",
+            "--chaos",
+            "--seed",
+            "2",
+            "--procs",
+            "4",
+            "--params",
+            "12",
+            &kernel_path("gemm.an"),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("fault-free"), "{stdout}");
+    assert!(stdout.contains("failstop"), "{stdout}");
+    assert!(stdout.contains("scenario"), "{stdout}");
+}
+
+#[test]
 fn naive_and_no_transfer_flags() {
     let out = anc()
         .args([
