@@ -128,6 +128,162 @@ fn chaos_section(program: &Program, machine: &MachineConfig, procs: usize) -> St
     )
 }
 
+/// The seed's Bareiss determinant, verbatim: `i128` intermediates with
+/// per-operation `checked_mul` and a hard `Overflow` error instead of
+/// the exact-arithmetic layer's `BigInt` promotion. The <10% gate
+/// prices today's overflow-safe `determinant` (invariant-based range
+/// checks + transparent promotion plumbing) against this baseline.
+fn det_seed(m: &an_linalg::IMatrix) -> i64 {
+    let n = m.rows();
+    if n == 0 {
+        return 1;
+    }
+    let mut a: Vec<Vec<i128>> = (0..n)
+        .map(|r| m.row(r).iter().map(|&v| v as i128).collect())
+        .collect();
+    let mut sign = 1i64;
+    let mut prev = 1i128;
+    for k in 0..n - 1 {
+        if a[k][k] == 0 {
+            let Some(p) = (k + 1..n).find(|&r| a[r][k] != 0) else {
+                return 0;
+            };
+            a.swap(k, p);
+            sign = -sign;
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                let num = a[k][k]
+                    .checked_mul(a[i][j])
+                    .and_then(|x| a[i][k].checked_mul(a[k][j]).map(|y| x - y))
+                    .expect("bench suite stays in i128 range");
+                a[i][j] = num / prev;
+            }
+            a[i][k] = 0;
+        }
+        prev = a[k][k];
+    }
+    let d = a[n - 1][n - 1] * sign as i128;
+    i64::try_from(d).expect("bench suite determinants fit i64")
+}
+
+/// Times the checked exact-arithmetic layer against the seed's
+/// determinant on a deterministic matrix suite (plus the transform
+/// matrices of every example kernel), compiles each kernel end to end,
+/// and writes `BENCH_overflow.json`. Asserts the checked path costs
+/// < 10% over the baseline.
+fn overflow_section() -> (String, f64) {
+    use an_linalg::det::determinant;
+    use an_linalg::IMatrix;
+
+    // Compile every example kernel and harvest its transform matrix —
+    // the checked layer must stay cheap on the matrices the compiler
+    // actually produces, not just synthetic ones.
+    let kernels_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("examples")
+        .join("kernels");
+    let mut kernel_rows = Vec::new();
+    let mut suite: Vec<IMatrix> = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&kernels_dir)
+        .expect("examples/kernels exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "an"))
+        .collect();
+    entries.sort();
+    for path in &entries {
+        let src = std::fs::read_to_string(path).expect("kernel readable");
+        let program = an_lang::parse(&src).expect("kernel parses");
+        let mut best = f64::INFINITY;
+        let mut compiled = None;
+        for _ in 0..REPEATS {
+            let start = Instant::now();
+            compiled =
+                Some(compile_program(&program, &CompileOptions::default()).expect("compile"));
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        kernel_rows.push(format!(
+            "    {{\"kernel\": \"{name}\", \"compile_ms\": {:.3}}}",
+            best * 1e3
+        ));
+        suite.push(
+            compiled
+                .expect("at least one repeat")
+                .normalized
+                .transform
+                .clone(),
+        );
+    }
+
+    // Deterministic synthetic matrices (LCG), dims 3..=6, entries small
+    // enough that neither path overflows — so results must agree and the
+    // timing difference is purely the checking.
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as i64 % 1000) - 500
+    };
+    for dim in 3..=6usize {
+        for _ in 0..12 {
+            let data: Vec<i64> = (0..dim * dim).map(|_| next()).collect();
+            suite.push(IMatrix::from_vec(dim, dim, data));
+        }
+    }
+
+    const PASSES: usize = 400;
+    let mut checked_secs = f64::INFINITY;
+    let mut seed_secs = f64::INFINITY;
+    for _ in 0..5 {
+        // Interleave the two measurements so drift hits both equally.
+        let start = Instant::now();
+        let mut acc = 0i64;
+        for _ in 0..PASSES {
+            for m in &suite {
+                acc = acc.wrapping_add(determinant(std::hint::black_box(m)).expect("in range"));
+            }
+        }
+        std::hint::black_box(acc);
+        checked_secs = checked_secs.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let mut base = 0i64;
+        for _ in 0..PASSES {
+            for m in &suite {
+                base = base.wrapping_add(det_seed(std::hint::black_box(m)));
+            }
+        }
+        std::hint::black_box(base);
+        seed_secs = seed_secs.min(start.elapsed().as_secs_f64());
+    }
+    // Differential: with in-range inputs the checked path must agree
+    // with the seed baseline exactly.
+    for m in &suite {
+        assert_eq!(
+            determinant(m).expect("in range"),
+            det_seed(m),
+            "checked and seed determinants diverge on an in-range matrix"
+        );
+    }
+
+    let overhead = checked_secs / seed_secs;
+    let json = format!(
+        "{{\n  \"suite_matrices\": {},\n  \"det_passes\": {PASSES},\n  \
+         \"checked_ms\": {:.3},\n  \"seed_ms\": {:.3},\n  \
+         \"overhead\": {overhead:.4},\n  \"gate\": \"overhead < 1.10\",\n  \
+         \"kernels\": [\n{}\n  ]\n}}\n",
+        suite.len(),
+        checked_secs * 1e3,
+        seed_secs * 1e3,
+        kernel_rows.join(",\n")
+    );
+    (json, overhead)
+}
+
 fn main() {
     let program = an_lang::parse(&fused_gemm_source(64)).expect("fused gemm parses");
     let machine = MachineConfig::butterfly_gp1000();
@@ -211,6 +367,20 @@ fn main() {
             println!("wrote {}", path.display());
         }
     }
+
+    let (overflow_json, overhead) = overflow_section();
+    println!("=== checked exact arithmetic: overhead vs seed baseline ===");
+    print!("{overflow_json}");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("BENCH_overflow.json");
+        if std::fs::write(&path, &overflow_json).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+    assert!(
+        overhead < 1.10,
+        "checked-arithmetic overhead gate: measured {overhead:.3}x, budget < 1.10x"
+    );
 
     if cores >= 8 {
         assert!(

@@ -18,6 +18,9 @@ pub enum CodegenError {
     },
     /// An algebra failure.
     Linalg(an_linalg::LinalgError),
+    /// A polyhedral failure: coefficient overflow or an exhausted
+    /// Fourier–Motzkin budget.
+    Poly(an_poly::PolyError),
 }
 
 impl fmt::Display for CodegenError {
@@ -30,6 +33,7 @@ impl fmt::Display for CodegenError {
                 write!(f, "transformed loop #{var} is unbounded")
             }
             CodegenError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            CodegenError::Poly(e) => write!(f, "polyhedral failure: {e}"),
         }
     }
 }
@@ -38,6 +42,7 @@ impl std::error::Error for CodegenError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CodegenError::Linalg(e) => Some(e),
+            CodegenError::Poly(e) => Some(e),
             _ => None,
         }
     }
@@ -46,5 +51,11 @@ impl std::error::Error for CodegenError {
 impl From<an_linalg::LinalgError> for CodegenError {
     fn from(e: an_linalg::LinalgError) -> Self {
         CodegenError::Linalg(e)
+    }
+}
+
+impl From<an_poly::PolyError> for CodegenError {
+    fn from(e: an_poly::PolyError) -> Self {
+        CodegenError::Poly(e)
     }
 }

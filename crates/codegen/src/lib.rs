@@ -55,4 +55,4 @@ mod error;
 
 pub use error::CodegenError;
 pub use spmd::{generate_spmd, OuterAssignment, SpmdOptions, SpmdProgram};
-pub use transform::{apply_transform, TransformedProgram};
+pub use transform::{apply_transform, apply_transform_with, TransformedProgram};

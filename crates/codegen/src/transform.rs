@@ -3,8 +3,9 @@
 use crate::CodegenError;
 use an_ir::{LoopNest, Program};
 use an_linalg::lattice::Lattice;
-use an_linalg::{IMatrix, IVec};
-use an_poly::bounds::extract_bounds_with_assumptions;
+use an_linalg::{IMatrix, IVec, LinalgError};
+use an_poly::bounds::extract_bounds_budgeted;
+use an_poly::FmBudget;
 
 /// A restructured program together with the coordinate bookkeeping
 /// needed to relate it back to the original.
@@ -75,9 +76,25 @@ pub fn new_var_names(n: usize) -> Vec<String> {
 ///   depth or not invertible.
 /// - [`CodegenError::UnboundedResult`] if a transformed loop has no
 ///   finite bounds (possible only for malformed input nests).
+/// - [`CodegenError::Linalg`] / [`CodegenError::Poly`] if the rewritten
+///   program's coefficients do not fit in `i64` or the Fourier–Motzkin
+///   budget is exhausted.
 pub fn apply_transform(
     program: &Program,
     t_mat: &IMatrix,
+) -> Result<TransformedProgram, CodegenError> {
+    apply_transform_with(program, t_mat, &FmBudget::default())
+}
+
+/// [`apply_transform`] under an explicit Fourier–Motzkin budget.
+///
+/// # Errors
+///
+/// See [`apply_transform`].
+pub fn apply_transform_with(
+    program: &Program,
+    t_mat: &IMatrix,
+    budget: &FmBudget,
 ) -> Result<TransformedProgram, CodegenError> {
     let n = program.nest.depth();
     if !t_mat.is_square() || t_mat.rows() != n {
@@ -89,8 +106,11 @@ pub fn apply_transform(
             ),
         });
     }
-    let lattice = Lattice::from_transform(t_mat).map_err(|_| CodegenError::BadTransform {
-        reason: "matrix is singular".to_string(),
+    let lattice = Lattice::from_transform(t_mat).map_err(|e| match e {
+        LinalgError::Overflow => CodegenError::Linalg(e),
+        _ => CodegenError::BadTransform {
+            reason: "matrix is singular".to_string(),
+        },
     })?;
     let h = lattice.basis().clone();
     let u = lattice.unimodular().clone();
@@ -105,13 +125,13 @@ pub fn apply_transform(
     let sys_t = program
         .nest
         .constraint_system()
-        .substitute_vars(&u, &t_space);
+        .substitute_vars(&u, &t_space)?;
     let assumptions: Vec<an_poly::Affine> = program
         .assumptions
         .iter()
         .map(|a| a.widen_to(&t_space))
         .collect();
-    let bounds = extract_bounds_with_assumptions(&sys_t, &assumptions);
+    let bounds = extract_bounds_budgeted(&sys_t, &assumptions, budget)?;
     for lb in &bounds {
         if lb.lowers.is_empty() || lb.uppers.is_empty() {
             return Err(CodegenError::UnboundedResult { var: lb.var });
@@ -122,7 +142,7 @@ pub fn apply_transform(
         .body
         .iter()
         .map(|s| s.substitute_vars(&u, &t_space))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     Ok(TransformedProgram {
         program: Program {

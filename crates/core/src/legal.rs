@@ -4,7 +4,8 @@
 
 use crate::padding::complete;
 use an_linalg::projection::{first_non_orthogonal_axis, project_onto_column_space};
-use an_linalg::{basis::first_row_basis, vector::dot, IMatrix};
+use an_linalg::vector::dot_sign;
+use an_linalg::{basis::first_row_basis, IMatrix, LinalgError};
 
 /// Result of [`legal_basis`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,10 +40,15 @@ pub enum RowFate {
 ///   the columns it then carries are dropped;
 /// - otherwise the row is removed.
 ///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] if a sign test or row negation
+/// overflows 64-bit arithmetic.
+///
 /// # Panics
 ///
 /// Panics if `d.rows() != b.cols()`.
-pub fn legal_basis(b: &IMatrix, d: &IMatrix) -> LegalBasisResult {
+pub fn legal_basis(b: &IMatrix, d: &IMatrix) -> Result<LegalBasisResult, LinalgError> {
     assert_eq!(
         d.rows(),
         b.cols(),
@@ -53,7 +59,12 @@ pub fn legal_basis(b: &IMatrix, d: &IMatrix) -> LegalBasisResult {
     let mut row_fates = Vec::with_capacity(b.rows());
     for i in 0..b.rows() {
         let row = b.row(i);
-        let f: Vec<i64> = remaining.iter().map(|&j| dot(row, &d.col(j))).collect();
+        // Only the signs of the products matter, so the tests stay exact
+        // even where the product values would not fit in i64.
+        let f: Vec<i64> = remaining
+            .iter()
+            .map(|&j| dot_sign(row, &d.col(j)).ok_or(LinalgError::Overflow))
+            .collect::<Result<_, _>>()?;
         if f.iter().all(|&v| v >= 0) {
             basis.push_row(row);
             remaining = remaining
@@ -64,7 +75,10 @@ pub fn legal_basis(b: &IMatrix, d: &IMatrix) -> LegalBasisResult {
                 .collect();
             row_fates.push(RowFate::Kept);
         } else if f.iter().all(|&v| v <= 0) {
-            let neg: Vec<i64> = row.iter().map(|&v| -v).collect();
+            let neg: Vec<i64> = row
+                .iter()
+                .map(|&v| v.checked_neg().ok_or(LinalgError::Overflow))
+                .collect::<Result<_, _>>()?;
             basis.push_row(&neg);
             remaining = remaining
                 .iter()
@@ -77,7 +91,7 @@ pub fn legal_basis(b: &IMatrix, d: &IMatrix) -> LegalBasisResult {
             row_fates.push(RowFate::Dropped);
         }
     }
-    LegalBasisResult { basis, row_fates }
+    Ok(LegalBasisResult { basis, row_fates })
 }
 
 /// Algorithm LegalInvt (Figure 3).
@@ -94,11 +108,16 @@ pub fn legal_basis(b: &IMatrix, d: &IMatrix) -> LegalBasisResult {
 ///    least one, which it then carries;
 /// 3. complete with Algorithm Padding.
 ///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] if a projection row or sign test
+/// does not fit in 64-bit (or, for intermediates, 128-bit) arithmetic.
+///
 /// # Panics
 ///
 /// Panics if `d.rows() != b.cols()` or if `b` is not legal with respect
 /// to `d` (some `row · d_j < 0`).
-pub fn legal_invt(b: &IMatrix, d: &IMatrix) -> IMatrix {
+pub fn legal_invt(b: &IMatrix, d: &IMatrix) -> Result<IMatrix, LinalgError> {
     assert_eq!(
         d.rows(),
         b.cols(),
@@ -109,11 +128,20 @@ pub fn legal_invt(b: &IMatrix, d: &IMatrix) -> IMatrix {
     let mut remaining: Vec<usize> = (0..d.cols()).collect();
     for i in 0..b.rows() {
         let row = b.row(i);
-        remaining.retain(|&j| {
-            let v = dot(row, &d.col(j));
-            assert!(v >= 0, "legal_invt requires a legal basis");
-            v == 0
+        let mut overflowed = false;
+        remaining.retain(|&j| match dot_sign(row, &d.col(j)) {
+            Some(v) => {
+                assert!(v >= 0, "legal_invt requires a legal basis");
+                v == 0
+            }
+            None => {
+                overflowed = true;
+                false
+            }
         });
+        if overflowed {
+            return Err(LinalgError::Overflow);
+        }
     }
     // Step 2: carry the remaining dependences with projection rows.
     while !remaining.is_empty() {
@@ -123,17 +151,26 @@ pub fn legal_invt(b: &IMatrix, d: &IMatrix) -> IMatrix {
         let z = dd.select_cols(&col_sel.kept);
         let k =
             first_non_orthogonal_axis(&dd).expect("non-empty dependence matrix has a non-zero row");
-        let x = project_onto_column_space(&z, k)
+        let x = project_onto_column_space(&z, k)?
             .expect("first non-orthogonal axis has non-zero projection");
-        remaining.retain(|&j| {
-            let v = dot(&x, &d.col(j));
-            debug_assert!(v >= 0, "projection row must not reverse dependences");
-            v == 0
+        let mut overflowed = false;
+        remaining.retain(|&j| match dot_sign(&x, &d.col(j)) {
+            Some(v) => {
+                debug_assert!(v >= 0, "projection row must not reverse dependences");
+                v == 0
+            }
+            None => {
+                overflowed = true;
+                false
+            }
         });
+        if overflowed {
+            return Err(LinalgError::Overflow);
+        }
         basis.push_row(&x);
     }
     // Step 3: complete to invertible.
-    complete(&basis)
+    Ok(complete(&basis))
 }
 
 #[cfg(test)]
@@ -157,7 +194,7 @@ mod tests {
         // second row.
         let a = IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, -1]]);
         let d = IMatrix::col_vector(&[0, 0, 1]);
-        let r = legal_basis(&a, &d);
+        let r = legal_basis(&a, &d).unwrap();
         assert_eq!(r.basis, IMatrix::from_rows(&[&[-1, 1, 0], &[0, -1, 1]]));
         assert_eq!(r.row_fates, vec![RowFate::Kept, RowFate::Negated]);
     }
@@ -168,7 +205,7 @@ mod tests {
         // -1 — mixed signs, dropped.
         let a = IMatrix::from_rows(&[&[1, -1]]);
         let d = IMatrix::from_rows(&[&[1, 0], &[0, 1]]);
-        let r = legal_basis(&a, &d);
+        let r = legal_basis(&a, &d).unwrap();
         assert_eq!(r.basis.rows(), 0);
         assert_eq!(r.row_fates, vec![RowFate::Dropped]);
     }
@@ -179,7 +216,7 @@ mod tests {
         // have a negative product.
         let a = IMatrix::from_rows(&[&[1, 0], &[0, -1]]);
         let d = IMatrix::col_vector(&[1, 1]);
-        let r = legal_basis(&a, &d);
+        let r = legal_basis(&a, &d).unwrap();
         assert_eq!(r.row_fates, vec![RowFate::Kept, RowFate::Kept]);
         assert_eq!(r.basis, a);
     }
@@ -192,7 +229,7 @@ mod tests {
         // T = [[-1,1,0],[0,0,1],[0,1,0]].
         let b = IMatrix::from_rows(&[&[-1, 1, 0]]);
         let d = IMatrix::from_rows(&[&[0, 0], &[1, 0], &[0, 1]]);
-        let t = legal_invt(&b, &d);
+        let t = legal_invt(&b, &d).unwrap();
         assert_eq!(
             t,
             IMatrix::from_rows(&[&[-1, 1, 0], &[0, 0, 1], &[0, 1, 0]])
@@ -206,7 +243,7 @@ mod tests {
         // No usable subscripts: LegalInvt must still carry everything.
         let b = IMatrix::zero(0, 3);
         let d = IMatrix::from_rows(&[&[1, 0], &[0, 1], &[-2, 3]]);
-        let t = legal_invt(&b, &d);
+        let t = legal_invt(&b, &d).unwrap();
         assert!(t.is_invertible());
         check_legal(&t, &d);
     }
@@ -215,7 +252,7 @@ mod tests {
     fn no_dependences_is_padding_only() {
         let b = IMatrix::from_rows(&[&[0, 1, 1]]);
         let d = IMatrix::zero(3, 0);
-        let t = legal_invt(&b, &d);
+        let t = legal_invt(&b, &d).unwrap();
         assert!(t.is_invertible());
         assert_eq!(t.row(0), &[0, 1, 1]);
     }
@@ -247,8 +284,8 @@ mod tests {
                     d[(r, c)] = col[r];
                 }
             }
-            let lb = legal_basis(&b, &d);
-            let t = legal_invt(&lb.basis, &d);
+            let lb = legal_basis(&b, &d).unwrap();
+            let t = legal_invt(&lb.basis, &d).unwrap();
             assert!(t.is_invertible());
             check_legal(&t, &d);
         }

@@ -44,6 +44,10 @@ pub struct NormCache {
 struct Legalized {
     transform: IMatrix,
     row_fates: Vec<RowFate>,
+    /// `true` if legalization overflowed 64-bit arithmetic and the
+    /// identity was used instead (the identity is always legal for the
+    /// dependence summaries we construct).
+    degraded: bool,
 }
 
 impl NormCache {
@@ -181,13 +185,22 @@ pub fn normalize_with(
     };
     let basis = selection.basis_matrix(&access_matrix.matrix);
 
-    // LegalBasis + LegalInvt + Padding.
+    // LegalBasis + LegalInvt + Padding. An arithmetic overflow in
+    // legalization degrades to the identity transform (always legal)
+    // rather than aborting the whole compilation.
     let legalize = || {
-        let lb = legal_basis(&basis, &dependences.matrix);
-        Legalized {
-            transform: legal_invt(&lb.basis, &dependences.matrix),
-            row_fates: lb.row_fates,
-        }
+        let attempt = legal_basis(&basis, &dependences.matrix).and_then(|lb| {
+            Ok(Legalized {
+                transform: legal_invt(&lb.basis, &dependences.matrix)?,
+                row_fates: lb.row_fates,
+                degraded: false,
+            })
+        });
+        attempt.unwrap_or_else(|_| Legalized {
+            transform: IMatrix::identity(n),
+            row_fates: Vec::new(),
+            degraded: true,
+        })
     };
     let legalized = match ctx.cache {
         Some(c) => c
@@ -198,8 +211,9 @@ pub fn normalize_with(
     let Legalized {
         mut transform,
         row_fates,
+        degraded,
     } = legalized;
-    let mut fell_back_to_identity = false;
+    let mut fell_back_to_identity = degraded;
 
     // Defensive invariant check: the construction must be invertible.
     if !transform.is_invertible() {

@@ -57,7 +57,7 @@ proptest! {
     ) {
         let sel = first_row_basis(&a);
         let basis = sel.basis_matrix(&a);
-        let lb = legal_basis(&basis, &d);
+        let lb = legal_basis(&basis, &d).unwrap();
         // Fates align with input rows.
         prop_assert_eq!(lb.row_fates.len(), basis.rows());
         let kept = lb
@@ -67,7 +67,7 @@ proptest! {
             .count();
         prop_assert_eq!(lb.basis.rows(), kept);
 
-        let t = legal_invt(&lb.basis, &d);
+        let t = legal_invt(&lb.basis, &d).unwrap();
         prop_assert!(t.is_invertible(), "T singular:\n{}", t);
         // Legality: every column of T·D is lex-positive.
         let td = t.mul(&d).unwrap();
@@ -107,7 +107,7 @@ proptest! {
     ) {
         let sel = first_row_basis(&a);
         let basis = sel.basis_matrix(&a);
-        let lb = legal_basis(&basis, &d);
+        let lb = legal_basis(&basis, &d).unwrap();
         // Invariant (paper Fig 2): scanning the produced rows in order
         // and dropping carried columns, no product is ever negative.
         let mut remaining: Vec<usize> = (0..d.cols()).collect();

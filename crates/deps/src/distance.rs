@@ -12,6 +12,7 @@ use crate::DepError;
 use an_ir::ArrayRef;
 use an_linalg::solve::{solve_integer, IntegerSolution};
 use an_linalg::{lex_negative, IMatrix, IVec, LinalgError};
+use std::collections::HashSet;
 
 /// The full distance set of a uniformly generated pair: every distance
 /// is `particular + Σ λᵢ·kernel[i]`, `λᵢ ∈ Z`.
@@ -99,17 +100,18 @@ pub fn pair_distances(r1: &ArrayRef, r2: &ArrayRef) -> Result<PairDistances, Dep
 /// every distance).
 pub fn representatives(set: &DistanceSet, reach: i64) -> (Vec<IVec>, bool) {
     let n = set.particular.len();
+    let mut seen: HashSet<IVec> = HashSet::new();
     let mut out: Vec<IVec> = Vec::new();
     let mut push = |d: IVec| {
         if d.iter().all(|&v| v == 0) {
             return; // loop-independent: no iteration-order constraint
         }
-        let canon = if lex_negative(&d) {
+        let canon: IVec = if lex_negative(&d) {
             d.iter().map(|&v| -v).collect()
         } else {
             d
         };
-        if !out.contains(&canon) {
+        if seen.insert(canon.clone()) {
             out.push(canon);
         }
     };
@@ -138,6 +140,31 @@ pub fn representatives(set: &DistanceSet, reach: i64) -> (Vec<IVec>, bool) {
             }
         }
         _ => {
+            // The full multiplier box has (2·reach+1)^rank points — for
+            // deep nests (high-rank kernels) that is exponential in the
+            // nesting depth. The samples are heuristic either way (this
+            // branch always reports incomplete), so above a fixed size
+            // cap fall back to axis sampling: vary one multiplier at a
+            // time around the particular solution. Deterministic, and
+            // keeps analysis time polynomial in depth.
+            const SAMPLE_CAP: u64 = 20_000;
+            let rank = set.kernel.len() as u32;
+            let width = 2 * reach.unsigned_abs() + 1;
+            let full_box = width.checked_pow(rank);
+            if full_box.is_none_or(|total| total > SAMPLE_CAP) {
+                push(set.particular.clone());
+                for k in &set.kernel {
+                    push(an_linalg::vector::primitive(k));
+                    for lambda in -reach..=reach {
+                        if lambda == 0 {
+                            continue;
+                        }
+                        let d: IVec = (0..n).map(|i| set.particular[i] + lambda * k[i]).collect();
+                        push(d);
+                    }
+                }
+                return (out, false);
+            }
             // Enumerate small multiplier combinations.
             let mut lambdas = vec![-reach; set.kernel.len()];
             loop {

@@ -1,16 +1,38 @@
 //! Transformation legality: lexicographic positivity of `T·D`.
 
 use crate::DependenceInfo;
-use an_linalg::{lex_positive, IMatrix};
+use an_linalg::{lex_positive, IMatrix, LinalgError};
+
+/// The dependence matrix of the restructured nest: `T·D`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] if an entry of the exact product
+/// does not fit in `i64`.
+///
+/// # Panics
+///
+/// Panics if `t.cols() != info.matrix.rows()`.
+pub fn try_transformed_dependences(
+    t: &IMatrix,
+    info: &DependenceInfo,
+) -> Result<IMatrix, LinalgError> {
+    match t.mul(&info.matrix) {
+        Err(LinalgError::DimensionMismatch { .. }) => {
+            panic!("transform and dependence matrix shapes must agree")
+        }
+        other => other,
+    }
+}
 
 /// The dependence matrix of the restructured nest: `T·D`.
 ///
 /// # Panics
 ///
-/// Panics if `t.cols() != info.matrix.rows()`.
+/// Panics if `t.cols() != info.matrix.rows()` or the product overflows
+/// `i64` (use [`try_transformed_dependences`] for huge transforms).
 pub fn transformed_dependences(t: &IMatrix, info: &DependenceInfo) -> IMatrix {
-    t.mul(&info.matrix)
-        .expect("transform and dependence matrix shapes must agree")
+    try_transformed_dependences(t, info).expect("transformed dependence entries must fit in i64")
 }
 
 /// Returns `true` if the transformation `t` preserves every dependence:
@@ -19,13 +41,16 @@ pub fn transformed_dependences(t: &IMatrix, info: &DependenceInfo) -> IMatrix {
 /// ([`crate::direction::legal_for_direction`]).
 ///
 /// An empty dependence summary (fully parallel nest) makes every
-/// invertible transformation legal.
+/// invertible transformation legal. A transform whose `T·D` overflows
+/// `i64` cannot be *proven* legal and is conservatively rejected.
 ///
 /// # Panics
 ///
 /// Panics if `t.cols() != info.matrix.rows()`.
 pub fn is_legal(t: &IMatrix, info: &DependenceInfo) -> bool {
-    let td = transformed_dependences(t, info);
+    let Ok(td) = try_transformed_dependences(t, info) else {
+        return false;
+    };
     (0..td.cols()).all(|c| lex_positive(&td.col(c)))
         && info
             .directions

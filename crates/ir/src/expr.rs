@@ -108,18 +108,27 @@ impl Expr {
 
     /// Rewrites all references into a new variable space via
     /// `old_vars = M · new_vars`.
-    pub fn substitute_vars(&self, m: &an_linalg::IMatrix, new_space: &an_poly::Space) -> Expr {
-        match self {
-            Expr::Access(r) => Expr::Access(r.substitute_vars(m, new_space)),
+    ///
+    /// # Errors
+    ///
+    /// Returns [`an_poly::PolyError::Overflow`] if a substituted
+    /// subscript coefficient does not fit in `i64`.
+    pub fn substitute_vars(
+        &self,
+        m: &an_linalg::IMatrix,
+        new_space: &an_poly::Space,
+    ) -> Result<Expr, an_poly::PolyError> {
+        Ok(match self {
+            Expr::Access(r) => Expr::Access(r.substitute_vars(m, new_space)?),
             Expr::Lit(v) => Expr::Lit(*v),
             Expr::Coef(i) => Expr::Coef(*i),
             Expr::Bin(op, a, b) => Expr::Bin(
                 *op,
-                Box::new(a.substitute_vars(m, new_space)),
-                Box::new(b.substitute_vars(m, new_space)),
+                Box::new(a.substitute_vars(m, new_space)?),
+                Box::new(b.substitute_vars(m, new_space)?),
             ),
-            Expr::Neg(a) => Expr::Neg(Box::new(a.substitute_vars(m, new_space))),
-        }
+            Expr::Neg(a) => Expr::Neg(Box::new(a.substitute_vars(m, new_space)?)),
+        })
     }
 }
 

@@ -29,15 +29,27 @@ impl ArrayRef {
 
     /// Rewrites the subscripts into a new variable space via
     /// `old_vars = M · new_vars`.
-    pub fn substitute_vars(&self, m: &an_linalg::IMatrix, new_space: &an_poly::Space) -> ArrayRef {
-        ArrayRef {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`an_poly::PolyError::Overflow`] if a substituted
+    /// subscript coefficient does not fit in `i64`.
+    pub fn substitute_vars(
+        &self,
+        m: &an_linalg::IMatrix,
+        new_space: &an_poly::Space,
+    ) -> Result<ArrayRef, an_poly::PolyError> {
+        Ok(ArrayRef {
             array: self.array,
             subscripts: self
                 .subscripts
                 .iter()
-                .map(|s| s.substitute_vars(m, new_space))
-                .collect(),
-        }
+                .map(|s| {
+                    s.try_substitute_vars(m, new_space)
+                        .ok_or(an_poly::PolyError::Overflow)
+                })
+                .collect::<Result<_, _>>()?,
+        })
     }
 }
 
@@ -62,12 +74,21 @@ impl Stmt {
 
     /// Rewrites all references into a new variable space via
     /// `old_vars = M · new_vars`.
-    pub fn substitute_vars(&self, m: &an_linalg::IMatrix, new_space: &an_poly::Space) -> Stmt {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`an_poly::PolyError::Overflow`] if a substituted
+    /// subscript coefficient does not fit in `i64`.
+    pub fn substitute_vars(
+        &self,
+        m: &an_linalg::IMatrix,
+        new_space: &an_poly::Space,
+    ) -> Result<Stmt, an_poly::PolyError> {
         match self {
-            Stmt::Assign { lhs, rhs } => Stmt::Assign {
-                lhs: lhs.substitute_vars(m, new_space),
-                rhs: rhs.substitute_vars(m, new_space),
-            },
+            Stmt::Assign { lhs, rhs } => Ok(Stmt::Assign {
+                lhs: lhs.substitute_vars(m, new_space)?,
+                rhs: rhs.substitute_vars(m, new_space)?,
+            }),
         }
     }
 }
@@ -110,7 +131,7 @@ mod tests {
         // (i, j) = M (u, v), M = [[0,1],[1,0]]  (swap).
         let m = an_linalg::IMatrix::from_rows(&[&[0, 1], &[1, 0]]);
         let r = ArrayRef::new(ArrayId(3), vec![Affine::var(&s, 0, 1)]);
-        let t = r.substitute_vars(&m, &new);
+        let t = r.substitute_vars(&m, &new).unwrap();
         // i becomes v.
         assert_eq!(t.subscripts[0].var_coeffs(), &[0, 1]);
         assert_eq!(t.array, ArrayId(3));

@@ -7,7 +7,8 @@
 //! convenient list of kept row indices (in order) from which both can be
 //! recovered.
 
-use crate::{IMatrix, Rational};
+use crate::bigint::BigInt;
+use crate::IMatrix;
 
 /// The result of [`first_row_basis`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,8 +59,10 @@ impl BasisSelection {
 /// row that is linearly independent of the rows kept so far.
 ///
 /// This is the paper's Algorithm `BasisMatrix`, implemented with an
-/// incremental exact Gaussian elimination (the "variation of computing
-/// the Hermite normal form" the paper alludes to).
+/// incremental exact elimination over arbitrary-precision integers
+/// (the "variation of computing the Hermite normal form" the paper
+/// alludes to) — fraction-free, so adversarially large coefficients can
+/// neither overflow nor lose rank information.
 ///
 /// ```
 /// use an_linalg::{IMatrix, basis::first_row_basis};
@@ -74,18 +77,27 @@ impl BasisSelection {
 /// assert_eq!(sel.rank(), 2);
 /// ```
 pub fn first_row_basis(m: &IMatrix) -> BasisSelection {
-    let cols = m.cols();
     // Echelon rows reduced so far, each with its pivot column.
-    let mut echelon: Vec<(usize, Vec<Rational>)> = Vec::new();
+    let mut echelon: Vec<(usize, Vec<BigInt>)> = Vec::new();
     let mut kept = Vec::new();
     let mut discarded = Vec::new();
     for r in 0..m.rows() {
-        let mut row: Vec<Rational> = m.row(r).iter().map(|&v| Rational::from(v)).collect();
+        let mut row: Vec<BigInt> = m.row(r).iter().map(|&v| BigInt::from(v)).collect();
         for (pivot_col, e) in &echelon {
             if !row[*pivot_col].is_zero() {
-                let factor = row[*pivot_col] / e[*pivot_col];
-                for c in 0..cols {
-                    row[c] -= factor * e[c];
+                // Fraction-free step: row := e_pivot·row − row_pivot·e,
+                // which zeroes row[pivot_col] without leaving ℤ.
+                let rp = row[*pivot_col].clone();
+                let ep = e[*pivot_col].clone();
+                for (c, rv) in row.iter_mut().enumerate() {
+                    *rv = ep.clone() * rv.clone() - rp.clone() * e[c].clone();
+                }
+                // Keep entries small: divide the row by its gcd.
+                let g = row.iter().fold(BigInt::zero(), |acc, v| acc.gcd(v));
+                if !g.is_zero() {
+                    for rv in &mut row {
+                        *rv = rv.exact_div(&g);
+                    }
                 }
             }
         }
@@ -169,6 +181,21 @@ mod tests {
             sel.basis_matrix(&x),
             IMatrix::from_rows(&[&[1, 1, -1, 0], &[0, 0, 1, -1]])
         );
+    }
+
+    #[test]
+    fn near_max_coefficients_do_not_lose_rank() {
+        // Rows that are dependent only after exact cancellation of
+        // ~2^63-scale products; a wrapping or float path would misjudge.
+        let a = i64::MAX - 1;
+        let m = IMatrix::from_rows(&[&[a, 1], &[a, 2], &[2 * (a / 2), 4]]);
+        let sel = first_row_basis(&m);
+        // Row 2 = 2*row1 - row0 + (correction): verify rank exactly.
+        assert_eq!(sel.rank(), 2);
+        assert_eq!(sel.kept, vec![0, 1]);
+        // A genuinely dependent huge pair is detected.
+        let d = IMatrix::from_rows(&[&[a, a - 1], &[-a, -(a - 1)]]);
+        assert_eq!(first_row_basis(&d).kept, vec![0]);
     }
 
     #[test]

@@ -6,8 +6,16 @@
 //! HNF `H = T·U` (with `U` unimodular and `H` lower triangular) is a
 //! triangular basis of that lattice from which loop steps and congruence
 //! offsets are read off directly.
+//!
+//! The reduction runs on `i64` with checked operations; if an
+//! intermediate overflows it transparently re-runs over
+//! [`crate::bigint::BigInt`] and narrows the result, so
+//! [`LinalgError::Overflow`] is returned only when the final `H`/`U`
+//! entries genuinely do not fit in `i64`.
 
-use crate::{div_floor, IMatrix};
+use crate::bigint;
+use crate::matrix::ExactInt;
+use crate::{IMatrix, LinalgError, Matrix};
 
 /// Result of a column-style Hermite normal form: `h == a * u`, `u`
 /// unimodular, and `h` in column echelon form (lower triangular for
@@ -36,24 +44,57 @@ impl ColumnHnf {
     }
 }
 
+/// The generic reduction state, instantiated at `i64` and `BigInt`.
+struct HnfParts<T> {
+    h: Matrix<T>,
+    u: Matrix<T>,
+    pivots: Vec<(usize, usize)>,
+}
+
 /// Computes the column-style Hermite normal form `h = a * u`.
 ///
 /// Works for any shape and rank; for a square invertible `a`, `h` is
 /// lower triangular with positive diagonal.
 ///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] only if an entry of the final
+/// `H`/`U` does not fit in `i64` (intermediate overflow is absorbed by
+/// the exact big-integer fallback).
+///
 /// ```
 /// use an_linalg::{IMatrix, hnf::column_hnf};
 /// let t = IMatrix::from_rows(&[&[2, 4], &[1, 5]]);
-/// let r = column_hnf(&t);
+/// let r = column_hnf(&t).unwrap();
 /// assert_eq!(&t.mul(&r.u).unwrap(), &r.h);
 /// assert!(r.u.is_unimodular());
 /// // diag(H) multiplies to |det T| = 6
 /// assert_eq!(r.h.get(0, 0) * r.h.get(1, 1), 6);
 /// ```
-pub fn column_hnf(a: &IMatrix) -> ColumnHnf {
+pub fn column_hnf(a: &IMatrix) -> Result<ColumnHnf, LinalgError> {
+    match column_hnf_core(a) {
+        Ok(p) => Ok(ColumnHnf {
+            h: p.h,
+            u: p.u,
+            pivots: p.pivots,
+        }),
+        Err(LinalgError::Overflow) => {
+            let p =
+                column_hnf_core(&bigint::to_big(a)).expect("BigInt HNF reduction cannot overflow");
+            Ok(ColumnHnf {
+                h: bigint::narrow(&p.h)?,
+                u: bigint::narrow(&p.u)?,
+                pivots: p.pivots,
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn column_hnf_core<T: ExactInt>(a: &Matrix<T>) -> Result<HnfParts<T>, LinalgError> {
     let (m, n) = (a.rows(), a.cols());
     let mut h = a.clone();
-    let mut u = IMatrix::identity(n);
+    let mut u = Matrix::<T>::identity(n);
     let mut pivots = Vec::new();
     let mut c = 0; // next pivot column
     for r in 0..m {
@@ -65,19 +106,19 @@ pub fn column_hnf(a: &IMatrix) -> ColumnHnf {
         loop {
             // Pick the column in c..n with the smallest non-zero |h[r][j]|.
             let best = (c..n)
-                .filter(|&j| h[(r, j)] != 0)
-                .min_by_key(|&j| h[(r, j)].abs());
+                .filter(|&j| !h[(r, j)].is_zero())
+                .min_by(|&i, &j| h[(r, i)].abs_cmp(&h[(r, j)]));
             let Some(j) = best else { break };
             h.swap_cols(c, j);
             u.swap_cols(c, j);
-            let pivot = h[(r, c)];
+            let pivot = h[(r, c)].clone();
             let mut all_zero = true;
             for k in c + 1..n {
-                if h[(r, k)] != 0 {
-                    let q = div_floor(h[(r, k)], pivot);
-                    col_axpy(&mut h, k, c, -q);
-                    col_axpy(&mut u, k, c, -q);
-                    if h[(r, k)] != 0 {
+                if !h[(r, k)].is_zero() {
+                    let f = neg_quotient(&h[(r, k)], &pivot)?;
+                    col_axpy(&mut h, k, c, &f)?;
+                    col_axpy(&mut u, k, c, &f)?;
+                    if !h[(r, k)].is_zero() {
                         all_zero = false;
                     }
                 }
@@ -86,26 +127,33 @@ pub fn column_hnf(a: &IMatrix) -> ColumnHnf {
                 break;
             }
         }
-        if h[(r, c)] == 0 {
+        if h[(r, c)].is_zero() {
             continue; // no pivot in this row
         }
-        if h[(r, c)] < 0 {
-            col_negate(&mut h, c);
-            col_negate(&mut u, c);
+        if h[(r, c)] < T::zero() {
+            col_negate(&mut h, c)?;
+            col_negate(&mut u, c)?;
         }
         // Canonicalize: reduce entries left of the pivot into [0, pivot).
-        let pivot = h[(r, c)];
+        let pivot = h[(r, c)].clone();
         for j in 0..c {
-            let q = div_floor(h[(r, j)], pivot);
-            if q != 0 {
-                col_axpy(&mut h, j, c, -q);
-                col_axpy(&mut u, j, c, -q);
+            let f = neg_quotient(&h[(r, j)], &pivot)?;
+            if !f.is_zero() {
+                col_axpy(&mut h, j, c, &f)?;
+                col_axpy(&mut u, j, c, &f)?;
             }
         }
         pivots.push((r, c));
         c += 1;
     }
-    ColumnHnf { h, u, pivots }
+    Ok(HnfParts { h, u, pivots })
+}
+
+/// `-floor(a / b)`, the column-operation factor; checked at both steps.
+fn neg_quotient<T: ExactInt>(a: &T, b: &T) -> Result<T, LinalgError> {
+    a.try_div_floor(b)
+        .and_then(|q| q.try_neg())
+        .ok_or(LinalgError::Overflow)
 }
 
 /// Result of a row-style Hermite normal form: `h == u * a` with `u`
@@ -122,37 +170,48 @@ pub struct RowHnf {
 
 /// Computes the row-style Hermite normal form `h = u * a`.
 ///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] only if an entry of the final
+/// `H`/`U` does not fit in `i64`.
+///
 /// ```
 /// use an_linalg::{IMatrix, hnf::row_hnf};
 /// let a = IMatrix::from_rows(&[&[2, 4, 4], &[-6, 6, 12], &[10, 4, 16]]);
-/// let r = row_hnf(&a);
+/// let r = row_hnf(&a).unwrap();
 /// assert_eq!(&r.u.mul(&a).unwrap(), &r.h);
 /// assert!(r.u.is_unimodular());
 /// ```
-pub fn row_hnf(a: &IMatrix) -> RowHnf {
-    let t = column_hnf(&a.transpose());
+pub fn row_hnf(a: &IMatrix) -> Result<RowHnf, LinalgError> {
+    let t = column_hnf(&a.transpose())?;
     let pivots = t.pivots.iter().map(|&(r, c)| (c, r)).collect();
-    RowHnf {
+    Ok(RowHnf {
         h: t.h.transpose(),
         u: t.u.transpose(),
         pivots,
-    }
+    })
 }
 
-fn col_axpy(m: &mut IMatrix, target: usize, source: usize, factor: i64) {
+fn col_axpy<T: ExactInt>(
+    m: &mut Matrix<T>,
+    target: usize,
+    source: usize,
+    factor: &T,
+) -> Result<(), LinalgError> {
     for r in 0..m.rows() {
-        let v = m[(r, source)]
-            .checked_mul(factor)
-            .and_then(|x| m[(r, target)].checked_add(x))
-            .expect("HNF column operation overflow");
+        let v = T::try_fma(m[(r, target)].clone(), &m[(r, source)], factor)
+            .ok_or(LinalgError::Overflow)?;
         m[(r, target)] = v;
     }
+    Ok(())
 }
 
-fn col_negate(m: &mut IMatrix, col: usize) {
+fn col_negate<T: ExactInt>(m: &mut Matrix<T>, col: usize) -> Result<(), LinalgError> {
     for r in 0..m.rows() {
-        m[(r, col)] = -m[(r, col)];
+        let v = m[(r, col)].try_neg().ok_or(LinalgError::Overflow)?;
+        m[(r, col)] = v;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -160,7 +219,7 @@ mod tests {
     use super::*;
 
     fn check_column_hnf(a: &IMatrix) {
-        let r = column_hnf(a);
+        let r = column_hnf(a).unwrap();
         assert_eq!(a.mul(&r.u).unwrap(), r.h, "H = A*U violated for\n{a}");
         assert!(r.u.is_unimodular(), "U not unimodular for\n{a}");
         // Echelon structure: pivot rows strictly increase with column.
@@ -197,7 +256,7 @@ mod tests {
     fn scaling_example_diagonal() {
         // T = [[2,4],[1,5]] from paper §3. The new outer loop steps by
         // H[0][0] = 2 (the paper's "for u = 6, 18 step 2").
-        let r = column_hnf(&IMatrix::from_rows(&[&[2, 4], &[1, 5]]));
+        let r = column_hnf(&IMatrix::from_rows(&[&[2, 4], &[1, 5]])).unwrap();
         assert_eq!(r.h[(0, 0)], 2);
         assert_eq!(r.h[(0, 1)], 0);
     }
@@ -207,7 +266,7 @@ mod tests {
         check_column_hnf(&IMatrix::from_rows(&[&[1, 2], &[2, 4]]));
         check_column_hnf(&IMatrix::from_rows(&[&[1, 1, -1, 0], &[0, 0, 1, -1]]));
         check_column_hnf(&IMatrix::zero(3, 2));
-        let r = column_hnf(&IMatrix::from_rows(&[&[1, 2], &[2, 4]]));
+        let r = column_hnf(&IMatrix::from_rows(&[&[1, 2], &[2, 4]])).unwrap();
         assert_eq!(r.rank(), 1);
         assert_eq!(r.kernel_columns(), vec![1]);
         // Kernel column of U really is in the null space.
@@ -225,8 +284,36 @@ mod tests {
     #[test]
     fn row_hnf_identity() {
         let a = IMatrix::from_rows(&[&[4, 0], &[0, 6]]);
-        let r = row_hnf(&a);
+        let r = row_hnf(&a).unwrap();
         assert_eq!(r.u.mul(&a).unwrap(), r.h);
         assert!(r.u.is_unimodular());
+    }
+
+    #[test]
+    fn min_edge_uses_big_fallback() {
+        // Reducing [i64::MIN, -1] needs the quotient MIN / -1 = 2^63,
+        // which does not fit in i64 — the old checked axpy panicked
+        // here. The BigInt fallback absorbs the oversized intermediate,
+        // and the final H = [1, 0] / U = [[0, 1], [-1, MIN]] narrow fine.
+        let m = IMatrix::from_rows(&[&[i64::MIN, -1]]);
+        let r = column_hnf(&m).unwrap();
+        assert_eq!(r.h, IMatrix::from_rows(&[&[1, 0]]));
+        assert!(r.u.is_unimodular());
+        // Verify H = A*U over BigInt: the i64 product would itself
+        // overflow on the MIN * -1 intermediate.
+        let prod = bigint::to_big(&m).mul(&bigint::to_big(&r.u)).unwrap();
+        assert_eq!(prod, bigint::to_big(&r.h));
+    }
+
+    #[test]
+    fn unrepresentable_result_is_typed_error() {
+        // Coprime near-i64::MAX rows: H[0][0] = gcd = 1, so
+        // H[1][1] = |det| = 2*i64::MAX - 3, which cannot be narrowed to
+        // i64. The reduction must report the typed overflow — never wrap
+        // and never panic.
+        let a = i64::MAX - 1; // even
+        let b = i64::MAX - 2; // odd, coprime to a
+        let m = IMatrix::from_rows(&[&[a, b], &[b, a]]);
+        assert!(matches!(column_hnf(&m), Err(LinalgError::Overflow)));
     }
 }

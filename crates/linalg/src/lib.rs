@@ -31,17 +31,26 @@
 //! // The loop-scaling example of the paper, Section 3.
 //! let t = IMatrix::from_rows(&[&[2, 4], &[1, 5]]);
 //! assert_eq!(t.determinant(), 6);
-//! let h = column_hnf(&t);
+//! let h = column_hnf(&t).unwrap();
 //! // H = T * U with U unimodular; H is lower triangular.
 //! assert_eq!(h.h.get(0, 1), 0);
 //! assert_eq!(h.u.determinant().abs(), 1);
 //! assert_eq!(&t.mul(&h.u).unwrap(), &h.h);
 //! ```
+//!
+//! # Exact arithmetic
+//!
+//! Public entry points compute on `i64` with `checked_*` operations; on
+//! overflow they transparently re-run over the in-tree arbitrary-precision
+//! [`bigint::BigInt`] and narrow the result, so
+//! [`LinalgError::Overflow`] is returned only when a *final* value
+//! genuinely does not fit in `i64` — intermediates never wrap.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod basis;
+pub mod bigint;
 pub mod cache;
 pub mod det;
 pub mod hnf;
@@ -69,13 +78,24 @@ pub use vector::{lex_cmp, lex_negative, lex_positive, IVec};
 /// assert_eq!(an_linalg::gcd(0, 5), 5);
 /// ```
 pub fn gcd(a: i64, b: i64) -> i64 {
+    checked_gcd(a, b).expect("gcd overflow: |i64::MIN|")
+}
+
+/// Checked [`gcd`]: `None` only for `gcd(i64::MIN, i64::MIN)` (and the
+/// equivalent zero cases), whose exact value `2^63` does not fit.
+///
+/// ```
+/// assert_eq!(an_linalg::checked_gcd(12, -18), Some(6));
+/// assert_eq!(an_linalg::checked_gcd(i64::MIN, 0), None);
+/// ```
+pub fn checked_gcd(a: i64, b: i64) -> Option<i64> {
     let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
     while b != 0 {
         let r = a % b;
         a = b;
         b = r;
     }
-    i64::try_from(a).expect("gcd overflow: |i64::MIN|")
+    i64::try_from(a).ok()
 }
 
 /// Least common multiple; `lcm(0, x) == 0`.
@@ -88,11 +108,21 @@ pub fn gcd(a: i64, b: i64) -> i64 {
 /// assert_eq!(an_linalg::lcm(4, 6), 12);
 /// ```
 pub fn lcm(a: i64, b: i64) -> i64 {
+    checked_lcm(a, b).expect("lcm overflow")
+}
+
+/// Checked [`lcm`]: `None` if the exact result does not fit in `i64`.
+///
+/// ```
+/// assert_eq!(an_linalg::checked_lcm(4, 6), Some(12));
+/// assert_eq!(an_linalg::checked_lcm(i64::MAX, i64::MAX - 1), None);
+/// ```
+pub fn checked_lcm(a: i64, b: i64) -> Option<i64> {
     if a == 0 || b == 0 {
-        return 0;
+        return Some(0);
     }
-    let g = gcd(a, b);
-    (a / g).checked_mul(b).expect("lcm overflow").abs()
+    let g = checked_gcd(a, b)?;
+    (a / g).checked_mul(b)?.checked_abs()
 }
 
 /// Extended Euclidean algorithm: returns `(g, x, y)` with

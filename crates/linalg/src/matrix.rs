@@ -6,11 +6,11 @@ use std::ops::{Index, IndexMut};
 
 /// An exact scalar: the element type of a [`Matrix`].
 ///
-/// This trait is sealed in spirit — it is implemented for [`i64`] and
-/// [`Rational`] and the crate's algorithms are written against exactly
-/// those two instantiations.
+/// This trait is sealed in spirit — it is implemented for [`i64`],
+/// [`Rational`] and [`crate::bigint::BigInt`], and the crate's algorithms
+/// are written against exactly those instantiations.
 pub trait Scalar:
-    Copy
+    Clone
     + PartialEq
     + fmt::Debug
     + fmt::Display
@@ -20,24 +20,90 @@ pub trait Scalar:
     + std::ops::Neg<Output = Self>
 {
     /// Additive identity.
-    const ZERO: Self;
+    fn zero() -> Self;
     /// Multiplicative identity.
-    const ONE: Self;
+    fn one() -> Self;
 
     /// Returns `true` if the value is the additive identity.
     fn is_zero(&self) -> bool {
-        *self == Self::ZERO
+        *self == Self::zero()
+    }
+
+    /// Fused multiply-add `acc + a*b`, or `None` if the exact result is
+    /// not representable. Rings of unbounded precision never return
+    /// `None`; for `i64` this is the overflow-detection hook that lets
+    /// [`Matrix::mul`] report [`LinalgError::Overflow`] instead of
+    /// wrapping.
+    fn try_fma(acc: Self, a: &Self, b: &Self) -> Option<Self> {
+        Some(acc + a.clone() * b.clone())
+    }
+
+    /// Checked addition `a + b`, or `None` if not representable.
+    fn try_add(a: Self, b: &Self) -> Option<Self> {
+        Some(a + b.clone())
+    }
+}
+
+/// Integer rings the Euclidean reduction algorithms (HNF/SNF) run over:
+/// `i64` (the fallible fast path, where every hook detects overflow —
+/// including the `i64::MIN` edge cases of negation and division) and
+/// [`crate::bigint::BigInt`] (the infallible exact path).
+pub(crate) trait ExactInt: Scalar + Ord {
+    /// Floor division (toward negative infinity), like
+    /// [`crate::div_floor`]; `None` if the exact quotient is not
+    /// representable (`i64::MIN / -1`).
+    fn try_div_floor(&self, rhs: &Self) -> Option<Self>;
+    /// Checked negation (`-i64::MIN` is not representable).
+    fn try_neg(&self) -> Option<Self>;
+    /// Compares absolute values without materializing them.
+    fn abs_cmp(&self, other: &Self) -> std::cmp::Ordering;
+}
+
+impl ExactInt for i64 {
+    fn try_div_floor(&self, rhs: &i64) -> Option<i64> {
+        let (a, b) = (*self as i128, *rhs as i128);
+        let mut q = a / b;
+        if a % b != 0 && (a < 0) != (b < 0) {
+            q -= 1;
+        }
+        i64::try_from(q).ok()
+    }
+    fn try_neg(&self) -> Option<i64> {
+        self.checked_neg()
+    }
+    fn abs_cmp(&self, other: &i64) -> std::cmp::Ordering {
+        self.unsigned_abs().cmp(&other.unsigned_abs())
     }
 }
 
 impl Scalar for i64 {
-    const ZERO: i64 = 0;
-    const ONE: i64 = 1;
+    fn zero() -> i64 {
+        0
+    }
+    fn one() -> i64 {
+        1
+    }
+    fn try_fma(acc: i64, a: &i64, b: &i64) -> Option<i64> {
+        acc.checked_add(a.checked_mul(*b)?)
+    }
+    fn try_add(a: i64, b: &i64) -> Option<i64> {
+        a.checked_add(*b)
+    }
 }
 
 impl Scalar for Rational {
-    const ZERO: Rational = Rational::ZERO;
-    const ONE: Rational = Rational::ONE;
+    fn zero() -> Rational {
+        Rational::ZERO
+    }
+    fn one() -> Rational {
+        Rational::ONE
+    }
+    fn try_fma(acc: Rational, a: &Rational, b: &Rational) -> Option<Rational> {
+        acc.checked_add(a.checked_mul(*b)?)
+    }
+    fn try_add(a: Rational, b: &Rational) -> Option<Rational> {
+        a.checked_add(*b)
+    }
 }
 
 /// A dense, row-major matrix over an exact scalar type.
@@ -72,7 +138,7 @@ impl<T: Scalar> Matrix<T> {
         Matrix {
             rows,
             cols,
-            data: vec![T::ZERO; rows * cols],
+            data: vec![T::zero(); rows * cols],
         }
     }
 
@@ -80,7 +146,7 @@ impl<T: Scalar> Matrix<T> {
     pub fn identity(n: usize) -> Matrix<T> {
         let mut m = Matrix::zero(n, n);
         for i in 0..n {
-            m[(i, i)] = T::ONE;
+            m[(i, i)] = T::one();
         }
         m
     }
@@ -100,7 +166,7 @@ impl<T: Scalar> Matrix<T> {
         Matrix {
             rows: nrows,
             cols: ncols,
-            data: rows.iter().flat_map(|r| r.iter().copied()).collect(),
+            data: rows.iter().flat_map(|r| r.iter().cloned()).collect(),
         }
     }
 
@@ -149,7 +215,7 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> T {
-        self[(r, c)]
+        self[(r, c)].clone()
     }
 
     /// Sets the element at `(r, c)`.
@@ -168,7 +234,7 @@ impl<T: Scalar> Matrix<T> {
 
     /// Column `c` as an owned vector.
     pub fn col(&self, c: usize) -> Vec<T> {
-        (0..self.rows).map(|r| self[(r, c)]).collect()
+        (0..self.rows).map(|r| self[(r, c)].clone()).collect()
     }
 
     /// Iterator over row slices.
@@ -181,7 +247,7 @@ impl<T: Scalar> Matrix<T> {
         let mut out = Matrix::zero(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out[(c, r)] = self[(r, c)];
+                out[(c, r)] = self[(r, c)].clone();
             }
         }
         out
@@ -192,7 +258,8 @@ impl<T: Scalar> Matrix<T> {
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if
-    /// `self.cols() != rhs.rows()`.
+    /// `self.cols() != rhs.rows()`, or [`LinalgError::Overflow`] if an
+    /// entry of the exact product is not representable in `T`.
     pub fn mul(&self, rhs: &Matrix<T>) -> Result<Matrix<T>, LinalgError> {
         if self.cols != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -204,9 +271,10 @@ impl<T: Scalar> Matrix<T> {
         let mut out = Matrix::zero(self.rows, rhs.cols);
         for r in 0..self.rows {
             for c in 0..rhs.cols {
-                let mut acc = T::ZERO;
+                let mut acc = T::zero();
                 for k in 0..self.cols {
-                    acc = acc + self[(r, k)] * rhs[(k, c)];
+                    acc = T::try_fma(acc, &self[(r, k)], &rhs[(k, c)])
+                        .ok_or(LinalgError::Overflow)?;
                 }
                 out[(r, c)] = acc;
             }
@@ -219,7 +287,8 @@ impl<T: Scalar> Matrix<T> {
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if
-    /// `self.cols() != v.len()`.
+    /// `self.cols() != v.len()`, or [`LinalgError::Overflow`] if an entry
+    /// of the exact product is not representable in `T`.
     pub fn mul_vec(&self, v: &[T]) -> Result<Vec<T>, LinalgError> {
         if self.cols != v.len() {
             return Err(LinalgError::DimensionMismatch {
@@ -228,22 +297,24 @@ impl<T: Scalar> Matrix<T> {
                 rhs: (v.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|r| {
-                let mut acc = T::ZERO;
-                for k in 0..self.cols {
-                    acc = acc + self[(r, k)] * v[k];
-                }
-                acc
-            })
-            .collect())
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let mut acc = T::zero();
+            for k in 0..self.cols {
+                acc = T::try_fma(acc, &self[(r, k)], &v[k]).ok_or(LinalgError::Overflow)?;
+            }
+            out.push(acc);
+        }
+        Ok(out)
     }
 
     /// Sum `self + rhs`.
     ///
     /// # Errors
     ///
-    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch, or
+    /// [`LinalgError::Overflow`] if an entry of the exact sum is not
+    /// representable in `T`.
     pub fn add(&self, rhs: &Matrix<T>) -> Result<Matrix<T>, LinalgError> {
         if self.rows != rhs.rows || self.cols != rhs.cols {
             return Err(LinalgError::DimensionMismatch {
@@ -254,7 +325,7 @@ impl<T: Scalar> Matrix<T> {
         }
         let mut out = self.clone();
         for (o, r) in out.data.iter_mut().zip(&rhs.data) {
-            *o = *o + *r;
+            *o = T::try_add(o.clone(), r).ok_or(LinalgError::Overflow)?;
         }
         Ok(out)
     }
@@ -263,14 +334,14 @@ impl<T: Scalar> Matrix<T> {
     pub fn scale(&self, s: T) -> Matrix<T> {
         let mut out = self.clone();
         for v in &mut out.data {
-            *v = *v * s;
+            *v = v.clone() * s.clone();
         }
         out
     }
 
     /// The negated matrix.
     pub fn neg(&self) -> Matrix<T> {
-        self.scale(-T::ONE)
+        self.scale(-T::one())
     }
 
     /// Returns the submatrix of the given rows (in the given order).
@@ -282,7 +353,7 @@ impl<T: Scalar> Matrix<T> {
         let mut out = Matrix::zero(indices.len(), self.cols);
         for (i, &r) in indices.iter().enumerate() {
             for c in 0..self.cols {
-                out[(i, c)] = self[(r, c)];
+                out[(i, c)] = self[(r, c)].clone();
             }
         }
         out
@@ -297,7 +368,7 @@ impl<T: Scalar> Matrix<T> {
         let mut out = Matrix::zero(self.rows, indices.len());
         for r in 0..self.rows {
             for (j, &c) in indices.iter().enumerate() {
-                out[(r, j)] = self[(r, c)];
+                out[(r, j)] = self[(r, c)].clone();
             }
         }
         out
@@ -360,7 +431,7 @@ impl<T: Scalar> Matrix<T> {
         for r in 0..self.rows {
             for cc in 0..self.cols {
                 if cc != c {
-                    data.push(self[(r, cc)]);
+                    data.push(self[(r, cc)].clone());
                 }
             }
         }
@@ -374,9 +445,7 @@ impl<T: Scalar> Matrix<T> {
             return;
         }
         for c in 0..self.cols {
-            let tmp = self[(a, c)];
-            self[(a, c)] = self[(b, c)];
-            self[(b, c)] = tmp;
+            self.data.swap(a * self.cols + c, b * self.cols + c);
         }
     }
 
@@ -386,9 +455,7 @@ impl<T: Scalar> Matrix<T> {
             return;
         }
         for r in 0..self.rows {
-            let tmp = self[(r, a)];
-            self[(r, a)] = self[(r, b)];
-            self[(r, b)] = tmp;
+            self.data.swap(r * self.cols + a, r * self.cols + b);
         }
     }
 
@@ -417,19 +484,24 @@ impl IMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if the matrix is not square.
+    /// Panics if the matrix is not square or the determinant does not fit
+    /// in `i64`; use [`crate::det::determinant`] or
+    /// [`crate::det::determinant_big`] for fallible/exact variants.
     pub fn determinant(&self) -> i64 {
         crate::det::determinant(self).expect("determinant of non-square matrix")
     }
 
     /// Returns `true` if the matrix is square with non-zero determinant.
+    ///
+    /// Decided exactly: a determinant too large for `i64` is still
+    /// recognized as non-zero.
     pub fn is_invertible(&self) -> bool {
-        self.is_square() && crate::det::determinant(self) != Ok(0)
+        crate::det::determinant_big(self).is_ok_and(|d| !d.is_zero())
     }
 
     /// Returns `true` if the matrix is square with determinant `±1`.
     pub fn is_unimodular(&self) -> bool {
-        self.is_square() && matches!(crate::det::determinant(self), Ok(1) | Ok(-1))
+        crate::det::determinant_big(self).is_ok_and(|d| d.abs().to_i64() == Some(1))
     }
 
     /// The exact rational inverse.

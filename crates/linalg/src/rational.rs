@@ -44,14 +44,70 @@ impl Rational {
     }
 
     fn reduce(num: i128, den: i128) -> Rational {
+        Self::try_reduce(num, den).expect("rational numerator/denominator overflow")
+    }
+
+    fn try_reduce(num: i128, den: i128) -> Option<Rational> {
         debug_assert!(den != 0);
-        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let (num, den) = if den < 0 {
+            (num.checked_neg()?, den.checked_neg()?)
+        } else {
+            (num, den)
+        };
         let g = gcd_i128(num.unsigned_abs(), den.unsigned_abs()) as i128;
         let (num, den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
-        Rational {
-            num: i64::try_from(num).expect("rational numerator overflow"),
-            den: i64::try_from(den).expect("rational denominator overflow"),
+        Some(Rational {
+            num: i64::try_from(num).ok()?,
+            den: i64::try_from(den).ok()?,
+        })
+    }
+
+    /// Creates a reduced rational, returning `None` if the reduced value
+    /// does not fit in `i64` (or `den == 0`).
+    pub fn try_new(num: i64, den: i64) -> Option<Rational> {
+        if den == 0 {
+            return None;
         }
+        Self::try_reduce(num as i128, den as i128)
+    }
+
+    /// Checked addition: `None` if the exact reduced sum overflows `i64`.
+    pub fn checked_add(self, rhs: Rational) -> Option<Rational> {
+        // Cross-products are each < 2^126, so the i128 sum is exact.
+        Self::try_reduce(
+            self.num as i128 * rhs.den as i128 + rhs.num as i128 * self.den as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+
+    /// Checked subtraction: `None` on overflow of the exact result.
+    pub fn checked_sub(self, rhs: Rational) -> Option<Rational> {
+        // Direct i128 form rather than `checked_add(-rhs)`: negating
+        // `i64::MIN` in `Neg` would itself overflow.
+        Self::try_reduce(
+            self.num as i128 * rhs.den as i128 - rhs.num as i128 * self.den as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+
+    /// Checked multiplication: `None` on overflow of the exact result.
+    pub fn checked_mul(self, rhs: Rational) -> Option<Rational> {
+        Self::try_reduce(
+            self.num as i128 * rhs.num as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+
+    /// Checked division: `None` if `rhs` is zero or the exact result
+    /// overflows.
+    pub fn checked_div(self, rhs: Rational) -> Option<Rational> {
+        if rhs.num == 0 {
+            return None;
+        }
+        Self::try_reduce(
+            self.num as i128 * rhs.den as i128,
+            self.den as i128 * rhs.num as i128,
+        )
     }
 
     /// The (reduced) numerator; carries the sign.
@@ -279,5 +335,32 @@ mod tests {
     #[should_panic(expected = "zero denominator")]
     fn zero_denominator_panics() {
         let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn checked_ops_detect_cross_multiplication_overflow() {
+        // Coprime near-i64::MAX denominators: the exact sum has an
+        // irreducible ~2^126 denominator, which must be reported as
+        // overflow — not wrapped or panicked.
+        let a = Rational::new(1, i64::MAX);
+        let b = Rational::new(1, i64::MAX - 1);
+        assert_eq!(a.checked_add(b), None);
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(a.checked_mul(b), None);
+        assert_eq!(a.checked_div(b.recip()), None);
+        assert_eq!(b.checked_div(Rational::ZERO), None);
+        assert_eq!(Rational::try_new(1, 0), None);
+
+        // In-range results agree with the panicking operators.
+        let c = Rational::new(3, 4);
+        let d = Rational::new(-5, 6);
+        assert_eq!(c.checked_add(d), Some(c + d));
+        assert_eq!(c.checked_sub(d), Some(c - d));
+        assert_eq!(c.checked_mul(d), Some(c * d));
+        assert_eq!(c.checked_div(d), Some(c / d));
+        // i64::MIN edge: negation inside `checked_sub` must not wrap.
+        let min = Rational::from(i64::MIN);
+        assert_eq!(Rational::ZERO.checked_sub(min), None);
+        assert_eq!(min.checked_sub(min), Some(Rational::ZERO));
     }
 }

@@ -9,7 +9,9 @@
 //! solvability of `A·x = b` over ℤ, and the invariant factors of a
 //! transform.
 
-use crate::{div_floor, IMatrix};
+use crate::bigint;
+use crate::matrix::ExactInt;
+use crate::{IMatrix, LinalgError, Matrix};
 
 /// The Smith normal form decomposition `d == u * a * v`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,31 +40,62 @@ impl Snf {
     }
 
     /// The index `[Zⁿ : A·Zⁿ]` for a square invertible input
-    /// (`∏ invariant factors == |det A|`).
+    /// (`∏ invariant factors == |det A|`), saturating at `i64::MAX` if
+    /// the exact product does not fit.
     pub fn lattice_index(&self) -> i64 {
-        self.invariant_factors().iter().product()
+        self.invariant_factors()
+            .iter()
+            .fold(1i64, |acc, &x| acc.saturating_mul(x))
     }
+}
+
+/// The generic reduction state, instantiated at `i64` and `BigInt`.
+struct SnfParts<T> {
+    d: Matrix<T>,
+    u: Matrix<T>,
+    v: Matrix<T>,
 }
 
 /// Computes the Smith normal form of `a`.
 ///
 /// Textbook elimination: reduce the leading entry with row and column
 /// gcd steps, clear its row and column, recurse on the trailing block,
-/// then fix the divisibility chain. Exact `i64` arithmetic with checked
-/// operations (panics on overflow — unreachable for loop-transformation
-/// sizes).
-pub fn smith_normal_form(a: &IMatrix) -> Snf {
+/// then fix the divisibility chain. Runs on checked `i64` and re-runs
+/// over [`crate::bigint::BigInt`] if an intermediate overflows.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] only if an entry of the final
+/// `D`/`U`/`V` does not fit in `i64`.
+pub fn smith_normal_form(a: &IMatrix) -> Result<Snf, LinalgError> {
+    match snf_core(a) {
+        Ok(p) => Ok(Snf {
+            d: p.d,
+            u: p.u,
+            v: p.v,
+        }),
+        Err(LinalgError::Overflow) => {
+            let p = snf_core(&bigint::to_big(a)).expect("BigInt SNF reduction cannot overflow");
+            Ok(Snf {
+                d: bigint::narrow(&p.d)?,
+                u: bigint::narrow(&p.u)?,
+                v: bigint::narrow(&p.v)?,
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn snf_core<T: ExactInt>(a: &Matrix<T>) -> Result<SnfParts<T>, LinalgError> {
     let (m, n) = (a.rows(), a.cols());
     let mut d = a.clone();
-    let mut u = IMatrix::identity(m);
-    let mut v = IMatrix::identity(n);
+    let mut u = Matrix::<T>::identity(m);
+    let mut v = Matrix::<T>::identity(n);
 
     let r = m.min(n);
     for t in 0..r {
         // Move a non-zero pivot (smallest magnitude in the trailing
         // block) to (t, t).
-        // (clippy suggests while-let, but the `else` break documents
-        // the zero-trailing-block case explicitly.)
         while let Some((pr, pc)) = smallest_nonzero(&d, t) {
             d.swap_rows(t, pr);
             u.swap_rows(t, pr);
@@ -71,22 +104,22 @@ pub fn smith_normal_form(a: &IMatrix) -> Snf {
             // Reduce column t below the pivot and row t right of it.
             let mut dirty = false;
             for i in t + 1..m {
-                let q = div_floor(d[(i, t)], d[(t, t)]);
-                if q != 0 {
-                    row_axpy(&mut d, i, t, -q);
-                    row_axpy(&mut u, i, t, -q);
+                let f = neg_quotient(&d[(i, t)], &d[(t, t)])?;
+                if !f.is_zero() {
+                    row_axpy(&mut d, i, t, &f)?;
+                    row_axpy(&mut u, i, t, &f)?;
                 }
-                if d[(i, t)] != 0 {
+                if !d[(i, t)].is_zero() {
                     dirty = true;
                 }
             }
             for j in t + 1..n {
-                let q = div_floor(d[(t, j)], d[(t, t)]);
-                if q != 0 {
-                    col_axpy(&mut d, j, t, -q);
-                    col_axpy(&mut v, j, t, -q);
+                let f = neg_quotient(&d[(t, j)], &d[(t, t)])?;
+                if !f.is_zero() {
+                    col_axpy(&mut d, j, t, &f)?;
+                    col_axpy(&mut v, j, t, &f)?;
                 }
-                if d[(t, j)] != 0 {
+                if !d[(t, j)].is_zero() {
                     dirty = true;
                 }
             }
@@ -94,13 +127,9 @@ pub fn smith_normal_form(a: &IMatrix) -> Snf {
                 break;
             }
         }
-        if d[(t, t)] < 0 {
-            for j in 0..n {
-                d[(t, j)] = -d[(t, j)];
-            }
-            for j in 0..m {
-                u[(t, j)] = -u[(t, j)];
-            }
+        if d[(t, t)] < T::zero() {
+            negate_row(&mut d, t)?;
+            negate_row(&mut u, t)?;
         }
     }
 
@@ -109,14 +138,15 @@ pub fn smith_normal_form(a: &IMatrix) -> Snf {
     while changed {
         changed = false;
         for t in 0..r.saturating_sub(1) {
-            let (x, y) = (d[(t, t)], d[(t + 1, t + 1)]);
-            if x != 0 && y % x != 0 {
+            let (x, y) = (d[(t, t)].clone(), d[(t + 1, t + 1)].clone());
+            if !x.is_zero() && !remainder_is_zero(&y, &x)? {
                 // Add column t+1 to column t, then re-reduce the 2x2
                 // corner — classic SNF repair step.
-                col_axpy(&mut d, t, t + 1, 1);
-                col_axpy(&mut v, t, t + 1, 1);
+                let one = T::one();
+                col_axpy(&mut d, t, t + 1, &one)?;
+                col_axpy(&mut v, t, t + 1, &one)?;
                 // Now d[(t+1, t)] == y; reduce with gcd steps.
-                reduce_corner(&mut d, &mut u, &mut v, t);
+                reduce_corner(&mut d, &mut u, &mut v, t)?;
                 changed = true;
             }
         }
@@ -124,52 +154,67 @@ pub fn smith_normal_form(a: &IMatrix) -> Snf {
 
     // Canonical signs: non-negative diagonal.
     for t in 0..r {
-        if d[(t, t)] < 0 {
-            for j in 0..n {
-                d[(t, j)] = -d[(t, j)];
-            }
-            for j in 0..m {
-                u[(t, j)] = -u[(t, j)];
-            }
+        if d[(t, t)] < T::zero() {
+            negate_row(&mut d, t)?;
+            negate_row(&mut u, t)?;
         }
     }
 
-    Snf { d, u, v }
+    Ok(SnfParts { d, u, v })
 }
 
-fn reduce_corner(d: &mut IMatrix, u: &mut IMatrix, v: &mut IMatrix, t: usize) {
+/// `y mod x == 0`, computed via floor division (sign-safe and checked).
+fn remainder_is_zero<T: ExactInt>(y: &T, x: &T) -> Result<bool, LinalgError> {
+    let q = y.try_div_floor(x).ok_or(LinalgError::Overflow)?;
+    let back = T::try_fma(T::zero(), &q, x).ok_or(LinalgError::Overflow)?;
+    Ok(back == *y)
+}
+
+/// `-floor(a / b)`, the elimination factor; checked at both steps.
+fn neg_quotient<T: ExactInt>(a: &T, b: &T) -> Result<T, LinalgError> {
+    a.try_div_floor(b)
+        .and_then(|q| q.try_neg())
+        .ok_or(LinalgError::Overflow)
+}
+
+fn reduce_corner<T: ExactInt>(
+    d: &mut Matrix<T>,
+    u: &mut Matrix<T>,
+    v: &mut Matrix<T>,
+    t: usize,
+) -> Result<(), LinalgError> {
     let (m, n) = (d.rows(), d.cols());
     loop {
         // Clear column t below pivot.
         let mut dirty = false;
-        if d[(t, t)] == 0 {
+        if d[(t, t)].is_zero() {
             // Pull a non-zero up.
-            if let Some(i) = (t..m).find(|&i| d[(i, t)] != 0) {
+            if let Some(i) = (t..m).find(|&i| !d[(i, t)].is_zero()) {
                 d.swap_rows(t, i);
                 u.swap_rows(t, i);
             } else {
-                return;
+                return Ok(());
             }
         }
         for i in t + 1..m {
-            let q = div_floor(d[(i, t)], d[(t, t)]);
-            if q != 0 {
-                row_axpy(d, i, t, -q);
-                row_axpy(u, i, t, -q);
+            let f = neg_quotient(&d[(i, t)], &d[(t, t)])?;
+            if !f.is_zero() {
+                row_axpy(d, i, t, &f)?;
+                row_axpy(u, i, t, &f)?;
             }
-            if d[(i, t)] != 0 {
+            if !d[(i, t)].is_zero() {
                 d.swap_rows(t, i);
                 u.swap_rows(t, i);
                 dirty = true;
             }
         }
         for j in t + 1..n {
-            let q = div_floor(d[(t, j)], d[(t, t)]);
-            if q != 0 {
-                col_axpy(d, j, t, -q);
-                col_axpy(v, j, t, -q);
+            let f = neg_quotient(&d[(t, j)], &d[(t, t)])?;
+            if !f.is_zero() {
+                col_axpy(d, j, t, &f)?;
+                col_axpy(v, j, t, &f)?;
             }
-            if d[(t, j)] != 0 {
+            if !d[(t, j)].is_zero() {
                 d.swap_cols(t, j);
                 v.swap_cols(t, j);
                 dirty = true;
@@ -179,21 +224,22 @@ fn reduce_corner(d: &mut IMatrix, u: &mut IMatrix, v: &mut IMatrix, t: usize) {
             break;
         }
     }
-    if d[(t, t)] < 0 {
-        for j in 0..n {
-            d[(t, j)] = -d[(t, j)];
-        }
-        for j in 0..d.rows() {
-            u[(t, j)] = -u[(t, j)];
-        }
+    if d[(t, t)] < T::zero() {
+        negate_row(d, t)?;
+        negate_row(u, t)?;
     }
+    Ok(())
 }
 
-fn smallest_nonzero(d: &IMatrix, t: usize) -> Option<(usize, usize)> {
+fn smallest_nonzero<T: ExactInt>(d: &Matrix<T>, t: usize) -> Option<(usize, usize)> {
     let mut best: Option<(usize, usize)> = None;
     for i in t..d.rows() {
         for j in t..d.cols() {
-            if d[(i, j)] != 0 && best.is_none_or(|(bi, bj)| d[(i, j)].abs() < d[(bi, bj)].abs()) {
+            if !d[(i, j)].is_zero()
+                && best.is_none_or(|(bi, bj)| {
+                    d[(i, j)].abs_cmp(&d[(bi, bj)]) == std::cmp::Ordering::Less
+                })
+            {
                 best = Some((i, j));
             }
         }
@@ -201,24 +247,40 @@ fn smallest_nonzero(d: &IMatrix, t: usize) -> Option<(usize, usize)> {
     best
 }
 
-fn row_axpy(m: &mut IMatrix, target: usize, source: usize, factor: i64) {
+fn row_axpy<T: ExactInt>(
+    m: &mut Matrix<T>,
+    target: usize,
+    source: usize,
+    factor: &T,
+) -> Result<(), LinalgError> {
     for c in 0..m.cols() {
-        let v = m[(source, c)]
-            .checked_mul(factor)
-            .and_then(|x| m[(target, c)].checked_add(x))
-            .expect("SNF row operation overflow");
+        let v = T::try_fma(m[(target, c)].clone(), &m[(source, c)], factor)
+            .ok_or(LinalgError::Overflow)?;
         m[(target, c)] = v;
     }
+    Ok(())
 }
 
-fn col_axpy(m: &mut IMatrix, target: usize, source: usize, factor: i64) {
+fn col_axpy<T: ExactInt>(
+    m: &mut Matrix<T>,
+    target: usize,
+    source: usize,
+    factor: &T,
+) -> Result<(), LinalgError> {
     for r in 0..m.rows() {
-        let v = m[(r, source)]
-            .checked_mul(factor)
-            .and_then(|x| m[(r, target)].checked_add(x))
-            .expect("SNF column operation overflow");
+        let v = T::try_fma(m[(r, target)].clone(), &m[(r, source)], factor)
+            .ok_or(LinalgError::Overflow)?;
         m[(r, target)] = v;
     }
+    Ok(())
+}
+
+fn negate_row<T: ExactInt>(m: &mut Matrix<T>, row: usize) -> Result<(), LinalgError> {
+    for j in 0..m.cols() {
+        let v = m[(row, j)].try_neg().ok_or(LinalgError::Overflow)?;
+        m[(row, j)] = v;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -226,7 +288,7 @@ mod tests {
     use super::*;
 
     fn check(a: &IMatrix) -> Snf {
-        let s = smith_normal_form(a);
+        let s = smith_normal_form(a).unwrap();
         // D = U·A·V.
         let uav = s.u.mul(a).unwrap().mul(&s.v).unwrap();
         assert_eq!(uav, s.d, "D != U*A*V for\n{a}");
@@ -290,5 +352,25 @@ mod tests {
         let a = IMatrix::from_rows(&[&[3, 6], &[9, 12]]);
         let s = check(&a);
         assert_eq!(s.invariant_factors()[0], 3);
+    }
+
+    #[test]
+    fn near_max_diagonal_saturates_index() {
+        // diag(big, big): factors (big, big); the exact lattice index
+        // ~ 2^125 saturates rather than wrapping.
+        let big = i64::MAX / 2;
+        let a = IMatrix::from_rows(&[&[big, 0], &[0, big]]);
+        let s = check(&a);
+        assert_eq!(s.lattice_index(), i64::MAX);
+    }
+
+    #[test]
+    fn unrepresentable_result_is_typed_error() {
+        // Coprime near-i64::MAX entries: the last invariant factor is
+        // |det| / gcd ~ 2 * i64::MAX, which cannot narrow back.
+        let a = i64::MAX - 1;
+        let b = i64::MAX - 2;
+        let m = IMatrix::from_rows(&[&[a, b], &[b, a]]);
+        assert!(matches!(smith_normal_form(&m), Err(LinalgError::Overflow)));
     }
 }

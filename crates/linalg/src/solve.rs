@@ -52,7 +52,7 @@ pub fn solve_integer(a: &IMatrix, b: &[i64]) -> Result<IntegerSolution, LinalgEr
             rhs: (b.len(), 1),
         });
     }
-    let hnf = column_hnf(a);
+    let hnf = column_hnf(a)?;
     let n = a.cols();
     // Solve H·y = b by forward substitution over the echelon structure.
     let mut y = vec![0i64; n];
@@ -61,7 +61,13 @@ pub fn solve_integer(a: &IMatrix, b: &[i64]) -> Result<IntegerSolution, LinalgEr
     for (r, &br) in b.iter().enumerate() {
         let mut s: i128 = 0;
         for &(c, _) in &determined {
-            s += hnf.h[(r, c)] as i128 * y[c] as i128;
+            // Each term is < 2^126; the number of terms is a loop-nest
+            // depth, so a checked i128 accumulator is exact in practice
+            // and reports the (absurd) residual case as a typed error.
+            let term = (hnf.h[(r, c)] as i128)
+                .checked_mul(y[c] as i128)
+                .ok_or(LinalgError::Overflow)?;
+            s = s.checked_add(term).ok_or(LinalgError::Overflow)?;
         }
         if let Some(&&(pr, pc)) = pivot_iter.peek() {
             if pr == r {
@@ -92,12 +98,18 @@ pub fn solve_integer(a: &IMatrix, b: &[i64]) -> Result<IntegerSolution, LinalgEr
 
 /// Computes a basis of the integer null space of `A` (the lattice of
 /// `x` with `A·x = 0`).
-pub fn integer_kernel(a: &IMatrix) -> Vec<IVec> {
-    let hnf = column_hnf(a);
-    hnf.kernel_columns()
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] only if a basis vector does not fit
+/// in `i64`.
+pub fn integer_kernel(a: &IMatrix) -> Result<Vec<IVec>, LinalgError> {
+    let hnf = column_hnf(a)?;
+    Ok(hnf
+        .kernel_columns()
         .into_iter()
         .map(|c| hnf.u.col(c))
-        .collect()
+        .collect())
 }
 
 /// Solves `A·x = b` over the rationals, returning a particular solution
@@ -208,7 +220,7 @@ mod tests {
     #[test]
     fn kernel_of_dependent_rows() {
         let a = IMatrix::from_rows(&[&[1, 2, 3], &[2, 4, 6]]);
-        let k = integer_kernel(&a);
+        let k = integer_kernel(&a).unwrap();
         assert_eq!(k.len(), 2);
         for v in &k {
             assert_eq!(a.mul_vec(v).unwrap(), vec![0, 0]);

@@ -20,6 +20,28 @@ pub fn dot(a: &[i64], b: &[i64]) -> i64 {
     i64::try_from(acc).expect("dot product overflow")
 }
 
+/// Overflow-checked dot product: `None` if the exact result does not
+/// fit in `i64`.
+pub fn try_dot(a: &[i64], b: &[i64]) -> Option<i64> {
+    i64::try_from(dot_i128(a, b)?).ok()
+}
+
+/// The sign (−1, 0, or 1) of the exact dot product, computed without
+/// narrowing the value itself to `i64`. `None` only if the 128-bit
+/// accumulator overflows (needs > 2 entries at the extremes of `i64`).
+pub fn dot_sign(a: &[i64], b: &[i64]) -> Option<i64> {
+    Some(dot_i128(a, b)?.signum() as i64)
+}
+
+fn dot_i128(a: &[i64], b: &[i64]) -> Option<i128> {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    let mut acc: i128 = 0;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = acc.checked_add(x as i128 * y as i128)?;
+    }
+    Some(acc)
+}
+
 /// Lexicographic comparison treating the vector as a sequence.
 ///
 /// ```

@@ -31,7 +31,7 @@ fn invertible_matrix(max_dim: usize) -> impl Strategy<Value = IMatrix> {
 proptest! {
     #[test]
     fn column_hnf_postconditions(a in small_matrix(4)) {
-        let r = column_hnf(&a);
+        let r = column_hnf(&a).unwrap();
         // H = A·U with unimodular U.
         prop_assert_eq!(a.mul(&r.u).unwrap(), r.h.clone());
         prop_assert!(r.u.is_unimodular());
@@ -56,7 +56,7 @@ proptest! {
 
     #[test]
     fn row_hnf_postconditions(a in small_matrix(4)) {
-        let r = row_hnf(&a);
+        let r = row_hnf(&a).unwrap();
         prop_assert_eq!(r.u.mul(&a).unwrap(), r.h);
         prop_assert!(r.u.is_unimodular());
     }
@@ -125,7 +125,7 @@ proptest! {
 
     #[test]
     fn kernel_vectors_annihilate(a in small_matrix(4)) {
-        for k in integer_kernel(&a) {
+        for k in integer_kernel(&a).unwrap() {
             prop_assert_eq!(a.mul_vec(&k).unwrap(), vec![0; a.rows()]);
         }
     }
@@ -166,7 +166,7 @@ proptest! {
 
     #[test]
     fn smith_normal_form_postconditions(a in small_matrix(4)) {
-        let s = smith_normal_form(&a);
+        let s = smith_normal_form(&a).unwrap();
         prop_assert_eq!(s.u.mul(&a).unwrap().mul(&s.v).unwrap(), s.d.clone());
         prop_assert!(s.u.is_unimodular());
         prop_assert!(s.v.is_unimodular());

@@ -199,6 +199,118 @@ impl Affine {
         self.scale(-1)
     }
 
+    /// Overflow-checked negation: `None` if any coefficient is
+    /// `i64::MIN`.
+    pub fn checked_neg(&self) -> Option<Affine> {
+        self.try_zip(self, |a, _| a.checked_neg())
+    }
+
+    /// Overflow-checked sum.
+    pub fn checked_add(&self, rhs: &Affine) -> Option<Affine> {
+        self.try_zip(rhs, |a, b| a.checked_add(b))
+    }
+
+    /// Overflow-checked difference.
+    pub fn checked_sub(&self, rhs: &Affine) -> Option<Affine> {
+        self.try_zip(rhs, |a, b| a.checked_sub(b))
+    }
+
+    fn try_zip(&self, rhs: &Affine, f: impl Fn(i64, i64) -> Option<i64>) -> Option<Affine> {
+        assert!(
+            self.space.same_shape(&rhs.space),
+            "affine ops across different spaces"
+        );
+        Some(Affine {
+            space: self.space.clone(),
+            vars: self
+                .vars
+                .iter()
+                .zip(&rhs.vars)
+                .map(|(&a, &b)| f(a, b))
+                .collect::<Option<_>>()?,
+            params: self
+                .params
+                .iter()
+                .zip(&rhs.params)
+                .map(|(&a, &b)| f(a, b))
+                .collect::<Option<_>>()?,
+            constant: f(self.constant, rhs.constant)?,
+        })
+    }
+
+    /// The inequality combination `s1·self + s2·rhs` for constraints
+    /// `self ≥ 0`, `rhs ≥ 0` (requires `s1, s2 > 0`), computed exactly in
+    /// 128-bit intermediates and reduced by the gcd of its coefficients
+    /// (flooring the constant, which is valid — and tightening — for
+    /// integer solutions of `e ≥ 0`). Returns `None` only if the reduced
+    /// combination still does not fit in `i64`.
+    pub(crate) fn combine_inequalities(&self, s1: i64, rhs: &Affine, s2: i64) -> Option<Affine> {
+        assert!(s1 > 0 && s2 > 0, "combination multipliers must be positive");
+        assert!(
+            self.space.same_shape(&rhs.space),
+            "affine ops across different spaces"
+        );
+        // Each product is < 2^126, so the sum is exact in i128.
+        let comb = |a: i64, b: i64| s1 as i128 * a as i128 + s2 as i128 * b as i128;
+        let vars: Vec<i128> = self
+            .vars
+            .iter()
+            .zip(&rhs.vars)
+            .map(|(&a, &b)| comb(a, b))
+            .collect();
+        let params: Vec<i128> = self
+            .params
+            .iter()
+            .zip(&rhs.params)
+            .map(|(&a, &b)| comb(a, b))
+            .collect();
+        let constant = comb(self.constant, rhs.constant);
+        let g = vars
+            .iter()
+            .chain(&params)
+            .fold(0i128, |acc, &v| gcd_i128(acc, v));
+        let (vars, params, constant) = if g > 1 {
+            (
+                vars.iter().map(|&v| v / g).collect(),
+                params.iter().map(|&v| v / g).collect(),
+                div_floor_i128(constant, g),
+            )
+        } else {
+            (vars, params, constant)
+        };
+        Some(Affine {
+            space: self.space.clone(),
+            vars: narrow_all(&vars)?,
+            params: narrow_all(&params)?,
+            constant: i64::try_from(constant).ok()?,
+        })
+    }
+
+    /// Overflow-checked variant of [`Affine::substitute_vars`].
+    pub fn try_substitute_vars(&self, m: &IMatrix, new_space: &Space) -> Option<Affine> {
+        assert_eq!(m.rows(), self.vars.len(), "substitution row count");
+        assert_eq!(m.cols(), new_space.num_vars(), "substitution column count");
+        assert_eq!(
+            new_space.num_params(),
+            self.space.num_params(),
+            "substitution must preserve parameters"
+        );
+        let mut vars = vec![0i64; m.cols()];
+        for (c, slot) in vars.iter_mut().enumerate() {
+            let mut acc: i128 = 0;
+            for r in 0..m.rows() {
+                acc = acc.checked_add(self.vars[r] as i128 * m[(r, c)] as i128)?;
+            }
+            *slot = i64::try_from(acc).ok()?;
+        }
+        Some(Affine {
+            space: new_space.clone(),
+            vars,
+            params: self.params.clone(),
+            constant: self.constant,
+        })
+    }
+
     /// Evaluates the form at concrete variable and parameter values.
     ///
     /// # Panics
@@ -322,6 +434,28 @@ impl Affine {
             constant: self.constant,
         }
     }
+}
+
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    // |coefficients| < 2^127, so the absolute values are exact.
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn div_floor_i128(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && (a < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn narrow_all(values: &[i128]) -> Option<Vec<i64>> {
+    values.iter().map(|&v| i64::try_from(v).ok()).collect()
 }
 
 impl fmt::Display for Affine {

@@ -8,7 +8,7 @@
 //! `max(...)`, `min(...)`, `ceil`/`floor` forms that appear in the
 //! restructured programs of the paper (Section 3).
 
-use crate::{Affine, ConstraintSystem};
+use crate::{Affine, ConstraintSystem, FmBudget, PolyError};
 use an_linalg::{div_ceil, div_floor};
 use std::fmt;
 
@@ -131,7 +131,10 @@ fn render_combined(bounds: &[BoundExpr], lower: bool) -> String {
 /// The result always has one entry per variable, in variable order. A
 /// variable with no lower or upper constraint yields empty `lowers` /
 /// `uppers` (the caller decides whether that is an error).
-pub fn extract_bounds(sys: &ConstraintSystem) -> Vec<LoopBounds> {
+/// # Errors
+///
+/// See [`extract_bounds_budgeted`].
+pub fn extract_bounds(sys: &ConstraintSystem) -> Result<Vec<LoopBounds>, PolyError> {
     extract_bounds_with_assumptions(sys, &[])
 }
 
@@ -140,39 +143,62 @@ pub fn extract_bounds(sys: &ConstraintSystem) -> Vec<LoopBounds> {
 /// are implied by the rest of the system plus the assumptions are
 /// dropped, which removes the redundant `max`/`min` terms the paper's
 /// hand-written bounds omit.
+///
+/// # Errors
+///
+/// See [`extract_bounds_budgeted`].
 pub fn extract_bounds_with_assumptions(
     sys: &ConstraintSystem,
     assumptions: &[Affine],
-) -> Vec<LoopBounds> {
+) -> Result<Vec<LoopBounds>, PolyError> {
+    extract_bounds_budgeted(sys, assumptions, &FmBudget::default())
+}
+
+/// [`extract_bounds_with_assumptions`] under an explicit [`FmBudget`]
+/// governing the per-level Fourier–Motzkin projections.
+///
+/// # Errors
+///
+/// Returns [`PolyError::Overflow`] if a projected constraint or bound
+/// numerator does not fit in `i64`, and
+/// [`PolyError::TooManyConstraints`] / [`PolyError::DeadlineExceeded`]
+/// when the budget is exhausted.
+pub fn extract_bounds_budgeted(
+    sys: &ConstraintSystem,
+    assumptions: &[Affine],
+    budget: &FmBudget,
+) -> Result<Vec<LoopBounds>, PolyError> {
     let n = sys.space().num_vars();
     let mut out: Vec<LoopBounds> = Vec::with_capacity(n);
     let mut cur = sys.clone();
     for k in (0..n).rev() {
+        budget.check_deadline()?;
         if !assumptions.is_empty() {
             cur = cur.remove_redundant(assumptions);
         }
         let (lowers, uppers) = cur.bounds_on(k);
-        let to_bound = |e: &&Affine, _lower: bool| -> BoundExpr {
+        let to_bound = |e: &&Affine| -> Result<BoundExpr, PolyError> {
             let a = e.var_coeff(k);
             debug_assert!(a != 0);
             // a·x + rest >= 0.  For a > 0: x >= ceil(-rest / a).
             // For a < 0: x <= floor(rest / (-a)).
-            let mut rest = (*e).clone();
-            rest = rest.sub(&Affine::var(e.space(), k, a));
+            let rest = e
+                .checked_sub(&Affine::var(e.space(), k, a))
+                .ok_or(PolyError::Overflow)?;
             if a > 0 {
-                BoundExpr {
-                    expr: rest.neg(),
+                Ok(BoundExpr {
+                    expr: rest.checked_neg().ok_or(PolyError::Overflow)?,
                     divisor: a,
-                }
+                })
             } else {
-                BoundExpr {
+                Ok(BoundExpr {
                     expr: rest,
-                    divisor: -a,
-                }
+                    divisor: a.checked_neg().ok_or(PolyError::Overflow)?,
+                })
             }
         };
-        let mut lb: Vec<BoundExpr> = lowers.iter().map(|e| to_bound(e, true)).collect();
-        let mut ub: Vec<BoundExpr> = uppers.iter().map(|e| to_bound(e, false)).collect();
+        let mut lb: Vec<BoundExpr> = lowers.iter().map(to_bound).collect::<Result<_, _>>()?;
+        let mut ub: Vec<BoundExpr> = uppers.iter().map(to_bound).collect::<Result<_, _>>()?;
         dedup_bounds(&mut lb, true);
         dedup_bounds(&mut ub, false);
         out.push(LoopBounds {
@@ -181,7 +207,7 @@ pub fn extract_bounds_with_assumptions(
             uppers: ub,
             guards: Vec::new(),
         });
-        cur = cur.eliminate(k);
+        cur = cur.eliminate_with(k, budget)?;
     }
     out.reverse();
     // Whatever survives full elimination is variable-free: parameter
@@ -193,7 +219,7 @@ pub fn extract_bounds_with_assumptions(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Removes duplicate bound terms and terms with identical linear parts
@@ -244,7 +270,7 @@ mod tests {
 
     #[test]
     fn triangular_extraction() {
-        let b = extract_bounds(&triangle_sys());
+        let b = extract_bounds(&triangle_sys()).unwrap();
         assert_eq!(b.len(), 2);
         // Outer: 0 <= i <= N-1.
         assert_eq!(b[0].eval(&[0, 0], &[10]), Some((0, 9)));
@@ -259,7 +285,7 @@ mod tests {
     #[test]
     fn enumeration_matches_membership() {
         let sys = triangle_sys();
-        let b = extract_bounds(&sys);
+        let b = extract_bounds(&sys).unwrap();
         let n = 7;
         let mut from_bounds = Vec::new();
         let (ilo, ihi) = b[0].eval(&[0, 0], &[n]).unwrap();
@@ -287,13 +313,13 @@ mod tests {
         let mut sys = ConstraintSystem::new(s.clone());
         sys.add(&Affine::from_coeffs(&s, &[3], &[], -2));
         sys.add(&Affine::from_coeffs(&s, &[-3], &[], 10));
-        let b = extract_bounds(&sys);
+        let b = extract_bounds(&sys).unwrap();
         assert_eq!(b[0].eval(&[0], &[]), Some((1, 3)));
     }
 
     #[test]
     fn rendering() {
-        let b = extract_bounds(&triangle_sys());
+        let b = extract_bounds(&triangle_sys()).unwrap();
         assert_eq!(b[1].render_lower(), "i");
         assert_eq!(b[1].render_upper(), "N - 1");
         // max() rendering with two lower bounds.
@@ -302,7 +328,7 @@ mod tests {
         sys.add_lower(0, &Affine::constant(&s, 0));
         sys.add_lower(0, &Affine::param(&s, 0, 1).add(&Affine::constant(&s, -5)));
         sys.add_upper(0, &Affine::param(&s, 0, 1));
-        let b = extract_bounds(&sys);
+        let b = extract_bounds(&sys).unwrap();
         assert_eq!(b[0].render_lower(), "max(0, N - 5)");
     }
 
@@ -313,7 +339,7 @@ mod tests {
         sys.add_lower(0, &Affine::constant(&s, 0));
         sys.add_lower(0, &Affine::constant(&s, 5)); // dominates i >= 0
         sys.add_upper(0, &Affine::constant(&s, 9));
-        let b = extract_bounds(&sys);
+        let b = extract_bounds(&sys).unwrap();
         assert_eq!(b[0].lowers.len(), 1);
         assert_eq!(b[0].eval(&[0], &[]), Some((5, 9)));
     }
@@ -323,7 +349,7 @@ mod tests {
         let s = Space::new(&["i"], &[]);
         let mut sys = ConstraintSystem::new(s.clone());
         sys.add_lower(0, &Affine::constant(&s, 0));
-        let b = extract_bounds(&sys);
+        let b = extract_bounds(&sys).unwrap();
         assert!(b[0].uppers.is_empty());
         assert_eq!(b[0].eval(&[0], &[]), None);
     }

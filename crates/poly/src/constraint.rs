@@ -1,6 +1,6 @@
 //! Inequality systems and Fourier–Motzkin elimination.
 
-use crate::{Affine, Space};
+use crate::{Affine, FmBudget, PolyError, Space};
 use an_linalg::gcd;
 use std::fmt;
 
@@ -94,7 +94,32 @@ impl ConstraintSystem {
     /// describing the projection of the solution set onto the remaining
     /// variables (the *real shadow*; exact for the loop-bound use case
     /// because emptiness of inner loops is handled by `lb > ub`).
-    pub fn eliminate(&self, i: usize) -> ConstraintSystem {
+    ///
+    /// Runs under the default [`FmBudget`]; see
+    /// [`ConstraintSystem::eliminate_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ConstraintSystem::eliminate_with`].
+    pub fn eliminate(&self, i: usize) -> Result<ConstraintSystem, PolyError> {
+        self.eliminate_with(i, &FmBudget::default())
+    }
+
+    /// [`ConstraintSystem::eliminate`] under an explicit budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] if a combined constraint does not
+    /// fit in `i64` even after gcd reduction,
+    /// [`PolyError::TooManyConstraints`] if this step would build more
+    /// than `budget.max_constraints` constraints, and
+    /// [`PolyError::DeadlineExceeded`] if the budget's deadline passes.
+    pub fn eliminate_with(
+        &self,
+        i: usize,
+        budget: &FmBudget,
+    ) -> Result<ConstraintSystem, PolyError> {
+        budget.check_deadline()?;
         let mut lowers = Vec::new(); // coeff > 0 on var i
         let mut uppers = Vec::new(); // coeff < 0 on var i
         let mut rest = Vec::new();
@@ -105,31 +130,56 @@ impl ConstraintSystem {
                 _ => rest.push(e.clone()),
             }
         }
+        // The work (and the worst-case output) of this step is
+        // rest + lowers·uppers constraints; refuse it up front so a
+        // doubly-exponential input fails fast instead of grinding.
+        budget.check_constraints(
+            rest.len()
+                .saturating_add(lowers.len().saturating_mul(uppers.len())),
+        )?;
         let mut out = ConstraintSystem::new(self.space.clone());
         for e in rest {
             out.add(&e);
         }
         for l in &lowers {
+            budget.check_deadline()?;
             for u in &uppers {
                 let a = l.var_coeff(i); // > 0
-                let b = -u.var_coeff(i); // > 0
-                                         // b·l + a·u eliminates var i exactly.
-                let combined = l.scale(b).add(&u.scale(a));
+                let b = u.var_coeff(i).checked_neg().ok_or(PolyError::Overflow)?; // > 0
+                                                                                  // b·l + a·u eliminates var i exactly.
+                let combined = l.combine_inequalities(b, u, a).ok_or(PolyError::Overflow)?;
                 debug_assert_eq!(combined.var_coeff(i), 0);
                 out.add(&combined);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Eliminates all variables with index `>= first`, yielding the
     /// projection onto the prefix `vars[0..first]`.
-    pub fn project_to_prefix(&self, first: usize) -> ConstraintSystem {
+    ///
+    /// # Errors
+    ///
+    /// See [`ConstraintSystem::eliminate_with`].
+    pub fn project_to_prefix(&self, first: usize) -> Result<ConstraintSystem, PolyError> {
+        self.project_to_prefix_with(first, &FmBudget::default())
+    }
+
+    /// [`ConstraintSystem::project_to_prefix`] under an explicit budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConstraintSystem::eliminate_with`].
+    pub fn project_to_prefix_with(
+        &self,
+        first: usize,
+        budget: &FmBudget,
+    ) -> Result<ConstraintSystem, PolyError> {
         let mut sys = self.clone();
         for i in (first..self.space.num_vars()).rev() {
-            sys = sys.eliminate(i);
+            sys = sys.eliminate_with(i, budget)?;
         }
-        sys
+        Ok(sys)
     }
 
     /// The inequalities that involve variable `i`, split into
@@ -159,21 +209,37 @@ impl ConstraintSystem {
 
     /// Rewrites the system into a new variable space via
     /// `old_vars = M · new_vars` (see [`Affine::substitute_vars`]).
-    pub fn substitute_vars(&self, m: &an_linalg::IMatrix, new_space: &Space) -> ConstraintSystem {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::Overflow`] if a substituted coefficient does
+    /// not fit in `i64`.
+    pub fn substitute_vars(
+        &self,
+        m: &an_linalg::IMatrix,
+        new_space: &Space,
+    ) -> Result<ConstraintSystem, PolyError> {
         let mut out = ConstraintSystem::new(new_space.clone());
         for e in &self.ineqs {
-            out.add(&e.substitute_vars(m, new_space));
+            out.add(
+                &e.try_substitute_vars(m, new_space)
+                    .ok_or(PolyError::Overflow)?,
+            );
         }
-        out
+        Ok(out)
     }
 
     /// Rational infeasibility test treating variables *and* parameters
     /// as unknowns: eliminates everything with Fourier–Motzkin and
-    /// checks for a contradictory constant. `true` means the system
-    /// provably has no rational solution; `false` is inconclusive only
-    /// for integer-but-not-rational gaps, which is the safe direction
-    /// for the uses below.
-    pub fn is_infeasible(&self) -> bool {
+    /// checks for a contradictory constant. `Ok(true)` means the system
+    /// provably has no rational solution; `Ok(false)` is inconclusive
+    /// only for integer-but-not-rational gaps, which is the safe
+    /// direction for the uses below.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConstraintSystem::eliminate_with`].
+    pub fn is_infeasible_with(&self, budget: &FmBudget) -> Result<bool, PolyError> {
         // Re-home params as extra variables so FM can eliminate them.
         let total = self.space.num_vars() + self.space.num_params();
         let names: Vec<String> = (0..total).map(|i| format!("z{i}")).collect();
@@ -190,22 +256,48 @@ impl ConstraintSystem {
             ));
         }
         for k in (0..total).rev() {
-            sys = sys.eliminate(k);
+            sys = sys.eliminate_with(k, budget)?;
             if sys.is_trivially_infeasible() {
-                return true;
+                return Ok(true);
             }
         }
-        sys.is_trivially_infeasible()
+        Ok(sys.is_trivially_infeasible())
     }
 
-    /// Returns `true` if `e ≥ 0` holds in every rational point of the
-    /// system (checked as infeasibility of `self ∧ e ≤ -1`; exact for
-    /// the integer-coefficient constraints used here).
-    pub fn implies(&self, e: &Affine) -> bool {
+    /// Conservative form of [`ConstraintSystem::is_infeasible_with`]
+    /// under the default budget: an internal overflow or exhausted
+    /// budget answers `false` ("cannot prove infeasible"), which every
+    /// caller treats as the safe direction.
+    pub fn is_infeasible(&self) -> bool {
+        self.is_infeasible_with(&FmBudget::default())
+            .unwrap_or(false)
+    }
+
+    /// Returns `Ok(true)` if `e ≥ 0` holds in every rational point of
+    /// the system (checked as infeasibility of `self ∧ e ≤ -1`; exact
+    /// for the integer-coefficient constraints used here).
+    ///
+    /// # Errors
+    ///
+    /// See [`ConstraintSystem::eliminate_with`].
+    pub fn implies_with(&self, e: &Affine, budget: &FmBudget) -> Result<bool, PolyError> {
         let mut probe = self.clone();
         // e <= -1  ⇔  -e - 1 >= 0.
-        probe.add(&e.neg().sub(&Affine::constant(e.space(), 1)));
-        probe.is_infeasible()
+        let negated = e.checked_neg().ok_or(PolyError::Overflow)?;
+        probe.add(
+            &negated
+                .checked_sub(&Affine::constant(e.space(), 1))
+                .ok_or(PolyError::Overflow)?,
+        );
+        probe.is_infeasible_with(budget)
+    }
+
+    /// Conservative form of [`ConstraintSystem::implies_with`] under the
+    /// default budget: an internal overflow or exhausted budget answers
+    /// `false` ("cannot prove the implication"), which keeps callers
+    /// sound — they at worst retain a redundant constraint.
+    pub fn implies(&self, e: &Affine) -> bool {
+        self.implies_with(e, &FmBudget::default()).unwrap_or(false)
     }
 
     /// Removes inequalities that are implied by the others together with
@@ -313,7 +405,7 @@ mod tests {
     #[test]
     fn elimination_preserves_projection() {
         let (_, sys) = triangle();
-        let proj = sys.eliminate(1);
+        let proj = sys.eliminate(1).unwrap();
         // Projection of the triangle onto i is [0, 9].
         for i in -3..13 {
             let inside = (0..=9).contains(&i);
@@ -329,7 +421,7 @@ mod tests {
         sys.add(&Affine::from_coeffs(&s, &[-2, -3], &[], 17));
         sys.add_lower(0, &Affine::constant(&s, 1));
         sys.add_lower(1, &Affine::var(&s, 0, 1).add(&Affine::constant(&s, -2)));
-        let proj = sys.eliminate(1);
+        let proj = sys.eliminate(1).unwrap();
         for i in -5..15 {
             let has_j = (-20..30).any(|j| sys.contains(&[i, j], &[]));
             assert_eq!(proj.contains(&[i, 0], &[]), has_j, "i = {i}");
@@ -347,7 +439,7 @@ mod tests {
         sys.add_upper(0, &n_minus_1);
         sys.add_lower(1, &Affine::var(&s, 0, 1));
         sys.add_upper(1, &n_minus_1);
-        let proj = sys.eliminate(1);
+        let proj = sys.eliminate(1).unwrap();
         for n in [1, 5, 20] {
             for i in 0..n {
                 assert!(proj.contains(&[i, 0], &[n]));
@@ -377,8 +469,52 @@ mod tests {
         sys.add_lower(0, &Affine::constant(&s, 5));
         sys.add_upper(0, &Affine::constant(&s, 3));
         assert!(!sys.is_trivially_infeasible());
-        let proj = sys.eliminate(0);
+        let proj = sys.eliminate(0).unwrap();
         assert!(proj.is_trivially_infeasible());
+    }
+
+    #[test]
+    fn budget_caps_elimination() {
+        // 8 lower × 8 upper pairs on j trip a tiny constraint budget but
+        // pass the default one.
+        let s = Space::new(&["i", "j"], &[]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        for k in 0..8 {
+            sys.add_lower(1, &Affine::var(&s, 0, k + 1));
+            sys.add_upper(1, &Affine::constant(&s, 100 + k));
+        }
+        let tiny = FmBudget::with_max_constraints(10);
+        assert!(matches!(
+            sys.eliminate_with(1, &tiny),
+            Err(PolyError::TooManyConstraints { limit: 10, .. })
+        ));
+        assert!(sys.eliminate(1).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_is_typed_error() {
+        let (_, sys) = triangle();
+        let expired = FmBudget {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..FmBudget::default()
+        };
+        assert_eq!(
+            sys.eliminate_with(1, &expired),
+            Err(PolyError::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn overflowing_combination_is_typed_error() {
+        // Coprime ~2^62 coefficients whose combination cannot be gcd-
+        // reduced back into i64: the old path wrapped, this one reports.
+        let s = Space::new(&["i", "j", "k"], &[]);
+        let mut sys = ConstraintSystem::new(s.clone());
+        let a = (1i64 << 62) - 1;
+        let b = (1i64 << 62) + 1;
+        sys.add(&Affine::from_coeffs(&s, &[-a, 0, 2], &[], 0)); // 2k >= a·i
+        sys.add(&Affine::from_coeffs(&s, &[0, -b, -3], &[], 0)); // 3k <= -b·j
+        assert_eq!(sys.eliminate(2), Err(PolyError::Overflow));
     }
 
     #[test]
@@ -435,7 +571,7 @@ mod tests {
         // Substitute (i, j) = M (u, v) with M = [[0,1],[1,0]] (swap).
         let new = s.with_vars(&["u", "v"]);
         let m = an_linalg::IMatrix::from_rows(&[&[0, 1], &[1, 0]]);
-        let swapped = sys.substitute_vars(&m, &new);
+        let swapped = sys.substitute_vars(&m, &new).unwrap();
         for i in -2..12 {
             for j in -2..12 {
                 assert_eq!(sys.contains(&[i, j], &[]), swapped.contains(&[j, i], &[]));

@@ -1,0 +1,142 @@
+//! Typed errors and resource budgets for the polyhedral machinery.
+//!
+//! Fourier–Motzkin elimination is doubly exponential in the worst case:
+//! eliminating one variable from `l` lower and `u` upper bounds produces
+//! `l·u` combined constraints. [`FmBudget`] bounds that blowup so a
+//! pathological system surfaces as a typed [`PolyError`] instead of an
+//! unbounded computation, and coefficient overflow during combination is
+//! reported rather than wrapped.
+
+use std::fmt;
+use std::time::Instant;
+
+/// A typed failure of a polyhedral operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolyError {
+    /// A coefficient of a derived constraint does not fit in `i64`
+    /// even after gcd reduction.
+    Overflow,
+    /// Fourier–Motzkin elimination produced more constraints than the
+    /// budget allows.
+    TooManyConstraints {
+        /// The configured constraint ceiling.
+        limit: usize,
+        /// How many constraints the elimination was about to hold live.
+        produced: usize,
+    },
+    /// The budget's wall-clock deadline passed before the operation
+    /// finished.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for PolyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyError::Overflow => {
+                write!(f, "constraint coefficient does not fit in 64-bit integers")
+            }
+            PolyError::TooManyConstraints { limit, produced } => write!(
+                f,
+                "Fourier-Motzkin elimination exceeded the constraint budget \
+                 ({produced} live constraints, limit {limit})"
+            ),
+            PolyError::DeadlineExceeded => {
+                write!(f, "polyhedral operation exceeded its wall-clock deadline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyError {}
+
+/// Resource budget for Fourier–Motzkin elimination and the operations
+/// built on it.
+///
+/// The default budget is generous for any real loop nest (the paper's
+/// examples stay under a hundred constraints) while cutting off the
+/// doubly-exponential worst case quickly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FmBudget {
+    /// Maximum number of constraints a single system may hold during
+    /// elimination.
+    pub max_constraints: usize,
+    /// Optional wall-clock deadline; checked between elimination steps.
+    pub deadline: Option<Instant>,
+}
+
+impl FmBudget {
+    /// Default ceiling on live constraints during elimination.
+    pub const DEFAULT_MAX_CONSTRAINTS: usize = 20_000;
+
+    /// A budget with the given constraint ceiling and no deadline.
+    pub fn with_max_constraints(max_constraints: usize) -> FmBudget {
+        FmBudget {
+            max_constraints,
+            ..FmBudget::default()
+        }
+    }
+
+    /// Returns `DeadlineExceeded` if the deadline has passed.
+    pub fn check_deadline(&self) -> Result<(), PolyError> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(PolyError::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    }
+
+    /// Returns `TooManyConstraints` if `produced` exceeds the ceiling.
+    pub fn check_constraints(&self, produced: usize) -> Result<(), PolyError> {
+        if produced > self.max_constraints {
+            Err(PolyError::TooManyConstraints {
+                limit: self.max_constraints,
+                produced,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for FmBudget {
+    fn default() -> FmBudget {
+        FmBudget {
+            max_constraints: FmBudget::DEFAULT_MAX_CONSTRAINTS,
+            deadline: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn constraint_ceiling() {
+        let b = FmBudget::with_max_constraints(10);
+        assert_eq!(b.check_constraints(10), Ok(()));
+        assert_eq!(
+            b.check_constraints(11),
+            Err(PolyError::TooManyConstraints {
+                limit: 10,
+                produced: 11
+            })
+        );
+    }
+
+    #[test]
+    fn deadline_in_the_past_trips() {
+        let b = FmBudget {
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+            ..FmBudget::default()
+        };
+        assert_eq!(b.check_deadline(), Err(PolyError::DeadlineExceeded));
+        assert_eq!(FmBudget::default().check_deadline(), Ok(()));
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(PolyError::Overflow.to_string().contains("64-bit"));
+        assert!(PolyError::DeadlineExceeded.to_string().contains("deadline"));
+    }
+}

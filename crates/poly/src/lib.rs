@@ -30,7 +30,7 @@
 //! sys.add_upper(0, &Affine::param(&space, 0, 1).add(&Affine::constant(&space, -1))); // i <= N-1
 //! sys.add_lower(1, &Affine::var(&space, 0, 1));             // j >= i
 //! sys.add_upper(1, &Affine::var(&space, 0, 1).add(&Affine::constant(&space, 4))); // j <= i+4
-//! let bounds = an_poly::bounds::extract_bounds(&sys);
+//! let bounds = an_poly::bounds::extract_bounds(&sys).unwrap();
 //! // The outer loop's bounds only involve parameters.
 //! assert_eq!(bounds[0].lowers.len(), 1);
 //! ```
@@ -41,9 +41,11 @@
 pub mod affine;
 pub mod bounds;
 pub mod constraint;
+pub mod error;
 pub mod space;
 
 pub use affine::Affine;
 pub use bounds::{BoundExpr, LoopBounds};
 pub use constraint::ConstraintSystem;
+pub use error::{FmBudget, PolyError};
 pub use space::Space;

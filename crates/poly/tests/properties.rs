@@ -54,7 +54,7 @@ proptest! {
     /// FM elimination of the last variable equals the true projection.
     #[test]
     fn fm_projection_is_exact_on_boxes(sys in random_system(3)) {
-        let proj = sys.eliminate(2);
+        let proj = sys.eliminate(2).unwrap();
         for a in -5..=5i64 {
             for b in -5..=5i64 {
                 let truth = (-5..=5).any(|c| sys.contains(&[a, b, c], &[]));
@@ -75,7 +75,7 @@ proptest! {
     /// that passes the innermost constraints is real.
     #[test]
     fn extracted_bounds_cover_all_points(sys in random_system(3)) {
-        let bounds = extract_bounds(&sys);
+        let bounds = extract_bounds(&sys).unwrap();
         let truth = enumerate_points(&sys);
         // Scan the loop nest the way generated code would.
         let mut scanned = Vec::new();
@@ -109,7 +109,7 @@ proptest! {
     #[test]
     fn feasible_systems_project_feasibly(sys in random_system(2)) {
         let feasible = !enumerate_points(&sys).is_empty();
-        let fully_projected = sys.project_to_prefix(0);
+        let fully_projected = sys.project_to_prefix(0).unwrap();
         if feasible {
             prop_assert!(!fully_projected.is_trivially_infeasible());
         }
@@ -119,7 +119,7 @@ proptest! {
     #[test]
     fn identity_substitution_preserves(sys in random_system(2), x in -5i64..=5, y in -5i64..=5) {
         let id = an_linalg::IMatrix::identity(2);
-        let same = sys.substitute_vars(&id, sys.space());
+        let same = sys.substitute_vars(&id, sys.space()).unwrap();
         prop_assert_eq!(sys.contains(&[x, y], &[]), same.contains(&[x, y], &[]));
     }
 }

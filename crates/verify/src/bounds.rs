@@ -50,17 +50,27 @@ pub fn check_bounds(
     // Symbolic inclusion: S_img (original constraints pulled back through
     // old = U·t) versus S_t (the emitted bounds), both under the
     // program's assumptions.
+    // The pull-back can overflow i64 for adversarial coefficients; the
+    // symbolic angle then degrades to "inconclusive" and the concrete
+    // cross-check carries the verdict.
     let t_space = &transformed.program.nest.space;
-    let mut sys_img = program.nest.constraint_system().substitute_vars(u, t_space);
-    let mut sys_t = transformed.program.nest.constraint_system();
-    for a in &transformed.program.assumptions {
-        sys_img.add(a);
-        sys_t.add(a);
-    }
-    let img_implies_t =
-        sys_t.inequalities().is_empty() || sys_t.inequalities().iter().all(|e| sys_img.implies(e));
-    let t_implies_img = sys_img.inequalities().is_empty()
-        || sys_img.inequalities().iter().all(|e| sys_t.implies(e));
+    let (img_implies_t, t_implies_img) =
+        match program.nest.constraint_system().substitute_vars(u, t_space) {
+            Ok(mut sys_img) => {
+                let mut sys_t = transformed.program.nest.constraint_system();
+                for a in &transformed.program.assumptions {
+                    sys_img.add(a);
+                    sys_t.add(a);
+                }
+                (
+                    sys_t.inequalities().is_empty()
+                        || sys_t.inequalities().iter().all(|e| sys_img.implies(e)),
+                    sys_img.inequalities().is_empty()
+                        || sys_img.inequalities().iter().all(|e| sys_t.implies(e)),
+                )
+            }
+            Err(_) => (false, false),
+        };
     if img_implies_t && t_implies_img {
         notes.push("transformed bounds proven equivalent symbolically".to_string());
     } else if ctx.is_none() {

@@ -74,6 +74,22 @@ impl ConcreteContext {
             {
                 continue;
             }
+            // Storage must be materializable: adversarially large
+            // extents (e.g. subscript coefficients near i64::MAX) would
+            // abort inside the allocator before `run_seeded` could
+            // report an error. Product in i128 — the count itself can
+            // exceed i64.
+            const MAX_STORE_ELEMENTS: i128 = 1 << 24;
+            let elements = program.arrays.iter().fold(0i128, |acc, a| {
+                let n = a
+                    .extents(&params)
+                    .iter()
+                    .fold(1i128, |p, &e| p.saturating_mul(e.max(0) as i128));
+                acc.saturating_add(n)
+            });
+            if elements > MAX_STORE_ELEMENTS {
+                continue;
+            }
             if run_seeded(program, &params, SEED).is_err() {
                 continue;
             }

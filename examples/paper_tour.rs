@@ -71,7 +71,7 @@ fn main() -> Result<(), Error> {
     heading("§6 — LegalBasis and LegalInvt (the worked examples)");
     let a = IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, -1]]);
     let d = IMatrix::col_vector(&[0, 0, 1]);
-    let lb = legal_basis(&a, &d);
+    let lb = legal_basis(&a, &d).expect("small example fits in i64");
     println!(
         "A·D has a negative entry, so LegalBasis negates row 2:\n{}\n",
         lb.basis
@@ -80,7 +80,7 @@ fn main() -> Result<(), Error> {
     let d6 = IMatrix::from_rows(&[&[0, 0], &[1, 0], &[0, 1]]);
     println!(
         "LegalInvt pads with the projection row and completes:\n{}\n",
-        legal_invt(&b6, &d6)
+        legal_invt(&b6, &d6).expect("small example fits in i64")
     );
 
     heading("§7 — Code generation");

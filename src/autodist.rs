@@ -25,7 +25,7 @@
 //! order and ranked with a stable sort, so the ranking (including every
 //! `predicted_time_us`) is identical for any `jobs` value.
 
-use crate::{compile_program_with, CompileOptions, Compiled, Error, PipelineCtx};
+use crate::{compile_program_with, BudgetExceeded, CompileOptions, Compiled, Error, PipelineCtx};
 use an_ir::{Distribution, Program, Stmt};
 use an_linalg::CacheStats;
 use an_numa::{predict, MachineConfig};
@@ -198,6 +198,15 @@ pub fn search_report(
         .map(|(idx, a)| candidate_distributions(program, idx, a.rank(), opts.allow_replication))
         .collect();
     let total: usize = per_array.iter().map(Vec::len).product();
+    let cap = opts.compile.budget.max_search_candidates;
+    if total > cap {
+        return Err(Error::Budget(BudgetExceeded {
+            resource: "search-candidates",
+            limit: cap as u64,
+            observed: Some(total as u64),
+            stage: "distribution-search",
+        }));
+    }
 
     // Assignment `i` in mixed radix, array 0 the fastest-varying digit
     // (the enumeration order of the original serial odometer).

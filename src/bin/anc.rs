@@ -60,7 +60,20 @@
 //! the fault-free interpreter's. Then it prices each scenario —
 //! retries, timeouts, replayed iterations, redistributed bytes and the
 //! recovery overhead over the fault-free run.
+//!
+//! anc fuzz [OPTIONS]    seeded in-tree compiler fuzzer
+//!
+//!   --seed N           PRNG seed (default: 42)
+//!   --iters N          iterations (default: 200)
+//!
+//! Exercises three generator archetypes (well-formed kernels that must
+//! compile and verify, adversarial near-overflow coefficients, deep
+//! nests under tight budgets) and fails on any panic or differential
+//! mismatch. Exit 0 when clean, 1 otherwise.
 //! ```
+//!
+//! Exit codes: 0 success, 1 compile/verification/fuzz failure, 2 usage
+//! error, 3 internal compiler panic (always a bug).
 //!
 //! Examples:
 //!
@@ -112,7 +125,8 @@ fn usage() -> ! {
          \x20          [--param NAME=V]... [--mutate KIND] <file.an>...\n\
          \x20      anc chaos [--seed N] [--scenario S|all] [--procs LIST]\n\
          \x20          [--machine gp1000|ipsc] [--param NAME=V]... [--jobs N]\n\
-         \x20          [--naive] [--json] <file.an | ->"
+         \x20          [--naive] [--json] <file.an | ->\n\
+         \x20      anc fuzz [--seed N] [--iters N]"
     );
     std::process::exit(2);
 }
@@ -752,6 +766,55 @@ fn run_chaos(argv: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Exit-code contract: 0 success, 1 compile/verification failure,
+    // 2 usage error, 3 internal compiler panic. A panic that crosses
+    // this boundary is always a bug — report it as such instead of
+    // dumping a backtrace at the user.
+    match std::panic::catch_unwind(run_main) {
+        Ok(code) => code,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic payload".to_string());
+            eprintln!("anc: internal compiler error: {msg}");
+            eprintln!("anc: this is a bug; please report it with the input that caused it");
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn run_fuzz(argv: &[String]) -> ExitCode {
+    let mut opts = access_normalization::fuzz::FuzzOptions::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage(&format!("anc: bad --seed '{v}'")));
+            }
+            "--iters" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.iters = v
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage(&format!("anc: bad --iters '{v}'")));
+            }
+            other => fail_usage(&format!("anc fuzz: unknown argument '{other}'")),
+        }
+    }
+    let report = access_normalization::fuzz::run(&opts);
+    println!("{report}");
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("sweep") {
         return run_sweep(&argv[1..]);
@@ -761,6 +824,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("chaos") {
         return run_chaos(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("fuzz") {
+        return run_fuzz(&argv[1..]);
     }
     let args = parse_args();
     let src = read_source_or_exit(args.input.as_deref().unwrap_or_else(|| usage()));
@@ -782,6 +848,7 @@ fn main() -> ExitCode {
         },
         skip_transform: args.naive,
         verify: args.verify,
+        budget: Default::default(),
     };
     let compiled = match compile_program(&program, &opts) {
         Ok(c) => c,

@@ -1,5 +1,37 @@
 use std::fmt;
 
+/// A compile budget was exhausted. Carried by [`Error::Budget`].
+///
+/// Budgets turn the pipeline's worst cases (doubly-exponential
+/// Fourier–Motzkin elimination, combinatorial distribution search) into
+/// prompt, typed failures instead of unbounded computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Which resource ran out: `"fm-constraints"`, `"loop-depth"`,
+    /// `"search-candidates"` or `"deadline"`.
+    pub resource: &'static str,
+    /// The configured limit (a count, or milliseconds for `"deadline"`).
+    pub limit: u64,
+    /// The observed demand when the budget tripped, when known.
+    pub observed: Option<u64>,
+    /// The pipeline stage that hit the limit.
+    pub stage: &'static str,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compile budget exceeded in {}: {} limit {}",
+            self.stage, self.resource, self.limit
+        )?;
+        if let Some(observed) = self.observed {
+            write!(f, " (needed {observed})")?;
+        }
+        Ok(())
+    }
+}
+
 /// Any error from the access-normalization pipeline.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -19,6 +51,8 @@ pub enum Error {
     /// The independent verifier rejected the compiled artifacts (only
     /// raised when compiling with `CompileOptions::verify`).
     Verify(an_verify::VerifyReport),
+    /// A compile budget (`CompileOptions::budget`) was exhausted.
+    Budget(BudgetExceeded),
 }
 
 impl fmt::Display for Error {
@@ -31,6 +65,7 @@ impl fmt::Display for Error {
             Error::Codegen(e) => write!(f, "{e}"),
             Error::Sim(e) => write!(f, "{e}"),
             Error::Verify(report) => write!(f, "{report}"),
+            Error::Budget(b) => write!(f, "{b}"),
         }
     }
 }
@@ -45,6 +80,7 @@ impl std::error::Error for Error {
             Error::Codegen(e) => Some(e),
             Error::Sim(e) => Some(e),
             Error::Verify(_) => None,
+            Error::Budget(_) => None,
         }
     }
 }

@@ -68,19 +68,86 @@ pub use an_poly as poly;
 pub use an_verify as verify_mod;
 
 pub mod autodist;
+pub mod fuzz;
 
 mod error;
-pub use error::Error;
+pub use error::{BudgetExceeded, Error};
 
 use an_codegen::{
-    apply_transform, generate_spmd, CodegenError, SpmdOptions, SpmdProgram, TransformedProgram,
+    apply_transform_with, generate_spmd, CodegenError, SpmdOptions, SpmdProgram, TransformedProgram,
 };
 use an_core::{normalize_with, NormCache, NormContext, NormalizeOptions, NormalizeResult};
 use an_deps::DependenceInfo;
 use an_ir::Program;
 use an_linalg::cache::{CacheStats, MemoCache};
 use an_linalg::IMatrix;
+use an_poly::{FmBudget, PolyError};
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Resource ceilings for one end-to-end compilation.
+///
+/// Every limit converts a worst-case blowup into a typed
+/// [`Error::Budget`] carrying what tripped and how far over the input
+/// was. The defaults are far above anything a real loop nest needs, so
+/// they only fire on pathological or adversarial inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileBudget {
+    /// Maximum live constraints during a single Fourier–Motzkin
+    /// elimination (its output can square per eliminated variable).
+    pub max_fm_constraints: usize,
+    /// Maximum loop-nest depth accepted by the pipeline.
+    pub max_loop_depth: usize,
+    /// Maximum distribution assignments an automatic search may
+    /// enumerate (the space is a per-array product).
+    pub max_search_candidates: usize,
+    /// Optional wall-clock deadline for one compilation, in
+    /// milliseconds from the moment `compile` is entered.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for CompileBudget {
+    fn default() -> Self {
+        CompileBudget {
+            max_fm_constraints: 20_000,
+            max_loop_depth: 16,
+            max_search_candidates: 1_000_000,
+            deadline_ms: None,
+        }
+    }
+}
+
+impl CompileBudget {
+    /// The polyhedral-layer budget for a compile starting now.
+    fn fm_budget(&self) -> FmBudget {
+        FmBudget {
+            max_constraints: self.max_fm_constraints,
+            deadline: self
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+        }
+    }
+
+    /// Maps a polyhedral failure to the facade error, attributing
+    /// budget-type failures to [`Error::Budget`].
+    fn classify_poly(&self, e: PolyError, stage: &'static str) -> Error {
+        match e {
+            PolyError::TooManyConstraints { limit, produced } => Error::Budget(BudgetExceeded {
+                resource: "fm-constraints",
+                limit: limit as u64,
+                observed: Some(produced as u64),
+                stage,
+            }),
+            PolyError::DeadlineExceeded => Error::Budget(BudgetExceeded {
+                resource: "deadline",
+                limit: self.deadline_ms.unwrap_or(0),
+                observed: None,
+                stage,
+            }),
+            PolyError::Overflow => Error::Codegen(CodegenError::Poly(PolyError::Overflow)),
+        }
+    }
+}
 
 /// Options for the end-to-end [`compile`] driver.
 #[derive(Debug, Clone, Default)]
@@ -96,6 +163,8 @@ pub struct CompileOptions {
     /// compiled artifacts and fail with [`Error::Verify`] if it finds
     /// an error-severity violation.
     pub verify: bool,
+    /// Resource ceilings for this compilation.
+    pub budget: CompileBudget,
 }
 
 /// Everything the compiler produced for one program.
@@ -204,6 +273,16 @@ pub fn compile_program_with(
     opts: &CompileOptions,
     ctx: &PipelineCtx,
 ) -> Result<Compiled, Error> {
+    let depth = program.nest.depth();
+    if depth > opts.budget.max_loop_depth {
+        return Err(Error::Budget(BudgetExceeded {
+            resource: "loop-depth",
+            limit: opts.budget.max_loop_depth as u64,
+            observed: Some(depth as u64),
+            stage: "front-end",
+        }));
+    }
+    let fm = opts.budget.fm_budget();
     let deps = match ctx.deps.get() {
         Some(d) => d.clone(),
         None => {
@@ -227,7 +306,19 @@ pub fn compile_program_with(
     };
     let mut transformed = ctx
         .transforms
-        .get_or_insert_with(t.clone(), || apply_transform(program, &t))?;
+        .get_or_insert_with(t.clone(), || apply_transform_with(program, &t, &fm));
+    // A deadline failure is relative to the *earlier* call's clock:
+    // never serve it from the cache, retry against this call's budget.
+    if matches!(
+        transformed,
+        Err(CodegenError::Poly(PolyError::DeadlineExceeded))
+    ) {
+        transformed = apply_transform_with(program, &t, &fm);
+    }
+    let mut transformed = transformed.map_err(|e| match e {
+        CodegenError::Poly(pe) => opts.budget.classify_poly(pe, "restructuring"),
+        other => Error::Codegen(other),
+    })?;
     // The cached nest carries the distributions of whichever candidate
     // computed it; restore this candidate's (a no-op on a cache miss).
     for (cached, live) in transformed.program.arrays.iter_mut().zip(&program.arrays) {

@@ -313,3 +313,33 @@ fn naive_and_no_transfer_flags() {
     assert!(stdout.contains("step P"), "{stdout}");
     assert!(!stdout.contains("read "), "{stdout}");
 }
+
+#[test]
+fn fuzz_subcommand_runs_clean_and_deterministic() {
+    let run = || {
+        let out = anc()
+            .args(["fuzz", "--iters", "12", "--seed", "9"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "anc fuzz failed:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let first = run();
+    assert!(first.contains("12 iteration(s)"), "{first}");
+    assert!(first.contains("0 panic(s)"), "{first}");
+    assert!(first.contains("0 mismatch(es)"), "{first}");
+    // Same seed, same report — the fuzzer is deterministic.
+    assert_eq!(first, run());
+}
+
+#[test]
+fn fuzz_rejects_malformed_flags() {
+    let out = anc().args(["fuzz", "--seed", "banana"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = anc().args(["fuzz", "--bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

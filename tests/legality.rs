@@ -14,11 +14,11 @@ fn section_6_opening_example() {
     let d = IMatrix::col_vector(&[0, 0, 1]);
     let ad = a.mul(&d).unwrap();
     assert_eq!(ad.col(0), vec![0, -1]);
-    let lb = legal_basis(&a, &d);
+    let lb = legal_basis(&a, &d).unwrap();
     assert_eq!(lb.row_fates, vec![RowFate::Kept, RowFate::Negated]);
     assert_eq!(lb.basis, IMatrix::from_rows(&[&[-1, 1, 0], &[0, -1, 1]]));
     // The repaired basis products are lex-positive after completion.
-    let t = legal_invt(&lb.basis, &d);
+    let t = legal_invt(&lb.basis, &d).unwrap();
     let td = t.mul(&d).unwrap();
     assert!(lex_positive(&td.col(0)));
 }
@@ -29,7 +29,7 @@ fn section_6_2_padding_with_projection() {
     // needs the projection row e3; final T = [[-1,1,0],[0,0,1],[0,1,0]].
     let b = IMatrix::from_rows(&[&[-1, 1, 0]]);
     let d = IMatrix::from_rows(&[&[0, 0], &[1, 0], &[0, 1]]);
-    let t = legal_invt(&b, &d);
+    let t = legal_invt(&b, &d).unwrap();
     assert_eq!(
         t,
         IMatrix::from_rows(&[&[-1, 1, 0], &[0, 0, 1], &[0, 1, 0]])

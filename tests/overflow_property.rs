@@ -1,0 +1,241 @@
+//! Differential and budget-exhaustion properties for the checked
+//! exact-arithmetic layer.
+//!
+//! The i64 fast paths in `an_linalg` detect overflow and transparently
+//! promote to the in-tree `BigInt` fallback; these tests assert that
+//! the two paths can never disagree — on random matrices (including
+//! near-`i64::MAX` coefficients) and on the transforms produced by
+//! compiling random programs — and that pathological inputs exhaust a
+//! `CompileBudget` with a typed error instead of hanging.
+
+use access_normalization::linalg::det::{determinant, determinant_big};
+use access_normalization::linalg::hnf::column_hnf;
+use access_normalization::linalg::IMatrix;
+use access_normalization::{
+    compile, compile_program, verify, CompileBudget, CompileOptions, Error,
+};
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+fn matrix(dim: usize, data: Vec<i64>) -> IMatrix {
+    IMatrix::from_vec(dim, dim, data)
+}
+
+/// A `depth`-deep skewed nest (`i_k` runs from `i_{k-1}`): every level
+/// adds bound constraints that reference the previous variable, which
+/// is the shape that makes Fourier–Motzkin constraint counts blow up.
+fn skewed_nest(depth: usize, n: i64) -> String {
+    let mut src = format!("param N = {n};\narray A[{depth} * N] distribute wrapped(0);\n");
+    src.push_str("for i0 = 0, N - 1 { ");
+    for k in 1..depth {
+        src.push_str(&format!("for i{k} = i{}, i{} + N - 1 {{ ", k - 1, k - 1));
+    }
+    src.push_str(&format!("A[i{}] = A[i{}] + 1.0;", depth - 1, depth - 1));
+    src.push_str(&" }".repeat(depth));
+    src
+}
+
+proptest! {
+    /// The fast path (i128 Bareiss, promoting on overflow) and the pure
+    /// BigInt path agree exactly — including on *whether* the result
+    /// fits in `i64` — for coefficients up to `i64::MAX` in magnitude.
+    #[test]
+    fn determinant_matches_bigint_path(
+        dim in 2usize..=4,
+        seeds in proptest::collection::vec(-4i64..=4, 16),
+        scale in prop_oneof![Just(1i64), Just(1 << 20), Just(i64::MAX / 8)],
+    ) {
+        let data: Vec<i64> = seeds[..dim * dim]
+            .iter()
+            .map(|&s| s.saturating_mul(scale))
+            .collect();
+        let m = matrix(dim, data);
+        let exact = determinant_big(&m).expect("square input");
+        match determinant(&m) {
+            Ok(d) => prop_assert_eq!(Some(d), exact.to_i64()),
+            Err(_) => prop_assert_eq!(exact.to_i64(), None),
+        }
+    }
+
+    /// `H = A·U` with `U` unimodular, so `|Π diag(H)| == |det A|` —
+    /// a cross-algorithm differential (HNF vs Bareiss) that catches a
+    /// silent wrap in either.
+    #[test]
+    fn hnf_diagonal_matches_determinant(
+        dim in 2usize..=4,
+        seeds in proptest::collection::vec(-30i64..=30, 16),
+    ) {
+        let m = matrix(dim, seeds[..dim * dim].to_vec());
+        let d = determinant(&m).expect("small entries cannot overflow i64");
+        let h = column_hnf(&m).expect("small entries cannot overflow i64").h;
+        let diag: i64 = (0..dim).map(|k| h[(k, k)]).product();
+        prop_assert_eq!(diag.abs(), d.abs());
+    }
+
+    /// Random well-formed programs compile, verify cleanly, and their
+    /// transform matrices satisfy the same i64/BigInt differential the
+    /// raw matrices do (the pipeline cannot have wrapped on the way).
+    #[test]
+    fn compiled_transforms_satisfy_differential(
+        depth in 1usize..=3,
+        n in 4i64..=8,
+        c in 1i64..=3,
+        off in 0i64..=2,
+    ) {
+        let idx = format!("{c} * i0 + {off}");
+        let mut src = format!(
+            "param N = {n};\narray A[4 * N] distribute wrapped(0);\n"
+        );
+        for k in 0..depth {
+            src.push_str(&format!("for i{k} = 0, N - 1 {{ "));
+        }
+        src.push_str(&format!("A[{idx}] = A[{idx}] + 1.0;"));
+        src.push_str(&" }".repeat(depth));
+        let compiled = compile(&src, &CompileOptions::default()).expect("sane program compiles");
+        let report = verify(&compiled);
+        prop_assert!(!report.has_errors(), "verifier rejected:\n{}", report.render_human());
+        let t = &compiled.normalized.transform;
+        let fast = determinant(t).expect("transform determinant fits i64");
+        prop_assert_eq!(Some(fast), determinant_big(t).expect("square").to_i64());
+        prop_assert!(fast != 0, "transform must be invertible");
+    }
+}
+
+#[test]
+fn deep_nest_exhausts_constraint_budget() {
+    let opts = CompileOptions {
+        budget: CompileBudget {
+            max_fm_constraints: 8,
+            ..CompileBudget::default()
+        },
+        ..CompileOptions::default()
+    };
+    let start = Instant::now();
+    let err = compile(&skewed_nest(9, 6), &opts).expect_err("budget must trip");
+    let elapsed = start.elapsed();
+    match err {
+        Error::Budget(b) => {
+            assert_eq!(b.resource, "fm-constraints");
+            assert_eq!(b.limit, 8);
+        }
+        other => panic!("expected BudgetExceeded, got: {other}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "budget error took {elapsed:?} — that is a hang, not a budget"
+    );
+}
+
+#[test]
+fn pathological_fm_input_respects_deadline() {
+    // Constraint cap effectively off: only the wall clock can save us.
+    let opts = CompileOptions {
+        budget: CompileBudget {
+            max_fm_constraints: usize::MAX,
+            deadline_ms: Some(200),
+            ..CompileBudget::default()
+        },
+        ..CompileOptions::default()
+    };
+    let start = Instant::now();
+    let result = compile(&skewed_nest(10, 8), &opts);
+    let elapsed = start.elapsed();
+    // A fast machine may finish inside the deadline; what is forbidden
+    // is blowing past it and hanging.
+    if let Err(err) = result {
+        match err {
+            Error::Budget(b) => assert_eq!(b.resource, "deadline"),
+            other => panic!("expected BudgetExceeded, got: {other}"),
+        }
+    }
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "compile ran {elapsed:?} despite a 200ms deadline"
+    );
+}
+
+#[test]
+fn excessive_depth_is_rejected_up_front() {
+    let opts = CompileOptions {
+        budget: CompileBudget {
+            max_loop_depth: 2,
+            ..CompileBudget::default()
+        },
+        ..CompileOptions::default()
+    };
+    let err = compile(&skewed_nest(3, 4), &opts).expect_err("depth budget must trip");
+    match err {
+        Error::Budget(b) => {
+            assert_eq!(b.resource, "loop-depth");
+            assert_eq!(b.limit, 2);
+            assert_eq!(b.observed, Some(3));
+        }
+        other => panic!("expected BudgetExceeded, got: {other}"),
+    }
+}
+
+#[test]
+fn search_space_cap_stops_autodist() {
+    use access_normalization::autodist::{search_report, AutoDistOptions};
+    use access_normalization::numa::MachineConfig;
+
+    let src = "param N = 8;
+        array A[N, N] distribute wrapped(0);
+        array B[N, N] distribute wrapped(0);
+        array C[N, N] distribute wrapped(0);
+        for i = 0, N - 1 { for j = 0, N - 1 {
+            A[i, j] = B[i, j] + C[j, i];
+        } }";
+    let program = access_normalization::lang::parse(src).expect("parses");
+    let mut opts = AutoDistOptions {
+        procs: 4,
+        ..AutoDistOptions::default()
+    };
+    opts.compile.budget.max_search_candidates = 2;
+    let err = search_report(&program, &MachineConfig::butterfly_gp1000(), &opts)
+        .expect_err("candidate cap must trip");
+    match err {
+        Error::Budget(b) => assert_eq!(b.resource, "search-candidates"),
+        other => panic!("expected BudgetExceeded, got: {other}"),
+    }
+}
+
+/// An adversarial-coefficient kernel whose subscript arithmetic wraps
+/// `i64` when multiplied through naively: the checked layer must either
+/// compile it correctly (verifier-clean) or reject it with a typed
+/// error — never wrap.
+#[test]
+fn adversarial_coefficients_compile_or_error_cleanly() {
+    let c = i64::MAX / 4;
+    let src = format!(
+        "param N = 4;\narray A[{c} * 2 + N] distribute wrapped(0);\n\
+         for i0 = 0, N - 1 {{ A[{c} * i0 + 1] = A[{c} * i0 + 1] + 1.0; }}"
+    );
+    // A typed rejection would also be acceptable; wrapping would not.
+    if let Ok(compiled) = compile(&src, &CompileOptions::default()) {
+        let report = verify(&compiled);
+        assert!(
+            !report.has_errors(),
+            "adversarial kernel compiled but failed verification:\n{}",
+            report.render_human()
+        );
+    }
+}
+
+/// `compile_program` (the pre-parsed entry point) honors the same
+/// budgets as `compile`.
+#[test]
+fn compile_program_shares_budget_checks() {
+    let program = access_normalization::lang::parse(&skewed_nest(3, 4)).expect("parses");
+    let opts = CompileOptions {
+        budget: CompileBudget {
+            max_loop_depth: 1,
+            ..CompileBudget::default()
+        },
+        ..CompileOptions::default()
+    };
+    assert!(matches!(
+        compile_program(&program, &opts),
+        Err(Error::Budget(_))
+    ));
+}
