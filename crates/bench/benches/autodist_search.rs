@@ -284,6 +284,55 @@ fn overflow_section() -> (String, f64) {
     (json, overhead)
 }
 
+/// Measures the observability layer's overhead: a batch of full
+/// compiles with no tracer vs the same batch with a tracer attached
+/// (including the snapshot, excluding rendering). Best-of-`SAMPLES`
+/// batch times keep the ratio stable on noisy CI hosts. Returns the
+/// JSON body for `BENCH_obs.json` and the overhead ratio.
+fn obs_section(program: &Program) -> (String, f64) {
+    use access_normalization::obs::Tracer;
+    use std::sync::Arc;
+    const BATCH: usize = 24;
+    const SAMPLES: usize = 7;
+
+    let untraced_opts = CompileOptions::default();
+    let mut off_secs = f64::INFINITY;
+    let mut on_secs = f64::INFINITY;
+    let mut events = 0usize;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            let c = compile_program(program, &untraced_opts).expect("compile");
+            std::hint::black_box(&c);
+        }
+        off_secs = off_secs.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            let tracer = Arc::new(Tracer::new());
+            let opts = CompileOptions {
+                tracer: Some(tracer.clone()),
+                ..CompileOptions::default()
+            };
+            let c = compile_program(program, &opts).expect("compile");
+            std::hint::black_box(&c);
+            events = tracer.snapshot().events.len();
+        }
+        on_secs = on_secs.min(start.elapsed().as_secs_f64());
+    }
+    let overhead = on_secs / off_secs;
+    let json = format!(
+        "{{\n  \"kernel\": \"fused-gemm\",\n  \"batch\": {BATCH},\n  \
+         \"samples\": {SAMPLES},\n  \"untraced_ms\": {:.3},\n  \
+         \"traced_ms\": {:.3},\n  \"overhead\": {:.4},\n  \
+         \"events_per_compile\": {events},\n  \"gate\": 1.05\n}}\n",
+        off_secs * 1e3,
+        on_secs * 1e3,
+        overhead
+    );
+    (json, overhead)
+}
+
 fn main() {
     let program = an_lang::parse(&fused_gemm_source(64)).expect("fused gemm parses");
     let machine = MachineConfig::butterfly_gp1000();
@@ -380,6 +429,20 @@ fn main() {
     assert!(
         overhead < 1.10,
         "checked-arithmetic overhead gate: measured {overhead:.3}x, budget < 1.10x"
+    );
+
+    let (obs_json, obs_overhead) = obs_section(&program);
+    println!("=== observability: tracing overhead on a full compile ===");
+    print!("{obs_json}");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("BENCH_obs.json");
+        if std::fs::write(&path, &obs_json).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+    assert!(
+        obs_overhead < 1.05,
+        "tracing overhead gate: measured {obs_overhead:.3}x, budget < 1.05x"
     );
 
     if cores >= 8 {

@@ -54,5 +54,7 @@ pub mod transform;
 mod error;
 
 pub use error::CodegenError;
-pub use spmd::{generate_spmd, OuterAssignment, SpmdOptions, SpmdProgram};
-pub use transform::{apply_transform, apply_transform_with, TransformedProgram};
+pub use spmd::{generate_spmd, generate_spmd_traced, OuterAssignment, SpmdOptions, SpmdProgram};
+pub use transform::{
+    apply_transform, apply_transform_traced, apply_transform_with, TransformedProgram,
+};

@@ -135,6 +135,38 @@ impl SpmdProgram {
     }
 }
 
+/// [`generate_spmd`], reporting the planned block transfers and the
+/// outer-loop serialization decision to `tracer` when present.
+pub fn generate_spmd_traced(
+    tp: &TransformedProgram,
+    deps: Option<&DependenceInfo>,
+    opts: &SpmdOptions,
+    tracer: Option<&an_obs::Tracer>,
+) -> SpmdProgram {
+    let spmd = generate_spmd(tp, deps, opts);
+    if let Some(t) = tracer {
+        for tr in &spmd.transfers {
+            t.emit(an_obs::EventKind::TransferPlanned {
+                array: spmd.program.arrays[tr.array.0].name.clone(),
+                dim: tr.dim,
+                level: tr.level,
+            });
+        }
+        t.emit(an_obs::EventKind::Counter {
+            name: "codegen.transfers".into(),
+            value: spmd.transfers.len() as u64,
+        });
+        if spmd.outer_carried {
+            t.emit(an_obs::EventKind::Note {
+                text: "outer loop carries a dependence; iterations serialize".into(),
+            });
+        }
+        t.metrics()
+            .add("codegen.transfers", spmd.transfers.len() as u64);
+    }
+    spmd
+}
+
 /// Generates the SPMD program for a transformed nest.
 ///
 /// `deps` (the dependence info of the *original* nest) is used to decide

@@ -86,6 +86,32 @@ pub fn apply_transform(
     apply_transform_with(program, t_mat, &FmBudget::default())
 }
 
+/// [`apply_transform_with`], reporting to `tracer` when present: a
+/// `restructure.applied` metric and a `restructure.nonunit_steps`
+/// counter event (non-unimodular transforms scan a sub-lattice, so
+/// some displayed loops step by more than 1).
+///
+/// # Errors
+///
+/// See [`apply_transform`].
+pub fn apply_transform_traced(
+    program: &Program,
+    t_mat: &IMatrix,
+    budget: &FmBudget,
+    tracer: Option<&an_obs::Tracer>,
+) -> Result<TransformedProgram, CodegenError> {
+    let tp = apply_transform_with(program, t_mat, budget)?;
+    if let Some(t) = tracer {
+        let nonunit = (0..tp.hnf.rows()).filter(|&k| tp.step(k) != 1).count();
+        t.emit(an_obs::EventKind::Counter {
+            name: "restructure.nonunit_steps".into(),
+            value: nonunit as u64,
+        });
+        t.metrics().inc("restructure.applied");
+    }
+    Ok(tp)
+}
+
 /// [`apply_transform`] under an explicit Fourier–Motzkin budget.
 ///
 /// # Errors

@@ -118,6 +118,23 @@ pub fn legal_basis(b: &IMatrix, d: &IMatrix) -> Result<LegalBasisResult, LinalgE
 /// Panics if `d.rows() != b.cols()` or if `b` is not legal with respect
 /// to `d` (some `row · d_j < 0`).
 pub fn legal_invt(b: &IMatrix, d: &IMatrix) -> Result<IMatrix, LinalgError> {
+    Ok(complete(&legal_invt_prepad(b, d)?))
+}
+
+/// Steps 1–2 of [`legal_invt`] (dependence carrying) without the final
+/// Algorithm Padding completion: the returned matrix carries every
+/// dependence but may have fewer than `n` rows. Exposed so callers can
+/// observe how many rows Padding contributed
+/// (`n - prepad.rows()`); `complete(&prepad)` equals `legal_invt`.
+///
+/// # Errors
+///
+/// As [`legal_invt`].
+///
+/// # Panics
+///
+/// As [`legal_invt`].
+pub fn legal_invt_prepad(b: &IMatrix, d: &IMatrix) -> Result<IMatrix, LinalgError> {
     assert_eq!(
         d.rows(),
         b.cols(),
@@ -169,8 +186,7 @@ pub fn legal_invt(b: &IMatrix, d: &IMatrix) -> Result<IMatrix, LinalgError> {
         }
         basis.push_row(&x);
     }
-    // Step 3: complete to invertible.
-    Ok(complete(&basis))
+    Ok(basis)
 }
 
 #[cfg(test)]

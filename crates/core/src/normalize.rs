@@ -2,13 +2,15 @@
 //! transformation.
 
 use crate::access_matrix::{build_access_matrix, DataAccessMatrix, OrderingHeuristic};
-use crate::legal::{legal_basis, legal_invt, RowFate};
+use crate::legal::{legal_basis, legal_invt_prepad, RowFate};
+use crate::padding::complete;
 use crate::CoreError;
-use an_deps::{analyze, is_legal, DepOptions, DependenceInfo};
+use an_deps::{analyze_traced, is_legal, DepOptions, DependenceInfo};
 use an_ir::Program;
 use an_linalg::basis::{first_row_basis, BasisSelection};
 use an_linalg::cache::{CacheStats, MemoCache};
 use an_linalg::IMatrix;
+use an_obs::{EventKind, Tracer};
 
 /// Options for [`normalize`].
 #[derive(Debug, Clone, Default)]
@@ -44,6 +46,9 @@ pub struct NormCache {
 struct Legalized {
     transform: IMatrix,
     row_fates: Vec<RowFate>,
+    /// Rows of the transform present *before* Algorithm Padding ran
+    /// (so `transform.rows() - prepad_rows` rows came from Padding).
+    prepad_rows: usize,
     /// `true` if legalization overflowed 64-bit arithmetic and the
     /// identity was used instead (the identity is always legal for the
     /// dependence summaries we construct).
@@ -74,6 +79,10 @@ pub struct NormContext<'a> {
     pub cache: Option<&'a NormCache>,
     /// Precomputed dependence analysis (skips `analyze`).
     pub deps: Option<&'a DependenceInfo>,
+    /// Observability sink: phase spans and pipeline events are emitted
+    /// here when present. Only pass a tracer from single-threaded
+    /// (coordinator) compiles — see the `an-obs` determinism contract.
+    pub tracer: Option<&'a Tracer>,
 }
 
 /// Where an access-matrix subscript ended up after normalization.
@@ -168,20 +177,43 @@ pub fn normalize_with(
     if n == 0 {
         return Err(CoreError::EmptyNest);
     }
-    let access_matrix = build_access_matrix(program, opts.ordering);
+    let tracer = ctx.tracer;
+    let _norm_span = tracer.map(|t| t.span("normalize"));
+    let access_matrix = {
+        let _s = tracer.map(|t| t.span("access-matrix"));
+        let am = build_access_matrix(program, opts.ordering);
+        if let Some(t) = tracer {
+            t.emit(EventKind::Counter {
+                name: "norm.access_rows".into(),
+                value: am.matrix.rows() as u64,
+            });
+        }
+        am
+    };
     let dependences = match ctx.deps {
         Some(d) => d.clone(),
-        None => analyze(program, &opts.deps)?,
+        None => analyze_traced(program, &opts.deps, tracer)?,
     };
 
     // BasisMatrix: maximal independent row set, earlier rows first.
-    let selection = match ctx.cache {
-        Some(c) => c
-            .basis
-            .get_or_insert_with(access_matrix.matrix.clone(), || {
-                first_row_basis(&access_matrix.matrix)
-            }),
-        None => first_row_basis(&access_matrix.matrix),
+    let selection = {
+        let _s = tracer.map(|t| t.span("basis"));
+        let selection = match ctx.cache {
+            Some(c) => {
+                c.basis
+                    .get_or_insert_traced(access_matrix.matrix.clone(), tracer, "basis", || {
+                        first_row_basis(&access_matrix.matrix)
+                    })
+            }
+            None => first_row_basis(&access_matrix.matrix),
+        };
+        if let Some(t) = tracer {
+            t.emit(EventKind::BasisChosen {
+                rank: selection.kept.len(),
+                rows: selection.kept.clone(),
+            });
+        }
+        selection
     };
     let basis = selection.basis_matrix(&access_matrix.matrix);
 
@@ -190,8 +222,10 @@ pub fn normalize_with(
     // rather than aborting the whole compilation.
     let legalize = || {
         let attempt = legal_basis(&basis, &dependences.matrix).and_then(|lb| {
+            let prepad = legal_invt_prepad(&lb.basis, &dependences.matrix)?;
             Ok(Legalized {
-                transform: legal_invt(&lb.basis, &dependences.matrix)?,
+                prepad_rows: prepad.rows(),
+                transform: complete(&prepad),
                 row_fates: lb.row_fates,
                 degraded: false,
             })
@@ -199,21 +233,63 @@ pub fn normalize_with(
         attempt.unwrap_or_else(|_| Legalized {
             transform: IMatrix::identity(n),
             row_fates: Vec::new(),
+            prepad_rows: n,
             degraded: true,
         })
     };
-    let legalized = match ctx.cache {
-        Some(c) => c
-            .legalize
-            .get_or_insert_with((basis.clone(), dependences.matrix.clone()), legalize),
-        None => legalize(),
+    let legalized = {
+        let _s = tracer.map(|t| t.span("legal"));
+        let legalized = match ctx.cache {
+            Some(c) => c.legalize.get_or_insert_traced(
+                (basis.clone(), dependences.matrix.clone()),
+                tracer,
+                "legalize",
+                legalize,
+            ),
+            None => legalize(),
+        };
+        if let Some(t) = tracer {
+            let dep_desc = format!(
+                "{}x{} dependence matrix",
+                dependences.matrix.rows(),
+                dependences.matrix.cols()
+            );
+            for (row, fate) in legalized.row_fates.iter().enumerate() {
+                match fate {
+                    RowFate::Dropped => t.emit(EventKind::RowRejected {
+                        row,
+                        dep: dep_desc.clone(),
+                    }),
+                    RowFate::Negated => t.emit(EventKind::RowNegated { row }),
+                    RowFate::Kept => {}
+                }
+            }
+            if legalized.degraded {
+                t.emit(EventKind::Note {
+                    text: "legalization overflowed; degraded to identity".into(),
+                });
+            }
+        }
+        legalized
     };
     let Legalized {
         mut transform,
         row_fates,
+        prepad_rows,
         degraded,
     } = legalized;
     let mut fell_back_to_identity = degraded;
+    {
+        let _s = tracer.map(|t| t.span("padding"));
+        if let Some(t) = tracer {
+            let padded = transform.rows().saturating_sub(prepad_rows) as u64;
+            t.emit(EventKind::Counter {
+                name: "norm.padding_rows".into(),
+                value: padded,
+            });
+            t.metrics().add("norm.padding_rows", padded);
+        }
+    }
 
     // Defensive invariant check: the construction must be invertible.
     if !transform.is_invertible() {
@@ -230,6 +306,13 @@ pub fn normalize_with(
         if !is_legal(&transform, &dependences) {
             return Err(CoreError::IllegalTransform);
         }
+    }
+    if let Some(t) = tracer {
+        t.emit(EventKind::TransformSelected {
+            det: an_linalg::det::determinant(&transform).unwrap_or(0),
+            matrix: render_matrix(&transform),
+            identity_fallback: fell_back_to_identity,
+        });
     }
 
     // Report which subscripts are normal in the new nest: the subscript
@@ -258,6 +341,28 @@ pub fn normalize_with(
         row_fates,
         fell_back_to_identity,
     })
+}
+
+/// Compact row-major rendering for trace events, e.g.
+/// `[[0,1,0],[0,0,1],[1,0,0]]`.
+fn render_matrix(m: &IMatrix) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("[");
+    for r in 0..m.rows() {
+        if r > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        for (c, v) in m.row(r).iter().enumerate() {
+            if c > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{v}");
+        }
+        s.push(']');
+    }
+    s.push(']');
+    s
 }
 
 #[cfg(test)]
@@ -384,6 +489,7 @@ mod tests {
         let ctx = NormContext {
             cache: Some(&cache),
             deps: Some(&deps),
+            tracer: None,
         };
         let first = normalize_with(&p, &opts, ctx).unwrap();
         let second = normalize_with(&p, &opts, ctx).unwrap();

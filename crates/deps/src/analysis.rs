@@ -87,6 +87,48 @@ impl DependenceInfo {
     }
 }
 
+/// [`analyze`], additionally recording a `"deps"` span with edge and
+/// distance-column counters on `tracer`. With `tracer: None` this is
+/// exactly `analyze`.
+///
+/// # Errors
+///
+/// As [`analyze`].
+pub fn analyze_traced(
+    program: &Program,
+    opts: &DepOptions,
+    tracer: Option<&an_obs::Tracer>,
+) -> Result<DependenceInfo, DepError> {
+    let Some(t) = tracer else {
+        return analyze(program, opts);
+    };
+    let _span = t.span("deps");
+    let info = analyze(program, opts)?;
+    t.emit(an_obs::EventKind::Counter {
+        name: "deps.edges".into(),
+        value: info.deps.len() as u64,
+    });
+    t.emit(an_obs::EventKind::Counter {
+        name: "deps.distance_columns".into(),
+        value: info.matrix.cols() as u64,
+    });
+    if !info.directions.is_empty() {
+        t.emit(an_obs::EventKind::Counter {
+            name: "deps.direction_vectors".into(),
+            value: info.directions.len() as u64,
+        });
+    }
+    if !info.exact {
+        t.emit(an_obs::EventKind::Note {
+            text: "dependence summary is inexact (legality checks heuristic)".into(),
+        });
+    }
+    t.metrics().add("deps.edges", info.deps.len() as u64);
+    t.metrics()
+        .add("deps.distance_columns", info.matrix.cols() as u64);
+    Ok(info)
+}
+
 /// Analyzes a program and assembles its dependence matrix.
 ///
 /// Considers every pair of accesses to the same array with at least one

@@ -50,7 +50,9 @@ pub mod tests;
 
 mod error;
 
-pub use analysis::{analyze, DepOptions, Dependence, DependenceInfo, DependenceKind};
+pub use analysis::{
+    analyze, analyze_traced, DepOptions, Dependence, DependenceInfo, DependenceKind,
+};
 pub use direction::{Dir, DirectionVector};
 pub use error::DepError;
 pub use legality::{carried_level, carried_levels, is_legal, transformed_dependences};

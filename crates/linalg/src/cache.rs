@@ -189,12 +189,39 @@ impl<K: Hash + Eq, V: Clone> MemoCache<K, V> {
     /// Returns the cached value for `key`, computing and storing it with
     /// `compute` on a miss.
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        self.get_or_insert_traced(key, None, "", compute)
+    }
+
+    /// [`MemoCache::get_or_insert_with`], additionally emitting a
+    /// `CacheHit`/`CacheMiss` event labelled `label` on `tracer`.
+    ///
+    /// Only pass a tracer from single-threaded (coordinator) lookups:
+    /// two workers racing the same key may *both* record a miss (see
+    /// `concurrent_use_is_consistent`), which would make traced event
+    /// streams scheduler-dependent.
+    pub fn get_or_insert_traced(
+        &self,
+        key: K,
+        tracer: Option<&an_obs::Tracer>,
+        label: &str,
+        compute: impl FnOnce() -> V,
+    ) -> V {
         if let Some(v) = self.map.lock().expect("cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = tracer {
+                t.emit(an_obs::EventKind::CacheHit {
+                    cache: label.to_string(),
+                });
+            }
             return v.clone();
         }
         // Compute outside the lock: misses on distinct keys overlap.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = tracer {
+            t.emit(an_obs::EventKind::CacheMiss {
+                cache: label.to_string(),
+            });
+        }
         let v = compute();
         self.map
             .lock()

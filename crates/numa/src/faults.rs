@@ -570,6 +570,60 @@ fn run_segment(
     Ok(())
 }
 
+/// [`simulate_chaos`], recording a `"chaos"` span on `tracer` when
+/// present: a `FaultArmed` event describing the (deterministically
+/// seeded) fault plan, one `TransferIssued` per processor in processor
+/// order, and a `FaultRecovered` summary matching the report's
+/// [`FaultStats`].
+///
+/// # Errors
+///
+/// As [`simulate_chaos`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_chaos_traced(
+    spmd: &SpmdProgram,
+    machine: &MachineConfig,
+    procs: usize,
+    params: &[i64],
+    scenario: Scenario,
+    seed: u64,
+    jobs: usize,
+    tracer: Option<&an_obs::Tracer>,
+) -> Result<ChaosReport, SimError> {
+    let Some(t) = tracer else {
+        return simulate_chaos(spmd, machine, procs, params, scenario, seed, jobs);
+    };
+    let _span = t.span("chaos");
+    let report = simulate_chaos(spmd, machine, procs, params, scenario, seed, jobs)?;
+    let f = &report.stats.faults;
+    t.emit(an_obs::EventKind::FaultArmed {
+        scenario: scenario.name().to_string(),
+        victims: f.failed_procs.clone(),
+    });
+    for (p, ps) in report.stats.per_proc.iter().enumerate() {
+        if ps.messages > 0 || ps.retries > 0 {
+            t.emit(an_obs::EventKind::TransferIssued {
+                proc: p,
+                messages: ps.messages,
+                bytes: ps.transfer_bytes,
+                retries: ps.retries,
+            });
+        }
+    }
+    t.emit(an_obs::EventKind::FaultRecovered {
+        replayed: f.replayed_iterations,
+        redistributed_bytes: f.redistributed_bytes,
+        retries: f.retries,
+        timeouts: f.timeouts,
+    });
+    let m = t.metrics();
+    m.add("chaos.retries", f.retries);
+    m.add("chaos.timeouts", f.timeouts);
+    m.add("chaos.replayed_iterations", f.replayed_iterations);
+    m.add("chaos.redistributed_bytes", f.redistributed_bytes);
+    Ok(report)
+}
+
 /// Prices a fault-injected run of the SPMD program and accounts the
 /// recovery cost against a fault-free baseline.
 ///

@@ -47,6 +47,49 @@ pub fn simulate(
     simulate_with_jobs(spmd, machine, procs, params, jobs)
 }
 
+/// [`simulate_with_jobs`], recording a `"simulate"` span on `tracer`
+/// when present: one `TransferIssued` event per processor that moved
+/// data (emitted after the parallel join, in processor order, so the
+/// event stream is identical for every `jobs` value) plus the
+/// aggregate access/message/byte counters.
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_traced(
+    spmd: &SpmdProgram,
+    machine: &MachineConfig,
+    procs: usize,
+    params: &[i64],
+    jobs: usize,
+    tracer: Option<&an_obs::Tracer>,
+) -> Result<SimStats, SimError> {
+    let Some(t) = tracer else {
+        return simulate_with_jobs(spmd, machine, procs, params, jobs);
+    };
+    let _span = t.span("simulate");
+    let stats = simulate_with_jobs(spmd, machine, procs, params, jobs)?;
+    for (p, ps) in stats.per_proc.iter().enumerate() {
+        if ps.messages > 0 || ps.retries > 0 {
+            t.emit(an_obs::EventKind::TransferIssued {
+                proc: p,
+                messages: ps.messages,
+                bytes: ps.transfer_bytes,
+                retries: ps.retries,
+            });
+        }
+    }
+    let m = t.metrics();
+    m.add("sim.local_accesses", stats.total_local());
+    m.add("sim.remote_accesses", stats.total_remote());
+    m.add("sim.messages", stats.total_messages());
+    m.add("sim.transfer_bytes", stats.total_transfer_bytes());
+    for ps in &stats.per_proc {
+        m.observe("sim.proc_transfer_bytes", ps.transfer_bytes);
+    }
+    Ok(stats)
+}
+
 /// [`simulate`] with an explicit worker-thread count (`jobs == 0` means
 /// all available parallelism, `jobs == 1` forces serial execution).
 ///

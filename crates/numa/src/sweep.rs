@@ -53,6 +53,11 @@ pub struct SweepConfig {
     /// simulated under each fault scenario with
     /// [`simulate_chaos`](crate::faults::simulate_chaos).
     pub chaos: Option<ChaosSweep>,
+    /// Observability sink. The sweep coordinator records a `"sweep"`
+    /// span with grid-shape counters; individual grid points run
+    /// untraced (worker emission would make event order depend on
+    /// scheduling — see the `an-obs` determinism contract).
+    pub tracer: Option<std::sync::Arc<an_obs::Tracer>>,
 }
 
 impl Default for SweepConfig {
@@ -62,6 +67,7 @@ impl Default for SweepConfig {
             param_sets: Vec::new(),
             jobs: 0,
             chaos: None,
+            tracer: None,
         }
     }
 }
@@ -210,6 +216,14 @@ pub fn sweep(
             })
         })
         .collect();
+    let tracer = cfg.tracer.as_deref();
+    let _span = tracer.map(|t| t.span("sweep"));
+    if let Some(t) = tracer {
+        t.emit(an_obs::EventKind::Counter {
+            name: "sweep.grid_points".into(),
+            value: grid.len() as u64,
+        });
+    }
     let start = Instant::now();
     let results = an_par::par_map(&grid, cfg.jobs, |&(mi, procs, pi, sc)| {
         let stats = match sc {
@@ -239,6 +253,14 @@ pub fn sweep(
     let mut points = Vec::with_capacity(results.len());
     for r in results {
         points.push(r?);
+    }
+    if let Some(t) = tracer {
+        let m = t.metrics();
+        m.add("sweep.points", points.len() as u64);
+        for pt in &points {
+            m.add("sweep.messages", pt.stats.total_messages());
+            m.add("sweep.transfer_bytes", pt.stats.total_transfer_bytes());
+        }
     }
     Ok(SweepReport {
         points,
@@ -284,6 +306,7 @@ mod tests {
             param_sets: vec![vec![8], vec![6]],
             jobs: 0,
             chaos: None,
+            tracer: None,
         };
         let report = sweep(&spmd, &machines, &cfg).unwrap();
         assert_eq!(report.points.len(), 2 * 3 * 2);
@@ -309,6 +332,7 @@ mod tests {
             param_sets: vec![vec![8]],
             jobs,
             chaos: None,
+            tracer: None,
         };
         let serial = sweep(&spmd, &machines, &mk(1)).unwrap();
         let par = sweep(&spmd, &machines, &mk(0)).unwrap();
@@ -324,6 +348,7 @@ mod tests {
             param_sets: vec![vec![8]],
             jobs: 1,
             chaos: None,
+            tracer: None,
         };
         let mut report = sweep(&spmd, &machines, &cfg).unwrap();
         report.norm_cache = Some(CacheStats { hits: 3, misses: 1 });
@@ -348,6 +373,7 @@ mod tests {
                 seed: 7,
                 scenarios: Scenario::all().to_vec(),
             }),
+            tracer: None,
         };
         let serial = sweep(&spmd, &machines, &mk(1)).unwrap();
         let par = sweep(&spmd, &machines, &mk(0)).unwrap();

@@ -1,0 +1,329 @@
+//! Typed trace events and their JSON projections.
+
+use crate::sink::json_escape;
+use std::fmt::Write as _;
+
+/// Identifier of a span in a [`crate::Trace`]. Span `0` is the
+/// implicit root that encloses everything emitted outside any
+/// [`crate::Tracer::span`] guard.
+pub type SpanId = u64;
+
+/// The implicit enclosing span for top-level events.
+pub const ROOT_SPAN: SpanId = 0;
+
+/// One record in the event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Logical timestamp: the event's index in the log. This is the
+    /// default clock — reproducible run to run, so traces can be
+    /// snapshot-tested byte for byte.
+    pub seq: u64,
+    /// The span that was open when the event was emitted (the *parent*
+    /// for `PhaseStart`/`PhaseEnd`).
+    pub span: SpanId,
+    /// Opt-in wall-clock microseconds since tracer creation. `None`
+    /// unless the tracer was built with
+    /// [`crate::Tracer::with_wall_clock`]; stripped by
+    /// [`crate::normalize_jsonl`].
+    pub wall_us: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event taxonomy. Every phase of the pipeline — normalization,
+/// legalization, restructuring, codegen, simulation, fault recovery,
+/// search — reports through these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A new span `span` named `phase` opened under [`Event::span`].
+    PhaseStart {
+        /// Id of the span being opened.
+        span: SpanId,
+        /// Phase name (e.g. `"basis"`, `"codegen"`).
+        phase: String,
+    },
+    /// Span `span` named `phase` closed.
+    PhaseEnd {
+        /// Id of the span being closed.
+        span: SpanId,
+        /// Phase name, repeated for greppability.
+        phase: String,
+    },
+    /// `BasisMatrix` selection finished: `rank` rows were kept, in
+    /// data-access priority order `rows` (row indices of the access
+    /// matrix).
+    BasisChosen {
+        /// Number of linearly independent rows kept.
+        rank: usize,
+        /// Access-matrix row indices forming the basis, in order.
+        rows: Vec<usize>,
+    },
+    /// Legalization dropped a candidate basis row that violated a
+    /// dependence.
+    RowRejected {
+        /// Index of the rejected row in the candidate basis.
+        row: usize,
+        /// Human-readable culprit (the dependence matrix it clashed
+        /// with).
+        dep: String,
+    },
+    /// Legalization kept a row but negated it (loop reversal).
+    RowNegated {
+        /// Index of the negated row in the candidate basis.
+        row: usize,
+    },
+    /// The final loop transform was fixed.
+    TransformSelected {
+        /// Determinant of the transform (±1 for unimodular).
+        det: i64,
+        /// Compact row-major rendering, e.g. `[[0,1,0],[0,0,1],[1,0,0]]`.
+        matrix: String,
+        /// True when legalization failed and the compiler fell back to
+        /// the identity transform.
+        identity_fallback: bool,
+    },
+    /// A compile budget was consulted (and charged).
+    BudgetCharge {
+        /// Which budget (e.g. `"loop-depth"`, `"search-candidates"`).
+        resource: String,
+        /// Amount requested.
+        amount: u64,
+        /// Configured ceiling.
+        limit: u64,
+    },
+    /// A memo-cache lookup hit.
+    CacheHit {
+        /// Cache label (e.g. `"basis"`, `"legalize"`, `"transform"`).
+        cache: String,
+    },
+    /// A memo-cache lookup missed (the value was computed).
+    CacheMiss {
+        /// Cache label.
+        cache: String,
+    },
+    /// Codegen planned a block transfer for an array dimension.
+    TransferPlanned {
+        /// Array name.
+        array: String,
+        /// Distributed dimension being prefetched.
+        dim: usize,
+        /// Loop level the transfer was hoisted to.
+        level: usize,
+    },
+    /// A processor's transfers actually ran in the simulator (emitted
+    /// post-join, in processor order).
+    TransferIssued {
+        /// Simulated processor id.
+        proc: usize,
+        /// Messages sent.
+        messages: u64,
+        /// Bytes moved.
+        bytes: u64,
+        /// Retries the fault runtime performed for this processor.
+        retries: u64,
+    },
+    /// The chaos runtime armed a fault plan.
+    FaultArmed {
+        /// Scenario name (e.g. `"failstop"`).
+        scenario: String,
+        /// Processors scheduled to fail-stop.
+        victims: Vec<usize>,
+    },
+    /// The chaos runtime finished recovery.
+    FaultRecovered {
+        /// Outer iterations replayed on surviving processors.
+        replayed: u64,
+        /// Bytes redistributed from dead processors.
+        redistributed_bytes: u64,
+        /// Total transfer retries across the run.
+        retries: u64,
+        /// Total transfer timeouts across the run.
+        timeouts: u64,
+    },
+    /// The verifier raised a diagnostic.
+    Diag {
+        /// Stable diagnostic code (e.g. `"V03"`).
+        code: String,
+        /// `"error"` or `"warning"`.
+        severity: String,
+    },
+    /// A point-in-time counter observation attached to the trace (for
+    /// values that belong to a specific span rather than the global
+    /// metrics registry).
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Observed value.
+        value: u64,
+    },
+    /// Free-form annotation.
+    Note {
+        /// The annotation text.
+        text: String,
+    },
+}
+
+impl EventKind {
+    /// Stable `snake_case` name used by every sink.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::PhaseStart { .. } => "phase_start",
+            EventKind::PhaseEnd { .. } => "phase_end",
+            EventKind::BasisChosen { .. } => "basis_chosen",
+            EventKind::RowRejected { .. } => "row_rejected",
+            EventKind::RowNegated { .. } => "row_negated",
+            EventKind::TransformSelected { .. } => "transform_selected",
+            EventKind::BudgetCharge { .. } => "budget_charge",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::TransferPlanned { .. } => "transfer_planned",
+            EventKind::TransferIssued { .. } => "transfer_issued",
+            EventKind::FaultArmed { .. } => "fault_armed",
+            EventKind::FaultRecovered { .. } => "fault_recovered",
+            EventKind::Diag { .. } => "diag",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Note { .. } => "note",
+        }
+    }
+
+    /// The event's payload as a JSON object (without the envelope).
+    pub fn args_json(&self) -> String {
+        fn usize_list(v: &[usize]) -> String {
+            let mut s = String::from("[");
+            for (i, x) in v.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{x}");
+            }
+            s.push(']');
+            s
+        }
+        match self {
+            EventKind::PhaseStart { span, phase } | EventKind::PhaseEnd { span, phase } => {
+                format!("{{\"span\":{span},\"phase\":\"{}\"}}", json_escape(phase))
+            }
+            EventKind::BasisChosen { rank, rows } => {
+                format!("{{\"rank\":{rank},\"rows\":{}}}", usize_list(rows))
+            }
+            EventKind::RowRejected { row, dep } => {
+                format!("{{\"row\":{row},\"dep\":\"{}\"}}", json_escape(dep))
+            }
+            EventKind::RowNegated { row } => format!("{{\"row\":{row}}}"),
+            EventKind::TransformSelected {
+                det,
+                matrix,
+                identity_fallback,
+            } => format!(
+                "{{\"det\":{det},\"matrix\":\"{}\",\"identity_fallback\":{identity_fallback}}}",
+                json_escape(matrix)
+            ),
+            EventKind::BudgetCharge {
+                resource,
+                amount,
+                limit,
+            } => format!(
+                "{{\"resource\":\"{}\",\"amount\":{amount},\"limit\":{limit}}}",
+                json_escape(resource)
+            ),
+            EventKind::CacheHit { cache } | EventKind::CacheMiss { cache } => {
+                format!("{{\"cache\":\"{}\"}}", json_escape(cache))
+            }
+            EventKind::TransferPlanned { array, dim, level } => format!(
+                "{{\"array\":\"{}\",\"dim\":{dim},\"level\":{level}}}",
+                json_escape(array)
+            ),
+            EventKind::TransferIssued {
+                proc,
+                messages,
+                bytes,
+                retries,
+            } => format!(
+                "{{\"proc\":{proc},\"messages\":{messages},\"bytes\":{bytes},\"retries\":{retries}}}"
+            ),
+            EventKind::FaultArmed { scenario, victims } => format!(
+                "{{\"scenario\":\"{}\",\"victims\":{}}}",
+                json_escape(scenario),
+                usize_list(victims)
+            ),
+            EventKind::FaultRecovered {
+                replayed,
+                redistributed_bytes,
+                retries,
+                timeouts,
+            } => format!(
+                "{{\"replayed\":{replayed},\"redistributed_bytes\":{redistributed_bytes},\
+                 \"retries\":{retries},\"timeouts\":{timeouts}}}"
+            ),
+            EventKind::Diag { code, severity } => format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\"}}",
+                json_escape(code),
+                json_escape(severity)
+            ),
+            EventKind::Counter { name, value } => {
+                format!("{{\"name\":\"{}\",\"value\":{value}}}", json_escape(name))
+            }
+            EventKind::Note { text } => format!("{{\"text\":\"{}\"}}", json_escape(text)),
+        }
+    }
+
+    /// Short human rendering for the tree sink.
+    pub(crate) fn human(&self) -> String {
+        match self {
+            EventKind::PhaseStart { phase, .. } => phase.clone(),
+            EventKind::PhaseEnd { phase, .. } => format!("end {phase}"),
+            EventKind::BasisChosen { rank, rows } => {
+                format!("basis chosen: rank {rank}, rows {rows:?}")
+            }
+            EventKind::RowRejected { row, dep } => {
+                format!("row {row} rejected (violates {dep})")
+            }
+            EventKind::RowNegated { row } => format!("row {row} negated (loop reversal)"),
+            EventKind::TransformSelected {
+                det,
+                matrix,
+                identity_fallback,
+            } => {
+                if *identity_fallback {
+                    format!("transform selected: identity fallback (det {det})")
+                } else {
+                    format!("transform selected: {matrix} (det {det})")
+                }
+            }
+            EventKind::BudgetCharge {
+                resource,
+                amount,
+                limit,
+            } => format!("budget {resource}: {amount} of {limit}"),
+            EventKind::CacheHit { cache } => format!("cache hit: {cache}"),
+            EventKind::CacheMiss { cache } => format!("cache miss: {cache}"),
+            EventKind::TransferPlanned { array, dim, level } => {
+                format!("transfer planned: {array} dim {dim} at level {level}")
+            }
+            EventKind::TransferIssued {
+                proc,
+                messages,
+                bytes,
+                retries,
+            } => {
+                format!("proc {proc}: {messages} message(s), {bytes} byte(s), {retries} retry(ies)")
+            }
+            EventKind::FaultArmed { scenario, victims } => {
+                format!("faults armed: {scenario}, victims {victims:?}")
+            }
+            EventKind::FaultRecovered {
+                replayed,
+                redistributed_bytes,
+                retries,
+                timeouts,
+            } => format!(
+                "recovered: {replayed} iteration(s) replayed, \
+                 {redistributed_bytes} byte(s) redistributed, \
+                 {retries} retry(ies), {timeouts} timeout(s)"
+            ),
+            EventKind::Diag { code, severity } => format!("diag {code} ({severity})"),
+            EventKind::Counter { name, value } => format!("{name} = {value}"),
+            EventKind::Note { text } => text.clone(),
+        }
+    }
+}

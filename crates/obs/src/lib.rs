@@ -1,0 +1,49 @@
+//! Deterministic observability for the access-normalization pipeline.
+//!
+//! The compiler's central claim is *explainability* — which subscripts
+//! mattered, which basis rows survived legalization, what transform was
+//! chosen, and how many remote vs. local references the generated SPMD
+//! code performs. This crate makes those answers machine-readable: a
+//! [`Tracer`] records a hierarchical span tree of typed [`Event`]s plus
+//! a [`Metrics`] registry of monotonic counters and fixed-bucket
+//! histograms, and three sinks render the resulting [`Trace`] for
+//! humans ([`render_tree`]), for tooling ([`render_jsonl`]), and for
+//! `chrome://tracing` ([`render_chrome`]).
+//!
+//! # Determinism contract
+//!
+//! Traces are snapshot-testable artifacts, so every default output is
+//! bitwise-deterministic for a given input — including across `--jobs`
+//! settings:
+//!
+//! - **Logical clocks.** The default timestamp of an event is its
+//!   sequence number (index in the event log), not wall-clock time.
+//!   Wall-clock is opt-in ([`Tracer::with_wall_clock`]) and lives in a
+//!   separate optional field that [`normalize_jsonl`] strips.
+//! - **Coordinator-only emission.** Instrumented code emits events only
+//!   from coordinator threads; parallel workers run untraced, and
+//!   per-worker summaries are emitted *after* the join, in worker
+//!   order. The tracer itself is thread-safe (a mutex), but relying on
+//!   that from racing workers would make event order scheduler-
+//!   dependent — the convention, not the lock, is what keeps traces
+//!   reproducible.
+//! - **Order-free metrics.** Counters and histograms are commutative
+//!   sums, so they are deterministic even when updated from parallel
+//!   sections; snapshots render them sorted by name.
+//!
+//! This crate depends on nothing (std only) so every layer of the
+//! stack — linalg, core, deps, codegen, numa, verify, the facade — can
+//! depend on it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod sink;
+mod tracer;
+
+pub use event::{Event, EventKind, SpanId, ROOT_SPAN};
+pub use metrics::{HistogramSnapshot, Metrics, BUCKET_BOUNDS};
+pub use sink::{json_escape, normalize_jsonl, render_chrome, render_jsonl, render_tree};
+pub use tracer::{PhaseSummary, SpanGuard, Trace, Tracer};

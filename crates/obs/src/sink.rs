@@ -1,0 +1,242 @@
+//! Trace renderers: human tree, JSON-lines, Chrome `trace_event`.
+
+use crate::event::EventKind;
+use crate::tracer::Trace;
+use std::fmt::Write as _;
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a trace as an indented human-readable tree, followed by the
+/// counter and histogram tables.
+pub fn render_tree(trace: &Trace) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for ev in &trace.events {
+        match &ev.kind {
+            EventKind::PhaseStart { phase, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{:indent$}{phase} [{}..",
+                    "",
+                    ev.seq,
+                    indent = depth * 2
+                );
+                depth += 1;
+            }
+            EventKind::PhaseEnd { .. } => {
+                depth = depth.saturating_sub(1);
+            }
+            kind => {
+                let _ = writeln!(out, "{:indent$}- {}", "", kind.human(), indent = depth * 2);
+            }
+        }
+    }
+    if !trace.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &trace.counters {
+            let _ = writeln!(out, "  {name:<32} {value}");
+        }
+    }
+    if !trace.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in &trace.histograms {
+            let _ = writeln!(out, "  {name:<32} n={} sum={}", h.total, h.sum);
+        }
+    }
+    out
+}
+
+/// Render a trace as JSON-lines: one object per event, then one per
+/// counter, then one per histogram. The stable tooling format — and
+/// the golden-snapshot format (after [`normalize_jsonl`]).
+pub fn render_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for ev in &trace.events {
+        let wall = ev
+            .wall_us
+            .map(|w| format!(",\"wall_us\":{w}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{{\"seq\":{},\"span\":{}{wall},\"kind\":\"{}\",\"args\":{}}}",
+            ev.seq,
+            ev.span,
+            ev.kind.name(),
+            ev.kind.args_json()
+        );
+    }
+    for (name, value) in &trace.counters {
+        let _ = writeln!(
+            out,
+            "{{\"counter\":\"{}\",\"value\":{value}}}",
+            json_escape(name)
+        );
+    }
+    for (name, h) in &trace.histograms {
+        let counts = h
+            .counts
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            out,
+            "{{\"histogram\":\"{}\",\"total\":{},\"sum\":{},\"counts\":[{counts}]}}",
+            json_escape(name),
+            h.total,
+            h.sum
+        );
+    }
+    out
+}
+
+/// Strip the opt-in `"wall_us"` fields from a JSONL trace, leaving
+/// only the deterministic logical-clock content. With wall-clock
+/// disabled this is the identity.
+pub fn normalize_jsonl(jsonl: &str) -> String {
+    let mut out = String::with_capacity(jsonl.len());
+    for line in jsonl.lines() {
+        out.push_str(&strip_wall_field(line));
+        out.push('\n');
+    }
+    out
+}
+
+fn strip_wall_field(line: &str) -> String {
+    // The renderer always writes `,"wall_us":<digits>` as one token;
+    // remove every occurrence (string values cannot contain it
+    // unescaped because `"` is escaped by `json_escape`).
+    const KEY: &str = ",\"wall_us\":";
+    let mut rest = line;
+    let mut out = String::with_capacity(line.len());
+    while let Some(pos) = rest.find(KEY) {
+        out.push_str(&rest[..pos]);
+        let after = &rest[pos + KEY.len()..];
+        let digits = after.chars().take_while(|c| c.is_ascii_digit()).count();
+        rest = &after[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Render a trace in Chrome `trace_event` JSON (load via
+/// `chrome://tracing` or Perfetto). Timestamps are the logical clocks
+/// (or wall-clock microseconds when stamped).
+pub fn render_chrome(trace: &Trace) -> String {
+    let mut rows = Vec::new();
+    for ev in &trace.events {
+        let ts = ev.wall_us.unwrap_or(ev.seq);
+        match &ev.kind {
+            EventKind::PhaseStart { phase, .. } => rows.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"B\",\"ts\":{ts},\"pid\":0,\"tid\":0}}",
+                json_escape(phase)
+            )),
+            EventKind::PhaseEnd { phase, .. } => rows.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"E\",\"ts\":{ts},\"pid\":0,\"tid\":0}}",
+                json_escape(phase)
+            )),
+            kind => rows.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":0,\"s\":\"t\",\
+                 \"args\":{}}}",
+                kind.name(),
+                kind.args_json()
+            )),
+        }
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", rows.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::tracer::Tracer;
+
+    fn sample(wall: bool) -> Trace {
+        let t = if wall {
+            Tracer::with_wall_clock()
+        } else {
+            Tracer::new()
+        };
+        {
+            let _c = t.span("compile");
+            {
+                let _b = t.span("basis");
+                t.emit(EventKind::BasisChosen {
+                    rank: 2,
+                    rows: vec![1, 0],
+                });
+            }
+            t.emit(EventKind::Note {
+                text: "quote \" and \\ back".into(),
+            });
+        }
+        t.metrics().add("sim.messages", 7);
+        t.metrics().observe("sim.bytes", 100);
+        t.snapshot()
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line() {
+        let text = render_jsonl(&sample(false));
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"kind\":\"basis_chosen\""));
+        assert!(text.contains("\"counter\":\"sim.messages\",\"value\":7"));
+        assert!(text.contains("\"histogram\":\"sim.bytes\""));
+    }
+
+    #[test]
+    fn normalize_strips_wall_clock_only() {
+        let plain = render_jsonl(&sample(false));
+        let walled = render_jsonl(&sample(true));
+        assert_ne!(plain, walled, "wall fields should be present");
+        assert_eq!(normalize_jsonl(&walled), plain);
+        assert_eq!(
+            normalize_jsonl(&plain),
+            plain,
+            "identity when no wall fields"
+        );
+    }
+
+    #[test]
+    fn tree_indents_by_span_depth() {
+        let text = render_tree(&sample(false));
+        assert!(text.contains("compile [0.."), "{text}");
+        assert!(text.contains("  basis [1.."), "{text}");
+        assert!(text.contains("    - basis chosen: rank 2"), "{text}");
+        assert!(text.contains("counters:"), "{text}");
+    }
+
+    #[test]
+    fn chrome_export_pairs_begin_end() {
+        let text = render_chrome(&sample(false));
+        assert_eq!(text.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(text.matches("\"ph\":\"E\"").count(), 2);
+        assert!(text.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,353 @@
+//! The span-stack tracer and its immutable snapshot.
+
+use crate::event::{Event, EventKind, SpanId, ROOT_SPAN};
+use crate::metrics::{HistogramSnapshot, Metrics};
+use std::sync::Mutex;
+use std::time::Instant;
+
+#[derive(Default)]
+struct Inner {
+    events: Vec<Event>,
+    /// Open spans, innermost last. The top is the parent of the next
+    /// emitted event.
+    stack: Vec<SpanId>,
+    next_span: SpanId,
+}
+
+/// Records a hierarchical trace of the pipeline: spans opened with
+/// [`Tracer::span`], typed events via [`Tracer::emit`], and order-free
+/// metrics via [`Tracer::metrics`]. Thread-safe; see the crate docs
+/// for the determinism conventions that keep traces reproducible.
+pub struct Tracer {
+    inner: Mutex<Inner>,
+    /// Some(start) when wall-clock stamping was requested.
+    start: Option<Instant>,
+    metrics: Metrics,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("tracer lock");
+        f.debug_struct("Tracer")
+            .field("events", &inner.events.len())
+            .field("open_spans", &inner.stack.len())
+            .field("wall_clock", &self.start.is_some())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// New tracer with logical clocks only (the deterministic default).
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Mutex::new(Inner {
+                events: Vec::new(),
+                stack: Vec::new(),
+                next_span: ROOT_SPAN + 1,
+            }),
+            start: None,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// New tracer that additionally stamps each event with wall-clock
+    /// microseconds since creation. Wall fields make output
+    /// nondeterministic; [`crate::normalize_jsonl`] strips them.
+    pub fn with_wall_clock() -> Tracer {
+        Tracer {
+            start: Some(Instant::now()),
+            ..Tracer::new()
+        }
+    }
+
+    /// The embedded metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn wall_us(&self) -> Option<u64> {
+        self.start.map(|s| s.elapsed().as_micros() as u64)
+    }
+
+    /// Append an event. Its logical timestamp is its index in the log;
+    /// its parent is the innermost open span.
+    pub fn emit(&self, kind: EventKind) {
+        let wall_us = self.wall_us();
+        let mut inner = self.inner.lock().expect("tracer lock");
+        let span = inner.stack.last().copied().unwrap_or(ROOT_SPAN);
+        let seq = inner.events.len() as u64;
+        inner.events.push(Event {
+            seq,
+            span,
+            wall_us,
+            kind,
+        });
+    }
+
+    /// Open a span named `phase`. The returned guard closes it on
+    /// drop, emitting the matching `PhaseEnd`.
+    pub fn span(&self, phase: &str) -> SpanGuard<'_> {
+        let wall_us = self.wall_us();
+        let mut inner = self.inner.lock().expect("tracer lock");
+        let parent = inner.stack.last().copied().unwrap_or(ROOT_SPAN);
+        let id = inner.next_span;
+        inner.next_span += 1;
+        let seq = inner.events.len() as u64;
+        inner.events.push(Event {
+            seq,
+            span: parent,
+            wall_us,
+            kind: EventKind::PhaseStart {
+                span: id,
+                phase: phase.to_string(),
+            },
+        });
+        inner.stack.push(id);
+        SpanGuard {
+            tracer: self,
+            id,
+            phase: phase.to_string(),
+        }
+    }
+
+    /// Immutable snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Trace {
+        let inner = self.inner.lock().expect("tracer lock");
+        Trace {
+            events: inner.events.clone(),
+            counters: self.metrics.counters(),
+            histograms: self.metrics.histograms(),
+        }
+    }
+}
+
+/// RAII guard for an open span; closes it (emitting `PhaseEnd`) on
+/// drop. Guards from the same tracer must drop in LIFO order — the
+/// natural consequence of holding them in nested scopes.
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    id: SpanId,
+    phase: String,
+}
+
+impl SpanGuard<'_> {
+    /// Id of the span this guard keeps open.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let wall_us = self.tracer.wall_us();
+        let mut inner = self.tracer.inner.lock().expect("tracer lock");
+        // Defensive: pop through any inner spans whose guards leaked
+        // (e.g. an unwind) so the stack cannot wedge.
+        while let Some(top) = inner.stack.pop() {
+            if top == self.id {
+                break;
+            }
+        }
+        let parent = inner.stack.last().copied().unwrap_or(ROOT_SPAN);
+        let seq = inner.events.len() as u64;
+        inner.events.push(Event {
+            seq,
+            span: parent,
+            wall_us,
+            kind: EventKind::PhaseEnd {
+                span: self.id,
+                phase: std::mem::take(&mut self.phase),
+            },
+        });
+    }
+}
+
+/// One span of a [`Trace`], flattened for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSummary {
+    /// The span's id.
+    pub span: SpanId,
+    /// Enclosing span ([`ROOT_SPAN`] for top-level phases).
+    pub parent: SpanId,
+    /// Nesting depth (0 for top-level phases).
+    pub depth: usize,
+    /// Phase name.
+    pub phase: String,
+    /// Logical timestamp of the `PhaseStart` event.
+    pub start: u64,
+    /// Logical timestamp of the matching `PhaseEnd`, if the span
+    /// closed before the snapshot.
+    pub end: Option<u64>,
+    /// Wall-clock duration in microseconds, when the tracer stamps
+    /// wall time and the span closed.
+    pub wall_us: Option<u64>,
+}
+
+/// Immutable snapshot of a [`Tracer`]: the event log plus the metrics
+/// registry, both in deterministic order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Events in emission order (`events[i].seq == i`).
+    pub events: Vec<Event>,
+    /// Counters sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Trace {
+    /// Flatten the span tree into start-order summaries.
+    pub fn phases(&self) -> Vec<PhaseSummary> {
+        let mut out: Vec<PhaseSummary> = Vec::new();
+        let mut depth_of = std::collections::HashMap::new();
+        depth_of.insert(ROOT_SPAN, 0usize);
+        for ev in &self.events {
+            match &ev.kind {
+                EventKind::PhaseStart { span, phase } => {
+                    let depth = depth_of.get(&ev.span).copied().unwrap_or(0);
+                    depth_of.insert(*span, depth + 1);
+                    out.push(PhaseSummary {
+                        span: *span,
+                        parent: ev.span,
+                        depth,
+                        phase: phase.clone(),
+                        start: ev.seq,
+                        end: None,
+                        wall_us: None,
+                    });
+                }
+                EventKind::PhaseEnd { span, .. } => {
+                    if let Some(p) = out.iter_mut().rev().find(|p| p.span == *span) {
+                        p.end = Some(ev.seq);
+                        if let Some(end_wall) = ev.wall_us {
+                            let start_wall = self
+                                .events
+                                .get(p.start as usize)
+                                .and_then(|e| e.wall_us)
+                                .unwrap_or(end_wall);
+                            p.wall_us = Some(end_wall - start_wall);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Check the structural invariants snapshot tests rely on: `seq`
+    /// is dense and increasing, every `PhaseStart` has exactly one
+    /// matching `PhaseEnd`, and spans close in LIFO order relative to
+    /// their parent. Returns the first violation.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        let mut stack: Vec<(SpanId, String)> = Vec::new();
+        let mut seen: std::collections::HashSet<SpanId> = std::collections::HashSet::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.seq != i as u64 {
+                return Err(format!("event {i} has seq {}", ev.seq));
+            }
+            // A PhaseEnd's envelope span is the *parent* (the span
+            // left open after the close), so pop before comparing.
+            if let EventKind::PhaseEnd { span, phase } = &ev.kind {
+                match stack.pop() {
+                    Some((id, name)) if id == *span && &name == phase => {}
+                    Some((id, name)) => {
+                        return Err(format!(
+                            "event {i} closes span {span} '{phase}' but innermost is {id} '{name}'"
+                        ));
+                    }
+                    None => return Err(format!("event {i} closes span {span} with none open")),
+                }
+            }
+            let open = stack.last().map_or(ROOT_SPAN, |(id, _)| *id);
+            if ev.span != open {
+                return Err(format!(
+                    "event {i} ({}) attributed to span {} but innermost open span is {open}",
+                    ev.kind.name(),
+                    ev.span
+                ));
+            }
+            if let EventKind::PhaseStart { span, phase } = &ev.kind {
+                if !seen.insert(*span) {
+                    return Err(format!("span {span} opened twice"));
+                }
+                stack.push((*span, phase.clone()));
+            }
+        }
+        if let Some((id, name)) = stack.last() {
+            return Err(format!("span {id} '{name}' never closed"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("compile");
+            t.emit(EventKind::Note {
+                text: "inside".into(),
+            });
+            {
+                let _b = t.span("basis");
+                t.emit(EventKind::BasisChosen {
+                    rank: 2,
+                    rows: vec![1, 0],
+                });
+            }
+        }
+        let trace = t.snapshot();
+        trace.check_well_formed().expect("well formed");
+        let phases = trace.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].phase, "compile");
+        assert_eq!(phases[0].depth, 0);
+        assert_eq!(phases[1].phase, "basis");
+        assert_eq!(phases[1].parent, phases[0].span);
+        assert_eq!(phases[1].depth, 1);
+        assert!(phases.iter().all(|p| p.end.is_some()));
+    }
+
+    #[test]
+    fn logical_clocks_are_dense() {
+        let t = Tracer::new();
+        let _s = t.span("a");
+        t.emit(EventKind::Note { text: "x".into() });
+        drop(_s);
+        let trace = t.snapshot();
+        for (i, ev) in trace.events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+            assert_eq!(ev.wall_us, None);
+        }
+    }
+
+    #[test]
+    fn wall_clock_is_opt_in() {
+        let t = Tracer::with_wall_clock();
+        let s = t.span("a");
+        drop(s);
+        let trace = t.snapshot();
+        assert!(trace.events.iter().all(|e| e.wall_us.is_some()));
+    }
+
+    #[test]
+    fn well_formedness_catches_unclosed_span() {
+        let t = Tracer::new();
+        let s = t.span("open");
+        let trace = t.snapshot();
+        assert!(trace.check_well_formed().is_err());
+        drop(s);
+        t.snapshot().check_well_formed().expect("closed now");
+    }
+}

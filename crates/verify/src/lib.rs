@@ -70,7 +70,7 @@ use an_codegen::{SpmdProgram, TransformedProgram};
 use an_ir::Program;
 
 /// Options for [`verify_artifacts`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct VerifyOptions {
     /// Budget for concrete enumeration: parameter instantiations whose
     /// iteration count exceeds this are skipped (the verifier shrinks
@@ -86,6 +86,21 @@ pub struct VerifyOptions {
     /// configured fault scenario through the degraded runtime and
     /// compares final array state against the fault-free interpreter.
     pub chaos: Option<ChaosOptions>,
+    /// When set, the verifier records a `verify` span and one
+    /// [`an_obs::EventKind::Diag`] event per finding on this tracer.
+    /// Attaching a tracer never changes what the verifier reports.
+    pub tracer: Option<std::sync::Arc<an_obs::Tracer>>,
+}
+
+impl PartialEq for VerifyOptions {
+    // Tracer attachment is observability plumbing, not configuration:
+    // two option sets that check the same things compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.max_points == other.max_points
+            && self.procs == other.procs
+            && self.expect_transfers == other.expect_transfers
+            && self.chaos == other.chaos
+    }
 }
 
 impl Default for VerifyOptions {
@@ -95,6 +110,7 @@ impl Default for VerifyOptions {
             procs: vec![2, 3],
             expect_transfers: true,
             chaos: None,
+            tracer: None,
         }
     }
 }
@@ -103,6 +119,43 @@ impl Default for VerifyOptions {
 /// structured report. Never panics on malformed artifacts — findings
 /// are diagnostics, not crashes.
 pub fn verify_artifacts(
+    program: &Program,
+    transformed: &TransformedProgram,
+    spmd: &SpmdProgram,
+    opts: &VerifyOptions,
+) -> VerifyReport {
+    let tracer = opts.tracer.as_deref();
+    let _span = tracer.map(|t| t.span("verify"));
+    let report = verify_artifacts_inner(program, transformed, spmd, opts);
+    if let Some(t) = tracer {
+        let mut errors = 0u64;
+        let mut warnings = 0u64;
+        for d in &report.diagnostics {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+                Severity::Info => {}
+            }
+            t.emit(an_obs::EventKind::Diag {
+                code: d.code.as_str().to_string(),
+                severity: d.severity.as_str().to_string(),
+            });
+        }
+        t.emit(an_obs::EventKind::Counter {
+            name: "verify.errors".to_string(),
+            value: errors,
+        });
+        t.emit(an_obs::EventKind::Counter {
+            name: "verify.warnings".to_string(),
+            value: warnings,
+        });
+        t.metrics().add("verify.errors", errors);
+        t.metrics().add("verify.warnings", warnings);
+    }
+    report
+}
+
+fn verify_artifacts_inner(
     program: &Program,
     transformed: &TransformedProgram,
     spmd: &SpmdProgram,

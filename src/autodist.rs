@@ -199,6 +199,22 @@ pub fn search_report(
         .collect();
     let total: usize = per_array.iter().map(Vec::len).product();
     let cap = opts.compile.budget.max_search_candidates;
+    // Workers never see the tracer: only the coordinator emits events,
+    // so the trace is identical for every `jobs` value. Order-free
+    // metrics (counters) are summed after the join instead.
+    let tracer = opts.compile.tracer.as_deref();
+    let _search_span = tracer.map(|t| t.span("search"));
+    let worker_compile = crate::CompileOptions {
+        tracer: None,
+        ..opts.compile.clone()
+    };
+    if let Some(t) = tracer {
+        t.emit(an_obs::EventKind::BudgetCharge {
+            resource: "search-candidates".to_string(),
+            amount: total as u64,
+            limit: cap as u64,
+        });
+    }
     if total > cap {
         return Err(Error::Budget(BudgetExceeded {
             resource: "search-candidates",
@@ -240,7 +256,7 @@ pub fn search_report(
     let survives: Option<Vec<bool>> = match opts.prune {
         None => None,
         Some(factor) => {
-            let mut cheap_opts = opts.compile.clone();
+            let mut cheap_opts = worker_compile.clone();
             cheap_opts.spmd.block_transfers = false;
             let cheap: Vec<Option<f64>> = an_par::par_map_indexed(total, opts.jobs, |i| {
                 let p = with_dists(&decode(i));
@@ -272,11 +288,11 @@ pub fn search_report(
             }
         }
         let p = with_dists(&decode(i));
-        match compile_program_with(&p, &opts.compile, &ctx) {
+        match compile_program_with(&p, &worker_compile, &ctx) {
             Ok(compiled) => {
                 if opts.verify {
                     let report =
-                        crate::verify_with(&compiled, &crate::verify_options_for(&opts.compile));
+                        crate::verify_with(&compiled, &crate::verify_options_for(&worker_compile));
                     if report.has_errors() {
                         return Eval::Rejected;
                     }
@@ -342,7 +358,7 @@ pub fn search_report(
             Some(c) => *c,
             // Warm-cache recompile: deterministic, so it succeeds
             // exactly when the scoring compile did.
-            None => compile_program_with(&with_dists(&decode(i)), &opts.compile, &ctx)?,
+            None => compile_program_with(&with_dists(&decode(i)), &worker_compile, &ctx)?,
         };
         candidates.push(DistributionCandidate {
             assignment: decode(i),
@@ -352,6 +368,20 @@ pub fn search_report(
         });
     }
 
+    if let Some(t) = tracer {
+        for (name, value) in [
+            ("search.evaluated", order.len() as u64),
+            ("search.skipped", skipped as u64),
+            ("search.pruned", pruned as u64),
+            ("search.rejected", rejected as u64),
+        ] {
+            t.emit(an_obs::EventKind::Counter {
+                name: name.to_string(),
+                value,
+            });
+            t.metrics().add(name, value);
+        }
+    }
     Ok(SearchReport {
         candidates,
         ranking,

@@ -18,6 +18,24 @@
 //!   --verify           run the independent soundness verifier; fail the
 //!                      compile (and reject search candidates) on errors
 //!   --explain          narrate every pipeline decision
+//!   --trace[=FILE]     record a structured pipeline trace (stderr, or FILE)
+//!   --trace-format F   tree (default) | jsonl | chrome
+//!
+//! anc profile [OPTIONS] <file.an>    compile + simulate under a tracer
+//!
+//!   --procs N          processor count to simulate (default: 4)
+//!   --machine M        gp1000 (default) | ipsc
+//!   --param NAME=V     override a parameter's default (repeatable)
+//!   --jobs N           simulation worker threads (never changes numbers)
+//!   --json             machine-readable profile on stdout (byte-identical
+//!                      for any --jobs value; logical clocks only)
+//!   --wall             include wall-clock microseconds (non-deterministic)
+//!   --out FILE         profile JSON path (default:
+//!                      target/an-bench-results/BENCH_profile.json)
+//!
+//! Prints the span tree of every pipeline phase (access matrix → basis →
+//! legal → padding → restructure → codegen → simulate) with logical
+//! timestamps, plus every counter and histogram the stages recorded.
 //!
 //! anc sweep [OPTIONS] <file.an>    batched simulation grid
 //!
@@ -29,7 +47,10 @@
 //!   --naive            sweep the unrestructured program
 //!   --no-transfers     disable block-transfer insertion
 //!   --verify           reject the compile on verifier errors
-//!   --json FILE        also write the report as JSON
+//!   --json FILE        also write the report as JSON (`-` prints pure
+//!                      JSON on stdout and moves the table to stderr)
+//!   --trace[=FILE]     record a structured trace (stderr, or FILE)
+//!   --trace-format F   tree (default) | jsonl | chrome
 //!
 //! anc check [OPTIONS] <file.an>...    independent soundness verification
 //!
@@ -54,6 +75,8 @@
 //!   --naive            inject into the unrestructured program
 //!   --json             machine-readable report (byte-identical for any
 //!                      --jobs value; no wall-clock fields)
+//!   --trace[=FILE]     record a structured trace (stderr, or FILE)
+//!   --trace-format F   tree (default) | jsonl | chrome
 //!
 //! Each run first proves recovery soundness (AN05xx): every scenario's
 //! degraded execution must end with array state bitwise identical to
@@ -111,21 +134,26 @@ struct Args {
     jobs: usize,
     verify: bool,
     explain: bool,
+    trace: Option<TraceDest>,
+    trace_format: String,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: anc [--emit WHAT] [--naive] [--no-transfers] [--ordering H]\n\
          \x20          [--simulate P1,P2,..] [--machine gp1000|ipsc]\n\
-         \x20          [--param NAME=V]... [--strides] [--jobs N] [--verify] <file.an | ->\n\
+         \x20          [--param NAME=V]... [--strides] [--jobs N] [--verify]\n\
+         \x20          [--trace[=FILE]] [--trace-format tree|jsonl|chrome] <file.an | ->\n\
+         \x20      anc profile [--procs N] [--machine gp1000|ipsc] [--param NAME=V]...\n\
+         \x20          [--jobs N] [--json] [--wall] [--out FILE] <file.an | ->\n\
          \x20      anc sweep [--procs LIST] [--machines LIST] [--params LIST]...\n\
-         \x20          [--jobs N] [--naive] [--no-transfers] [--verify] [--json FILE]\n\
-         \x20          [--chaos] [--seed N] <file.an | ->\n\
+         \x20          [--jobs N] [--naive] [--no-transfers] [--verify] [--json FILE|-]\n\
+         \x20          [--chaos] [--seed N] [--trace[=FILE]] [--trace-format F] <file.an | ->\n\
          \x20      anc check [--deny-warnings] [--json] [--naive] [--no-transfers]\n\
          \x20          [--param NAME=V]... [--mutate KIND] <file.an>...\n\
          \x20      anc chaos [--seed N] [--scenario S|all] [--procs LIST]\n\
          \x20          [--machine gp1000|ipsc] [--param NAME=V]... [--jobs N]\n\
-         \x20          [--naive] [--json] <file.an | ->\n\
+         \x20          [--naive] [--json] [--trace[=FILE]] [--trace-format F] <file.an | ->\n\
          \x20      anc fuzz [--seed N] [--iters N]"
     );
     std::process::exit(2);
@@ -152,6 +180,58 @@ fn parse_param_kv(kv: &str) -> (String, i64) {
     ));
 }
 
+/// Where a `--trace[=FILE]` flag sends the rendered trace: `None` is
+/// stderr (never stdout — machine-readable output owns stdout).
+type TraceDest = Option<String>;
+
+/// Recognizes `--trace` / `--trace=FILE`, returning the destination.
+fn parse_trace_flag(a: &str) -> Option<TraceDest> {
+    if a == "--trace" {
+        Some(None)
+    } else {
+        a.strip_prefix("--trace=").map(|f| Some(f.to_string()))
+    }
+}
+
+/// Validates a `--trace-format` operand.
+fn parse_trace_format(s: &str) -> String {
+    match s {
+        "tree" | "jsonl" | "chrome" => s.to_string(),
+        _ => fail_usage(&format!(
+            "anc: unknown --trace-format '{s}' (try tree, jsonl or chrome)"
+        )),
+    }
+}
+
+/// Renders a finished trace to stderr or the `--trace=FILE` path.
+fn write_trace(
+    tracer: &access_normalization::obs::Tracer,
+    dest: &TraceDest,
+    format: &str,
+) -> Result<(), String> {
+    use access_normalization::obs::{render_chrome, render_jsonl, render_tree};
+    let trace = tracer.snapshot();
+    let mut rendered = match format {
+        "jsonl" => render_jsonl(&trace),
+        "chrome" => render_chrome(&trace),
+        _ => render_tree(&trace),
+    };
+    if !rendered.ends_with('\n') {
+        rendered.push('\n');
+    }
+    match dest {
+        None => {
+            eprint!("{rendered}");
+            Ok(())
+        }
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("anc: cannot write {path}: {e}"))?;
+            eprintln!("wrote trace to {path}");
+            Ok(())
+        }
+    }
+}
+
 /// Reads the program source, exiting 2 with a one-line message when the
 /// path does not exist or is unreadable.
 fn read_source_or_exit(input: &str) -> String {
@@ -176,6 +256,8 @@ fn parse_args() -> Args {
         jobs: 0,
         verify: false,
         explain: false,
+        trace: None,
+        trace_format: "tree".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -220,9 +302,20 @@ fn parse_args() -> Args {
                 let n = it.next().unwrap_or_else(|| usage());
                 args.jobs = n.parse().unwrap_or_else(|_| usage());
             }
+            "--trace-format" => {
+                let f = it.next().unwrap_or_else(|| usage());
+                args.trace_format = parse_trace_format(&f);
+            }
             "--help" | "-h" => usage(),
-            _ if args.input.is_none() => args.input = Some(a),
-            _ => usage(),
+            other => {
+                if let Some(dest) = parse_trace_flag(other) {
+                    args.trace = Some(dest);
+                } else if args.input.is_none() {
+                    args.input = Some(a);
+                } else {
+                    usage()
+                }
+            }
         }
     }
     if args.input.is_none() {
@@ -258,6 +351,8 @@ fn run_sweep(argv: &[String]) -> ExitCode {
     let mut chaos = false;
     let mut seed = 1u64;
     let mut json: Option<String> = None;
+    let mut trace: Option<TraceDest> = None;
+    let mut trace_format = "tree".to_string();
     let mut input: Option<String> = None;
 
     let mut it = argv.iter();
@@ -306,9 +401,20 @@ fn run_sweep(argv: &[String]) -> ExitCode {
                     .unwrap_or_else(|| usage());
             }
             "--json" => json = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--trace-format" => {
+                let f = it.next().unwrap_or_else(|| usage());
+                trace_format = parse_trace_format(f);
+            }
             "--help" | "-h" => usage(),
-            _ if input.is_none() => input = Some(a.clone()),
-            _ => usage(),
+            other => {
+                if let Some(dest) = parse_trace_flag(other) {
+                    trace = Some(dest);
+                } else if input.is_none() {
+                    input = Some(a.clone());
+                } else {
+                    usage()
+                }
+            }
         }
     }
     let Some(input) = input else { usage() };
@@ -324,12 +430,16 @@ fn run_sweep(argv: &[String]) -> ExitCode {
         param_sets.push(program.default_param_values());
     }
     let ctx = PipelineCtx::new();
+    let tracer = trace
+        .as_ref()
+        .map(|_| std::sync::Arc::new(access_normalization::obs::Tracer::new()));
     let opts = CompileOptions {
         spmd: SpmdOptions {
             block_transfers: transfers,
         },
         skip_transform: naive,
         verify,
+        tracer: tracer.clone(),
         ..CompileOptions::default()
     };
     let compiled = match access_normalization::compile_program_with(&program, &opts, &ctx) {
@@ -347,6 +457,7 @@ fn run_sweep(argv: &[String]) -> ExitCode {
             seed,
             ..ChaosSweep::default()
         }),
+        tracer: tracer.clone(),
     };
     let mut report = match sweep(&compiled.spmd, &machines, &cfg) {
         Ok(r) => r,
@@ -357,74 +468,99 @@ fn run_sweep(argv: &[String]) -> ExitCode {
     };
     report.norm_cache = Some(ctx.stats());
 
-    println!(
-        "== sweep: {} points, {} workers, {} µs wall ==",
-        report.points.len(),
-        report.jobs,
-        report.wall_us
-    );
-    if chaos {
-        println!(
-            "{:<10} {:>5} {:<16} {:<16} {:>14} {:>9} {:>10} {:>8}",
-            "machine", "P", "params", "scenario", "time (µs)", "remote%", "messages", "imbal"
+    // The table goes to stdout normally, but `--json -` claims stdout
+    // for the machine-readable report and demotes the table to stderr.
+    let json_stdout = json.as_deref() == Some("-");
+    let mut table = String::new();
+    {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            table,
+            "== sweep: {} points, {} workers, {} µs wall ==",
+            report.points.len(),
+            report.jobs,
+            report.wall_us
         );
-    } else {
-        println!(
-            "{:<10} {:>5} {:<16} {:>14} {:>9} {:>10} {:>8}",
-            "machine", "P", "params", "time (µs)", "remote%", "messages", "imbal"
-        );
-    }
-    for pt in &report.points {
-        let params = pt
-            .params
-            .iter()
-            .map(|v| v.to_string())
-            .collect::<Vec<_>>()
-            .join(",");
         if chaos {
-            println!(
-                "{:<10} {:>5} {:<16} {:<16} {:>14.0} {:>8.1}% {:>10} {:>8.2}",
-                pt.machine,
-                pt.procs,
-                params,
-                pt.scenario.map_or("fault-free", |s| s.name()),
-                pt.stats.time_us,
-                100.0 * pt.stats.remote_fraction(),
-                pt.stats.total_messages(),
-                pt.stats.imbalance()
+            let _ = writeln!(
+                table,
+                "{:<10} {:>5} {:<16} {:<16} {:>14} {:>9} {:>10} {:>8}",
+                "machine", "P", "params", "scenario", "time (µs)", "remote%", "messages", "imbal"
             );
         } else {
-            println!(
-                "{:<10} {:>5} {:<16} {:>14.0} {:>8.1}% {:>10} {:>8.2}",
-                pt.machine,
-                pt.procs,
-                params,
-                pt.stats.time_us,
-                100.0 * pt.stats.remote_fraction(),
-                pt.stats.total_messages(),
-                pt.stats.imbalance()
+            let _ = writeln!(
+                table,
+                "{:<10} {:>5} {:<16} {:>14} {:>9} {:>10} {:>8}",
+                "machine", "P", "params", "time (µs)", "remote%", "messages", "imbal"
             );
         }
-    }
-    if let Some(best) = report.best() {
-        println!(
-            "best: {} P={} params=[{}] at {:.0} µs",
-            best.machine,
-            best.procs,
-            best.params
+        for pt in &report.points {
+            let params = pt
+                .params
                 .iter()
                 .map(|v| v.to_string())
                 .collect::<Vec<_>>()
-                .join(","),
-            best.stats.time_us
-        );
+                .join(",");
+            if chaos {
+                let _ = writeln!(
+                    table,
+                    "{:<10} {:>5} {:<16} {:<16} {:>14.0} {:>8.1}% {:>10} {:>8.2}",
+                    pt.machine,
+                    pt.procs,
+                    params,
+                    pt.scenario.map_or("fault-free", |s| s.name()),
+                    pt.stats.time_us,
+                    100.0 * pt.stats.remote_fraction(),
+                    pt.stats.total_messages(),
+                    pt.stats.imbalance()
+                );
+            } else {
+                let _ = writeln!(
+                    table,
+                    "{:<10} {:>5} {:<16} {:>14.0} {:>8.1}% {:>10} {:>8.2}",
+                    pt.machine,
+                    pt.procs,
+                    params,
+                    pt.stats.time_us,
+                    100.0 * pt.stats.remote_fraction(),
+                    pt.stats.total_messages(),
+                    pt.stats.imbalance()
+                );
+            }
+        }
+        if let Some(best) = report.best() {
+            let _ = writeln!(
+                table,
+                "best: {} P={} params=[{}] at {:.0} µs",
+                best.machine,
+                best.procs,
+                best.params
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                best.stats.time_us
+            );
+        }
     }
-    if let Some(path) = json {
-        if let Err(e) = std::fs::write(&path, report.to_json()) {
-            eprintln!("anc: cannot write {path}: {e}");
+    if json_stdout {
+        eprint!("{table}");
+        println!("{}", report.to_json());
+    } else {
+        print!("{table}");
+        if let Some(path) = json {
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("anc: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+    if let (Some(t), Some(dest)) = (&tracer, &trace) {
+        if let Err(e) = write_trace(t, dest, &trace_format) {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote {path}");
     }
     ExitCode::SUCCESS
 }
@@ -551,7 +687,7 @@ fn run_check(argv: &[String]) -> ExitCode {
 /// `anc chaos` — verify recovery soundness under every fault scenario,
 /// then price each scenario's degraded run.
 fn run_chaos(argv: &[String]) -> ExitCode {
-    use access_normalization::numa::{simulate_chaos, Scenario};
+    use access_normalization::numa::{simulate_chaos_traced, Scenario};
     use access_normalization::verify_mod::ChaosOptions;
     use access_normalization::{verify_options_for, verify_with};
 
@@ -563,6 +699,8 @@ fn run_chaos(argv: &[String]) -> ExitCode {
     let mut jobs = 0usize;
     let mut naive = false;
     let mut json = false;
+    let mut trace: Option<TraceDest> = None;
+    let mut trace_format = "tree".to_string();
     let mut input: Option<String> = None;
 
     let mut it = argv.iter();
@@ -611,9 +749,20 @@ fn run_chaos(argv: &[String]) -> ExitCode {
             }
             "--naive" => naive = true,
             "--json" => json = true,
+            "--trace-format" => {
+                let f = it.next().unwrap_or_else(|| usage());
+                trace_format = parse_trace_format(f);
+            }
             "--help" | "-h" => usage(),
-            _ if input.is_none() => input = Some(a.clone()),
-            _ => usage(),
+            other => {
+                if let Some(dest) = parse_trace_flag(other) {
+                    trace = Some(dest);
+                } else if input.is_none() {
+                    input = Some(a.clone());
+                } else {
+                    usage()
+                }
+            }
         }
     }
     let Some(input) = input else { usage() };
@@ -631,8 +780,12 @@ fn run_chaos(argv: &[String]) -> ExitCode {
             None => fail_usage(&format!("anc: {input}: unknown parameter '{name}'")),
         }
     }
+    let tracer = trace
+        .as_ref()
+        .map(|_| std::sync::Arc::new(access_normalization::obs::Tracer::new()));
     let opts = CompileOptions {
         skip_transform: naive,
+        tracer: tracer.clone(),
         ..CompileOptions::default()
     };
     let compiled = match access_normalization::compile_program(&program, &opts) {
@@ -663,7 +816,16 @@ fn run_chaos(argv: &[String]) -> ExitCode {
     let mut runs = Vec::new();
     for &p in &procs {
         for &sc in &scenarios {
-            match simulate_chaos(&compiled.spmd, &machine, p, &param_values, sc, seed, jobs) {
+            match simulate_chaos_traced(
+                &compiled.spmd,
+                &machine,
+                p,
+                &param_values,
+                sc,
+                seed,
+                jobs,
+                tracer.as_deref(),
+            ) {
                 Ok(r) => runs.push((p, r)),
                 Err(e) => {
                     eprintln!("anc: scenario {sc} at P={p}: {e}");
@@ -762,6 +924,196 @@ fn run_chaos(argv: &[String]) -> ExitCode {
             report.warning_count()
         );
     }
+    if let (Some(t), Some(dest)) = (&tracer, &trace) {
+        if let Err(e) = write_trace(t, dest, &trace_format) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `anc profile` — one traced compile + simulation, reported as a
+/// phase/counter table (or deterministic JSON) plus a benchmark file.
+fn run_profile(argv: &[String]) -> ExitCode {
+    use access_normalization::numa::simulate_traced;
+    use access_normalization::obs::{json_escape, Tracer};
+
+    let mut json = false;
+    let mut wall = false;
+    let mut procs = 4usize;
+    let mut machine = MachineConfig::butterfly_gp1000();
+    let mut params: Vec<(String, i64)> = Vec::new();
+    let mut jobs = 0usize;
+    let mut out: Option<String> = None;
+    let mut input: Option<String> = None;
+
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--wall" => wall = true,
+            "--procs" => {
+                procs = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--machine" => {
+                machine = match it.next().map(String::as_str) {
+                    Some("gp1000") => MachineConfig::butterfly_gp1000(),
+                    Some("ipsc") => MachineConfig::ipsc_i860(),
+                    _ => usage(),
+                }
+            }
+            "--param" => {
+                let kv = it.next().unwrap_or_else(|| usage());
+                params.push(parse_param_kv(kv));
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--help" | "-h" => usage(),
+            _ if input.is_none() => input = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    let src = read_source_or_exit(&input);
+    let mut program = match access_normalization::lang::parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, v) in &params {
+        match program.params.iter_mut().find(|p| p.name == *name) {
+            Some(p) => p.default = *v,
+            None => fail_usage(&format!("anc: {input}: unknown parameter '{name}'")),
+        }
+    }
+
+    // Logical clocks by default: the profile is then byte-identical
+    // across runs and `--jobs` values, so CI can diff two invocations.
+    let tracer = std::sync::Arc::new(if wall {
+        Tracer::with_wall_clock()
+    } else {
+        Tracer::new()
+    });
+    let opts = CompileOptions {
+        tracer: Some(tracer.clone()),
+        ..CompileOptions::default()
+    };
+    let compiled = match compile_program(&program, &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let param_values = compiled.program.default_param_values();
+    let stats = match simulate_traced(
+        &compiled.spmd,
+        &machine,
+        procs,
+        &param_values,
+        jobs,
+        Some(&tracer),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let trace = tracer.snapshot();
+    let phases = trace.phases();
+    let mut report = String::from("{\n");
+    report.push_str(&format!(
+        "  \"kernel\": \"{}\",\n  \"procs\": {procs},\n  \"machine\": \"{}\",\n",
+        json_escape(&input),
+        machine.name
+    ));
+    report.push_str(&format!(
+        "  \"time_us\": {:.3},\n  \"events\": {},\n  \"phases\": [",
+        stats.time_us,
+        trace.events.len()
+    ));
+    for (i, p) in phases.iter().enumerate() {
+        if i > 0 {
+            report.push(',');
+        }
+        report.push_str(&format!(
+            "\n    {{\"phase\": \"{}\", \"depth\": {}, \"start\": {}, \"end\": {}{}}}",
+            json_escape(&p.phase),
+            p.depth,
+            p.start,
+            p.end.map_or("null".to_string(), |e| e.to_string()),
+            p.wall_us
+                .map_or(String::new(), |w| format!(", \"wall_us\": {w}"))
+        ));
+    }
+    report.push_str("\n  ],\n  \"counters\": {");
+    for (i, (name, value)) in trace.counters.iter().enumerate() {
+        if i > 0 {
+            report.push(',');
+        }
+        report.push_str(&format!("\n    \"{}\": {value}", json_escape(name)));
+    }
+    report.push_str("\n  }\n}");
+
+    if json {
+        println!("{report}");
+    } else {
+        println!("== profile: {input} (P={procs}, {}) ==", machine.name);
+        println!(
+            "{:<34} {:>8} {:>8} {:>8} {:>10}",
+            "phase", "start", "end", "events", "wall (µs)"
+        );
+        for p in &phases {
+            let label = format!("{}{}", "  ".repeat(p.depth), p.phase);
+            let end = p.end.map_or("-".to_string(), |e| e.to_string());
+            let span_events = p.end.map_or(0, |e| e - p.start);
+            let wall = p.wall_us.map_or("-".to_string(), |w| w.to_string());
+            println!(
+                "{label:<34} {:>8} {end:>8} {span_events:>8} {wall:>10}",
+                p.start
+            );
+        }
+        if !trace.counters.is_empty() {
+            println!("counters:");
+            for (name, value) in &trace.counters {
+                println!("  {name:<40} {value:>12}");
+            }
+        }
+        println!(
+            "simulated P={procs}: {:.0} µs, {:.1}% remote, {} message(s)",
+            stats.time_us,
+            100.0 * stats.remote_fraction(),
+            stats.total_messages()
+        );
+    }
+
+    let path = out.unwrap_or_else(|| "target/an-bench-results/BENCH_profile.json".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("anc: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
+        eprintln!("anc: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {path}");
     ExitCode::SUCCESS
 }
 
@@ -828,6 +1180,9 @@ fn run_main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("fuzz") {
         return run_fuzz(&argv[1..]);
     }
+    if argv.first().map(String::as_str) == Some("profile") {
+        return run_profile(&argv[1..]);
+    }
     let args = parse_args();
     let src = read_source_or_exit(args.input.as_deref().unwrap_or_else(|| usage()));
 
@@ -838,6 +1193,10 @@ fn run_main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let tracer = args
+        .trace
+        .as_ref()
+        .map(|_| std::sync::Arc::new(access_normalization::obs::Tracer::new()));
     let opts = CompileOptions {
         normalize: access_normalization::core::NormalizeOptions {
             ordering: args.ordering,
@@ -849,6 +1208,7 @@ fn run_main() -> ExitCode {
         skip_transform: args.naive,
         verify: args.verify,
         budget: Default::default(),
+        tracer: tracer.clone(),
     };
     let compiled = match compile_program(&program, &opts) {
         Ok(c) => c,
@@ -954,7 +1314,10 @@ fn run_main() -> ExitCode {
         let opts = AutoDistOptions {
             procs,
             allow_replication: false,
-            compile: CompileOptions::default(),
+            compile: CompileOptions {
+                tracer: tracer.clone(),
+                ..CompileOptions::default()
+            },
             jobs: args.jobs,
             top_k: 5,
             verify: args.verify,
@@ -999,6 +1362,7 @@ fn run_main() -> ExitCode {
     }
 
     if !args.simulate.is_empty() {
+        use access_normalization::numa::simulate_traced;
         println!("== simulation on {} ==", args.machine.name);
         println!(
             "{:>5} {:>14} {:>9} {:>10} {:>10} {:>8}",
@@ -1012,7 +1376,14 @@ fn run_main() -> ExitCode {
             }
         };
         for &p in &args.simulate {
-            match simulate(&compiled.spmd, &args.machine, p, &param_values) {
+            match simulate_traced(
+                &compiled.spmd,
+                &args.machine,
+                p,
+                &param_values,
+                args.jobs,
+                tracer.as_deref(),
+            ) {
                 Ok(s) => println!(
                     "{:>5} {:>14.0} {:>9.2} {:>9.1}% {:>10} {:>8.2}",
                     p,
@@ -1027,6 +1398,12 @@ fn run_main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        }
+    }
+    if let (Some(t), Some(dest)) = (&tracer, &args.trace) {
+        if let Err(e) = write_trace(t, dest, &args.trace_format) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

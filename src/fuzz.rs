@@ -146,6 +146,18 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
     report
 }
 
+/// A random, always-in-bounds kernel source from the sane-archetype
+/// generator, reproducible from `seed`. This is the same generator the
+/// fuzzer's archetype 1 draws from, exposed for property tests (e.g.
+/// the observability suite) that need a deterministic stream of valid,
+/// compilable programs.
+pub fn generated_kernel(seed: u64) -> String {
+    let mut rng = Rng(seed);
+    let depth = rng.range(1, 3) as usize;
+    let n = rng.range(4, 8);
+    sane_source(&mut rng, depth, n)
+}
+
 /// Compiles under `catch_unwind`, folding the outcome into the report.
 /// Returns the compile result when it did not panic.
 fn guarded_compile(

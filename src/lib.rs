@@ -64,6 +64,7 @@ pub use an_ir as ir;
 pub use an_lang as lang;
 pub use an_linalg as linalg;
 pub use an_numa as numa;
+pub use an_obs as obs;
 pub use an_poly as poly;
 pub use an_verify as verify_mod;
 
@@ -74,15 +75,17 @@ mod error;
 pub use error::{BudgetExceeded, Error};
 
 use an_codegen::{
-    apply_transform_with, generate_spmd, CodegenError, SpmdOptions, SpmdProgram, TransformedProgram,
+    apply_transform_traced, generate_spmd_traced, CodegenError, SpmdOptions, SpmdProgram,
+    TransformedProgram,
 };
 use an_core::{normalize_with, NormCache, NormContext, NormalizeOptions, NormalizeResult};
 use an_deps::DependenceInfo;
 use an_ir::Program;
 use an_linalg::cache::{CacheStats, MemoCache};
 use an_linalg::IMatrix;
+use an_obs::{EventKind, Tracer};
 use an_poly::{FmBudget, PolyError};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Resource ceilings for one end-to-end compilation.
@@ -165,6 +168,10 @@ pub struct CompileOptions {
     pub verify: bool,
     /// Resource ceilings for this compilation.
     pub budget: CompileBudget,
+    /// When set, every pipeline stage records spans, events and metrics
+    /// on this tracer. Tracing never changes the compiled artifacts —
+    /// see `tests/obs_property.rs` for the enforced guarantee.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 /// Everything the compiler produced for one program.
@@ -273,7 +280,16 @@ pub fn compile_program_with(
     opts: &CompileOptions,
     ctx: &PipelineCtx,
 ) -> Result<Compiled, Error> {
+    let tracer = opts.tracer.as_deref();
+    let _compile_span = tracer.map(|t| t.span("compile"));
     let depth = program.nest.depth();
+    if let Some(t) = tracer {
+        t.emit(EventKind::BudgetCharge {
+            resource: "loop-depth".to_string(),
+            amount: depth as u64,
+            limit: opts.budget.max_loop_depth as u64,
+        });
+    }
     if depth > opts.budget.max_loop_depth {
         return Err(Error::Budget(BudgetExceeded {
             resource: "loop-depth",
@@ -284,9 +300,16 @@ pub fn compile_program_with(
     }
     let fm = opts.budget.fm_budget();
     let deps = match ctx.deps.get() {
-        Some(d) => d.clone(),
+        Some(d) => {
+            if let Some(t) = tracer {
+                t.emit(EventKind::CacheHit {
+                    cache: "deps".to_string(),
+                });
+            }
+            d.clone()
+        }
         None => {
-            let d = an_deps::analyze(program, &opts.normalize.deps)?;
+            let d = an_deps::analyze_traced(program, &opts.normalize.deps, tracer)?;
             let _ = ctx.deps.set(d.clone());
             d
         }
@@ -297,6 +320,7 @@ pub fn compile_program_with(
         NormContext {
             cache: Some(&ctx.norm),
             deps: Some(&deps),
+            tracer,
         },
     )?;
     let t = if opts.skip_transform {
@@ -304,17 +328,21 @@ pub fn compile_program_with(
     } else {
         normalized.transform.clone()
     };
-    let mut transformed = ctx
-        .transforms
-        .get_or_insert_with(t.clone(), || apply_transform_with(program, &t, &fm));
+    let restructure_span = tracer.map(|tr| tr.span("restructure"));
+    let mut transformed =
+        ctx.transforms
+            .get_or_insert_traced(t.clone(), tracer, "transform", || {
+                apply_transform_traced(program, &t, &fm, tracer)
+            });
     // A deadline failure is relative to the *earlier* call's clock:
     // never serve it from the cache, retry against this call's budget.
     if matches!(
         transformed,
         Err(CodegenError::Poly(PolyError::DeadlineExceeded))
     ) {
-        transformed = apply_transform_with(program, &t, &fm);
+        transformed = apply_transform_traced(program, &t, &fm, tracer);
     }
+    drop(restructure_span);
     let mut transformed = transformed.map_err(|e| match e {
         CodegenError::Poly(pe) => opts.budget.classify_poly(pe, "restructuring"),
         other => Error::Codegen(other),
@@ -324,7 +352,14 @@ pub fn compile_program_with(
     for (cached, live) in transformed.program.arrays.iter_mut().zip(&program.arrays) {
         cached.distribution = live.distribution;
     }
-    let spmd = generate_spmd(&transformed, Some(&normalized.dependences), &opts.spmd);
+    let codegen_span = tracer.map(|tr| tr.span("codegen"));
+    let spmd = generate_spmd_traced(
+        &transformed,
+        Some(&normalized.dependences),
+        &opts.spmd,
+        tracer,
+    );
+    drop(codegen_span);
     let compiled = Compiled {
         program: program.clone(),
         normalized,
@@ -346,6 +381,7 @@ pub fn compile_program_with(
 pub fn verify_options_for(opts: &CompileOptions) -> an_verify::VerifyOptions {
     an_verify::VerifyOptions {
         expect_transfers: opts.spmd.block_transfers,
+        tracer: opts.tracer.clone(),
         ..an_verify::VerifyOptions::default()
     }
 }

@@ -343,3 +343,157 @@ fn fuzz_rejects_malformed_flags() {
     let out = anc().args(["fuzz", "--bogus"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn profile_json_is_deterministic_and_covers_every_phase() {
+    let dir = std::env::temp_dir().join("anc-cli-profile");
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |jobs: &str, out: &str| {
+        let out_path = dir.join(out);
+        let o = anc()
+            .args([
+                "profile",
+                "--json",
+                "--jobs",
+                jobs,
+                "--out",
+                out_path.to_str().unwrap(),
+                &kernel_path("gemm.an"),
+            ])
+            .output()
+            .unwrap();
+        assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+        (
+            String::from_utf8(o.stdout).unwrap(),
+            String::from_utf8(o.stderr).unwrap(),
+            std::fs::read_to_string(&out_path).unwrap(),
+        )
+    };
+    let (stdout1, stderr1, file1) = run("1", "p1.json");
+    let (stdout2, _, _) = run("1", "p2.json");
+    let (stdout8, _, file8) = run("8", "p8.json");
+
+    // stdout is pure JSON; progress goes to stderr.
+    assert!(stdout1.starts_with('{'), "{stdout1}");
+    assert!(stderr1.contains("wrote "), "{stderr1}");
+    // Byte-identical across repeat runs and across --jobs.
+    assert_eq!(stdout1, stdout2, "profile not reproducible");
+    assert_eq!(stdout1, stdout8, "profile depends on --jobs");
+    assert_eq!(file1, file8, "BENCH_profile.json depends on --jobs");
+    // The span tree covers every pipeline phase.
+    for phase in [
+        "compile",
+        "deps",
+        "normalize",
+        "access-matrix",
+        "basis",
+        "legal",
+        "padding",
+        "restructure",
+        "codegen",
+        "simulate",
+    ] {
+        assert!(
+            stdout1.contains(&format!("\"phase\": \"{phase}\"")),
+            "phase {phase} missing:\n{stdout1}"
+        );
+    }
+    // Logical clocks only: no wall field may appear by default.
+    assert!(!stdout1.contains("wall_us"), "{stdout1}");
+}
+
+#[test]
+fn sweep_json_dash_keeps_stdout_pure() {
+    let out = anc()
+        .args([
+            "sweep",
+            "--procs",
+            "1,4",
+            "--params",
+            "24",
+            "--json",
+            "-",
+            &kernel_path("gemm.an"),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    // stdout carries exactly the JSON report...
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(
+        !stdout.contains("== sweep"),
+        "table leaked to stdout: {stdout}"
+    );
+    // ...and the human table moved to stderr.
+    assert!(stderr.contains("== sweep"), "{stderr}");
+}
+
+#[test]
+fn chaos_json_with_trace_keeps_stdout_pure() {
+    let out = anc()
+        .args([
+            "chaos",
+            "--seed",
+            "1",
+            "--scenario",
+            "failstop",
+            "--procs",
+            "3",
+            "--param",
+            "N=16",
+            "--json",
+            "--trace",
+            "--trace-format",
+            "jsonl",
+            &kernel_path("gemm.an"),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(
+        !stdout.contains("\"kind\""),
+        "trace leaked to stdout: {stdout}"
+    );
+    // The JSONL trace landed on stderr, with chaos events present.
+    assert!(stderr.contains("\"kind\":\"fault_armed\""), "{stderr}");
+    assert!(stderr.contains("\"kind\":\"fault_recovered\""), "{stderr}");
+}
+
+#[test]
+fn trace_file_flag_writes_a_chrome_trace() {
+    let dir = std::env::temp_dir().join("anc-cli-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gemm-trace.json");
+    let out = anc()
+        .args([
+            "--emit",
+            "transform",
+            &format!("--trace={}", path.display()),
+            "--trace-format",
+            "chrome",
+            &kernel_path("gemm.an"),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = std::fs::read_to_string(&path).unwrap();
+    assert!(trace.contains("\"ph\":\"B\""), "{trace}");
+    assert!(trace.contains("\"name\":\"compile\""), "{trace}");
+}

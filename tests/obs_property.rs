@@ -1,0 +1,131 @@
+//! Observer-effect and well-formedness properties of the tracing layer,
+//! over a stream of random programs from the fuzzer's sane-kernel
+//! generator.
+//!
+//! 1. **Observer effect = 0**: compiling with a tracer attached must
+//!    produce bitwise-identical artifacts to compiling without one.
+//! 2. **Well-formedness**: every `PhaseStart` has a matching `PhaseEnd`,
+//!    spans nest properly, and sequence numbers are dense — enforced by
+//!    `Trace::check_well_formed`.
+//! 3. **Phase coverage**: every successful compile records the complete
+//!    pipeline phase skeleton.
+
+use access_normalization::fuzz::generated_kernel;
+use access_normalization::obs::{EventKind, Tracer};
+use access_normalization::{compile, CompileOptions};
+use std::sync::Arc;
+
+const SEEDS: u64 = 30;
+
+#[test]
+fn tracing_has_zero_observer_effect() {
+    let mut compiled_count = 0;
+    for seed in 0..SEEDS {
+        let src = generated_kernel(seed);
+        let plain = compile(&src, &CompileOptions::default());
+        let tracer = Arc::new(Tracer::new());
+        let traced_opts = CompileOptions {
+            tracer: Some(tracer.clone()),
+            ..CompileOptions::default()
+        };
+        let traced = compile(&src, &traced_opts);
+        match (plain, traced) {
+            (Ok(a), Ok(b)) => {
+                compiled_count += 1;
+                assert_eq!(
+                    a.normalized.transform, b.normalized.transform,
+                    "seed {seed}: tracer changed the chosen transform:\n{src}"
+                );
+                assert_eq!(
+                    a.transformed, b.transformed,
+                    "seed {seed}: tracer changed the restructured nest:\n{src}"
+                );
+                assert_eq!(
+                    a.spmd, b.spmd,
+                    "seed {seed}: tracer changed the SPMD program:\n{src}"
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "seed {seed}: tracer changed the error:\n{src}"
+            ),
+            (a, b) => panic!(
+                "seed {seed}: tracer changed the outcome (plain ok={}, traced ok={}):\n{src}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+    assert!(
+        compiled_count > SEEDS / 2,
+        "generator mostly failed to compile ({compiled_count}/{SEEDS}) — weak test"
+    );
+}
+
+#[test]
+fn every_trace_is_well_formed() {
+    for seed in 0..SEEDS {
+        let src = generated_kernel(seed);
+        let tracer = Arc::new(Tracer::new());
+        let opts = CompileOptions {
+            tracer: Some(tracer.clone()),
+            verify: seed % 3 == 0, // exercise the verify span too
+            ..CompileOptions::default()
+        };
+        let _ = compile(&src, &opts);
+        let trace = tracer.snapshot();
+        trace
+            .check_well_formed()
+            .unwrap_or_else(|e| panic!("seed {seed}: malformed trace: {e}\n{src}"));
+        // Dense logical clock: seq numbers are exactly 0..n.
+        for (i, ev) in trace.events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64, "seed {seed}: non-dense seq");
+            assert_eq!(
+                ev.wall_us, None,
+                "seed {seed}: logical tracer leaked wall time"
+            );
+        }
+    }
+}
+
+#[test]
+fn successful_compiles_record_the_full_phase_skeleton() {
+    let mut checked = 0;
+    for seed in 0..SEEDS {
+        let src = generated_kernel(seed);
+        let tracer = Arc::new(Tracer::new());
+        let opts = CompileOptions {
+            tracer: Some(tracer.clone()),
+            ..CompileOptions::default()
+        };
+        if compile(&src, &opts).is_err() {
+            continue;
+        }
+        checked += 1;
+        let trace = tracer.snapshot();
+        let mut phases: Vec<String> = Vec::new();
+        for ev in &trace.events {
+            if let EventKind::PhaseStart { phase, .. } = &ev.kind {
+                phases.push(phase.clone());
+            }
+        }
+        for expected in [
+            "compile",
+            "deps",
+            "normalize",
+            "access-matrix",
+            "basis",
+            "legal",
+            "padding",
+            "restructure",
+            "codegen",
+        ] {
+            assert!(
+                phases.iter().any(|p| p == expected),
+                "seed {seed}: phase {expected} missing from {phases:?}\n{src}"
+            );
+        }
+    }
+    assert!(checked > 0, "no seed compiled — phase coverage unchecked");
+}

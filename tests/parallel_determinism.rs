@@ -89,6 +89,7 @@ fn sweep_reports_are_independent_of_jobs() {
         param_sets: vec![vec![40], vec![24]],
         jobs,
         chaos: None,
+        tracer: None,
     };
     let serial = sweep(&compiled.spmd, &machines, &mk(1)).unwrap();
     assert_eq!(serial.points.len(), 2 * 4 * 2);
