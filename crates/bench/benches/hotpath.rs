@@ -1,0 +1,208 @@
+//! Hot-path micro-suite: the small-matrix algebra kernels, distance
+//! sampling, and the normalize pipeline end to end.
+//!
+//! Times the dispatched fast paths the compiler actually runs — column
+//! HNF, determinant, and integer solve at dims 2–4 (stack `SmallMat`
+//! specializations), representative distance sampling (bitset
+//! lattices), and a full compile of the paper's three kernels — and
+//! writes `target/an-bench-results/BENCH_hotpath.json`.
+//!
+//! When `AN_HOTPATH_BASELINE` names a committed baseline JSON, each
+//! tracked kernel's `compile_ms` is gated at baseline × 1.10: a >10%
+//! regression fails the run. The baseline is committed with generous
+//! headroom so the gate catches algorithmic regressions, not scheduler
+//! noise.
+
+use access_normalization::{compile_program, CompileOptions};
+use an_deps::distance::{representatives, DistanceSet};
+use an_linalg::det::determinant;
+use an_linalg::hnf::column_hnf;
+use an_linalg::solve::solve_integer;
+use an_linalg::IMatrix;
+use std::hint::black_box;
+use std::time::Instant;
+
+const REPEATS: usize = 5;
+const PASSES: usize = 20_000;
+
+/// Best-of-`REPEATS` wall clock, in milliseconds, of `PASSES` runs of
+/// `f`.
+fn best_ms<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        for _ in 0..PASSES {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best * 1e3
+}
+
+fn micro_rows() -> Vec<(String, f64)> {
+    let mats = [
+        IMatrix::from_rows(&[&[2, 4], &[1, 5]]),
+        IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]]),
+        IMatrix::from_rows(&[
+            &[3, -2, 5, 1],
+            &[0, 4, -1, 2],
+            &[7, 0, 1, -3],
+            &[2, 2, 2, 1],
+        ]),
+    ];
+    let mut rows = Vec::new();
+    for m in &mats {
+        let d = m.rows();
+        rows.push((
+            format!("hnf_dim{d}"),
+            best_ms(|| {
+                black_box(column_hnf(black_box(m)).unwrap());
+            }),
+        ));
+        rows.push((
+            format!("det_dim{d}"),
+            best_ms(|| {
+                black_box(determinant(black_box(m)).unwrap());
+            }),
+        ));
+        // b = A·1, so an integer solution always exists.
+        let ones = vec![1i64; d];
+        let b: Vec<i64> = (0..d).map(|r| m.row(r).iter().sum()).collect();
+        black_box(&ones);
+        rows.push((
+            format!("solve_dim{d}"),
+            best_ms(|| {
+                black_box(solve_integer(black_box(m), black_box(&b)).unwrap());
+            }),
+        ));
+    }
+    // Rank-1 and rank-2 kernels: the shapes dependence analysis feeds
+    // the sampler for the paper's kernels.
+    let sets = [
+        DistanceSet {
+            particular: vec![1, 0, 0],
+            kernel: vec![vec![0, 1, -1]],
+        },
+        DistanceSet {
+            particular: vec![0, 0, 0, 0],
+            kernel: vec![vec![0, 1, 0, -1], vec![0, 0, 1, 1]],
+        },
+    ];
+    for set in &sets {
+        rows.push((
+            format!("distance_rank{}", set.kernel.len()),
+            best_ms(|| {
+                black_box(representatives(black_box(set), 2));
+            }),
+        ));
+    }
+    rows
+}
+
+fn kernel_rows() -> Vec<(String, f64)> {
+    let opts = CompileOptions::default();
+    [
+        ("fig1", an_bench::fig1_source(400, 100, 400)),
+        ("gemm", an_bench::gemm_source(400)),
+        ("syr2k", an_bench::syr2k_source(400, 100)),
+    ]
+    .into_iter()
+    .map(|(name, src)| {
+        let program = an_lang::parse(&src).expect("kernel parses");
+        let mut best = f64::INFINITY;
+        for _ in 0..REPEATS {
+            let start = Instant::now();
+            let c = compile_program(&program, &opts).expect("compile");
+            best = best.min(start.elapsed().as_secs_f64());
+            black_box(&c);
+        }
+        (name.to_string(), best * 1e3)
+    })
+    .collect()
+}
+
+/// Pulls `"kernel": "<name>" ... "compile_ms": <num>` pairs out of the
+/// baseline JSON without a parser dependency.
+fn baseline_compile_ms(json: &str, kernel: &str) -> Option<f64> {
+    let tag = format!("\"kernel\": \"{kernel}\"");
+    let rest = &json[json.find(&tag)? + tag.len()..];
+    let rest = &rest[rest.find("\"compile_ms\":")? + "\"compile_ms\":".len()..];
+    let end = rest
+        .find(|c: char| c != ' ' && c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let micro = micro_rows();
+    let kernels = kernel_rows();
+
+    println!("=== hot-path micro-suite ({PASSES} passes, best of {REPEATS}) ===");
+    for (name, ms) in &micro {
+        println!(
+            "{name:<20} {ms:>10.3} ms  ({:>8.1} ns/op)",
+            ms * 1e6 / PASSES as f64
+        );
+    }
+    for (name, ms) in &kernels {
+        println!("compile_{name:<12} {ms:>10.3} ms");
+    }
+
+    let micro_json: Vec<String> = micro
+        .iter()
+        .map(|(name, ms)| {
+            format!(
+                "    {{\"name\": \"{name}\", \"ms\": {ms:.3}, \"ns_per_op\": {:.1}}}",
+                ms * 1e6 / PASSES as f64
+            )
+        })
+        .collect();
+    let kernel_json: Vec<String> = kernels
+        .iter()
+        .map(|(name, ms)| format!("    {{\"kernel\": \"{name}\", \"compile_ms\": {ms:.3}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"passes\": {PASSES},\n  \"repeats\": {REPEATS},\n  \
+         \"micro\": [\n{}\n  ],\n  \"kernels\": [\n{}\n  ],\n  \
+         \"gate\": \"compile_ms <= baseline * 1.10 when AN_HOTPATH_BASELINE is set\"\n}}\n",
+        micro_json.join(",\n"),
+        kernel_json.join(",\n")
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("an-bench-results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("BENCH_hotpath.json");
+        if std::fs::write(&path, &json).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+
+    if let Ok(path) = std::env::var("AN_HOTPATH_BASELINE") {
+        // `cargo bench` runs with the package as cwd; resolve relative
+        // baseline paths against the workspace root.
+        let mut full = std::path::PathBuf::from(&path);
+        if full.is_relative() && !full.exists() {
+            full = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join(&path);
+        }
+        let baseline = std::fs::read_to_string(&full)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", full.display()));
+        let mut failed = false;
+        for (name, ms) in &kernels {
+            let Some(base) = baseline_compile_ms(&baseline, name) else {
+                println!("baseline {path} does not track '{name}' — skipping");
+                continue;
+            };
+            let budget = base * 1.10;
+            let verdict = if *ms <= budget { "ok" } else { "REGRESSION" };
+            println!("gate compile_{name}: {ms:.3} ms vs budget {budget:.3} ms ({verdict})");
+            failed |= *ms > budget;
+        }
+        assert!(!failed, "compile_ms regressed >10% against {path}");
+    }
+}

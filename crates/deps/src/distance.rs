@@ -12,7 +12,6 @@ use crate::DepError;
 use an_ir::ArrayRef;
 use an_linalg::solve::{solve_integer, IntegerSolution};
 use an_linalg::{lex_negative, IMatrix, IVec, LinalgError};
-use std::collections::HashSet;
 
 /// The full distance set of a uniformly generated pair: every distance
 /// is `particular + Σ λᵢ·kernel[i]`, `λᵢ ∈ Z`.
@@ -86,6 +85,126 @@ pub fn pair_distances(r1: &ArrayRef, r2: &ArrayRef) -> Result<PairDistances, Dep
     }
 }
 
+/// A deduplicating set of canonical distance vectors packed into
+/// fixed-radius bitset lattice planes.
+///
+/// Vectors are bucketed by *sign pattern* (each coordinate −, 0, or +),
+/// one `u64` word per pattern: within a plane the non-zero magnitudes
+/// `|dᵢ| ∈ [1, B]` index a bit in mixed radix, where the per-plane
+/// radius `B` is the largest value whose `Bᵐ` combinations (for `m`
+/// non-zero coordinates) still fit in one word. Membership tests and
+/// inserts on the hot sampling loops are then a shift and an OR instead
+/// of a `HashSet<Vec<i64>>` hash + heap compare; the rare vector beyond
+/// the radius goes to a small linear-scanned side list. Draining yields
+/// the vectors in canonical lexicographic order, so the result no longer
+/// encodes insertion order at all.
+struct DistanceBitset {
+    n: usize,
+    /// One word per ternary sign pattern (`3ⁿ` planes).
+    planes: Vec<u64>,
+    /// Vectors with some `|dᵢ|` beyond the plane radius.
+    overflow: Vec<IVec>,
+}
+
+impl DistanceBitset {
+    fn new(n: usize) -> DistanceBitset {
+        let nplanes = 3usize.saturating_pow(n.min(16) as u32);
+        DistanceBitset {
+            n,
+            planes: vec![0u64; nplanes],
+            overflow: Vec::new(),
+        }
+    }
+
+    /// Largest `B` with `Bᵐ ≤ 64`: the per-dimension magnitude radius
+    /// of a plane with `m` non-zero coordinates.
+    fn radius(m: u32) -> u64 {
+        let mut b = 64u64;
+        while b.checked_pow(m).is_none_or(|p| p > 64) {
+            b -= 1;
+        }
+        b
+    }
+
+    /// Inserts a canonical (lex-positive) non-zero vector.
+    fn insert(&mut self, canon: IVec) {
+        debug_assert_eq!(canon.len(), self.n);
+        let mut plane = 0usize;
+        let mut m = 0u32;
+        for (i, &v) in canon.iter().enumerate() {
+            let trit = (v.signum() + 1) as usize;
+            plane += trit * 3usize.pow(i.min(15) as u32);
+            if v != 0 {
+                m += 1;
+            }
+        }
+        if self.n > 16 {
+            // Plane index would overflow; degenerate to the side list.
+            if !self.overflow.contains(&canon) {
+                self.overflow.push(canon);
+            }
+            return;
+        }
+        let b = Self::radius(m);
+        let mut bit = 0u64;
+        let mut fits = true;
+        for &v in &canon {
+            let mag = v.unsigned_abs();
+            if mag == 0 {
+                continue;
+            }
+            if mag > b {
+                fits = false;
+                break;
+            }
+            bit = bit * b + (mag - 1);
+        }
+        if fits {
+            self.planes[plane] |= 1u64 << bit;
+        } else if !self.overflow.contains(&canon) {
+            self.overflow.push(canon);
+        }
+    }
+
+    /// Decodes every stored vector, in canonical lexicographic order.
+    fn into_sorted(self) -> Vec<IVec> {
+        let mut out: Vec<IVec> = Vec::new();
+        for (plane, &word) in self.planes.iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            // Recover the sign pattern of this plane.
+            let mut signs = Vec::with_capacity(self.n);
+            let mut p = plane;
+            for _ in 0..self.n {
+                signs.push((p % 3) as i64 - 1);
+                p /= 3;
+            }
+            let m = signs.iter().filter(|&&s| s != 0).count() as u32;
+            let b = Self::radius(m);
+            for bit in 0..64u64 {
+                if word & (1u64 << bit) == 0 {
+                    continue;
+                }
+                // Mixed-radix decode, inverse of the insert encoding
+                // (last non-zero coordinate is the least significant).
+                let mut mags = vec![0u64; self.n];
+                let mut rem = bit;
+                for i in (0..self.n).rev() {
+                    if signs[i] != 0 {
+                        mags[i] = rem % b + 1;
+                        rem /= b;
+                    }
+                }
+                out.push((0..self.n).map(|i| signs[i] * mags[i] as i64).collect());
+            }
+        }
+        out.extend(self.overflow);
+        out.sort();
+        out
+    }
+}
+
 /// Converts a distance set into representative lexicographically positive
 /// distance vectors for the dependence matrix.
 ///
@@ -93,15 +212,15 @@ pub fn pair_distances(r1: &ArrayRef, r2: &ArrayRef) -> Result<PairDistances, Dep
 /// lex-positive) or as `−d` (the dependence runs the other way); the
 /// representative set is the canonicalized collection with multipliers
 /// `λᵢ ∈ [−reach, reach]`, deduplicated and reduced to lattice
-/// generators where possible. The boolean result reports whether the
-/// representatives are *provably complete* for legality checking:
-/// `true` when the kernel has rank ≤ 1 and the particular solution is in
-/// the kernel's span (so any `T` preserving the representatives preserves
-/// every distance).
+/// generators where possible, returned in canonical lexicographic
+/// order (sorted ascending) regardless of sampling order. The boolean
+/// result reports whether the representatives are *provably complete*
+/// for legality checking: `true` when the kernel has rank ≤ 1 and the
+/// particular solution is in the kernel's span (so any `T` preserving
+/// the representatives preserves every distance).
 pub fn representatives(set: &DistanceSet, reach: i64) -> (Vec<IVec>, bool) {
     let n = set.particular.len();
-    let mut seen: HashSet<IVec> = HashSet::new();
-    let mut out: Vec<IVec> = Vec::new();
+    let mut lattice = DistanceBitset::new(n);
     let mut push = |d: IVec| {
         if d.iter().all(|&v| v == 0) {
             return; // loop-independent: no iteration-order constraint
@@ -111,32 +230,29 @@ pub fn representatives(set: &DistanceSet, reach: i64) -> (Vec<IVec>, bool) {
         } else {
             d
         };
-        if seen.insert(canon.clone()) {
-            out.push(canon);
-        }
+        lattice.insert(canon);
     };
 
-    match set.kernel.len() {
+    let complete = match set.kernel.len() {
         0 => {
             push(set.particular.clone());
-            (out, true)
+            true
         }
         1 => {
             let k = &set.kernel[0];
-            let p_in_span = is_multiple(&set.particular, k);
-            if p_in_span {
+            if is_multiple(&set.particular, k) {
                 // All distances are multiples of k: the primitive
                 // generator is a complete representative (λk lex-positive
                 // for all λ>0 iff k lex-positive after canonicalization,
                 // and T·(λk) lex-positive iff T·k lex-positive).
                 push(an_linalg::vector::primitive(k));
-                (out, true)
+                true
             } else {
                 for lambda in -reach..=reach {
                     let d: IVec = (0..n).map(|i| set.particular[i] + lambda * k[i]).collect();
                     push(d);
                 }
-                (out, false)
+                false
             }
         }
         _ => {
@@ -163,34 +279,36 @@ pub fn representatives(set: &DistanceSet, reach: i64) -> (Vec<IVec>, bool) {
                         push(d);
                     }
                 }
-                return (out, false);
-            }
-            // Enumerate small multiplier combinations.
-            let mut lambdas = vec![-reach; set.kernel.len()];
-            loop {
-                let mut d = set.particular.clone();
-                for (ki, l) in set.kernel.iter().zip(&lambdas) {
-                    for i in 0..n {
-                        d[i] += l * ki[i];
+            } else {
+                // Enumerate small multiplier combinations.
+                let mut lambdas = vec![-reach; set.kernel.len()];
+                'odometer: loop {
+                    let mut d = set.particular.clone();
+                    for (ki, l) in set.kernel.iter().zip(&lambdas) {
+                        for i in 0..n {
+                            d[i] += l * ki[i];
+                        }
+                    }
+                    push(d);
+                    // Advance the odometer.
+                    let mut pos = 0;
+                    loop {
+                        if pos == lambdas.len() {
+                            break 'odometer;
+                        }
+                        if lambdas[pos] < reach {
+                            lambdas[pos] += 1;
+                            break;
+                        }
+                        lambdas[pos] = -reach;
+                        pos += 1;
                     }
                 }
-                push(d);
-                // Advance the odometer.
-                let mut pos = 0;
-                loop {
-                    if pos == lambdas.len() {
-                        return (out, false);
-                    }
-                    if lambdas[pos] < reach {
-                        lambdas[pos] += 1;
-                        break;
-                    }
-                    lambdas[pos] = -reach;
-                    pos += 1;
-                }
             }
+            false
         }
-    }
+    };
+    (lattice.into_sorted(), complete)
 }
 
 fn is_multiple(p: &[i64], k: &[i64]) -> bool {
@@ -284,6 +402,48 @@ mod unit {
         };
         let (reps, _) = representatives(&set, 3);
         assert_eq!(reps, vec![vec![1]]);
+    }
+
+    #[test]
+    fn representatives_are_lexicographically_sorted() {
+        // Rank-2 kernel: the odometer visits multiplier combinations in
+        // an order unrelated to the canonical one; the output must come
+        // back sorted anyway.
+        let set = DistanceSet {
+            particular: vec![0, 0, 0],
+            kernel: vec![vec![1, 0, -1], vec![0, 1, 1]],
+        };
+        let (reps, complete) = representatives(&set, 2);
+        assert!(!complete);
+        assert!(!reps.is_empty());
+        let mut sorted = reps.clone();
+        sorted.sort();
+        assert_eq!(reps, sorted, "representatives not in canonical order");
+        sorted.dedup();
+        assert_eq!(reps.len(), sorted.len(), "duplicate representatives");
+        assert!(reps.iter().all(|d| !lex_negative(d)));
+    }
+
+    #[test]
+    fn bitset_overflow_vectors_survive() {
+        // Magnitudes past the plane radius (e.g. 100 in 3 dims, radius 4)
+        // must round-trip through the side list and still sort in.
+        let set = DistanceSet {
+            particular: vec![100, 0, 0],
+            kernel: vec![vec![0, 0, 1]],
+        };
+        let (reps, complete) = representatives(&set, 2);
+        assert!(!complete);
+        assert_eq!(
+            reps,
+            vec![
+                vec![100, 0, -2],
+                vec![100, 0, -1],
+                vec![100, 0, 0],
+                vec![100, 0, 1],
+                vec![100, 0, 2]
+            ]
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! This module extracts the raw material: every array reference with its
 //! read/write role.
 
-use crate::{ArrayRef, Program, Stmt};
+use crate::arena::PreparedBody;
+use crate::{ArrayRef, Program};
 
 /// One array access occurrence in the loop body.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,15 +23,15 @@ pub struct AccessInfo {
 /// each statement (matching evaluation relevance for dependence
 /// analysis).
 pub fn collect_accesses(program: &Program) -> Vec<AccessInfo> {
+    let body = PreparedBody::new(program);
     let mut out = Vec::new();
-    for (stmt_index, stmt) in program.nest.body.iter().enumerate() {
-        let Stmt::Assign { lhs, rhs } = stmt;
+    for (stmt_index, (lhs, rhs)) in body.stmts.iter().enumerate() {
         out.push(AccessInfo {
             reference: lhs.clone(),
             is_write: true,
             stmt_index,
         });
-        for r in rhs.reads() {
+        for r in body.arena.reads(*rhs) {
             out.push(AccessInfo {
                 reference: r.clone(),
                 is_write: false,

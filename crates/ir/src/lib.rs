@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod arena;
 pub mod array;
 pub mod build;
 pub mod expr;
@@ -50,6 +51,7 @@ pub mod stmt;
 mod error;
 
 pub use access::{collect_accesses, AccessInfo};
+pub use arena::{ExprArena, ExprId, ExprNode, PreparedBody, RefId};
 pub use array::{ArrayDecl, ArrayId, Distribution};
 pub use error::IrError;
 pub use expr::{BinOp, Expr};

@@ -73,6 +73,17 @@ impl LoopNest {
         let (lo, hi) = self.bounds[k]
             .eval(point, params)
             .ok_or(IrError::UnboundedLoop { var: k })?;
+        // Innermost level: iterate flat instead of recursing per leaf —
+        // the leaf call is the hottest edge of every iteration-space
+        // walk (interpreter, range analysis, reference simulators).
+        if k + 1 == self.depth() {
+            for v in lo..=hi {
+                point[k] = v;
+                f(point);
+            }
+            point[k] = 0;
+            return Ok(());
+        }
         for v in lo..=hi {
             point[k] = v;
             self.walk(k + 1, params, point, f)?;
@@ -126,6 +137,15 @@ impl LoopNest {
         let (lo, hi) = self.bounds[k]
             .eval(point, params)
             .ok_or(IrError::UnboundedLoop { var: k })?;
+        // Innermost level: the trip count is closed-form — charging it
+        // in one add turns the probe from O(iterations) into
+        // O(loop headers), which is what makes the cap cheap to test
+        // on paper-sized spaces.
+        if k + 1 == self.depth() {
+            let span = (hi as i128 - lo as i128 + 1).max(0) as u128;
+            *count = (*count as u128).saturating_add(span).min(u64::MAX as u128) as u64;
+            return Ok(*count > cap);
+        }
         for v in lo..=hi {
             point[k] = v;
             if self.count_capped(k + 1, params, point, cap, count)? {

@@ -14,6 +14,25 @@ use crate::{IMatrix, LinalgError, QMatrix, Rational};
 /// Returns [`LinalgError::NotSquare`] for non-square input and
 /// [`LinalgError::Overflow`] if the (exact) determinant exceeds `i64`.
 pub fn determinant(m: &IMatrix) -> Result<i64, LinalgError> {
+    // Corpus-sized matrices (n ≤ 4) take the stack-allocated rung of the
+    // ladder; it runs the identical Bareiss reduction, so the promotion
+    // points and results are bit-for-bit the same.
+    let fast = if m.is_square() && m.rows() <= crate::smallmat::SMALL_DIM {
+        crate::smallmat::determinant_small(m)
+    } else {
+        determinant_i128(m)
+    };
+    match fast {
+        Err(LinalgError::Overflow) => determinant_big(m)?.to_i64().ok_or(LinalgError::Overflow),
+        other => other,
+    }
+}
+
+/// [`determinant`] forced onto the generic i128/BigInt rungs, skipping
+/// the stack-allocated fast path — the differential oracle for the
+/// `SmallMat` specializations.
+#[doc(hidden)]
+pub fn determinant_generic(m: &IMatrix) -> Result<i64, LinalgError> {
     match determinant_i128(m) {
         Err(LinalgError::Overflow) => determinant_big(m)?.to_i64().ok_or(LinalgError::Overflow),
         other => other,

@@ -72,6 +72,39 @@ struct HnfParts<T> {
 /// assert_eq!(r.h.get(0, 0) * r.h.get(1, 1), 6);
 /// ```
 pub fn column_hnf(a: &IMatrix) -> Result<ColumnHnf, LinalgError> {
+    // Corpus-sized matrices take the stack-allocated rung first; it runs
+    // the identical reduction, so an overflow there is an overflow here
+    // and the BigInt promotion below behaves the same either way.
+    let small = a.rows() <= crate::smallmat::SMALL_DIM && a.cols() <= crate::smallmat::SMALL_DIM;
+    let fast = if small {
+        crate::smallmat::column_hnf_small(a)
+    } else {
+        column_hnf_core(a).map(|p| ColumnHnf {
+            h: p.h,
+            u: p.u,
+            pivots: p.pivots,
+        })
+    };
+    match fast {
+        Ok(r) => Ok(r),
+        Err(LinalgError::Overflow) => {
+            let p =
+                column_hnf_core(&bigint::to_big(a)).expect("BigInt HNF reduction cannot overflow");
+            Ok(ColumnHnf {
+                h: bigint::narrow(&p.h)?,
+                u: bigint::narrow(&p.u)?,
+                pivots: p.pivots,
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// [`column_hnf`] forced onto the generic i64/BigInt rungs, skipping
+/// the stack-allocated fast path — the differential oracle for the
+/// `SmallMat` specializations.
+#[doc(hidden)]
+pub fn column_hnf_generic(a: &IMatrix) -> Result<ColumnHnf, LinalgError> {
     match column_hnf_core(a) {
         Ok(p) => Ok(ColumnHnf {
             h: p.h,
@@ -95,7 +128,7 @@ fn column_hnf_core<T: ExactInt>(a: &Matrix<T>) -> Result<HnfParts<T>, LinalgErro
     let (m, n) = (a.rows(), a.cols());
     let mut h = a.clone();
     let mut u = Matrix::<T>::identity(n);
-    let mut pivots = Vec::new();
+    let mut pivots = Vec::with_capacity(m.min(n));
     let mut c = 0; // next pivot column
     for r in 0..m {
         if c >= n {
@@ -150,6 +183,7 @@ fn column_hnf_core<T: ExactInt>(a: &Matrix<T>) -> Result<HnfParts<T>, LinalgErro
 }
 
 /// `-floor(a / b)`, the column-operation factor; checked at both steps.
+#[inline]
 fn neg_quotient<T: ExactInt>(a: &T, b: &T) -> Result<T, LinalgError> {
     a.try_div_floor(b)
         .and_then(|q| q.try_neg())
@@ -192,6 +226,7 @@ pub fn row_hnf(a: &IMatrix) -> Result<RowHnf, LinalgError> {
     })
 }
 
+#[inline]
 fn col_axpy<T: ExactInt>(
     m: &mut Matrix<T>,
     target: usize,
@@ -206,6 +241,7 @@ fn col_axpy<T: ExactInt>(
     Ok(())
 }
 
+#[inline]
 fn col_negate<T: ExactInt>(m: &mut Matrix<T>, col: usize) -> Result<(), LinalgError> {
     for r in 0..m.rows() {
         let v = m[(r, col)].try_neg().ok_or(LinalgError::Overflow)?;

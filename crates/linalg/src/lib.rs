@@ -58,6 +58,7 @@ pub mod lattice;
 pub mod matrix;
 pub mod projection;
 pub mod rational;
+pub mod smallmat;
 pub mod snf;
 pub mod solve;
 pub mod vector;

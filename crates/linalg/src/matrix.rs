@@ -60,6 +60,7 @@ pub(crate) trait ExactInt: Scalar + Ord {
 }
 
 impl ExactInt for i64 {
+    #[inline]
     fn try_div_floor(&self, rhs: &i64) -> Option<i64> {
         let (a, b) = (*self as i128, *rhs as i128);
         let mut q = a / b;
@@ -68,24 +69,30 @@ impl ExactInt for i64 {
         }
         i64::try_from(q).ok()
     }
+    #[inline]
     fn try_neg(&self) -> Option<i64> {
         self.checked_neg()
     }
+    #[inline]
     fn abs_cmp(&self, other: &i64) -> std::cmp::Ordering {
         self.unsigned_abs().cmp(&other.unsigned_abs())
     }
 }
 
 impl Scalar for i64 {
+    #[inline]
     fn zero() -> i64 {
         0
     }
+    #[inline]
     fn one() -> i64 {
         1
     }
+    #[inline]
     fn try_fma(acc: i64, a: &i64, b: &i64) -> Option<i64> {
         acc.checked_add(a.checked_mul(*b)?)
     }
+    #[inline]
     fn try_add(a: i64, b: &i64) -> Option<i64> {
         a.checked_add(*b)
     }
@@ -563,6 +570,7 @@ impl QMatrix {
 
 impl<T> Index<(usize, usize)> for Matrix<T> {
     type Output = T;
+    #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &T {
         assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
         &self.data[r * self.cols + c]
@@ -570,6 +578,7 @@ impl<T> Index<(usize, usize)> for Matrix<T> {
 }
 
 impl<T> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
         assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
         &mut self.data[r * self.cols + c]

@@ -1,0 +1,516 @@
+//! Stack-allocated small-matrix kernels for dimensions ≤ 4.
+//!
+//! Every corpus kernel is a loop nest of depth ≤ 4, so the matrices the
+//! pipeline reduces all day — transforms, data access matrices, ZᵀZ
+//! Gram matrices — fit in a [`SmallMat`]. These kernels run the *same*
+//! algorithms as the generic [`crate::hnf`] / [`crate::det`] /
+//! [`crate::projection`] paths (same pivot choice, same checked
+//! operations, same canonicalization order) on fixed-capacity stack
+//! arrays instead of heap `Vec`s, so they produce bit-identical results
+//! and the identical [`LinalgError::Overflow`] promotion points. The
+//! dispatch ladder is therefore `SmallMat → generic i64/i128 → BigInt`,
+//! with each rung falling through to the next on overflow and never
+//! changing an observable value.
+
+use crate::hnf::ColumnHnf;
+use crate::{IMatrix, IVec, LinalgError};
+use std::cmp::Ordering;
+
+/// Capacity bound below which the stack kernels apply.
+pub const SMALL_DIM: usize = 4;
+
+/// A fixed-capacity `N × N` stack matrix holding a `rows × cols`
+/// integer matrix with `rows, cols ≤ N`. `Copy`, allocation-free, and
+/// convertible to/from [`IMatrix`] at dispatch boundaries only.
+#[derive(Clone, Copy, Debug)]
+pub struct SmallMat<const N: usize> {
+    rows: usize,
+    cols: usize,
+    a: [[i64; N]; N],
+}
+
+impl<const N: usize> SmallMat<N> {
+    /// Copies a heap matrix into stack storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension exceeds `N`.
+    pub fn from_matrix(m: &IMatrix) -> SmallMat<N> {
+        assert!(
+            m.rows() <= N && m.cols() <= N,
+            "matrix too large for SmallMat"
+        );
+        let mut a = [[0i64; N]; N];
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                a[r][c] = m[(r, c)];
+            }
+        }
+        SmallMat {
+            rows: m.rows(),
+            cols: m.cols(),
+            a,
+        }
+    }
+
+    /// The `n × n` identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > N`.
+    pub fn identity(n: usize) -> SmallMat<N> {
+        assert!(n <= N, "identity too large for SmallMat");
+        let mut a = [[0i64; N]; N];
+        for (i, row) in a.iter_mut().enumerate().take(n) {
+            row[i] = 1;
+        }
+        SmallMat {
+            rows: n,
+            cols: n,
+            a,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)` (unchecked beyond the array bound).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> i64 {
+        self.a[r][c]
+    }
+
+    /// Converts back to a heap matrix.
+    pub fn to_matrix(&self) -> IMatrix {
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(&self.a[r][..self.cols]);
+        }
+        IMatrix::from_vec(self.rows, self.cols, data)
+    }
+
+    #[inline]
+    fn swap_cols(&mut self, x: usize, y: usize) {
+        if x == y {
+            return;
+        }
+        for r in 0..self.rows {
+            self.a[r].swap(x, y);
+        }
+    }
+
+    /// Column operation `col[target] += factor * col[source]` with the
+    /// same per-element checked arithmetic as the generic path.
+    #[inline]
+    fn col_axpy(&mut self, target: usize, source: usize, factor: i64) -> Result<(), LinalgError> {
+        for r in 0..self.rows {
+            let v = self.a[r][source]
+                .checked_mul(factor)
+                .and_then(|p| self.a[r][target].checked_add(p))
+                .ok_or(LinalgError::Overflow)?;
+            self.a[r][target] = v;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn col_negate(&mut self, col: usize) -> Result<(), LinalgError> {
+        for r in 0..self.rows {
+            self.a[r][col] = self.a[r][col].checked_neg().ok_or(LinalgError::Overflow)?;
+        }
+        Ok(())
+    }
+}
+
+/// `-floor(a / b)` with the same overflow behavior as the generic
+/// `ExactInt` hook (`i64::MIN / -1` and `-i64::MIN` are the only
+/// unrepresentable cases).
+#[inline]
+fn neg_quotient(a: i64, b: i64) -> Result<i64, LinalgError> {
+    let (ai, bi) = (a as i128, b as i128);
+    let mut q = ai / bi;
+    if ai % bi != 0 && (ai < 0) != (bi < 0) {
+        q -= 1;
+    }
+    i64::try_from(q)
+        .ok()
+        .and_then(i64::checked_neg)
+        .ok_or(LinalgError::Overflow)
+}
+
+/// Mirrors `Iterator::min_by` over non-zero `|h[r][j]|` for
+/// `j ∈ [c, n)`: ties keep the *last* minimal column, exactly as the
+/// generic reduction's pivot choice does.
+#[inline]
+fn best_pivot_col<const N: usize>(h: &SmallMat<N>, r: usize, c: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for j in c..h.cols {
+        if h.a[r][j] == 0 {
+            continue;
+        }
+        best = Some(match best {
+            None => j,
+            Some(b) => {
+                let cmp = h.a[r][b].unsigned_abs().cmp(&h.a[r][j].unsigned_abs());
+                if cmp == Ordering::Greater {
+                    j
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best
+}
+
+/// Column-style Hermite normal form on stack storage — the `SmallMat`
+/// rung of the dispatch ladder. Same reduction as
+/// `hnf::column_hnf_core::<i64>` step for step; an overflow here is an
+/// overflow there, and the caller promotes to `BigInt` identically.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] when an intermediate leaves `i64`;
+/// the caller re-runs over `BigInt` exactly as for the generic path.
+pub fn column_hnf_small(a: &IMatrix) -> Result<ColumnHnf, LinalgError> {
+    let (m, n) = (a.rows(), a.cols());
+    debug_assert!(m <= SMALL_DIM && n <= SMALL_DIM);
+    let mut h = SmallMat::<SMALL_DIM>::from_matrix(a);
+    let mut u = SmallMat::<SMALL_DIM>::identity(n);
+    let mut pivots = Vec::with_capacity(m.min(n));
+    let mut c = 0;
+    for r in 0..m {
+        if c >= n {
+            break;
+        }
+        while let Some(j) = best_pivot_col(&h, r, c) {
+            h.swap_cols(c, j);
+            u.swap_cols(c, j);
+            let pivot = h.a[r][c];
+            let mut all_zero = true;
+            for k in c + 1..n {
+                if h.a[r][k] != 0 {
+                    let f = neg_quotient(h.a[r][k], pivot)?;
+                    h.col_axpy(k, c, f)?;
+                    u.col_axpy(k, c, f)?;
+                    if h.a[r][k] != 0 {
+                        all_zero = false;
+                    }
+                }
+            }
+            if all_zero {
+                break;
+            }
+        }
+        if h.a[r][c] == 0 {
+            continue;
+        }
+        if h.a[r][c] < 0 {
+            h.col_negate(c)?;
+            u.col_negate(c)?;
+        }
+        let pivot = h.a[r][c];
+        for j in 0..c {
+            let f = neg_quotient(h.a[r][j], pivot)?;
+            if f != 0 {
+                h.col_axpy(j, c, f)?;
+                u.col_axpy(j, c, f)?;
+            }
+        }
+        pivots.push((r, c));
+        c += 1;
+    }
+    Ok(ColumnHnf {
+        h: h.to_matrix(),
+        u: u.to_matrix(),
+        pivots,
+    })
+}
+
+/// Bareiss determinant on a stack array — mirrors
+/// `det::determinant_i128` (same pivoting, same `SAFE` magnitude
+/// invariant, same `i64::MIN` rejection) without the per-row `Vec`
+/// allocations.
+///
+/// # Errors
+///
+/// [`LinalgError::NotSquare`] for non-square input;
+/// [`LinalgError::Overflow`] when an intermediate minor leaves the safe
+/// range (the caller promotes to `BigInt`).
+pub fn determinant_small(m: &IMatrix) -> Result<i64, LinalgError> {
+    if !m.is_square() {
+        return Err(LinalgError::NotSquare {
+            shape: (m.rows(), m.cols()),
+        });
+    }
+    const SAFE: u128 = i64::MAX as u128;
+    let n = m.rows();
+    debug_assert!(n <= SMALL_DIM);
+    if n == 0 {
+        return Ok(1);
+    }
+    let mut a = [[0i128; SMALL_DIM]; SMALL_DIM];
+    for r in 0..n {
+        for c in 0..n {
+            let v = m[(r, c)];
+            if v == i64::MIN {
+                return Err(LinalgError::Overflow);
+            }
+            a[r][c] = v as i128;
+        }
+    }
+    let mut sign = 1i128;
+    let mut prev = 1i128;
+    for k in 0..n - 1 {
+        if a[k][k] == 0 {
+            let Some(p) = (k + 1..n).find(|&r| a[r][k] != 0) else {
+                return Ok(0);
+            };
+            a.swap(k, p);
+            sign = -sign;
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                let num = a[k][k] * a[i][j] - a[i][k] * a[k][j];
+                let q = num / prev;
+                if q.unsigned_abs() > SAFE {
+                    return Err(LinalgError::Overflow);
+                }
+                a[i][j] = q;
+            }
+            a[i][k] = 0;
+        }
+        prev = a[k][k];
+    }
+    Ok((a[n - 1][n - 1] * sign) as i64)
+}
+
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Fully-checked Bareiss determinant over `i128` (the Gram-matrix
+/// entries of the projection path can already be ~2¹²⁶, so the
+/// magnitude-invariant trick does not apply — every product is checked
+/// instead). `None` means "promote to `BigInt`".
+fn det_i128_checked(a: &[[i128; SMALL_DIM]; SMALL_DIM], n: usize) -> Option<i128> {
+    if n == 0 {
+        return Some(1);
+    }
+    let mut a = *a;
+    let mut sign = 1i128;
+    let mut prev = 1i128;
+    for k in 0..n - 1 {
+        if a[k][k] == 0 {
+            let Some(p) = (k + 1..n).find(|&r| a[r][k] != 0) else {
+                return Some(0);
+            };
+            a.swap(k, p);
+            sign = -sign;
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                let num = a[k][k]
+                    .checked_mul(a[i][j])?
+                    .checked_sub(a[i][k].checked_mul(a[k][j])?)?;
+                a[i][j] = num / prev;
+            }
+            a[i][k] = 0;
+        }
+        prev = a[k][k];
+    }
+    a[n - 1][n - 1].checked_mul(sign)
+}
+
+/// Cofactor minor of `a` with row `skip_r` and column `skip_c` removed.
+fn minor_i128(
+    a: &[[i128; SMALL_DIM]; SMALL_DIM],
+    n: usize,
+    skip_r: usize,
+    skip_c: usize,
+) -> [[i128; SMALL_DIM]; SMALL_DIM] {
+    let mut out = [[0i128; SMALL_DIM]; SMALL_DIM];
+    let mut rr = 0;
+    for (r, row) in a.iter().enumerate().take(n) {
+        if r == skip_r {
+            continue;
+        }
+        let mut cc = 0;
+        for (c, &v) in row.iter().enumerate().take(n) {
+            if c == skip_c {
+                continue;
+            }
+            out[rr][cc] = v;
+            cc += 1;
+        }
+        rr += 1;
+    }
+    out
+}
+
+/// Integer-scaled orthogonal projection of `e_k` onto the column space
+/// of `z`, computed over checked `i128` on stack arrays. Exactness makes
+/// this interchangeable with the `BigInt` path in
+/// [`crate::projection::project_onto_column_space`]: both produce the
+/// unique primitive integer vector (or detect the same zero/singular
+/// cases), so the only observable difference is speed.
+///
+/// # Errors
+///
+/// [`LinalgError::Singular`] when `z` lacks full column rank (decided
+/// exactly before any fallback); [`LinalgError::Overflow`] when an
+/// intermediate leaves `i128` — the caller re-runs over `BigInt`.
+pub fn project_small(z: &IMatrix, k: usize) -> Result<Option<IVec>, LinalgError> {
+    let (m, n) = (z.rows(), z.cols());
+    debug_assert!(m <= SMALL_DIM && n <= SMALL_DIM && k < m);
+    // Gram matrix ZᵀZ, checked (entries are sums of ≤4 products of i64).
+    let mut ztz = [[0i128; SMALL_DIM]; SMALL_DIM];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0i128;
+            for r in 0..m {
+                let p = (z[(r, i)] as i128)
+                    .checked_mul(z[(r, j)] as i128)
+                    .ok_or(LinalgError::Overflow)?;
+                acc = acc.checked_add(p).ok_or(LinalgError::Overflow)?;
+            }
+            ztz[i][j] = acc;
+        }
+    }
+    let det = det_i128_checked(&ztz, n).ok_or(LinalgError::Overflow)?;
+    if det == 0 {
+        return Err(LinalgError::Singular);
+    }
+    // Cramer: det·w = adj(ZᵀZ)·Zᵀ·e_k, then det·x = Z·(det·w).
+    let mut w = [0i128; SMALL_DIM];
+    for (i, wi) in w.iter_mut().enumerate().take(n) {
+        let mut acc = 0i128;
+        for j in 0..n {
+            // adj is the transpose of the cofactor matrix: adj[i][j] is
+            // the (j, i) cofactor.
+            let cof =
+                det_i128_checked(&minor_i128(&ztz, n, j, i), n - 1).ok_or(LinalgError::Overflow)?;
+            let cof = if (i + j) % 2 == 0 {
+                cof
+            } else {
+                cof.checked_neg().ok_or(LinalgError::Overflow)?
+            };
+            let term = cof
+                .checked_mul(z[(k, j)] as i128)
+                .ok_or(LinalgError::Overflow)?;
+            acc = acc.checked_add(term).ok_or(LinalgError::Overflow)?;
+        }
+        *wi = acc;
+    }
+    let mut x = [0i128; SMALL_DIM];
+    let mut all_zero = true;
+    for r in 0..m {
+        let mut acc = 0i128;
+        for j in 0..n {
+            let term = (z[(r, j)] as i128)
+                .checked_mul(w[j])
+                .ok_or(LinalgError::Overflow)?;
+            acc = acc.checked_add(term).ok_or(LinalgError::Overflow)?;
+        }
+        x[r] = acc;
+        if acc != 0 {
+            all_zero = false;
+        }
+    }
+    if all_zero {
+        return Ok(None);
+    }
+    let mut g = 0u128;
+    for &v in &x[..m] {
+        g = gcd_u128(g, v.unsigned_abs());
+    }
+    // `g = 2^127` (an entry of exactly `i128::MIN`) has no i128
+    // representation; promote rather than mangle the division.
+    let g = i128::try_from(g).map_err(|_| LinalgError::Overflow)?;
+    let mut out = IVec::with_capacity(m);
+    for &v in &x[..m] {
+        out.push(i64::try_from(v / g).map_err(|_| LinalgError::Overflow)?);
+    }
+    Ok(Some(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det::determinant;
+    use crate::hnf::column_hnf;
+
+    #[test]
+    fn small_hnf_matches_generic() {
+        let cases = [
+            IMatrix::from_rows(&[&[2, 4], &[1, 5]]),
+            IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]]),
+            IMatrix::from_rows(&[&[1, 2], &[2, 4]]),
+            IMatrix::from_rows(&[&[1, 1, -1, 0], &[0, 0, 1, -1]]),
+            IMatrix::zero(3, 2),
+            IMatrix::from_rows(&[&[-3, 7], &[2, -5]]),
+        ];
+        for m in &cases {
+            let small = column_hnf_small(m).unwrap();
+            let generic = column_hnf(m).unwrap();
+            assert_eq!(small, generic, "HNF mismatch for\n{m}");
+        }
+    }
+
+    #[test]
+    fn small_det_matches_generic() {
+        let cases = [
+            IMatrix::identity(4),
+            IMatrix::from_rows(&[&[2, 4], &[1, 5]]),
+            IMatrix::from_rows(&[&[1, 2], &[2, 4]]),
+            IMatrix::from_rows(&[&[-1, 1, 0], &[0, 1, 1], &[1, 0, 0]]),
+            IMatrix::zero(0, 0),
+            IMatrix::from_rows(&[&[-7]]),
+        ];
+        for m in &cases {
+            assert_eq!(determinant_small(m).unwrap(), determinant(m).unwrap());
+        }
+    }
+
+    #[test]
+    fn small_det_overflow_promotes() {
+        let a = i64::MAX - 1;
+        let singular = IMatrix::from_rows(&[&[a, 1, 0], &[1, a, a - 1], &[0, a + 1, a]]);
+        assert!(matches!(
+            determinant_small(&singular),
+            Err(LinalgError::Overflow)
+        ));
+        assert!(matches!(
+            determinant_small(&IMatrix::from_rows(&[&[i64::MIN]])),
+            Err(LinalgError::Overflow)
+        ));
+    }
+
+    #[test]
+    fn small_projection_matches_exact() {
+        use crate::projection::project_onto_column_space;
+        let z = IMatrix::from_rows(&[&[1, 0], &[1, 1], &[0, 2]]);
+        assert_eq!(
+            project_small(&z, 1).unwrap(),
+            project_onto_column_space(&z, 1).unwrap()
+        );
+        let axis = IMatrix::from_rows(&[&[0], &[0], &[1]]);
+        assert_eq!(project_small(&axis, 2).unwrap(), Some(vec![0, 0, 1]));
+        let orth = IMatrix::from_rows(&[&[0, 0], &[1, 0], &[0, 1]]);
+        assert_eq!(project_small(&orth, 0).unwrap(), None);
+        let deficient = IMatrix::from_rows(&[&[1, 2], &[2, 4], &[0, 0]]);
+        assert_eq!(project_small(&deficient, 0), Err(LinalgError::Singular));
+    }
+}

@@ -150,11 +150,51 @@ struct AccessPlan {
     covered: bool,
 }
 
+/// Pricing plan with the distribution subscript flattened at build time:
+/// the constant-plus-parameter part is folded into `base` and the outer
+/// variable coefficients sit in a dense slice, so the per-processor
+/// inner loop prices an access with one dot product over the iteration
+/// point — no `Affine` re-walk, no mutation of shared plan state.
 enum DistPlan {
     Local,
-    Wrapped { dim: usize },
-    Blocked { dim: usize, size: i64 },
+    Wrapped {
+        inner_coeff: i64,
+        base: i128,
+        outer_coeffs: Vec<i64>,
+    },
+    Blocked {
+        inner_coeff: i64,
+        base: i128,
+        outer_coeffs: Vec<i64>,
+        size: i64,
+    },
     Block2D,
+}
+
+/// `(inner coefficient, params-resolved base, coefficients with the
+/// innermost slot zeroed)` for a distribution subscript.
+fn flatten_subscript(s: &Affine, inner: usize, params: &[i64]) -> (i64, i128, Vec<i64>) {
+    let mut base = s.constant_term() as i128;
+    for (c, v) in s.param_coeffs().iter().zip(params) {
+        base += *c as i128 * *v as i128;
+    }
+    let mut outer = s.var_coeffs().to_vec();
+    let inner_coeff = outer.get(inner).copied().unwrap_or(0);
+    if inner < outer.len() {
+        outer[inner] = 0;
+    }
+    (inner_coeff, base, outer)
+}
+
+/// Evaluates a flattened subscript at `point` (the innermost slot's
+/// coefficient is zero, so its current value never matters).
+#[inline]
+fn eval_flat(base: i128, coeffs: &[i64], point: &[i64]) -> i64 {
+    let mut acc = base;
+    for (c, v) in coeffs.iter().zip(point) {
+        acc += *c as i128 * *v as i128;
+    }
+    i64::try_from(acc).expect("affine evaluation overflow")
 }
 
 pub(crate) struct Plan<'a> {
@@ -196,10 +236,15 @@ impl<'a> Plan<'a> {
                 let Stmt::Assign { lhs, rhs } = stmt else {
                     return (0, Vec::new());
                 };
-                let mut accesses = Vec::new();
-                accesses.push(Self::plan_access(program, procs, &extents, spmd, lhs, true));
-                for r in rhs.reads() {
-                    accesses.push(Self::plan_access(program, procs, &extents, spmd, r, false));
+                let reads = rhs.reads();
+                let mut accesses = Vec::with_capacity(1 + reads.len());
+                accesses.push(Self::plan_access(
+                    program, procs, &extents, spmd, params, lhs, true,
+                ));
+                for r in reads {
+                    accesses.push(Self::plan_access(
+                        program, procs, &extents, spmd, params, r, false,
+                    ));
                 }
                 (count_ops(rhs), accesses)
             })
@@ -222,18 +267,34 @@ impl<'a> Plan<'a> {
         procs: usize,
         extents: &[Vec<i64>],
         spmd: &SpmdProgram,
+        params: &[i64],
         r: &an_ir::ArrayRef,
         is_write: bool,
     ) -> AccessPlan {
         let decl = program.array(r.array);
+        let inner = program.nest.depth() - 1;
         let dist = match decl.distribution {
             Distribution::Replicated => DistPlan::Local,
             _ if procs == 1 => DistPlan::Local,
-            Distribution::Wrapped { dim } => DistPlan::Wrapped { dim },
-            Distribution::Blocked { dim } => DistPlan::Blocked {
-                dim,
-                size: block_size(extents[r.array.0][dim], procs),
-            },
+            Distribution::Wrapped { dim } => {
+                let (inner_coeff, base, outer_coeffs) =
+                    flatten_subscript(&r.subscripts[dim], inner, params);
+                DistPlan::Wrapped {
+                    inner_coeff,
+                    base,
+                    outer_coeffs,
+                }
+            }
+            Distribution::Blocked { dim } => {
+                let (inner_coeff, base, outer_coeffs) =
+                    flatten_subscript(&r.subscripts[dim], inner, params);
+                DistPlan::Blocked {
+                    inner_coeff,
+                    base,
+                    outer_coeffs,
+                    size: block_size(extents[r.array.0][dim], procs),
+                }
+            }
             Distribution::Block2D { .. } => DistPlan::Block2D,
         };
         // A read is covered when every distribution dimension has a
@@ -503,25 +564,30 @@ impl<'a> Plan<'a> {
         let trips = (hi - lo + 1) as u64;
         let inner = self.spmd.program.nest.depth() - 1;
         let remote_us = self.remote_at(point[0]);
+        let mut local_total: u64 = 0;
+        let mut remote_total: u64 = 0;
         for (ops, accesses) in &self.stmts {
             stats.busy_us += trips as f64 * *ops as f64 * self.machine.compute_per_op;
             for acc in accesses {
                 let (local, remote) = match &acc.dist {
                     _ if acc.covered && self.procs > 1 => (trips as i64, 0),
                     DistPlan::Local => (trips as i64, 0),
-                    DistPlan::Wrapped { dim } => {
-                        let s = &acc.subscripts[*dim];
-                        let a = s.var_coeff(inner);
-                        point[inner] = 0;
-                        let c = s.eval(point, self.params);
-                        let l = count_wrapped_hits(lo, hi, a, c, self.procs, p);
+                    DistPlan::Wrapped {
+                        inner_coeff,
+                        base,
+                        outer_coeffs,
+                    } => {
+                        let c = eval_flat(*base, outer_coeffs, point);
+                        let l = count_wrapped_hits(lo, hi, *inner_coeff, c, self.procs, p);
                         (l, trips as i64 - l)
                     }
-                    DistPlan::Blocked { dim, size } => {
-                        let s = &acc.subscripts[*dim];
-                        let a = s.var_coeff(inner);
-                        point[inner] = 0;
-                        let c = s.eval(point, self.params);
+                    DistPlan::Blocked {
+                        inner_coeff,
+                        base,
+                        outer_coeffs,
+                        size,
+                    } => {
+                        let c = eval_flat(*base, outer_coeffs, point);
                         let pp = p as i64;
                         let blo = if p == 0 { i64::MIN / 4 } else { pp * size };
                         let bhi = if p + 1 == self.procs {
@@ -529,7 +595,7 @@ impl<'a> Plan<'a> {
                         } else {
                             (pp + 1) * size - 1
                         };
-                        let l = count_interval_hits(lo, hi, a, c, blo, bhi);
+                        let l = count_interval_hits(lo, hi, *inner_coeff, c, blo, bhi);
                         (l, trips as i64 - l)
                     }
                     DistPlan::Block2D => {
@@ -553,12 +619,14 @@ impl<'a> Plan<'a> {
                         (l, trips as i64 - l)
                     }
                 };
-                stats.local_accesses += local as u64;
-                stats.remote_accesses += remote as u64;
+                local_total += local as u64;
+                remote_total += remote as u64;
                 stats.busy_us +=
                     local as f64 * self.machine.local_access + remote as f64 * remote_us;
             }
         }
+        stats.local_accesses += local_total;
+        stats.remote_accesses += remote_total;
         point[inner] = 0;
     }
 }

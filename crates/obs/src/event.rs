@@ -39,15 +39,16 @@ pub enum EventKind {
     PhaseStart {
         /// Id of the span being opened.
         span: SpanId,
-        /// Phase name (e.g. `"basis"`, `"codegen"`).
-        phase: String,
+        /// Phase name (e.g. `"basis"`, `"codegen"`). Static so opening
+        /// a span never allocates — spans sit on the compile hot path.
+        phase: &'static str,
     },
     /// Span `span` named `phase` closed.
     PhaseEnd {
         /// Id of the span being closed.
         span: SpanId,
         /// Phase name, repeated for greppability.
-        phase: String,
+        phase: &'static str,
     },
     /// `BasisMatrix` selection finished: `rank` rows were kept, in
     /// data-access priority order `rows` (row indices of the access
@@ -270,7 +271,7 @@ impl EventKind {
     /// Short human rendering for the tree sink.
     pub(crate) fn human(&self) -> String {
         match self {
-            EventKind::PhaseStart { phase, .. } => phase.clone(),
+            EventKind::PhaseStart { phase, .. } => (*phase).to_string(),
             EventKind::PhaseEnd { phase, .. } => format!("end {phase}"),
             EventKind::BasisChosen { rank, rows } => {
                 format!("basis chosen: rank {rank}, rows {rows:?}")

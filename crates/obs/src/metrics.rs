@@ -51,7 +51,13 @@ impl Metrics {
     /// Add `delta` to counter `name` (creating it at zero).
     pub fn add(&self, name: &str, delta: u64) {
         let mut inner = self.inner.lock().expect("metrics lock");
-        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+        // Look up by `&str` first: the common repeat-update case must
+        // not allocate a fresh key String on every call.
+        if let Some(v) = inner.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            inner.counters.insert(name.to_string(), delta);
+        }
     }
 
     /// Increment counter `name` by one.
@@ -62,14 +68,17 @@ impl Metrics {
     /// Record one observation of `value` in histogram `name`.
     pub fn observe(&self, name: &str, value: u64) {
         let mut inner = self.inner.lock().expect("metrics lock");
-        let h = inner
-            .histograms
-            .entry(name.to_string())
-            .or_insert_with(|| HistogramSnapshot {
-                counts: vec![0; BUCKET_BOUNDS.len() + 1],
-                total: 0,
-                sum: 0,
-            });
+        if !inner.histograms.contains_key(name) {
+            inner.histograms.insert(
+                name.to_string(),
+                HistogramSnapshot {
+                    counts: vec![0; BUCKET_BOUNDS.len() + 1],
+                    total: 0,
+                    sum: 0,
+                },
+            );
+        }
+        let h = inner.histograms.get_mut(name).expect("just inserted");
         let bucket = BUCKET_BOUNDS
             .iter()
             .position(|&b| value <= b)

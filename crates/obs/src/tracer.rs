@@ -47,8 +47,10 @@ impl Tracer {
     pub fn new() -> Tracer {
         Tracer {
             inner: Mutex::new(Inner {
-                events: Vec::new(),
-                stack: Vec::new(),
+                // A full compile emits a few dozen events; reserving up
+                // front keeps the log out of the realloc path entirely.
+                events: Vec::with_capacity(64),
+                stack: Vec::with_capacity(8),
                 next_span: ROOT_SPAN + 1,
             }),
             start: None,
@@ -91,8 +93,9 @@ impl Tracer {
     }
 
     /// Open a span named `phase`. The returned guard closes it on
-    /// drop, emitting the matching `PhaseEnd`.
-    pub fn span(&self, phase: &str) -> SpanGuard<'_> {
+    /// drop, emitting the matching `PhaseEnd`. The name is `'static`
+    /// so span open/close never allocates.
+    pub fn span(&self, phase: &'static str) -> SpanGuard<'_> {
         let wall_us = self.wall_us();
         let mut inner = self.inner.lock().expect("tracer lock");
         let parent = inner.stack.last().copied().unwrap_or(ROOT_SPAN);
@@ -103,16 +106,13 @@ impl Tracer {
             seq,
             span: parent,
             wall_us,
-            kind: EventKind::PhaseStart {
-                span: id,
-                phase: phase.to_string(),
-            },
+            kind: EventKind::PhaseStart { span: id, phase },
         });
         inner.stack.push(id);
         SpanGuard {
             tracer: self,
             id,
-            phase: phase.to_string(),
+            phase,
         }
     }
 
@@ -133,7 +133,7 @@ impl Tracer {
 pub struct SpanGuard<'a> {
     tracer: &'a Tracer,
     id: SpanId,
-    phase: String,
+    phase: &'static str,
 }
 
 impl SpanGuard<'_> {
@@ -162,7 +162,7 @@ impl Drop for SpanGuard<'_> {
             wall_us,
             kind: EventKind::PhaseEnd {
                 span: self.id,
-                phase: std::mem::take(&mut self.phase),
+                phase: self.phase,
             },
         });
     }
@@ -216,7 +216,7 @@ impl Trace {
                         span: *span,
                         parent: ev.span,
                         depth,
-                        phase: phase.clone(),
+                        phase: (*phase).to_string(),
                         start: ev.seq,
                         end: None,
                         wall_us: None,
@@ -246,7 +246,7 @@ impl Trace {
     /// matching `PhaseEnd`, and spans close in LIFO order relative to
     /// their parent. Returns the first violation.
     pub fn check_well_formed(&self) -> Result<(), String> {
-        let mut stack: Vec<(SpanId, String)> = Vec::new();
+        let mut stack: Vec<(SpanId, &'static str)> = Vec::new();
         let mut seen: std::collections::HashSet<SpanId> = std::collections::HashSet::new();
         for (i, ev) in self.events.iter().enumerate() {
             if ev.seq != i as u64 {
@@ -256,7 +256,7 @@ impl Trace {
             // left open after the close), so pop before comparing.
             if let EventKind::PhaseEnd { span, phase } = &ev.kind {
                 match stack.pop() {
-                    Some((id, name)) if id == *span && &name == phase => {}
+                    Some((id, name)) if id == *span && name == *phase => {}
                     Some((id, name)) => {
                         return Err(format!(
                             "event {i} closes span {span} '{phase}' but innermost is {id} '{name}'"
@@ -277,7 +277,7 @@ impl Trace {
                 if !seen.insert(*span) {
                     return Err(format!("span {span} opened twice"));
                 }
-                stack.push((*span, phase.clone()));
+                stack.push((*span, phase));
             }
         }
         if let Some((id, name)) = stack.last() {

@@ -30,6 +30,9 @@
 //!   --json             machine-readable profile on stdout (byte-identical
 //!                      for any --jobs value; logical clocks only)
 //!   --wall             include wall-clock microseconds (non-deterministic)
+//!   --top N            print the N most expensive spans by self cost
+//!                      (total minus direct children; µs with --wall,
+//!                      logical events otherwise)
 //!   --out FILE         profile JSON path (default:
 //!                      target/an-bench-results/BENCH_profile.json)
 //!
@@ -145,7 +148,7 @@ fn usage() -> ! {
          \x20          [--param NAME=V]... [--strides] [--jobs N] [--verify]\n\
          \x20          [--trace[=FILE]] [--trace-format tree|jsonl|chrome] <file.an | ->\n\
          \x20      anc profile [--procs N] [--machine gp1000|ipsc] [--param NAME=V]...\n\
-         \x20          [--jobs N] [--json] [--wall] [--out FILE] <file.an | ->\n\
+         \x20          [--jobs N] [--json] [--wall] [--top N] [--out FILE] <file.an | ->\n\
          \x20      anc sweep [--procs LIST] [--machines LIST] [--params LIST]...\n\
          \x20          [--jobs N] [--naive] [--no-transfers] [--verify] [--json FILE|-]\n\
          \x20          [--chaos] [--seed N] [--trace[=FILE]] [--trace-format F] <file.an | ->\n\
@@ -946,6 +949,7 @@ fn run_profile(argv: &[String]) -> ExitCode {
     let mut params: Vec<(String, i64)> = Vec::new();
     let mut jobs = 0usize;
     let mut out: Option<String> = None;
+    let mut top: Option<usize> = None;
     let mut input: Option<String> = None;
 
     let mut it = argv.iter();
@@ -953,6 +957,13 @@ fn run_profile(argv: &[String]) -> ExitCode {
         match a.as_str() {
             "--json" => json = true,
             "--wall" => wall = true,
+            "--top" => {
+                top = Some(
+                    it.next()
+                        .and_then(|n| n.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--procs" => {
                 procs = it
                     .next()
@@ -1085,6 +1096,40 @@ fn run_profile(argv: &[String]) -> ExitCode {
                 "{label:<34} {:>8} {end:>8} {span_events:>8} {wall:>10}",
                 p.start
             );
+        }
+        if let Some(n) = top {
+            // A span's self cost is its total minus its direct
+            // children's totals: wall time with `--wall`, logical event
+            // count otherwise.
+            let cost = |p: &access_normalization::obs::PhaseSummary| {
+                p.wall_us
+                    .unwrap_or_else(|| p.end.map_or(0, |e| e - p.start))
+            };
+            let idx_of: std::collections::HashMap<_, _> = phases
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.span, i))
+                .collect();
+            let mut rows: Vec<(u64, u64, usize)> =
+                phases.iter().map(|p| (cost(p), cost(p), 0)).collect();
+            for (i, p) in phases.iter().enumerate() {
+                rows[i].2 = i;
+                if let Some(&pi) = idx_of.get(&p.parent) {
+                    rows[pi].0 = rows[pi].0.saturating_sub(cost(p));
+                }
+            }
+            rows.sort_by_key(|&(self_cost, _, i)| (std::cmp::Reverse(self_cost), i));
+            let unit = if wall { "wall (µs)" } else { "events" };
+            println!("top {n} spans by self cost:");
+            println!(
+                "{:<34} {:>12} {:>12}",
+                "span",
+                format!("self {unit}"),
+                "total"
+            );
+            for &(self_cost, total, i) in rows.iter().take(n) {
+                println!("{:<34} {self_cost:>12} {total:>12}", phases[i].phase);
+            }
         }
         if !trace.counters.is_empty() {
             println!("counters:");

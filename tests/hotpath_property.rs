@@ -1,0 +1,284 @@
+//! Differential properties for the hot-path fast rungs.
+//!
+//! Each fast path added for raw speed — the stack-allocated `SmallMat`
+//! kernels, the bitset distance lattices, and the arena-interned IR —
+//! must be *observationally invisible*: bit-for-bit the same results as
+//! the generic path it short-circuits. These tests pin that down on
+//! fuzzed inputs by running both paths and comparing exactly.
+//!
+//! (`solve_integer` is column HNF plus deterministic forward
+//! substitution, so the HNF differential below covers it; a directed
+//! solution-validity property guards the substitution itself.)
+
+use access_normalization::linalg::det::{determinant, determinant_generic};
+use access_normalization::linalg::hnf::{column_hnf, column_hnf_generic};
+use access_normalization::linalg::projection::{project_generic, project_onto_column_space};
+use access_normalization::linalg::solve::solve_integer;
+use access_normalization::linalg::{IMatrix, IVec};
+use an_deps::distance::{representatives, DistanceSet};
+use an_ir::build::NestBuilder;
+use an_ir::{interp, pretty, Distribution, Expr, PreparedBody, Program};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn scaled_matrix(rows: usize, cols: usize, seeds: &[i64], scale: i64) -> IMatrix {
+    let data: Vec<i64> = seeds[..rows * cols]
+        .iter()
+        .map(|&s| s.saturating_mul(scale))
+        .collect();
+    IMatrix::from_vec(rows, cols, data)
+}
+
+/// The naive reference for the bitset lattice: the same canonicalized
+/// sample stream deduplicated through an ordered set.
+fn reference_representatives(set: &DistanceSet, reach: i64) -> Vec<IVec> {
+    let n = set.particular.len();
+    let mut out: BTreeSet<IVec> = BTreeSet::new();
+    let mut push = |d: IVec| {
+        if d.iter().all(|&v| v == 0) {
+            return;
+        }
+        let canon: IVec = if an_linalg::lex_negative(&d) {
+            d.iter().map(|&v| -v).collect()
+        } else {
+            d
+        };
+        out.insert(canon);
+    };
+    match set.kernel.len() {
+        0 => push(set.particular.clone()),
+        1 => {
+            let k = &set.kernel[0];
+            let in_span = set.particular.iter().all(|&v| v == 0) || {
+                // Mirror `is_multiple`: particular = λ·k for integer λ.
+                k.iter().zip(&set.particular).all(
+                    |(&ki, &pi)| {
+                        if ki == 0 {
+                            pi == 0
+                        } else {
+                            pi % ki == 0
+                        }
+                    },
+                ) && {
+                    let lambda = k
+                        .iter()
+                        .zip(&set.particular)
+                        .find(|(&ki, _)| ki != 0)
+                        .map(|(&ki, &pi)| pi / ki)
+                        .unwrap_or(0);
+                    k.iter()
+                        .zip(&set.particular)
+                        .all(|(&ki, &pi)| lambda * ki == pi)
+                }
+            };
+            if in_span {
+                push(an_linalg::vector::primitive(k));
+            } else {
+                for lambda in -reach..=reach {
+                    push((0..n).map(|i| set.particular[i] + lambda * k[i]).collect());
+                }
+            }
+        }
+        _ => {
+            // Small multiplier boxes only (the tests stay below the
+            // sampler's cap), matching the odometer enumeration.
+            let rank = set.kernel.len();
+            let width = 2 * reach + 1;
+            let total = (width as u64).pow(rank as u32);
+            for mut idx in 0..total {
+                let mut d = set.particular.clone();
+                for k in &set.kernel {
+                    let lambda = (idx % width as u64) as i64 - reach;
+                    idx /= width as u64;
+                    for i in 0..n {
+                        d[i] += lambda * k[i];
+                    }
+                }
+                push(d);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// A small program whose rhs is folded from an opcode stream, giving
+/// diverse expression trees (shared accesses, negation, division).
+fn opcode_program(depth: usize, ops: &[u32]) -> Program {
+    let names: Vec<&str> = ["i", "j", "k"][..depth].to_vec();
+    let mut b = NestBuilder::new(&names, &[("N", 4)]);
+    let extent = b.cst(32);
+    let arr_a = b.array(
+        "A",
+        &[extent.clone(), extent.clone()],
+        Distribution::Wrapped { dim: 0 },
+    );
+    let arr_b = b.array("B", &[extent.clone(), extent], Distribution::Replicated);
+    let alpha = b.coef("alpha", 1.5);
+    for k in 0..depth {
+        b.bounds(k, b.cst(0), b.par(0).sub(&b.cst(1)));
+    }
+    let sub = |b: &NestBuilder, off: i64| {
+        let mut e = b.cst(8 + off);
+        for v in 0..depth {
+            e = e.add(&b.var(v));
+        }
+        e
+    };
+    let lhs = b.access(arr_a, &[sub(&b, 0), sub(&b, 1)]);
+    let read_a = Expr::access(b.access(arr_a, &[sub(&b, 2), sub(&b, 0)]));
+    let read_b = Expr::access(b.access(arr_b, &[sub(&b, 1), sub(&b, 2)]));
+    let mut rhs = read_a.clone();
+    for op in ops {
+        rhs = match op % 6 {
+            0 => Expr::add(rhs, Expr::lit(1.0)),
+            1 => Expr::neg(rhs),
+            2 => Expr::mul(rhs, alpha.clone()),
+            3 => Expr::sub(rhs, read_b.clone()),
+            4 => Expr::div(rhs, Expr::lit(2.0)),
+            _ => Expr::add(rhs, read_a.clone()),
+        };
+    }
+    b.assign(lhs, rhs);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SmallMat HNF rung and the generic i64→BigInt ladder agree
+    /// exactly — H, U, and pivots — including on near-overflow inputs
+    /// that force promotion.
+    #[test]
+    fn small_hnf_bitwise_matches_generic(
+        rows in 1usize..=4,
+        cols in 1usize..=4,
+        seeds in proptest::collection::vec(-5i64..=5, 16),
+        scale in prop_oneof![Just(1i64), Just(7), Just(1 << 20), Just(i64::MAX / 6)],
+    ) {
+        let m = scaled_matrix(rows, cols, &seeds, scale);
+        prop_assert_eq!(column_hnf(&m), column_hnf_generic(&m));
+    }
+
+    /// Same differential for determinants, dims 2–4.
+    #[test]
+    fn small_det_bitwise_matches_generic(
+        dim in 2usize..=4,
+        seeds in proptest::collection::vec(-5i64..=5, 16),
+        scale in prop_oneof![Just(1i64), Just(11), Just(1 << 21), Just(i64::MAX / 6)],
+    ) {
+        let m = scaled_matrix(dim, dim, &seeds, scale);
+        prop_assert_eq!(determinant(&m), determinant_generic(&m));
+    }
+
+    /// `solve_integer` rides the HNF dispatch; any solution it returns
+    /// must satisfy `A·x = b` exactly and its kernel must annihilate.
+    #[test]
+    fn small_solve_solutions_are_valid(
+        dim in 2usize..=4,
+        seeds in proptest::collection::vec(-5i64..=5, 16),
+        x in proptest::collection::vec(-3i64..=3, 4),
+    ) {
+        let m = scaled_matrix(dim, dim, &seeds, 1);
+        // b = A·x so a solution exists whenever A is consistent.
+        let b: Vec<i64> = (0..dim)
+            .map(|r| m.row(r).iter().zip(&x).map(|(&a, &v)| a * v).sum())
+            .collect();
+        let sol = solve_integer(&m, &b).expect("constructed system is solvable");
+        let check: Vec<i64> = (0..dim)
+            .map(|r| {
+                m.row(r)
+                    .iter()
+                    .zip(&sol.particular)
+                    .map(|(&a, &v)| a * v)
+                    .sum()
+            })
+            .collect();
+        prop_assert_eq!(check, b);
+        for k in &sol.kernel {
+            for r in 0..dim {
+                let z: i64 = m.row(r).iter().zip(k).map(|(&a, &v)| a * v).sum();
+                prop_assert_eq!(z, 0);
+            }
+        }
+    }
+
+    /// The stack projection kernel agrees exactly with the BigInt
+    /// Cramer path — value, `None`, and error alike.
+    #[test]
+    fn small_projection_bitwise_matches_generic(
+        rows in 1usize..=4,
+        cols in 1usize..=4,
+        seeds in proptest::collection::vec(-4i64..=4, 16),
+        scale in prop_oneof![Just(1i64), Just(9), Just(1 << 30)],
+        k in 0usize..4,
+    ) {
+        prop_assume!(cols <= rows && k < rows);
+        let z = scaled_matrix(rows, cols, &seeds, scale);
+        prop_assert_eq!(project_onto_column_space(&z, k), project_generic(&z, k));
+    }
+
+    /// The bitset lattice drains exactly the canonical sample set a
+    /// naive ordered-set dedup produces, in the same (lexicographic)
+    /// order — including vectors past the plane radius that take the
+    /// overflow side list.
+    #[test]
+    fn bitset_representatives_match_reference(
+        n in 2usize..=4,
+        part in proptest::collection::vec(-3i64..=3, 4),
+        kern in proptest::collection::vec(proptest::collection::vec(-2i64..=2, 4), 0..=2),
+        big in any::<bool>(),
+        reach in 1i64..=3,
+    ) {
+        let mut particular: IVec = part[..n].to_vec();
+        if big {
+            // Push some coordinates past any plane radius.
+            particular[0] = particular[0].saturating_mul(100);
+        }
+        let kernel: Vec<IVec> = kern
+            .iter()
+            .map(|k| k[..n].to_vec())
+            .filter(|k| k.iter().any(|&v| v != 0))
+            .collect();
+        let set = DistanceSet { particular, kernel };
+        let (got, _) = representatives(&set, reach);
+        prop_assert_eq!(got, reference_representatives(&set, reach));
+    }
+
+    /// Arena-built IR pretty-prints and interprets identically to the
+    /// boxed trees it interns.
+    #[test]
+    fn arena_ir_matches_boxed(
+        depth in 2usize..=3,
+        ops in proptest::collection::vec(0u32..=5, 0..8),
+    ) {
+        let p = opcode_program(depth, &ops);
+        let params = p.default_param_values();
+        let body = PreparedBody::new(&p);
+        prop_assert_eq!(body.stmts.len(), p.nest.body.len());
+        for (stmt, (lhs, rhs)) in p.nest.body.iter().zip(&body.stmts) {
+            // Identical text through the arena renderer.
+            let arena_text = format!(
+                "{} = {};",
+                pretty::render_ref(&p, lhs),
+                pretty::render_expr_arena(&p, &body.arena, *rhs)
+            );
+            prop_assert_eq!(pretty::render_stmt(&p, stmt), arena_text);
+            // Round trip: interning then rebuilding is the identity.
+            let an_ir::Stmt::Assign { rhs: boxed, .. } = stmt else {
+                unreachable!("assign-only bodies")
+            };
+            prop_assert_eq!(&body.arena.to_expr(*rhs), boxed);
+        }
+        // Bitwise-identical interpretation: `run` (arena) vs the boxed
+        // `execute_point` loop over the same iteration order.
+        let mut arena_store = interp::ArrayStore::seeded(&p, &params, 7);
+        interp::run(&p, &params, &mut arena_store).expect("arena run");
+        let mut boxed_store = interp::ArrayStore::seeded(&p, &params, 7);
+        p.nest
+            .for_each_iteration(&params, |pt| {
+                interp::execute_point(&p, pt, &params, &mut boxed_store).expect("boxed run");
+            })
+            .expect("iteration");
+        prop_assert_eq!(arena_store, boxed_store);
+    }
+}

@@ -107,7 +107,7 @@ fn successful_compiles_record_the_full_phase_skeleton() {
         let mut phases: Vec<String> = Vec::new();
         for ev in &trace.events {
             if let EventKind::PhaseStart { phase, .. } = &ev.kind {
-                phases.push(phase.clone());
+                phases.push((*phase).to_string());
             }
         }
         for expected in [
