@@ -195,7 +195,9 @@ fn overflow_section() -> (String, f64) {
     entries.sort();
     for path in &entries {
         let src = std::fs::read_to_string(path).expect("kernel readable");
-        let program = an_lang::parse(&src).expect("kernel parses");
+        // Messy corpus kernels only lower after pre-normalization.
+        let (program, _) = access_normalization::parse_normalized(&src, &CompileOptions::default())
+            .expect("kernel normalizes");
         let mut best = f64::INFINITY;
         let mut compiled = None;
         for _ in 0..REPEATS {
@@ -344,6 +346,47 @@ fn obs_section(program: &Program) -> (String, f64) {
     (json, overhead_us)
 }
 
+/// Times the full front door (`compile`: parse, pre-normalization,
+/// pipeline) per corpus kernel, for the `"kernels"` array of
+/// `BENCH_autodist.json`. Messy kernels pay the rewrite passes plus
+/// the differential check; the flag records which rows did.
+fn kernel_compile_section() -> String {
+    use access_normalization::compile;
+    let kernels_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("examples")
+        .join("kernels");
+    let mut entries: Vec<_> = std::fs::read_dir(&kernels_dir)
+        .expect("examples/kernels exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "an"))
+        .collect();
+    entries.sort();
+    let opts = CompileOptions::default();
+    let mut rows = Vec::new();
+    for path in &entries {
+        let src = std::fs::read_to_string(path).expect("kernel readable");
+        let mut best = f64::INFINITY;
+        for _ in 0..REPEATS {
+            let start = Instant::now();
+            let c = compile(&src, &opts).expect("kernel compiles");
+            std::hint::black_box(&c);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let (_, lint) =
+            access_normalization::parse_normalized(&src, &opts).expect("kernel normalizes");
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        rows.push(format!(
+            "    {{\"kernel\": \"{name}\", \"compile_ms\": {:.3}, \"prenormalized\": {}}}",
+            best * 1e3,
+            lint.notes.iter().any(|n| n.contains("rewrote"))
+        ));
+    }
+    rows.join(",\n")
+}
+
 fn main() {
     let program = an_lang::parse(&fused_gemm_source(64)).expect("fused gemm parses");
     let machine = MachineConfig::butterfly_gp1000();
@@ -386,6 +429,7 @@ fn main() {
         verify_secs * 1e3
     );
 
+    let kernel_rows = kernel_compile_section();
     let json = format!(
         "{{\n  \"kernel\": \"fused-gemm\",\n  \"n\": 64,\n  \"candidates\": {},\n  \
          \"skipped\": {},\n  \"cores\": {cores},\n  \"serial_ms\": {:.3},\n  \
@@ -393,7 +437,7 @@ fn main() {
          \"speedup\": {:.3},\n  \"rankings_identical\": true,\n  \
          \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \
          \"compile_ms\": {:.3},\n  \"verify_ms\": {:.3},\n  \
-         \"verify_overhead\": {:.3}\n}}\n",
+         \"verify_overhead\": {:.3},\n  \"kernels\": [\n{kernel_rows}\n  ]\n}}\n",
         serial.ranking.len(),
         serial.skipped,
         serial_secs * 1e3,

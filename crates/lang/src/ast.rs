@@ -85,20 +85,67 @@ pub struct AstLoop {
     pub lowers: Vec<AstAffine>,
     /// Upper bound terms (singleton unless written `min(...)`).
     pub uppers: Vec<AstAffine>,
+    /// Optional `step` clause. `None` is the canonical unit stride; the
+    /// lowerer rejects any explicit step and relies on `an-normal` to
+    /// rewrite it away first.
+    pub step: Option<AstStep>,
     /// Either a nested loop or statements.
     pub body: AstBody,
     /// Source position of the `for`.
     pub pos: Pos,
 }
 
-/// A loop body: exactly one nested loop (perfect nesting) or a list of
-/// statements.
+/// An explicit `step` clause on a loop header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AstStep {
+    /// The literal stride (the grammar only admits integer literals).
+    pub value: i64,
+    /// Source position of the `step` keyword.
+    pub pos: Pos,
+}
+
+/// A loop body.
+///
+/// The parser emits [`AstBody::Nested`] for a body that is exactly one
+/// loop and [`AstBody::Stmts`] for a body of array assignments only —
+/// the two canonical forms the lowerer accepts. Anything else (scalar
+/// statements, or statements mixed with a nested loop) parses as
+/// [`AstBody::Mixed`] and must be normalized by `an-normal` before
+/// lowering.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AstBody {
     /// A single nested loop.
     Nested(Box<AstLoop>),
     /// Innermost statements.
     Stmts(Vec<AstStmt>),
+    /// A messy body: any interleaving of scalar statements, array
+    /// assignments and nested loops.
+    Mixed(Vec<AstItem>),
+}
+
+/// One item of a [`AstBody::Mixed`] body, in source order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstItem {
+    /// A nested loop.
+    Loop(AstLoop),
+    /// An array assignment.
+    Assign(AstStmt),
+    /// A scalar (induction-variable) statement `t = affine;`.
+    Scalar(AstScalarStmt),
+}
+
+/// A scalar statement `t = affine;` — the induction-variable idiom.
+/// Scalars hold integer affine values and may appear in subscripts and
+/// bounds; `an-normal` substitutes their closed forms and deletes them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstScalarStmt {
+    /// Scalar name.
+    pub name: String,
+    /// Assigned integer affine expression (may reference the scalar
+    /// itself, as in `t = t + 1;`).
+    pub rhs: AstAffine,
+    /// Source position.
+    pub pos: Pos,
 }
 
 /// An assignment statement.

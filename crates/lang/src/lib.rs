@@ -35,17 +35,28 @@
 //!              ("distribute" dist)? ";"
 //! dist      := "wrapped" "(" INT ")" | "blocked" "(" INT ")"
 //!            | "block2d" "(" INT "," INT ")" | "replicated"
-//! loop      := "for" IDENT "=" bound "," bound "{" (loop | stmt*) "}"
+//! loop      := "for" IDENT "=" bound "," bound ("step" INT)?
+//!              "{" item* "}"
+//! item      := loop | stmt | scalar
 //! bound     := "max" "(" affine ("," affine)* ")"
 //!            | "min" "(" affine ("," affine)* ")"
 //!            | affine
 //! stmt      := IDENT "[" affine ("," affine)* "]" "=" expr ";"
+//! scalar    := IDENT "=" affine ";"
 //! expr      := term (("+" | "-") term)*
 //! term      := factor (("*" | "/") factor)*
 //! factor    := "-" factor | "(" expr ")" | NUMBER
 //!            | IDENT "[" affine ("," affine)* "]"
 //! affine    := linear arithmetic over INT, loop variables, parameters
 //! ```
+//!
+//! The canonical forms the lowerer accepts are unit-stride loops whose
+//! bodies are either exactly one nested loop or a run of array
+//! assignments. Explicit `step` clauses, scalar statements (the
+//! induction-variable idiom) and mixed bodies parse fine — they produce
+//! [`ast::AstBody::Mixed`] / [`ast::AstLoop::step`] — but lowering
+//! rejects them; the `an-normal` crate rewrites such programs into
+//! canonical form first.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +65,7 @@ pub mod ast;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod print;
 pub mod spans;
 pub mod token;
 

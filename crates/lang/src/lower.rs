@@ -16,17 +16,41 @@ use an_poly::{Affine, BoundExpr, LoopBounds, Space};
 /// subscripts, duplicate declarations, inner-variable bounds) and
 /// [`LangError::Invalid`] if the result fails IR validation.
 pub fn lower(ast: &AstProgram) -> Result<Program, LangError> {
-    // Collect loop variables outermost-in.
+    // Collect loop variables outermost-in. Only canonical nests lower:
+    // explicit steps, scalar statements and imperfect nesting are
+    // `an-normal`'s job (the `compile` driver pre-normalizes by
+    // default; `anc lint --fix` rewrites sources in place).
     let mut vars = Vec::new();
     let mut cursor = Some(&ast.nest);
     while let Some(l) = cursor {
         if vars.contains(&l.var) {
             return err(l.pos, format!("duplicate loop variable `{}`", l.var));
         }
+        if let Some(step) = &l.step {
+            return err(
+                step.pos,
+                format!(
+                    "loop `{}` has an explicit step {}; normalize to unit stride first \
+                     (pre-normalization rewrites this automatically)",
+                    l.var, step.value
+                ),
+            );
+        }
         vars.push(l.var.clone());
         cursor = match &l.body {
             AstBody::Nested(inner) => Some(inner),
             AstBody::Stmts(_) => None,
+            AstBody::Mixed(_) => {
+                return err(
+                    l.pos,
+                    format!(
+                        "body of loop `{}` is not a perfect nest (scalar statements or \
+                         statements mixed with a nested loop); normalize first \
+                         (pre-normalization rewrites this automatically)",
+                        l.var
+                    ),
+                )
+            }
         };
     }
     let params: Vec<String> = ast.params.iter().map(|p| p.name.clone()).collect();
@@ -148,6 +172,9 @@ pub fn lower(ast: &AstProgram) -> Result<Program, LangError> {
                 }
                 cursor = None;
             }
+            // Unreachable: the variable-collection walk above already
+            // rejected mixed bodies. Kept as an error, not a panic.
+            AstBody::Mixed(_) => return err(l.pos, "imperfect nest survived canonical check"),
         }
         depth += 1;
     }
@@ -369,6 +396,37 @@ mod tests {
         };
         assert_eq!(lhs.subscripts[0].var_coeffs(), &[2, 4]);
         assert_eq!(lhs.subscripts[1].var_coeffs(), &[1, 5]);
+    }
+
+    #[test]
+    fn rejects_explicit_step() {
+        let e = parse("array A[10]; for i = 0, 9 step 2 { A[i] = 1.0; }").unwrap_err();
+        match e {
+            LangError::Lower { pos, message } => {
+                assert!(message.contains("normalize"), "{message}");
+                assert_eq!(pos.line, 1);
+            }
+            other => panic!("expected lower error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_mixed_body() {
+        let e = parse(
+            "array A[10]; array B[10, 10];
+             for i = 0, 9 { A[i] = 0.0; for j = 0, 9 { B[i, j] = A[i]; } }",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&e, LangError::Lower { message, .. } if message.contains("perfect nest")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn rejects_scalar_statement() {
+        let e = parse("array A[10]; for i = 0, 9 { t = i + 1; A[t] = 1.0; }").unwrap_err();
+        assert!(matches!(e, LangError::Lower { .. }), "{e}");
     }
 
     #[test]

@@ -246,30 +246,42 @@ impl<'a> Parser<'a> {
         let lowers = self.bound_list("max")?;
         self.expect(TokenKind::Comma)?;
         let uppers = self.bound_list("min")?;
-        self.expect(TokenKind::LBrace)?;
-        let body = if self.at_keyword("for") {
-            AstBody::Nested(Box::new(self.for_loop()?))
-        } else {
-            let mut stmts = Vec::new();
-            while !self.eat(&TokenKind::RBrace) {
-                if self.peek().kind == TokenKind::Eof {
-                    return self.error("unexpected end of input inside loop body");
-                }
-                stmts.push(self.stmt()?);
+        let step = if self.at_keyword("step") {
+            let step_pos = self.pos();
+            self.bump();
+            let value = self.int()?;
+            if value == 0 {
+                return self.error("loop step must be non-zero");
             }
-            return Ok(AstLoop {
-                var,
-                lowers,
-                uppers,
-                body: AstBody::Stmts(stmts),
-                pos,
-            });
+            Some(AstStep {
+                value,
+                pos: step_pos,
+            })
+        } else {
+            None
         };
-        self.expect(TokenKind::RBrace)?;
+        self.expect(TokenKind::LBrace)?;
+
+        // Parse the body as a general item sequence, then classify it
+        // back into one of the canonical shapes when possible so that
+        // canonical programs keep their historical AST form.
+        let mut items = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek().kind == TokenKind::Eof {
+                return self.error("unexpected end of input inside loop body");
+            }
+            if self.at_keyword("for") {
+                items.push(AstItem::Loop(self.for_loop()?));
+            } else {
+                items.push(self.body_stmt()?);
+            }
+        }
+        let body = classify_body(items);
         Ok(AstLoop {
             var,
             lowers,
             uppers,
+            step,
             body,
             pos,
         })
@@ -293,24 +305,32 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn stmt(&mut self) -> Result<AstStmt, LangError> {
+    /// One statement in a loop body: an array assignment
+    /// `A[...] = expr;` or a scalar statement `t = affine;`.
+    fn body_stmt(&mut self) -> Result<AstItem, LangError> {
         let pos = self.pos();
-        let (array, _) = self.ident()?;
-        self.expect(TokenKind::LBracket)?;
-        let mut subscripts = vec![self.affine()?];
-        while self.eat(&TokenKind::Comma) {
-            subscripts.push(self.affine()?);
+        let (name, _) = self.ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let mut subscripts = vec![self.affine()?];
+            while self.eat(&TokenKind::Comma) {
+                subscripts.push(self.affine()?);
+            }
+            self.expect(TokenKind::RBracket)?;
+            self.expect(TokenKind::Eq)?;
+            let rhs = self.expr()?;
+            self.expect(TokenKind::Semi)?;
+            Ok(AstItem::Assign(AstStmt {
+                array: name,
+                subscripts,
+                rhs,
+                pos,
+            }))
+        } else {
+            self.expect(TokenKind::Eq)?;
+            let rhs = self.affine()?;
+            self.expect(TokenKind::Semi)?;
+            Ok(AstItem::Scalar(AstScalarStmt { name, rhs, pos }))
         }
-        self.expect(TokenKind::RBracket)?;
-        self.expect(TokenKind::Eq)?;
-        let rhs = self.expr()?;
-        self.expect(TokenKind::Semi)?;
-        Ok(AstStmt {
-            array,
-            subscripts,
-            rhs,
-            pos,
-        })
     }
 
     // ----- affine expressions -----
@@ -444,6 +464,31 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Folds a parsed item sequence into the canonical body shapes —
+/// exactly one nested loop becomes [`AstBody::Nested`], a run of array
+/// assignments becomes [`AstBody::Stmts`] — so canonical programs keep
+/// the AST shape the lowerer and every downstream pattern match expect.
+/// Everything else stays a [`AstBody::Mixed`] for `an-normal`.
+fn classify_body(items: Vec<AstItem>) -> AstBody {
+    if items.len() == 1 && matches!(items[0], AstItem::Loop(_)) {
+        let Some(AstItem::Loop(l)) = items.into_iter().next() else {
+            unreachable!()
+        };
+        return AstBody::Nested(Box::new(l));
+    }
+    if items.iter().all(|i| matches!(i, AstItem::Assign(_))) {
+        let stmts = items
+            .into_iter()
+            .map(|i| match i {
+                AstItem::Assign(s) => s,
+                _ => unreachable!(),
+            })
+            .collect();
+        return AstBody::Stmts(stmts);
+    }
+    AstBody::Mixed(items)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +550,71 @@ mod tests {
     #[test]
     fn unknown_distribution_rejected() {
         assert!(parse("array A[4] distribute diagonal(0); for i = 0, 3 { A[i] = 1.0; }").is_err());
+    }
+
+    #[test]
+    fn step_clause_parses() {
+        let p = parse("param N = 8; array A[N]; for i = 0, N - 1 step 2 { A[i] = 1.0; }").unwrap();
+        let step = p.nest.step.expect("step recorded");
+        assert_eq!(step.value, 2);
+        assert!(matches!(&p.nest.body, AstBody::Stmts(s) if s.len() == 1));
+    }
+
+    #[test]
+    fn zero_step_rejected() {
+        assert!(parse("array A[4]; for i = 0, 3 step 0 { A[i] = 1.0; }").is_err());
+    }
+
+    #[test]
+    fn scalar_statements_make_body_mixed() {
+        let p = parse(
+            "param N = 4; array A[N];
+             for i = 0, N - 1 {
+               t = 2 * i;
+               A[t] = 1.0;
+             }",
+        )
+        .unwrap();
+        match &p.nest.body {
+            AstBody::Mixed(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(matches!(&items[0], AstItem::Scalar(s) if s.name == "t"));
+                assert!(matches!(&items[1], AstItem::Assign(s) if s.array == "A"));
+            }
+            other => panic!("expected mixed body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn statements_around_inner_loop_make_body_mixed() {
+        let p = parse(
+            "param N = 4; array A[N]; array B[N, N];
+             for i = 0, N - 1 {
+               A[i] = 0.0;
+               for j = 0, N - 1 {
+                 B[i, j] = A[i];
+               }
+             }",
+        )
+        .unwrap();
+        match &p.nest.body {
+            AstBody::Mixed(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(matches!(&items[0], AstItem::Assign(_)));
+                assert!(matches!(&items[1], AstItem::Loop(l) if l.var == "j"));
+            }
+            other => panic!("expected mixed body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lone_inner_loop_still_parses_as_nested() {
+        let p = parse(
+            "param N = 4; array B[N, N];
+             for i = 0, N - 1 { for j = 0, N - 1 { B[i, j] = 1.0; } }",
+        )
+        .unwrap();
+        assert!(matches!(&p.nest.body, AstBody::Nested(_)));
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Pretty-printing parsed programs back to surface syntax.
+//!
+//! `anc lint --fix` rewrites a source file by normalizing its AST and
+//! printing it again, so the printer must emit text that re-parses to
+//! an equivalent program (same lowered IR, same interpreter results).
+//! It handles every AST form, including the messy pre-normalization
+//! ones (steps, scalar statements, mixed bodies), which makes it
+//! useful for debugging the normalizer as well.
+
+use crate::ast::*;
+
+/// Renders a program as surface syntax that re-parses to an equivalent
+/// AST (canonical bodies keep their shape; numeric values round-trip).
+pub fn print_program(ast: &AstProgram) -> String {
+    let mut out = String::new();
+    for p in &ast.params {
+        out.push_str(&format!("param {} = {};\n", p.name, p.default));
+    }
+    for c in &ast.coefs {
+        out.push_str(&format!("coef {} = {};\n", c.name, c.value));
+    }
+    for a in &ast.assumes {
+        out.push_str(&format!(
+            "assume {} >= {};\n",
+            affine(&a.lhs),
+            affine(&a.rhs)
+        ));
+    }
+    for a in &ast.arrays {
+        let dims: Vec<String> = a.dims.iter().map(affine).collect();
+        out.push_str(&format!("array {}[{}]", a.name, dims.join(", ")));
+        match a.distribution {
+            AstDistribution::Replicated => {}
+            AstDistribution::Wrapped(d) => out.push_str(&format!(" distribute wrapped({d})")),
+            AstDistribution::Blocked(d) => out.push_str(&format!(" distribute blocked({d})")),
+            AstDistribution::Block2D(d1, d2) => {
+                out.push_str(&format!(" distribute block2d({d1}, {d2})"))
+            }
+        }
+        out.push_str(";\n");
+    }
+    print_loop(&ast.nest, 0, &mut out);
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_loop(l: &AstLoop, depth: usize, out: &mut String) {
+    indent(depth, out);
+    out.push_str(&format!(
+        "for {} = {}, {}",
+        l.var,
+        bound(&l.lowers, "max"),
+        bound(&l.uppers, "min")
+    ));
+    if let Some(step) = &l.step {
+        out.push_str(&format!(" step {}", step.value));
+    }
+    out.push_str(" {\n");
+    match &l.body {
+        AstBody::Nested(inner) => print_loop(inner, depth + 1, out),
+        AstBody::Stmts(stmts) => {
+            for s in stmts {
+                print_stmt(s, depth + 1, out);
+            }
+        }
+        AstBody::Mixed(items) => {
+            for item in items {
+                match item {
+                    AstItem::Loop(inner) => print_loop(inner, depth + 1, out),
+                    AstItem::Assign(s) => print_stmt(s, depth + 1, out),
+                    AstItem::Scalar(s) => {
+                        indent(depth + 1, out);
+                        out.push_str(&format!("{} = {};\n", s.name, affine(&s.rhs)));
+                    }
+                }
+            }
+        }
+    }
+    indent(depth, out);
+    out.push_str("}\n");
+}
+
+fn print_stmt(s: &AstStmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    let subs: Vec<String> = s.subscripts.iter().map(affine).collect();
+    out.push_str(&format!(
+        "{}[{}] = {};\n",
+        s.array,
+        subs.join(", "),
+        expr(&s.rhs)
+    ));
+}
+
+fn bound(terms: &[AstAffine], combiner: &str) -> String {
+    if terms.len() == 1 {
+        affine(&terms[0])
+    } else {
+        let parts: Vec<String> = terms.iter().map(affine).collect();
+        format!("{combiner}({})", parts.join(", "))
+    }
+}
+
+/// Renders an affine expression with minimal parentheses. Precedence
+/// levels: 0 additive, 1 multiplicative, 2 atoms and negation.
+fn affine(e: &AstAffine) -> String {
+    aff_prec(e, 0)
+}
+
+fn aff_prec(e: &AstAffine, min: u8) -> String {
+    let (s, level) = match e {
+        AstAffine::Num(v, _) => (v.to_string(), if *v < 0 { 1 } else { 2 }),
+        AstAffine::Ident(name, _) => (name.clone(), 2),
+        AstAffine::Neg(a, _) => (format!("-{}", aff_prec(a, 2)), 1),
+        AstAffine::Add(a, b, _) => (format!("{} + {}", aff_prec(a, 0), aff_prec(b, 1)), 0),
+        AstAffine::Sub(a, b, _) => (format!("{} - {}", aff_prec(a, 0), aff_prec(b, 1)), 0),
+        AstAffine::Mul(a, b, _) => (format!("{} * {}", aff_prec(a, 1), aff_prec(b, 2)), 1),
+    };
+    if level < min {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+/// Renders a value expression with minimal parentheses.
+fn expr(e: &AstExpr) -> String {
+    expr_prec(e, 0)
+}
+
+fn expr_prec(e: &AstExpr, min: u8) -> String {
+    let (s, level) = match e {
+        AstExpr::Num(v, _) => (v.to_string(), if *v < 0.0 { 1 } else { 2 }),
+        AstExpr::Ref(name, subs, _) => {
+            if subs.is_empty() {
+                (name.clone(), 2)
+            } else {
+                let parts: Vec<String> = subs.iter().map(affine).collect();
+                (format!("{name}[{}]", parts.join(", ")), 2)
+            }
+        }
+        AstExpr::Neg(a, _) => (format!("-{}", expr_prec(a, 2)), 1),
+        AstExpr::Bin(op, a, b, _) => {
+            let (sym, level) = match op {
+                AstBinOp::Add => ("+", 0),
+                AstBinOp::Sub => ("-", 0),
+                AstBinOp::Mul => ("*", 1),
+                AstBinOp::Div => ("/", 1),
+            };
+            (
+                format!("{} {sym} {}", expr_prec(a, level), expr_prec(b, level + 1)),
+                level,
+            )
+        }
+    };
+    if level < min {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parser};
+
+    fn roundtrip(src: &str) {
+        let ast = parser::parse_tokens(&lexer::lex(src).unwrap()).unwrap();
+        let printed = print_program(&ast);
+        let again = parser::parse_tokens(&lexer::lex(&printed).unwrap())
+            .unwrap_or_else(|e| panic!("printed source fails to parse: {e}\n{printed}"));
+        let printed2 = print_program(&again);
+        assert_eq!(printed, printed2, "printing is not a fixed point");
+        // Canonical programs must lower identically after a round-trip.
+        if let Ok(p1) = crate::lower::lower(&ast) {
+            let p2 = crate::lower::lower(&again).expect("round-trip broke lowering");
+            assert_eq!(p1, p2);
+        }
+    }
+
+    #[test]
+    fn canonical_roundtrip() {
+        roundtrip(
+            "param N = 12; param b = 3;
+             coef alpha = 1.5; coef beta = -2.0;
+             assume N >= 2 * b;
+             array Ab[N, 2 * b - 1] distribute wrapped(1);
+             array Cb[N, 2 * b - 1];
+             for i = 1, N {
+               for j = i, min(i + 2 * b - 2, N) {
+                 for k = max(i - b + 1, j - b + 1, 1), min(i + b - 1, N) {
+                   Cb[i, j - i + 1] = Cb[i, j - i + 1] + alpha * Ab[k, i - k + b] / 2.0
+                     - (Ab[k, j - k + b] + beta);
+                 }
+               }
+             }",
+        );
+    }
+
+    #[test]
+    fn messy_roundtrip() {
+        roundtrip(
+            "param N = 8;
+             array A[N]; array B[N, N];
+             for i = 0, 2 * N - 2 step 2 {
+               r = 0;
+               A[i] = 1.0;
+               for j = 0, N - 1 {
+                 B[i, r] = A[i] * 0.5;
+                 r = r + 1;
+               }
+             }",
+        );
+    }
+
+    #[test]
+    fn negation_and_precedence() {
+        roundtrip(
+            "param N = 4;
+             array A[N, N];
+             for i = 0, N - 1 { for j = 0, N - 1 {
+               A[i, -i + 2 * (j - 1) + N] = -(A[i, j] + 1.0) * 2.0 - A[i, j] / -2.0;
+             } }",
+        );
+    }
+}

@@ -6,8 +6,29 @@
 //! the source text; a [`SpanMap`] records the [`Pos`] of every indexed
 //! entity, in the same order the lowerer emits them.
 
-use crate::ast::{AstBody, AstProgram};
+use crate::ast::{AstBody, AstItem, AstLoop, AstProgram};
 use crate::token::Pos;
+
+/// Records loop and statement positions in the order the lowerer
+/// visits them. Mixed (pre-normalization) bodies are walked in source
+/// order; their scalar statements have no lowered counterpart and are
+/// skipped.
+fn walk(level: &AstLoop, map: &mut SpanMap) {
+    map.loops.push(level.pos);
+    match &level.body {
+        AstBody::Nested(inner) => walk(inner, map),
+        AstBody::Stmts(stmts) => map.stmts.extend(stmts.iter().map(|s| s.pos)),
+        AstBody::Mixed(items) => {
+            for item in items {
+                match item {
+                    AstItem::Loop(l) => walk(l, map),
+                    AstItem::Assign(s) => map.stmts.push(s.pos),
+                    AstItem::Scalar(_) => {}
+                }
+            }
+        }
+    }
+}
 
 /// Source positions for the indexed entities of a lowered program.
 ///
@@ -35,17 +56,7 @@ impl SpanMap {
             loops: Vec::new(),
             stmts: Vec::new(),
         };
-        let mut level = &ast.nest;
-        loop {
-            map.loops.push(level.pos);
-            match &level.body {
-                AstBody::Nested(inner) => level = inner,
-                AstBody::Stmts(stmts) => {
-                    map.stmts.extend(stmts.iter().map(|s| s.pos));
-                    break;
-                }
-            }
-        }
+        walk(&ast.nest, &mut map);
         map
     }
 

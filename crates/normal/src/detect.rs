@@ -1,0 +1,150 @@
+//! Detect-only lints: facts worth surfacing that need no rewrite.
+//!
+//! * `AN0604` — a loop's lower bound is a non-zero constant. The
+//!   pipeline handles arbitrary affine lower bounds natively, so this
+//!   is informational: some external tools expect zero-based loops.
+//! * `AN0605` — an innermost statement is invariant in the innermost
+//!   loop variable (neither its subscripts nor any array subscript on
+//!   the right-hand side mention it). Hoisting is profitable but not
+//!   attempted here; re-execution is observable through overwritten
+//!   reads, so the rewrite needs a dependence argument this pass does
+//!   not make.
+
+use crate::{Code, Ctx, Diagnostic};
+use an_diag::Anchor;
+use an_lang::ast::{AstAffine, AstBody, AstExpr, AstItem, AstLoop, AstProgram, AstStmt};
+
+pub fn run(ast: &AstProgram, ctx: &mut Ctx) {
+    visit(&ast.nest, ctx);
+}
+
+fn visit(l: &AstLoop, ctx: &mut Ctx) {
+    if let [AstAffine::Num(c, pos)] = l.lowers.as_slice() {
+        if *c != 0 {
+            ctx.push(
+                Diagnostic::new(
+                    Code::NonZeroLowerBound,
+                    Anchor::Program,
+                    format!("loop `{}` starts at {c}, not 0", l.var),
+                )
+                .with_help("informational: the pipeline handles non-zero lower bounds natively")
+                .at(*pos),
+            );
+        }
+    }
+    match &l.body {
+        AstBody::Nested(inner) => visit(inner, ctx),
+        AstBody::Stmts(stmts) => {
+            for s in stmts {
+                if !stmt_mentions(s, &l.var) {
+                    ctx.push(
+                        Diagnostic::new(
+                            Code::LoopInvariantStatement,
+                            Anchor::Program,
+                            format!(
+                                "statement writing `{}` is invariant in loop `{}`",
+                                s.array, l.var
+                            ),
+                        )
+                        .with_help(
+                            "informational: the statement re-executes every iteration; \
+                             hoisting it may be profitable",
+                        )
+                        .at(s.pos),
+                    );
+                }
+            }
+        }
+        AstBody::Mixed(items) => {
+            for item in items {
+                if let AstItem::Loop(inner) = item {
+                    visit(inner, ctx);
+                }
+            }
+        }
+    }
+}
+
+fn stmt_mentions(s: &AstStmt, var: &str) -> bool {
+    s.subscripts.iter().any(|e| affine_mentions(e, var)) || expr_mentions(&s.rhs, var)
+}
+
+fn affine_mentions(e: &AstAffine, var: &str) -> bool {
+    match e {
+        AstAffine::Num(..) => false,
+        AstAffine::Ident(name, _) => name == var,
+        AstAffine::Neg(a, _) => affine_mentions(a, var),
+        AstAffine::Add(a, b, _) | AstAffine::Sub(a, b, _) | AstAffine::Mul(a, b, _) => {
+            affine_mentions(a, var) || affine_mentions(b, var)
+        }
+    }
+}
+
+fn expr_mentions(e: &AstExpr, var: &str) -> bool {
+    match e {
+        AstExpr::Num(..) => false,
+        AstExpr::Ref(_, subs, _) => subs.iter().any(|s| affine_mentions(s, var)),
+        AstExpr::Neg(a, _) => expr_mentions(a, var),
+        AstExpr::Bin(_, a, b, _) => expr_mentions(a, var) || expr_mentions(b, var),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintReport;
+
+    fn run_pass(src: &str) -> LintReport {
+        let ast = an_lang::parser::parse_tokens(&an_lang::lexer::lex(src).unwrap()).unwrap();
+        let mut report = LintReport::with_label("lint");
+        let mut ctx = Ctx {
+            report: &mut report,
+            mutation: None,
+            changed: false,
+        };
+        run(&ast, &mut ctx);
+        report
+    }
+
+    #[test]
+    fn nonzero_lower_bound_is_an0604_info() {
+        let report = run_pass(
+            "param N = 8; array A[N];
+             for i = 1, N - 1 { A[i] = A[i - 1]; }",
+        );
+        assert_eq!(report.codes(), vec![Code::NonZeroLowerBound]);
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn symbolic_lower_bound_is_not_flagged() {
+        let report = run_pass(
+            "param N = 8; array A[N, N];
+             for i = 0, N - 1 { for j = i, N - 1 { A[i, j] = 1.0; } }",
+        );
+        assert!(report.codes().is_empty(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn invariant_statement_is_an0605_info() {
+        let report = run_pass(
+            "param N = 8; array A[N, N]; array B[N];
+             for i = 0, N - 1 {
+               for j = 0, N - 1 {
+                 A[i, 0] = B[i] * 2.0;
+               }
+             }",
+        );
+        assert_eq!(report.codes(), vec![Code::LoopInvariantStatement]);
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn variant_statement_is_clean() {
+        let report = run_pass(
+            "param N = 8; array A[N, N];
+             for i = 0, N - 1 { for j = 0, N - 1 { A[i, j] = 1.0; } }",
+        );
+        assert!(report.codes().is_empty());
+    }
+}

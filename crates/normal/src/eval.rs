@@ -1,0 +1,308 @@
+//! A reference evaluator for *messy* (pre-normalization) programs.
+//!
+//! The differential check needs ground truth for programs the IR
+//! interpreter cannot run: nests with explicit steps, scalar
+//! statements, and mixed bodies. This evaluator executes the AST
+//! directly with those semantics:
+//!
+//! * loop bounds are `max(lowers) ‥ min(uppers)` inclusive, evaluated
+//!   at loop entry with the current scalar environment;
+//! * `step s` advances the counter by `s` (`s ≥ 1`);
+//! * scalar statements update an integer environment consulted by
+//!   subscripts and bounds;
+//! * assignments evaluate exactly like the IR interpreter: same tree
+//!   walk, same operation order, same division-by-zero rule — so a
+//!   correct normalization reproduces results **bitwise**.
+//!
+//! Storage is an [`ArrayStore`] borrowed from `an-ir`, which keeps the
+//! seeded initial contents identical on both sides of the comparison.
+
+use an_ir::interp::ArrayStore;
+use an_ir::ArrayId;
+use an_lang::ast::{AstAffine, AstBinOp, AstBody, AstExpr, AstItem, AstLoop, AstProgram, AstStmt};
+use std::collections::HashMap;
+
+/// Why evaluation stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// An identifier that is neither a scalar, loop variable, nor
+    /// parameter.
+    UnknownName(String),
+    /// An identifier used as an array that was never declared.
+    UnknownArray(String),
+    /// A non-positive step reached execution.
+    BadStep(i64),
+    /// Division by zero in a value expression.
+    DivisionByZero,
+    /// An array access outside its extents.
+    OutOfBounds(String),
+    /// The iteration budget was exhausted.
+    Budget,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+            EvalError::UnknownArray(n) => write!(f, "unknown array `{n}`"),
+            EvalError::BadStep(s) => write!(f, "non-positive step {s}"),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::OutOfBounds(a) => write!(f, "out-of-bounds access to `{a}`"),
+            EvalError::Budget => write!(f, "iteration budget exhausted"),
+        }
+    }
+}
+
+struct Evaluator<'a> {
+    params: HashMap<&'a str, i64>,
+    coefs: HashMap<&'a str, f64>,
+    arrays: HashMap<&'a str, ArrayId>,
+    /// Loop variables and scalars, one flat namespace (scalar
+    /// assignment shadows an outer name, exactly as the normalizer's
+    /// symbolic execution assumes).
+    env: HashMap<String, i64>,
+    store: &'a mut ArrayStore,
+    budget: u64,
+}
+
+/// Executes a messy program over `store`, whose arrays must follow the
+/// program's declaration order (e.g. a store seeded from the lowered
+/// twin). `param_values` binds parameters in declaration order;
+/// `budget` caps total innermost-statement executions.
+///
+/// # Errors
+///
+/// See [`EvalError`]; `store` is left partially written on error.
+pub fn run_messy(
+    ast: &AstProgram,
+    param_values: &[i64],
+    store: &mut ArrayStore,
+    budget: u64,
+) -> Result<(), EvalError> {
+    let mut ev = Evaluator {
+        params: ast
+            .params
+            .iter()
+            .zip(param_values)
+            .map(|(p, &v)| (p.name.as_str(), v))
+            .collect(),
+        coefs: ast
+            .coefs
+            .iter()
+            .map(|c| (c.name.as_str(), c.value))
+            .collect(),
+        arrays: ast
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name.as_str(), ArrayId(i)))
+            .collect(),
+        env: HashMap::new(),
+        store,
+        budget,
+    };
+    ev.exec_loop(&ast.nest)
+}
+
+impl Evaluator<'_> {
+    fn affine(&self, e: &AstAffine) -> Result<i64, EvalError> {
+        match e {
+            AstAffine::Num(v, _) => Ok(*v),
+            AstAffine::Ident(name, _) => self
+                .env
+                .get(name)
+                .or_else(|| self.params.get(name.as_str()))
+                .copied()
+                .ok_or_else(|| EvalError::UnknownName(name.clone())),
+            AstAffine::Neg(a, _) => Ok(-self.affine(a)?),
+            AstAffine::Add(a, b, _) => Ok(self.affine(a)? + self.affine(b)?),
+            AstAffine::Sub(a, b, _) => Ok(self.affine(a)? - self.affine(b)?),
+            AstAffine::Mul(a, b, _) => Ok(self.affine(a)? * self.affine(b)?),
+        }
+    }
+
+    fn exec_loop(&mut self, l: &AstLoop) -> Result<(), EvalError> {
+        let mut lo = i64::MIN;
+        for b in &l.lowers {
+            lo = lo.max(self.affine(b)?);
+        }
+        let mut hi = i64::MAX;
+        for b in &l.uppers {
+            hi = hi.min(self.affine(b)?);
+        }
+        let step = l.step.map_or(1, |s| s.value);
+        if step <= 0 {
+            return Err(EvalError::BadStep(step));
+        }
+        let mut v = lo;
+        while v <= hi {
+            self.env.insert(l.var.clone(), v);
+            self.exec_body(&l.body)?;
+            v += step;
+        }
+        Ok(())
+    }
+
+    fn exec_body(&mut self, body: &AstBody) -> Result<(), EvalError> {
+        match body {
+            AstBody::Nested(inner) => self.exec_loop(inner),
+            AstBody::Stmts(stmts) => {
+                for s in stmts {
+                    self.exec_stmt(s)?;
+                }
+                Ok(())
+            }
+            AstBody::Mixed(items) => {
+                for item in items {
+                    match item {
+                        AstItem::Loop(inner) => self.exec_loop(inner)?,
+                        AstItem::Assign(s) => self.exec_stmt(s)?,
+                        AstItem::Scalar(s) => {
+                            let v = self.affine(&s.rhs)?;
+                            self.env.insert(s.name.clone(), v);
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn exec_stmt(&mut self, s: &AstStmt) -> Result<(), EvalError> {
+        if self.budget == 0 {
+            return Err(EvalError::Budget);
+        }
+        self.budget -= 1;
+        let v = self.expr(&s.rhs)?;
+        let id = *self
+            .arrays
+            .get(s.array.as_str())
+            .ok_or_else(|| EvalError::UnknownArray(s.array.clone()))?;
+        let idx = s
+            .subscripts
+            .iter()
+            .map(|e| self.affine(e))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.store
+            .write(id, &idx, &s.array, v)
+            .map_err(|_| EvalError::OutOfBounds(s.array.clone()))
+    }
+
+    /// Mirrors `an_ir::interp`'s expression walk exactly (same order,
+    /// same ops) so results compare bitwise.
+    fn expr(&self, e: &AstExpr) -> Result<f64, EvalError> {
+        match e {
+            AstExpr::Num(v, _) => Ok(*v),
+            AstExpr::Ref(name, subs, _) => {
+                if subs.is_empty() {
+                    // A bare identifier is a coefficient; the lowerer
+                    // implicitly declares undeclared ones with value 1.
+                    Ok(self.coefs.get(name.as_str()).copied().unwrap_or(1.0))
+                } else {
+                    let id = *self
+                        .arrays
+                        .get(name.as_str())
+                        .ok_or_else(|| EvalError::UnknownArray(name.clone()))?;
+                    let idx = subs
+                        .iter()
+                        .map(|e| self.affine(e))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    self.store
+                        .read(id, &idx, name)
+                        .map_err(|_| EvalError::OutOfBounds(name.clone()))
+                }
+            }
+            AstExpr::Neg(a, _) => Ok(-self.expr(a)?),
+            AstExpr::Bin(op, a, b, _) => {
+                let x = self.expr(a)?;
+                let y = self.expr(b)?;
+                match op {
+                    AstBinOp::Add => Ok(x + y),
+                    AstBinOp::Sub => Ok(x - y),
+                    AstBinOp::Mul => Ok(x * y),
+                    AstBinOp::Div => {
+                        if y == 0.0 {
+                            Err(EvalError::DivisionByZero)
+                        } else {
+                            Ok(x / y)
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> AstProgram {
+        an_lang::parser::parse_tokens(&an_lang::lexer::lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn canonical_program_matches_ir_interpreter_bitwise() {
+        let src = "param N = 6; coef alpha = 1.5;
+             array A[N, N]; array B[N, N];
+             for i = 0, N - 1 {
+               for j = i, N - 1 {
+                 B[i, j] = B[i, j] + alpha * A[i, j] / 3.0 - A[j, i];
+               }
+             }";
+        let ast = parse(src);
+        let lowered = an_lang::parse(src).unwrap();
+        let expected = an_ir::interp::run_seeded(&lowered, &[6], 7).unwrap();
+        let mut store = ArrayStore::seeded(&lowered, &[6], 7);
+        run_messy(&ast, &[6], &mut store, 10_000).unwrap();
+        assert_eq!(store, expected);
+    }
+
+    #[test]
+    fn steps_scalars_and_mixed_bodies_execute() {
+        // Strided outer loop, cursor scalar, pre-statement: the messy
+        // trifecta. A[2i] = 1, B[i][j] gets column-cursor writes.
+        let src = "param N = 4;
+             array A[2 * N - 1]; array B[N, N];
+             for i = 0, 2 * N - 2 step 2 {
+               r = 0;
+               A[i] = 3.0;
+               for j = 0, N - 1 {
+                 B[r, j] = A[i] * 2.0;
+                 r = r + 1;
+               }
+             }";
+        let ast = parse(src);
+        // Borrow a store shape from a canonical twin.
+        let twin = an_lang::parse(
+            "param N = 4; array A[2 * N - 1]; array B[N, N];
+             for i = 0, N - 1 { A[i] = 0.0; }",
+        )
+        .unwrap();
+        let mut store = ArrayStore::zeros(&twin, &[4]);
+        run_messy(&ast, &[4], &mut store, 10_000).unwrap();
+        assert_eq!(store.array(ArrayId(0))[0], 3.0);
+        assert_eq!(store.array(ArrayId(0))[6], 3.0);
+        assert_eq!(store.array(ArrayId(0))[1], 0.0);
+        // The cursor tracks `j`, so exactly the diagonal of B is 6.0
+        // (rewritten on every outer iteration), everything else 0.0.
+        for r in 0..4 {
+            for j in 0..4 {
+                let want = if r == j { 6.0 } else { 0.0 };
+                assert_eq!(store.array(ArrayId(1))[r * 4 + j], want);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_stops_runaway_nests() {
+        let ast = parse("param N = 100; array A[N]; for i = 0, N - 1 { A[i] = 1.0; }");
+        let lowered =
+            an_lang::parse("param N = 100; array A[N]; for i = 0, N - 1 { A[i] = 1.0; }").unwrap();
+        let mut store = ArrayStore::zeros(&lowered, &[100]);
+        assert_eq!(
+            run_messy(&ast, &[100], &mut store, 10),
+            Err(EvalError::Budget)
+        );
+    }
+}

@@ -1,0 +1,534 @@
+//! Induction-variable substitution.
+//!
+//! Scalar statements (`r = 0; … r = r + 1;`) are the surface idiom for
+//! array cursors. This pass executes them symbolically and replaces
+//! every use with an affine closed form over the loop variables, then
+//! deletes the scalar statements (`AN0602`). A scalar whose value
+//! cannot be expressed as an affine closed form at some use site is an
+//! `AN0606` error.
+//!
+//! The symbolic domain per scalar is `Lin` (a concrete affine value) or
+//! *bottom* (value unknown — e.g. after a loop that modified it). For a
+//! loop whose body bumps a scalar by a constant `d` each iteration, the
+//! value at the start of the iteration with counter `v` is
+//! `entry + (v − lo)·d`, which requires a single lower bound and unit
+//! stride; anything fancier falls to bottom and only errors if actually
+//! used.
+
+use crate::lin::{Lin, SCALAR_SYM};
+use crate::{Code, Ctx, Diagnostic, Mutation};
+use an_diag::Anchor;
+use an_lang::ast::{
+    AstAffine, AstBody, AstExpr, AstItem, AstLoop, AstProgram, AstScalarStmt, AstStmt,
+};
+use an_lang::token::Pos;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Clone, Debug)]
+enum Val {
+    Lin(Lin),
+    Bottom,
+}
+
+type Env = HashMap<String, Val>;
+
+enum UseErr {
+    /// A scalar was read where its value is unknown.
+    Bottom(String, Pos),
+    /// A product of two non-constant operands.
+    Nonlinear(Pos),
+}
+
+pub fn run(ast: &mut AstProgram, ctx: &mut Ctx) {
+    // Every assigned scalar starts out unknown (bottom), so a
+    // use-before-definition is an error rather than a free symbol;
+    // definitions overwrite with concrete values in program order.
+    let mut names = HashSet::new();
+    assigned_scalars(&ast.nest.body, &mut names);
+    let mut env: Env = names.into_iter().map(|n| (n, Val::Bottom)).collect();
+    exec_loop(&mut ast.nest, &mut env, ctx);
+}
+
+/// Evaluates an affine expression to a linear form, substituting scalar
+/// values from `env`; identifiers not in `env` are free symbols (loop
+/// variables and parameters).
+fn to_lin(e: &AstAffine, env: &Env) -> Result<Lin, UseErr> {
+    match e {
+        AstAffine::Num(v, _) => Ok(Lin::num(*v)),
+        AstAffine::Ident(name, pos) => match env.get(name) {
+            Some(Val::Lin(l)) => Ok(l.clone()),
+            Some(Val::Bottom) => Err(UseErr::Bottom(name.clone(), *pos)),
+            None => Ok(Lin::sym(name)),
+        },
+        AstAffine::Neg(a, _) => Ok(to_lin(a, env)?.scale(-1)),
+        AstAffine::Add(a, b, _) => Ok(to_lin(a, env)?.add(&to_lin(b, env)?)),
+        AstAffine::Sub(a, b, _) => Ok(to_lin(a, env)?.sub(&to_lin(b, env)?)),
+        AstAffine::Mul(a, b, pos) => to_lin(a, env)?
+            .mul(&to_lin(b, env)?)
+            .ok_or(UseErr::Nonlinear(*pos)),
+    }
+}
+
+fn push_use_err(err: UseErr, ctx: &mut Ctx) {
+    match err {
+        UseErr::Bottom(name, pos) => ctx.push(
+            Diagnostic::new(
+                Code::ScalarNotAffine,
+                Anchor::Program,
+                format!("scalar `{name}` has no affine closed form at this use"),
+            )
+            .with_help(
+                "the scalar's value here depends on a loop in a way the normalizer \
+                 cannot express; restructure the updates into `s = s + constant` form",
+            )
+            .at(pos),
+        ),
+        UseErr::Nonlinear(pos) => ctx.push(
+            Diagnostic::new(
+                Code::ScalarNotAffine,
+                Anchor::Program,
+                "scalar assignment is not affine (product of two non-constants)".to_string(),
+            )
+            .at(pos),
+        ),
+    }
+}
+
+/// Replaces scalar identifiers inside `e` with their closed forms.
+/// Returns `false` (after reporting `AN0606`) when a scalar with no
+/// closed form is referenced.
+fn subst_affine(e: &mut AstAffine, env: &Env, ctx: &mut Ctx) -> bool {
+    match e {
+        AstAffine::Num(..) => true,
+        AstAffine::Ident(name, pos) => match env.get(name.as_str()) {
+            None => true,
+            Some(Val::Lin(l)) => {
+                *e = l.to_ast(*pos);
+                ctx.changed = true;
+                true
+            }
+            Some(Val::Bottom) => {
+                push_use_err(UseErr::Bottom(name.clone(), *pos), ctx);
+                false
+            }
+        },
+        AstAffine::Neg(a, _) => subst_affine(a, env, ctx),
+        AstAffine::Add(a, b, _) | AstAffine::Sub(a, b, _) | AstAffine::Mul(a, b, _) => {
+            let ok = subst_affine(a, env, ctx);
+            subst_affine(b, env, ctx) && ok
+        }
+    }
+}
+
+fn rewrite_expr(e: &mut AstExpr, env: &Env, ctx: &mut Ctx) {
+    match e {
+        AstExpr::Num(..) => {}
+        AstExpr::Ref(name, subs, pos) => {
+            if subs.is_empty() && env.contains_key(name.as_str()) {
+                ctx.push(
+                    Diagnostic::new(
+                        Code::ScalarNotAffine,
+                        Anchor::Program,
+                        format!("integer scalar `{name}` used as a floating-point value"),
+                    )
+                    .with_help("scalars may only appear in subscripts and loop bounds")
+                    .at(*pos),
+                );
+            }
+            for s in subs {
+                subst_affine(s, env, ctx);
+            }
+        }
+        AstExpr::Neg(a, _) => rewrite_expr(a, env, ctx),
+        AstExpr::Bin(_, a, b, _) => {
+            rewrite_expr(a, env, ctx);
+            rewrite_expr(b, env, ctx);
+        }
+    }
+}
+
+fn rewrite_stmt(s: &mut AstStmt, env: &Env, ctx: &mut Ctx) {
+    for sub in &mut s.subscripts {
+        subst_affine(sub, env, ctx);
+    }
+    rewrite_expr(&mut s.rhs, env, ctx);
+}
+
+/// How one iteration of a loop body changes a scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Delta {
+    Unchanged,
+    /// `s := s + d` net effect, `d` a compile-time constant.
+    Increment(i64),
+    Opaque,
+}
+
+/// Names of scalars assigned anywhere in a subtree.
+fn assigned_scalars(body: &AstBody, out: &mut HashSet<String>) {
+    match body {
+        AstBody::Nested(inner) => assigned_scalars(&inner.body, out),
+        AstBody::Stmts(_) => {}
+        AstBody::Mixed(items) => {
+            for item in items {
+                match item {
+                    AstItem::Scalar(s) => {
+                        out.insert(s.name.clone());
+                    }
+                    AstItem::Loop(inner) => assigned_scalars(&inner.body, out),
+                    AstItem::Assign(_) => {}
+                }
+            }
+        }
+    }
+}
+
+/// Symbolically executes one iteration of `body` for its net effect on
+/// scalars. Nested loops are conservative: any scalar they assign
+/// becomes bottom.
+fn sym_exec(body: &AstBody, env: &mut Env) {
+    match body {
+        AstBody::Nested(inner) => sym_exec_loop(inner, env),
+        AstBody::Stmts(_) => {}
+        AstBody::Mixed(items) => {
+            for item in items {
+                match item {
+                    AstItem::Scalar(s) => {
+                        let v = match to_lin(&s.rhs, env) {
+                            Ok(l) => Val::Lin(l),
+                            Err(_) => Val::Bottom,
+                        };
+                        env.insert(s.name.clone(), v);
+                    }
+                    AstItem::Assign(_) => {}
+                    AstItem::Loop(inner) => sym_exec_loop(inner, env),
+                }
+            }
+        }
+    }
+}
+
+fn sym_exec_loop(l: &AstLoop, env: &mut Env) {
+    let mut modified = HashSet::new();
+    assigned_scalars(&l.body, &mut modified);
+    for name in modified {
+        env.insert(name, Val::Bottom);
+    }
+}
+
+/// Classifies how one iteration of `l`'s body changes each scalar in
+/// `domain`, by running the body once with opaque entry symbols.
+fn discover(l: &AstLoop, domain: &[String]) -> HashMap<String, Delta> {
+    let mut env: Env = domain
+        .iter()
+        .map(|n| (n.clone(), Val::Lin(Lin::sym(&format!("{SCALAR_SYM}{n}")))))
+        .collect();
+    sym_exec(&l.body, &mut env);
+    domain
+        .iter()
+        .map(|name| {
+            let sym = format!("{SCALAR_SYM}{name}");
+            let delta = match env.get(name) {
+                Some(Val::Lin(after)) => {
+                    let rest = after.without(&sym);
+                    if after.coeff(&sym) == 1 && !rest.has_scalar_syms() {
+                        match rest.as_const() {
+                            Some(0) => Delta::Unchanged,
+                            Some(d) => Delta::Increment(d),
+                            None => Delta::Opaque,
+                        }
+                    } else {
+                        Delta::Opaque
+                    }
+                }
+                _ => Delta::Opaque,
+            };
+            (name.clone(), delta)
+        })
+        .collect()
+}
+
+fn exec_loop(l: &mut AstLoop, env: &mut Env, ctx: &mut Ctx) {
+    // Bounds are evaluated on loop entry: substitute with the entry env.
+    for b in l.lowers.iter_mut().chain(l.uppers.iter_mut()) {
+        subst_affine(b, env, ctx);
+    }
+
+    let domain: Vec<String> = env.keys().cloned().collect();
+    let deltas = discover(l, &domain);
+
+    // Entry value of each scalar at the iteration with counter `v`.
+    let lo = if l.lowers.len() == 1 && l.step.is_none() {
+        to_lin(&l.lowers[0], env).ok()
+    } else {
+        None
+    };
+    let mut inner_env = env.clone();
+    for (name, delta) in &deltas {
+        match delta {
+            Delta::Unchanged => {}
+            Delta::Increment(d) => {
+                let entry = match (env.get(name), &lo) {
+                    (Some(Val::Lin(init)), Some(lo)) => {
+                        let mut d = *d;
+                        if ctx.mutation == Some(Mutation::InductionScale) {
+                            d *= 2;
+                        }
+                        Val::Lin(init.add(&Lin::sym(&l.var).sub(lo).scale(d)))
+                    }
+                    _ => Val::Bottom,
+                };
+                inner_env.insert(name.clone(), entry);
+            }
+            Delta::Opaque => {
+                inner_env.insert(name.clone(), Val::Bottom);
+            }
+        }
+    }
+
+    exec_body(&mut l.body, &mut inner_env, ctx);
+
+    // After the loop: a modified scalar's final value depends on the
+    // trip count (which may be zero), so it falls to bottom; scalars
+    // first defined inside the body are bottom outside it too.
+    for (name, delta) in &deltas {
+        if *delta != Delta::Unchanged {
+            env.insert(name.clone(), Val::Bottom);
+        }
+    }
+    for name in inner_env.keys() {
+        if !env.contains_key(name) {
+            env.insert(name.clone(), Val::Bottom);
+        }
+    }
+}
+
+fn exec_body(body: &mut AstBody, env: &mut Env, ctx: &mut Ctx) {
+    match body {
+        AstBody::Nested(inner) => exec_loop(inner, env, ctx),
+        AstBody::Stmts(stmts) => {
+            for s in stmts {
+                rewrite_stmt(s, env, ctx);
+            }
+        }
+        AstBody::Mixed(items) => {
+            let mut kept: Vec<AstItem> = Vec::with_capacity(items.len());
+            for mut item in items.drain(..) {
+                match &mut item {
+                    AstItem::Scalar(s) => {
+                        if exec_scalar(s, env, ctx) {
+                            continue; // substituted everywhere: delete
+                        }
+                    }
+                    AstItem::Assign(s) => rewrite_stmt(s, env, ctx),
+                    AstItem::Loop(inner) => exec_loop(inner, env, ctx),
+                }
+                kept.push(item);
+            }
+            *body = classify(kept);
+        }
+    }
+}
+
+/// Handles one scalar statement; returns whether it was absorbed into
+/// the environment (and should be deleted).
+fn exec_scalar(s: &AstScalarStmt, env: &mut Env, ctx: &mut Ctx) -> bool {
+    match to_lin(&s.rhs, env) {
+        Ok(mut v) => {
+            if ctx.mutation == Some(Mutation::InductionShift) {
+                v = v.add(&Lin::num(1));
+            }
+            ctx.push(
+                Diagnostic::new(
+                    Code::InductionScalar,
+                    Anchor::Program,
+                    format!(
+                        "induction scalar `{}` replaced by its affine closed form",
+                        s.name
+                    ),
+                )
+                .with_help("uses are substituted and the scalar statement removed")
+                .at(s.pos),
+            );
+            env.insert(s.name.clone(), Val::Lin(v));
+            ctx.changed = true;
+            true
+        }
+        Err(e) => {
+            push_use_err(e, ctx);
+            env.insert(s.name.clone(), Val::Bottom);
+            false
+        }
+    }
+}
+
+/// Folds an item list back into the canonical body forms the rest of
+/// the pipeline pattern-matches on (mirrors the parser's
+/// classification).
+fn classify(items: Vec<AstItem>) -> AstBody {
+    if items.len() == 1 {
+        if let AstItem::Loop(_) = items[0] {
+            let Some(AstItem::Loop(l)) = items.into_iter().next() else {
+                unreachable!()
+            };
+            return AstBody::Nested(Box::new(l));
+        }
+    }
+    if items.iter().all(|i| matches!(i, AstItem::Assign(_))) {
+        return AstBody::Stmts(
+            items
+                .into_iter()
+                .map(|i| match i {
+                    AstItem::Assign(s) => s,
+                    _ => unreachable!(),
+                })
+                .collect(),
+        );
+    }
+    AstBody::Mixed(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintReport;
+
+    fn parse(src: &str) -> AstProgram {
+        an_lang::parser::parse_tokens(&an_lang::lexer::lex(src).unwrap()).unwrap()
+    }
+
+    fn run_pass(src: &str) -> (AstProgram, LintReport, bool) {
+        let mut ast = parse(src);
+        let mut report = LintReport::with_label("lint");
+        let mut ctx = Ctx {
+            report: &mut report,
+            mutation: None,
+            changed: false,
+        };
+        run(&mut ast, &mut ctx);
+        let changed = ctx.changed;
+        (ast, report, changed)
+    }
+
+    #[test]
+    fn substitutes_simple_cursor() {
+        let (ast, report, changed) = run_pass(
+            "param N = 4; array A[N]; array B[N, N];
+             for i = 0, N - 1 {
+               r = 0;
+               for j = 0, N - 1 {
+                 B[i, r] = A[i];
+                 r = r + 1;
+               }
+             }",
+        );
+        assert!(changed);
+        assert!(!report.has_errors(), "{}", report.render_human());
+        assert_eq!(
+            report.codes(),
+            vec![Code::InductionScalar, Code::InductionScalar]
+        );
+        // The nest is now perfect and lowers cleanly; B's column
+        // subscript must be exactly `j`.
+        let p = an_lang::lower::lower(&ast).expect("canonical after substitution");
+        let an_ir::Stmt::Assign { lhs, .. } = &p.nest.body[0] else {
+            panic!("expected assignment");
+        };
+        assert_eq!(lhs.subscripts[1].var_coeffs(), &[0, 1]);
+    }
+
+    #[test]
+    fn iteration_scaled_cursor() {
+        // r advances by 2 per iteration: closed form 2*j.
+        let (ast, report, _) = run_pass(
+            "param N = 4; array B[N, 2 * N];
+             for i = 0, N - 1 {
+               r = 0;
+               for j = 0, N - 1 {
+                 B[i, r] = 1.0;
+                 r = r + 2;
+               }
+             }",
+        );
+        assert!(!report.has_errors(), "{}", report.render_human());
+        let p = an_lang::lower::lower(&ast).unwrap();
+        let an_ir::Stmt::Assign { lhs, .. } = &p.nest.body[0] else {
+            panic!("expected assignment");
+        };
+        assert_eq!(lhs.subscripts[1].var_coeffs(), &[0, 2]);
+    }
+
+    #[test]
+    fn per_iteration_reset_uses_outer_vars() {
+        let (ast, report, _) = run_pass(
+            "param N = 4; array B[N, 2 * N];
+             for i = 0, N - 1 {
+               t = 2 * i;
+               for j = 0, N - 1 {
+                 B[j, t] = 1.0;
+               }
+             }",
+        );
+        assert!(!report.has_errors(), "{}", report.render_human());
+        let p = an_lang::lower::lower(&ast).unwrap();
+        let an_ir::Stmt::Assign { lhs, .. } = &p.nest.body[0] else {
+            panic!("expected assignment");
+        };
+        assert_eq!(lhs.subscripts[1].var_coeffs(), &[2, 0]);
+    }
+
+    #[test]
+    fn non_affine_update_is_an0606() {
+        let (_, report, _) = run_pass(
+            "param N = 4; array A[N];
+             for i = 0, N - 1 {
+               t = t + 1;
+               A[t] = 1.0;
+             }",
+        );
+        // `t` is read before any definition: its entry value is opaque.
+        assert!(report.has_errors());
+        assert!(report.codes().contains(&Code::ScalarNotAffine));
+    }
+
+    #[test]
+    fn value_lost_across_loop_is_an0606_only_when_used() {
+        // Use after the inner loop: the final value depends on the trip
+        // count, which the normalizer does not model.
+        let (_, report, _) = run_pass(
+            "param N = 4; array A[2 * N]; array B[N, N];
+             for i = 0, N - 1 {
+               r = 0;
+               for j = 0, N - 1 { B[i, r] = 1.0; r = r + 1; }
+               A[r] = 1.0;
+             }",
+        );
+        assert!(report.has_errors());
+        assert!(report.codes().contains(&Code::ScalarNotAffine));
+    }
+
+    #[test]
+    fn scalar_as_float_value_is_an0606() {
+        let (_, report, _) = run_pass(
+            "param N = 4; array A[N];
+             for i = 0, N - 1 { t = i; A[i] = t; }",
+        );
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn scalar_in_inner_bounds_is_substituted() {
+        let (ast, report, _) = run_pass(
+            "param N = 6; array B[N, N];
+             for i = 0, N - 1 {
+               t = i;
+               for j = t, N - 1 {
+                 B[i, j] = 1.0;
+               }
+             }",
+        );
+        assert!(!report.has_errors(), "{}", report.render_human());
+        let p = an_lang::lower::lower(&ast).unwrap();
+        // Inner lower bound is now `i`: triangular nest, 21 points at N=6.
+        assert_eq!(p.nest.iteration_count(&[6]).unwrap(), 21);
+    }
+}

@@ -1,0 +1,383 @@
+//! A-priori loop-nest normalization.
+//!
+//! The pipeline's lowerer accepts only canonical nests: perfectly
+//! nested, unit-stride loops whose innermost body is a run of array
+//! assignments. Real kernels are messier — induction-variable cursors,
+//! strided loops, boundary statements wedged between loop headers. This
+//! crate analyzes a parsed [`AstProgram`] and (a) explains, as
+//! structured `AN06xx` lints, why a nest is or is not pipeline-ready,
+//! and (b) rewrites what it can prove safe:
+//!
+//! * **Induction-variable substitution** (`AN0602`): scalar statements
+//!   like `r = 0; … r = r + 1;` are executed symbolically; every use is
+//!   replaced by an affine closed form and the scalar deleted.
+//! * **Stride normalization** (`AN0603`): `for i = lo, hi step s`
+//!   becomes `for i = 0, (hi-lo)/s` with `i ↦ lo + s·i` substituted,
+//!   when `s` divides `hi - lo` exactly for every parameter valuation.
+//! * **Statement sinking** (`AN0601`): a statement before an inner loop
+//!   is sunk to the front of the innermost body when re-execution is
+//!   provably idempotent (its reads and writes are disjoint from the
+//!   subtree's writes, element-wise) and the inner loops provably
+//!   execute at least once.
+//!
+//! Every applied rewrite is differentially checked: the original messy
+//! program is executed by this crate's reference evaluator and compared
+//! bitwise against the seeded IR interpreter running the normalized
+//! program. A mismatch is reported as `AN0609` and the rewrite must not
+//! be trusted — the check is the normalizer's own oracle, exercised by
+//! the seeded mutation harness in the workspace test suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod lin;
+pub mod proof;
+
+mod detect;
+mod diffcheck;
+mod induction;
+mod sink;
+mod stride;
+
+use an_diag::{Anchor, DiagCode, Severity};
+use an_lang::ast::{AstBody, AstItem, AstLoop, AstProgram};
+use an_obs::Tracer;
+use std::sync::Arc;
+
+/// Stable lint codes for nest-normalization findings.
+///
+/// Codes `AN0601`–`AN0605` describe idioms (informational when the
+/// rewrite applies); `AN0606`–`AN0609` are errors: the program cannot
+/// be brought into canonical form, or a rewrite failed its safety
+/// check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Code {
+    /// `AN0601` — a statement sits beside an inner loop (imperfect
+    /// nesting); sunk into the inner loop when provably safe.
+    ImperfectNest,
+    /// `AN0602` — an induction-variable scalar; replaced by its affine
+    /// closed form.
+    InductionScalar,
+    /// `AN0603` — a non-unit `step` clause; normalized to unit stride
+    /// when the stride divides the iteration range exactly.
+    NonUnitStride,
+    /// `AN0604` — a loop starts at a non-zero constant. Detect-only:
+    /// the pipeline handles non-zero lower bounds natively.
+    NonZeroLowerBound,
+    /// `AN0605` — an innermost statement is invariant in the innermost
+    /// loop. Detect-only: hoisting is the programmer's call.
+    LoopInvariantStatement,
+    /// `AN0606` — a scalar has no affine closed form (non-affine
+    /// update, use before definition, value lost across a loop, or use
+    /// as a floating value).
+    ScalarNotAffine,
+    /// `AN0607` — a statement beside an inner loop cannot be sunk
+    /// (placed after the loop, or the safety proof failed).
+    UnsinkableStatement,
+    /// `AN0608` — a `step` clause the normalizer refuses (descending).
+    BadStep,
+    /// `AN0609` — the differential check found the rewritten program
+    /// computing different values than the original.
+    DifferentialMismatch,
+}
+
+impl DiagCode for Code {
+    fn as_str(self) -> &'static str {
+        match self {
+            Code::ImperfectNest => "AN0601",
+            Code::InductionScalar => "AN0602",
+            Code::NonUnitStride => "AN0603",
+            Code::NonZeroLowerBound => "AN0604",
+            Code::LoopInvariantStatement => "AN0605",
+            Code::ScalarNotAffine => "AN0606",
+            Code::UnsinkableStatement => "AN0607",
+            Code::BadStep => "AN0608",
+            Code::DifferentialMismatch => "AN0609",
+        }
+    }
+
+    fn default_severity(self) -> Severity {
+        match self {
+            Code::ImperfectNest
+            | Code::InductionScalar
+            | Code::NonUnitStride
+            | Code::NonZeroLowerBound
+            | Code::LoopInvariantStatement => Severity::Info,
+            Code::ScalarNotAffine
+            | Code::UnsinkableStatement
+            | Code::BadStep
+            | Code::DifferentialMismatch => Severity::Error,
+        }
+    }
+
+    fn description(self) -> &'static str {
+        match self {
+            Code::ImperfectNest => "statement beside an inner loop (imperfect nesting)",
+            Code::InductionScalar => "induction-variable scalar replaced by its closed form",
+            Code::NonUnitStride => "non-unit loop stride",
+            Code::NonZeroLowerBound => "loop starts at a non-zero constant",
+            Code::LoopInvariantStatement => "statement invariant in the innermost loop",
+            Code::ScalarNotAffine => "scalar has no affine closed form",
+            Code::UnsinkableStatement => "statement cannot be sunk into the inner loop",
+            Code::BadStep => "unsupported step clause",
+            Code::DifferentialMismatch => "normalized program diverges from the original",
+        }
+    }
+}
+
+/// A lint diagnostic.
+pub type Diagnostic = an_diag::Diagnostic<Code>;
+/// The report produced by [`normalize`] and [`analyze`].
+pub type LintReport = an_diag::Report<Code>;
+
+/// Seeded faults for the normalizer's mutation harness: each breaks one
+/// rewrite rule so tests can assert the differential check catches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Mutation {
+    /// Offsets every induction-scalar closed form by one.
+    InductionShift,
+    /// Doubles the per-iteration delta of every induction scalar.
+    InductionScale,
+    /// Shrinks the normalized upper bound of strided loops by one.
+    StrideTruncate,
+    /// Deletes sunk statements instead of moving them.
+    SinkDelete,
+}
+
+impl Mutation {
+    /// All mutations, for exhaustive harness loops.
+    pub const ALL: [Mutation; 4] = [
+        Mutation::InductionShift,
+        Mutation::InductionScale,
+        Mutation::StrideTruncate,
+        Mutation::SinkDelete,
+    ];
+}
+
+/// Knobs for [`normalize`].
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Skip the differential check (it runs by default whenever a
+    /// rewrite changed the program).
+    pub skip_differential: bool,
+    /// Extra XOR-mixed seed for the differential check's array contents.
+    pub seed: u64,
+    /// Deliberately mis-apply one rewrite rule (test harness only).
+    pub mutation: Option<Mutation>,
+    /// Tracer for per-pass spans.
+    pub tracer: Option<Arc<Tracer>>,
+}
+
+/// The result of [`normalize`].
+#[derive(Debug, Clone)]
+pub struct Normalized {
+    /// The rewritten program (equal to the input when nothing applied).
+    pub ast: AstProgram,
+    /// Lints: what was found, what was rewritten, what could not be.
+    pub report: LintReport,
+    /// Whether any rewrite changed the program.
+    pub changed: bool,
+}
+
+pub(crate) struct Ctx<'a> {
+    pub report: &'a mut LintReport,
+    pub mutation: Option<Mutation>,
+    pub changed: bool,
+}
+
+impl Ctx<'_> {
+    pub fn push(&mut self, d: Diagnostic) {
+        self.report.diagnostics.push(d);
+    }
+}
+
+fn pass_span<'t>(
+    tracer: &'t Option<Arc<Tracer>>,
+    phase: &'static str,
+) -> Option<an_obs::SpanGuard<'t>> {
+    tracer.as_deref().map(|t| t.span(phase))
+}
+
+/// Analyzes and rewrites a program into canonical form.
+///
+/// The returned [`Normalized::report`] must be consulted: when it
+/// [`has_errors`](LintReport::has_errors), the rewritten AST is not
+/// guaranteed canonical (error sites are left in place) and must not be
+/// compiled.
+pub fn normalize(ast: &AstProgram, opts: &Options) -> Normalized {
+    let mut out = ast.clone();
+    let mut report = LintReport::with_label("lint");
+    let mut ctx = Ctx {
+        report: &mut report,
+        mutation: opts.mutation,
+        changed: false,
+    };
+    {
+        let _s = pass_span(&opts.tracer, "normalize.induction");
+        induction::run(&mut out, &mut ctx);
+    }
+    {
+        let _s = pass_span(&opts.tracer, "normalize.stride");
+        stride::run(&mut out, &mut ctx);
+    }
+    {
+        let _s = pass_span(&opts.tracer, "normalize.sink");
+        sink::run(&mut out, &mut ctx);
+    }
+    {
+        let _s = pass_span(&opts.tracer, "normalize.detect");
+        detect::run(&out, &mut ctx);
+    }
+    let changed = ctx.changed;
+    if changed && !report.has_errors() && !opts.skip_differential {
+        let _s = pass_span(&opts.tracer, "normalize.differential");
+        diffcheck::run(ast, &out, opts.seed, &mut report);
+    }
+    report.notes.push(format!(
+        "normalization {}",
+        if changed {
+            "rewrote the nest"
+        } else {
+            "made no changes"
+        }
+    ));
+    Normalized {
+        ast: out,
+        report,
+        changed,
+    }
+}
+
+/// Detect-only entry point: full lint pass (rewrites are simulated to
+/// classify each idiom) without the differential check.
+pub fn analyze(ast: &AstProgram) -> LintReport {
+    normalize(
+        ast,
+        &Options {
+            skip_differential: true,
+            ..Options::default()
+        },
+    )
+    .report
+}
+
+/// Checks that a program is already canonical, reporting every messy
+/// construct at **error** severity. This is the gate used when
+/// pre-normalization is disabled: the same idioms `normalize` would
+/// rewrite become hard failures.
+pub fn require_canonical(ast: &AstProgram) -> LintReport {
+    let mut report = LintReport::with_label("lint");
+    walk_canonical(&ast.nest, &mut report);
+    if report.is_clean() {
+        report.notes.push("nest is already canonical".to_string());
+    }
+    report
+}
+
+fn walk_canonical(l: &AstLoop, report: &mut LintReport) {
+    if let Some(step) = l.step {
+        report.diagnostics.push(
+            Diagnostic::new(
+                Code::NonUnitStride,
+                Anchor::Program,
+                format!(
+                    "loop `{}` has explicit step {}; pre-normalization is disabled",
+                    l.var, step.value
+                ),
+            )
+            .with_severity(Severity::Error)
+            .with_help("enable pre-normalization or rewrite the loop to unit stride")
+            .at(step.pos),
+        );
+    }
+    match &l.body {
+        AstBody::Nested(inner) => walk_canonical(inner, report),
+        AstBody::Stmts(_) => {}
+        AstBody::Mixed(items) => {
+            for item in items {
+                match item {
+                    AstItem::Loop(inner) => {
+                        report.diagnostics.push(
+                            Diagnostic::new(
+                                Code::ImperfectNest,
+                                Anchor::Program,
+                                format!(
+                                    "body of loop `{}` mixes statements with a nested loop; \
+                                     pre-normalization is disabled",
+                                    l.var
+                                ),
+                            )
+                            .with_severity(Severity::Error)
+                            .with_help("enable pre-normalization or perfect the nest by hand")
+                            .at(inner.pos),
+                        );
+                        walk_canonical(inner, report);
+                    }
+                    AstItem::Assign(_) => {}
+                    AstItem::Scalar(s) => {
+                        report.diagnostics.push(
+                            Diagnostic::new(
+                                Code::InductionScalar,
+                                Anchor::Program,
+                                format!(
+                                    "scalar statement `{} = …` requires induction-variable \
+                                     substitution; pre-normalization is disabled",
+                                    s.name
+                                ),
+                            )
+                            .with_severity(Severity::Error)
+                            .with_help(
+                                "enable pre-normalization or substitute the closed form by hand",
+                            )
+                            .at(s.pos),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> AstProgram {
+        an_lang::parser::parse_tokens(&an_lang::lexer::lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn canonical_program_is_untouched() {
+        let ast = parse(
+            "param N = 8; array A[N, N];
+             for i = 0, N - 1 { for j = 0, N - 1 { A[i, j] = A[i, j] + 1.0; } }",
+        );
+        let n = normalize(&ast, &Options::default());
+        assert!(!n.changed);
+        assert!(n.report.is_clean(), "{}", n.report.render_human());
+        assert_eq!(n.ast, ast);
+    }
+
+    #[test]
+    fn require_canonical_escalates_messy_forms_to_errors() {
+        let ast = parse(
+            "param N = 8; array A[N]; array B[N, N];
+             for i = 0, N - 1 step 2 {
+               t = i;
+               A[i] = 0.0;
+               for j = 0, N - 1 { B[i, j] = A[t]; }
+             }",
+        );
+        let report = require_canonical(&ast);
+        assert!(report.has_errors());
+        let codes = report.codes();
+        assert!(codes.contains(&Code::ImperfectNest));
+        assert!(codes.contains(&Code::InductionScalar));
+        assert!(codes.contains(&Code::NonUnitStride));
+        // Spans point into the source.
+        assert!(report.diagnostics.iter().all(|d| d.span.is_some()));
+    }
+}

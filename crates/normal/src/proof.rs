@@ -1,0 +1,192 @@
+//! A small linear nonnegativity prover for rewrite safety conditions.
+//!
+//! Sinking a statement into a loop needs facts like "the inner loop
+//! executes at least once" (`upper − lower ≥ 0`) and "these two
+//! subscripts differ by at least one everywhere" (`δ − 1 ≥ 0`). Both
+//! reduce to proving a linear expression nonnegative over the iteration
+//! box and the program's `assume` preconditions.
+//!
+//! The procedure is deliberately simple and sound-but-incomplete:
+//!
+//! 1. **Worst-case bound substitution** eliminates loop variables
+//!    innermost-first: a variable with a positive coefficient is
+//!    replaced by one of its lower bounds (any lower bound is a valid
+//!    under-approximation), a negative coefficient by one of its upper
+//!    bounds. Each candidate is tried; one success suffices.
+//! 2. **Single-assumption matching** discharges the residual
+//!    parameter-only expression `e`: it holds if `e = μ·g + c` for some
+//!    declared assumption `g ≥ 0`, rational `μ ≥ 0`, and constant
+//!    `c ≥ 0` (checked with cross-multiplication in `i128`).
+
+use crate::lin::Lin;
+
+/// One loop level's bounds, linearized over outer variables and
+/// parameters. Bounds that could not be linearized are simply absent —
+/// fewer candidates, weaker (but still sound) proofs.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// Loop variable name.
+    pub var: String,
+    /// Lower-bound candidates (`var ≥ each`).
+    pub lowers: Vec<Lin>,
+    /// Upper-bound candidates (`var ≤ each`).
+    pub uppers: Vec<Lin>,
+}
+
+/// A proof context: the loop levels currently in scope (outermost
+/// first) and the program's parameter preconditions.
+#[derive(Debug, Clone)]
+pub struct ProofCtx {
+    assumes: Vec<Lin>,
+    levels: Vec<Level>,
+}
+
+impl ProofCtx {
+    /// A context with the given preconditions, each meaning `g ≥ 0`.
+    pub fn new(assumes: Vec<Lin>) -> ProofCtx {
+        ProofCtx {
+            assumes,
+            levels: Vec::new(),
+        }
+    }
+
+    /// Enters a loop level (innermost last).
+    pub fn push_level(&mut self, level: Level) {
+        self.levels.push(level);
+    }
+
+    /// Leaves the innermost level.
+    pub fn pop_level(&mut self) {
+        self.levels.pop();
+    }
+
+    /// Number of levels in scope.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Truncates to `depth` levels.
+    pub fn truncate(&mut self, depth: usize) {
+        self.levels.truncate(depth);
+    }
+
+    /// Attempts to prove `e ≥ 0` for every point of the current
+    /// iteration box under the declared assumptions. `false` means
+    /// "could not prove", not "false".
+    pub fn prove_nonneg(&self, e: &Lin) -> bool {
+        self.prove(e.clone(), self.levels.len())
+    }
+
+    fn prove(&self, e: Lin, depth: usize) -> bool {
+        if let Some(c) = e.as_const() {
+            return c >= 0;
+        }
+        if depth == 0 {
+            return self.assumes.iter().any(|g| implies_nonneg(g, &e));
+        }
+        let lvl = &self.levels[depth - 1];
+        let c = e.coeff(&lvl.var);
+        if c == 0 {
+            return self.prove(e, depth - 1);
+        }
+        let base = e.without(&lvl.var);
+        let candidates = if c > 0 { &lvl.lowers } else { &lvl.uppers };
+        candidates
+            .iter()
+            .any(|b| self.prove(base.add(&b.scale(c)), depth - 1))
+    }
+}
+
+/// Whether `g ≥ 0` implies `e ≥ 0` by `e = μ·g + c`, `μ ≥ 0`, `c ≥ 0`.
+fn implies_nonneg(g: &Lin, e: &Lin) -> bool {
+    let Some((s0, &g0)) = g.terms.iter().next() else {
+        return false; // constant assumption carries no information
+    };
+    let e0 = e.coeff(s0);
+    if (e0 as i128) * (g0 as i128) < 0 {
+        return false; // μ would be negative
+    }
+    for sym in g.terms.keys().chain(e.terms.keys()) {
+        let gc = g.coeff(sym) as i128;
+        let ec = e.coeff(sym) as i128;
+        if ec * (g0 as i128) != (e0 as i128) * gc {
+            return false; // not proportional: e − μ·g is not constant
+        }
+    }
+    // c·g0 = e.constant·g0 − e0·g.constant must have the sign of g0.
+    let num = (e.constant as i128) * (g0 as i128) - (e0 as i128) * (g.constant as i128);
+    if g0 > 0 {
+        num >= 0
+    } else {
+        num <= 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(c: i64) -> Lin {
+        Lin::num(c)
+    }
+
+    #[test]
+    fn constants_and_assumptions() {
+        let ctx = ProofCtx::new(vec![Lin::sym("N").sub(&n(3))]); // N ≥ 3
+        assert!(ctx.prove_nonneg(&n(0)));
+        assert!(!ctx.prove_nonneg(&n(-1)));
+        assert!(ctx.prove_nonneg(&Lin::sym("N").sub(&n(3)))); // N − 3 ≥ 0
+        assert!(ctx.prove_nonneg(&Lin::sym("N").scale(2).sub(&n(6)))); // 2N − 6
+        assert!(ctx.prove_nonneg(&Lin::sym("N").sub(&n(2)))); // N − 2 (μ=1, c=1)
+        assert!(!ctx.prove_nonneg(&Lin::sym("N").sub(&n(4)))); // N − 4: unprovable
+        assert!(!ctx.prove_nonneg(&Lin::sym("M"))); // unrelated parameter
+    }
+
+    #[test]
+    fn bound_substitution_eliminates_variables() {
+        // i ∈ [1, N−2], assume N ≥ 3. Prove i ≥ 1 and N − 2 − i ≥ 0.
+        let mut ctx = ProofCtx::new(vec![Lin::sym("N").sub(&n(3))]);
+        ctx.push_level(Level {
+            var: "i".into(),
+            lowers: vec![n(1)],
+            uppers: vec![Lin::sym("N").sub(&n(2))],
+        });
+        assert!(ctx.prove_nonneg(&Lin::sym("i").sub(&n(1))));
+        assert!(ctx.prove_nonneg(&Lin::sym("N").sub(&n(2)).sub(&Lin::sym("i"))));
+        // i − 2 ≥ 0 is false at i = 1.
+        assert!(!ctx.prove_nonneg(&Lin::sym("i").sub(&n(2))));
+    }
+
+    #[test]
+    fn nested_levels_substitute_transitively() {
+        // i ∈ [0, N−1], j ∈ [i+1, N−1], assume N ≥ 1: prove j − i − 1 ≥ 0
+        // and j ≥ 0 (lower bound of j references i).
+        let mut ctx = ProofCtx::new(vec![Lin::sym("N").sub(&n(1))]);
+        ctx.push_level(Level {
+            var: "i".into(),
+            lowers: vec![n(0)],
+            uppers: vec![Lin::sym("N").sub(&n(1))],
+        });
+        ctx.push_level(Level {
+            var: "j".into(),
+            lowers: vec![Lin::sym("i").add(&n(1))],
+            uppers: vec![Lin::sym("N").sub(&n(1))],
+        });
+        assert!(ctx.prove_nonneg(&Lin::sym("j").sub(&Lin::sym("i")).sub(&n(1))));
+        assert!(ctx.prove_nonneg(&Lin::sym("j")));
+    }
+
+    #[test]
+    fn any_candidate_bound_suffices() {
+        // i ≤ min(N − 1, M): proving N − 1 − i ≥ 0 uses the first
+        // upper; proving M − i ≥ 0 uses the second.
+        let mut ctx = ProofCtx::new(vec![]);
+        ctx.push_level(Level {
+            var: "i".into(),
+            lowers: vec![n(0)],
+            uppers: vec![Lin::sym("N").sub(&n(1)), Lin::sym("M")],
+        });
+        assert!(ctx.prove_nonneg(&Lin::sym("N").sub(&n(1)).sub(&Lin::sym("i"))));
+        assert!(ctx.prove_nonneg(&Lin::sym("M").sub(&Lin::sym("i"))));
+    }
+}

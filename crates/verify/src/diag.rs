@@ -5,10 +5,21 @@
 //! not just that something failed. The hundreds digit groups codes by
 //! invariant family: `AN01xx` legality, `AN02xx` bounds, `AN03xx` SPMD
 //! ownership/races, `AN04xx` block transfers, `AN05xx` fault recovery.
+//!
+//! The rendering machinery (severities, anchors, human/JSON output)
+//! lives in the shared [`an_diag`] crate so the verifier and the nest
+//! normalizer (`an-normal`, `AN06xx`) print and serialize identically;
+//! this module only supplies the verifier's code enum.
 
-use an_lang::token::Pos;
-use an_lang::SpanMap;
 use std::fmt;
+
+pub use an_diag::{escape_json, Anchor, DiagCode, Severity};
+
+/// One verifier finding.
+pub type Diagnostic = an_diag::Diagnostic<Code>;
+
+/// The full result of a verification run.
+pub type VerifyReport = an_diag::Report<Code>;
 
 /// Stable diagnostic codes emitted by the verifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -114,250 +125,22 @@ impl Code {
     }
 }
 
+impl DiagCode for Code {
+    fn as_str(self) -> &'static str {
+        Code::as_str(self)
+    }
+    fn default_severity(self) -> Severity {
+        Code::default_severity(self)
+    }
+    fn description(self) -> &'static str {
+        Code::description(self)
+    }
+}
+
 impl fmt::Display for Code {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
     }
-}
-
-/// How serious a finding is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Severity {
-    /// Informational note attached to a location.
-    Info,
-    /// Suspicious but not proven unsound.
-    Warning,
-    /// Proven violation of a soundness invariant.
-    Error,
-}
-
-impl Severity {
-    /// Lower-case name as rendered in output.
-    pub fn as_str(self) -> &'static str {
-        match self {
-            Severity::Info => "info",
-            Severity::Warning => "warning",
-            Severity::Error => "error",
-        }
-    }
-}
-
-/// What program entity a diagnostic points at. Indices refer to the
-/// lowered program (statement order, array declaration order, loop
-/// nesting depth); [`VerifyReport::attach_spans`](crate::VerifyReport::attach_spans)
-/// resolves them to source positions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Anchor {
-    /// The program as a whole.
-    Program,
-    /// Innermost statement `idx`.
-    Stmt(usize),
-    /// Array declaration `idx`.
-    Array(usize),
-    /// Loop level `idx` (0 = outermost).
-    Loop(usize),
-}
-
-/// One verifier finding.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Diagnostic {
-    /// Stable code.
-    pub code: Code,
-    /// Severity (defaults to [`Code::default_severity`]).
-    pub severity: Severity,
-    /// Human-readable explanation with the offending data inlined.
-    pub message: String,
-    /// The entity the finding points at.
-    pub anchor: Anchor,
-    /// Source position, when a [`SpanMap`] has been attached.
-    pub span: Option<Pos>,
-}
-
-impl Diagnostic {
-    /// A diagnostic with the code's default severity and no span.
-    pub fn new(code: Code, anchor: Anchor, message: String) -> Diagnostic {
-        Diagnostic {
-            code,
-            severity: code.default_severity(),
-            message,
-            anchor,
-            span: None,
-        }
-    }
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}]", self.severity.as_str(), self.code)?;
-        if let Some(pos) = self.span {
-            write!(f, " at {pos}")?;
-        }
-        write!(f, ": {}", self.message)
-    }
-}
-
-/// The full result of a verification run.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct VerifyReport {
-    /// All findings, in check order.
-    pub diagnostics: Vec<Diagnostic>,
-    /// Non-diagnostic remarks about what was (or could not be) checked.
-    pub notes: Vec<String>,
-    /// The parameter values used for concrete cross-checks, when a
-    /// small-enough instantiation existed.
-    pub checked_params: Option<Vec<i64>>,
-}
-
-impl VerifyReport {
-    /// Number of error-severity findings.
-    pub fn error_count(&self) -> usize {
-        self.count(Severity::Error)
-    }
-
-    /// Number of warning-severity findings.
-    pub fn warning_count(&self) -> usize {
-        self.count(Severity::Warning)
-    }
-
-    fn count(&self, s: Severity) -> usize {
-        self.diagnostics.iter().filter(|d| d.severity == s).count()
-    }
-
-    /// `true` when no diagnostics at all were produced.
-    pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
-    }
-
-    /// `true` when at least one error-severity finding exists.
-    pub fn has_errors(&self) -> bool {
-        self.error_count() > 0
-    }
-
-    /// The codes of all findings, in order (convenient for asserting on
-    /// mutation-detection outcomes).
-    pub fn codes(&self) -> Vec<Code> {
-        self.diagnostics.iter().map(|d| d.code).collect()
-    }
-
-    /// Resolves every diagnostic's anchor against a source [`SpanMap`],
-    /// filling in [`Diagnostic::span`].
-    pub fn attach_spans(&mut self, map: &SpanMap) {
-        for d in &mut self.diagnostics {
-            d.span = match d.anchor {
-                Anchor::Program => map.loop_level(0),
-                Anchor::Stmt(i) => map.stmt(i),
-                Anchor::Array(i) => map.array(i),
-                Anchor::Loop(i) => map.loop_level(i),
-            };
-        }
-    }
-
-    /// Renders the report for terminals: one line per diagnostic, then
-    /// notes, then a summary line.
-    pub fn render_human(&self) -> String {
-        let mut out = String::new();
-        for d in &self.diagnostics {
-            out.push_str(&d.to_string());
-            out.push('\n');
-        }
-        for n in &self.notes {
-            out.push_str("note: ");
-            out.push_str(n);
-            out.push('\n');
-        }
-        out.push_str(&format!(
-            "verification: {} error(s), {} warning(s)\n",
-            self.error_count(),
-            self.warning_count()
-        ));
-        out
-    }
-
-    /// Renders the report as a JSON object (machine-readable `anc check
-    /// --json` output).
-    pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"diagnostics\": [");
-        for (i, d) in self.diagnostics.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("\n    {");
-            out.push_str(&format!(
-                "\"code\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"",
-                d.code,
-                d.severity.as_str(),
-                escape_json(&d.message)
-            ));
-            match d.anchor {
-                Anchor::Program => {}
-                Anchor::Stmt(i) => out.push_str(&format!(", \"stmt\": {i}")),
-                Anchor::Array(i) => out.push_str(&format!(", \"array\": {i}")),
-                Anchor::Loop(i) => out.push_str(&format!(", \"loop\": {i}")),
-            }
-            if let Some(pos) = d.span {
-                out.push_str(&format!(", \"line\": {}, \"col\": {}", pos.line, pos.col));
-            }
-            out.push('}');
-        }
-        if !self.diagnostics.is_empty() {
-            out.push_str("\n  ");
-        }
-        out.push_str("],\n  \"notes\": [");
-        for (i, n) in self.notes.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!("\"{}\"", escape_json(n)));
-        }
-        out.push_str("],\n");
-        match &self.checked_params {
-            Some(ps) => {
-                let list: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
-                out.push_str(&format!("  \"checked_params\": [{}],\n", list.join(", ")));
-            }
-            None => out.push_str("  \"checked_params\": null,\n"),
-        }
-        out.push_str(&format!(
-            "  \"errors\": {},\n  \"warnings\": {}\n}}\n",
-            self.error_count(),
-            self.warning_count()
-        ));
-        out
-    }
-}
-
-impl fmt::Display for VerifyReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "verification failed: {} error(s), {} warning(s)",
-            self.error_count(),
-            self.warning_count()
-        )?;
-        if let Some(first) = self
-            .diagnostics
-            .iter()
-            .find(|d| d.severity == Severity::Error)
-        {
-            write!(f, "; first: {first}")?;
-        }
-        Ok(())
-    }
-}
-
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -387,6 +170,10 @@ mod tests {
         let human = r.render_human();
         assert!(human.contains("error[AN0202]"), "{human}");
         assert!(human.contains("note: checked"), "{human}");
+        assert!(
+            human.contains("verification: 1 error(s), 0 warning(s)"),
+            "{human}"
+        );
         let json = r.to_json();
         assert!(json.contains("\"code\": \"AN0202\""), "{json}");
         assert!(json.contains("\"loop\": 1"), "{json}");

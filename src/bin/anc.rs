@@ -55,6 +55,21 @@
 //!   --trace[=FILE]     record a structured trace (stderr, or FILE)
 //!   --trace-format F   tree (default) | jsonl | chrome
 //!
+//! anc lint [OPTIONS] <file.an>...    a-priori nest normalization lints
+//!
+//!   --json             machine-readable report per file
+//!   --fix              rewrite each file in place with the normalized
+//!                      nest (refused for stdin `-`; only applied when
+//!                      normalization changed the program cleanly)
+//!   --deny-warnings    exit non-zero on any finding, not just errors
+//!
+//! Classifies why each nest is or is not pipeline-ready (induction
+//! scalars, imperfect nesting, non-unit strides, non-zero lower bounds,
+//! loop-invariant statements) as structured AN06xx lints, applying the
+//! provably-safe rewrites and differentially checking each one against
+//! the seeded interpreter. Exit 0 when clean, 1 on error findings (or
+//! any finding under --deny-warnings).
+//!
 //! anc check [OPTIONS] <file.an>...    independent soundness verification
 //!
 //!   --deny-warnings    exit non-zero on warnings too
@@ -101,6 +116,10 @@
 //! Exit codes: 0 success, 1 compile/verification/fuzz failure, 2 usage
 //! error, 3 internal compiler panic (always a bug).
 //!
+//! Every source entry point pre-normalizes the nest before lowering
+//! (see `anc lint`); `--no-prenormalize` disables the rewrites, in
+//! which case messy nests are rejected with AN06xx errors.
+//!
 //! Examples:
 //!
 //! ```text
@@ -137,6 +156,7 @@ struct Args {
     jobs: usize,
     verify: bool,
     explain: bool,
+    no_prenormalize: bool,
     trace: Option<TraceDest>,
     trace_format: String,
 }
@@ -146,14 +166,16 @@ fn usage() -> ! {
         "usage: anc [--emit WHAT] [--naive] [--no-transfers] [--ordering H]\n\
          \x20          [--simulate P1,P2,..] [--machine gp1000|ipsc]\n\
          \x20          [--param NAME=V]... [--strides] [--jobs N] [--verify]\n\
-         \x20          [--trace[=FILE]] [--trace-format tree|jsonl|chrome] <file.an | ->\n\
+         \x20          [--no-prenormalize] [--trace[=FILE]]\n\
+         \x20          [--trace-format tree|jsonl|chrome] <file.an | ->\n\
+         \x20      anc lint [--json] [--fix] [--deny-warnings] <file.an | ->...\n\
          \x20      anc profile [--procs N] [--machine gp1000|ipsc] [--param NAME=V]...\n\
          \x20          [--jobs N] [--json] [--wall] [--top N] [--out FILE] <file.an | ->\n\
          \x20      anc sweep [--procs LIST] [--machines LIST] [--params LIST]...\n\
          \x20          [--jobs N] [--naive] [--no-transfers] [--verify] [--json FILE|-]\n\
          \x20          [--chaos] [--seed N] [--trace[=FILE]] [--trace-format F] <file.an | ->\n\
          \x20      anc check [--deny-warnings] [--json] [--naive] [--no-transfers]\n\
-         \x20          [--param NAME=V]... [--mutate KIND] <file.an>...\n\
+         \x20          [--param NAME=V]... [--mutate KIND] [--no-prenormalize] <file.an>...\n\
          \x20      anc chaos [--seed N] [--scenario S|all] [--procs LIST]\n\
          \x20          [--machine gp1000|ipsc] [--param NAME=V]... [--jobs N]\n\
          \x20          [--naive] [--json] [--trace[=FILE]] [--trace-format F] <file.an | ->\n\
@@ -259,6 +281,7 @@ fn parse_args() -> Args {
         jobs: 0,
         verify: false,
         explain: false,
+        no_prenormalize: false,
         trace: None,
         trace_format: "tree".to_string(),
     };
@@ -297,6 +320,7 @@ fn parse_args() -> Args {
             "--strides" => args.strides = true,
             "--verify" => args.verify = true,
             "--explain" => args.explain = true,
+            "--no-prenormalize" => args.no_prenormalize = true,
             "--autodist" => {
                 let p = it.next().unwrap_or_else(|| usage());
                 args.autodist = Some(p.parse().unwrap_or_else(|_| usage()));
@@ -422,16 +446,6 @@ fn run_sweep(argv: &[String]) -> ExitCode {
     }
     let Some(input) = input else { usage() };
     let src = read_source_or_exit(&input);
-    let program = match access_normalization::lang::parse(&src) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("anc: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if param_sets.is_empty() {
-        param_sets.push(program.default_param_values());
-    }
     let ctx = PipelineCtx::new();
     let tracer = trace
         .as_ref()
@@ -445,6 +459,16 @@ fn run_sweep(argv: &[String]) -> ExitCode {
         tracer: tracer.clone(),
         ..CompileOptions::default()
     };
+    let program = match access_normalization::parse_normalized(&src, &opts) {
+        Ok((p, _lint)) => p,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if param_sets.is_empty() {
+        param_sets.push(program.default_param_values());
+    }
     let compiled = match access_normalization::compile_program_with(&program, &opts, &ctx) {
         Ok(c) => c,
         Err(e) => {
@@ -580,6 +604,7 @@ fn run_check(argv: &[String]) -> ExitCode {
     let mut transfers = true;
     let mut params: Vec<(String, i64)> = Vec::new();
     let mut mutate: Option<Mutation> = None;
+    let mut no_prenormalize = false;
     let mut inputs: Vec<String> = Vec::new();
 
     let mut it = argv.iter();
@@ -589,6 +614,7 @@ fn run_check(argv: &[String]) -> ExitCode {
             "--json" => json = true,
             "--naive" => naive = true,
             "--no-transfers" => transfers = false,
+            "--no-prenormalize" => no_prenormalize = true,
             "--param" => {
                 let kv = it.next().unwrap_or_else(|| usage());
                 params.push(parse_param_kv(kv));
@@ -610,6 +636,7 @@ fn run_check(argv: &[String]) -> ExitCode {
             block_transfers: transfers,
         },
         skip_transform: naive,
+        skip_prenormalize: no_prenormalize,
         ..CompileOptions::default()
     };
     let verify_opts = verify_options_for(&opts);
@@ -617,14 +644,15 @@ fn run_check(argv: &[String]) -> ExitCode {
     let mut failed = false;
     for input in &inputs {
         let src = read_source_or_exit(input);
-        let (mut program, spans) = match access_normalization::lang::parse_with_spans(&src) {
-            Ok(ps) => ps,
-            Err(e) => {
-                eprintln!("anc: {input}: {e}");
-                failed = true;
-                continue;
-            }
-        };
+        let (mut program, spans, _lint) =
+            match access_normalization::parse_normalized_with_spans(&src, &opts) {
+                Ok(ps) => ps,
+                Err(e) => {
+                    eprintln!("anc: {input}: {e}");
+                    failed = true;
+                    continue;
+                }
+            };
         for (name, v) in &params {
             match program.params.iter_mut().find(|p| p.name == *name) {
                 Some(p) => p.default = *v,
@@ -677,6 +705,78 @@ fn run_check(argv: &[String]) -> ExitCode {
             println!("{}", report.render_human());
         }
         if report.has_errors() || (deny_warnings && report.warning_count() > 0) {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `anc lint` — run the a-priori nest-normalization analysis on each
+/// file, reporting AN06xx findings; `--fix` writes the normalized
+/// program back in place when the rewrites applied cleanly.
+fn run_lint(argv: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut fix = false;
+    let mut deny_warnings = false;
+    let mut inputs: Vec<String> = Vec::new();
+
+    for a in argv {
+        match a.as_str() {
+            "--json" => json = true,
+            "--fix" => fix = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                fail_usage(&format!("anc lint: unknown option '{other}'"))
+            }
+            _ => inputs.push(a.clone()),
+        }
+    }
+    if inputs.is_empty() {
+        usage();
+    }
+    if fix && inputs.iter().any(|i| i == "-") {
+        fail_usage("anc lint: --fix cannot rewrite stdin; pass a file path");
+    }
+
+    let many = inputs.len() > 1;
+    let mut failed = false;
+    for input in &inputs {
+        let src = read_source_or_exit(input);
+        let ast = match access_normalization::lang::lexer::lex(&src)
+            .and_then(|t| access_normalization::lang::parser::parse_tokens(&t))
+        {
+            Ok(ast) => ast,
+            Err(e) => {
+                eprintln!("anc: {input}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let normalized = access_normalization::normal::normalize(&ast, &Default::default());
+        let report = &normalized.report;
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            if many {
+                println!("== {input} ==");
+            }
+            println!("{}", report.render_human());
+        }
+        if report.has_errors() {
+            failed = true;
+        } else if fix && normalized.changed {
+            let fixed = access_normalization::lang::print::print_program(&normalized.ast);
+            if let Err(e) = std::fs::write(input, fixed) {
+                fail_usage(&format!("anc lint: cannot rewrite {input}: {e}"));
+            }
+            eprintln!("anc: rewrote {input}");
+        }
+        if deny_warnings && !report.diagnostics.is_empty() {
             failed = true;
         }
     }
@@ -770,8 +870,16 @@ fn run_chaos(argv: &[String]) -> ExitCode {
     }
     let Some(input) = input else { usage() };
     let src = read_source_or_exit(&input);
-    let mut program = match access_normalization::lang::parse(&src) {
-        Ok(p) => p,
+    let tracer = trace
+        .as_ref()
+        .map(|_| std::sync::Arc::new(access_normalization::obs::Tracer::new()));
+    let opts = CompileOptions {
+        skip_transform: naive,
+        tracer: tracer.clone(),
+        ..CompileOptions::default()
+    };
+    let mut program = match access_normalization::parse_normalized(&src, &opts) {
+        Ok((p, _lint)) => p,
         Err(e) => {
             eprintln!("anc: {e}");
             return ExitCode::FAILURE;
@@ -783,14 +891,6 @@ fn run_chaos(argv: &[String]) -> ExitCode {
             None => fail_usage(&format!("anc: {input}: unknown parameter '{name}'")),
         }
     }
-    let tracer = trace
-        .as_ref()
-        .map(|_| std::sync::Arc::new(access_normalization::obs::Tracer::new()));
-    let opts = CompileOptions {
-        skip_transform: naive,
-        tracer: tracer.clone(),
-        ..CompileOptions::default()
-    };
     let compiled = match access_normalization::compile_program(&program, &opts) {
         Ok(c) => c,
         Err(e) => {
@@ -995,19 +1095,6 @@ fn run_profile(argv: &[String]) -> ExitCode {
     }
     let Some(input) = input else { usage() };
     let src = read_source_or_exit(&input);
-    let mut program = match access_normalization::lang::parse(&src) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("anc: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    for (name, v) in &params {
-        match program.params.iter_mut().find(|p| p.name == *name) {
-            Some(p) => p.default = *v,
-            None => fail_usage(&format!("anc: {input}: unknown parameter '{name}'")),
-        }
-    }
 
     // Logical clocks by default: the profile is then byte-identical
     // across runs and `--jobs` values, so CI can diff two invocations.
@@ -1020,6 +1107,19 @@ fn run_profile(argv: &[String]) -> ExitCode {
         tracer: Some(tracer.clone()),
         ..CompileOptions::default()
     };
+    let mut program = match access_normalization::parse_normalized(&src, &opts) {
+        Ok((p, _lint)) => p,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, v) in &params {
+        match program.params.iter_mut().find(|p| p.name == *name) {
+            Some(p) => p.default = *v,
+            None => fail_usage(&format!("anc: {input}: unknown parameter '{name}'")),
+        }
+    }
     let compiled = match compile_program(&program, &opts) {
         Ok(c) => c,
         Err(e) => {
@@ -1219,6 +1319,9 @@ fn run_main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("check") {
         return run_check(&argv[1..]);
     }
+    if argv.first().map(String::as_str) == Some("lint") {
+        return run_lint(&argv[1..]);
+    }
     if argv.first().map(String::as_str) == Some("chaos") {
         return run_chaos(&argv[1..]);
     }
@@ -1231,13 +1334,6 @@ fn run_main() -> ExitCode {
     let args = parse_args();
     let src = read_source_or_exit(args.input.as_deref().unwrap_or_else(|| usage()));
 
-    let program = match access_normalization::lang::parse(&src) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("anc: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let tracer = args
         .trace
         .as_ref()
@@ -1252,8 +1348,16 @@ fn run_main() -> ExitCode {
         },
         skip_transform: args.naive,
         verify: args.verify,
+        skip_prenormalize: args.no_prenormalize,
         budget: Default::default(),
         tracer: tracer.clone(),
+    };
+    let program = match access_normalization::parse_normalized(&src, &opts) {
+        Ok((p, _lint)) => p,
+        Err(e) => {
+            eprintln!("anc: {e}");
+            return ExitCode::FAILURE;
+        }
     };
     let compiled = match compile_program(&program, &opts) {
         Ok(c) => c,

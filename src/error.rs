@@ -51,6 +51,10 @@ pub enum Error {
     /// The independent verifier rejected the compiled artifacts (only
     /// raised when compiling with `CompileOptions::verify`).
     Verify(an_verify::VerifyReport),
+    /// Pre-normalization found the nest cannot be brought into (or, with
+    /// `CompileOptions::skip_prenormalize`, is not already in) canonical
+    /// form. The report carries the `AN06xx` lints explaining why.
+    Lint(an_normal::LintReport),
     /// A compile budget (`CompileOptions::budget`) was exhausted.
     Budget(BudgetExceeded),
 }
@@ -65,6 +69,7 @@ impl fmt::Display for Error {
             Error::Codegen(e) => write!(f, "{e}"),
             Error::Sim(e) => write!(f, "{e}"),
             Error::Verify(report) => write!(f, "{report}"),
+            Error::Lint(report) => write!(f, "{report}"),
             Error::Budget(b) => write!(f, "{b}"),
         }
     }
@@ -80,6 +85,7 @@ impl std::error::Error for Error {
             Error::Codegen(e) => Some(e),
             Error::Sim(e) => Some(e),
             Error::Verify(_) => None,
+            Error::Lint(_) => None,
             Error::Budget(_) => None,
         }
     }
@@ -118,5 +124,10 @@ impl From<an_numa::SimError> for Error {
 impl From<an_verify::VerifyReport> for Error {
     fn from(report: an_verify::VerifyReport) -> Self {
         Error::Verify(report)
+    }
+}
+impl From<an_normal::LintReport> for Error {
+    fn from(report: an_normal::LintReport) -> Self {
+        Error::Lint(report)
     }
 }

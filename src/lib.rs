@@ -23,6 +23,12 @@
 //!   legality, bounds, race-freedom and transfer-coverage evidence from
 //!   scratch and reports structured `AN0xxx` diagnostics (see
 //!   [`verify`] and `CompileOptions::verify`).
+//! - [`normal`] — a-priori nest normalization: induction-variable
+//!   substitution, stride normalization and statement sinking over the
+//!   surface AST, each rewrite differentially checked against the
+//!   seeded interpreter and reported as `AN06xx` lints. [`compile`]
+//!   pre-normalizes automatically; see [`parse_normalized`] and
+//!   `CompileOptions::skip_prenormalize`.
 //!
 //! ## Quickstart
 //!
@@ -63,6 +69,7 @@ pub use an_deps as deps;
 pub use an_ir as ir;
 pub use an_lang as lang;
 pub use an_linalg as linalg;
+pub use an_normal as normal;
 pub use an_numa as numa;
 pub use an_obs as obs;
 pub use an_poly as poly;
@@ -81,6 +88,7 @@ use an_codegen::{
 use an_core::{normalize_with, NormCache, NormContext, NormalizeOptions, NormalizeResult};
 use an_deps::DependenceInfo;
 use an_ir::Program;
+use an_lang::SpanMap;
 use an_linalg::cache::{CacheStats, MemoCache};
 use an_linalg::IMatrix;
 use an_obs::{EventKind, Tracer};
@@ -166,6 +174,12 @@ pub struct CompileOptions {
     /// compiled artifacts and fail with [`Error::Verify`] if it finds
     /// an error-severity violation.
     pub verify: bool,
+    /// Skip the a-priori nest normalization that [`compile`] (and every
+    /// other source entry point) runs by default. With normalization
+    /// skipped, a messy nest is rejected with [`Error::Lint`] carrying
+    /// the `AN06xx` codes at error severity instead of being rewritten
+    /// (see [`an_normal::require_canonical`]).
+    pub skip_prenormalize: bool,
     /// Resource ceilings for this compilation.
     pub budget: CompileBudget,
     /// When set, every pipeline stage records spans, events and metrics
@@ -188,14 +202,73 @@ pub struct Compiled {
     pub spmd: SpmdProgram,
 }
 
-/// Parses, normalizes, restructures and SPMD-generates a source program.
+/// Parses, pre-normalizes, restructures and SPMD-generates a source
+/// program.
 ///
 /// # Errors
 ///
 /// Any stage's error, wrapped in [`Error`].
 pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, Error> {
-    let program = an_lang::parse(src)?;
+    let (program, _lint) = parse_normalized(src, opts)?;
     compile_program(&program, opts)
+}
+
+/// Parses a source program and brings the nest into canonical form
+/// before lowering: induction-variable substitution, stride
+/// normalization and statement sinking, every applied rewrite
+/// differentially checked against the seeded interpreter.
+///
+/// With `opts.skip_prenormalize` the rewrites are disabled and a messy
+/// nest is rejected instead ([`an_normal::require_canonical`]). The
+/// returned [`an_normal::LintReport`] carries the `AN06xx` findings for
+/// programs that do lower — informational on the rewrite path, empty on
+/// the skip path for canonical programs.
+///
+/// # Errors
+///
+/// [`Error::Lint`] when normalization (or the canonical-form gate)
+/// reports error-severity findings; [`Error::Lang`] for lex, parse and
+/// lowering failures.
+pub fn parse_normalized(
+    src: &str,
+    opts: &CompileOptions,
+) -> Result<(Program, an_normal::LintReport), Error> {
+    parse_normalized_with_spans(src, opts).map(|(p, _, report)| (p, report))
+}
+
+/// [`parse_normalized`] that also returns the source [`SpanMap`] of the
+/// normalized AST, for attaching verifier diagnostics to source lines.
+///
+/// # Errors
+///
+/// See [`parse_normalized`].
+pub fn parse_normalized_with_spans(
+    src: &str,
+    opts: &CompileOptions,
+) -> Result<(Program, SpanMap, an_normal::LintReport), Error> {
+    let tracer = opts.tracer.as_deref();
+    let _span = tracer.map(|t| t.span("prenormalize"));
+    let tokens = an_lang::lexer::lex(src)?;
+    let ast = an_lang::parser::parse_tokens(&tokens)?;
+    let (ast, report) = if opts.skip_prenormalize {
+        let report = an_normal::require_canonical(&ast);
+        (ast, report)
+    } else {
+        let normalized = an_normal::normalize(
+            &ast,
+            &an_normal::Options {
+                tracer: opts.tracer.clone(),
+                ..an_normal::Options::default()
+            },
+        );
+        (normalized.ast, normalized.report)
+    };
+    if report.has_errors() {
+        return Err(Error::Lint(report));
+    }
+    let spans = SpanMap::from_ast(&ast);
+    let program = an_lang::lower::lower(&ast)?;
+    Ok((program, spans, report))
 }
 
 /// [`compile`] for an already-built IR program.

@@ -497,3 +497,122 @@ fn trace_file_flag_writes_a_chrome_trace() {
     assert!(trace.contains("\"ph\":\"B\""), "{trace}");
     assert!(trace.contains("\"name\":\"compile\""), "{trace}");
 }
+
+#[test]
+fn lint_clean_kernel_exits_0() {
+    let out = anc()
+        .args(["lint", &kernel_path("gemm.an")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 error(s), 0 warning(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_messy_kernel_exits_0_but_deny_warnings_exits_1() {
+    // Info findings alone do not fail a lint run...
+    let out = anc()
+        .args(["lint", &kernel_path("mvt_messy.an")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("AN0602"), "{stdout}");
+    // ...but --deny-warnings makes any finding fatal.
+    let out = anc()
+        .args(["lint", "--deny-warnings", &kernel_path("mvt_messy.an")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn lint_json_is_pure_and_deterministic() {
+    let run = || {
+        let out = anc()
+            .args(["lint", "--json", &kernel_path("decimate_messy.an")])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0));
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let first = run();
+    assert!(first.trim_start().starts_with('{'), "{first}");
+    assert!(first.contains("\"code\": \"AN0603\""), "{first}");
+    assert_eq!(first, run(), "lint --json not reproducible");
+}
+
+#[test]
+fn lint_fix_rewrites_file_to_canonical_form() {
+    let dir = std::env::temp_dir().join("anc-cli-lint-fix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let target = dir.join("decimate_messy.an");
+    std::fs::copy(kernel_path("decimate_messy.an"), &target).unwrap();
+    let target = target.to_str().unwrap().to_string();
+
+    let out = anc().args(["lint", "--fix", &target]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("rewrote"), "{stderr}");
+    let fixed = std::fs::read_to_string(&target).unwrap();
+    assert!(
+        !fixed.contains("step"),
+        "step clause survived --fix: {fixed}"
+    );
+
+    // The fixed file is canonical: it now passes the strict gate.
+    let out = anc()
+        .args(["check", "--no-prenormalize", "--deny-warnings", &target])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "fixed file not canonical");
+
+    // A second --fix is a no-op (no rewrite message).
+    let out = anc().args(["lint", "--fix", &target]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("rewrote"), "{stderr}");
+    assert_eq!(fixed, std::fs::read_to_string(&target).unwrap());
+}
+
+#[test]
+fn lint_usage_errors_exit_2_with_one_line() {
+    // --fix on stdin has no file to rewrite.
+    let out = anc().args(["lint", "--fix", "-"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(stderr.trim().lines().count(), 1, "{stderr}");
+    assert!(stderr.contains("--fix cannot rewrite stdin"), "{stderr}");
+    // Unknown flag.
+    let out = anc()
+        .args(["lint", "--bogus", &kernel_path("gemm.an")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown option"), "{stderr}");
+}
+
+#[test]
+fn lint_reports_parse_errors_with_exit_1() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = anc()
+        .args(["lint", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"for i = { garbage")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("anc:"), "{stderr}");
+}

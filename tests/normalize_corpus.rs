@@ -1,0 +1,140 @@
+//! End-to-end tests of pre-normalization over the kernel corpus.
+//!
+//! The messy kernels under `examples/kernels/` are the acceptance
+//! gauntlet for `an-normal`:
+//!
+//! - with pre-normalization **disabled** each must be rejected with the
+//!   `AN06xx` code naming its messy idiom;
+//! - with pre-normalization **enabled** (the default) each must compile
+//!   and compute **bitwise-identical** arrays to its hand-canonical
+//!   twin under the seeded IR interpreter;
+//! - the whole corpus must lint without errors, and the canonical
+//!   kernels must pass through `normalize` unchanged.
+
+use access_normalization::normal::{self, Code};
+use access_normalization::{parse_normalized, CompileOptions, Error};
+
+fn kernel_src(name: &str) -> String {
+    let path = format!("{}/examples/kernels/{name}.an", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// `(messy kernel, expected rejection code, hand-canonical twin)`. The
+/// twin for the imperfect jacobi2d nest is inline: the corpus's
+/// `jacobi2d.an` showcases the pure stencil without the boundary copy,
+/// so the perfect-nest form with the copy sunk lives here.
+fn twin_table() -> Vec<(&'static str, Code, String)> {
+    vec![
+        (
+            "decimate_messy",
+            Code::NonUnitStride,
+            kernel_src("decimate"),
+        ),
+        ("mvt_messy", Code::InductionScalar, kernel_src("mvt")),
+        (
+            "jacobi2d_messy",
+            Code::ImperfectNest,
+            "param N = 32;
+             assume N >= 3;
+             array A[N, N] distribute wrapped(0);
+             array B[N, N] distribute wrapped(0);
+             for i = 1, N - 2 {
+               for j = 1, N - 2 {
+                 B[i, 0] = A[i, 0];
+                 B[i, j] = 0.2 * (A[i, j] + A[i, j - 1] + A[i, j + 1]
+                                + A[i - 1, j] + A[i + 1, j]);
+               }
+             }"
+            .to_string(),
+        ),
+    ]
+}
+
+#[test]
+fn messy_kernels_are_rejected_without_prenormalization() {
+    let opts = CompileOptions {
+        skip_prenormalize: true,
+        ..CompileOptions::default()
+    };
+    for (name, code, _) in twin_table() {
+        let err = parse_normalized(&kernel_src(name), &opts)
+            .err()
+            .unwrap_or_else(|| panic!("{name} must not lower raw"));
+        let Error::Lint(report) = err else {
+            panic!("{name}: expected a lint rejection, got {err}");
+        };
+        assert!(report.has_errors(), "{name}: {}", report.render_human());
+        assert!(
+            report.codes().contains(&code),
+            "{name}: expected {code:?} in {:?}",
+            report.codes()
+        );
+    }
+}
+
+#[test]
+fn messy_kernels_match_their_canonical_twins_bitwise() {
+    let opts = CompileOptions::default();
+    for (name, _, twin) in twin_table() {
+        let (messy, report) =
+            parse_normalized(&kernel_src(name), &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!report.has_errors(), "{name}: {}", report.render_human());
+        let (canon, _) =
+            parse_normalized(&twin, &opts).unwrap_or_else(|e| panic!("{name} twin: {e}"));
+        let params = messy.default_param_values();
+        assert_eq!(
+            params,
+            canon.default_param_values(),
+            "{name}: param mismatch"
+        );
+        for seed in [0, 7] {
+            let a = access_normalization::ir::interp::run_seeded(&messy, &params, seed)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let b = access_normalization::ir::interp::run_seeded(&canon, &params, seed)
+                .unwrap_or_else(|e| panic!("{name} twin: {e}"));
+            assert_eq!(
+                a,
+                b,
+                "{name}: normalized kernel diverges from its twin (seed {seed}, \
+                 max |delta| = {:e})",
+                a.max_abs_diff(&b)
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_lints_without_errors_and_canonical_kernels_are_untouched() {
+    let dir = format!("{}/examples/kernels", env!("CARGO_MANIFEST_DIR"));
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "an") {
+            continue;
+        }
+        seen += 1;
+        let name = path.file_stem().unwrap().to_string_lossy().to_string();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let ast = access_normalization::lang::parser::parse_tokens(
+            &access_normalization::lang::lexer::lex(&src).unwrap(),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let n = normal::normalize(&ast, &normal::Options::default());
+        assert!(
+            !n.report.has_errors(),
+            "{name}: {}",
+            n.report.render_human()
+        );
+        let messy = name.ends_with("_messy");
+        assert_eq!(
+            n.changed,
+            messy,
+            "{name}: expected normalize to {} the program",
+            if messy { "rewrite" } else { "preserve" }
+        );
+        if !messy {
+            assert_eq!(n.ast, ast, "{name}: canonical kernel was rewritten");
+        }
+    }
+    assert!(seen >= 12, "corpus shrank: only {seen} kernels in {dir}");
+}

@@ -17,7 +17,7 @@ use access_normalization::obs::{normalize_jsonl, render_jsonl, EventKind, Tracer
 use access_normalization::{compile, CompileOptions, Compiled};
 use std::sync::Arc;
 
-const KERNELS: &[&str] = &["gemm", "syr2k", "fig1"];
+const KERNELS: &[&str] = &["gemm", "syr2k", "fig1", "jacobi2d", "mvt", "decimate_messy"];
 const PROCS: usize = 4;
 
 fn kernel_source(name: &str) -> String {
