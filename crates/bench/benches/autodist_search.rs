@@ -457,7 +457,7 @@ fn main() {
         .join("an-bench-results");
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join("BENCH_autodist.json");
-        if std::fs::write(&path, &json).is_ok() {
+        if an_obs::write_atomic(&path, &json).is_ok() {
             println!("wrote {}", path.display());
         }
     }
@@ -467,7 +467,7 @@ fn main() {
     print!("{chaos_json}");
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join("BENCH_chaos.json");
-        if std::fs::write(&path, &chaos_json).is_ok() {
+        if an_obs::write_atomic(&path, &chaos_json).is_ok() {
             println!("wrote {}", path.display());
         }
     }
@@ -477,7 +477,7 @@ fn main() {
     print!("{overflow_json}");
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join("BENCH_overflow.json");
-        if std::fs::write(&path, &overflow_json).is_ok() {
+        if an_obs::write_atomic(&path, &overflow_json).is_ok() {
             println!("wrote {}", path.display());
         }
     }
@@ -491,7 +491,7 @@ fn main() {
     print!("{obs_json}");
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join("BENCH_obs.json");
-        if std::fs::write(&path, &obs_json).is_ok() {
+        if an_obs::write_atomic(&path, &obs_json).is_ok() {
             println!("wrote {}", path.display());
         }
     }

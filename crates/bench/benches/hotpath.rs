@@ -175,7 +175,7 @@ fn main() {
         .join("an-bench-results");
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join("BENCH_hotpath.json");
-        if std::fs::write(&path, &json).is_ok() {
+        if an_obs::write_atomic(&path, &json).is_ok() {
             println!("wrote {}", path.display());
         }
     }

@@ -1,0 +1,354 @@
+//! Serving bench: throughput, latency and fault tolerance of the
+//! `an-serve` daemon under concurrent load.
+//!
+//! Measures compiles/sec and p50/p99 request latency for a cold
+//! sequential pass over the whole corpus (every request a cache miss)
+//! and a warm concurrent pass (every request a cross-request cache
+//! hit), then runs a chaos section — poison pills and deadline busters
+//! interleaved among concurrent good requests — asserting that good
+//! requests keep returning the exact cold-pass artifacts and every bad
+//! request gets a structured `AN07xx` error.
+//!
+//! Writes `target/an-bench-results/BENCH_serve.json` and enforces the
+//! serving-economics gate: warm-cache throughput must be at least 5x
+//! cold sequential throughput (the amortization argument for running a
+//! daemon at all).
+
+use an_serve::json::{self, Json};
+use an_serve::{ServeConfig, Server};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(120);
+const WARM_CLIENTS: usize = 4;
+const WARM_ROUNDS: usize = 8;
+const THROUGHPUT_GATE: f64 = 5.0;
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("examples")
+        .join("kernels");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus dir")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "an"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            (
+                p.file_stem().unwrap().to_str().unwrap().to_string(),
+                std::fs::read_to_string(&p).unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn frame(id: usize, source: &str, extra: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"verb\":\"compile\",\"source\":\"{}\"{extra}}}",
+        an_diag::escape_json(source)
+    )
+}
+
+fn spmd_artifact(response: &str) -> String {
+    json::parse(response)
+        .unwrap_or_else(|e| panic!("bad response {response}: {e}"))
+        .get("artifacts")
+        .and_then(|a| a.get("spmd"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no spmd artifact in {response}"))
+        .to_string()
+}
+
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct Pass {
+    secs: f64,
+    requests: usize,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+impl Pass {
+    fn per_sec(&self) -> f64 {
+        self.requests as f64 / self.secs
+    }
+}
+
+/// Sequential cold pass: every kernel once, fresh cache. Returns the
+/// pass stats and each kernel's reference spmd artifact.
+fn cold_pass(server: &Server, corpus: &[(String, String)]) -> (Pass, Vec<String>) {
+    let mut latencies = Vec::with_capacity(corpus.len());
+    let mut artifacts = Vec::with_capacity(corpus.len());
+    let start = Instant::now();
+    for (i, (name, source)) in corpus.iter().enumerate() {
+        let t = Instant::now();
+        let response = server.request_sync(&frame(i, source, ""), WAIT);
+        latencies.push(t.elapsed().as_micros() as u64);
+        assert!(
+            response.contains("\"ok\":true"),
+            "cold {name} failed: {response}"
+        );
+        assert!(
+            response.contains("\"cached\":false"),
+            "cold {name} unexpectedly cached: {response}"
+        );
+        artifacts.push(spmd_artifact(&response));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    (
+        Pass {
+            secs,
+            requests: corpus.len(),
+            p50_us: quantile_us(&latencies, 0.5),
+            p99_us: quantile_us(&latencies, 0.99),
+        },
+        artifacts,
+    )
+}
+
+/// Concurrent warm pass: `WARM_CLIENTS` threads each re-request the
+/// whole corpus `WARM_ROUNDS` times; every response must be a cache hit
+/// with the reference artifact.
+fn warm_pass(server: &Server, corpus: &[(String, String)], reference: &[String]) -> Pass {
+    let latencies = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..WARM_CLIENTS {
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(WARM_ROUNDS * corpus.len());
+                for round in 0..WARM_ROUNDS {
+                    for (i, (name, source)) in corpus.iter().enumerate() {
+                        let id = ((client * WARM_ROUNDS + round) * corpus.len() + i) + 1000;
+                        let t = Instant::now();
+                        let response = server.request_sync(&frame(id, source, ""), WAIT);
+                        local.push(t.elapsed().as_micros() as u64);
+                        assert!(
+                            response.contains("\"cached\":true"),
+                            "warm {name} was not a cache hit: {response}"
+                        );
+                        assert_eq!(
+                            spmd_artifact(&response),
+                            reference[i],
+                            "warm {name} returned different artifacts"
+                        );
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let mut latencies = latencies.into_inner().unwrap();
+    latencies.sort_unstable();
+    Pass {
+        secs,
+        requests: WARM_CLIENTS * WARM_ROUNDS * corpus.len(),
+        p50_us: quantile_us(&latencies, 0.5),
+        p99_us: quantile_us(&latencies, 0.99),
+    }
+}
+
+struct ChaosOutcome {
+    good_ok: usize,
+    good_total: usize,
+    pill_responses: usize,
+    buster_responses: usize,
+    secs: f64,
+}
+
+/// Chaos under load: 3 poison pills and 2 deadline busters interleaved
+/// among concurrent good requests over the whole corpus. Good requests
+/// must return the reference artifacts bitwise; bad requests must get
+/// structured errors; the daemon must stay serviceable throughout.
+fn chaos_pass(server: &Server, corpus: &[(String, String)], reference: &[String]) -> ChaosOutcome {
+    let good_ok = Mutex::new(0usize);
+    let pill_codes = Mutex::new(Vec::new());
+    let buster_codes = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        // Four clients re-request the corpus while faults fly.
+        for client in 0..4 {
+            let good_ok = &good_ok;
+            scope.spawn(move || {
+                for (i, (name, source)) in corpus.iter().enumerate() {
+                    let id = 5000 + client * corpus.len() + i;
+                    let response = server.request_sync(&frame(id, source, ""), WAIT);
+                    assert!(
+                        response.contains("\"ok\":true"),
+                        "good request {name} failed during chaos: {response}"
+                    );
+                    assert_eq!(
+                        spmd_artifact(&response),
+                        reference[i],
+                        "chaos corrupted {name}'s artifacts"
+                    );
+                    *good_ok.lock().unwrap() += 1;
+                }
+            });
+        }
+        // One client injects the poison pills (same source compiled by
+        // the good clients, plus chaos — a distinct content hash).
+        {
+            let pill_codes = &pill_codes;
+            scope.spawn(move || {
+                for (n, (_, source)) in corpus.iter().take(3).enumerate() {
+                    let response =
+                        server.request_sync(&frame(9000 + n, source, ",\"chaos\":\"panic\""), WAIT);
+                    let code = if response.contains("AN0705") {
+                        "AN0705"
+                    } else if response.contains("AN0706") {
+                        "AN0706"
+                    } else {
+                        panic!("pill got a non-panic response: {response}")
+                    };
+                    pill_codes.lock().unwrap().push(code);
+                }
+            });
+        }
+        // And one injects deadline busters.
+        {
+            let buster_codes = &buster_codes;
+            scope.spawn(move || {
+                for (n, (_, source)) in corpus.iter().take(2).enumerate() {
+                    let response = server.request_sync(
+                        &frame(
+                            9100 + n,
+                            source,
+                            ",\"chaos\":\"sleep:150\",\"options\":{\"deadline_ms\":25}",
+                        ),
+                        WAIT,
+                    );
+                    let code = if response.contains("AN0704") {
+                        "AN0704"
+                    } else if response.contains("AN0709") {
+                        "AN0709"
+                    } else {
+                        panic!("buster got a non-deadline response: {response}")
+                    };
+                    buster_codes.lock().unwrap().push(code);
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    // The daemon is still healthy after the storm.
+    let ping = server.request_sync("{\"id\":9999,\"verb\":\"ping\"}", WAIT);
+    assert!(ping.contains("\"pong\":true"), "daemon unhealthy: {ping}");
+    ChaosOutcome {
+        good_ok: good_ok.into_inner().unwrap(),
+        good_total: 4 * corpus.len(),
+        pill_responses: pill_codes.into_inner().unwrap().len(),
+        buster_responses: buster_codes.into_inner().unwrap().len(),
+        secs,
+    }
+}
+
+fn main() {
+    // Poison pills panic inside their fault cells by design; keep the
+    // default hook from spraying backtraces over the report.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("serve_bench: contained panic in fault cell: {info}");
+    }));
+
+    let corpus = corpus();
+    assert!(!corpus.is_empty(), "no corpus kernels found");
+
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        queue_capacity: 256,
+        default_deadline_ms: Some(30_000),
+        ..ServeConfig::default()
+    });
+
+    let (cold, reference) = cold_pass(&server, &corpus);
+    let warm = warm_pass(&server, &corpus, &reference);
+    let ratio = warm.per_sec() / cold.per_sec();
+    let chaos = chaos_pass(&server, &corpus, &reference);
+
+    let status_line = server.request_sync("{\"id\":0,\"verb\":\"status\"}", WAIT);
+    let status = json::parse(&status_line).expect("status parses");
+    let cache = status.get("status").and_then(|s| s.get("cache")).cloned();
+    let hit_rate = cache
+        .as_ref()
+        .and_then(|c| c.get("hit_rate"))
+        .map(|v| v.to_string())
+        .unwrap_or_else(|| "0".into());
+    server.join();
+
+    println!("=== serve bench: {} kernels ===", corpus.len());
+    println!(
+        "cold sequential: {:>8.1} compiles/sec  p50 {:>7}us  p99 {:>7}us",
+        cold.per_sec(),
+        cold.p50_us,
+        cold.p99_us
+    );
+    println!(
+        "warm concurrent: {:>8.1} compiles/sec  p50 {:>7}us  p99 {:>7}us  ({WARM_CLIENTS} clients)",
+        warm.per_sec(),
+        warm.p50_us,
+        warm.p99_us
+    );
+    println!("warm/cold throughput ratio: {ratio:.1}x (gate >= {THROUGHPUT_GATE}x)");
+    println!(
+        "chaos: {}/{} good ok, {} pills, {} busters, {:.2}s",
+        chaos.good_ok, chaos.good_total, chaos.pill_responses, chaos.buster_responses, chaos.secs
+    );
+
+    let json_text = format!(
+        "{{\n  \"kernels\": {},\n  \"cold\": {{\"compiles_per_sec\": {:.1}, \
+         \"p50_us\": {}, \"p99_us\": {}}},\n  \"warm\": {{\"clients\": {WARM_CLIENTS}, \
+         \"rounds\": {WARM_ROUNDS}, \"compiles_per_sec\": {:.1}, \"p50_us\": {}, \
+         \"p99_us\": {}}},\n  \"warm_cold_ratio\": {:.1},\n  \"cache_hit_rate\": {},\n  \
+         \"chaos\": {{\"good_ok\": {}, \"good_total\": {}, \"poison_pills\": {}, \
+         \"deadline_busters\": {}, \"seconds\": {:.2}, \
+         \"artifacts_bitwise_identical\": true}},\n  \
+         \"gate\": \"warm_cold_ratio >= {THROUGHPUT_GATE}\"\n}}\n",
+        corpus.len(),
+        cold.per_sec(),
+        cold.p50_us,
+        cold.p99_us,
+        warm.per_sec(),
+        warm.p50_us,
+        warm.p99_us,
+        ratio,
+        hit_rate,
+        chaos.good_ok,
+        chaos.good_total,
+        chaos.pill_responses,
+        chaos.buster_responses,
+        chaos.secs,
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("an-bench-results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("BENCH_serve.json");
+        if an_obs::write_atomic(&path, &json_text).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+
+    assert_eq!(
+        chaos.good_ok, chaos.good_total,
+        "chaos dropped good requests"
+    );
+    assert!(
+        ratio >= THROUGHPUT_GATE,
+        "serving throughput gate: warm/cold {ratio:.1}x, budget >= {THROUGHPUT_GATE}x"
+    );
+}

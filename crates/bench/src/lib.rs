@@ -183,7 +183,7 @@ pub fn write_csv(name: &str, labels: &[&str], rows: &[SpeedupRow]) -> Option<std
         }
         text.push('\n');
     }
-    std::fs::write(&path, text).ok()?;
+    an_obs::write_atomic(&path, &text).ok()?;
     Some(path)
 }
 

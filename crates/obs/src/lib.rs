@@ -38,11 +38,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod event;
 mod metrics;
 mod sink;
 mod tracer;
 
+pub use artifact::write_atomic;
 pub use event::{Event, EventKind, SpanId, ROOT_SPAN};
 pub use metrics::{HistogramSnapshot, Metrics, BUCKET_BOUNDS};
 pub use sink::{json_escape, normalize_jsonl, render_chrome, render_jsonl, render_tree};

@@ -29,6 +29,31 @@ pub struct HistogramSnapshot {
     pub sum: u64,
 }
 
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (`q` in `0.0..=1.0`):
+    /// the smallest bucket bound whose cumulative count covers
+    /// `q * total` observations. Values landing in the overflow bucket
+    /// report `2 * BUCKET_BOUNDS.last()` — a saturation marker, not a
+    /// measurement. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            cumulative = cumulative.saturating_add(count);
+            if cumulative >= target {
+                return match BUCKET_BOUNDS.get(i) {
+                    Some(&bound) => bound,
+                    None => BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1] * 2,
+                };
+            }
+        }
+        BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1] * 2
+    }
+}
+
 #[derive(Default)]
 struct MetricsInner {
     counters: BTreeMap<String, u64>,
@@ -146,6 +171,33 @@ mod tests {
         assert_eq!(h.counts[0], 2);
         assert_eq!(h.counts[2], 1);
         assert_eq!(h.counts[BUCKET_BOUNDS.len()], 1);
+    }
+
+    #[test]
+    fn quantiles_walk_bucket_bounds() {
+        let m = Metrics::new();
+        for v in 1..=100u64 {
+            m.observe("lat", v);
+        }
+        let h = &m.histograms()[0].1;
+        // 1..=100: half the observations are <= 64, so p50 lands on
+        // the 64 bound; p99 needs 99 observations, covered by 128.
+        assert_eq!(h.quantile(0.5), 64);
+        assert_eq!(h.quantile(0.99), 128);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 128);
+
+        let empty = HistogramSnapshot {
+            counts: vec![0; BUCKET_BOUNDS.len() + 1],
+            total: 0,
+            sum: 0,
+        };
+        assert_eq!(empty.quantile(0.5), 0);
+
+        let m2 = Metrics::new();
+        m2.observe("big", 5_000_000);
+        let h2 = &m2.histograms()[0].1;
+        assert_eq!(h2.quantile(0.5), 2 * BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]);
     }
 
     #[test]

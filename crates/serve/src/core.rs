@@ -1,0 +1,794 @@
+//! The daemon core: admission control, a bounded worker pool,
+//! per-request fault cells, a commit-on-success artifact cache, and a
+//! poison-pill quarantine.
+//!
+//! # Fault isolation
+//!
+//! Each compile runs inside a *fault cell*: `catch_unwind` around the
+//! whole parse→compile→emit chain, a [`CompileBudget`] bounding every
+//! resource axis, and a per-request deadline checked cooperatively at
+//! phase boundaries (and inside Fourier–Motzkin via the driver's own
+//! deadline plumbing). A panic kills the request, not the worker: the
+//! payload is captured, the request's content hash is quarantined so
+//! repeats fast-fail with `AN0706`, and the worker returns to the pool.
+//!
+//! # Admission control
+//!
+//! The queue is bounded. When it is full, new compiles are shed
+//! immediately with `AN0707` and a `retry_after_ms` hint — the daemon
+//! degrades by refusing work, never by growing without bound. Once
+//! draining, everything already admitted completes and new work is
+//! refused with `AN0708`.
+//!
+//! # Cache discipline
+//!
+//! Artifacts are cached by content hash and inserted only after a fully
+//! successful compile — errors, budget exhaustions and panics never
+//! populate the cache, so a transient deadline failure cannot poison
+//! future responses.
+
+use crate::diag::ServeCode;
+use crate::json::Json;
+use crate::proto::{
+    parse_request, render_compile_ok, render_error, render_ok_payload, Chaos, CompileRequest, Emit,
+    Verb, DEFAULT_MAX_FRAME_BYTES,
+};
+use an_driver::Error as DriverError;
+use an_obs::Metrics;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads. `0` means one per available core (the same
+    /// resolution rule as `--jobs`).
+    pub workers: usize,
+    /// Maximum queued (admitted but not yet running) requests before
+    /// load-shedding kicks in.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms`. `None` disables the default deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// Per-frame size limit in bytes.
+    pub max_frame_bytes: usize,
+    /// Back-off hint returned with `AN0707` shed responses.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 64,
+            default_deadline_ms: Some(10_000),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// One admitted compile job.
+/// Rendered artifacts for one cache entry, shared between the cache
+/// and in-flight responses without cloning the strings.
+type Artifacts = Arc<Vec<(Emit, String)>>;
+
+struct Job {
+    id: Json,
+    req: CompileRequest,
+    enqueued_at: Instant,
+    deadline: Option<Instant>,
+    reply: Sender<String>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<Job>,
+    active: usize,
+    draining: bool,
+}
+
+struct Inner {
+    config: ServeConfig,
+    state: Mutex<QueueState>,
+    /// Signaled when a job is enqueued or draining starts.
+    job_ready: Condvar,
+    /// Signaled when a worker finishes a job (drain waits on this).
+    job_done: Condvar,
+    /// Content hash → rendered artifacts. Commit-on-success only.
+    cache: Mutex<HashMap<u64, Artifacts>>,
+    /// Content hash → first panic message. A hash listed here is
+    /// fast-failed without compiling.
+    quarantine: Mutex<BTreeMap<u64, String>>,
+    metrics: Metrics,
+}
+
+/// What [`Server::submit`] tells the transport loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submit {
+    /// The frame was handled (response already sent or job queued).
+    Handled,
+    /// The frame was a `shutdown` request: its acknowledgement has been
+    /// sent; the transport should stop reading and call
+    /// [`Server::drain`].
+    Shutdown,
+}
+
+/// A running daemon: worker pool plus shared state. Create with
+/// [`Server::start`], feed frames with [`Server::submit`] (or
+/// [`Server::request_sync`]), stop with [`Server::drain`] then
+/// [`Server::join`].
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Boots the worker pool.
+    pub fn start(config: ServeConfig) -> Server {
+        let worker_count = an_par::resolve_jobs(config.workers);
+        let inner = Arc::new(Inner {
+            config,
+            state: Mutex::new(QueueState::default()),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            cache: Mutex::new(HashMap::new()),
+            quarantine: Mutex::new(BTreeMap::new()),
+            metrics: Metrics::new(),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("an-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The daemon's metrics registry (shared with workers).
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Handles one protocol frame. Immediate verbs (`status`, `health`,
+    /// `ping`, malformed frames, shed compiles) are answered through
+    /// `reply` before this returns; admitted compiles are answered
+    /// later by a worker. The send can only fail if the client is gone,
+    /// which the daemon treats as the client's problem, not its own.
+    pub fn submit(&self, line: &str, reply: &Sender<String>) -> Submit {
+        let inner = &self.inner;
+        inner.metrics.inc("serve.requests.total");
+        let request = match parse_request(line, inner.config.max_frame_bytes) {
+            Ok(r) => r,
+            Err(e) => {
+                inner.metrics.inc(match e.code {
+                    ServeCode::FrameTooLarge => "serve.fault.frame_too_large",
+                    _ => "serve.fault.malformed",
+                });
+                let _ = reply.send(render_error(&e.id, e.code, &e.message, None));
+                return Submit::Handled;
+            }
+        };
+        match request.verb {
+            Verb::Ping => {
+                let _ = reply.send(render_ok_payload(&request.id, "\"pong\":true"));
+                Submit::Handled
+            }
+            Verb::Health => {
+                let _ = reply.send(render_ok_payload(
+                    &request.id,
+                    &format!("\"health\":\"{}\"", self.health_word()),
+                ));
+                Submit::Handled
+            }
+            Verb::Status => {
+                let _ = reply.send(render_ok_payload(
+                    &request.id,
+                    &format!("\"status\":{}", self.status_json()),
+                ));
+                Submit::Handled
+            }
+            Verb::Shutdown => {
+                {
+                    let mut state = inner.state.lock().expect("serve state");
+                    state.draining = true;
+                    inner.job_ready.notify_all();
+                }
+                let _ = reply.send(render_ok_payload(&request.id, "\"draining\":true"));
+                Submit::Shutdown
+            }
+            Verb::Compile(req) => {
+                self.admit(request.id, req, reply);
+                Submit::Handled
+            }
+        }
+    }
+
+    /// Admission control for one compile request.
+    fn admit(&self, id: Json, req: CompileRequest, reply: &Sender<String>) {
+        let inner = &self.inner;
+        let hash = req.content_hash();
+
+        // Quarantined hashes fast-fail without consuming a queue slot.
+        if let Some(msg) = inner.quarantine.lock().expect("quarantine").get(&hash) {
+            inner.metrics.inc("serve.fault.quarantined");
+            let _ = reply.send(render_error(
+                &id,
+                ServeCode::Quarantined,
+                &format!("source hash {hash:016x} is quarantined after a panic: {msg}"),
+                None,
+            ));
+            return;
+        }
+
+        // Cache hits are answered inline — no queue, no worker.
+        if let Some(artifacts) = inner.cache.lock().expect("cache").get(&hash).cloned() {
+            inner.metrics.inc("serve.cache.hit");
+            let _ = reply.send(render_compile_ok(&id, true, &artifacts, 0));
+            return;
+        }
+        inner.metrics.inc("serve.cache.miss");
+
+        let now = Instant::now();
+        let deadline_ms = req.deadline_ms.or(inner.config.default_deadline_ms);
+        let job = Job {
+            id,
+            req,
+            enqueued_at: now,
+            deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
+            reply: reply.clone(),
+        };
+
+        let mut state = inner.state.lock().expect("serve state");
+        if state.draining {
+            inner.metrics.inc("serve.fault.draining");
+            let _ = job.reply.send(render_error(
+                &job.id,
+                ServeCode::Draining,
+                "daemon is draining; no new work admitted",
+                None,
+            ));
+            return;
+        }
+        if state.queue.len() >= inner.config.queue_capacity {
+            inner.metrics.inc("serve.fault.overloaded");
+            let _ = job.reply.send(render_error(
+                &job.id,
+                ServeCode::Overloaded,
+                &format!(
+                    "queue full ({} queued, {} active); retry later",
+                    state.queue.len(),
+                    state.active
+                ),
+                Some(inner.config.retry_after_ms),
+            ));
+            return;
+        }
+        state.queue.push_back(job);
+        inner.job_ready.notify_one();
+    }
+
+    /// Submits one frame and waits for its single response. `timeout`
+    /// is the frame-level hang guard: the call returns an `AN0709`
+    /// response rather than blocking forever. Used by tests, the fuzz
+    /// harness and the bench harness.
+    pub fn request_sync(&self, line: &str, timeout: Duration) -> String {
+        let (tx, rx): (Sender<String>, Receiver<String>) = mpsc::channel();
+        self.submit(line, &tx);
+        match rx.recv_timeout(timeout) {
+            Ok(response) => response,
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => render_error(
+                &Json::Null,
+                ServeCode::Timeout,
+                &format!("no response within {}ms", timeout.as_millis()),
+                None,
+            ),
+        }
+    }
+
+    /// One-word health: `draining`, `overloaded` (queue at capacity) or
+    /// `ok`.
+    pub fn health_word(&self) -> &'static str {
+        let state = self.inner.state.lock().expect("serve state");
+        if state.draining {
+            "draining"
+        } else if state.queue.len() >= self.inner.config.queue_capacity {
+            "overloaded"
+        } else {
+            "ok"
+        }
+    }
+
+    /// The `status` payload as a JSON object: pool and queue state,
+    /// request/fault counters, cache statistics, latency quantiles and
+    /// the quarantine list.
+    pub fn status_json(&self) -> String {
+        let inner = &self.inner;
+        let (queue_depth, active, draining) = {
+            let state = inner.state.lock().expect("serve state");
+            (state.queue.len(), state.active, state.draining)
+        };
+        let m = &inner.metrics;
+        let hits = m.counter("serve.cache.hit");
+        let misses = m.counter("serve.cache.miss");
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        let cache_entries = inner.cache.lock().expect("cache").len();
+        let quarantine: Vec<String> = inner
+            .quarantine
+            .lock()
+            .expect("quarantine")
+            .keys()
+            .map(|h| format!("\"{h:016x}\""))
+            .collect();
+
+        let mut phases = String::new();
+        for (i, phase) in ["parse", "compile", "emit"].iter().enumerate() {
+            if i > 0 {
+                phases.push(',');
+            }
+            let name = format!("serve.phase.{phase}_us");
+            let (p50, p99, total) = m
+                .histograms()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, h)| (h.quantile(0.5), h.quantile(0.99), h.total))
+                .unwrap_or((0, 0, 0));
+            phases.push_str(&format!(
+                "\"{phase}\":{{\"p50_us\":{p50},\"p99_us\":{p99},\"count\":{total}}}"
+            ));
+        }
+
+        format!(
+            concat!(
+                "{{\"workers\":{},\"queue_depth\":{},\"active\":{},\"draining\":{},",
+                "\"requests\":{{\"total\":{},\"ok\":{}}},",
+                "\"faults\":{{\"malformed\":{},\"frame_too_large\":{},\"compile\":{},",
+                "\"budget\":{},\"panics\":{},\"quarantined\":{},\"overloaded\":{},",
+                "\"draining\":{},\"timeouts\":{}}},",
+                "\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{:.3}}},",
+                "\"quarantine\":[{}],",
+                "\"phase_us\":{{{}}}}}"
+            ),
+            self.workers.len(),
+            queue_depth,
+            active,
+            draining,
+            m.counter("serve.requests.total"),
+            m.counter("serve.ok"),
+            m.counter("serve.fault.malformed"),
+            m.counter("serve.fault.frame_too_large"),
+            m.counter("serve.fault.compile"),
+            m.counter("serve.fault.budget"),
+            m.counter("serve.fault.panic"),
+            m.counter("serve.fault.quarantined"),
+            m.counter("serve.fault.overloaded"),
+            m.counter("serve.fault.draining"),
+            m.counter("serve.fault.timeout"),
+            cache_entries,
+            hits,
+            misses,
+            hit_rate,
+            quarantine.join(","),
+            phases
+        )
+    }
+
+    /// Stops admitting work and blocks until every admitted job has
+    /// been answered. Idempotent.
+    pub fn drain(&self) {
+        let inner = &self.inner;
+        let mut state = inner.state.lock().expect("serve state");
+        state.draining = true;
+        inner.job_ready.notify_all();
+        while !state.queue.is_empty() || state.active > 0 {
+            state = inner.job_done.wait(state).expect("serve state");
+        }
+    }
+
+    /// Drains (if not already drained) and joins the worker pool.
+    pub fn join(mut self) {
+        self.drain();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job = {
+            let mut state = inner.state.lock().expect("serve state");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.active += 1;
+                    break job;
+                }
+                if state.draining {
+                    return;
+                }
+                state = inner.job_ready.wait(state).expect("serve state");
+            }
+        };
+        run_job(inner, &job);
+        let mut state = inner.state.lock().expect("serve state");
+        state.active -= 1;
+        inner.job_done.notify_all();
+        drop(state);
+    }
+}
+
+/// Executes one job inside its fault cell and sends exactly one
+/// response.
+fn run_job(inner: &Arc<Inner>, job: &Job) {
+    // A second copy of the same poison pill may have been admitted
+    // before the first one panicked; re-check at pickup.
+    let hash = job.req.content_hash();
+    if let Some(msg) = inner.quarantine.lock().expect("quarantine").get(&hash) {
+        inner.metrics.inc("serve.fault.quarantined");
+        let _ = job.reply.send(render_error(
+            &job.id,
+            ServeCode::Quarantined,
+            &format!("source hash {hash:016x} is quarantined after a panic: {msg}"),
+            None,
+        ));
+        return;
+    }
+
+    // Deadline may have expired while the job sat in the queue.
+    if let Some(deadline) = job.deadline {
+        if Instant::now() >= deadline {
+            inner.metrics.inc("serve.fault.timeout");
+            let _ = job.reply.send(render_error(
+                &job.id,
+                ServeCode::Timeout,
+                &format!(
+                    "deadline expired after {}ms in queue",
+                    job.enqueued_at.elapsed().as_millis()
+                ),
+                None,
+            ));
+            return;
+        }
+    }
+
+    let started = Instant::now();
+    // The fault cell: everything that can panic runs under
+    // catch_unwind. The request data is moved in by value (clones), so
+    // a mid-compile panic cannot leave shared state torn —
+    // AssertUnwindSafe is sound here.
+    let req = job.req.clone();
+    let deadline = job.deadline;
+    let metrics_outcome = catch_unwind(AssertUnwindSafe(|| compile_cell(inner, &req, deadline)));
+
+    match metrics_outcome {
+        Ok(Ok(artifacts)) => {
+            let artifacts = Arc::new(artifacts);
+            inner
+                .cache
+                .lock()
+                .expect("cache")
+                .insert(hash, Arc::clone(&artifacts));
+            inner.metrics.inc("serve.ok");
+            let compile_us = started.elapsed().as_micros() as u64;
+            let _ = job
+                .reply
+                .send(render_compile_ok(&job.id, false, &artifacts, compile_us));
+        }
+        Ok(Err((code, message))) => {
+            inner.metrics.inc(match code {
+                ServeCode::BudgetExceeded => "serve.fault.budget",
+                ServeCode::Timeout => "serve.fault.timeout",
+                _ => "serve.fault.compile",
+            });
+            let _ = job.reply.send(render_error(&job.id, code, &message, None));
+        }
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            inner
+                .quarantine
+                .lock()
+                .expect("quarantine")
+                .insert(hash, msg.clone());
+            inner.metrics.inc("serve.fault.panic");
+            let _ = job.reply.send(render_error(
+                &job.id,
+                ServeCode::Panicked,
+                &format!(
+                    "request panicked in its fault cell ({msg}); hash {hash:016x} quarantined"
+                ),
+                None,
+            ));
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Remaining milliseconds before `deadline`, as a driver budget value.
+/// Returns an error when the deadline has already passed (cooperative
+/// cancellation at a phase boundary).
+fn remaining_ms(deadline: Option<Instant>) -> Result<Option<u64>, (ServeCode, String)> {
+    match deadline {
+        None => Ok(None),
+        Some(d) => {
+            let now = Instant::now();
+            if now >= d {
+                Err((
+                    ServeCode::BudgetExceeded,
+                    "deadline budget exhausted at a phase boundary".to_string(),
+                ))
+            } else {
+                Ok(Some((d - now).as_millis().max(1) as u64))
+            }
+        }
+    }
+}
+
+/// The body of the fault cell: parse → compile → emit with cooperative
+/// deadline checks between phases. Returns rendered artifacts or a
+/// `(code, message)` protocol error.
+fn compile_cell(
+    inner: &Inner,
+    req: &CompileRequest,
+    deadline: Option<Instant>,
+) -> Result<Vec<(Emit, String)>, (ServeCode, String)> {
+    match req.chaos {
+        Some(Chaos::Panic) => panic!("chaos: injected panic"),
+        Some(Chaos::SleepMs(ms)) => thread::sleep(Duration::from_millis(ms)),
+        None => {}
+    }
+
+    let mut opts = req.to_options(None);
+
+    // Phase: parse (+ pre-normalization).
+    let t = Instant::now();
+    opts.budget.deadline_ms = remaining_ms(deadline)?;
+    let (program, _lint) = an_driver::parse_normalized(&req.source, &opts).map_err(driver_error)?;
+    inner
+        .metrics
+        .observe("serve.phase.parse_us", t.elapsed().as_micros() as u64);
+
+    // Parameter bindings are validated even though emission uses the
+    // program's own defaults — a bad binding is a client error worth
+    // rejecting before burning compile time.
+    let bindings: Vec<(&str, i64)> = req.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    program
+        .bind_params(&bindings)
+        .map_err(|e| (ServeCode::CompileFailed, format!("bad params: {e}")))?;
+
+    // Phase: compile.
+    let t = Instant::now();
+    opts.budget.deadline_ms = remaining_ms(deadline)?;
+    let compiled = an_driver::compile_program(&program, &opts).map_err(driver_error)?;
+    inner
+        .metrics
+        .observe("serve.phase.compile_us", t.elapsed().as_micros() as u64);
+
+    // Phase: emit.
+    let t = Instant::now();
+    remaining_ms(deadline)?;
+    let mut artifacts = Vec::with_capacity(req.emit.len());
+    for &kind in &req.emit {
+        let text = match kind {
+            Emit::Ir => an_ir::pretty::print_program(&compiled.program),
+            Emit::Transform => compiled.normalized.transform.to_string(),
+            Emit::Transformed => an_ir::pretty::print_nest(&compiled.transformed.program),
+            Emit::Spmd => an_codegen::emit::emit_spmd(&compiled.spmd),
+            Emit::C => {
+                let defaults = compiled.program.default_param_values();
+                an_codegen::emit_c::emit_c(&compiled.transformed.program, &defaults, 42)
+            }
+            Emit::Ownership => an_codegen::ownership::emit_ownership(
+                &an_codegen::ownership::generate_ownership(&compiled.program),
+            ),
+        };
+        artifacts.push((kind, text));
+    }
+    inner
+        .metrics
+        .observe("serve.phase.emit_us", t.elapsed().as_micros() as u64);
+    Ok(artifacts)
+}
+
+fn driver_error(e: DriverError) -> (ServeCode, String) {
+    match e {
+        DriverError::Budget(b) => (ServeCode::BudgetExceeded, b.to_string()),
+        other => (ServeCode::CompileFailed, other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNEL: &str = "param N = 8;\n\
+        array A[N, N] distribute wrapped(0);\n\
+        for i = 0, N - 1 { for j = 0, N - 1 { A[i, j] = A[i, j] + 1; } }\n";
+
+    fn frame(id: u64, source: &str, extra: &str) -> String {
+        format!(
+            "{{\"id\":{id},\"verb\":\"compile\",\"source\":\"{}\"{extra}}}",
+            an_diag::escape_json(source)
+        )
+    }
+
+    fn tiny_server() -> Server {
+        Server::start(ServeConfig {
+            workers: 2,
+            queue_capacity: 8,
+            default_deadline_ms: Some(5_000),
+            ..ServeConfig::default()
+        })
+    }
+
+    const WAIT: Duration = Duration::from_secs(30);
+
+    #[test]
+    fn compiles_and_caches() {
+        let server = tiny_server();
+        let cold = server.request_sync(&frame(1, KERNEL, ""), WAIT);
+        assert!(cold.contains("\"ok\":true"), "{cold}");
+        assert!(cold.contains("\"cached\":false"), "{cold}");
+        assert!(cold.contains("\"spmd\":\""), "{cold}");
+        let warm = server.request_sync(&frame(2, KERNEL, ""), WAIT);
+        assert!(warm.contains("\"cached\":true"), "{warm}");
+        // Artifacts identical modulo the id / cached / timing fields.
+        let get = |s: &str| {
+            let v = crate::json::parse(s).unwrap();
+            v.get("artifacts")
+                .unwrap()
+                .get("spmd")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(get(&cold), get(&warm));
+        assert_eq!(server.metrics().counter("serve.cache.hit"), 1);
+        server.join();
+    }
+
+    #[test]
+    fn panic_is_contained_and_quarantined() {
+        let server = tiny_server();
+        let pill = frame(1, KERNEL, ",\"chaos\":\"panic\"");
+        let first = server.request_sync(&pill, WAIT);
+        assert!(first.contains("AN0705"), "{first}");
+        assert!(first.contains("chaos: injected panic"), "{first}");
+        let second = server.request_sync(&pill, WAIT);
+        assert!(second.contains("AN0706"), "{second}");
+        // The worker pool survived: a good request still compiles.
+        let good = server.request_sync(&frame(3, KERNEL, ""), WAIT);
+        assert!(good.contains("\"ok\":true"), "{good}");
+        let status = server.request_sync("{\"id\":4,\"verb\":\"status\"}", WAIT);
+        assert!(status.contains("\"quarantine\":[\""), "{status}");
+        assert!(status.contains("\"panics\":1"), "{status}");
+        server.join();
+    }
+
+    #[test]
+    fn compile_errors_are_an0703_and_not_cached() {
+        let server = tiny_server();
+        let bad = frame(1, "for i = 0, { garbage", "");
+        let r = server.request_sync(&bad, WAIT);
+        assert!(r.contains("AN0703"), "{r}");
+        let r2 = server.request_sync(&bad, WAIT);
+        assert!(r2.contains("AN0703"), "{r2}");
+        assert_eq!(server.metrics().counter("serve.cache.hit"), 0);
+        server.join();
+    }
+
+    #[test]
+    fn deadline_zero_is_budget_exceeded() {
+        let server = tiny_server();
+        let r = server.request_sync(
+            &frame(
+                1,
+                KERNEL,
+                ",\"options\":{\"deadline_ms\":0},\"chaos\":\"sleep:10\"",
+            ),
+            WAIT,
+        );
+        assert!(r.contains("AN0704") || r.contains("AN0709"), "{r}");
+        server.join();
+    }
+
+    #[test]
+    fn overload_sheds_with_retry_hint() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            default_deadline_ms: Some(10_000),
+            retry_after_ms: 25,
+            ..ServeConfig::default()
+        });
+        // Occupy the single worker with a sleeper, fill the queue with
+        // a second, then watch the third get shed.
+        let (tx, rx) = mpsc::channel();
+        server.submit(&frame(1, KERNEL, ",\"chaos\":\"sleep:400\""), &tx);
+        thread::sleep(Duration::from_millis(100)); // let the worker pick it up
+        server.submit(&frame(2, "param M = 2;", ",\"chaos\":\"sleep:100\""), &tx);
+        let shed = server.request_sync(&frame(3, "param Q = 3;", ""), WAIT);
+        assert!(shed.contains("AN0707"), "{shed}");
+        assert!(shed.contains("\"retry_after_ms\":25"), "{shed}");
+        assert_eq!(server.health_word(), "overloaded");
+        // Both admitted jobs still complete.
+        let a = rx.recv_timeout(WAIT).unwrap();
+        let b = rx.recv_timeout(WAIT).unwrap();
+        assert!(
+            a.contains("\"id\":1") || b.contains("\"id\":1"),
+            "{a} / {b}"
+        );
+        server.join();
+    }
+
+    #[test]
+    fn drain_refuses_new_work_and_finishes_old() {
+        let server = tiny_server();
+        let (tx, rx) = mpsc::channel();
+        server.submit(&frame(1, KERNEL, ",\"chaos\":\"sleep:150\""), &tx);
+        let outcome = server.submit("{\"id\":2,\"verb\":\"shutdown\"}", &tx);
+        assert_eq!(outcome, Submit::Shutdown);
+        let refused = server.request_sync(&frame(3, "param Z = 1;", ""), WAIT);
+        assert!(refused.contains("AN0708"), "{refused}");
+        server.join();
+        let mut got = Vec::new();
+        while let Ok(r) = rx.try_recv() {
+            got.push(r);
+        }
+        assert!(
+            got.iter()
+                .any(|r| r.contains("\"id\":1") && r.contains("\"ok\":true")),
+            "{got:?}"
+        );
+        assert!(
+            got.iter().any(|r| r.contains("\"draining\":true")),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn status_and_health_render_json() {
+        let server = tiny_server();
+        let health = server.request_sync("{\"id\":1,\"verb\":\"health\"}", WAIT);
+        assert!(health.contains("\"health\":\"ok\""), "{health}");
+        server.request_sync(&frame(2, KERNEL, ""), WAIT);
+        let status = server.request_sync("{\"id\":3,\"verb\":\"status\"}", WAIT);
+        let v = crate::json::parse(&status).expect(&status);
+        let s = v.get("status").unwrap();
+        assert_eq!(s.get("workers").unwrap().as_u64(), Some(2));
+        assert!(
+            s.get("phase_us").unwrap().get("compile").is_some(),
+            "{status}"
+        );
+        assert!(
+            s.get("cache").unwrap().get("hit_rate").is_some(),
+            "{status}"
+        );
+        server.join();
+    }
+}

@@ -1,0 +1,420 @@
+//! A minimal, defensive JSON reader for protocol frames.
+//!
+//! The workspace is dependency-free, so the daemon parses its own
+//! frames. The parser is written for adversarial input: it never
+//! panics, bounds recursion depth, rejects trailing garbage, and
+//! handles every escape form — exactly the properties the `serve-frame`
+//! fuzz archetype hammers on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth accepted before a frame is rejected. Protocol
+/// frames are nearly flat; 64 leaves generous headroom while keeping
+/// recursive descent stack-safe on adversarial input.
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`; use [`Json::as_i64`]/[`Json::as_u64`]
+    /// for integral access with range checks).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is normalized (sorted) so value equality is
+    /// structural.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member `key` of an object, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64`, if this is an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= -(2f64.powi(53)) && *n <= 2f64.powi(53) => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|v| u64::try_from(v).ok())
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    /// Serializes the value back to compact JSON (used to echo request
+    /// ids verbatim).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => write!(f, "\"{}\"", an_diag::escape_json(s)),
+            Json::Arr(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "\"{}\":{v}", an_diag::escape_json(k))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Parses one complete JSON value, rejecting trailing non-whitespace.
+///
+/// # Errors
+///
+/// A one-line description of the first syntax problem, with its byte
+/// offset.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected byte 0x{b:02x} at offset {}", self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("malformed number '{text}' at byte {start}"))?;
+        if !n.is_finite() {
+            return Err(format!("non-finite number at byte {start}"));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err("bad low surrogate".to_string());
+                                    }
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err("invalid \\u escape".to_string()),
+                            }
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte 0x{b:02x} in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar. The input is a &str, so
+                    // boundaries are already valid.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-utf8 string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "non-utf8 \\u escape".to_string())?;
+        let cp = u32::from_str_radix(text, 16).map_err(|_| "non-hex \\u escape".to_string())?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_frame() {
+        let v =
+            parse(r#"{"id": 3, "verb": "compile", "source": "x", "deep": [1, 2.5, true, null]}"#)
+                .unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("verb").unwrap().as_str(), Some("compile"));
+        assert_eq!(v.get("deep").unwrap().as_arr().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = parse(r#"{"s": "a\"b\\c\nd\u0041\uD83D\uDE00"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\ndA😀"));
+        let text = v.to_string();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage_without_panicking() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "[1,",
+            "tru",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "nan",
+            "1e999",
+            "{\"a\":\"\\u12\"}",
+            "{\"a\":\"\\uD800\"}",
+            "\u{1}",
+            "--1",
+            "{1: 2}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(parse(&deep).unwrap_err().contains("nesting"));
+    }
+
+    #[test]
+    fn integral_accessors_check_range() {
+        assert_eq!(parse("2.5").unwrap().as_i64(), None);
+        assert_eq!(parse("-3").unwrap().as_i64(), Some(-3));
+        assert_eq!(parse("-3").unwrap().as_u64(), None);
+        assert_eq!(parse("1e20").unwrap().as_u64(), None);
+    }
+}

@@ -1,0 +1,301 @@
+//! `an-serve` — a fault-isolated, self-healing compile-as-a-service
+//! daemon for the access-normalization pipeline.
+//!
+//! A compiler that dies on its worst input is a library; one that
+//! *contains* its worst input is a service. This crate wraps the
+//! `an-driver` pipeline in a long-lived daemon with the failure
+//! discipline production front-ends need:
+//!
+//! - **JSON-lines protocol** ([`proto`]): one request per line over a
+//!   Unix socket ([`serve_unix`]) or stdin/stdout ([`serve_lines`]);
+//!   verbs `compile`, `status`, `health`, `ping`, `shutdown`.
+//! - **Fault cells** ([`core`]): every compile runs under
+//!   `catch_unwind` with a full [`an_driver::CompileBudget`]; a panic
+//!   or budget blow-up produces a structured `AN07xx` error
+//!   ([`ServeCode`]) and never takes the worker down.
+//! - **Poison-pill quarantine**: the content hash of a request that
+//!   panicked is remembered; repeats fast-fail with `AN0706` instead
+//!   of burning another fault cell.
+//! - **Admission control**: a bounded queue; when full, requests are
+//!   shed with `AN0707` and a `retry_after_ms` hint. Health degrades
+//!   to `overloaded`, never to unbounded memory.
+//! - **Commit-on-success cache**: artifacts are cached by content hash
+//!   only after a fully successful compile, so transient failures
+//!   (deadlines, panics) can never poison future responses.
+//! - **Graceful drain**: the `shutdown` verb (or transport EOF) stops
+//!   admission, finishes every admitted job, then exits. The classic
+//!   SIGTERM hook is deliberately absent — signal handlers need
+//!   `unsafe`/libc and this workspace forbids both — so orchestrators
+//!   send `shutdown` (or close stdin) instead.
+//!
+//! Observability rides on [`an_obs`]: request/fault counters, cache
+//!   hit rates and per-phase latency histograms, all exposed through
+//!   the `status` verb.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod diag;
+pub mod fuzz;
+pub mod json;
+pub mod proto;
+
+pub use crate::core::{ServeConfig, Server, Submit};
+pub use diag::ServeCode;
+
+use std::io::{self, BufRead, Write};
+use std::sync::mpsc;
+use std::thread;
+
+/// Runs the daemon over an arbitrary line transport: frames read from
+/// `reader`, responses written (in completion order, correlated by id)
+/// to `writer`. Returns after a `shutdown` frame or EOF, once every
+/// admitted job has been answered and flushed.
+///
+/// # Errors
+///
+/// Propagates read errors from `reader` and write errors from the
+/// response writer thread.
+pub fn serve_lines<R: BufRead, W: Write + Send>(
+    server: &Server,
+    reader: R,
+    mut writer: W,
+) -> io::Result<()> {
+    let (tx, rx) = mpsc::channel::<String>();
+    thread::scope(|scope| {
+        let writer_thread = scope.spawn(move || -> io::Result<()> {
+            for line in rx {
+                writeln!(writer, "{line}")?;
+                writer.flush()?;
+            }
+            Ok(())
+        });
+        let mut read_error = None;
+        for line in reader.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if server.submit(&line, &tx) == Submit::Shutdown {
+                break;
+            }
+        }
+        // Drain before dropping the sender: every admitted job sends
+        // its response through a clone of `tx`, and drain() blocks
+        // until they all have.
+        server.drain();
+        drop(tx);
+        let write_result = writer_thread.join().expect("serve writer thread");
+        match read_error {
+            Some(e) => Err(e),
+            None => write_result,
+        }
+    })
+}
+
+/// Unix-domain-socket transport.
+#[cfg(unix)]
+pub mod unix {
+    use super::*;
+    use std::io::BufReader;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::Path;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    /// Binds `path` and serves connections until any client sends
+    /// `shutdown`. Each connection gets its own reader thread; all of
+    /// them share the one [`Server`] (and therefore its queue, cache
+    /// and quarantine). The socket file is removed on exit.
+    ///
+    /// # Errors
+    ///
+    /// Bind/accept errors. Per-connection I/O errors only terminate
+    /// that connection.
+    pub fn serve_unix(server: &Server, path: &Path) -> io::Result<()> {
+        let listener = UnixListener::bind(path)?;
+        let shutdown = AtomicBool::new(false);
+        thread::scope(|scope| -> io::Result<()> {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                let shutdown = &shutdown;
+                scope.spawn(move || {
+                    if handle_connection(server, stream, shutdown) == Submit::Shutdown {
+                        shutdown.store(true, Ordering::SeqCst);
+                        server.drain();
+                        // Unblock the accept loop so the scope can end.
+                        let _ = UnixStream::connect(path);
+                    }
+                });
+            }
+            Ok(())
+        })?;
+        server.drain();
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+
+    /// Reads frames from one connection until EOF, error, or global
+    /// shutdown. Returns [`Submit::Shutdown`] when this connection
+    /// requested the drain.
+    fn handle_connection(server: &Server, stream: UnixStream, shutdown: &AtomicBool) -> Submit {
+        // A finite read timeout lets the reader notice a shutdown
+        // requested by a *different* connection instead of blocking in
+        // read() forever (signal-free cooperative wakeup).
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return Submit::Handled,
+        };
+        let mut reader = BufReader::new(stream);
+        let (tx, rx) = mpsc::channel::<String>();
+        let outcome = thread::scope(|scope| {
+            let writer_thread = scope.spawn(move || {
+                let mut w = write_half;
+                for line in rx {
+                    if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
+                        break;
+                    }
+                }
+            });
+            let mut outcome = Submit::Handled;
+            let mut buf = String::new();
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match reader.read_line(&mut buf) {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        let line = std::mem::take(&mut buf);
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        if server.submit(&line, &tx) == Submit::Shutdown {
+                            outcome = Submit::Shutdown;
+                            break;
+                        }
+                    }
+                    // Timeout: partial bytes stay appended to `buf`;
+                    // loop to re-check the shutdown flag and continue
+                    // the same line.
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+            drop(tx);
+            let _ = writer_thread.join();
+            outcome
+        });
+        outcome
+    }
+}
+
+#[cfg(unix)]
+pub use unix::serve_unix;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const KERNEL: &str = "param N = 6;\n\
+        array A[N, N] distribute wrapped(0);\n\
+        for i = 0, N - 1 { for j = 0, N - 1 { A[i, j] = A[i, j] + 1; } }\n";
+
+    #[test]
+    fn serve_lines_round_trips_and_drains() {
+        let input = format!(
+            "{{\"id\":1,\"verb\":\"compile\",\"source\":\"{}\"}}\n\
+             not even json\n\
+             {{\"id\":2,\"verb\":\"ping\"}}\n\
+             {{\"id\":3,\"verb\":\"shutdown\"}}\n\
+             {{\"id\":4,\"verb\":\"ping\"}}\n",
+            an_diag::escape_json(KERNEL)
+        );
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let mut out: Vec<u8> = Vec::new();
+        serve_lines(&server, input.as_bytes(), &mut out).unwrap();
+        server.join();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Frame 4 sits after shutdown and must never be answered.
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(
+            lines.iter().all(|l| crate::json::parse(l).is_ok()),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"id\":1") && text.contains("\"spmd\""),
+            "{text}"
+        );
+        assert!(text.contains("AN0701"), "{text}");
+        assert!(text.contains("\"pong\":true"), "{text}");
+        assert!(text.contains("\"draining\":true"), "{text}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_smoke() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixStream;
+
+        let path = std::env::temp_dir().join(format!("an-serve-test-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let result = thread::scope(|scope| {
+            let srv = &server;
+            let p = path.clone();
+            let listener = scope.spawn(move || serve_unix(srv, &p));
+            // Wait for the socket to exist, then talk to it.
+            let mut tries = 0;
+            let mut stream = loop {
+                match UnixStream::connect(&path) {
+                    Ok(s) => break s,
+                    Err(_) if tries < 100 => {
+                        tries += 1;
+                        thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => panic!("connect: {e}"),
+                }
+            };
+            writeln!(stream, "{{\"id\":1,\"verb\":\"ping\"}}").unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("\"pong\":true"), "{line}");
+            writeln!(stream, "{{\"id\":2,\"verb\":\"shutdown\"}}").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("\"draining\":true"), "{line}");
+            listener.join().expect("listener thread")
+        });
+        result.unwrap();
+        server.join();
+        assert!(!path.exists(), "socket file not cleaned up");
+    }
+}

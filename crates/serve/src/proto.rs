@@ -1,0 +1,688 @@
+//! The JSON-lines wire protocol: one request object per line in, one
+//! response object per line out.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"id": 1, "verb": "compile", "source": "...", "emit": ["spmd"],
+//!  "params": {"N": 32}, "options": {"verify": true, "deadline_ms": 500}}
+//! {"id": 2, "verb": "status"}
+//! {"id": 3, "verb": "health"}
+//! {"id": 4, "verb": "ping"}
+//! {"id": 5, "verb": "shutdown"}
+//! ```
+//!
+//! Responses either succeed (`"ok": true` plus verb-specific payload)
+//! or fail with a structured [`ServeCode`] error:
+//!
+//! ```json
+//! {"id": 1, "ok": true, "cached": false, "compile_us": 812,
+//!  "artifacts": {"spmd": "..."}}
+//! {"id": 1, "ok": false,
+//!  "error": {"code": "AN0704", "severity": "error", "message": "..."}}
+//! ```
+//!
+//! The `id` is echoed verbatim (number, string or null) so clients can
+//! pipeline requests over one connection. Parsing is total: every
+//! malformed frame maps to an error response, never a panic or a
+//! dropped connection.
+
+use crate::diag::ServeCode;
+use crate::json::{self, Json};
+use an_diag::DiagCode;
+use an_driver::{CompileBudget, CompileOptions};
+
+/// Default per-frame size limit (bytes). A frame is rejected with
+/// `AN0702` before parsing when it exceeds the configured limit.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// What the client wants the daemon to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verb {
+    /// Compile a source program and return requested artifacts.
+    Compile(CompileRequest),
+    /// Report queue depth, cache statistics, fault counters, latency
+    /// quantiles and quarantine contents.
+    Status,
+    /// One-word liveness summary: `ok`, `overloaded` or `draining`.
+    Health,
+    /// No-op round-trip.
+    Ping,
+    /// Stop admitting work, finish what is queued, then exit the serve
+    /// loop.
+    Shutdown,
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Json,
+    /// The requested operation.
+    pub verb: Verb,
+}
+
+/// Artifact kinds a compile request may ask for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Emit {
+    /// Pretty-printed input program.
+    Ir,
+    /// The invertible transformation matrix.
+    Transform,
+    /// Pretty-printed restructured nest.
+    Transformed,
+    /// SPMD node program.
+    Spmd,
+    /// Standalone C translation.
+    C,
+    /// Ownership-rule node program.
+    Ownership,
+}
+
+impl Emit {
+    /// Wire name of this artifact kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Emit::Ir => "ir",
+            Emit::Transform => "transform",
+            Emit::Transformed => "transformed",
+            Emit::Spmd => "spmd",
+            Emit::C => "c",
+            Emit::Ownership => "ownership",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Emit> {
+        match s {
+            "ir" => Some(Emit::Ir),
+            "transform" => Some(Emit::Transform),
+            "transformed" => Some(Emit::Transformed),
+            "spmd" => Some(Emit::Spmd),
+            "c" => Some(Emit::C),
+            "ownership" => Some(Emit::Ownership),
+            _ => None,
+        }
+    }
+}
+
+/// Fault injection for chaos testing: the daemon must survive these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chaos {
+    /// Panic inside the fault cell after parsing (a poison pill).
+    Panic,
+    /// Sleep this many milliseconds inside the fault cell (a slow
+    /// request for overload/deadline tests).
+    SleepMs(u64),
+}
+
+/// One compile job as requested on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileRequest {
+    /// The source program text.
+    pub source: String,
+    /// Parameter bindings to validate against the program's `param`
+    /// declarations.
+    pub params: Vec<(String, i64)>,
+    /// Requested artifacts, deduplicated and sorted. Defaults to
+    /// `[spmd]`.
+    pub emit: Vec<Emit>,
+    /// Identity transform (the paper's naive baseline).
+    pub naive: bool,
+    /// Disable block-transfer insertion.
+    pub no_transfers: bool,
+    /// Run the independent soundness verifier.
+    pub verify: bool,
+    /// Reject messy nests instead of pre-normalizing them.
+    pub no_prenormalize: bool,
+    /// Per-request deadline override (milliseconds). `None` uses the
+    /// daemon default.
+    pub deadline_ms: Option<u64>,
+    /// Budget override: Fourier–Motzkin constraint ceiling.
+    pub max_fm_constraints: Option<usize>,
+    /// Budget override: loop-depth ceiling.
+    pub max_depth: Option<usize>,
+    /// Budget override: search-candidate ceiling.
+    pub max_candidates: Option<usize>,
+    /// Fault injection, for chaos tests.
+    pub chaos: Option<Chaos>,
+}
+
+impl CompileRequest {
+    /// The driver options this request maps to, with `deadline_ms`
+    /// already resolved against the daemon default.
+    pub fn to_options(&self, default_deadline_ms: Option<u64>) -> CompileOptions {
+        let defaults = CompileBudget::default();
+        CompileOptions {
+            skip_transform: self.naive,
+            verify: self.verify,
+            skip_prenormalize: self.no_prenormalize,
+            spmd: an_codegen::SpmdOptions {
+                block_transfers: !self.no_transfers,
+            },
+            budget: CompileBudget {
+                max_fm_constraints: self
+                    .max_fm_constraints
+                    .unwrap_or(defaults.max_fm_constraints),
+                max_loop_depth: self.max_depth.unwrap_or(defaults.max_loop_depth),
+                max_search_candidates: self
+                    .max_candidates
+                    .unwrap_or(defaults.max_search_candidates),
+                deadline_ms: self.deadline_ms.or(default_deadline_ms),
+            },
+            ..CompileOptions::default()
+        }
+    }
+
+    /// A stable content hash over everything that determines the
+    /// compiled artifacts: source, options and emit set — but *not* the
+    /// deadline, so a request that timed out once is not cached-denied
+    /// forever. Used as both the cache key and the quarantine key.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(self.source.as_bytes());
+        for (k, v) in &self.params {
+            h.write(k.as_bytes());
+            h.write(&v.to_le_bytes());
+        }
+        for e in &self.emit {
+            h.write(e.as_str().as_bytes());
+        }
+        h.write(&[
+            u8::from(self.naive),
+            u8::from(self.no_transfers),
+            u8::from(self.verify),
+            u8::from(self.no_prenormalize),
+        ]);
+        h.write(&(self.max_fm_constraints.unwrap_or(0) as u64).to_le_bytes());
+        h.write(&(self.max_depth.unwrap_or(0) as u64).to_le_bytes());
+        h.write(&(self.max_candidates.unwrap_or(0) as u64).to_le_bytes());
+        match self.chaos {
+            None => h.write(b"-"),
+            Some(Chaos::Panic) => h.write(b"P"),
+            Some(Chaos::SleepMs(ms)) => {
+                h.write(b"S");
+                h.write(&ms.to_le_bytes());
+            }
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, the classic dependency-free content hash.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A protocol-level rejection: which code, why, and the best-effort
+/// request id to echo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameError {
+    /// The `AN07xx` code.
+    pub code: ServeCode,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Echoed id (null when the frame was too broken to extract one).
+    pub id: Json,
+}
+
+impl FrameError {
+    fn new(code: ServeCode, id: Json, message: impl Into<String>) -> FrameError {
+        FrameError {
+            code,
+            message: message.into(),
+            id,
+        }
+    }
+}
+
+fn field_u64(obj: &Json, key: &str, id: &Json) -> Result<Option<u64>, FrameError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            FrameError::new(
+                ServeCode::Malformed,
+                id.clone(),
+                format!("field '{key}' must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn field_bool(obj: &Json, key: &str, id: &Json) -> Result<bool, FrameError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(v) => v.as_bool().ok_or_else(|| {
+            FrameError::new(
+                ServeCode::Malformed,
+                id.clone(),
+                format!("field '{key}' must be a boolean"),
+            )
+        }),
+    }
+}
+
+/// Parses one frame into a [`Request`].
+///
+/// # Errors
+///
+/// A [`FrameError`] carrying `AN0702` when the frame exceeds
+/// `max_frame_bytes`, or `AN0701` for any other defect. The error
+/// carries whatever `id` could be recovered from the frame.
+pub fn parse_request(line: &str, max_frame_bytes: usize) -> Result<Request, FrameError> {
+    if line.len() > max_frame_bytes {
+        return Err(FrameError::new(
+            ServeCode::FrameTooLarge,
+            Json::Null,
+            format!("frame is {} bytes; limit is {max_frame_bytes}", line.len()),
+        ));
+    }
+    let root = json::parse(line)
+        .map_err(|e| FrameError::new(ServeCode::Malformed, Json::Null, format!("bad JSON: {e}")))?;
+    let id = root.get("id").cloned().unwrap_or(Json::Null);
+    match &id {
+        Json::Null | Json::Num(_) | Json::Str(_) => {}
+        _ => {
+            return Err(FrameError::new(
+                ServeCode::Malformed,
+                Json::Null,
+                "field 'id' must be a number, string or null",
+            ))
+        }
+    }
+    if root.as_obj().is_none() {
+        return Err(FrameError::new(
+            ServeCode::Malformed,
+            id,
+            "frame must be a JSON object",
+        ));
+    }
+    let verb = match root.get("verb").and_then(Json::as_str) {
+        Some(v) => v,
+        None => {
+            return Err(FrameError::new(
+                ServeCode::Malformed,
+                id,
+                "missing string field 'verb'",
+            ))
+        }
+    };
+    let verb = match verb {
+        "status" => Verb::Status,
+        "health" => Verb::Health,
+        "ping" => Verb::Ping,
+        "shutdown" => Verb::Shutdown,
+        "compile" => Verb::Compile(parse_compile(&root, &id)?),
+        other => {
+            return Err(FrameError::new(
+                ServeCode::Malformed,
+                id,
+                format!("unknown verb '{other}' (expected compile|status|health|ping|shutdown)"),
+            ))
+        }
+    };
+    Ok(Request { id, verb })
+}
+
+fn parse_compile(root: &Json, id: &Json) -> Result<CompileRequest, FrameError> {
+    let source = match root.get("source").and_then(Json::as_str) {
+        Some(s) => s.to_string(),
+        None => {
+            return Err(FrameError::new(
+                ServeCode::Malformed,
+                id.clone(),
+                "compile requires a string field 'source'",
+            ))
+        }
+    };
+
+    let mut params = Vec::new();
+    match root.get("params") {
+        None | Some(Json::Null) => {}
+        Some(Json::Obj(m)) => {
+            for (k, v) in m {
+                let v = v.as_i64().ok_or_else(|| {
+                    FrameError::new(
+                        ServeCode::Malformed,
+                        id.clone(),
+                        format!("param '{k}' must be an integer"),
+                    )
+                })?;
+                params.push((k.clone(), v));
+            }
+        }
+        Some(_) => {
+            return Err(FrameError::new(
+                ServeCode::Malformed,
+                id.clone(),
+                "field 'params' must be an object of integers",
+            ))
+        }
+    }
+
+    let mut emit = Vec::new();
+    match root.get("emit") {
+        None | Some(Json::Null) => emit.push(Emit::Spmd),
+        Some(Json::Arr(items)) => {
+            for item in items {
+                let name = item.as_str().ok_or_else(|| {
+                    FrameError::new(
+                        ServeCode::Malformed,
+                        id.clone(),
+                        "field 'emit' must be an array of strings",
+                    )
+                })?;
+                let kind = Emit::from_str(name).ok_or_else(|| {
+                    FrameError::new(
+                        ServeCode::Malformed,
+                        id.clone(),
+                        format!(
+                            "unknown emit kind '{name}' (expected ir|transform|transformed|spmd|c|ownership)"
+                        ),
+                    )
+                })?;
+                emit.push(kind);
+            }
+            emit.sort_unstable();
+            emit.dedup();
+            if emit.is_empty() {
+                emit.push(Emit::Spmd);
+            }
+        }
+        Some(_) => {
+            return Err(FrameError::new(
+                ServeCode::Malformed,
+                id.clone(),
+                "field 'emit' must be an array of strings",
+            ))
+        }
+    }
+
+    let default_obj = Json::Obj(Default::default());
+    let options = match root.get("options") {
+        None | Some(Json::Null) => &default_obj,
+        Some(o @ Json::Obj(_)) => o,
+        Some(_) => {
+            return Err(FrameError::new(
+                ServeCode::Malformed,
+                id.clone(),
+                "field 'options' must be an object",
+            ))
+        }
+    };
+    let known = [
+        "naive",
+        "no_transfers",
+        "verify",
+        "no_prenormalize",
+        "deadline_ms",
+        "max_fm_constraints",
+        "max_depth",
+        "max_candidates",
+    ];
+    if let Some(m) = options.as_obj() {
+        for k in m.keys() {
+            if !known.contains(&k.as_str()) {
+                return Err(FrameError::new(
+                    ServeCode::Malformed,
+                    id.clone(),
+                    format!("unknown option '{k}'"),
+                ));
+            }
+        }
+    }
+
+    let chaos = match root.get("chaos") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) if s == "panic" => Some(Chaos::Panic),
+        Some(Json::Str(s)) if s.starts_with("sleep:") => {
+            let ms = s["sleep:".len()..].parse::<u64>().map_err(|_| {
+                FrameError::new(
+                    ServeCode::Malformed,
+                    id.clone(),
+                    "chaos 'sleep:<ms>' needs an integer millisecond count",
+                )
+            })?;
+            Some(Chaos::SleepMs(ms))
+        }
+        Some(_) => {
+            return Err(FrameError::new(
+                ServeCode::Malformed,
+                id.clone(),
+                "field 'chaos' must be \"panic\" or \"sleep:<ms>\"",
+            ))
+        }
+    };
+
+    Ok(CompileRequest {
+        source,
+        params,
+        emit,
+        naive: field_bool(options, "naive", id)?,
+        no_transfers: field_bool(options, "no_transfers", id)?,
+        verify: field_bool(options, "verify", id)?,
+        no_prenormalize: field_bool(options, "no_prenormalize", id)?,
+        deadline_ms: field_u64(options, "deadline_ms", id)?,
+        max_fm_constraints: field_u64(options, "max_fm_constraints", id)?.map(|v| v as usize),
+        max_depth: field_u64(options, "max_depth", id)?.map(|v| v as usize),
+        max_candidates: field_u64(options, "max_candidates", id)?.map(|v| v as usize),
+        chaos,
+    })
+}
+
+/// Renders a success response for a compile: the artifacts object plus
+/// timing and cache provenance.
+pub fn render_compile_ok(
+    id: &Json,
+    cached: bool,
+    artifacts: &[(Emit, String)],
+    compile_us: u64,
+) -> String {
+    let mut out = format!("{{\"id\":{id},\"ok\":true,\"cached\":{cached}");
+    out.push_str(&format!(",\"compile_us\":{compile_us}"));
+    out.push_str(",\"artifacts\":{");
+    for (i, (kind, text)) in artifacts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":\"{}\"",
+            kind.as_str(),
+            an_diag::escape_json(text)
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders a generic success response with a pre-rendered JSON payload
+/// (used by `status`, `health`, `ping` and `shutdown`).
+pub fn render_ok_payload(id: &Json, extra: &str) -> String {
+    if extra.is_empty() {
+        format!("{{\"id\":{id},\"ok\":true}}")
+    } else {
+        format!("{{\"id\":{id},\"ok\":true,{extra}}}")
+    }
+}
+
+/// Renders an error response for `code`, optionally with a
+/// `retry_after_ms` back-off hint.
+pub fn render_error(
+    id: &Json,
+    code: ServeCode,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let mut out = format!(
+        "{{\"id\":{id},\"ok\":false,\"error\":{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
+        code.as_str(),
+        code.default_severity().as_str(),
+        an_diag::escape_json(message)
+    );
+    if let Some(ms) = retry_after_ms {
+        out.push_str(&format!(",\"retry_after_ms\":{ms}"));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_compile() {
+        let r = parse_request(
+            r#"{"id": 7, "verb": "compile", "source": "param N = 4;"}"#,
+            DEFAULT_MAX_FRAME_BYTES,
+        )
+        .unwrap();
+        assert_eq!(r.id, Json::Num(7.0));
+        match r.verb {
+            Verb::Compile(c) => {
+                assert_eq!(c.source, "param N = 4;");
+                assert_eq!(c.emit, vec![Emit::Spmd]);
+                assert!(!c.verify);
+                assert_eq!(c.deadline_ms, None);
+            }
+            other => panic!("wrong verb: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_full_compile() {
+        let r = parse_request(
+            r#"{"id": "req-1", "verb": "compile", "source": "x",
+                "params": {"N": 32, "M": 8},
+                "emit": ["c", "spmd", "spmd", "ir"],
+                "options": {"verify": true, "naive": true, "deadline_ms": 250,
+                            "max_depth": 4},
+                "chaos": "sleep:15"}"#,
+            DEFAULT_MAX_FRAME_BYTES,
+        )
+        .unwrap();
+        match r.verb {
+            Verb::Compile(c) => {
+                assert_eq!(c.params, vec![("M".into(), 8), ("N".into(), 32)]);
+                assert_eq!(c.emit, vec![Emit::Ir, Emit::Spmd, Emit::C]);
+                assert!(c.verify && c.naive);
+                assert_eq!(c.deadline_ms, Some(250));
+                assert_eq!(c.max_depth, Some(4));
+                assert_eq!(c.chaos, Some(Chaos::SleepMs(15)));
+                let opts = c.to_options(Some(10_000));
+                assert!(opts.verify && opts.skip_transform);
+                assert_eq!(opts.budget.deadline_ms, Some(250));
+                assert_eq!(opts.budget.max_loop_depth, 4);
+            }
+            other => panic!("wrong verb: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_frames_with_an0701() {
+        let cases = [
+            ("not json", "bad JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"verb": "transmogrify"}"#, "unknown verb"),
+            (r#"{"verb": "compile"}"#, "requires a string field 'source'"),
+            (r#"{"verb": "compile", "source": 5}"#, "'source'"),
+            (
+                r#"{"verb": "compile", "source": "x", "emit": ["bogus"]}"#,
+                "unknown emit kind 'bogus'",
+            ),
+            (
+                r#"{"verb": "compile", "source": "x", "params": {"N": "big"}}"#,
+                "must be an integer",
+            ),
+            (
+                r#"{"verb": "compile", "source": "x", "options": {"max_depth": -1}}"#,
+                "non-negative",
+            ),
+            (
+                r#"{"verb": "compile", "source": "x", "options": {"turbo": true}}"#,
+                "unknown option 'turbo'",
+            ),
+            (
+                r#"{"verb": "compile", "source": "x", "chaos": "explode"}"#,
+                "chaos",
+            ),
+            (r#"{"id": [1], "verb": "ping"}"#, "'id'"),
+        ];
+        for (frame, needle) in cases {
+            let err = parse_request(frame, DEFAULT_MAX_FRAME_BYTES).unwrap_err();
+            assert_eq!(err.code, ServeCode::Malformed, "{frame}");
+            assert!(
+                err.message.contains(needle),
+                "{frame}: {} !~ {needle}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_an0702() {
+        let frame = format!(r#"{{"verb": "compile", "source": "{}"}}"#, "x".repeat(200));
+        let err = parse_request(&frame, 64).unwrap_err();
+        assert_eq!(err.code, ServeCode::FrameTooLarge);
+    }
+
+    #[test]
+    fn error_frames_recover_the_id() {
+        let err =
+            parse_request(r#"{"id": 42, "verb": "compile"}"#, DEFAULT_MAX_FRAME_BYTES).unwrap_err();
+        assert_eq!(err.id, Json::Num(42.0));
+        let rendered = render_error(&err.id, err.code, &err.message, None);
+        assert!(rendered.starts_with(r#"{"id":42,"ok":false"#), "{rendered}");
+    }
+
+    #[test]
+    fn content_hash_ignores_deadline_but_not_options() {
+        let base = CompileRequest {
+            source: "param N = 4;".into(),
+            params: vec![],
+            emit: vec![Emit::Spmd],
+            naive: false,
+            no_transfers: false,
+            verify: false,
+            no_prenormalize: false,
+            deadline_ms: None,
+            max_fm_constraints: None,
+            max_depth: None,
+            max_candidates: None,
+            chaos: None,
+        };
+        let mut timed = base.clone();
+        timed.deadline_ms = Some(5);
+        assert_eq!(base.content_hash(), timed.content_hash());
+        let mut naive = base.clone();
+        naive.naive = true;
+        assert_ne!(base.content_hash(), naive.content_hash());
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let ok = render_compile_ok(
+            &Json::Str("a\nb".into()),
+            true,
+            &[(Emit::Spmd, "line1\nline2".into())],
+            12,
+        );
+        assert!(!ok.contains('\n'), "{ok}");
+        assert!(crate::json::parse(&ok).is_ok(), "{ok}");
+        let err = render_error(&Json::Null, ServeCode::Overloaded, "full", Some(25));
+        assert!(err.contains("\"retry_after_ms\":25"), "{err}");
+        assert!(crate::json::parse(&err).is_ok(), "{err}");
+    }
+}

@@ -159,7 +159,21 @@ struct Args {
     no_prenormalize: bool,
     trace: Option<TraceDest>,
     trace_format: String,
+    budget: access_normalization::CompileBudget,
 }
+
+/// The `--emit` values the main driver understands.
+const EMIT_KINDS: [&str; 9] = [
+    "all",
+    "ir",
+    "matrix",
+    "transform",
+    "transformed",
+    "spmd",
+    "deps",
+    "c",
+    "ownership",
+];
 
 fn usage() -> ! {
     eprintln!(
@@ -167,7 +181,9 @@ fn usage() -> ! {
          \x20          [--simulate P1,P2,..] [--machine gp1000|ipsc]\n\
          \x20          [--param NAME=V]... [--strides] [--jobs N] [--verify]\n\
          \x20          [--no-prenormalize] [--trace[=FILE]]\n\
-         \x20          [--trace-format tree|jsonl|chrome] <file.an | ->\n\
+         \x20          [--trace-format tree|jsonl|chrome]\n\
+         \x20          [--deadline-ms N] [--max-fm-constraints N] [--max-depth N]\n\
+         \x20          [--max-candidates N] <file.an | ->\n\
          \x20      anc lint [--json] [--fix] [--deny-warnings] <file.an | ->...\n\
          \x20      anc profile [--procs N] [--machine gp1000|ipsc] [--param NAME=V]...\n\
          \x20          [--jobs N] [--json] [--wall] [--top N] [--out FILE] <file.an | ->\n\
@@ -179,7 +195,9 @@ fn usage() -> ! {
          \x20      anc chaos [--seed N] [--scenario S|all] [--procs LIST]\n\
          \x20          [--machine gp1000|ipsc] [--param NAME=V]... [--jobs N]\n\
          \x20          [--naive] [--json] [--trace[=FILE]] [--trace-format F] <file.an | ->\n\
-         \x20      anc fuzz [--seed N] [--iters N]"
+         \x20      anc fuzz [--seed N] [--iters N]\n\
+         \x20      anc serve [--stdio | --socket PATH] [--workers N] [--queue N]\n\
+         \x20          [--deadline-ms N] [--max-frame-bytes N] [--retry-after-ms N]"
     );
     std::process::exit(2);
 }
@@ -250,7 +268,8 @@ fn write_trace(
             Ok(())
         }
         Some(path) => {
-            std::fs::write(path, rendered).map_err(|e| format!("anc: cannot write {path}: {e}"))?;
+            access_normalization::obs::write_atomic(std::path::Path::new(path), &rendered)
+                .map_err(|e| format!("anc: cannot write {path}: {e}"))?;
             eprintln!("wrote trace to {path}");
             Ok(())
         }
@@ -284,11 +303,21 @@ fn parse_args() -> Args {
         no_prenormalize: false,
         trace: None,
         trace_format: "tree".to_string(),
+        budget: Default::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--emit" => args.emit = it.next().unwrap_or_else(|| usage()),
+            "--emit" => {
+                let what = it.next().unwrap_or_else(|| usage());
+                if !EMIT_KINDS.contains(&what.as_str()) {
+                    fail_usage(&format!(
+                        "anc: unknown --emit '{what}' (expected one of {})",
+                        EMIT_KINDS.join(", ")
+                    ));
+                }
+                args.emit = what;
+            }
             "--naive" => args.naive = true,
             "--no-transfers" => args.transfers = false,
             "--ordering" => {
@@ -332,6 +361,31 @@ fn parse_args() -> Args {
             "--trace-format" => {
                 let f = it.next().unwrap_or_else(|| usage());
                 args.trace_format = parse_trace_format(&f);
+            }
+            "--deadline-ms" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                args.budget.deadline_ms = Some(
+                    n.parse()
+                        .unwrap_or_else(|_| fail_usage(&format!("anc: bad --deadline-ms '{n}'"))),
+                );
+            }
+            "--max-fm-constraints" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                args.budget.max_fm_constraints = n.parse().unwrap_or_else(|_| {
+                    fail_usage(&format!("anc: bad --max-fm-constraints '{n}'"))
+                });
+            }
+            "--max-depth" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                args.budget.max_loop_depth = n
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage(&format!("anc: bad --max-depth '{n}'")));
+            }
+            "--max-candidates" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                args.budget.max_search_candidates = n
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage(&format!("anc: bad --max-candidates '{n}'")));
             }
             "--help" | "-h" => usage(),
             other => {
@@ -576,7 +630,10 @@ fn run_sweep(argv: &[String]) -> ExitCode {
     } else {
         print!("{table}");
         if let Some(path) = json {
-            if let Err(e) = std::fs::write(&path, report.to_json()) {
+            if let Err(e) = access_normalization::obs::write_atomic(
+                std::path::Path::new(&path),
+                &report.to_json(),
+            ) {
                 eprintln!("anc: cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
@@ -624,6 +681,12 @@ fn run_check(argv: &[String]) -> ExitCode {
                 mutate = Some(Mutation::parse(kind).unwrap_or_else(|| usage()));
             }
             "--help" | "-h" => usage(),
+            // An unrecognized option is a usage error, not a file name:
+            // "cannot read --bogus" misdiagnoses a typo as a missing
+            // input.
+            other if other.starts_with("--") => {
+                fail_usage(&format!("anc check: unknown option '{other}'"))
+            }
             _ => inputs.push(a.clone()),
         }
     }
@@ -771,7 +834,9 @@ fn run_lint(argv: &[String]) -> ExitCode {
             failed = true;
         } else if fix && normalized.changed {
             let fixed = access_normalization::lang::print::print_program(&normalized.ast);
-            if let Err(e) = std::fs::write(input, fixed) {
+            if let Err(e) =
+                access_normalization::obs::write_atomic(std::path::Path::new(input), &fixed)
+            {
                 fail_usage(&format!("anc lint: cannot rewrite {input}: {e}"));
             }
             eprintln!("anc: rewrote {input}");
@@ -1254,7 +1319,9 @@ fn run_profile(argv: &[String]) -> ExitCode {
             }
         }
     }
-    if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
+    if let Err(e) =
+        access_normalization::obs::write_atomic(std::path::Path::new(&path), &format!("{report}\n"))
+    {
         eprintln!("anc: cannot write {path}: {e}");
         return ExitCode::FAILURE;
     }
@@ -1311,6 +1378,98 @@ fn run_fuzz(argv: &[String]) -> ExitCode {
     }
 }
 
+/// `anc serve` — boot the fault-isolated compile daemon on stdio or a
+/// Unix socket. Exits 0 after a clean drain (shutdown verb or stdin
+/// EOF), 2 on usage errors, 1 on transport failures.
+fn run_serve(argv: &[String]) -> ExitCode {
+    use access_normalization::serve::{serve_lines, ServeConfig, Server};
+
+    let mut config = ServeConfig::default();
+    let mut socket: Option<String> = None;
+    let mut stdio = false;
+
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stdio" => stdio = true,
+            "--socket" => socket = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--workers" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                config.workers = n
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage(&format!("anc serve: bad --workers '{n}'")));
+            }
+            "--queue" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                config.queue_capacity = n
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage(&format!("anc serve: bad --queue '{n}'")));
+            }
+            "--deadline-ms" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                config.default_deadline_ms = Some(n.parse().unwrap_or_else(|_| {
+                    fail_usage(&format!("anc serve: bad --deadline-ms '{n}'"))
+                }));
+            }
+            "--max-frame-bytes" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                config.max_frame_bytes = n.parse().unwrap_or_else(|_| {
+                    fail_usage(&format!("anc serve: bad --max-frame-bytes '{n}'"))
+                });
+            }
+            "--retry-after-ms" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                config.retry_after_ms = n.parse().unwrap_or_else(|_| {
+                    fail_usage(&format!("anc serve: bad --retry-after-ms '{n}'"))
+                });
+            }
+            other => fail_usage(&format!("anc serve: unknown argument '{other}'")),
+        }
+    }
+    if stdio && socket.is_some() {
+        fail_usage("anc serve: --stdio and --socket are mutually exclusive");
+    }
+
+    // Poison pills panic inside fault cells by design; a per-panic
+    // backtrace would flood the daemon log. One quiet line suffices —
+    // the client gets the structured AN0705 either way.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("anc serve: contained panic in fault cell: {info}");
+    }));
+
+    let server = Server::start(config);
+    eprintln!(
+        "anc serve: {} worker(s), listening on {}",
+        server.worker_count(),
+        socket.as_deref().unwrap_or("stdio"),
+    );
+
+    let result = match socket {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                access_normalization::serve::serve_unix(&server, std::path::Path::new(&path))
+            }
+            #[cfg(not(unix))]
+            {
+                fail_usage("anc serve: --socket requires a unix platform; use --stdio");
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            serve_lines(&server, stdin.lock(), std::io::stdout())
+        }
+    };
+    server.join();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("anc serve: transport error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("sweep") {
@@ -1331,6 +1490,9 @@ fn run_main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("profile") {
         return run_profile(&argv[1..]);
     }
+    if argv.first().map(String::as_str) == Some("serve") {
+        return run_serve(&argv[1..]);
+    }
     let args = parse_args();
     let src = read_source_or_exit(args.input.as_deref().unwrap_or_else(|| usage()));
 
@@ -1349,7 +1511,7 @@ fn run_main() -> ExitCode {
         skip_transform: args.naive,
         verify: args.verify,
         skip_prenormalize: args.no_prenormalize,
-        budget: Default::default(),
+        budget: args.budget,
         tracer: tracer.clone(),
     };
     let program = match access_normalization::parse_normalized(&src, &opts) {
@@ -1429,13 +1591,12 @@ fn run_main() -> ExitCode {
     }
 
     let bindings: Vec<(&str, i64)> = args.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    let param_values = match compiled.program.bind_params(&bindings) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("anc: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    // A bad `--param` binding is a usage error (exit 2), matching how
+    // check/chaos/profile treat unknown parameter names.
+    let param_values = compiled
+        .program
+        .bind_params(&bindings)
+        .unwrap_or_else(|e| fail_usage(&format!("anc: {e}")));
 
     if args.strides {
         println!("== innermost-loop strides (transformed) ==");
@@ -1465,6 +1626,7 @@ fn run_main() -> ExitCode {
             allow_replication: false,
             compile: CompileOptions {
                 tracer: tracer.clone(),
+                budget: args.budget,
                 ..CompileOptions::default()
             },
             jobs: args.jobs,

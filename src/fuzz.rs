@@ -1,7 +1,7 @@
 //! Seeded, in-tree fuzzing for the compiler boundary.
 //!
 //! `anc fuzz --seed S --iters N` drives [`run`]: a deterministic
-//! splitmix64 stream generates programs from three archetypes and
+//! splitmix64 stream generates programs from four archetypes and
 //! asserts the public boundary contract on each:
 //!
 //! 1. **Small sane kernels** — must compile, and the compiled artifacts
@@ -13,6 +13,11 @@
 //!    differentially checked against the arbitrary-precision path.
 //! 3. **Deep skewed nests under a tiny budget** — compilation must
 //!    return promptly (typed success or [`Error::Budget`]).
+//! 4. **Serve protocol frames** — a quarter of the iteration budget is
+//!    spent throwing valid, truncated, mutated, mistyped and oversized
+//!    JSON-lines frames at an in-process `anc serve` daemon
+//!    (`an_serve::fuzz`); every frame must produce a structured
+//!    response within the frame deadline, never a panic or a hang.
 //!
 //! No archetype is ever allowed to panic: every compile runs under
 //! `catch_unwind` with the panic hook silenced, and any caught unwind is
@@ -136,11 +141,26 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
     panic::set_hook(Box::new(|_| {}));
     for i in 0..opts.iters {
         let mut rng = Rng(opts.seed ^ (i.wrapping_mul(0x517c_c1b7_2722_0a95)));
-        match i % 3 {
+        match i % 4 {
             0 => fuzz_sane(&mut rng, i, &mut report),
             1 => fuzz_adversarial(&mut rng, i, &mut report),
-            _ => fuzz_deep_budgeted(&mut rng, i, &mut report),
+            2 => fuzz_deep_budgeted(&mut rng, i, &mut report),
+            // Archetype 4 iterations are batched below: the serve-frame
+            // fuzzer boots one in-process daemon and reuses it.
+            _ => {}
         }
+    }
+    let frame_iters = (opts.iters / 4) as usize;
+    if frame_iters > 0 {
+        let frames = an_serve::fuzz::fuzz_frames(frame_iters, opts.seed, &generated_kernel);
+        report.compiled_ok += frames.ok as u64;
+        report.typed_errors += frames.rejected as u64;
+        // A hang or malformed response breaks the serve contract the
+        // same way a verifier rejection breaks the compile contract.
+        report.mismatches += (frames.hangs + frames.violations) as u64;
+        report
+            .failures
+            .extend(frames.failures.iter().map(|f| format!("serve-frame {f}")));
     }
     panic::set_hook(prev_hook);
     report

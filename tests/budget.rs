@@ -1,0 +1,200 @@
+//! Budget-exhaustion coverage: every `CompileBudget` axis surfaces the
+//! typed `BudgetExceeded` error through both front doors — the CLI
+//! (exit code 1, one-line typed message) and the serve daemon
+//! (structured `AN0704` responses).
+
+use access_normalization::serve::json::{self, Json};
+use access_normalization::serve::{ServeConfig, Server};
+use std::process::Command;
+use std::time::Duration;
+
+fn anc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_anc"))
+}
+
+fn gemm() -> String {
+    format!("{}/examples/kernels/gemm.an", env!("CARGO_MANIFEST_DIR"))
+}
+
+const WAIT: Duration = Duration::from_secs(60);
+
+/// Runs `anc <args> gemm.an` and returns `(exit_code, stderr)`.
+fn run_cli(args: &[&str]) -> (Option<i32>, String) {
+    let out = anc().args(args).arg(gemm()).output().unwrap();
+    (out.status.code(), String::from_utf8(out.stderr).unwrap())
+}
+
+/// Every budget axis trips the CLI with exit 1 and names its resource.
+/// (Exit 1 is the documented compile-failure code; 2 is reserved for
+/// usage errors and 3 for contained panics.)
+#[test]
+fn cli_budget_axes_exit_1_with_typed_messages() {
+    let cases: [(&[&str], &str); 4] = [
+        (&["--deadline-ms", "0"], "deadline limit 0"),
+        (&["--max-fm-constraints", "1"], "fm-constraints limit 1"),
+        (&["--max-depth", "1"], "loop-depth limit 1"),
+        (
+            &[
+                "--max-candidates",
+                "1",
+                "--autodist",
+                "4",
+                "--param",
+                "N=16",
+            ],
+            "search-candidates limit 1",
+        ),
+    ];
+    for (args, needle) in cases {
+        let (code, stderr) = run_cli(args);
+        assert_eq!(code, Some(1), "{args:?}: {stderr}");
+        assert!(
+            stderr.contains("compile budget exceeded"),
+            "{args:?}: {stderr}"
+        );
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+}
+
+/// Budget flags themselves obey the usage contract: a malformed value
+/// is exit 2, not a compile attempt.
+#[test]
+fn cli_budget_flags_reject_garbage_with_exit_2() {
+    for flag in [
+        "--deadline-ms",
+        "--max-fm-constraints",
+        "--max-depth",
+        "--max-candidates",
+    ] {
+        let (code, stderr) = run_cli(&[flag, "many"]);
+        assert_eq!(code, Some(2), "{flag}: {stderr}");
+        assert_eq!(stderr.trim().lines().count(), 1, "{flag}: {stderr}");
+    }
+}
+
+fn serve_frame(id: u64, source: &str, options: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"verb\":\"compile\",\"source\":\"{}\",\"options\":{{{options}}}}}",
+        an_diag::escape_json(source)
+    )
+}
+
+fn serve_one(server: &Server, frame: &str) -> Json {
+    json::parse(&server.request_sync(frame, WAIT)).unwrap()
+}
+
+fn error_of(v: &Json) -> (String, String) {
+    let e = v.get("error").unwrap_or_else(|| panic!("no error in {v}"));
+    (
+        e.get("code").and_then(Json::as_str).unwrap().to_string(),
+        e.get("message").and_then(Json::as_str).unwrap().to_string(),
+    )
+}
+
+fn gemm_source() -> String {
+    std::fs::read_to_string(gemm()).unwrap()
+}
+
+/// FM-constraint exhaustion is a structured `AN0704`, and the failure
+/// is never cached: a retry with a sane budget succeeds.
+#[test]
+fn serve_fm_constraint_budget_is_an0704_and_uncached() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let v = serve_one(
+        &server,
+        &serve_frame(1, &gemm_source(), "\"max_fm_constraints\":1"),
+    );
+    let (code, msg) = error_of(&v);
+    assert_eq!(code, "AN0704", "{v}");
+    assert!(msg.contains("fm-constraints"), "{msg}");
+    // Same source, default budget: compiles fine, as a cache miss.
+    let ok = serve_one(&server, &serve_frame(2, &gemm_source(), ""));
+    assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true), "{ok}");
+    assert_eq!(
+        ok.get("cached").and_then(Json::as_bool),
+        Some(false),
+        "{ok}"
+    );
+    server.join();
+}
+
+/// Loop-depth exhaustion is a structured `AN0704` naming the axis.
+#[test]
+fn serve_depth_budget_is_an0704() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let v = serve_one(&server, &serve_frame(1, &gemm_source(), "\"max_depth\":1"));
+    let (code, msg) = error_of(&v);
+    assert_eq!(code, "AN0704", "{v}");
+    assert!(msg.contains("loop-depth"), "{msg}");
+    server.join();
+}
+
+/// Deadline exhaustion surfaces as the budget error from a phase
+/// boundary (`AN0704`) or, if the deadline lapses while the request is
+/// still queued, as a queue timeout (`AN0709`) — both structured, both
+/// naming the deadline.
+#[test]
+fn serve_deadline_budget_is_structured() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let frame = format!(
+        "{{\"id\":1,\"verb\":\"compile\",\"source\":\"{}\",\
+         \"options\":{{\"deadline_ms\":20}},\"chaos\":\"sleep:150\"}}",
+        an_diag::escape_json(&gemm_source())
+    );
+    let v = serve_one(&server, &frame);
+    let (code, msg) = error_of(&v);
+    assert!(code == "AN0704" || code == "AN0709", "{v}");
+    assert!(msg.contains("deadline"), "{msg}");
+    server.join();
+}
+
+/// The search-candidates axis only binds the autodist distribution
+/// search, which the daemon's compile verb does not run — so a
+/// one-candidate budget must NOT fail a plain serve compile. The axis
+/// is exercised end-to-end through the CLI case above; here we pin the
+/// serve-side semantics (override accepted, harmless).
+#[test]
+fn serve_accepts_candidate_budget_without_tripping() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let v = serve_one(
+        &server,
+        &serve_frame(1, &gemm_source(), "\"max_candidates\":1"),
+    );
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    server.join();
+}
+
+/// Budget failures increment the dedicated fault counter surfaced by
+/// `status`.
+#[test]
+fn serve_budget_faults_are_counted_in_status() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    for id in 0..3 {
+        serve_one(&server, &serve_frame(id, &gemm_source(), "\"max_depth\":1"));
+    }
+    let status = serve_one(&server, "{\"id\":9,\"verb\":\"status\"}");
+    let budget = status
+        .get("status")
+        .and_then(|s| s.get("faults"))
+        .and_then(|f| f.get("budget"))
+        .and_then(Json::as_u64);
+    // The first failure is computed; repeats re-fail identically (budget
+    // errors are never cached, never quarantined).
+    assert_eq!(budget, Some(3), "{status}");
+    server.join();
+}

@@ -616,3 +616,100 @@ fn lint_reports_parse_errors_with_exit_1() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("anc:"), "{stderr}");
 }
+
+/// The exit-code contract (0 success, 1 compile/verify failure, 2
+/// usage, 3 contained panic) — table-driven sweep of malformed flags
+/// across every subcommand, including `serve`. Each case must exit 2
+/// with a single-line diagnostic on stderr, never 0/1 and never a
+/// panic.
+#[test]
+fn usage_errors_exit_2_across_every_subcommand() {
+    let gemm = kernel_path("gemm.an");
+    let cases: &[&[&str]] = &[
+        // main driver
+        &["--bogus"],
+        &["--emit", "bogus"],
+        &["--emit"],
+        &["--jobs", "banana"],
+        &["--ordering", "sideways"],
+        &["--simulate", "banana"],
+        &["--autodist", "banana"],
+        // check
+        &["check", "--bogus"],
+        &["check", "--mutate", "bogus"],
+        // sweep
+        &["sweep", "--procs", "banana"],
+        &["sweep", "--bogus"],
+        // chaos
+        &["chaos", "--scenario", "meteor"],
+        &["chaos", "--procs", "banana"],
+        // profile
+        &["profile", "--bogus"],
+        &["profile", "--jobs", "x"],
+        // fuzz (takes no input file)
+        &["fuzz", "--iters", "x", "--no-input"],
+        &["fuzz", "--bogus", "--no-input"],
+        // lint
+        &["lint", "--bogus"],
+        // serve (takes no input file)
+        &["serve", "--bogus", "--no-input"],
+        &["serve", "--workers", "banana", "--no-input"],
+        &["serve", "--queue", "x", "--no-input"],
+        &["serve", "--stdio", "--socket", "/tmp/x.sock", "--no-input"],
+        &["serve", "--max-frame-bytes", "big", "--no-input"],
+        &["serve", "--retry-after-ms", "soon", "--no-input"],
+        &["serve", "--deadline-ms", "later", "--no-input"],
+    ];
+    for case in cases {
+        let mut cmd = anc();
+        let takes_input = !case.contains(&"--no-input");
+        cmd.args(case.iter().filter(|a| **a != "--no-input"));
+        if takes_input {
+            cmd.arg(&gemm);
+        }
+        let out = cmd.output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{case:?}: expected exit 2, got {:?}\nstderr: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            !out.stderr.is_empty(),
+            "{case:?}: usage error must explain itself on stderr"
+        );
+    }
+    // No input at all is also a usage error.
+    let out = anc().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// Bugfix pins: an unknown `--param` name is a usage error (exit 2, one
+/// line), matching check/chaos/profile — it used to exit 1 through the
+/// compile-failure path.
+#[test]
+fn unknown_param_binding_exits_2() {
+    let out = anc()
+        .args(["--param", "Q=3", &kernel_path("gemm.an")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(stderr.trim().lines().count(), 1, "{stderr}");
+    assert!(stderr.contains("unknown parameter"), "{stderr}");
+}
+
+/// Bugfix pin: `check` rejects unknown options as usage errors instead
+/// of misreading them as input file names ("cannot read --bogus").
+#[test]
+fn check_unknown_option_is_not_treated_as_a_file() {
+    let out = anc()
+        .args(["check", "--bogus", &kernel_path("gemm.an")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown option '--bogus'"), "{stderr}");
+    assert!(!stderr.contains("cannot read"), "{stderr}");
+}
