@@ -9,10 +9,17 @@
 //! requests keep returning the exact cold-pass artifacts and every bad
 //! request gets a structured `AN07xx` error.
 //!
-//! Writes `target/an-bench-results/BENCH_serve.json` and enforces the
-//! serving-economics gate: warm-cache throughput must be at least 5x
+//! Two durable-tier sections follow: an identical-request burst against
+//! a slow compile (in-flight coalescing must collapse it to one compile,
+//! dedup hits == burst - 1), and a persistent-cache restart — a daemon
+//! populates a `--cache-dir`, exits, and a fresh daemon on the same
+//! directory replays the corpus entirely from the disk tier.
+//!
+//! Writes `target/an-bench-results/BENCH_serve.json` and enforces two
+//! serving-economics gates: warm-cache throughput must be at least 5x
 //! cold sequential throughput (the amortization argument for running a
-//! daemon at all).
+//! daemon at all), and a warm restart from a populated cache dir must
+//! be at least 3x cold throughput (the argument for persisting it).
 
 use an_serve::json::{self, Json};
 use an_serve::{ServeConfig, Server};
@@ -23,6 +30,8 @@ const WAIT: Duration = Duration::from_secs(120);
 const WARM_CLIENTS: usize = 4;
 const WARM_ROUNDS: usize = 8;
 const THROUGHPUT_GATE: f64 = 5.0;
+const BURST: usize = 8;
+const RESTART_GATE: f64 = 3.0;
 
 fn corpus() -> Vec<(String, String)> {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -256,6 +265,132 @@ fn chaos_pass(server: &Server, corpus: &[(String, String)], reference: &[String]
     }
 }
 
+/// Identical-request burst: `BURST` clients send the same frame (ids
+/// differ — the id is outside the content hash) while a sleep-chaos
+/// leader holds the compile in flight, so every follower must coalesce.
+/// Returns the pass stats and the daemon's dedup-hit count, which the
+/// caller gates at exactly `BURST - 1`.
+fn dedup_pass(source: &str) -> (Pass, u64) {
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        default_deadline_ms: Some(30_000),
+        ..ServeConfig::default()
+    });
+    let latencies = Mutex::new(Vec::with_capacity(BURST));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..BURST {
+            let latencies = &latencies;
+            let server = &server;
+            scope.spawn(move || {
+                // 250ms of chaos sleep keeps the leader in flight long
+                // past the time the other 7 threads need to join it.
+                let f = frame(7000 + client, source, ",\"chaos\":\"sleep:250\"");
+                let t = Instant::now();
+                let response = server.request_sync(&f, WAIT);
+                latencies
+                    .lock()
+                    .unwrap()
+                    .push(t.elapsed().as_micros() as u64);
+                assert!(
+                    response.contains("\"ok\":true"),
+                    "burst member failed: {response}"
+                );
+                assert!(
+                    response.contains(&format!("\"id\":{}", 7000 + client)),
+                    "coalesced response lost its member id: {response}"
+                );
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let status_line = server.request_sync("{\"id\":0,\"verb\":\"status\"}", WAIT);
+    let status = json::parse(&status_line).expect("status parses");
+    let dedup_hits = status
+        .get("status")
+        .and_then(|s| s.get("dedup"))
+        .and_then(|d| d.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    server.join();
+    let mut latencies = latencies.into_inner().unwrap();
+    latencies.sort_unstable();
+    (
+        Pass {
+            secs,
+            requests: BURST,
+            p50_us: quantile_us(&latencies, 0.5),
+            p99_us: quantile_us(&latencies, 0.99),
+        },
+        dedup_hits,
+    )
+}
+
+/// Persistent-cache restart: daemon A compiles the corpus into a cache
+/// dir and exits; daemon B on the same dir must answer the whole corpus
+/// from the disk tier (`cached:true`, artifacts bitwise-equal to the
+/// reference). Returns (populate pass, restart pass, disk hits).
+fn restart_pass(corpus: &[(String, String)], reference: &[String]) -> (Pass, Pass, u64) {
+    let dir = std::env::temp_dir().join(format!("an-serve-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let persistent_config = || ServeConfig {
+        workers: 4,
+        queue_capacity: 256,
+        default_deadline_ms: Some(30_000),
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    let populate_server = Server::start(persistent_config());
+    let (populate, populate_artifacts) = cold_pass(&populate_server, corpus);
+    populate_server.join();
+    assert_eq!(
+        populate_artifacts, reference,
+        "persistent cold pass diverged"
+    );
+
+    let restarted = Server::start(persistent_config());
+    let mut latencies = Vec::with_capacity(corpus.len());
+    let start = Instant::now();
+    for (i, (name, source)) in corpus.iter().enumerate() {
+        let t = Instant::now();
+        let response = restarted.request_sync(&frame(8000 + i, source, ""), WAIT);
+        latencies.push(t.elapsed().as_micros() as u64);
+        assert!(
+            response.contains("\"cached\":true"),
+            "{name} missed the disk tier after restart: {response}"
+        );
+        assert_eq!(
+            spmd_artifact(&response),
+            reference[i],
+            "{name}: disk tier returned different artifacts"
+        );
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let status_line = restarted.request_sync("{\"id\":0,\"verb\":\"status\"}", WAIT);
+    let status = json::parse(&status_line).expect("status parses");
+    let disk_hits = status
+        .get("status")
+        .and_then(|s| s.get("cache"))
+        .and_then(|c| c.get("disk_hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    restarted.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    latencies.sort_unstable();
+    (
+        populate,
+        Pass {
+            secs,
+            requests: corpus.len(),
+            p50_us: quantile_us(&latencies, 0.5),
+            p99_us: quantile_us(&latencies, 0.99),
+        },
+        disk_hits,
+    )
+}
+
 fn main() {
     // Poison pills panic inside their fault cells by design; keep the
     // default hook from spraying backtraces over the report.
@@ -277,6 +412,9 @@ fn main() {
     let warm = warm_pass(&server, &corpus, &reference);
     let ratio = warm.per_sec() / cold.per_sec();
     let chaos = chaos_pass(&server, &corpus, &reference);
+    let (dedup, dedup_hits) = dedup_pass(&corpus[0].1);
+    let (populate, restart, disk_hits) = restart_pass(&corpus, &reference);
+    let restart_ratio = restart.per_sec() / populate.per_sec();
 
     let status_line = server.request_sync("{\"id\":0,\"verb\":\"status\"}", WAIT);
     let status = json::parse(&status_line).expect("status parses");
@@ -306,6 +444,17 @@ fn main() {
         "chaos: {}/{} good ok, {} pills, {} busters, {:.2}s",
         chaos.good_ok, chaos.good_total, chaos.pill_responses, chaos.buster_responses, chaos.secs
     );
+    println!(
+        "dedup burst:     {BURST} identical requests, {dedup_hits} coalesced  p50 {:>7}us  p99 {:>7}us",
+        dedup.p50_us, dedup.p99_us
+    );
+    println!(
+        "warm restart:    {:>8.1} compiles/sec  p50 {:>7}us  p99 {:>7}us  ({disk_hits} disk hits)",
+        restart.per_sec(),
+        restart.p50_us,
+        restart.p99_us
+    );
+    println!("restart/cold throughput ratio: {restart_ratio:.1}x (gate >= {RESTART_GATE}x)");
 
     let json_text = format!(
         "{{\n  \"kernels\": {},\n  \"cold\": {{\"compiles_per_sec\": {:.1}, \
@@ -315,7 +464,15 @@ fn main() {
          \"chaos\": {{\"good_ok\": {}, \"good_total\": {}, \"poison_pills\": {}, \
          \"deadline_busters\": {}, \"seconds\": {:.2}, \
          \"artifacts_bitwise_identical\": true}},\n  \
-         \"gate\": \"warm_cold_ratio >= {THROUGHPUT_GATE}\"\n}}\n",
+         \"dedup\": {{\"burst\": {BURST}, \"coalesced\": {dedup_hits}, \
+         \"p50_us\": {}, \"p99_us\": {}}},\n  \
+         \"persistent\": {{\"populate_compiles_per_sec\": {:.1}, \
+         \"restart_compiles_per_sec\": {:.1}, \"restart_p50_us\": {}, \
+         \"restart_p99_us\": {}, \"disk_hits\": {disk_hits}, \
+         \"restart_cold_ratio\": {restart_ratio:.1}}},\n  \
+         \"gates\": [\"warm_cold_ratio >= {THROUGHPUT_GATE}\", \
+         \"restart_cold_ratio >= {RESTART_GATE}\", \
+         \"dedup.coalesced == burst - 1\"]\n}}\n",
         corpus.len(),
         cold.per_sec(),
         cold.p50_us,
@@ -330,6 +487,12 @@ fn main() {
         chaos.pill_responses,
         chaos.buster_responses,
         chaos.secs,
+        dedup.p50_us,
+        dedup.p99_us,
+        populate.per_sec(),
+        restart.per_sec(),
+        restart.p50_us,
+        restart.p99_us,
     );
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("..")
@@ -350,5 +513,14 @@ fn main() {
     assert!(
         ratio >= THROUGHPUT_GATE,
         "serving throughput gate: warm/cold {ratio:.1}x, budget >= {THROUGHPUT_GATE}x"
+    );
+    assert_eq!(
+        dedup_hits,
+        (BURST - 1) as u64,
+        "identical burst of {BURST} should coalesce to one compile"
+    );
+    assert!(
+        restart_ratio >= RESTART_GATE,
+        "persistence gate: restart/cold {restart_ratio:.1}x, budget >= {RESTART_GATE}x"
     );
 }

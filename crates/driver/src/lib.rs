@@ -22,6 +22,15 @@
 mod error;
 pub use error::{BudgetExceeded, Error};
 
+/// Monotone version of the compile pipeline's observable output.
+///
+/// Bump this whenever a change alters any emitted artifact byte-for-byte
+/// (codegen text, transform selection, normalization rewrites). Durable
+/// artifact caches (the `an-serve` persistent cache) embed it in every
+/// entry and treat a mismatch as a cache miss, so stale artifacts from an
+/// older pipeline are recompiled instead of served.
+pub const PIPELINE_VERSION: u32 = 1;
+
 use an_codegen::{
     apply_transform_traced, generate_spmd_traced, CodegenError, SpmdOptions, SpmdProgram,
     TransformedProgram,

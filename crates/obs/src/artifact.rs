@@ -58,6 +58,28 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     result
 }
 
+/// [`write_atomic`] plus a parent-directory sync, for writers that must
+/// survive `kill -9` immediately after returning: the rename itself is
+/// atomic, but without an fsync of the containing directory a crash can
+/// still lose the *name* of a fully-written file. The serve daemon's
+/// persistent artifact cache uses this; throwaway bench reports do not
+/// need it.
+///
+/// # Errors
+///
+/// Any error from [`write_atomic`]. Directory-sync failures are ignored
+/// (some filesystems reject fsync on directories); the entry is then
+/// merely as durable as a plain [`write_atomic`].
+pub fn write_atomic_durable(path: &Path, contents: &str) -> io::Result<()> {
+    write_atomic(path, contents)?;
+    if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

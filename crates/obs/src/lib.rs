@@ -44,7 +44,7 @@ mod metrics;
 mod sink;
 mod tracer;
 
-pub use artifact::write_atomic;
+pub use artifact::{write_atomic, write_atomic_durable};
 pub use event::{Event, EventKind, SpanId, ROOT_SPAN};
 pub use metrics::{HistogramSnapshot, Metrics, BUCKET_BOUNDS};
 pub use sink::{json_escape, normalize_jsonl, render_chrome, render_jsonl, render_tree};

@@ -39,10 +39,17 @@ pub enum ServeCode {
     /// `AN0709` — the request's deadline expired while it was still
     /// queued, before a worker picked it up.
     Timeout,
+    /// `AN0710` — a persistent cache entry failed validation on load
+    /// (truncated, checksum mismatch, or written by a different format
+    /// or pipeline version); it was deleted and the request recompiled.
+    /// Clients never see this code on the wire — a corrupt entry is
+    /// recovered from transparently — but it appears as a counter in
+    /// `status` and in daemon logs.
+    CacheCorrupt,
 }
 
 /// All codes, in numeric order (for documentation tables).
-pub const ALL_CODES: [ServeCode; 9] = [
+pub const ALL_CODES: [ServeCode; 10] = [
     ServeCode::Malformed,
     ServeCode::FrameTooLarge,
     ServeCode::CompileFailed,
@@ -52,6 +59,7 @@ pub const ALL_CODES: [ServeCode; 9] = [
     ServeCode::Overloaded,
     ServeCode::Draining,
     ServeCode::Timeout,
+    ServeCode::CacheCorrupt,
 ];
 
 impl DiagCode for ServeCode {
@@ -66,14 +74,19 @@ impl DiagCode for ServeCode {
             ServeCode::Overloaded => "AN0707",
             ServeCode::Draining => "AN0708",
             ServeCode::Timeout => "AN0709",
+            ServeCode::CacheCorrupt => "AN0710",
         }
     }
 
     fn default_severity(self) -> Severity {
         match self {
             // Load-shedding and draining are operational conditions the
-            // client is expected to retry through, not program errors.
-            ServeCode::Overloaded | ServeCode::Draining => Severity::Warning,
+            // client is expected to retry through, not program errors;
+            // a corrupt cache entry is self-healed (deleted and
+            // recompiled), so it too is a warning, not an error.
+            ServeCode::Overloaded | ServeCode::Draining | ServeCode::CacheCorrupt => {
+                Severity::Warning
+            }
             _ => Severity::Error,
         }
     }
@@ -89,6 +102,9 @@ impl DiagCode for ServeCode {
             ServeCode::Overloaded => "admission queue full; request shed, retry later",
             ServeCode::Draining => "daemon is draining and admits no new work",
             ServeCode::Timeout => "request deadline expired while still queued",
+            ServeCode::CacheCorrupt => {
+                "persistent cache entry failed validation; deleted and recompiled"
+            }
         }
     }
 }
@@ -104,7 +120,7 @@ mod tests {
             strs,
             [
                 "AN0701", "AN0702", "AN0703", "AN0704", "AN0705", "AN0706", "AN0707", "AN0708",
-                "AN0709"
+                "AN0709", "AN0710"
             ]
         );
         let mut sorted = strs.clone();
@@ -115,7 +131,10 @@ mod tests {
     #[test]
     fn shed_conditions_are_warnings() {
         for c in ALL_CODES {
-            let expect = matches!(c, ServeCode::Overloaded | ServeCode::Draining);
+            let expect = matches!(
+                c,
+                ServeCode::Overloaded | ServeCode::Draining | ServeCode::CacheCorrupt
+            );
             assert_eq!(c.default_severity() == Severity::Warning, expect, "{c:?}");
             assert!(!c.description().is_empty());
         }

@@ -1,7 +1,17 @@
-//! Protocol-frame fuzzing: throw malformed, oversized, truncated and
-//! adversarially-typed frames at an in-process daemon and demand that
+//! Protocol-frame and cache-store fuzzing.
+//!
+//! [`fuzz_frames`] throws malformed, oversized, truncated and
+//! adversarially-typed frames at an in-process daemon and demands that
 //! every one of them yields a structured response — never a panic,
 //! never a hang past the frame deadline.
+//!
+//! [`fuzz_cache_store`] attacks the *persistent cache* instead of the
+//! protocol: it populates a cache directory, corrupts the entry files
+//! on disk (truncation, bit flips, garbage rewrites, appended junk),
+//! restarts the daemon on the damaged directory, and demands the same
+//! contract — no panic, no hang — plus the store's own invariant:
+//! a response that claims success must carry artifacts bitwise equal to
+//! the pristine compile's; corrupt bytes are never served.
 //!
 //! The kernel generator is injected by the caller (`anc fuzz` passes
 //! its grammar-driven generator) so this crate needs no dependency on
@@ -219,6 +229,168 @@ pub fn fuzz_frames(
     report
 }
 
+/// Damages one persistent-cache entry file in place. Mirrors the
+/// corruption a crashed host can inflict: truncation, bit rot, garbage
+/// rewrites, appended junk and version skew.
+fn mutate_entry_bytes(rng: &mut Rng, bytes: &mut Vec<u8>) {
+    match rng.below(5) {
+        // Truncate: the classic torn write.
+        0 => {
+            let cut = rng.below(bytes.len().max(1) as u64) as usize;
+            bytes.truncate(cut);
+        }
+        // Flip one bit somewhere (possibly producing invalid UTF-8).
+        1 => {
+            if !bytes.is_empty() {
+                let at = rng.below(bytes.len() as u64) as usize;
+                bytes[at] ^= 1 << rng.below(8);
+            }
+        }
+        // Replace the whole file with random bytes.
+        2 => {
+            let len = rng.below(96) as usize + 1;
+            bytes.clear();
+            for _ in 0..len {
+                bytes.push(rng.next() as u8);
+            }
+        }
+        // Append junk after the framed payload.
+        3 => bytes.extend_from_slice(b"\ntrailing junk from a torn append"),
+        // Version skew: stamp a future format/pipeline version.
+        _ => {
+            let skewed = b"anc-cache 99 99\n";
+            let n = skewed.len().min(bytes.len());
+            bytes[..n].copy_from_slice(&skewed[..n]);
+        }
+    }
+}
+
+/// Runs `iterations` rounds of persistent-cache corruption. Each round
+/// compiles a kernel into a fresh `--cache-dir`, damages every entry
+/// file on disk, restarts the daemon on the damaged directory and
+/// replays the same request. The daemon must neither panic nor hang,
+/// and a successful response must carry artifacts bitwise equal to the
+/// pristine compile's — corrupt cache bytes are never served.
+pub fn fuzz_cache_store(
+    iterations: usize,
+    seed: u64,
+    kernel: &dyn Fn(u64) -> String,
+) -> FrameFuzzReport {
+    let mut rng = Rng(seed ^ 0x0005_702E_5EED);
+    let mut report = FrameFuzzReport::default();
+    let root = std::env::temp_dir().join(format!(
+        "an-serve-storefuzz-{}-{seed:x}",
+        std::process::id()
+    ));
+
+    for i in 0..iterations {
+        report.iterations += 1;
+        let dir = root.join(format!("round-{i}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            workers: 1,
+            default_deadline_ms: Some(5_000),
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let source = kernel(rng.next());
+        let frame = format!(
+            "{{\"id\":{i},\"verb\":\"compile\",\"source\":\"{}\"}}",
+            an_diag::escape_json(&source)
+        );
+
+        // Phase 1: pristine compile populates the on-disk tier.
+        let writer = Server::start(config.clone());
+        let pristine = writer.request_sync(&frame, FRAME_DEADLINE);
+        writer.join();
+        let reference = json::parse(&pristine)
+            .ok()
+            .filter(|v| v.get("ok").and_then(json::Json::as_bool) == Some(true))
+            .and_then(|v| v.get("artifacts").cloned());
+
+        // Phase 2: corrupt every persisted entry.
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if let Ok(mut bytes) = std::fs::read(&path) {
+                    mutate_entry_bytes(&mut rng, &mut bytes);
+                    let _ = std::fs::write(&path, bytes);
+                }
+            }
+        }
+
+        // Phase 3: restart on the damaged directory and replay.
+        let reader = Server::start(config);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            reader.request_sync(&frame, FRAME_DEADLINE)
+        }));
+        match outcome {
+            Err(_) => {
+                report.violations += 1;
+                if report.failures.len() < 8 {
+                    report
+                        .failures
+                        .push(format!("round {i}: replay after corruption panicked"));
+                }
+            }
+            Ok(response) if response.contains("no response within") => {
+                report.hangs += 1;
+                if report.failures.len() < 8 {
+                    report
+                        .failures
+                        .push(format!("round {i}: hang after corruption"));
+                }
+            }
+            Ok(response) => match json::parse(&response) {
+                Ok(v) if v.get("ok").and_then(json::Json::as_bool) == Some(true) => {
+                    // The store invariant: success means the artifacts
+                    // match the pristine compile, byte for byte.
+                    if let Some(reference) = &reference {
+                        if v.get("artifacts") == Some(reference) {
+                            report.ok += 1;
+                        } else {
+                            report.violations += 1;
+                            if report.failures.len() < 8 {
+                                report.failures.push(format!(
+                                    "round {i}: served artifacts differ from pristine compile"
+                                ));
+                            }
+                        }
+                    } else {
+                        // Pristine compile failed but the replay
+                        // succeeded: impossible for a deterministic
+                        // pipeline.
+                        report.violations += 1;
+                        if report.failures.len() < 8 {
+                            report
+                                .failures
+                                .push(format!("round {i}: replay ok but pristine compile was not"));
+                        }
+                    }
+                }
+                Ok(v)
+                    if v.get("ok").and_then(json::Json::as_bool) == Some(false)
+                        && v.get("error").and_then(|e| e.get("code")).is_some() =>
+                {
+                    report.rejected += 1;
+                }
+                _ => {
+                    report.violations += 1;
+                    if report.failures.len() < 8 {
+                        report
+                            .failures
+                            .push(format!("round {i}: bad response {response:.120}"));
+                    }
+                }
+            },
+        }
+        reader.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +417,16 @@ mod tests {
         let b = fuzz_frames(32, 7, &trivial_kernel);
         assert_eq!(a.ok, b.ok);
         assert_eq!(a.rejected, b.rejected);
+    }
+
+    #[test]
+    fn cache_store_fuzz_is_clean_and_never_serves_corrupt_bytes() {
+        let report = fuzz_cache_store(8, 0xBEEF, &trivial_kernel);
+        assert!(report.clean(), "{report:?}");
+        // Every round must resolve: a fresh recompile (ok, verified
+        // bitwise against the pristine artifacts) or a structured
+        // rejection when the generated kernel itself was invalid.
+        assert_eq!(report.ok + report.rejected, report.iterations, "{report:?}");
+        assert!(report.ok > 0, "no round recompiled: {report:?}");
     }
 }

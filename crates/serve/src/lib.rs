@@ -7,21 +7,33 @@
 //! discipline production front-ends need:
 //!
 //! - **JSON-lines protocol** ([`proto`]): one request per line over a
-//!   Unix socket ([`serve_unix`]) or stdin/stdout ([`serve_lines`]);
-//!   verbs `compile`, `status`, `health`, `ping`, `shutdown`.
+//!   Unix socket ([`serve_unix`]), TCP ([`serve_tcp`]) or stdin/stdout
+//!   ([`serve_lines`]); verbs `compile`, `status`, `health`, `ping`,
+//!   `shutdown`. Both socket transports serve byte-identical responses
+//!   for the same frames, with slow-loris read deadlines, byte-level
+//!   max-frame enforcement and connection-cap shedding ([`net`]).
 //! - **Fault cells** ([`core`]): every compile runs under
 //!   `catch_unwind` with a full [`an_driver::CompileBudget`]; a panic
 //!   or budget blow-up produces a structured `AN07xx` error
 //!   ([`ServeCode`]) and never takes the worker down.
 //! - **Poison-pill quarantine**: the content hash of a request that
-//!   panicked is remembered; repeats fast-fail with `AN0706` instead
-//!   of burning another fault cell.
+//!   panicked is remembered (capped, FIFO); repeats fast-fail with
+//!   `AN0706` instead of burning another fault cell.
 //! - **Admission control**: a bounded queue; when full, requests are
-//!   shed with `AN0707` and a `retry_after_ms` hint. Health degrades
-//!   to `overloaded`, never to unbounded memory.
-//! - **Commit-on-success cache**: artifacts are cached by content hash
-//!   only after a fully successful compile, so transient failures
-//!   (deadlines, panics) can never poison future responses.
+//!   shed with `AN0707` and a deterministically jittered
+//!   `retry_after_ms` hint. Health degrades to `overloaded`, never to
+//!   unbounded memory.
+//! - **In-flight coalescing**: identical concurrent requests ride one
+//!   compile; waiters share the leader's outcome — success, error or
+//!   panic — marked `"coalesced":true`.
+//! - **Two-tier commit-on-success cache**: artifacts are cached by
+//!   content hash only after a fully successful compile, so transient
+//!   failures (deadlines, panics) can never poison future responses.
+//!   The resident tier LRU-evicts at a byte budget; with `--cache-dir`
+//!   the [`store`] tier persists entries crash-safely (checksummed,
+//!   length-framed, version-stamped) and survives `kill -9` —
+//!   validation on load deletes and recompiles anything corrupt
+//!   (`AN0710`) rather than ever serving it.
 //! - **Graceful drain**: the `shutdown` verb (or transport EOF) stops
 //!   admission, finishes every admitted job, then exits. The classic
 //!   SIGTERM hook is deliberately absent — signal handlers need
@@ -39,10 +51,15 @@ pub mod core;
 pub mod diag;
 pub mod fuzz;
 pub mod json;
+pub mod net;
 pub mod proto;
+pub mod store;
 
 pub use crate::core::{ServeConfig, Server, Submit};
 pub use diag::ServeCode;
+pub use net::{serve_tcp, serve_tcp_shared, Shutdown};
+#[cfg(unix)]
+pub use net::{serve_unix, serve_unix_shared};
 
 use std::io::{self, BufRead, Write};
 use std::sync::mpsc;
@@ -99,118 +116,6 @@ pub fn serve_lines<R: BufRead, W: Write + Send>(
         }
     })
 }
-
-/// Unix-domain-socket transport.
-#[cfg(unix)]
-pub mod unix {
-    use super::*;
-    use std::io::BufReader;
-    use std::os::unix::net::{UnixListener, UnixStream};
-    use std::path::Path;
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::time::Duration;
-
-    /// Binds `path` and serves connections until any client sends
-    /// `shutdown`. Each connection gets its own reader thread; all of
-    /// them share the one [`Server`] (and therefore its queue, cache
-    /// and quarantine). The socket file is removed on exit.
-    ///
-    /// # Errors
-    ///
-    /// Bind/accept errors. Per-connection I/O errors only terminate
-    /// that connection.
-    pub fn serve_unix(server: &Server, path: &Path) -> io::Result<()> {
-        let listener = UnixListener::bind(path)?;
-        let shutdown = AtomicBool::new(false);
-        thread::scope(|scope| -> io::Result<()> {
-            for stream in listener.incoming() {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let stream = match stream {
-                    Ok(s) => s,
-                    Err(_) => continue,
-                };
-                let shutdown = &shutdown;
-                scope.spawn(move || {
-                    if handle_connection(server, stream, shutdown) == Submit::Shutdown {
-                        shutdown.store(true, Ordering::SeqCst);
-                        server.drain();
-                        // Unblock the accept loop so the scope can end.
-                        let _ = UnixStream::connect(path);
-                    }
-                });
-            }
-            Ok(())
-        })?;
-        server.drain();
-        let _ = std::fs::remove_file(path);
-        Ok(())
-    }
-
-    /// Reads frames from one connection until EOF, error, or global
-    /// shutdown. Returns [`Submit::Shutdown`] when this connection
-    /// requested the drain.
-    fn handle_connection(server: &Server, stream: UnixStream, shutdown: &AtomicBool) -> Submit {
-        // A finite read timeout lets the reader notice a shutdown
-        // requested by a *different* connection instead of blocking in
-        // read() forever (signal-free cooperative wakeup).
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-        let write_half = match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => return Submit::Handled,
-        };
-        let mut reader = BufReader::new(stream);
-        let (tx, rx) = mpsc::channel::<String>();
-        let outcome = thread::scope(|scope| {
-            let writer_thread = scope.spawn(move || {
-                let mut w = write_half;
-                for line in rx {
-                    if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
-                        break;
-                    }
-                }
-            });
-            let mut outcome = Submit::Handled;
-            let mut buf = String::new();
-            loop {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                match reader.read_line(&mut buf) {
-                    Ok(0) => break,
-                    Ok(_) => {
-                        let line = std::mem::take(&mut buf);
-                        if line.trim().is_empty() {
-                            continue;
-                        }
-                        if server.submit(&line, &tx) == Submit::Shutdown {
-                            outcome = Submit::Shutdown;
-                            break;
-                        }
-                    }
-                    // Timeout: partial bytes stay appended to `buf`;
-                    // loop to re-check the shutdown flag and continue
-                    // the same line.
-                    Err(e)
-                        if e.kind() == io::ErrorKind::WouldBlock
-                            || e.kind() == io::ErrorKind::TimedOut =>
-                    {
-                        continue;
-                    }
-                    Err(_) => break,
-                }
-            }
-            drop(tx);
-            let _ = writer_thread.join();
-            outcome
-        });
-        outcome
-    }
-}
-
-#[cfg(unix)]
-pub use unix::serve_unix;
 
 #[cfg(test)]
 mod tests {

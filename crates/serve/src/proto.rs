@@ -92,7 +92,10 @@ impl Emit {
         }
     }
 
-    fn from_str(s: &str) -> Option<Emit> {
+    /// Parses a wire name back into an artifact kind (inverse of
+    /// [`Emit::as_str`]). The persistent cache store uses this to
+    /// validate entry payloads on load.
+    pub fn from_wire(s: &str) -> Option<Emit> {
         match s {
             "ir" => Some(Emit::Ir),
             "transform" => Some(Emit::Transform),
@@ -113,6 +116,10 @@ pub enum Chaos {
     /// Sleep this many milliseconds inside the fault cell (a slow
     /// request for overload/deadline tests).
     SleepMs(u64),
+    /// Sleep this many milliseconds, then panic — a slow poison pill,
+    /// used to test that a panicking coalescing leader wakes every
+    /// follower that joined while it was running.
+    SleepPanic(u64),
 }
 
 /// One compile job as requested on the wire.
@@ -203,25 +210,30 @@ impl CompileRequest {
                 h.write(b"S");
                 h.write(&ms.to_le_bytes());
             }
+            Some(Chaos::SleepPanic(ms)) => {
+                h.write(b"Q");
+                h.write(&ms.to_le_bytes());
+            }
         }
         h.finish()
     }
 }
 
-/// FNV-1a, the classic dependency-free content hash.
-struct Fnv(u64);
+/// FNV-1a, the classic dependency-free content hash. Shared with the
+/// persistent cache store, which checksums entry payloads with it.
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    pub(crate) fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
-    fn write(&mut self, bytes: &[u8]) {
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -384,7 +396,7 @@ fn parse_compile(root: &Json, id: &Json) -> Result<CompileRequest, FrameError> {
                         "field 'emit' must be an array of strings",
                     )
                 })?;
-                let kind = Emit::from_str(name).ok_or_else(|| {
+                let kind = Emit::from_wire(name).ok_or_else(|| {
                     FrameError::new(
                         ServeCode::Malformed,
                         id.clone(),
@@ -457,11 +469,21 @@ fn parse_compile(root: &Json, id: &Json) -> Result<CompileRequest, FrameError> {
             })?;
             Some(Chaos::SleepMs(ms))
         }
+        Some(Json::Str(s)) if s.starts_with("sleep-panic:") => {
+            let ms = s["sleep-panic:".len()..].parse::<u64>().map_err(|_| {
+                FrameError::new(
+                    ServeCode::Malformed,
+                    id.clone(),
+                    "chaos 'sleep-panic:<ms>' needs an integer millisecond count",
+                )
+            })?;
+            Some(Chaos::SleepPanic(ms))
+        }
         Some(_) => {
             return Err(FrameError::new(
                 ServeCode::Malformed,
                 id.clone(),
-                "field 'chaos' must be \"panic\" or \"sleep:<ms>\"",
+                "field 'chaos' must be \"panic\", \"sleep:<ms>\" or \"sleep-panic:<ms>\"",
             ))
         }
     };
@@ -483,14 +505,20 @@ fn parse_compile(root: &Json, id: &Json) -> Result<CompileRequest, FrameError> {
 }
 
 /// Renders a success response for a compile: the artifacts object plus
-/// timing and cache provenance.
+/// timing and cache provenance. `coalesced` marks responses answered
+/// from another in-flight request's compile (singleflight followers);
+/// leaders and cache hits omit the field entirely.
 pub fn render_compile_ok(
     id: &Json,
     cached: bool,
+    coalesced: bool,
     artifacts: &[(Emit, String)],
     compile_us: u64,
 ) -> String {
     let mut out = format!("{{\"id\":{id},\"ok\":true,\"cached\":{cached}");
+    if coalesced {
+        out.push_str(",\"coalesced\":true");
+    }
     out.push_str(&format!(",\"compile_us\":{compile_us}"));
     out.push_str(",\"artifacts\":{");
     for (i, (kind, text)) in artifacts.iter().enumerate() {
@@ -676,11 +704,16 @@ mod tests {
         let ok = render_compile_ok(
             &Json::Str("a\nb".into()),
             true,
+            false,
             &[(Emit::Spmd, "line1\nline2".into())],
             12,
         );
         assert!(!ok.contains('\n'), "{ok}");
         assert!(crate::json::parse(&ok).is_ok(), "{ok}");
+        assert!(!ok.contains("coalesced"), "{ok}");
+        let co = render_compile_ok(&Json::Num(3.0), false, true, &[], 7);
+        assert!(co.contains("\"coalesced\":true"), "{co}");
+        assert!(crate::json::parse(&co).is_ok(), "{co}");
         let err = render_error(&Json::Null, ServeCode::Overloaded, "full", Some(25));
         assert!(err.contains("\"retry_after_ms\":25"), "{err}");
         assert!(crate::json::parse(&err).is_ok(), "{err}");

@@ -1,0 +1,464 @@
+//! The persistent artifact cache: content-hash-keyed entry files that
+//! survive daemon restarts and `kill -9`, validated byte-for-byte
+//! before anything in them is ever served.
+//!
+//! # Entry format
+//!
+//! Every entry is a single text file written via
+//! [`an_obs::write_atomic_durable`] (temp file + fsync + rename +
+//! directory fsync), so a crash at any instant leaves either the old
+//! complete entry, the new complete entry, or an ignorable temp
+//! sibling — never a torn file under the final name. The file itself is
+//! framed defensively anyway, because disks corrupt and operators run
+//! `truncate(1)`:
+//!
+//! ```text
+//! anc-cache 1 <pipeline-version>\n     format line
+//! len <payload-bytes>\n                truncation guard
+//! fnv <16-hex-fnv1a64>\n               bit-rot guard
+//! <payload>                            exactly len bytes
+//! ```
+//!
+//! Validation on load checks, in order: the format line (format version
+//! *and* [`an_driver::PIPELINE_VERSION`] — artifacts from an older
+//! pipeline are stale, not wrong, but must still be recompiled), the
+//! exact payload length, and the FNV-1a checksum. Any mismatch is a
+//! [`Loaded::Corrupt`]: the file is deleted so the failure is paid
+//! once, the `AN0710` counter is bumped by the caller, and the request
+//! falls through to a fresh compile. A corrupt entry is *never* served.
+//!
+//! Artifact payloads are a JSON object of `emit-kind -> artifact text`;
+//! quarantine payloads are a JSON object carrying the original panic
+//! message. Both reuse the crate's defensive [`crate::json`] parser, so
+//! a payload that passes the checksum but was written by a buggy future
+//! version still fails closed.
+
+use crate::json::{self, Json};
+use crate::proto::{Emit, Fnv};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version of the on-disk framing itself (bump on layout changes).
+const FORMAT_VERSION: u32 = 1;
+
+/// File extension of artifact entries.
+const ARTIFACT_EXT: &str = "anc";
+/// File extension of quarantine entries.
+const QUARANTINE_EXT: &str = "qr";
+
+/// Outcome of loading one entry from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Loaded<T> {
+    /// The entry validated end to end.
+    Hit(T),
+    /// No entry file exists for this key.
+    Miss,
+    /// The entry existed but failed validation; it has been deleted.
+    /// Carries a human-readable reason for logs.
+    Corrupt(String),
+}
+
+/// A directory of validated, content-hash-keyed cache entries.
+#[derive(Debug, Clone)]
+pub struct CacheStore {
+    dir: PathBuf,
+}
+
+impl CacheStore {
+    /// Opens (creating if needed) the store rooted at `dir` and sweeps
+    /// any temp-file debris a crashed predecessor left behind.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failures.
+    pub fn open(dir: &Path) -> io::Result<CacheStore> {
+        fs::create_dir_all(dir)?;
+        let store = CacheStore {
+            dir: dir.to_path_buf(),
+        };
+        store.sweep_temps();
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Removes `write_atomic` temp siblings orphaned by a crash
+    /// mid-write. Harmless to call with writers active in *this*
+    /// process only at startup, before workers exist.
+    fn sweep_temps(&self) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') && name.contains(".tmp.") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    fn artifact_path(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash:016x}.{ARTIFACT_EXT}"))
+    }
+
+    fn quarantine_path(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash:016x}.{QUARANTINE_EXT}"))
+    }
+
+    /// Persists one compiled artifact set under its content hash.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the atomic write; the daemon treats these as
+    /// best-effort (the in-memory cache still has the entry).
+    pub fn store_artifacts(&self, hash: u64, artifacts: &[(Emit, String)]) -> io::Result<()> {
+        let mut payload = String::from("{");
+        for (i, (kind, text)) in artifacts.iter().enumerate() {
+            if i > 0 {
+                payload.push(',');
+            }
+            payload.push_str(&format!(
+                "\"{}\":\"{}\"",
+                kind.as_str(),
+                an_diag::escape_json(text)
+            ));
+        }
+        payload.push('}');
+        an_obs::write_atomic_durable(&self.artifact_path(hash), &frame_entry(&payload))
+    }
+
+    /// Loads and validates the artifact entry for `hash`. A
+    /// [`Loaded::Corrupt`] outcome has already deleted the file.
+    pub fn load_artifacts(&self, hash: u64) -> Loaded<Vec<(Emit, String)>> {
+        let path = self.artifact_path(hash);
+        let payload = match read_validated(&path) {
+            Loaded::Hit(p) => p,
+            Loaded::Miss => return Loaded::Miss,
+            Loaded::Corrupt(why) => return Loaded::Corrupt(why),
+        };
+        match parse_artifact_payload(&payload) {
+            Some(artifacts) => Loaded::Hit(artifacts),
+            None => {
+                let _ = fs::remove_file(&path);
+                Loaded::Corrupt("payload is not a valid artifact object".to_string())
+            }
+        }
+    }
+
+    /// Persists one quarantine record (the panic message for a poison
+    /// pill) under its content hash.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the atomic write.
+    pub fn store_quarantine(&self, hash: u64, message: &str) -> io::Result<()> {
+        let payload = format!("{{\"panic\":\"{}\"}}", an_diag::escape_json(message));
+        an_obs::write_atomic_durable(&self.quarantine_path(hash), &frame_entry(&payload))
+    }
+
+    /// Deletes the quarantine record for `hash` (cap eviction).
+    pub fn remove_quarantine(&self, hash: u64) {
+        let _ = fs::remove_file(self.quarantine_path(hash));
+    }
+
+    /// Loads every valid quarantine record in the store, deleting any
+    /// that fail validation (a corrupt quarantine file only loses a
+    /// fast-fail optimization, never correctness). Returns
+    /// `(records, corrupt_count)` with records sorted by hash.
+    pub fn load_all_quarantine(&self) -> (Vec<(u64, String)>, u64) {
+        let mut records = Vec::new();
+        let mut corrupt = 0u64;
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return (records, corrupt);
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != QUARANTINE_EXT) {
+                continue;
+            }
+            let Some(hash) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+            else {
+                // Not one of ours; leave foreign files alone.
+                continue;
+            };
+            match read_validated(&path) {
+                Loaded::Hit(payload) => match json::parse(&payload)
+                    .ok()
+                    .as_ref()
+                    .and_then(|v| v.get("panic"))
+                    .and_then(Json::as_str)
+                {
+                    Some(msg) => records.push((hash, msg.to_string())),
+                    None => {
+                        corrupt += 1;
+                        let _ = fs::remove_file(&path);
+                    }
+                },
+                Loaded::Miss => {}
+                Loaded::Corrupt(_) => corrupt += 1,
+            }
+        }
+        records.sort_unstable_by_key(|(h, _)| *h);
+        (records, corrupt)
+    }
+}
+
+/// Frames `payload` with the version line, length line and checksum
+/// line described in the module docs.
+pub fn frame_entry(payload: &str) -> String {
+    let mut fnv = Fnv::new();
+    fnv.write(payload.as_bytes());
+    format!(
+        "anc-cache {FORMAT_VERSION} {}\nlen {}\nfnv {:016x}\n{payload}",
+        an_driver::PIPELINE_VERSION,
+        payload.len(),
+        fnv.finish()
+    )
+}
+
+/// Validates a framed entry and returns its payload.
+///
+/// # Errors
+///
+/// A human-readable reason when the header, length or checksum does not
+/// hold.
+pub fn unframe_entry(text: &str) -> Result<&str, String> {
+    let rest = text;
+    let (format_line, rest) = rest
+        .split_once('\n')
+        .ok_or_else(|| "missing format line".to_string())?;
+    let expected = format!("anc-cache {FORMAT_VERSION} {}", an_driver::PIPELINE_VERSION);
+    if format_line != expected {
+        return Err(format!(
+            "version skew: entry says '{format_line}', daemon wants '{expected}'"
+        ));
+    }
+    let (len_line, rest) = rest
+        .split_once('\n')
+        .ok_or_else(|| "missing length line".to_string())?;
+    let len: usize = len_line
+        .strip_prefix("len ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("bad length line '{len_line}'"))?;
+    let (fnv_line, payload) = rest
+        .split_once('\n')
+        .ok_or_else(|| "missing checksum line".to_string())?;
+    let want_fnv: u64 = fnv_line
+        .strip_prefix("fnv ")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| format!("bad checksum line '{fnv_line}'"))?;
+    if payload.len() != len {
+        return Err(format!(
+            "truncated or padded payload: header says {len} bytes, file has {}",
+            payload.len()
+        ));
+    }
+    let mut fnv = Fnv::new();
+    fnv.write(payload.as_bytes());
+    let got = fnv.finish();
+    if got != want_fnv {
+        return Err(format!(
+            "checksum mismatch: header says {want_fnv:016x}, payload hashes to {got:016x}"
+        ));
+    }
+    Ok(payload)
+}
+
+/// Reads `path` and validates its framing. Corrupt files (including
+/// non-UTF-8 ones) are deleted before returning.
+fn read_validated(path: &Path) -> Loaded<String> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Loaded::Miss,
+        Err(e) => return Loaded::Corrupt(format!("unreadable entry: {e}")),
+    };
+    let text = match String::from_utf8(bytes) {
+        Ok(t) => t,
+        Err(_) => {
+            let _ = fs::remove_file(path);
+            return Loaded::Corrupt("entry is not valid UTF-8".to_string());
+        }
+    };
+    match unframe_entry(&text) {
+        Ok(payload) => Loaded::Hit(payload.to_string()),
+        Err(why) => {
+            let _ = fs::remove_file(path);
+            Loaded::Corrupt(why)
+        }
+    }
+}
+
+/// Parses an artifact payload object back into the deduplicated,
+/// sorted `(Emit, text)` list the cache serves from.
+fn parse_artifact_payload(payload: &str) -> Option<Vec<(Emit, String)>> {
+    let root = json::parse(payload).ok()?;
+    let obj = root.as_obj()?;
+    if obj.is_empty() {
+        return None;
+    }
+    let mut artifacts = Vec::with_capacity(obj.len());
+    for (key, value) in obj {
+        let kind = Emit::from_wire(key)?;
+        let text = value.as_str()?;
+        artifacts.push((kind, text.to_string()));
+    }
+    // BTreeMap iteration is sorted by wire name; the cache contract is
+    // sorted by Emit discriminant — normalize.
+    artifacts.sort_unstable_by_key(|(k, _)| *k);
+    Some(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_store(tag: &str) -> CacheStore {
+        let dir = std::env::temp_dir().join(format!(
+            "an-serve-store-{tag}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        CacheStore::open(&dir).unwrap()
+    }
+
+    fn sample() -> Vec<(Emit, String)> {
+        vec![
+            (Emit::Spmd, "node {\n  recv A;\n}".to_string()),
+            (Emit::C, "int main(void) { return 0; }\n".to_string()),
+        ]
+    }
+
+    #[test]
+    fn artifact_roundtrip_is_bitwise() {
+        let store = scratch_store("roundtrip");
+        let mut arts = sample();
+        arts.sort_unstable_by_key(|(k, _)| *k);
+        store.store_artifacts(0xdead_beef, &arts).unwrap();
+        assert_eq!(store.load_artifacts(0xdead_beef), Loaded::Hit(arts));
+        assert_eq!(store.load_artifacts(0xffff), Loaded::Miss);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    type Corruption = Box<dyn Fn(String) -> String>;
+
+    #[test]
+    fn truncation_bitflip_and_version_skew_are_corrupt_and_deleted() {
+        let cases: [(&str, Corruption); 4] = [
+            (
+                "truncate",
+                Box::new(|t: String| t[..t.len() / 2].to_string()),
+            ),
+            (
+                "bitflip",
+                Box::new(|t: String| {
+                    // Flip a payload byte (past the three header lines).
+                    let at = t.rfind("Spmd").map_or(t.len() - 3, |i| i + 1);
+                    let mut bytes = t.into_bytes();
+                    bytes[at] ^= 0x20;
+                    String::from_utf8(bytes).unwrap()
+                }),
+            ),
+            (
+                "format-skew",
+                Box::new(|t: String| t.replacen("anc-cache 1", "anc-cache 999", 1)),
+            ),
+            (
+                "pipeline-skew",
+                Box::new(|t: String| {
+                    let line_end = t.find('\n').unwrap();
+                    format!("anc-cache {FORMAT_VERSION} 999999{}", &t[line_end..])
+                }),
+            ),
+        ];
+        for (tag, mutate) in cases {
+            let store = scratch_store(tag);
+            store.store_artifacts(7, &sample()).unwrap();
+            let path = store.artifact_path(7);
+            let original = fs::read_to_string(&path).unwrap();
+            let mutated = mutate(original.clone());
+            assert_ne!(original, mutated, "{tag}: mutation was a no-op");
+            fs::write(&path, &mutated).unwrap();
+            match store.load_artifacts(7) {
+                Loaded::Corrupt(why) => {
+                    assert!(!path.exists(), "{tag}: corrupt entry not deleted ({why})");
+                }
+                other => panic!("{tag}: expected Corrupt, got {other:?}"),
+            }
+            // Post-corruption the slot behaves as a clean miss.
+            assert_eq!(store.load_artifacts(7), Loaded::Miss, "{tag}");
+            let _ = fs::remove_dir_all(store.dir());
+        }
+    }
+
+    #[test]
+    fn non_utf8_entry_is_corrupt() {
+        let store = scratch_store("binary");
+        let path = store.artifact_path(9);
+        fs::write(&path, [0xff, 0xfe, 0x00, 0x41]).unwrap();
+        assert!(matches!(store.load_artifacts(9), Loaded::Corrupt(_)));
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn quarantine_roundtrip_and_cap_removal() {
+        let store = scratch_store("quarantine");
+        store.store_quarantine(3, "chaos: injected panic").unwrap();
+        store.store_quarantine(1, "index out of bounds").unwrap();
+        let (records, corrupt) = store.load_all_quarantine();
+        assert_eq!(corrupt, 0);
+        assert_eq!(
+            records,
+            vec![
+                (1, "index out of bounds".to_string()),
+                (3, "chaos: injected panic".to_string()),
+            ]
+        );
+        store.remove_quarantine(3);
+        let (records, _) = store.load_all_quarantine();
+        assert_eq!(records.len(), 1);
+
+        // A corrupt quarantine record is counted and deleted.
+        let path = store.quarantine_path(1);
+        let garbled = fs::read_to_string(&path).unwrap().replace("len ", "len 9");
+        fs::write(&path, garbled).unwrap();
+        let (records, corrupt) = store.load_all_quarantine();
+        assert!(records.is_empty());
+        assert_eq!(corrupt, 1);
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn startup_sweeps_temp_debris_only() {
+        let store = scratch_store("sweep");
+        store.store_artifacts(5, &sample()).unwrap();
+        let debris = store.dir().join(".0000000000000005.anc.tmp.1234.0");
+        fs::write(&debris, "half-written").unwrap();
+        let reopened = CacheStore::open(store.dir()).unwrap();
+        assert!(!debris.exists(), "temp debris survived the sweep");
+        assert!(matches!(reopened.load_artifacts(5), Loaded::Hit(_)));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn frame_and_unframe_are_inverse() {
+        let payload = "{\"spmd\":\"x\"}";
+        let framed = frame_entry(payload);
+        assert_eq!(unframe_entry(&framed), Ok(payload));
+        assert!(unframe_entry("").is_err());
+        assert!(unframe_entry("anc-cache 1 1\n").is_err());
+    }
+}

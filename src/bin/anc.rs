@@ -196,8 +196,11 @@ fn usage() -> ! {
          \x20          [--machine gp1000|ipsc] [--param NAME=V]... [--jobs N]\n\
          \x20          [--naive] [--json] [--trace[=FILE]] [--trace-format F] <file.an | ->\n\
          \x20      anc fuzz [--seed N] [--iters N]\n\
-         \x20      anc serve [--stdio | --socket PATH] [--workers N] [--queue N]\n\
-         \x20          [--deadline-ms N] [--max-frame-bytes N] [--retry-after-ms N]"
+         \x20      anc serve [--stdio | --socket PATH | --tcp ADDR] [--workers N]\n\
+         \x20          [--queue N] [--deadline-ms N] [--max-frame-bytes N]\n\
+         \x20          [--retry-after-ms N] [--retry-jitter-seed N]\n\
+         \x20          [--cache-dir PATH] [--cache-cap BYTES] [--quarantine-cap N]\n\
+         \x20          [--max-conns N] [--frame-deadline-ms N]"
     );
     std::process::exit(2);
 }
@@ -1378,14 +1381,19 @@ fn run_fuzz(argv: &[String]) -> ExitCode {
     }
 }
 
-/// `anc serve` — boot the fault-isolated compile daemon on stdio or a
-/// Unix socket. Exits 0 after a clean drain (shutdown verb or stdin
-/// EOF), 2 on usage errors, 1 on transport failures.
+/// `anc serve` — boot the fault-isolated compile daemon on stdio, a
+/// Unix socket, a TCP address, or both socket transports at once
+/// (`shutdown` on either stops both). Exits 0 after a clean drain
+/// (shutdown verb or stdin EOF), 2 on usage errors, 1 on transport
+/// failures.
 fn run_serve(argv: &[String]) -> ExitCode {
-    use access_normalization::serve::{serve_lines, ServeConfig, Server};
+    use access_normalization::serve::{
+        serve_lines, serve_tcp_shared, ServeConfig, Server, Shutdown,
+    };
 
     let mut config = ServeConfig::default();
     let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
     let mut stdio = false;
 
     let mut it = argv.iter();
@@ -1393,6 +1401,7 @@ fn run_serve(argv: &[String]) -> ExitCode {
         match a.as_str() {
             "--stdio" => stdio = true,
             "--socket" => socket = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--tcp" => tcp = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--workers" => {
                 let n = it.next().unwrap_or_else(|| usage());
                 config.workers = n
@@ -1423,12 +1432,59 @@ fn run_serve(argv: &[String]) -> ExitCode {
                     fail_usage(&format!("anc serve: bad --retry-after-ms '{n}'"))
                 });
             }
+            "--retry-jitter-seed" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                config.retry_jitter_seed = n.parse().unwrap_or_else(|_| {
+                    fail_usage(&format!("anc serve: bad --retry-jitter-seed '{n}'"))
+                });
+            }
+            "--cache-dir" => {
+                let p = it.next().unwrap_or_else(|| usage());
+                config.cache_dir = Some(std::path::PathBuf::from(p));
+            }
+            "--cache-cap" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                config.cache_cap_bytes =
+                    Some(n.parse().unwrap_or_else(|_| {
+                        fail_usage(&format!("anc serve: bad --cache-cap '{n}'"))
+                    }));
+            }
+            "--quarantine-cap" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                config.quarantine_cap = n.parse().unwrap_or_else(|_| {
+                    fail_usage(&format!("anc serve: bad --quarantine-cap '{n}'"))
+                });
+            }
+            "--max-conns" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                config.max_conns = n
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage(&format!("anc serve: bad --max-conns '{n}'")));
+            }
+            "--frame-deadline-ms" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                config.frame_read_deadline_ms = Some(n.parse().unwrap_or_else(|_| {
+                    fail_usage(&format!("anc serve: bad --frame-deadline-ms '{n}'"))
+                }));
+            }
             other => fail_usage(&format!("anc serve: unknown argument '{other}'")),
         }
     }
-    if stdio && socket.is_some() {
-        fail_usage("anc serve: --stdio and --socket are mutually exclusive");
+    if stdio && (socket.is_some() || tcp.is_some()) {
+        fail_usage("anc serve: --stdio cannot be combined with --socket or --tcp");
     }
+
+    // Bind TCP before forking off any transport thread so the resolved
+    // address (port 0 = ephemeral) can be announced for discovery.
+    let tcp_listener = tcp.as_deref().map(|addr| {
+        let listener = std::net::TcpListener::bind(addr)
+            .unwrap_or_else(|e| fail_usage(&format!("anc serve: cannot bind --tcp '{addr}': {e}")));
+        let resolved = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string());
+        (listener, resolved)
+    });
 
     // Poison pills panic inside fault cells by design; a per-panic
     // backtrace would flood the daemon log. One quiet line suffices —
@@ -1438,26 +1494,66 @@ fn run_serve(argv: &[String]) -> ExitCode {
     }));
 
     let server = Server::start(config);
+    let mut endpoints: Vec<String> = Vec::new();
+    if let Some(path) = &socket {
+        endpoints.push(format!("unix:{path}"));
+    }
+    if let Some((_, resolved)) = &tcp_listener {
+        endpoints.push(format!("tcp://{resolved}"));
+    }
+    if endpoints.is_empty() {
+        endpoints.push("stdio".to_string());
+    }
     eprintln!(
         "anc serve: {} worker(s), listening on {}",
         server.worker_count(),
-        socket.as_deref().unwrap_or("stdio"),
+        endpoints.join(" and "),
     );
 
-    let result = match socket {
-        Some(path) => {
-            #[cfg(unix)]
-            {
-                access_normalization::serve::serve_unix(&server, std::path::Path::new(&path))
-            }
-            #[cfg(not(unix))]
-            {
-                fail_usage("anc serve: --socket requires a unix platform; use --stdio");
-            }
-        }
-        None => {
+    let result = match (socket, tcp_listener) {
+        (None, None) => {
             let stdin = std::io::stdin();
             serve_lines(&server, stdin.lock(), std::io::stdout())
+        }
+        (socket, tcp_listener) => {
+            #[cfg(not(unix))]
+            if socket.is_some() {
+                fail_usage("anc serve: --socket requires a unix platform; use --tcp or --stdio");
+            }
+            // One shutdown latch across both transports: a `shutdown`
+            // frame on either stops the other's accept loop too.
+            let shutdown = Shutdown::new();
+            std::thread::scope(|scope| {
+                let unix_task = socket.as_ref().map(|path| {
+                    #[cfg(unix)]
+                    {
+                        let srv = &server;
+                        let sd = &shutdown;
+                        scope.spawn(move || {
+                            access_normalization::serve::serve_unix_shared(
+                                srv,
+                                std::path::Path::new(path),
+                                sd,
+                            )
+                        })
+                    }
+                    #[cfg(not(unix))]
+                    {
+                        unreachable!("rejected above")
+                    }
+                });
+                let tcp_result = match tcp_listener {
+                    Some((listener, _)) => serve_tcp_shared(&server, listener, &shutdown),
+                    // Unix-only mode still needs the latch honoured on
+                    // this thread; just wait for the listener below.
+                    None => Ok(()),
+                };
+                let unix_result = match unix_task {
+                    Some(handle) => handle.join().expect("unix listener thread"),
+                    None => Ok(()),
+                };
+                tcp_result.and(unix_result)
+            })
         }
     };
     server.join();

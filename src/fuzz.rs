@@ -1,7 +1,7 @@
 //! Seeded, in-tree fuzzing for the compiler boundary.
 //!
 //! `anc fuzz --seed S --iters N` drives [`run`]: a deterministic
-//! splitmix64 stream generates programs from four archetypes and
+//! splitmix64 stream generates programs from five archetypes and
 //! asserts the public boundary contract on each:
 //!
 //! 1. **Small sane kernels** — must compile, and the compiled artifacts
@@ -13,11 +13,16 @@
 //!    differentially checked against the arbitrary-precision path.
 //! 3. **Deep skewed nests under a tiny budget** — compilation must
 //!    return promptly (typed success or [`Error::Budget`]).
-//! 4. **Serve protocol frames** — a quarter of the iteration budget is
+//! 4. **Serve protocol frames** — an eighth of the iteration budget is
 //!    spent throwing valid, truncated, mutated, mistyped and oversized
 //!    JSON-lines frames at an in-process `anc serve` daemon
 //!    (`an_serve::fuzz`); every frame must produce a structured
 //!    response within the frame deadline, never a panic or a hang.
+//! 5. **Persistent-cache corruption** — another eighth compiles into a
+//!    fresh `--cache-dir`, truncates / bit-flips / garbage-rewrites the
+//!    entry files on disk, restarts the daemon on the damaged directory
+//!    and replays the request; the daemon must neither panic nor hang,
+//!    and must recompile rather than ever serve corrupt bytes.
 //!
 //! No archetype is ever allowed to panic: every compile runs under
 //! `catch_unwind` with the panic hook silenced, and any caught unwind is
@@ -145,12 +150,14 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
             0 => fuzz_sane(&mut rng, i, &mut report),
             1 => fuzz_adversarial(&mut rng, i, &mut report),
             2 => fuzz_deep_budgeted(&mut rng, i, &mut report),
-            // Archetype 4 iterations are batched below: the serve-frame
-            // fuzzer boots one in-process daemon and reuses it.
+            // Archetype 4 and 5 iterations are batched below: the
+            // serve-side fuzzers boot their own in-process daemons.
             _ => {}
         }
     }
-    let frame_iters = (opts.iters / 4) as usize;
+    // The serve quarter of the budget is split between protocol frames
+    // and persistent-cache corruption.
+    let frame_iters = (opts.iters / 8) as usize;
     if frame_iters > 0 {
         let frames = an_serve::fuzz::fuzz_frames(frame_iters, opts.seed, &generated_kernel);
         report.compiled_ok += frames.ok as u64;
@@ -161,6 +168,18 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
         report
             .failures
             .extend(frames.failures.iter().map(|f| format!("serve-frame {f}")));
+    }
+    let store_iters = (opts.iters / 4).saturating_sub(opts.iters / 8) as usize;
+    if store_iters > 0 {
+        let store = an_serve::fuzz::fuzz_cache_store(store_iters, opts.seed, &generated_kernel);
+        report.compiled_ok += store.ok as u64;
+        report.typed_errors += store.rejected as u64;
+        // Serving corrupt cache bytes (or hanging on them) is a
+        // contract violation, exactly like a verifier rejection.
+        report.mismatches += (store.hangs + store.violations) as u64;
+        report
+            .failures
+            .extend(store.failures.iter().map(|f| format!("cache-store {f}")));
     }
     panic::set_hook(prev_hook);
     report

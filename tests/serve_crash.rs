@@ -1,0 +1,327 @@
+//! Crash-recovery chaos harness for the durable serve tier.
+//!
+//! A real `anc serve` child is SIGKILLed — no drain, no atexit — while
+//! compiles are in flight and cache writes are landing, then restarted
+//! on the same `--cache-dir`. The recovered daemon must:
+//!
+//! - serve every kernel with artifacts bitwise-identical to a one-shot
+//!   `anc` invocation (a corrupt cache entry is deleted and recompiled,
+//!   never served);
+//! - remember quarantined poison pills across the crash (`AN0706`
+//!   without burning a fresh fault cell);
+//! - count — not propagate — any corruption the crash left behind
+//!   (`AN0710` / the `serve.cache.corrupt` counter).
+//!
+//! Unix-only: `Child::kill` must deliver an uncatchable SIGKILL for the
+//! crash to be honest, and the harness drives the daemon over stdio.
+
+#![cfg(unix)]
+
+use access_normalization::serve::json::{self, Json};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{self, Receiver};
+use std::time::Duration;
+
+const RESPONSE_WAIT: Duration = Duration::from_secs(120);
+
+fn anc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_anc"))
+}
+
+fn kernel_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join("kernels")
+}
+
+/// All corpus kernels as `(name, source)` in sorted order.
+fn corpus() -> Vec<(String, String)> {
+    let mut names: Vec<_> = std::fs::read_dir(kernel_dir())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "an"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|p| {
+            (
+                p.file_stem().unwrap().to_str().unwrap().to_string(),
+                std::fs::read_to_string(&p).unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// A daemon child plus a background thread feeding its stdout lines
+/// into a channel.
+struct Daemon {
+    child: Child,
+    stdin: Option<std::process::ChildStdin>,
+    lines: Receiver<String>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = anc()
+            .arg("serve")
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        let stdin = child.stdin.take().unwrap();
+        let stdout = child.stdout.take().unwrap();
+        let (tx, lines) = mpsc::channel();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                match line {
+                    Ok(l) => {
+                        if tx.send(l).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Daemon {
+            child,
+            stdin: Some(stdin),
+            lines,
+        }
+    }
+
+    fn send(&mut self, frame: &str) {
+        let stdin = self.stdin.as_mut().expect("stdin already closed");
+        writeln!(stdin, "{frame}").unwrap();
+        stdin.flush().unwrap();
+    }
+
+    /// Collects `n` responses keyed by their integer `id`.
+    fn collect(&self, n: usize) -> HashMap<i64, Json> {
+        let mut got = HashMap::new();
+        while got.len() < n {
+            let line = self
+                .lines
+                .recv_timeout(RESPONSE_WAIT)
+                .unwrap_or_else(|e| panic!("daemon response {}/{n}: {e}", got.len()));
+            let v = json::parse(&line).unwrap_or_else(|e| panic!("bad response {line}: {e}"));
+            let id = v
+                .get("id")
+                .and_then(Json::as_i64)
+                .unwrap_or_else(|| panic!("response without integer id: {line}"));
+            got.insert(id, v);
+        }
+        got
+    }
+
+    /// SIGKILL — the whole point: no drain, no flush, no cleanup.
+    fn crash(mut self) {
+        self.child.kill().unwrap();
+        self.child.wait().unwrap();
+    }
+
+    /// Closes stdin (EOF drain) and asserts a clean exit.
+    fn finish(mut self) {
+        drop(self.stdin.take());
+        let status = self.child.wait().unwrap();
+        assert!(status.success(), "daemon exited with {status}");
+    }
+}
+
+fn compile_frame(id: i64, source: &str, extra: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"verb\":\"compile\",\"source\":\"{}\"{extra}}}",
+        access_normalization::diag::escape_json(source)
+    )
+}
+
+fn error_code(v: &Json) -> &str {
+    v.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or("")
+}
+
+fn artifact<'v>(v: &'v Json, kind: &str) -> &'v str {
+    v.get("artifacts")
+        .and_then(|a| a.get(kind))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no {kind} artifact in {v}"))
+}
+
+/// One-shot `anc --emit <kind> <file>` stdout, asserted successful.
+fn one_shot(kind: &str, file: &std::path::Path) -> String {
+    let out = anc()
+        .args(["--emit", kind, file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "one-shot anc --emit {kind} {}: {}",
+        file.display(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+const PILL: &str = "param N = 4;\narray A[N] distribute blocked(0);\n\
+                    for i = 0, N - 1 { A[i] = A[i] + 1; }\n";
+
+#[test]
+fn sigkill_mid_flight_recovers_with_bitwise_parity() {
+    let dir = std::env::temp_dir().join(format!("an-serve-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = dir.join("cache");
+    let cache_str = cache.to_str().unwrap().to_string();
+    let kernels = corpus();
+    assert!(kernels.len() >= 10, "corpus shrank to {}", kernels.len());
+
+    // Phase 1: a daemon under load. Half the corpus gets answered (and
+    // its cache writes land); the other half is still compiling —
+    // sleep chaos holds jobs in flight — when SIGKILL arrives.
+    let mut victim = Daemon::spawn(&["--stdio", "--workers", "2", "--cache-dir", &cache_str]);
+    let half = kernels.len() / 2;
+    for (i, (_, source)) in kernels[..half].iter().enumerate() {
+        victim.send(&compile_frame(i as i64, source, ""));
+    }
+    // A poison pill: its quarantine record must survive the crash.
+    victim.send(&compile_frame(900, PILL, ",\"chaos\":\"panic\""));
+    let settled = victim.collect(half + 1);
+    assert_eq!(error_code(&settled[&900]), "AN0705", "{:?}", settled[&900]);
+
+    // In-flight load at crash time: slow compiles plus fresh kernels
+    // whose cache writes race the kill.
+    for (i, (_, source)) in kernels[half..].iter().enumerate() {
+        victim.send(&compile_frame(
+            100 + i as i64,
+            source,
+            ",\"chaos\":\"sleep:400\"",
+        ));
+    }
+    std::thread::sleep(Duration::from_millis(120));
+    victim.crash();
+
+    // Phase 2: simulate the torn write a crash can leave behind —
+    // truncate one committed entry and scribble a half-written temp
+    // file beside it.
+    let mut entries: Vec<_> = std::fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "anc"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "no cache entries survived phase 1 in {}",
+        cache.display()
+    );
+    let torn = &entries[0];
+    let bytes = std::fs::read(torn).unwrap();
+    std::fs::write(torn, &bytes[..bytes.len() / 2]).unwrap();
+    std::fs::write(cache.join(".0123456789abcdef.anc.tmp.7.0"), b"half a frame").unwrap();
+
+    // Phase 3: restart on the same directory and replay everything.
+    let mut revived = Daemon::spawn(&["--stdio", "--workers", "2", "--cache-dir", &cache_str]);
+    for (i, (_, source)) in kernels.iter().enumerate() {
+        revived.send(&compile_frame(i as i64, source, ""));
+    }
+    revived.send(&compile_frame(900, PILL, ",\"chaos\":\"panic\""));
+    let responses = revived.collect(kernels.len() + 1);
+
+    // The pill fast-fails from the persisted quarantine: AN0706, not a
+    // fresh AN0705 fault cell.
+    assert_eq!(
+        error_code(&responses[&900]),
+        "AN0706",
+        "quarantine did not survive the crash: {:?}",
+        responses[&900]
+    );
+
+    // Every kernel is served, bitwise-identical to one-shot `anc` —
+    // whether it came from the surviving cache, a recompile of the
+    // torn entry, or a compile the crash interrupted.
+    for (i, (name, _)) in kernels.iter().enumerate() {
+        let v = &responses[&(i as i64)];
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{name}: {v}"
+        );
+        let shot = one_shot("spmd", &kernel_dir().join(format!("{name}.an")));
+        assert_eq!(
+            shot,
+            format!("== SPMD node program ==\n{}\n", artifact(v, "spmd")),
+            "{name}: served artifacts diverge from one-shot anc"
+        );
+    }
+
+    // The torn entry was detected, counted and deleted — never served.
+    revived.send("{\"id\":999,\"verb\":\"status\"}");
+    let status = revived.collect(1);
+    let corrupt = status[&999]
+        .get("status")
+        .and_then(|s| s.get("cache"))
+        .and_then(|c| c.get("corrupt"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(
+        corrupt >= 1,
+        "truncated entry not counted as corrupt: {:?}",
+        status[&999]
+    );
+    revived.finish();
+
+    // The quarantine file format survived both daemons; the temp-file
+    // debris from the simulated torn write was swept at open.
+    assert!(
+        !cache.join(".0123456789abcdef.anc.tmp.7.0").exists(),
+        "tmp debris not swept"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash with *zero* committed entries (kill before any compile
+/// finishes) must leave a cache dir the next daemon can open and fill.
+#[test]
+fn sigkill_before_first_commit_leaves_usable_cache_dir() {
+    let dir = std::env::temp_dir().join(format!("an-serve-crash0-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = dir.join("cache");
+    let cache_str = cache.to_str().unwrap().to_string();
+
+    let mut victim = Daemon::spawn(&["--stdio", "--workers", "1", "--cache-dir", &cache_str]);
+    victim.send(&compile_frame(1, PILL, ",\"chaos\":\"sleep:2000\""));
+    std::thread::sleep(Duration::from_millis(150));
+    victim.crash();
+
+    let mut revived = Daemon::spawn(&["--stdio", "--workers", "1", "--cache-dir", &cache_str]);
+    revived.send(&compile_frame(1, PILL, ""));
+    let responses = revived.collect(1);
+    assert_eq!(
+        responses[&1].get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{:?}",
+        responses[&1]
+    );
+    assert_eq!(
+        responses[&1].get("cached").and_then(Json::as_bool),
+        Some(false),
+        "nothing was committed before the crash: {:?}",
+        responses[&1]
+    );
+    revived.finish();
+
+    // The commit from the revived daemon landed durably.
+    let committed = std::fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "anc"))
+        .count();
+    assert_eq!(committed, 1, "revived daemon did not persist its compile");
+    let _ = std::fs::remove_dir_all(&dir);
+}
