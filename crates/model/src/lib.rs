@@ -1,0 +1,1675 @@
+//! Closed-form analytic locality model for the search inner loop.
+//!
+//! The simulator ([`an_numa::simulate`]) prices a candidate by walking
+//! every iteration of the second-innermost loop and costing the
+//! innermost loop in closed form. This crate removes the remaining
+//! enumeration: the second-innermost loop is collapsed into residue
+//! classes modulo `M = P · lcm(bound divisors, access coefficients)`,
+//! within which every quantity the per-iteration costing reads — bound
+//! values, wrapped-home residues, block-interval endpoints, transfer
+//! subscripts — is *exactly affine* in the class index. Each class is
+//! split at the (rational) crossings of those affine lines and summed
+//! as arithmetic series, so a loop of a million iterations prices in a
+//! handful of evaluations.
+//!
+//! The contract is exactness, not approximation: every integer counter
+//! (`local_accesses`, `remote_accesses`, `messages`, `transfer_bytes`,
+//! `outer_iterations`) equals the simulator's bit-for-bit. Busy/total
+//! times are the same sums accumulated in a different order, so they
+//! agree to floating-point tolerance only. A differential oracle
+//! (`tests/model_property.rs`) pins the equality on the whole corpus
+//! and on fuzz-generated programs; [`Mutation`] exists so the mutation
+//! harness can prove the oracle actually bites.
+
+use an_codegen::spmd::{OuterAssignment, SpmdProgram};
+use an_codegen::transfers::BlockTransfer;
+use an_ir::{Distribution, Expr, Stmt};
+use an_linalg::{div_ceil, div_floor, gcd, mod_floor};
+use an_numa::distribution::{
+    block_size, count_interval_hits, count_wrapped_hits, grid_shape, home_of, validate_extents,
+};
+use an_numa::{
+    FaultStats, MachineConfig, ProcStats, SimError, SimStats, SweepConfig, SweepPoint, SweepReport,
+};
+use an_poly::Affine;
+
+/// Sentinel interval endpoints mirroring the simulator's open-ended
+/// edge blocks (`i64::MIN / 4` / `i64::MAX / 4` leave headroom for the
+/// affine arithmetic around them).
+const SENT_LO: i64 = i64::MIN / 4;
+const SENT_HI: i64 = i64::MAX / 4;
+
+/// Largest class modulus the analytic path accepts; beyond it (huge
+/// skew divisors or coefficient lcms) the collapse falls back to exact
+/// per-iteration enumeration, which is never worse than the simulator.
+const CLASS_CAP: i64 = 4096;
+
+/// Deliberate model corruptions for the differential mutation harness
+/// (`tests/model_mutations.rs`): each one must be caught by the
+/// model-vs-simulator gate on the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// The faithful model.
+    #[default]
+    None,
+    /// Inner trip counts run one iteration long.
+    TripOffByOne,
+    /// Remote accesses are never counted or charged.
+    DropRemoteTerm,
+    /// Access ownership is tested against the wrong processor plane
+    /// (`p + 1 mod P` instead of `p`).
+    WrongOwnershipPlane,
+}
+
+/// Analytic counterpart of [`an_numa::simulate`]: identical validation,
+/// identical counters, no iteration-space enumeration on the collapse
+/// level.
+///
+/// # Errors
+///
+/// As [`an_numa::simulate`]: [`SimError::NoProcessors`],
+/// [`SimError::BadParameters`], [`SimError::BadExtent`],
+/// [`SimError::UnboundedLoop`].
+pub fn model_stats(
+    spmd: &SpmdProgram,
+    machine: &MachineConfig,
+    procs: usize,
+    params: &[i64],
+) -> Result<SimStats, SimError> {
+    model_stats_with_jobs(spmd, machine, procs, params, 1)
+}
+
+/// [`model_stats`] with an explicit worker-thread count. Bitwise
+/// deterministic for every `jobs` value (per-processor results are
+/// folded in processor order, exactly like the simulator).
+///
+/// # Errors
+///
+/// As [`model_stats`].
+pub fn model_stats_with_jobs(
+    spmd: &SpmdProgram,
+    machine: &MachineConfig,
+    procs: usize,
+    params: &[i64],
+    jobs: usize,
+) -> Result<SimStats, SimError> {
+    model_stats_inner(spmd, machine, procs, params, jobs, Mutation::None)
+}
+
+/// [`model_stats_with_jobs`] recording a `"model"` span on `tracer`
+/// when present, with the aggregate counters mirroring the simulator's
+/// (`model.*` namespace). Emitted after the parallel join, in processor
+/// order, so the trace is identical for every `jobs` value.
+///
+/// # Errors
+///
+/// As [`model_stats`].
+pub fn model_stats_traced(
+    spmd: &SpmdProgram,
+    machine: &MachineConfig,
+    procs: usize,
+    params: &[i64],
+    jobs: usize,
+    tracer: Option<&an_obs::Tracer>,
+) -> Result<SimStats, SimError> {
+    let Some(t) = tracer else {
+        return model_stats_with_jobs(spmd, machine, procs, params, jobs);
+    };
+    let _span = t.span("model");
+    let stats = model_stats_with_jobs(spmd, machine, procs, params, jobs)?;
+    let m = t.metrics();
+    m.add("model.local_accesses", stats.total_local());
+    m.add("model.remote_accesses", stats.total_remote());
+    m.add("model.messages", stats.total_messages());
+    m.add("model.transfer_bytes", stats.total_transfer_bytes());
+    for ps in &stats.per_proc {
+        m.observe("model.proc_transfer_bytes", ps.transfer_bytes);
+    }
+    Ok(stats)
+}
+
+/// [`model_stats`] with a deliberate corruption armed — test hook for
+/// the mutation harness; [`Mutation::None`] is the faithful model.
+///
+/// # Errors
+///
+/// As [`model_stats`].
+pub fn model_stats_mutated(
+    spmd: &SpmdProgram,
+    machine: &MachineConfig,
+    procs: usize,
+    params: &[i64],
+    mutation: Mutation,
+) -> Result<SimStats, SimError> {
+    model_stats_inner(spmd, machine, procs, params, 1, mutation)
+}
+
+fn model_stats_inner(
+    spmd: &SpmdProgram,
+    machine: &MachineConfig,
+    procs: usize,
+    params: &[i64],
+    jobs: usize,
+    mutation: Mutation,
+) -> Result<SimStats, SimError> {
+    if procs == 0 {
+        return Err(SimError::NoProcessors);
+    }
+    let program = &spmd.program;
+    if params.len() != program.params.len() {
+        return Err(SimError::BadParameters {
+            expected: program.params.len(),
+            got: params.len(),
+        });
+    }
+    validate_extents(program, params)?;
+    let plan = MPlan::build(spmd, machine, procs, params, mutation);
+    let results = an_par::par_map_indexed(procs, jobs, |p| plan.run_processor(p));
+    let mut per_proc = Vec::with_capacity(procs);
+    for r in results {
+        per_proc.push(r?);
+    }
+    let time_us = if spmd.outer_carried {
+        per_proc.iter().map(|s| s.busy_us).sum()
+    } else {
+        per_proc.iter().map(|s| s.busy_us).fold(0.0, f64::max)
+    };
+    Ok(SimStats {
+        procs,
+        time_us,
+        per_proc,
+        faults: FaultStats::default(),
+    })
+}
+
+/// Distribution plan for one access, with the innermost *and* collapse
+/// coefficients of the distribution subscript(s) pre-flattened.
+enum MDist {
+    Local,
+    Wrapped {
+        a: i64,
+        base: i128,
+        coeffs: Vec<i64>,
+    },
+    Blocked {
+        a: i64,
+        base: i128,
+        coeffs: Vec<i64>,
+        size: i64,
+    },
+    Block2D {
+        row: (i64, i128, Vec<i64>),
+        col: (i64, i128, Vec<i64>),
+        sr: i64,
+        sc: i64,
+        pr: usize,
+        pc: usize,
+    },
+}
+
+struct MAccess {
+    dist: MDist,
+    covered: bool,
+}
+
+/// `(inner coefficient, params-resolved base, coefficients with the
+/// innermost slot zeroed)` — the same flattening the simulator applies.
+fn flatten(s: &Affine, inner: usize, params: &[i64]) -> (i64, i128, Vec<i64>) {
+    let mut base = s.constant_term() as i128;
+    for (c, v) in s.param_coeffs().iter().zip(params) {
+        base += *c as i128 * *v as i128;
+    }
+    let mut outer = s.var_coeffs().to_vec();
+    let a = outer.get(inner).copied().unwrap_or(0);
+    if inner < outer.len() {
+        outer[inner] = 0;
+    }
+    (a, base, outer)
+}
+
+#[inline]
+fn eval_flat(base: i128, coeffs: &[i64], point: &[i64]) -> i64 {
+    let mut acc = base;
+    for (c, v) in coeffs.iter().zip(point) {
+        acc += *c as i128 * *v as i128;
+    }
+    i64::try_from(acc).expect("affine evaluation overflow")
+}
+
+fn count_ops(e: &Expr) -> u64 {
+    match e {
+        Expr::Access(_) | Expr::Lit(_) | Expr::Coef(_) => 0,
+        Expr::Neg(a) => 1 + count_ops(a),
+        Expr::Bin(_, a, b) => 1 + count_ops(a) + count_ops(b),
+    }
+}
+
+fn div_floor_i128(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// How the outer-assignment filter restricts the collapse level for one
+/// processor.
+enum UFilter {
+    /// Every iteration executes here.
+    All,
+    /// No iteration executes here.
+    Never,
+    /// Iterations with `u ∈ [lo, hi]` execute here.
+    Interval(i64, i64),
+    /// Membership is constant on each residue class mod `M` (the test
+    /// is a `mod P` residue and `P | M`); evaluate once per class.
+    ClassConstant,
+}
+
+/// The w-interval on which `a·w + c` lands in `[blo, bhi]` (sentinel
+/// endpoints included), mirroring [`count_interval_hits`].
+fn invert_interval(a: i64, c: i64, blo: i64, bhi: i64) -> (i64, i64) {
+    if a > 0 {
+        (div_ceil(blo - c, a), div_floor(bhi - c, a))
+    } else {
+        (div_ceil(bhi - c, a), div_floor(blo - c, a))
+    }
+}
+
+/// Block interval of grid target `t` (size `s`, `g` blocks), open-ended
+/// at the grid edges exactly like `home_of`'s clamp.
+fn block_interval(t: i64, s: i64, g: i64) -> (i64, i64) {
+    let lo = if t == 0 { SENT_LO } else { t * s };
+    let hi = if t == g - 1 { SENT_HI } else { (t + 1) * s - 1 };
+    (lo, hi)
+}
+
+/// Counts `w ∈ [lo, hi]` whose Block2D home is processor `p` — the
+/// closed form of the simulator's per-element walk.
+#[allow(clippy::too_many_arguments)]
+fn count_block2d(
+    lo: i64,
+    hi: i64,
+    row: (i64, i64),
+    col: (i64, i64),
+    sr: i64,
+    sc: i64,
+    pr: usize,
+    pc: usize,
+    p: usize,
+) -> i64 {
+    if lo > hi {
+        return 0;
+    }
+    let (tr, tc) = ((p / pc) as i64, (p % pc) as i64);
+    let mut wlo = lo;
+    let mut whi = hi;
+    for ((a, c), (s, g, t)) in [row, col]
+        .into_iter()
+        .zip([(sr, pr as i64, tr), (sc, pc as i64, tc)])
+    {
+        let (blo, bhi) = block_interval(t, s, g);
+        if a == 0 {
+            if c < blo || c > bhi {
+                return 0;
+            }
+        } else {
+            let (ilo, ihi) = invert_interval(a, c, blo, bhi);
+            wlo = wlo.max(ilo);
+            whi = whi.min(ihi);
+        }
+    }
+    (whi - wlo + 1).max(0)
+}
+
+/// One exact evaluation of the collapse-level body at `point[cl] = u`:
+/// the restricted inner trip count, per-access local-hit counts (in
+/// statement order), and the would-fire flag of each transfer hoisted
+/// to the collapse level.
+struct Sample {
+    worked: bool,
+    trips: i64,
+    local: Vec<i64>,
+    fired: Vec<bool>,
+}
+
+/// Integer accumulator for one collapse: folded into [`ProcStats`] once
+/// at the end so float summation never mixes with the exact counting.
+struct Acc {
+    trips: i128,
+    local: Vec<i128>,
+    worked: i128,
+    fired: Vec<i128>,
+}
+
+impl Acc {
+    fn new(accesses: usize, transfers: usize) -> Acc {
+        Acc {
+            trips: 0,
+            local: vec![0; accesses],
+            worked: 0,
+            fired: vec![0; transfers],
+        }
+    }
+
+    fn add(&mut self, s: &Sample) {
+        self.trips += s.trips as i128;
+        for (t, v) in self.local.iter_mut().zip(&s.local) {
+            *t += *v as i128;
+        }
+        if s.worked {
+            self.worked += 1;
+            for (t, f) in self.fired.iter_mut().zip(&s.fired) {
+                *t += *f as i128;
+            }
+        }
+    }
+
+    /// Adds an affine run: `len` samples starting at `s0` whose numeric
+    /// components advance by `slope` per step (`worked`/`fired` flags
+    /// constant across the run, verified by the caller).
+    fn add_run(&mut self, s0: &Sample, slope: &[i128], len: i64) {
+        let l = len as i128;
+        let tri = l * (l - 1) / 2;
+        self.trips += l * s0.trips as i128 + slope[0] * tri;
+        for (i, t) in self.local.iter_mut().enumerate() {
+            *t += l * s0.local[i] as i128 + slope[1 + i] * tri;
+        }
+        if s0.worked {
+            self.worked += l;
+            for (t, f) in self.fired.iter_mut().zip(&s0.fired) {
+                *t += *f as i128 * l;
+            }
+        }
+    }
+}
+
+fn components(s: &Sample) -> Vec<i128> {
+    let mut v = Vec::with_capacity(1 + s.local.len());
+    v.push(s.trips as i128);
+    v.extend(s.local.iter().map(|&x| x as i128));
+    v
+}
+
+struct MPlan<'a> {
+    spmd: &'a SpmdProgram,
+    machine: &'a MachineConfig,
+    procs: usize,
+    params: &'a [i64],
+    extents: Vec<Vec<i64>>,
+    /// Per statement: (operation count, access plans). Access arrays are
+    /// kept for the Block2D slow checks in tests.
+    stmts: Vec<(u64, Vec<MAccess>)>,
+    transfers_at: Vec<Vec<&'a BlockTransfer>>,
+    /// Per collapse-level transfer: `(bytes, cost_us)`.
+    transfer_costs: Vec<(u64, f64)>,
+    remote_us: f64,
+    mutation: Mutation,
+    n_access: usize,
+}
+
+impl<'a> MPlan<'a> {
+    fn build(
+        spmd: &'a SpmdProgram,
+        machine: &'a MachineConfig,
+        procs: usize,
+        params: &'a [i64],
+        mutation: Mutation,
+    ) -> MPlan<'a> {
+        let program = &spmd.program;
+        let extents: Vec<Vec<i64>> = program.arrays.iter().map(|a| a.extents(params)).collect();
+        let n = program.nest.depth();
+        let inner = n - 1;
+        let mut transfers_at = vec![Vec::new(); n];
+        for t in &spmd.transfers {
+            transfers_at[t.level].push(t);
+        }
+        let stmts: Vec<(u64, Vec<MAccess>)> = program
+            .nest
+            .body
+            .iter()
+            .map(|stmt| {
+                let Stmt::Assign { lhs, rhs } = stmt else {
+                    return (0, Vec::new());
+                };
+                let reads = rhs.reads();
+                let mut accesses = Vec::with_capacity(1 + reads.len());
+                accesses.push(Self::plan_access(
+                    spmd, procs, &extents, params, inner, lhs, true,
+                ));
+                for r in reads {
+                    accesses.push(Self::plan_access(
+                        spmd, procs, &extents, params, inner, r, false,
+                    ));
+                }
+                (count_ops(rhs), accesses)
+            })
+            .collect();
+        let n_access = stmts.iter().map(|(_, a)| a.len()).sum();
+        let cl = n.saturating_sub(2);
+        let transfer_costs = transfers_at[cl]
+            .iter()
+            .map(|t| {
+                let elements = t.elements(program, params);
+                let bytes = (elements.max(0) as u64) * machine.element_bytes as u64;
+                (bytes, machine.transfer_cost(elements, procs))
+            })
+            .collect();
+        MPlan {
+            spmd,
+            machine,
+            procs,
+            params,
+            extents,
+            stmts,
+            transfers_at,
+            transfer_costs,
+            remote_us: machine.remote_effective(procs),
+            mutation,
+            n_access,
+        }
+    }
+
+    fn plan_access(
+        spmd: &'a SpmdProgram,
+        procs: usize,
+        extents: &[Vec<i64>],
+        params: &[i64],
+        inner: usize,
+        r: &an_ir::ArrayRef,
+        is_write: bool,
+    ) -> MAccess {
+        let program = &spmd.program;
+        let decl = program.array(r.array);
+        let dist = match decl.distribution {
+            Distribution::Replicated => MDist::Local,
+            _ if procs == 1 => MDist::Local,
+            Distribution::Wrapped { dim } => {
+                let (a, base, coeffs) = flatten(&r.subscripts[dim], inner, params);
+                MDist::Wrapped { a, base, coeffs }
+            }
+            Distribution::Blocked { dim } => {
+                let (a, base, coeffs) = flatten(&r.subscripts[dim], inner, params);
+                MDist::Blocked {
+                    a,
+                    base,
+                    coeffs,
+                    size: block_size(extents[r.array.0][dim], procs),
+                }
+            }
+            Distribution::Block2D { row_dim, col_dim } => {
+                let (pr, pc) = grid_shape(procs);
+                MDist::Block2D {
+                    row: flatten(&r.subscripts[row_dim], inner, params),
+                    col: flatten(&r.subscripts[col_dim], inner, params),
+                    sr: block_size(extents[r.array.0][row_dim], pr),
+                    sc: block_size(extents[r.array.0][col_dim], pc),
+                    pr,
+                    pc,
+                }
+            }
+        };
+        let covered = !is_write
+            && !decl.distribution.dims().is_empty()
+            && decl.distribution.dims().iter().all(|&dim| {
+                spmd.transfers
+                    .iter()
+                    .any(|t| t.array == r.array && t.dim == dim && t.subscript == r.subscripts[dim])
+            });
+        MAccess { dist, covered }
+    }
+
+    /// The processor whose ownership plane prices the accesses — `p`
+    /// for the faithful model, shifted under the mutation.
+    fn p_access(&self, p: usize) -> usize {
+        match self.mutation {
+            Mutation::WrongOwnershipPlane => (p + 1) % self.procs,
+            _ => p,
+        }
+    }
+
+    fn run_processor(&self, p: usize) -> Result<ProcStats, SimError> {
+        let mut stats = ProcStats::default();
+        let n = self.spmd.program.nest.depth();
+        let mut point = vec![0i64; n];
+        if n == 1 {
+            self.depth1(p, &mut point, &mut stats)?;
+        } else {
+            self.walk(0, p, &mut point, &mut stats)?;
+        }
+        Ok(stats)
+    }
+
+    /// Depth-1 nests have no loop to collapse; mirror the simulator's
+    /// per-iteration pricing (already O(extent)).
+    fn depth1(&self, p: usize, point: &mut [i64], stats: &mut ProcStats) -> Result<(), SimError> {
+        let bounds = &self.spmd.program.nest.bounds[0];
+        let (lo, hi) = bounds
+            .eval(point, self.params)
+            .ok_or(SimError::UnboundedLoop { var: 0 })?;
+        let mut acc = Acc::new(self.n_access, self.transfers_at[0].len());
+        for v in lo..=hi {
+            if !self.executes_level(0, p, v) {
+                continue;
+            }
+            point[0] = v;
+            let s = self.eval_at_u(0, v, v, p, point);
+            // Depth-1 iterations always count as work in the simulator.
+            let s = Sample { worked: true, ..s };
+            acc.add(&s);
+        }
+        point[0] = 0;
+        self.fold(0, &acc, stats);
+        Ok(())
+    }
+
+    /// Explicit walk above the collapse level: exactly the simulator's
+    /// `walk`, recursing until level `n − 2` where the collapse takes
+    /// over.
+    fn walk(
+        &self,
+        level: usize,
+        p: usize,
+        point: &mut Vec<i64>,
+        stats: &mut ProcStats,
+    ) -> Result<bool, SimError> {
+        let n = self.spmd.program.nest.depth();
+        let cl = n - 2;
+        if level == cl {
+            return self.collapse(p, point, stats);
+        }
+        let bounds = &self.spmd.program.nest.bounds[level];
+        let (lo, hi) = bounds
+            .eval(point, self.params)
+            .ok_or(SimError::UnboundedLoop { var: level })?;
+        let mut any = false;
+        for v in lo..=hi {
+            point[level] = v;
+            if level <= 1 && !self.executes_level(level, p, v) {
+                continue;
+            }
+            let worked = self.walk(level + 1, p, point, stats)?;
+            if worked {
+                any = true;
+                if level == 0 {
+                    stats.outer_iterations += 1;
+                }
+                for t in &self.transfers_at[level] {
+                    self.cost_transfer(t, p, point, stats);
+                }
+            }
+        }
+        point[level] = 0;
+        Ok(any)
+    }
+
+    fn cost_transfer(&self, t: &BlockTransfer, p: usize, point: &[i64], stats: &mut ProcStats) {
+        if self.procs == 1 {
+            return;
+        }
+        let decl = self.spmd.program.array(t.array);
+        if decl.distribution == Distribution::Replicated {
+            return;
+        }
+        let s_val = t.subscript.eval(point, self.params);
+        let mut idx = vec![0i64; decl.rank()];
+        idx[t.dim] = s_val;
+        let home = home_of(decl, &self.extents[t.array.0], &idx, self.procs);
+        if home.is_local_to(p) {
+            return;
+        }
+        let elements = t.elements(&self.spmd.program, self.params);
+        stats.messages += 1;
+        stats.transfer_bytes += (elements.max(0) as u64) * self.machine.element_bytes as u64;
+        stats.busy_us += self.machine.transfer_cost(elements, self.procs);
+    }
+
+    /// Whether a collapse-level transfer would fire at `point` (the
+    /// home-side test of `cost_transfer`, without the accounting).
+    fn transfer_fires(&self, t: &BlockTransfer, p: usize, point: &[i64]) -> bool {
+        if self.procs == 1 {
+            return false;
+        }
+        let decl = self.spmd.program.array(t.array);
+        if decl.distribution == Distribution::Replicated {
+            return false;
+        }
+        let s_val = t.subscript.eval(point, self.params);
+        let mut idx = vec![0i64; decl.rank()];
+        idx[t.dim] = s_val;
+        !home_of(decl, &self.extents[t.array.0], &idx, self.procs).is_local_to(p)
+    }
+
+    /// Verbatim copy of the simulator's outer-assignment filter.
+    fn executes_level(&self, level: usize, p: usize, value: i64) -> bool {
+        if self.procs == 1 {
+            return true;
+        }
+        match &self.spmd.outer {
+            OuterAssignment::RoundRobin => {
+                level != 0 || mod_floor(value, self.procs as i64) == p as i64
+            }
+            OuterAssignment::ByHome {
+                array,
+                dim: _,
+                coeff,
+                offset,
+            } => {
+                if level != 0 {
+                    return true;
+                }
+                let nvars = self.spmd.program.nest.space.num_vars();
+                let zeros = vec![0i64; nvars];
+                let s_val = coeff * value + offset.eval(&zeros, self.params);
+                let decl = self.spmd.program.array(*array);
+                let dims = decl.distribution.dims();
+                let d = dims[0];
+                let mut idx = vec![0i64; decl.rank()];
+                idx[d] = s_val;
+                home_of(decl, &self.extents[array.0], &idx, self.procs).is_local_to(p)
+            }
+            OuterAssignment::ByHome2D {
+                array,
+                row_dim,
+                col_dim,
+                row_coeff,
+                row_offset,
+                col_coeff,
+                col_offset,
+            } => {
+                let (gr, gc) = grid_shape(self.procs);
+                let nvars = self.spmd.program.nest.space.num_vars();
+                let zeros = vec![0i64; nvars];
+                let extents = &self.extents[array.0];
+                match level {
+                    0 => {
+                        let s_val = row_coeff * value + row_offset.eval(&zeros, self.params);
+                        let sr = block_size(extents[*row_dim], gr);
+                        let hr = div_floor(s_val, sr).clamp(0, gr as i64 - 1);
+                        hr as usize == p / gc
+                    }
+                    1 => {
+                        let s_val = col_coeff * value + col_offset.eval(&zeros, self.params);
+                        let sc = block_size(extents[*col_dim], gc);
+                        let hc = div_floor(s_val, sc).clamp(0, gc as i64 - 1);
+                        hc as usize == p % gc
+                    }
+                    _ => true,
+                }
+            }
+        }
+    }
+
+    /// Verbatim copy of the simulator's 2-D grid-column restriction of
+    /// the innermost loop (depth-2 nests under `ByHome2D` only).
+    fn restrict_to_grid_column(&self, p: usize, lo: i64, hi: i64) -> (i64, i64) {
+        let OuterAssignment::ByHome2D {
+            array,
+            col_dim,
+            col_coeff,
+            col_offset,
+            ..
+        } = &self.spmd.outer
+        else {
+            return (lo, hi);
+        };
+        if self.procs == 1 {
+            return (lo, hi);
+        }
+        let (_, gc) = grid_shape(self.procs);
+        let pc = (p % gc) as i64;
+        let nvars = self.spmd.program.nest.space.num_vars();
+        let zeros = vec![0i64; nvars];
+        let off = col_offset.eval(&zeros, self.params);
+        let sc = block_size(self.extents[array.0][*col_dim], gc);
+        let blo = if pc == 0 { i64::MIN / 4 } else { pc * sc };
+        let bhi = if pc == gc as i64 - 1 {
+            i64::MAX / 4
+        } else {
+            (pc + 1) * sc - 1
+        };
+        let c = *col_coeff;
+        let (vlo, vhi) = if c > 0 {
+            (div_ceil(blo - off, c), div_floor(bhi - off, c))
+        } else {
+            (div_ceil(bhi - off, c), div_floor(blo - off, c))
+        };
+        (lo.max(vlo), hi.min(vhi))
+    }
+
+    /// Classifies the outer-assignment filter at the collapse level into
+    /// a shape the class machinery can use without per-iteration tests.
+    fn collapse_filter(&self, cl: usize, p: usize) -> UFilter {
+        if self.procs == 1 || cl > 1 {
+            return UFilter::All;
+        }
+        let nvars = self.spmd.program.nest.space.num_vars();
+        let zeros = vec![0i64; nvars];
+        // `blo ≤ coeff·u + off ≤ bhi` as a u-interval (or a constant).
+        let affine_in = |coeff: i64, off: i64, blo: i64, bhi: i64| -> UFilter {
+            if coeff == 0 {
+                if off >= blo && off <= bhi {
+                    UFilter::All
+                } else {
+                    UFilter::Never
+                }
+            } else {
+                let (lo, hi) = invert_interval(coeff, off, blo, bhi);
+                UFilter::Interval(lo, hi)
+            }
+        };
+        match &self.spmd.outer {
+            OuterAssignment::RoundRobin => {
+                if cl == 0 {
+                    UFilter::ClassConstant
+                } else {
+                    UFilter::All
+                }
+            }
+            OuterAssignment::ByHome {
+                array,
+                dim: _,
+                coeff,
+                offset,
+            } => {
+                if cl != 0 {
+                    return UFilter::All;
+                }
+                let off = offset.eval(&zeros, self.params);
+                let decl = self.spmd.program.array(*array);
+                let extents = &self.extents[array.0];
+                match decl.distribution {
+                    Distribution::Replicated => UFilter::All,
+                    Distribution::Wrapped { .. } => UFilter::ClassConstant,
+                    Distribution::Blocked { dim } => {
+                        let s = block_size(extents[dim], self.procs);
+                        let (blo, bhi) = block_interval(p as i64, s, self.procs as i64);
+                        affine_in(*coeff, off, blo, bhi)
+                    }
+                    Distribution::Block2D { row_dim, .. } => {
+                        // The filter indexes only the row dimension; the
+                        // zero column index homes to grid column 0.
+                        let (pr, pc) = grid_shape(self.procs);
+                        if !p.is_multiple_of(pc) {
+                            return UFilter::Never;
+                        }
+                        let sr = block_size(extents[row_dim], pr);
+                        let (blo, bhi) = block_interval((p / pc) as i64, sr, pr as i64);
+                        affine_in(*coeff, off, blo, bhi)
+                    }
+                }
+            }
+            OuterAssignment::ByHome2D {
+                array,
+                row_dim,
+                col_dim,
+                row_coeff,
+                row_offset,
+                col_coeff,
+                col_offset,
+            } => {
+                let (gr, gc) = grid_shape(self.procs);
+                let extents = &self.extents[array.0];
+                match cl {
+                    0 => {
+                        let off = row_offset.eval(&zeros, self.params);
+                        let sr = block_size(extents[*row_dim], gr);
+                        let (blo, bhi) = block_interval((p / gc) as i64, sr, gr as i64);
+                        affine_in(*row_coeff, off, blo, bhi)
+                    }
+                    1 => {
+                        let off = col_offset.eval(&zeros, self.params);
+                        let sc = block_size(extents[*col_dim], gc);
+                        let (blo, bhi) = block_interval((p % gc) as i64, sc, gc as i64);
+                        affine_in(*col_coeff, off, blo, bhi)
+                    }
+                    _ => UFilter::All,
+                }
+            }
+        }
+    }
+
+    /// The class modulus: `P · lcm(inner bound divisors, |inner
+    /// coefficients| of interval-counted accesses)`. Within one residue
+    /// class every tracked quantity is exactly affine in the class
+    /// index. `None` means the lcm overflowed or exceeded [`CLASS_CAP`]
+    /// — fall back to enumeration.
+    fn class_modulus(&self) -> Option<i64> {
+        let inner = self.spmd.program.nest.depth() - 1;
+        let bounds = &self.spmd.program.nest.bounds[inner];
+        let mut l: i64 = 1;
+        let mut fold = |d: i64| -> bool {
+            if d == 0 {
+                return true;
+            }
+            let d = d.abs();
+            let g = gcd(l, d);
+            match (l / g).checked_mul(d) {
+                Some(v) if v <= CLASS_CAP => {
+                    l = v;
+                    true
+                }
+                _ => false,
+            }
+        };
+        for b in bounds.lowers.iter().chain(&bounds.uppers) {
+            if !fold(b.divisor) {
+                return None;
+            }
+        }
+        for (_, accesses) in &self.stmts {
+            for acc in accesses {
+                let ok = match &acc.dist {
+                    MDist::Local | MDist::Wrapped { .. } => true,
+                    MDist::Blocked { a, .. } => fold(*a),
+                    MDist::Block2D { row, col, .. } => fold(row.0) && fold(col.0),
+                };
+                if !ok {
+                    return None;
+                }
+            }
+        }
+        l.checked_mul(self.procs as i64).filter(|&m| m <= CLASS_CAP)
+    }
+
+    /// Evaluates the full collapse-level body at `point[cl] = u` with
+    /// the inner loop clamped to `[ilo_hint, ihi_hint]`… no hints: the
+    /// inner bounds come from the nest. Restores `point[cl]` to 0.
+    fn eval_collapse_u(&self, cl: usize, u: i64, p: usize, point: &mut [i64]) -> Sample {
+        point[cl] = u;
+        let inner = self.spmd.program.nest.depth() - 1;
+        let (lo, hi) = self.spmd.program.nest.bounds[inner]
+            .eval(point, self.params)
+            .expect("inner bounds checked non-empty before collapse");
+        let (lo, hi) = if inner == 1 {
+            self.restrict_to_grid_column(p, lo, hi)
+        } else {
+            (lo, hi)
+        };
+        let s = self.eval_at_u(inner, lo, hi, p, point);
+        point[cl] = 0;
+        s
+    }
+
+    /// Prices the innermost loop `w ∈ [lo, hi]` at the current `point`:
+    /// the closed-form counting of the simulator's `cost_innermost`,
+    /// returned as integers instead of folded into float time.
+    fn eval_at_u(&self, inner: usize, lo: i64, mut hi: i64, p: usize, point: &[i64]) -> Sample {
+        if self.mutation == Mutation::TripOffByOne && lo <= hi {
+            hi += 1;
+        }
+        let worked = lo <= hi;
+        let trips = (hi - lo + 1).max(0);
+        let p_acc = self.p_access(p);
+        let mut local = Vec::with_capacity(self.n_access);
+        for (_, accesses) in &self.stmts {
+            for acc in accesses {
+                let l = if trips == 0 {
+                    0
+                } else if acc.covered && self.procs > 1 {
+                    trips
+                } else {
+                    match &acc.dist {
+                        MDist::Local => trips,
+                        MDist::Wrapped { a, base, coeffs } => {
+                            let c = eval_flat(*base, coeffs, point);
+                            count_wrapped_hits(lo, hi, *a, c, self.procs, p_acc)
+                        }
+                        MDist::Blocked {
+                            a,
+                            base,
+                            coeffs,
+                            size,
+                        } => {
+                            let c = eval_flat(*base, coeffs, point);
+                            let (blo, bhi) = block_interval(p_acc as i64, *size, self.procs as i64);
+                            count_interval_hits(lo, hi, *a, c, blo, bhi)
+                        }
+                        MDist::Block2D {
+                            row,
+                            col,
+                            sr,
+                            sc,
+                            pr,
+                            pc,
+                        } => {
+                            let cr = eval_flat(row.1, &row.2, point);
+                            let cc = eval_flat(col.1, &col.2, point);
+                            count_block2d(
+                                lo,
+                                hi,
+                                (row.0, cr),
+                                (col.0, cc),
+                                *sr,
+                                *sc,
+                                *pr,
+                                *pc,
+                                p_acc,
+                            )
+                        }
+                    }
+                };
+                local.push(l);
+            }
+        }
+        let cl = inner.saturating_sub(1);
+        let fired = self.transfers_at[cl]
+            .iter()
+            .map(|t| self.transfer_fires(t, p, point))
+            .collect();
+        Sample {
+            worked,
+            trips,
+            local,
+            fired,
+        }
+    }
+
+    /// Folds a collapse accumulator into the processor's stats,
+    /// charging the same unit costs as the simulator.
+    fn fold(&self, cl: usize, acc: &Acc, stats: &mut ProcStats) {
+        let to_u64 = |v: i128| u64::try_from(v).expect("negative model count");
+        let mut i = 0usize;
+        let mut local_total: i128 = 0;
+        let mut remote_total: i128 = 0;
+        let mut busy = 0.0f64;
+        for (ops, accesses) in &self.stmts {
+            busy += acc.trips as f64 * *ops as f64 * self.machine.compute_per_op;
+            for _ in accesses {
+                let l = acc.local[i];
+                let r = if self.mutation == Mutation::DropRemoteTerm {
+                    0
+                } else {
+                    acc.trips - l
+                };
+                local_total += l;
+                remote_total += r;
+                busy += l as f64 * self.machine.local_access + r as f64 * self.remote_us;
+                i += 1;
+            }
+        }
+        for (j, &count) in acc.fired.iter().enumerate() {
+            let (bytes, cost) = self.transfer_costs[j];
+            stats.messages += to_u64(count);
+            stats.transfer_bytes += to_u64(count) * bytes;
+            busy += count as f64 * cost;
+        }
+        stats.local_accesses += to_u64(local_total);
+        stats.remote_accesses += to_u64(remote_total);
+        if cl == 0 {
+            stats.outer_iterations += to_u64(acc.worked);
+        }
+        stats.busy_us += busy;
+    }
+}
+
+impl<'a> MPlan<'a> {
+    /// Collapses loop level `cl = n − 2` for processor `p`: residue
+    /// classes mod `M`, each split at the crossings of its tracked
+    /// affine lines and summed as arithmetic series. Returns whether
+    /// any full-depth iteration executed (the `worked` signal the
+    /// explicit walk above needs).
+    fn collapse(
+        &self,
+        p: usize,
+        point: &mut [i64],
+        stats: &mut ProcStats,
+    ) -> Result<bool, SimError> {
+        let n = self.spmd.program.nest.depth();
+        let cl = n - 2;
+        let inner = n - 1;
+        let bounds_cl = &self.spmd.program.nest.bounds[cl];
+        let (mut lo_u, mut hi_u) = bounds_cl
+            .eval(point, self.params)
+            .ok_or(SimError::UnboundedLoop { var: cl })?;
+        let filter = self.collapse_filter(cl, p);
+        match filter {
+            UFilter::Never => return Ok(false),
+            UFilter::Interval(flo, fhi) => {
+                lo_u = lo_u.max(flo);
+                hi_u = hi_u.min(fhi);
+            }
+            UFilter::All | UFilter::ClassConstant => {}
+        }
+        if lo_u > hi_u {
+            return Ok(false);
+        }
+        // The simulator reports an unbounded inner loop the first time
+        // a surviving iteration evaluates its bounds; mirror that.
+        let ib = &self.spmd.program.nest.bounds[inner];
+        if ib.lowers.is_empty() || ib.uppers.is_empty() {
+            let reached = match filter {
+                UFilter::ClassConstant => {
+                    // Membership is periodic with period dividing P.
+                    let span = (hi_u - lo_u).min(self.procs as i64 - 1);
+                    (0..=span).any(|d| self.executes_level(cl, p, lo_u + d))
+                }
+                _ => true,
+            };
+            if reached {
+                return Err(SimError::UnboundedLoop { var: inner });
+            }
+            return Ok(false);
+        }
+        let mut acc = Acc::new(self.n_access, self.transfers_at[cl].len());
+        match self.class_modulus() {
+            // Short ranges and oversized moduli: exact enumeration
+            // (identical work to the simulator's walk).
+            Some(m) if hi_u - lo_u >= 3 * m => {
+                for r in 0..m {
+                    let u0 = lo_u + r;
+                    if u0 > hi_u {
+                        break;
+                    }
+                    if matches!(filter, UFilter::ClassConstant) && !self.executes_level(cl, p, u0) {
+                        continue;
+                    }
+                    let kmax = (hi_u - u0) / m;
+                    self.collapse_class(cl, u0, m, kmax, p, point, &mut acc);
+                }
+            }
+            _ => {
+                for u in lo_u..=hi_u {
+                    if matches!(filter, UFilter::ClassConstant) && !self.executes_level(cl, p, u) {
+                        continue;
+                    }
+                    let s = self.eval_collapse_u(cl, u, p, point);
+                    acc.add(&s);
+                }
+            }
+        }
+        self.fold(cl, &acc, stats);
+        Ok(acc.worked > 0)
+    }
+
+    /// Sums one residue class `{u0 + t·M : t ∈ [0, kmax]}`.
+    #[allow(clippy::too_many_arguments)]
+    fn collapse_class(
+        &self,
+        cl: usize,
+        u0: i64,
+        m: i64,
+        kmax: i64,
+        p: usize,
+        point: &mut [i64],
+        acc: &mut Acc,
+    ) {
+        if kmax == 0 {
+            let s = self.eval_collapse_u(cl, u0, p, point);
+            acc.add(&s);
+            return;
+        }
+        // Two probes determine every tracked line exactly (each probed
+        // quantity is affine in the class index across the whole class).
+        let l0 = self.probe(cl, u0, p, point);
+        let l1 = self.probe(cl, u0 + m, p, point);
+        let mut lines: Vec<(i128, i128)> = l0
+            .iter()
+            .zip(&l1)
+            .map(|(&a, &b)| (a as i128, b as i128 - a as i128))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let mut cuts: Vec<i64> = vec![0, kmax];
+        for i in 0..lines.len() {
+            for j in (i + 1)..lines.len() {
+                let (v_i, s_i) = lines[i];
+                let (v_j, s_j) = lines[j];
+                let ds = s_i - s_j;
+                if ds == 0 {
+                    continue;
+                }
+                let tf = div_floor_i128(v_j - v_i, ds);
+                // ±2 window covers every `A ⋈ B + k` comparison whose
+                // shift from the raw crossing is < 1 (all slopes here
+                // differ by at least the shift's denominator).
+                for d in -2i128..=3 {
+                    let t = tf + d;
+                    if t >= 0 && t <= kmax as i128 {
+                        cuts.push(t as i64);
+                    }
+                }
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        // Singleton segments at every cut, affine interiors between.
+        let mut segs: Vec<(i64, i64)> = Vec::with_capacity(cuts.len() * 2);
+        for w in cuts.windows(2) {
+            segs.push((w[0], w[0]));
+            if w[1] > w[0] + 1 {
+                segs.push((w[0] + 1, w[1] - 1));
+            }
+        }
+        segs.push((kmax, kmax));
+        for (t0, t1) in segs {
+            let len = t1 - t0 + 1;
+            let s0 = self.eval_collapse_u(cl, u0 + t0 * m, p, point);
+            if len == 1 {
+                acc.add(&s0);
+                continue;
+            }
+            let s_end = self.eval_collapse_u(cl, u0 + t1 * m, p, point);
+            if len == 2 {
+                acc.add(&s0);
+                acc.add(&s_end);
+                continue;
+            }
+            let s_mid = self.eval_collapse_u(cl, u0 + (t0 + 1) * m, p, point);
+            let c0 = components(&s0);
+            let c_mid = components(&s_mid);
+            let c_end = components(&s_end);
+            let slope: Vec<i128> = c_mid.iter().zip(&c0).map(|(a, b)| a - b).collect();
+            let affine = c_end
+                .iter()
+                .zip(&c0)
+                .zip(&slope)
+                .all(|((e, s), sl)| *e == *s + sl * (len as i128 - 1))
+                && s0.worked == s_mid.worked
+                && s0.worked == s_end.worked
+                && s0.fired == s_mid.fired
+                && s0.fired == s_end.fired;
+            if affine {
+                acc.add_run(&s0, &slope, len);
+            } else {
+                // Defense in depth: a missed breakpoint degrades to the
+                // exact per-iteration walk, never to a wrong count.
+                for t in t0..=t1 {
+                    let s = self.eval_collapse_u(cl, u0 + t * m, p, point);
+                    acc.add(&s);
+                }
+            }
+        }
+    }
+
+    /// Samples every quantity whose sign changes or branch switches can
+    /// bend the per-iteration counts: inner bound values, guards,
+    /// grid-column limits, block-interval inversions, and transfer
+    /// subscripts. Crossings between any two of these lines are the
+    /// only places the collapse body stops being affine.
+    fn probe(&self, cl: usize, u: i64, p: usize, point: &mut [i64]) -> Vec<i64> {
+        point[cl] = u;
+        let inner = self.spmd.program.nest.depth() - 1;
+        let ib = &self.spmd.program.nest.bounds[inner];
+        let mut out = Vec::with_capacity(8 + 2 * self.n_access);
+        for b in &ib.lowers {
+            out.push(b.eval_lower(point, self.params));
+        }
+        for b in &ib.uppers {
+            out.push(b.eval_upper(point, self.params));
+        }
+        for g in &ib.guards {
+            out.push(g.eval(point, self.params));
+            out.push(0);
+        }
+        if inner == 1 {
+            let (vlo, vhi) = self.restrict_to_grid_column(p, i64::MIN / 2, i64::MAX / 2);
+            out.push(vlo);
+            out.push(vhi);
+        }
+        let p_acc = self.p_access(p);
+        for (_, accesses) in &self.stmts {
+            for acc in accesses {
+                match &acc.dist {
+                    MDist::Local | MDist::Wrapped { .. } => {}
+                    MDist::Blocked {
+                        a,
+                        base,
+                        coeffs,
+                        size,
+                    } => {
+                        let c = eval_flat(*base, coeffs, point);
+                        let (blo, bhi) = block_interval(p_acc as i64, *size, self.procs as i64);
+                        if *a == 0 {
+                            out.push(c);
+                            out.push(blo);
+                            out.push(bhi);
+                        } else {
+                            let (wlo, whi) = invert_interval(*a, c, blo, bhi);
+                            out.push(wlo);
+                            out.push(whi);
+                        }
+                    }
+                    MDist::Block2D {
+                        row,
+                        col,
+                        sr,
+                        sc,
+                        pr,
+                        pc,
+                    } => {
+                        let (tr, tc) = ((p_acc / pc) as i64, (p_acc % pc) as i64);
+                        for ((a, base, coeffs), (s, g, t)) in [row, col]
+                            .into_iter()
+                            .zip([(*sr, *pr as i64, tr), (*sc, *pc as i64, tc)])
+                        {
+                            let c = eval_flat(*base, coeffs, point);
+                            let (blo, bhi) = block_interval(t, s, g);
+                            if *a == 0 {
+                                out.push(c);
+                                out.push(blo);
+                                out.push(bhi);
+                            } else {
+                                let (wlo, whi) = invert_interval(*a, c, blo, bhi);
+                                out.push(wlo);
+                                out.push(whi);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for t in &self.transfers_at[cl] {
+            let decl = self.spmd.program.array(t.array);
+            let s_val = t.subscript.eval(point, self.params);
+            match decl.distribution {
+                Distribution::Replicated | Distribution::Wrapped { .. } => {}
+                Distribution::Blocked { dim } => {
+                    let s = block_size(self.extents[t.array.0][dim], self.procs);
+                    let (blo, bhi) = block_interval(p as i64, s, self.procs as i64);
+                    out.push(s_val);
+                    out.push(blo);
+                    out.push(bhi);
+                }
+                Distribution::Block2D { row_dim, col_dim } => {
+                    let (pr, pc) = grid_shape(self.procs);
+                    let exts = &self.extents[t.array.0];
+                    let (g, s, tgt) = if t.dim == row_dim {
+                        (pr, block_size(exts[row_dim], pr), (p / pc) as i64)
+                    } else {
+                        (pc, block_size(exts[col_dim], pc), (p % pc) as i64)
+                    };
+                    let (blo, bhi) = block_interval(tgt, s, g as i64);
+                    out.push(s_val);
+                    out.push(blo);
+                    out.push(bhi);
+                }
+            }
+        }
+        point[cl] = 0;
+        out
+    }
+}
+
+/// Model-priced counterpart of [`an_numa::sweep`]: evaluates the same
+/// (machine × procs × params) grid with [`model_stats`] at every point
+/// instead of the discrete simulator. Grid order, determinism contract,
+/// and the report shape are identical to the simulator sweep, so the
+/// two reports are directly comparable point-for-point.
+///
+/// The chaos axis is a simulator-only concept (fault injection has no
+/// closed form); any [`SweepConfig::chaos`] setting is ignored and only
+/// fault-free baseline points are produced. Callers offering both
+/// pricings should reject chaos + model combinations up front.
+///
+/// # Errors
+///
+/// The first failing grid point's [`SimError`], in grid order.
+pub fn sweep_model(
+    spmd: &SpmdProgram,
+    machines: &[MachineConfig],
+    cfg: &SweepConfig,
+) -> Result<SweepReport, SimError> {
+    let grid: Vec<(usize, usize, usize)> = (0..machines.len())
+        .flat_map(|mi| {
+            cfg.procs
+                .iter()
+                .flat_map(move |&procs| (0..cfg.param_sets.len()).map(move |pi| (mi, procs, pi)))
+        })
+        .collect();
+    let tracer = cfg.tracer.as_deref();
+    let _span = tracer.map(|t| t.span("sweep"));
+    if let Some(t) = tracer {
+        t.emit(an_obs::EventKind::Counter {
+            name: "sweep.grid_points".into(),
+            value: grid.len() as u64,
+        });
+    }
+    let start = std::time::Instant::now();
+    let results = an_par::par_map(&grid, cfg.jobs, |&(mi, procs, pi)| {
+        model_stats(spmd, &machines[mi], procs, &cfg.param_sets[pi]).map(|stats| SweepPoint {
+            machine: machines[mi].name.clone(),
+            procs,
+            params: cfg.param_sets[pi].clone(),
+            scenario: None,
+            stats,
+        })
+    });
+    let mut points = Vec::with_capacity(results.len());
+    for r in results {
+        points.push(r?);
+    }
+    if let Some(t) = tracer {
+        let m = t.metrics();
+        m.add("sweep.points", points.len() as u64);
+        for pt in &points {
+            m.add("sweep.messages", pt.stats.total_messages());
+            m.add("sweep.transfer_bytes", pt.stats.total_transfer_bytes());
+        }
+    }
+    Ok(SweepReport {
+        points,
+        jobs: an_par::resolve_jobs(cfg.jobs),
+        wall_us: start.elapsed().as_micros(),
+        norm_cache: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an_codegen::spmd::{generate_spmd, SpmdOptions};
+    use an_codegen::transform::apply_transform;
+    use an_core::{normalize, NormalizeOptions};
+    use an_linalg::IMatrix;
+    use an_numa::simulate_with_jobs;
+
+    fn build_spmd(src: &str, transform: Option<IMatrix>, block: bool) -> SpmdProgram {
+        let p = an_lang::parse(src).unwrap();
+        let r = normalize(&p, &NormalizeOptions::default()).unwrap();
+        let t_mat = transform.unwrap_or(r.transform.clone());
+        let tp = apply_transform(&p, &t_mat).unwrap();
+        generate_spmd(
+            &tp,
+            Some(&r.dependences),
+            &SpmdOptions {
+                block_transfers: block,
+            },
+        )
+    }
+
+    fn assert_matches_sim(spmd: &SpmdProgram, params: &[i64], procs_list: &[usize]) {
+        let machine = MachineConfig::butterfly_gp1000();
+        for &procs in procs_list {
+            let sim = simulate_with_jobs(spmd, &machine, procs, params, 1).unwrap();
+            let model = model_stats(spmd, &machine, procs, params).unwrap();
+            for (p, (a, b)) in model.per_proc.iter().zip(&sim.per_proc).enumerate() {
+                assert_eq!(a.local_accesses, b.local_accesses, "local P={procs} p={p}");
+                assert_eq!(
+                    a.remote_accesses, b.remote_accesses,
+                    "remote P={procs} p={p}"
+                );
+                assert_eq!(a.messages, b.messages, "messages P={procs} p={p}");
+                assert_eq!(a.transfer_bytes, b.transfer_bytes, "bytes P={procs} p={p}");
+                assert_eq!(
+                    a.outer_iterations, b.outer_iterations,
+                    "outer P={procs} p={p}"
+                );
+                let scale = b.busy_us.abs().max(1.0);
+                assert!(
+                    (a.busy_us - b.busy_us).abs() / scale < 1e-9,
+                    "busy P={procs} p={p}: model {} sim {}",
+                    a.busy_us,
+                    b.busy_us
+                );
+            }
+        }
+    }
+
+    fn check(src: &str, params: &[i64], transform: Option<IMatrix>) {
+        for block in [true, false] {
+            let spmd = build_spmd(src, transform.clone(), block);
+            assert_matches_sim(&spmd, params, &[1, 2, 3, 4, 5, 8]);
+        }
+    }
+
+    #[test]
+    fn block2d_count_matches_brute_force() {
+        for procs in [1usize, 2, 4, 6, 8] {
+            let (pr, pc) = grid_shape(procs);
+            for sr in [1i64, 3, 5] {
+                for sc in [2i64, 4] {
+                    for ar in [-2i64, 0, 1, 3] {
+                        for ac in [-1i64, 0, 2] {
+                            for cr in [-4i64, 0, 7] {
+                                for cc in [-3i64, 1] {
+                                    for p in 0..procs {
+                                        let fast = count_block2d(
+                                            -5,
+                                            23,
+                                            (ar, cr),
+                                            (ac, cc),
+                                            sr,
+                                            sc,
+                                            pr,
+                                            pc,
+                                            p,
+                                        );
+                                        let slow = (-5i64..=23)
+                                            .filter(|&w| {
+                                                let ir = ar * w + cr;
+                                                let ic = ac * w + cc;
+                                                let hr = div_floor(ir, sr).clamp(0, pr as i64 - 1);
+                                                let hc = div_floor(ic, sc).clamp(0, pc as i64 - 1);
+                                                (hr * pc as i64 + hc) as usize == p
+                                            })
+                                            .count()
+                                            as i64;
+                                        assert_eq!(
+                                            fast, slow,
+                                            "P={procs} sr={sr} sc={sc} ar={ar} ac={ac} cr={cr} cc={cc} p={p}"
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sim_figure1() {
+        check(
+            "param N1 = 17; param b = 3; param N2 = 9;
+             array A[N1, N1 + N2 + b] distribute wrapped(1);
+             array B[N1, b] distribute wrapped(1);
+             for i = 0, N1 - 1 { for j = i, i + b - 1 { for k = 0, N2 - 1 {
+                 B[i, j - i] = B[i, j - i] + A[i, j + k];
+             } } }",
+            &[17, 3, 9],
+            None,
+        );
+    }
+
+    #[test]
+    fn matches_sim_gemm_naive_and_normalized() {
+        let src = "param N = 13;
+             array C[N, N] distribute wrapped(1);
+             array A[N, N] distribute wrapped(1);
+             array B[N, N] distribute wrapped(1);
+             for i = 0, N - 1 { for j = 0, N - 1 { for k = 0, N - 1 {
+                 C[i, j] = C[i, j] + A[i, k] * B[k, j];
+             } } }";
+        check(src, &[13], Some(IMatrix::identity(3)));
+        check(src, &[13], None);
+    }
+
+    #[test]
+    fn matches_sim_blocked_depth2() {
+        check(
+            "param N = 19;
+             array A[N, N] distribute blocked(0);
+             array B[N, N] distribute blocked(1);
+             for i = 0, N - 1 { for j = 0, N - 1 {
+                 A[j, i] = A[j, i] + B[i, j];
+             } }",
+            &[19],
+            Some(IMatrix::identity(2)),
+        );
+    }
+
+    #[test]
+    fn matches_sim_block2d() {
+        check(
+            "param N = 16;
+             array A[N, N] distribute block2d(0, 1);
+             array B[N, N] distribute block2d(0, 1);
+             for i = 0, N - 1 { for j = 0, N - 1 {
+                 A[i, j] = A[i, j] + B[j, i];
+             } }",
+            &[16],
+            Some(IMatrix::identity(2)),
+        );
+    }
+
+    #[test]
+    fn matches_sim_depth1() {
+        check(
+            "param N = 29;
+             array A[N] distribute wrapped(0);
+             array B[N] distribute blocked(0);
+             for i = 0, N - 1 { A[i] = A[i] + B[i]; }",
+            &[29],
+            Some(IMatrix::identity(1)),
+        );
+    }
+
+    #[test]
+    fn matches_sim_triangular_skewed() {
+        check(
+            "param N = 21;
+             array A[N, N] distribute wrapped(0);
+             for i = 0, N - 1 { for j = i, N - 1 {
+                 A[i, j] = A[i, j] + 1.0;
+             } }",
+            &[21],
+            Some(IMatrix::identity(2)),
+        );
+    }
+
+    #[test]
+    fn same_errors_as_sim() {
+        let spmd = build_spmd(
+            "param N = 4;
+             array A[N, N] distribute wrapped(1);
+             for i = 0, N - 1 { for j = 0, N - 1 { A[i, j] = A[i, j] + 1.0; } }",
+            Some(IMatrix::identity(2)),
+            false,
+        );
+        let machine = MachineConfig::butterfly_gp1000();
+        assert_eq!(
+            model_stats(&spmd, &machine, 0, &[4]),
+            Err(SimError::NoProcessors)
+        );
+        assert_eq!(
+            model_stats(&spmd, &machine, 2, &[]),
+            Err(SimError::BadParameters {
+                expected: 1,
+                got: 0
+            })
+        );
+    }
+
+    #[test]
+    fn bitwise_identical_for_every_job_count() {
+        let spmd = build_spmd(
+            "param N = 24;
+             array C[N, N] distribute wrapped(1);
+             array A[N, N] distribute wrapped(1);
+             array B[N, N] distribute wrapped(1);
+             for i = 0, N - 1 { for j = 0, N - 1 { for k = 0, N - 1 {
+                 C[i, j] = C[i, j] + A[i, k] * B[k, j];
+             } } }",
+            None,
+            true,
+        );
+        let machine = MachineConfig::butterfly_gp1000();
+        for procs in [1usize, 7, 16] {
+            let serial = model_stats_with_jobs(&spmd, &machine, procs, &[24], 1).unwrap();
+            for jobs in [0usize, 2, 8] {
+                let par = model_stats_with_jobs(&spmd, &machine, procs, &[24], jobs).unwrap();
+                assert_eq!(par.time_us.to_bits(), serial.time_us.to_bits());
+                for (a, b) in par.per_proc.iter().zip(&serial.per_proc) {
+                    assert_eq!(a.busy_us.to_bits(), b.busy_us.to_bits());
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_diverge_from_sim() {
+        let spmd = build_spmd(
+            "param N = 13;
+             array C[N, N] distribute wrapped(1);
+             array A[N, N] distribute wrapped(1);
+             array B[N, N] distribute wrapped(1);
+             for i = 0, N - 1 { for j = 0, N - 1 { for k = 0, N - 1 {
+                 C[i, j] = C[i, j] + A[i, k] * B[k, j];
+             } } }",
+            Some(IMatrix::identity(3)),
+            false,
+        );
+        let machine = MachineConfig::butterfly_gp1000();
+        let sim = simulate_with_jobs(&spmd, &machine, 4, &[13], 1).unwrap();
+        for m in [
+            Mutation::TripOffByOne,
+            Mutation::DropRemoteTerm,
+            Mutation::WrongOwnershipPlane,
+        ] {
+            let mutated = model_stats_mutated(&spmd, &machine, 4, &[13], m).unwrap();
+            let diverges = mutated.per_proc.iter().zip(&sim.per_proc).any(|(a, b)| {
+                a.local_accesses != b.local_accesses || a.remote_accesses != b.remote_accesses
+            });
+            assert!(diverges, "{m:?} not caught");
+        }
+        let faithful = model_stats_mutated(&spmd, &machine, 4, &[13], Mutation::None).unwrap();
+        for (a, b) in faithful.per_proc.iter().zip(&sim.per_proc) {
+            assert_eq!(a.local_accesses, b.local_accesses);
+            assert_eq!(a.remote_accesses, b.remote_accesses);
+        }
+    }
+    #[test]
+    fn sweep_model_matches_simulator_sweep() {
+        let spmd = build_spmd(
+            "param N = 10;
+             array A[N, N] distribute wrapped(0);
+             array B[N, N] distribute blocked(0);
+             for i = 0, N - 1 { for j = 0, N - 1 {
+                 A[i, j] = A[i, j] + B[j, i];
+             } }",
+            None,
+            true,
+        );
+        let machines = [
+            MachineConfig::butterfly_gp1000(),
+            MachineConfig::ipsc_i860(),
+        ];
+        let cfg = SweepConfig {
+            procs: vec![1, 2, 4, 7],
+            param_sets: vec![vec![10], vec![13]],
+            jobs: 0,
+            chaos: None,
+            tracer: None,
+        };
+        let by_model = sweep_model(&spmd, &machines, &cfg).unwrap();
+        let by_sim = an_numa::sweep(&spmd, &machines, &cfg).unwrap();
+        assert_eq!(by_model.points.len(), by_sim.points.len());
+        for (a, b) in by_model.points.iter().zip(&by_sim.points) {
+            assert_eq!(a.machine, b.machine);
+            assert_eq!(a.procs, b.procs);
+            assert_eq!(a.params, b.params);
+            assert_eq!(a.stats.total_local(), b.stats.total_local());
+            assert_eq!(a.stats.total_remote(), b.stats.total_remote());
+            assert_eq!(a.stats.total_messages(), b.stats.total_messages());
+            assert_eq!(
+                a.stats.total_transfer_bytes(),
+                b.stats.total_transfer_bytes()
+            );
+        }
+        // Serial and parallel model sweeps are bitwise identical.
+        let serial = sweep_model(
+            &spmd,
+            &machines,
+            &SweepConfig {
+                jobs: 1,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.points, by_model.points);
+    }
+}

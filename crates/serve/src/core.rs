@@ -627,7 +627,7 @@ impl Server {
             (state.queue.len(), state.active, state.draining)
         };
         let m = &inner.metrics;
-        let [total, ok, malformed, frame_too_large, compile, budget, panics, quarantined, overloaded, drain_refusals, timeouts, hits, disk_hits, misses, corrupt, evicted, write_errors, dedup_hits, quarantine_evicted, conns_shed, slow_frames] =
+        let [total, ok, malformed, frame_too_large, compile, budget, panics, quarantined, overloaded, drain_refusals, timeouts, hits, disk_hits, misses, corrupt, evicted, write_errors, dedup_hits, quarantine_evicted, conns_shed, slow_frames, model_priced, model_errors] =
             m.counters_many([
                 "serve.requests.total",
                 "serve.ok",
@@ -650,6 +650,8 @@ impl Server {
                 "serve.quarantine.evicted",
                 "serve.conn.shed",
                 "serve.conn.slow_frame",
+                "serve.model.priced",
+                "serve.model.errors",
             ]);
         let served = hits + disk_hits;
         let hit_rate = if served + misses == 0 {
@@ -671,7 +673,7 @@ impl Server {
             .collect();
 
         let mut phases = String::new();
-        for (i, phase) in ["parse", "compile", "emit"].iter().enumerate() {
+        for (i, phase) in ["parse", "compile", "model", "emit"].iter().enumerate() {
             if i > 0 {
                 phases.push(',');
             }
@@ -698,6 +700,7 @@ impl Server {
                 "\"hits\":{},\"disk_hits\":{},\"misses\":{},\"corrupt\":{},\"evicted\":{},",
                 "\"write_errors\":{},\"hit_rate\":{:.3}}},",
                 "\"dedup\":{{\"hits\":{}}},",
+                "\"model\":{{\"priced\":{},\"errors\":{}}},",
                 "\"conns\":{{\"shed\":{},\"slow_frames\":{}}},",
                 "\"quarantine\":[{}],\"quarantine_cap\":{},\"quarantine_evicted\":{},",
                 "\"phase_us\":{{{}}}}}"
@@ -732,6 +735,8 @@ impl Server {
             write_errors,
             hit_rate,
             dedup_hits,
+            model_priced,
+            model_errors,
             conns_shed,
             slow_frames,
             quarantine.join(","),
@@ -1027,6 +1032,26 @@ fn compile_cell(
     inner
         .metrics
         .observe("serve.phase.compile_us", t.elapsed().as_micros() as u64);
+
+    // Phase: model — analytic locality pricing of the compiled SPMD
+    // program (closed-form counts, microseconds), surfaced in `status`
+    // alongside the other phases. Pricing failures are counted, not
+    // fatal: the client asked for artifacts, not a price.
+    let t = Instant::now();
+    remaining_ms(deadline)?;
+    let defaults = compiled.program.default_param_values();
+    match an_model::model_stats(
+        &compiled.spmd,
+        &an_numa::MachineConfig::butterfly_gp1000(),
+        4,
+        &defaults,
+    ) {
+        Ok(_) => inner.metrics.add("serve.model.priced", 1),
+        Err(_) => inner.metrics.add("serve.model.errors", 1),
+    }
+    inner
+        .metrics
+        .observe("serve.phase.model_us", t.elapsed().as_micros() as u64);
 
     // Phase: emit.
     let t = Instant::now();
@@ -1366,6 +1391,17 @@ mod tests {
         assert_eq!(s.get("workers").unwrap().as_u64(), Some(2));
         assert!(
             s.get("phase_us").unwrap().get("compile").is_some(),
+            "{status}"
+        );
+        assert!(
+            s.get("phase_us").unwrap().get("model").is_some(),
+            "{status}"
+        );
+        assert_eq!(
+            s.get("model")
+                .and_then(|m| m.get("priced"))
+                .and_then(|v| v.as_u64()),
+            Some(1),
             "{status}"
         );
         let cache = s.get("cache").unwrap();

@@ -5,10 +5,13 @@
 //!
 //! for every combination of per-array distributions, run the *forward*
 //! pipeline (normalize → restructure → SPMD) and score the result with
-//! the analytic performance model of `an-numa` — the model is
+//! the closed-form analytic locality model of `an-model` — exact
+//! per-processor counts derived from the transformed access matrices,
 //! microseconds-fast, so the exhaustive product over candidate
-//! distributions is practical for real kernels. The paper's noted
-//! difficulty, load balance, is part of the model's imbalance factor.
+//! distributions is practical for real kernels. The top-k finalists are
+//! re-checked against the discrete simulator (bit-for-bit on every
+//! integer counter); `Pricing::Sim` prices everything with the
+//! simulator instead (the pre-model behavior).
 //!
 //! # Search engine
 //!
@@ -28,7 +31,21 @@
 use crate::{compile_program_with, BudgetExceeded, CompileOptions, Compiled, Error, PipelineCtx};
 use an_ir::{Distribution, Program, Stmt};
 use an_linalg::CacheStats;
-use an_numa::{predict, MachineConfig};
+use an_model::model_stats;
+use an_numa::{predict, simulate_with_jobs, MachineConfig, SimStats};
+
+/// How the search prices each candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Closed-form analytic counts (`an-model`): exact and fast — the
+    /// default. The top-k finalists are re-checked against the discrete
+    /// simulator ([`AutoDistOptions::validate_top_k`]).
+    #[default]
+    Model,
+    /// The discrete simulator for every candidate (the pre-model
+    /// behavior; the `--price sim` escape hatch).
+    Sim,
+}
 
 /// One evaluated distribution assignment.
 #[derive(Debug, Clone)]
@@ -83,6 +100,12 @@ pub struct AutoDistOptions {
     /// verifier re-enumerates iteration spaces, which multiplies search
     /// cost.
     pub verify: bool,
+    /// Candidate pricing function ([`Pricing::Model`] by default).
+    pub price: Pricing,
+    /// Under [`Pricing::Model`], how many finalists to validate against
+    /// the exact simulator (integer counters must match bit-for-bit;
+    /// divergences are counted in [`SearchReport::mismatches`]).
+    pub validate_top_k: usize,
 }
 
 impl Default for AutoDistOptions {
@@ -95,6 +118,8 @@ impl Default for AutoDistOptions {
             top_k: 8,
             prune: None,
             verify: false,
+            price: Pricing::Model,
+            validate_top_k: 8,
         }
     }
 }
@@ -122,6 +147,12 @@ pub struct SearchReport {
     pub cache: CacheStats,
     /// Resolved worker-thread count the search ran with.
     pub jobs: usize,
+    /// Finalists re-checked against the exact simulator (model pricing
+    /// only; zero under [`Pricing::Sim`]).
+    pub validated: usize,
+    /// Validated finalists whose analytic counts diverged from the
+    /// simulator — always zero unless the model itself is broken.
+    pub mismatches: usize,
 }
 
 impl SearchReport {
@@ -297,10 +328,18 @@ pub fn search_report(
                         return Eval::Rejected;
                     }
                 }
-                match predict(&compiled.spmd, machine, opts.procs, &params) {
-                    Ok(m) => Eval::Scored {
-                        time_us: m.time_us,
-                        remote: m.remote_fraction,
+                let scored = match opts.price {
+                    Pricing::Model => model_stats(&compiled.spmd, machine, opts.procs, &params)
+                        .map(|s| (s.time_us, s.remote_fraction())),
+                    Pricing::Sim => {
+                        simulate_with_jobs(&compiled.spmd, machine, opts.procs, &params, 1)
+                            .map(|s| (s.time_us, s.remote_fraction()))
+                    }
+                };
+                match scored {
+                    Ok((time_us, remote)) => Eval::Scored {
+                        time_us,
+                        remote,
                         compiled: keep_all.then(|| Box::new(compiled)),
                     },
                     Err(_) => Eval::Failed,
@@ -368,12 +407,38 @@ pub fn search_report(
         });
     }
 
+    // Top-k validation protocol: under model pricing, re-run the exact
+    // simulator on the finalists and demand bit-for-bit agreement on
+    // every integer counter. The model is *supposed* to be exact
+    // everywhere (the differential suite proves it on the corpus), so
+    // mismatches here mean a model bug — they are surfaced, not fixed up.
+    let mut validated = 0usize;
+    let mut mismatches = 0usize;
+    if opts.price == Pricing::Model {
+        for c in candidates.iter().take(opts.validate_top_k) {
+            let sim = simulate_with_jobs(&c.compiled.spmd, machine, opts.procs, &params, 1);
+            let model = model_stats(&c.compiled.spmd, machine, opts.procs, &params);
+            validated += 1;
+            match (sim, model) {
+                (Ok(s), Ok(m)) => {
+                    if !stats_agree(&s, &m) {
+                        mismatches += 1;
+                    }
+                }
+                (Err(a), Err(b)) if a == b => {}
+                _ => mismatches += 1,
+            }
+        }
+    }
+
     if let Some(t) = tracer {
         for (name, value) in [
             ("search.evaluated", order.len() as u64),
             ("search.skipped", skipped as u64),
             ("search.pruned", pruned as u64),
             ("search.rejected", rejected as u64),
+            ("search.validated", validated as u64),
+            ("search.mismatches", mismatches as u64),
         ] {
             t.emit(an_obs::EventKind::Counter {
                 name: name.to_string(),
@@ -391,7 +456,27 @@ pub fn search_report(
         rejected,
         cache: ctx.stats(),
         jobs: an_par::resolve_jobs(opts.jobs),
+        validated,
+        mismatches,
     })
+}
+
+/// The model-vs-simulator agreement contract: every integer counter
+/// identical on every processor; busy/total times equal to floating
+/// point tolerance (same sums, different accumulation order).
+pub fn stats_agree(sim: &SimStats, model: &SimStats) -> bool {
+    if sim.per_proc.len() != model.per_proc.len() {
+        return false;
+    }
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0);
+    sim.per_proc.iter().zip(&model.per_proc).all(|(a, b)| {
+        a.local_accesses == b.local_accesses
+            && a.remote_accesses == b.remote_accesses
+            && a.messages == b.messages
+            && a.transfer_bytes == b.transfer_bytes
+            && a.outer_iterations == b.outer_iterations
+            && close(a.busy_us, b.busy_us)
+    }) && close(sim.time_us, model.time_us)
 }
 
 /// Candidate distributions for one array: wrapped and blocked on every
@@ -574,6 +659,52 @@ mod tests {
         );
         assert_eq!(report.rejected, 0, "sound candidates must not be rejected");
         assert!(report.best().is_some());
+    }
+
+    #[test]
+    fn model_pricing_matches_sim_pricing_and_validates_clean() {
+        let machine = MachineConfig::butterfly_gp1000();
+        let base = AutoDistOptions {
+            procs: 8,
+            allow_replication: false,
+            top_k: 4,
+            ..AutoDistOptions::default()
+        };
+        let p = gemm();
+        let by_model = search_report(&p, &machine, &base).unwrap();
+        assert_eq!(by_model.validated, 4);
+        assert_eq!(by_model.mismatches, 0, "analytic counts diverged from sim");
+        let by_sim = search_report(
+            &p,
+            &machine,
+            &AutoDistOptions {
+                price: Pricing::Sim,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(by_sim.validated, 0, "sim pricing needs no validation");
+        // Exact model and exact simulator agree on every score up to
+        // float accumulation order, so rank-for-rank the times coincide
+        // (tie *order* within a bit-equal group may differ).
+        assert_eq!(by_model.ranking.len(), by_sim.ranking.len());
+        for (a, b) in by_model.ranking.iter().zip(&by_sim.ranking) {
+            let scale = b.predicted_time_us.abs().max(1.0);
+            assert!((a.predicted_time_us - b.predicted_time_us).abs() / scale < 1e-9);
+        }
+        // The model's winner must sit in the simulator's leading tie
+        // group: some sim candidate with a bit-near-best time has the
+        // same assignment.
+        let best = by_model.best().unwrap();
+        let sim_best_t = by_sim.ranking[0].predicted_time_us;
+        assert!(by_sim
+            .ranking
+            .iter()
+            .take_while(|c| {
+                let scale = sim_best_t.abs().max(1.0);
+                (c.predicted_time_us - sim_best_t).abs() / scale < 1e-9
+            })
+            .any(|c| c.assignment == best.assignment));
     }
 
     #[test]

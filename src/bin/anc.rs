@@ -13,6 +13,7 @@
 //!   --param NAME=V     override a parameter's default (repeatable)
 //!   --strides          print innermost-loop stride report
 //!   --autodist P       search per-array distributions for P processors
+//!   --price MODE       candidate pricing: model (analytic, default) or sim
 //!   --jobs N           worker threads for search/simulation
 //!                      (default: all cores; 1 = serial)
 //!   --verify           run the independent soundness verifier; fail the
@@ -153,6 +154,7 @@ struct Args {
     params: Vec<(String, i64)>,
     strides: bool,
     autodist: Option<usize>,
+    price_sim: bool,
     jobs: usize,
     verify: bool,
     explain: bool,
@@ -189,7 +191,8 @@ fn usage() -> ! {
          \x20          [--jobs N] [--json] [--wall] [--top N] [--out FILE] <file.an | ->\n\
          \x20      anc sweep [--procs LIST] [--machines LIST] [--params LIST]...\n\
          \x20          [--jobs N] [--naive] [--no-transfers] [--verify] [--json FILE|-]\n\
-         \x20          [--chaos] [--seed N] [--trace[=FILE]] [--trace-format F] <file.an | ->\n\
+         \x20          [--chaos] [--seed N] [--price model|sim] [--trace[=FILE]]\n\
+         \x20          [--trace-format F] <file.an | ->\n\
          \x20      anc check [--deny-warnings] [--json] [--naive] [--no-transfers]\n\
          \x20          [--param NAME=V]... [--mutate KIND] [--no-prenormalize] <file.an>...\n\
          \x20      anc chaos [--seed N] [--scenario S|all] [--procs LIST]\n\
@@ -300,6 +303,7 @@ fn parse_args() -> Args {
         params: Vec::new(),
         strides: false,
         autodist: None,
+        price_sim: false,
         jobs: 0,
         verify: false,
         explain: false,
@@ -356,6 +360,13 @@ fn parse_args() -> Args {
             "--autodist" => {
                 let p = it.next().unwrap_or_else(|| usage());
                 args.autodist = Some(p.parse().unwrap_or_else(|_| usage()));
+            }
+            "--price" => {
+                args.price_sim = match it.next().as_deref() {
+                    Some("model") => false,
+                    Some("sim") => true,
+                    _ => usage(),
+                }
             }
             "--jobs" => {
                 let n = it.next().unwrap_or_else(|| usage());
@@ -422,6 +433,7 @@ fn read_source(input: &str) -> Result<String, String> {
 }
 
 fn run_sweep(argv: &[String]) -> ExitCode {
+    use access_normalization::model::sweep_model;
     use access_normalization::numa::{sweep, ChaosSweep, SweepConfig};
     use access_normalization::PipelineCtx;
 
@@ -433,6 +445,7 @@ fn run_sweep(argv: &[String]) -> ExitCode {
     let mut transfers = true;
     let mut verify = false;
     let mut chaos = false;
+    let mut price: Option<String> = None;
     let mut seed = 1u64;
     let mut json: Option<String> = None;
     let mut trace: Option<TraceDest> = None;
@@ -478,6 +491,15 @@ fn run_sweep(argv: &[String]) -> ExitCode {
             "--no-transfers" => transfers = false,
             "--verify" => verify = true,
             "--chaos" => chaos = true,
+            "--price" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                match v.as_str() {
+                    "model" | "sim" => price = Some(v.clone()),
+                    other => fail_usage(&format!(
+                        "anc: unknown --price '{other}' (expected model or sim)"
+                    )),
+                }
+            }
             "--seed" => {
                 seed = it
                     .next()
@@ -502,6 +524,18 @@ fn run_sweep(argv: &[String]) -> ExitCode {
         }
     }
     let Some(input) = input else { usage() };
+    // Pricing: the analytic model by default; the simulator under
+    // `--price sim`, and always under `--chaos` (fault injection has no
+    // closed form — asking for the model there is a usage error).
+    let use_model = match price.as_deref() {
+        Some("sim") => false,
+        Some("model") if chaos => {
+            fail_usage("anc: --chaos requires the simulator (drop --price model)")
+        }
+        Some("model") => true,
+        None => !chaos,
+        Some(_) => unreachable!(),
+    };
     let src = read_source_or_exit(&input);
     let ctx = PipelineCtx::new();
     let tracer = trace
@@ -543,7 +577,12 @@ fn run_sweep(argv: &[String]) -> ExitCode {
         }),
         tracer: tracer.clone(),
     };
-    let mut report = match sweep(&compiled.spmd, &machines, &cfg) {
+    let result = if use_model {
+        sweep_model(&compiled.spmd, &machines, &cfg)
+    } else {
+        sweep(&compiled.spmd, &machines, &cfg)
+    };
+    let mut report = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("anc: {e}");
@@ -1210,6 +1249,20 @@ fn run_profile(argv: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Analytic-model phase: priced after the simulator so the profile
+    // carries a `model` span row (the `model_us` phase) whose counters
+    // can be diffed against the simulator's — they must agree exactly.
+    if let Err(e) = access_normalization::model::model_stats_traced(
+        &compiled.spmd,
+        &machine,
+        procs,
+        &param_values,
+        jobs,
+        Some(&tracer),
+    ) {
+        eprintln!("anc: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let trace = tracer.snapshot();
     let phases = trace.phases();
@@ -1716,7 +1769,7 @@ fn run_main() -> ExitCode {
     }
 
     if let Some(procs) = args.autodist {
-        use access_normalization::autodist::{search_report, AutoDistOptions};
+        use access_normalization::autodist::{search_report, AutoDistOptions, Pricing};
         let opts = AutoDistOptions {
             procs,
             allow_replication: false,
@@ -1728,12 +1781,18 @@ fn run_main() -> ExitCode {
             jobs: args.jobs,
             top_k: 5,
             verify: args.verify,
+            price: if args.price_sim {
+                Pricing::Sim
+            } else {
+                Pricing::Model
+            },
             ..AutoDistOptions::default()
         };
         match search_report(&compiled.program, &args.machine, &opts) {
             Ok(report) => {
                 println!(
-                    "== distribution search (P = {procs}, model-scored, {} workers) ==",
+                    "== distribution search (P = {procs}, {}-priced, {} workers) ==",
+                    if args.price_sim { "sim" } else { "model" },
                     report.jobs
                 );
                 println!(
@@ -1760,6 +1819,17 @@ fn run_main() -> ExitCode {
                      pipeline cache {}",
                     report.evaluated, report.skipped, report.rejected, report.cache
                 );
+                if !args.price_sim {
+                    println!(
+                        "model validation: {} finalists re-checked against the simulator, \
+                         {} mismatches",
+                        report.validated, report.mismatches
+                    );
+                    if report.mismatches > 0 {
+                        eprintln!("anc: analytic model diverged from the simulator");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("anc: {e}");

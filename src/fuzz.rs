@@ -1,7 +1,7 @@
 //! Seeded, in-tree fuzzing for the compiler boundary.
 //!
 //! `anc fuzz --seed S --iters N` drives [`run`]: a deterministic
-//! splitmix64 stream generates programs from five archetypes and
+//! splitmix64 stream generates programs from six archetypes and
 //! asserts the public boundary contract on each:
 //!
 //! 1. **Small sane kernels** — must compile, and the compiled artifacts
@@ -23,6 +23,12 @@
 //!    entry files on disk, restarts the daemon on the damaged directory
 //!    and replays the request; the daemon must neither panic nor hang,
 //!    and must recompile rather than ever serve corrupt bytes.
+//! 6. **Model-vs-simulator differential** — random sane kernels with
+//!    random per-array distributions are compiled and priced twice, by
+//!    the closed-form analytic model (`an-model`) and by the discrete
+//!    simulator, at a random processor count; every integer counter
+//!    (local, remote, messages, transfer bytes, outer iterations) must
+//!    match exactly on every processor, or the iteration is a mismatch.
 //!
 //! No archetype is ever allowed to panic: every compile runs under
 //! `catch_unwind` with the panic hook silenced, and any caught unwind is
@@ -150,9 +156,10 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
             0 => fuzz_sane(&mut rng, i, &mut report),
             1 => fuzz_adversarial(&mut rng, i, &mut report),
             2 => fuzz_deep_budgeted(&mut rng, i, &mut report),
-            // Archetype 4 and 5 iterations are batched below: the
-            // serve-side fuzzers boot their own in-process daemons.
-            _ => {}
+            // Archetype 6 rides the slot archetypes 4 and 5 leave
+            // free: the serve-side fuzzers are batched below and boot
+            // their own in-process daemons.
+            _ => fuzz_model_differential(&mut rng, i, &mut report),
         }
     }
     // The serve quarter of the budget is split between protocol frames
@@ -424,6 +431,75 @@ fn fuzz_deep_budgeted(rng: &mut Rng, iter: u64, report: &mut FuzzReport) {
         ..CompileOptions::default()
     };
     guarded_compile(&src, &copts, iter, "deep budgeted nest", report);
+}
+
+/// Archetype 6: differential model-vs-simulator pricing on random sane
+/// kernels under random per-array distributions and processor counts.
+/// The analytic counts must equal the simulator's exactly — any
+/// divergence on any integer counter of any processor is a mismatch.
+fn fuzz_model_differential(rng: &mut Rng, iter: u64, report: &mut FuzzReport) {
+    let depth = rng.range(1, 3) as usize;
+    let n = rng.range(4, 9);
+    let mut src = sane_source(rng, depth, n);
+    // Reassign each array's distribution at random — the generator only
+    // emits wrapped(d); the model must agree under every plan.
+    for _ in 0..2 {
+        let dist = match rng.below(4) {
+            0 => format!("wrapped({})", rng.below(2)),
+            1 => format!("blocked({})", rng.below(2)),
+            2 if depth >= 2 => "block2d(0, 1)".to_string(),
+            2 => "blocked(0)".to_string(),
+            _ => "replicated".to_string(),
+        };
+        let at = src
+            .find("distribute wrapped(")
+            .expect("generator emits wrapped");
+        let end = at + src[at..].find(')').expect("closing paren") + 1;
+        src.replace_range(at..end, &format!("distribute {dist}"));
+    }
+    let Some(Ok(compiled)) = guarded_compile(
+        &src,
+        &CompileOptions::default(),
+        iter,
+        "model differential kernel",
+        report,
+    ) else {
+        return;
+    };
+    let machine = an_numa::MachineConfig::butterfly_gp1000();
+    let procs = [1usize, 2, 3, 4, 8, 16][rng.below(6) as usize];
+    let params = compiled.program.default_param_values();
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        let sim = an_numa::simulate(&compiled.spmd, &machine, procs, &params);
+        let model = an_model::model_stats(&compiled.spmd, &machine, procs, &params);
+        match (sim, model) {
+            (Ok(s), Ok(m)) => s.per_proc.iter().zip(&m.per_proc).all(|(a, b)| {
+                a.local_accesses == b.local_accesses
+                    && a.remote_accesses == b.remote_accesses
+                    && a.messages == b.messages
+                    && a.transfer_bytes == b.transfer_bytes
+                    && a.outer_iterations == b.outer_iterations
+            }),
+            // Errors must agree too: same typed error from both paths.
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        }
+    }));
+    match outcome {
+        Ok(true) => {}
+        Ok(false) => {
+            report.mismatches += 1;
+            report.failures.push(format!(
+                "iter {iter}: model/simulator divergence at P={procs} on:\n{src}"
+            ));
+        }
+        Err(_) => {
+            report.panics += 1;
+            report.failures.push(format!(
+                "iter {iter}: panic in model differential at P={procs} on:\n{src}"
+            ));
+        }
+    }
 }
 
 #[cfg(test)]

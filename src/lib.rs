@@ -79,6 +79,7 @@ pub use an_diag as diag;
 pub use an_ir as ir;
 pub use an_lang as lang;
 pub use an_linalg as linalg;
+pub use an_model as model;
 pub use an_normal as normal;
 pub use an_numa as numa;
 pub use an_obs as obs;

@@ -162,6 +162,120 @@ fn autodist_reports_candidates() {
 }
 
 #[test]
+fn autodist_model_pricing_reports_validation() {
+    let out = anc()
+        .args([
+            "--emit",
+            "transform",
+            "--autodist",
+            "4",
+            "--param",
+            "N=24",
+            &kernel_path("gemm.an"),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("model-priced"), "{stdout}");
+    assert!(stdout.contains("0 mismatches"), "{stdout}");
+}
+
+#[test]
+fn autodist_price_sim_escape_hatch() {
+    let out = anc()
+        .args([
+            "--emit",
+            "transform",
+            "--autodist",
+            "2",
+            "--price",
+            "sim",
+            "--param",
+            "N=12",
+            &kernel_path("gemm.an"),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("sim-priced"), "{stdout}");
+    assert!(!stdout.contains("model validation"), "{stdout}");
+}
+
+#[test]
+fn sweep_chaos_with_model_pricing_is_a_usage_error() {
+    let out = anc()
+        .args([
+            "sweep",
+            "--chaos",
+            "--price",
+            "model",
+            "--procs",
+            "2",
+            "--params",
+            "8",
+            &kernel_path("gemm.an"),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("--chaos requires the simulator"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn sweep_model_and_sim_pricing_agree_on_counts() {
+    let run = |price: &str| {
+        let out = anc()
+            .args([
+                "sweep",
+                "--price",
+                price,
+                "--procs",
+                "1,4",
+                "--params",
+                "12",
+                "--json",
+                "-",
+                &kernel_path("gemm.an"),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let model = run("model");
+    let sim = run("sim");
+    // Integer counters are exact, so the JSON fields match; extract and
+    // compare the messages/local/remote/transfer_bytes fragments.
+    for key in [
+        "\"local\":",
+        "\"remote\":",
+        "\"messages\":",
+        "\"transfer_bytes\":",
+    ] {
+        let grab = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.contains(key))
+                .map(|l| {
+                    let at = l.find(key).unwrap() + key.len();
+                    l[at..].chars().take_while(|c| *c != ',').collect()
+                })
+                .collect()
+        };
+        assert_eq!(grab(&model), grab(&sim), "{key} diverged");
+    }
+}
+
+#[test]
 fn unknown_input_path_exits_2_with_one_line() {
     let out = anc().args(["/no/such/kernel.an"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
@@ -634,12 +748,14 @@ fn usage_errors_exit_2_across_every_subcommand() {
         &["--ordering", "sideways"],
         &["--simulate", "banana"],
         &["--autodist", "banana"],
+        &["--price", "banana"],
         // check
         &["check", "--bogus"],
         &["check", "--mutate", "bogus"],
         // sweep
         &["sweep", "--procs", "banana"],
         &["sweep", "--bogus"],
+        &["sweep", "--price", "banana"],
         // chaos
         &["chaos", "--scenario", "meteor"],
         &["chaos", "--procs", "banana"],

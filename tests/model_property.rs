@@ -1,0 +1,221 @@
+//! The differential model-vs-simulator oracle.
+//!
+//! `an-model` prices a compiled SPMD program by closed-form counting —
+//! no iteration-space enumeration — and claims *exact* agreement with
+//! the discrete simulator on every integer counter of every processor:
+//! local accesses, remote accesses, messages, transfer bytes and outer
+//! iterations. This suite pins that claim three ways:
+//!
+//! 1. every corpus kernel under `examples/kernels/`, at every processor
+//!    count in {1, 2, 4, 8, 16}, both with and without block transfers;
+//! 2. ≥200 fuzz-generated kernels under random per-array distributions
+//!    and random processor counts (errors must agree too: when one side
+//!    rejects, the other must reject with the same typed error);
+//! 3. the search: `autodist::search_report` under model pricing must
+//!    produce the same scores as simulator pricing on the corpus, with
+//!    its built-in top-k validation reporting zero mismatches.
+//!
+//! There is no tolerance anywhere on integer counters — the model and
+//! the simulator are allowed to disagree nowhere (DESIGN.md §17).
+
+use access_normalization::autodist::{search_report, AutoDistOptions, Pricing};
+use access_normalization::model::model_stats;
+use access_normalization::numa::{simulate, MachineConfig, SimStats};
+use access_normalization::{compile, fuzz::generated_kernel, CompileOptions};
+
+const CORPUS: &[&str] = &[
+    "adi",
+    "cholesky",
+    "correlation",
+    "decimate",
+    "decimate_messy",
+    "fig1",
+    "gemm",
+    "jacobi2d",
+    "jacobi2d_messy",
+    "lu",
+    "mvt",
+    "mvt_messy",
+    "seidel2d",
+    "syr2k",
+    "trmm",
+];
+const PROCS: &[usize] = &[1, 2, 4, 8, 16];
+
+fn kernel_source(name: &str) -> String {
+    let path = format!("{}/examples/kernels/{name}.an", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// Panics unless every integer counter of every processor matches
+/// exactly and the float totals match to accumulation-order precision.
+fn assert_exact(sim: &SimStats, model: &SimStats, at: &str) {
+    assert_eq!(sim.per_proc.len(), model.per_proc.len(), "{at}");
+    for (p, (s, m)) in sim.per_proc.iter().zip(&model.per_proc).enumerate() {
+        assert_eq!(s.local_accesses, m.local_accesses, "{at} p={p} local");
+        assert_eq!(s.remote_accesses, m.remote_accesses, "{at} p={p} remote");
+        assert_eq!(s.messages, m.messages, "{at} p={p} messages");
+        assert_eq!(s.transfer_bytes, m.transfer_bytes, "{at} p={p} bytes");
+        assert_eq!(s.outer_iterations, m.outer_iterations, "{at} p={p} outer");
+        let scale = s.busy_us.abs().max(1.0);
+        assert!(
+            (s.busy_us - m.busy_us).abs() / scale < 1e-9,
+            "{at} p={p} busy: sim {} model {}",
+            s.busy_us,
+            m.busy_us
+        );
+    }
+    let scale = sim.time_us.abs().max(1.0);
+    assert!(
+        (sim.time_us - model.time_us).abs() / scale < 1e-9,
+        "{at} time: sim {} model {}",
+        sim.time_us,
+        model.time_us
+    );
+}
+
+#[test]
+fn every_corpus_kernel_counts_exactly() {
+    let machine = MachineConfig::butterfly_gp1000();
+    for name in CORPUS {
+        let src = kernel_source(name);
+        for transfers in [true, false] {
+            let opts = CompileOptions {
+                spmd: access_normalization::codegen::SpmdOptions {
+                    block_transfers: transfers,
+                },
+                ..CompileOptions::default()
+            };
+            let compiled = compile(&src, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let params = compiled.program.default_param_values();
+            for &procs in PROCS {
+                let at = format!("{name} P={procs} transfers={transfers}");
+                let sim = simulate(&compiled.spmd, &machine, procs, &params)
+                    .unwrap_or_else(|e| panic!("{at}: sim: {e}"));
+                let model = model_stats(&compiled.spmd, &machine, procs, &params)
+                    .unwrap_or_else(|e| panic!("{at}: model: {e}"));
+                assert_exact(&sim, &model, &at);
+            }
+        }
+    }
+}
+
+/// splitmix64, the repo's standard reproducible stream.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn two_hundred_fuzz_cases_count_exactly() {
+    let machine = MachineConfig::butterfly_gp1000();
+    let dists = [
+        "wrapped(0)",
+        "wrapped(1)",
+        "blocked(0)",
+        "blocked(1)",
+        "block2d(0, 1)",
+        "replicated",
+    ];
+    let mut checked = 0u32;
+    for case in 0..200u64 {
+        let mut src = generated_kernel(mix(case));
+        // Reassign both arrays' distributions pseudo-randomly. A picked
+        // distribution naming a dimension the array does not have is
+        // rewritten to a 1-D plan below.
+        let rank = src
+            .lines()
+            .find(|l| l.starts_with("array A["))
+            .map_or(1, |l| l.matches(',').count() + 1);
+        for (k, _) in ["array A", "array B"].iter().enumerate() {
+            let mut d = dists[(mix(case ^ (k as u64) << 32) % 6) as usize];
+            if rank < 2 && (d.contains('1') || d.contains("block2d")) {
+                d = "blocked(0)";
+            }
+            let at = src
+                .find("distribute wrapped(")
+                .expect("generator emits wrapped");
+            let end = at + src[at..].find(')').expect("closing paren") + 1;
+            src.replace_range(at..end, &format!("distribute {d}"));
+        }
+        let compiled = match compile(&src, &CompileOptions::default()) {
+            Ok(c) => c,
+            // A typed rejection (e.g. a distribution dimension the
+            // lowered array lacks) is outside the oracle's scope.
+            Err(_) => continue,
+        };
+        let params = compiled.program.default_param_values();
+        let procs = [1usize, 2, 3, 4, 8, 16][(mix(!case) % 6) as usize];
+        let at = format!("fuzz case {case} P={procs}:\n{src}");
+        match (
+            simulate(&compiled.spmd, &machine, procs, &params),
+            model_stats(&compiled.spmd, &machine, procs, &params),
+        ) {
+            (Ok(sim), Ok(model)) => assert_exact(&sim, &model, &at),
+            (Err(a), Err(b)) => assert_eq!(a, b, "{at}"),
+            (sim, model) => panic!("{at}: one side failed: sim {sim:?} model {model:?}"),
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 190,
+        "only {checked}/200 cases reached the oracle"
+    );
+}
+
+#[test]
+fn search_scores_match_between_pricings_on_the_corpus() {
+    // Model-priced and simulator-priced searches must assign the same
+    // score to every candidate (rank-for-rank, to accumulation-order
+    // precision) and the model search's own top-k validation must be
+    // clean. Small kernels keep the exhaustive product affordable.
+    let machine = MachineConfig::butterfly_gp1000();
+    for name in ["mvt", "decimate", "trmm"] {
+        let src = kernel_source(name);
+        let compiled = compile(&src, &CompileOptions::default()).unwrap();
+        let base = AutoDistOptions {
+            procs: 4,
+            allow_replication: false,
+            top_k: 4,
+            ..AutoDistOptions::default()
+        };
+        let by_model = search_report(&compiled.program, &machine, &base).unwrap();
+        assert!(by_model.validated > 0, "{name}: nothing validated");
+        assert_eq!(by_model.mismatches, 0, "{name}: model diverged from sim");
+        let by_sim = search_report(
+            &compiled.program,
+            &machine,
+            &AutoDistOptions {
+                price: Pricing::Sim,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(by_model.ranking.len(), by_sim.ranking.len(), "{name}");
+        for (rank, (a, b)) in by_model.ranking.iter().zip(&by_sim.ranking).enumerate() {
+            let scale = b.predicted_time_us.abs().max(1.0);
+            assert!(
+                (a.predicted_time_us - b.predicted_time_us).abs() / scale < 1e-9,
+                "{name} rank {rank}: model {} sim {}",
+                a.predicted_time_us,
+                b.predicted_time_us
+            );
+        }
+        // The model winner sits in the simulator's leading tie group.
+        let best = &by_model.ranking[0];
+        let sim_best = by_sim.ranking[0].predicted_time_us;
+        assert!(
+            by_sim
+                .ranking
+                .iter()
+                .take_while(|c| {
+                    let scale = sim_best.abs().max(1.0);
+                    (c.predicted_time_us - sim_best).abs() / scale < 1e-9
+                })
+                .any(|c| c.assignment == best.assignment),
+            "{name}: model winner not in the simulator's tie group"
+        );
+    }
+}

@@ -89,3 +89,65 @@ fn pure_scaling_one_dimensional() {
         .unwrap();
     assert_eq!(us, vec![2, 4, 6]);
 }
+
+#[test]
+fn edge_shape_extents_through_sweep_model_and_verify() {
+    // Degenerate and awkward extents — 1, primes, 2^k ± 1 — in
+    // non-square combinations, pushed through the full pipeline, the
+    // independent verifier, and both sweep pricings. The analytic model
+    // must agree with the simulator on every integer counter at every
+    // shape; the verifier must find nothing.
+    use access_normalization::model::sweep_model;
+    use access_normalization::numa::{sweep, MachineConfig, SweepConfig};
+    use access_normalization::{compile, verify, CompileOptions};
+
+    let src = "param N = 8;
+               param M = 8;
+               array A[N, M] distribute wrapped(1);
+               array B[M, N] distribute blocked(0);
+               for i = 0, N - 1 { for j = 0, M - 1 {
+                   A[i, j] = A[i, j] + B[j, i] + 1.0;
+               } }";
+    let compiled = compile(src, &CompileOptions::default()).unwrap();
+    let findings = verify(&compiled);
+    assert!(!findings.has_errors(), "{findings}");
+
+    // (N, M): extent-1 rows/columns, primes, and powers of two ± 1.
+    let shapes: &[(i64, i64)] = &[
+        (1, 1),
+        (1, 17),
+        (31, 1),
+        (2, 3),
+        (13, 7),
+        (15, 16),
+        (16, 17),
+        (31, 33),
+        (33, 31),
+    ];
+    let cfg = SweepConfig {
+        procs: vec![1, 2, 4, 8, 16],
+        param_sets: shapes.iter().map(|&(n, m)| vec![n, m]).collect(),
+        jobs: 0,
+        chaos: None,
+        tracer: None,
+    };
+    let machines = [MachineConfig::butterfly_gp1000()];
+    let by_sim = sweep(&compiled.spmd, &machines, &cfg).unwrap();
+    let by_model = sweep_model(&compiled.spmd, &machines, &cfg).unwrap();
+    assert_eq!(by_sim.points.len(), 5 * shapes.len());
+    assert_eq!(by_model.points.len(), by_sim.points.len());
+    for (a, b) in by_model.points.iter().zip(&by_sim.points) {
+        let at = format!("P={} params={:?}", b.procs, b.params);
+        assert_eq!(a.stats.total_local(), b.stats.total_local(), "{at}");
+        assert_eq!(a.stats.total_remote(), b.stats.total_remote(), "{at}");
+        assert_eq!(a.stats.total_messages(), b.stats.total_messages(), "{at}");
+        assert_eq!(
+            a.stats.total_transfer_bytes(),
+            b.stats.total_transfer_bytes(),
+            "{at}"
+        );
+        for (pa, pb) in a.stats.per_proc.iter().zip(&b.stats.per_proc) {
+            assert_eq!(pa.outer_iterations, pb.outer_iterations, "{at}");
+        }
+    }
+}

@@ -116,6 +116,65 @@ fn wall_clock_traces_normalize_to_the_logical_golden() {
     }
 }
 
+/// One traced compile + analytic-model pricing; returns the rendered
+/// JSONL trace (the `model` span subtree rides the compile phases).
+fn traced_model_run(src: &str, jobs: usize) -> String {
+    let tracer = Arc::new(Tracer::new());
+    let opts = CompileOptions {
+        tracer: Some(tracer.clone()),
+        ..CompileOptions::default()
+    };
+    let compiled = compile(src, &opts).expect("kernel must compile");
+    let params = compiled.program.default_param_values();
+    let machine = MachineConfig::butterfly_gp1000();
+    access_normalization::model::model_stats_traced(
+        &compiled.spmd,
+        &machine,
+        PROCS,
+        &params,
+        jobs,
+        Some(&tracer),
+    )
+    .expect("model must price the kernel");
+    let trace = tracer.snapshot();
+    trace
+        .check_well_formed()
+        .expect("trace must be well formed");
+    render_jsonl(&trace)
+}
+
+#[test]
+fn model_trace_matches_golden_and_every_job_count() {
+    // The analytic model's span subtree (span `model` + `model.*`
+    // counters) must be byte-identical for every worker count and must
+    // match its checked-in golden, exactly like the simulator traces.
+    let src = kernel_source("gemm");
+    let serial = traced_model_run(&src, 1);
+    for jobs in [4, 8] {
+        let par = traced_model_run(&src, jobs);
+        assert_eq!(
+            serial, par,
+            "gemm: model trace differs between --jobs 1 and --jobs {jobs}"
+        );
+    }
+    assert!(serial.contains("\"model\""), "model span missing: {serial}");
+    assert!(serial.contains("model.local_accesses"), "{serial}");
+    let golden_path = format!(
+        "{}/tests/golden_traces/gemm_model.jsonl",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &serial).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden {golden_path} (run with UPDATE_GOLDEN=1): {e}"));
+    assert_eq!(
+        serial, golden,
+        "gemm: model trace drifted from golden; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
 #[test]
 fn gemm_wrapped_column_counters_match_prediction() {
     // GEMM with everything wrapped on the column dimension is the
